@@ -1,0 +1,89 @@
+// Reproduces paper Figure 10: elapsed time of all six algorithms as the
+// quasi-identifier size grows, on both databases, for k = 2 and k = 10.
+//
+//   Adults:    QID size 3..9  (attributes added in Fig. 9 order)
+//   Lands End: QID size 1..6
+//
+// Expected shape (paper §4.2): the Incognito variants beat Binary Search
+// and both Bottom-Up variants, increasingly so at larger QID sizes (up to
+// ~an order of magnitude); Bottom-Up w/ rollup beats w/o rollup.
+//
+// Flags: --adults_rows=N     (default 45222, the paper's count)
+//        --landsend_rows=N   (default 200000; paper's 4591581 also works,
+//                             proportionally slower)
+//        --min_qid=N --max_qid_adults=N --max_qid_landsend=N
+//        --quick             (smaller tables + trimmed sweep, for CI)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/adults.h"
+#include "data/landsend.h"
+
+using namespace incognito;
+using namespace incognito::bench;
+
+namespace {
+
+void Sweep(const char* name, const SyntheticDataset& dataset, size_t min_qid,
+           size_t max_qid, int64_t k) {
+  printf("\n--- %s database (k=%lld) ---\n", name, static_cast<long long>(k));
+  PrintRowHeader();
+  AnonymizationConfig config;
+  config.k = k;
+  for (size_t qid_size = min_qid; qid_size <= max_qid; ++qid_size) {
+    QuasiIdentifier qid = dataset.qid.Prefix(qid_size);
+    for (Algorithm algorithm : AllAlgorithms()) {
+      RunResult r = RunAlgorithm(algorithm, dataset.table, qid, config);
+      if (!r.ok) {
+        fprintf(stderr, "%s failed at qid=%zu\n", AlgorithmName(algorithm),
+                qid_size);
+        continue;
+      }
+      PrintRow(name, k, qid_size, algorithm, r);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  bool quick = flags.GetBool("quick", false);
+  size_t adults_rows =
+      static_cast<size_t>(flags.GetInt("adults_rows", quick ? 5000 : 45222));
+  size_t landsend_rows = static_cast<size_t>(
+      flags.GetInt("landsend_rows", quick ? 20000 : 200000));
+  size_t min_qid = static_cast<size_t>(flags.GetInt("min_qid", quick ? 3 : 1));
+  size_t max_qid_adults =
+      static_cast<size_t>(flags.GetInt("max_qid_adults", quick ? 5 : 9));
+  size_t max_qid_landsend =
+      static_cast<size_t>(flags.GetInt("max_qid_landsend", quick ? 4 : 6));
+
+  printf("=== Figure 10: performance by quasi-identifier size ===\n");
+
+  AdultsOptions adults_opts;
+  adults_opts.num_rows = adults_rows;
+  Result<SyntheticDataset> adults = MakeAdultsDataset(adults_opts);
+  if (!adults.ok()) {
+    fprintf(stderr, "adults generation failed\n");
+    return 1;
+  }
+  // The paper starts the Adults sweep at QID size 3.
+  size_t adults_min = min_qid < 3 ? 3 : min_qid;
+  for (int64_t k : {2, 10}) {
+    Sweep("adults", adults.value(), adults_min, max_qid_adults, k);
+  }
+
+  LandsEndOptions landsend_opts;
+  landsend_opts.num_rows = landsend_rows;
+  Result<SyntheticDataset> landsend = MakeLandsEndDataset(landsend_opts);
+  if (!landsend.ok()) {
+    fprintf(stderr, "landsend generation failed\n");
+    return 1;
+  }
+  for (int64_t k : {2, 10}) {
+    Sweep("landsend", landsend.value(), min_qid, max_qid_landsend, k);
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces paper Figure 11: elapsed time for varied k ∈ {2,5,10,25,50}
+// at fixed quasi-identifier size.
+//
+//   Adults (left panel, QID size 8): Binary Search, Bottom-Up w/ rollup,
+//     Basic Incognito, Super-roots Incognito.
+//   Lands End (right panel, staggered QID): Binary Search at QID 6,
+//     Basic and Super-roots Incognito at QID 8.
+//
+// Expected shape: Incognito trends DOWNWARD as k grows (larger k prunes
+// more subsets early); Binary Search is erratic because its probe pattern
+// depends on where the minimal height lands.
+//
+// Flags: --adults_rows=N (45222) --landsend_rows=N (200000) --quick
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/adults.h"
+#include "data/landsend.h"
+
+using namespace incognito;
+using namespace incognito::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  bool quick = flags.GetBool("quick", false);
+  AdultsOptions adults_opts;
+  adults_opts.num_rows =
+      static_cast<size_t>(flags.GetInt("adults_rows", quick ? 5000 : 45222));
+  LandsEndOptions landsend_opts;
+  landsend_opts.num_rows = static_cast<size_t>(
+      flags.GetInt("landsend_rows", quick ? 20000 : 200000));
+  const std::vector<int64_t> ks = {2, 5, 10, 25, 50};
+
+  printf("=== Figure 11: performance by k at fixed QID size ===\n");
+
+  Result<SyntheticDataset> adults = MakeAdultsDataset(adults_opts);
+  if (!adults.ok()) {
+    fprintf(stderr, "adults generation failed\n");
+    return 1;
+  }
+  {
+    size_t qid_size = quick ? 5 : 8;
+    QuasiIdentifier qid = adults->qid.Prefix(qid_size);
+    printf("\n--- Adults database (QID size %zu) ---\n", qid_size);
+    PrintRowHeader();
+    for (int64_t k : ks) {
+      AnonymizationConfig config;
+      config.k = k;
+      for (Algorithm algorithm :
+           {Algorithm::kBinarySearch, Algorithm::kBottomUpRollup,
+            Algorithm::kBasicIncognito, Algorithm::kSuperRootsIncognito}) {
+        RunResult r = RunAlgorithm(algorithm, adults->table, qid, config);
+        if (r.ok) PrintRow("adults", k, qid_size, algorithm, r);
+      }
+    }
+  }
+
+  Result<SyntheticDataset> landsend = MakeLandsEndDataset(landsend_opts);
+  if (!landsend.ok()) {
+    fprintf(stderr, "landsend generation failed\n");
+    return 1;
+  }
+  {
+    size_t bs_qid = quick ? 4 : 6;
+    size_t inc_qid = quick ? 5 : 8;
+    printf("\n--- Lands End database (staggered QID: Binary Search %zu, "
+           "Incognito %zu) ---\n",
+           bs_qid, inc_qid);
+    PrintRowHeader();
+    for (int64_t k : ks) {
+      AnonymizationConfig config;
+      config.k = k;
+      RunResult bs = RunAlgorithm(Algorithm::kBinarySearch, landsend->table,
+                                  landsend->qid.Prefix(bs_qid), config);
+      if (bs.ok) PrintRow("landsend", k, bs_qid, Algorithm::kBinarySearch, bs);
+      for (Algorithm algorithm :
+           {Algorithm::kBasicIncognito, Algorithm::kSuperRootsIncognito}) {
+        RunResult r = RunAlgorithm(algorithm, landsend->table,
+                                   landsend->qid.Prefix(inc_qid), config);
+        if (r.ok) PrintRow("landsend", k, inc_qid, algorithm, r);
+      }
+    }
+  }
+  return 0;
+}

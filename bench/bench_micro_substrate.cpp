@@ -1,0 +1,221 @@
+// Google-benchmark microbenchmarks for the substrate operations every
+// search algorithm is built from: dictionary-encoded group-by scans,
+// rollup aggregation, cube projection, lattice enumeration, candidate
+// graph generation, and the Apriori hash tree. These quantify the
+// constants behind the figure-level benches (e.g. why a rollup is ~10-100x
+// cheaper than a rescan — the heart of the paper's Rollup Property
+// optimization).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/matrix_checker.h"
+#include "data/adults.h"
+#include "freq/cube.h"
+#include "freq/frequency_set.h"
+#include "freq/key_codec.h"
+#include "lattice/candidate_gen.h"
+#include "lattice/hash_tree.h"
+#include "lattice/lattice.h"
+
+namespace incognito {
+namespace {
+
+/// Shared 10k-row Adults dataset (generated once).
+const SyntheticDataset& SharedAdults() {
+  static const SyntheticDataset* dataset = [] {
+    AdultsOptions opts;
+    opts.num_rows = 10000;
+    Result<SyntheticDataset> ds = MakeAdultsDataset(opts);
+    return new SyntheticDataset(std::move(ds).value());
+  }();
+  return *dataset;
+}
+
+SubsetNode ZeroNode(size_t num_dims) {
+  std::vector<int32_t> dims(num_dims), levels(num_dims, 0);
+  for (size_t i = 0; i < num_dims; ++i) dims[i] = static_cast<int32_t>(i);
+  return SubsetNode(dims, levels);
+}
+
+// ---------------------------------------------------------------------------
+// Frequency set computation: one GROUP BY scan of T (the paper's unit of
+// I/O cost), varying the number of grouped attributes.
+// ---------------------------------------------------------------------------
+void BM_GroupByScan(benchmark::State& state) {
+  const SyntheticDataset& ds = SharedAdults();
+  SubsetNode node = ZeroNode(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    FrequencySet fs = FrequencySet::Compute(ds.table, ds.qid, node);
+    benchmark::DoNotOptimize(fs.NumGroups());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.table.num_rows()));
+}
+BENCHMARK(BM_GroupByScan)->Arg(1)->Arg(3)->Arg(6)->Arg(9);
+
+// ---------------------------------------------------------------------------
+// Rollup vs rescan: producing the frequency set one level up from an
+// existing frequency set instead of scanning the table.
+// ---------------------------------------------------------------------------
+void BM_RollupOneLevel(benchmark::State& state) {
+  const SyntheticDataset& ds = SharedAdults();
+  size_t n = static_cast<size_t>(state.range(0));
+  SubsetNode base = ZeroNode(n);
+  FrequencySet fs = FrequencySet::Compute(ds.table, ds.qid, base);
+  SubsetNode up = base;
+  up.levels[0] = 1;  // raise Age one level
+  for (auto _ : state) {
+    FrequencySet rolled = fs.RollupTo(up, ds.qid);
+    benchmark::DoNotOptimize(rolled.NumGroups());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fs.NumGroups()));
+}
+BENCHMARK(BM_RollupOneLevel)->Arg(3)->Arg(6)->Arg(9);
+
+// ---------------------------------------------------------------------------
+// Cube projection: aggregating away one attribute (data-cube style).
+// ---------------------------------------------------------------------------
+void BM_CubeProjection(benchmark::State& state) {
+  const SyntheticDataset& ds = SharedAdults();
+  size_t n = static_cast<size_t>(state.range(0));
+  FrequencySet fs = FrequencySet::Compute(ds.table, ds.qid, ZeroNode(n));
+  SubsetNode target = ZeroNode(n - 1);
+  for (auto _ : state) {
+    FrequencySet projected = fs.ProjectTo(target, ds.qid);
+    benchmark::DoNotOptimize(projected.NumGroups());
+  }
+}
+BENCHMARK(BM_CubeProjection)->Arg(4)->Arg(9);
+
+// ---------------------------------------------------------------------------
+// Full zero-generalization cube build (Cube Incognito's pre-computation).
+// ---------------------------------------------------------------------------
+void BM_CubeBuild(benchmark::State& state) {
+  const SyntheticDataset& ds = SharedAdults();
+  QuasiIdentifier qid = ds.qid.Prefix(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ZeroGenCube cube = ZeroGenCube::Build(ds.table, qid);
+    benchmark::DoNotOptimize(cube.num_subsets());
+  }
+}
+BENCHMARK(BM_CubeBuild)->Arg(3)->Arg(5)->Arg(7);
+
+// ---------------------------------------------------------------------------
+// Lattice enumeration and candidate graph generation.
+// ---------------------------------------------------------------------------
+void BM_LatticeEnumeration(benchmark::State& state) {
+  const SyntheticDataset& ds = SharedAdults();
+  GeneralizationLattice lattice(
+      ds.qid.Prefix(static_cast<size_t>(state.range(0))).MaxLevels());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lattice.AllNodesByHeight().size());
+  }
+}
+BENCHMARK(BM_LatticeEnumeration)->Arg(5)->Arg(9);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  // Two GraphGeneration steps from complete single-attribute chains.
+  const SyntheticDataset& ds = SharedAdults();
+  QuasiIdentifier qid = ds.qid.Prefix(static_cast<size_t>(state.range(0)));
+  CandidateGraph c1 = MakeSingleAttributeGraph(qid);
+  for (auto _ : state) {
+    CandidateGraph c2 = GenerateNextGraph(c1);
+    CandidateGraph c3 = GenerateNextGraph(c2);
+    benchmark::DoNotOptimize(c3.num_nodes());
+  }
+}
+BENCHMARK(BM_CandidateGeneration)->Arg(4)->Arg(6);
+
+// ---------------------------------------------------------------------------
+// Apriori hash tree (prune-phase membership tests).
+// ---------------------------------------------------------------------------
+void BM_HashTreeInsertContains(benchmark::State& state) {
+  Rng rng(42);
+  std::vector<std::vector<DimIndexPair>> keys;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<DimIndexPair> key;
+    for (int32_t d = 0; d < 4; ++d) {
+      key.push_back({d, static_cast<int32_t>(rng.Uniform(5))});
+    }
+    keys.push_back(std::move(key));
+  }
+  for (auto _ : state) {
+    SubsetHashTree tree;
+    for (const auto& k : keys) tree.Insert(k);
+    size_t hits = 0;
+    for (const auto& k : keys) hits += tree.Contains(k) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()) * 2);
+}
+BENCHMARK(BM_HashTreeInsertContains);
+
+// ---------------------------------------------------------------------------
+// Key codec packing (the frequency-set hot path).
+// ---------------------------------------------------------------------------
+void BM_KeyCodecPack(benchmark::State& state) {
+  KeyCodec codec = KeyCodec::Create({74, 2, 5, 7, 16, 41, 7, 14, 2});
+  int32_t codes[9] = {42, 1, 3, 5, 11, 17, 2, 9, 0};
+  for (auto _ : state) {
+    uint64_t key = codec.Pack(codes);
+    benchmark::DoNotOptimize(key);
+    int32_t out[9];
+    codec.Unpack(key, out);
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+BENCHMARK(BM_KeyCodecPack);
+
+// ---------------------------------------------------------------------------
+// The paper's footnote 2: Samarati's distance-vector matrix vs the GROUP BY
+// frequency set, as the per-check primitive. The matrix is quadratic to
+// build; the scan is linear — this bench quantifies why the paper (and we)
+// check k-anonymity with GROUP BY queries.
+// ---------------------------------------------------------------------------
+void BM_DistanceMatrixBuild(benchmark::State& state) {
+  AdultsOptions opts;
+  opts.num_rows = static_cast<size_t>(state.range(0));
+  const SyntheticDataset ds = std::move(MakeAdultsDataset(opts)).value();
+  QuasiIdentifier qid = ds.qid.Prefix(3);
+  for (auto _ : state) {
+    Result<DistanceVectorMatrix> matrix =
+        DistanceVectorMatrix::Build(ds.table, qid);
+    benchmark::DoNotOptimize(matrix.ok());
+  }
+}
+BENCHMARK(BM_DistanceMatrixBuild)->Arg(500)->Arg(2000);
+
+void BM_GroupByCheckSameInput(benchmark::State& state) {
+  AdultsOptions opts;
+  opts.num_rows = static_cast<size_t>(state.range(0));
+  const SyntheticDataset ds = std::move(MakeAdultsDataset(opts)).value();
+  QuasiIdentifier qid = ds.qid.Prefix(3);
+  SubsetNode node = ZeroNode(3);
+  for (auto _ : state) {
+    FrequencySet fs = FrequencySet::Compute(ds.table, qid, node);
+    benchmark::DoNotOptimize(fs.IsKAnonymous(2));
+  }
+}
+BENCHMARK(BM_GroupByCheckSameInput)->Arg(500)->Arg(2000);
+
+// ---------------------------------------------------------------------------
+// Table ingest (dictionary encoding).
+// ---------------------------------------------------------------------------
+void BM_DatasetGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    AdultsOptions opts;
+    opts.num_rows = 5000;
+    Result<SyntheticDataset> ds = MakeAdultsDataset(opts);
+    benchmark::DoNotOptimize(ds->table.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_DatasetGeneration);
+
+}  // namespace
+}  // namespace incognito
+
+BENCHMARK_MAIN();

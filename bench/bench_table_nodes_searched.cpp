@@ -1,0 +1,59 @@
+// Reproduces the in-text table of paper §4.2.1: the number of lattice
+// nodes searched by exhaustive Bottom-Up vs Incognito on the Adults
+// database at k=2, as the quasi-identifier grows from 3 to 9 attributes.
+//
+// "Searched" counts the nodes whose frequency set was actually evaluated.
+// Expected shape: equal at QID 3, then Incognito searches strictly fewer,
+// with the gap widening (paper: 12818 vs 4307 at QID 9).
+//
+// Flags: --rows=N (default 45222) --k=N (default 2) --max_qid=N (default 9)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/adults.h"
+
+using namespace incognito;
+using namespace incognito::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  AdultsOptions opts;
+  opts.num_rows = static_cast<size_t>(flags.GetInt("rows", 45222));
+  AnonymizationConfig config;
+  config.k = flags.GetInt("k", 2);
+  size_t max_qid = static_cast<size_t>(flags.GetInt("max_qid", 9));
+
+  Result<SyntheticDataset> adults = MakeAdultsDataset(opts);
+  if (!adults.ok()) {
+    fprintf(stderr, "adults generation failed\n");
+    return 1;
+  }
+
+  printf("=== Section 4.2.1 table: nodes searched, Adults, k=%lld ===\n",
+         static_cast<long long>(config.k));
+  printf("%8s %12s %12s %14s\n", "QID size", "Bottom-Up", "Incognito",
+         "lattice size");
+  for (size_t qid_size = 3; qid_size <= max_qid; ++qid_size) {
+    QuasiIdentifier qid = adults->qid.Prefix(qid_size);
+    RunResult bottom_up = RunAlgorithm(Algorithm::kBottomUpNoRollup,
+                                       adults->table, qid, config);
+    RunResult incognito = RunAlgorithm(Algorithm::kBasicIncognito,
+                                       adults->table, qid, config);
+    if (!bottom_up.ok || !incognito.ok) {
+      fprintf(stderr, "run failed at qid=%zu\n", qid_size);
+      continue;
+    }
+    printf("%8zu %12lld %12lld %14llu\n", qid_size,
+           static_cast<long long>(bottom_up.stats.nodes_checked),
+           static_cast<long long>(incognito.stats.nodes_checked),
+           static_cast<unsigned long long>(qid.LatticeSize()));
+    fflush(stdout);
+  }
+  printf(
+      "\nPaper's measurements (k=2): QID 3: 14 vs 14; 4: 47 vs 35; 5: 206 "
+      "vs 103;\n6: 680 vs 246; 7: 2088 vs 664; 8: 6366 vs 1778; 9: 12818 vs "
+      "4307.\nThe shape to reproduce: equal or near-equal at QID 3, then "
+      "Incognito\nsearches a strictly and increasingly smaller set.\n");
+  return 0;
+}

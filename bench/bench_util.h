@@ -1,0 +1,169 @@
+#ifndef INCOGNITO_BENCH_BENCH_UTIL_H_
+#define INCOGNITO_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/binary_search.h"
+#include "core/bottom_up.h"
+#include "core/checker.h"
+#include "core/incognito.h"
+
+namespace incognito {
+namespace bench {
+
+/// Minimal --name=value flag parser shared by the bench binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg.substr(2)] = "true";
+      } else {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    auto it = kv_.find(name);
+    return it == kv_.end() ? def : atoll(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& name, bool def) const {
+    auto it = kv_.find(name);
+    return it == kv_.end() ? def : it->second != "false" && it->second != "0";
+  }
+
+  std::string GetString(const std::string& name, std::string def) const {
+    auto it = kv_.find(name);
+    return it == kv_.end() ? def : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// The six algorithms of the paper's Fig. 10 comparison.
+enum class Algorithm {
+  kBottomUpNoRollup,
+  kBinarySearch,
+  kBottomUpRollup,
+  kBasicIncognito,
+  kCubeIncognito,
+  kSuperRootsIncognito,
+};
+
+inline const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBottomUpNoRollup:
+      return "Bottom-Up (w/o rollup)";
+    case Algorithm::kBinarySearch:
+      return "Binary Search";
+    case Algorithm::kBottomUpRollup:
+      return "Bottom-Up (w/ rollup)";
+    case Algorithm::kBasicIncognito:
+      return "Basic Incognito";
+    case Algorithm::kCubeIncognito:
+      return "Cube Incognito";
+    case Algorithm::kSuperRootsIncognito:
+      return "Super-roots Incognito";
+  }
+  return "?";
+}
+
+inline const std::vector<Algorithm>& AllAlgorithms() {
+  static const std::vector<Algorithm> kAll = {
+      Algorithm::kBottomUpNoRollup,  Algorithm::kBinarySearch,
+      Algorithm::kBottomUpRollup,    Algorithm::kBasicIncognito,
+      Algorithm::kCubeIncognito,     Algorithm::kSuperRootsIncognito,
+  };
+  return kAll;
+}
+
+/// One benchmark measurement.
+struct RunResult {
+  double seconds = 0;
+  AlgorithmStats stats;
+  size_t solutions = 0;  ///< k-anonymous generalizations found (1 for BS)
+  bool ok = false;
+};
+
+/// Runs one algorithm on (table, qid, config) and reports wall-clock and
+/// the algorithm's counters.
+inline RunResult RunAlgorithm(Algorithm algorithm, const Table& table,
+                              const QuasiIdentifier& qid,
+                              const AnonymizationConfig& config) {
+  RunResult out;
+  Stopwatch timer;
+  switch (algorithm) {
+    case Algorithm::kBottomUpNoRollup:
+    case Algorithm::kBottomUpRollup: {
+      BottomUpOptions opts;
+      opts.use_rollup = algorithm == Algorithm::kBottomUpRollup;
+      Result<BottomUpResult> r = RunBottomUpBfs(table, qid, config, opts);
+      if (!r.ok()) return out;
+      out.stats = r->stats;
+      out.solutions = r->anonymous_nodes.size();
+      break;
+    }
+    case Algorithm::kBinarySearch: {
+      Result<BinarySearchResult> r =
+          RunSamaratiBinarySearch(table, qid, config);
+      if (!r.ok()) return out;
+      out.stats = r->stats;
+      out.solutions = r->found ? 1 : 0;
+      break;
+    }
+    case Algorithm::kBasicIncognito:
+    case Algorithm::kCubeIncognito:
+    case Algorithm::kSuperRootsIncognito: {
+      IncognitoOptions opts;
+      opts.variant = algorithm == Algorithm::kCubeIncognito
+                         ? IncognitoVariant::kCube
+                     : algorithm == Algorithm::kSuperRootsIncognito
+                         ? IncognitoVariant::kSuperRoots
+                         : IncognitoVariant::kBasic;
+      Result<IncognitoResult> r = RunIncognito(table, qid, config, opts);
+      if (!r.ok()) return out;
+      out.stats = r->stats;
+      out.solutions = r->anonymous_nodes.size();
+      break;
+    }
+  }
+  out.seconds = timer.ElapsedSeconds();
+  out.ok = true;
+  return out;
+}
+
+/// Prints a standard measurement row (shared layout across the figure
+/// benches so the series are easy to diff against the paper's plots).
+inline void PrintRowHeader() {
+  printf("%-10s %3s %4s %-24s %10s %9s %8s %8s %10s\n", "database", "k",
+         "qid", "algorithm", "seconds", "checked", "scans", "rollups",
+         "solutions");
+}
+
+inline void PrintRow(const char* database, int64_t k, size_t qid_size,
+                     Algorithm algorithm, const RunResult& r) {
+  printf("%-10s %3lld %4zu %-24s %10.3f %9lld %8lld %8lld %10zu\n", database,
+         static_cast<long long>(k), qid_size, AlgorithmName(algorithm),
+         r.seconds, static_cast<long long>(r.stats.nodes_checked),
+         static_cast<long long>(r.stats.table_scans),
+         static_cast<long long>(r.stats.rollups), r.solutions);
+  fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace incognito
+
+#endif  // INCOGNITO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,27 @@
+# Benchmark binaries. Included from the top-level CMakeLists (instead of
+# add_subdirectory) so that build/bench/ contains only the executables and
+# `for b in build/bench/*; do $b; done` runs cleanly.
+set(INCOGNITO_BENCHES
+  bench_fig9_datasets
+  bench_fig10_qid_sweep
+  bench_table_nodes_searched
+  bench_fig11_k_sweep
+  bench_fig12_cube_breakdown
+  bench_ablation_optimizations
+  bench_models_taxonomy
+  bench_ext_ldiversity
+  bench_ext_koptimize
+)
+
+foreach(bench_name IN LISTS INCOGNITO_BENCHES)
+  add_executable(${bench_name} ${CMAKE_SOURCE_DIR}/bench/${bench_name}.cpp)
+  target_link_libraries(${bench_name} PRIVATE incognito)
+  target_include_directories(${bench_name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${bench_name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()
+
+add_executable(bench_micro_substrate ${CMAKE_SOURCE_DIR}/bench/bench_micro_substrate.cpp)
+target_link_libraries(bench_micro_substrate PRIVATE incognito benchmark::benchmark)
+set_target_properties(bench_micro_substrate PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,98 @@
+// Census release pipeline on the synthetic Adults database (paper Fig. 9):
+// enumerates the k-anonymous generalizations of an Age/Gender/Race/
+// Marital-status quasi-identifier, compares candidate releases with
+// information-loss metrics, and applies a user-defined (weighted)
+// minimality criterion — the flexibility §2.1 motivates.
+//
+// Usage:  ./build/examples/adults_census [num_rows] [k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/incognito.h"
+#include "core/minimality.h"
+#include "core/recoder.h"
+#include "data/adults.h"
+#include "metrics/metrics.h"
+#include "metrics/query_error.h"
+
+using namespace incognito;
+
+int main(int argc, char** argv) {
+  AdultsOptions options;
+  options.num_rows = argc > 1 ? static_cast<size_t>(atoll(argv[1])) : 45222;
+  AnonymizationConfig config;
+  config.k = argc > 2 ? atoll(argv[2]) : 10;
+
+  printf("Generating synthetic Adults database (%zu rows, seed %llu)...\n",
+         options.num_rows, static_cast<unsigned long long>(options.seed));
+  Result<SyntheticDataset> dataset = MakeAdultsDataset(options);
+  if (!dataset.ok()) {
+    fprintf(stderr, "generation failed: %s\n",
+            dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // A 4-attribute quasi-identifier: Age, Gender, Race, Marital-status.
+  QuasiIdentifier qid = dataset->qid.Prefix(4);
+  printf("Quasi-identifier: Age, Gender, Race, Marital-status "
+         "(lattice of %llu generalizations)\n\n",
+         static_cast<unsigned long long>(qid.LatticeSize()));
+
+  Result<IncognitoResult> result =
+      RunIncognito(dataset->table, qid, config,
+                   {.variant = IncognitoVariant::kSuperRoots});
+  if (!result.ok()) {
+    fprintf(stderr, "incognito failed: %s\n",
+            result.status().ToString().c_str());
+    return 1;
+  }
+  printf("Incognito found %zu %lld-anonymous generalizations in %.3fs "
+         "(%s)\n\n",
+         result->anonymous_nodes.size(), static_cast<long long>(config.k),
+         result->stats.total_seconds, result->stats.ToString().c_str());
+
+  // Compare the lattice-minimal candidates on quality metrics, including
+  // accuracy on a random COUNT-range-query workload (Q-err).
+  std::vector<SubsetNode> pareto = ParetoMinimal(result->anonymous_nodes);
+  printf("%-40s %7s %9s %10s %8s %8s %8s\n", "lattice-minimal candidate",
+         "height", "classes", "avg class", "Prec", "LM", "Q-med");
+  for (const SubsetNode& node : pareto) {
+    Result<QualityReport> q =
+        EvaluateFullDomain(dataset->table, qid, node, config);
+    if (!q.ok()) continue;
+    QueryWorkloadOptions wopts;
+    wopts.num_queries = 100;
+    Result<QueryWorkloadReport> w =
+        EvaluateQueryWorkload(dataset->table, qid, node, config, wopts);
+    double query_error = w.ok() ? w->median_relative_error : -1;
+    printf("%-40s %7d %9lld %10.1f %8.4f %8.4f %8.4f\n",
+           node.ToString(&qid).c_str(), q->height,
+           static_cast<long long>(q->num_classes), q->avg_class_size,
+           q->precision, q->loss_metric, query_error);
+  }
+
+  // Application-specific minimality (paper §2.1): demography researchers
+  // need Age precision; weight generalizing Age 10x worse than the rest.
+  Result<std::vector<SubsetNode>> weighted = MinimalByWeight(
+      result->anonymous_nodes, {10.0, 1.0, 1.0, 1.0}, qid);
+  if (!weighted.ok() || weighted->empty()) {
+    fprintf(stderr, "no release possible\n");
+    return 1;
+  }
+  const SubsetNode& choice = weighted->front();
+  printf("\nWeighted-minimal choice (Age weighted 10x): %s\n",
+         choice.ToString(&qid).c_str());
+
+  Result<RecodeResult> view =
+      ApplyFullDomainGeneralization(dataset->table, qid, choice, config);
+  if (!view.ok()) {
+    fprintf(stderr, "recode failed: %s\n", view.status().ToString().c_str());
+    return 1;
+  }
+  printf("Released %zu rows (%lld suppressed). Sample:\n%s",
+         view->view.num_rows(),
+         static_cast<long long>(view->suppressed_tuples),
+         view->view.ToString(8).c_str());
+  return 0;
+}

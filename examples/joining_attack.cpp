@@ -1,0 +1,95 @@
+// Joining-attack demo (paper §1, Fig. 1): shows how a public voter
+// registration list re-identifies patients in "de-identified" microdata,
+// and how a k-anonymized release defeats the attack.
+//
+// Build & run:  ./build/examples/joining_attack
+
+#include <cstdio>
+#include <string>
+
+#include "core/incognito.h"
+#include "core/minimality.h"
+#include "core/recoder.h"
+#include "data/patients.h"
+
+using namespace incognito;
+
+namespace {
+
+// Joins `published` (Birthdate, Sex, Zipcode, Disease) against the voter
+// list on the quasi-identifier and reports unique matches.
+void RunAttack(const Table& voters, const Table& published,
+               const char* label) {
+  printf("--- Attack against %s ---\n", label);
+  int reidentified = 0;
+  for (size_t v = 0; v < voters.num_rows(); ++v) {
+    std::string name = voters.GetValue(v, 0).ToString();
+    int matches = 0;
+    std::string disease;
+    for (size_t p = 0; p < published.num_rows(); ++p) {
+      if (published.GetValue(p, 0).ToString() ==
+              voters.GetValue(v, 1).ToString() &&
+          published.GetValue(p, 1).ToString() ==
+              voters.GetValue(v, 2).ToString() &&
+          published.GetValue(p, 2).ToString() ==
+              voters.GetValue(v, 3).ToString()) {
+        ++matches;
+        disease = published.GetValue(p, 3).ToString();
+      }
+    }
+    if (matches == 1) {
+      printf("  %s RE-IDENTIFIED: their record is unique in the join — "
+             "disease = %s\n",
+             name.c_str(), disease.c_str());
+      ++reidentified;
+    } else if (matches > 1) {
+      printf("  %s matches %d records (ambiguous, protected)\n", name.c_str(),
+             matches);
+    }
+  }
+  if (reidentified == 0) {
+    printf("  nobody could be uniquely re-identified\n");
+  }
+  printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Result<PatientsDataset> dataset = MakePatientsDataset();
+  if (!dataset.ok()) {
+    fprintf(stderr, "setup failed: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Table voters = MakeVoterRegistrationTable();
+  printf("Public voter registration data:\n%s\n", voters.ToString().c_str());
+  printf("\"De-identified\" hospital data (names removed):\n%s\n",
+         dataset->table.ToString().c_str());
+
+  // The paper's §1 attack: joining the two tables on (Birthdate, Sex,
+  // Zipcode) exposes Andre's diagnosis.
+  RunAttack(voters, dataset->table, "raw de-identified microdata");
+
+  // Defense: publish a minimal 2-anonymous full-domain generalization.
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> result =
+      RunIncognito(dataset->table, dataset->qid, config);
+  if (!result.ok()) {
+    fprintf(stderr, "incognito failed: %s\n",
+            result.status().ToString().c_str());
+    return 1;
+  }
+  SubsetNode minimal = MinimalByHeight(result->anonymous_nodes).front();
+  Result<RecodeResult> view = ApplyFullDomainGeneralization(
+      dataset->table, dataset->qid, minimal, config);
+  if (!view.ok()) {
+    fprintf(stderr, "recode failed: %s\n", view.status().ToString().c_str());
+    return 1;
+  }
+  printf("2-anonymous release using %s:\n%s\n",
+         minimal.ToString(&dataset->qid).c_str(),
+         view->view.ToString().c_str());
+  RunAttack(voters, view->view, "the 2-anonymous release");
+  return 0;
+}

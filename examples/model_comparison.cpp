@@ -1,0 +1,149 @@
+// Taxonomy-of-models demo (paper §5): runs the eight implemented
+// k-anonymization models on the same microdata and compares the quality
+// of their releases —
+//
+//   full-domain generalization  (global recoding, hierarchy, minimal:
+//                                Incognito + height-minimality)
+//   Datafly                     (global recoding, hierarchy, greedy)
+//   full-subtree recoding       (global recoding, hierarchy, per-subtree)
+//   ordered-set partitioning    (global recoding, intervals)
+//   Mondrian multi-dimensional  (global recoding, multi-dim intervals)
+//   full-subgraph multi-dim     (global recoding, multi-dim hierarchy boxes)
+//   cell suppression            (local recoding, '*')
+//   cell generalization         (local recoding, hierarchy ancestors)
+//
+// Usage:  ./build/examples/model_comparison [num_rows] [k]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/incognito.h"
+#include "core/minimality.h"
+#include "core/recoder.h"
+#include "data/adults.h"
+#include "metrics/metrics.h"
+#include "models/cell_generalization.h"
+#include "models/cell_suppression.h"
+#include "models/datafly.h"
+#include "models/mondrian.h"
+#include "models/ordered_set.h"
+#include "models/subgraph.h"
+#include "models/subtree.h"
+
+using namespace incognito;
+
+namespace {
+
+void Report(const char* model, const Table& view,
+            const std::vector<std::string>& cols, int64_t original_rows,
+            double seconds) {
+  Result<QualityReport> q = EvaluateView(view, cols, original_rows);
+  if (!q.ok()) {
+    fprintf(stderr, "%s: metric failure: %s\n", model,
+            q.status().ToString().c_str());
+    return;
+  }
+  printf("%-28s %9lld %11.1f %14.4g %10lld %8.3fs\n", model,
+         static_cast<long long>(q->num_classes), q->avg_class_size,
+         q->discernibility, static_cast<long long>(q->suppressed), seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AdultsOptions options;
+  options.num_rows = argc > 1 ? static_cast<size_t>(atoll(argv[1])) : 10000;
+  AnonymizationConfig config;
+  config.k = argc > 2 ? atoll(argv[2]) : 5;
+
+  Result<SyntheticDataset> dataset = MakeAdultsDataset(options);
+  if (!dataset.ok()) {
+    fprintf(stderr, "generation failed: %s\n",
+            dataset.status().ToString().c_str());
+    return 1;
+  }
+  QuasiIdentifier qid = dataset->qid.Prefix(4);
+  std::vector<std::string> cols = {"Age", "Gender", "Race", "Marital-status"};
+  const int64_t rows = static_cast<int64_t>(dataset->table.num_rows());
+
+  printf("Model comparison on synthetic Adults (%lld rows, k=%lld, QID = "
+         "Age/Gender/Race/Marital-status)\n\n",
+         static_cast<long long>(rows), static_cast<long long>(config.k));
+  printf("%-28s %9s %11s %14s %10s %9s\n", "model", "classes", "avg class",
+         "discern.", "suppressed", "time");
+
+  {  // Full-domain generalization, minimal via Incognito.
+    Stopwatch timer;
+    Result<IncognitoResult> r = RunIncognito(dataset->table, qid, config);
+    if (!r.ok() || r->anonymous_nodes.empty()) {
+      fprintf(stderr, "incognito failed or found nothing\n");
+      return 1;
+    }
+    SubsetNode minimal = MinimalByHeight(r->anonymous_nodes).front();
+    Result<RecodeResult> view =
+        ApplyFullDomainGeneralization(dataset->table, qid, minimal, config);
+    if (!view.ok()) return 1;
+    Report("full-domain (Incognito)", view->view, cols, rows,
+           timer.ElapsedSeconds());
+  }
+  {
+    Stopwatch timer;
+    Result<DataflyResult> r = RunDatafly(dataset->table, qid, config);
+    if (!r.ok()) return 1;
+    Report("Datafly (greedy)", r->view, cols, rows, timer.ElapsedSeconds());
+  }
+  {
+    Stopwatch timer;
+    Result<SubtreeResult> r = RunGreedySubtree(dataset->table, qid, config);
+    if (!r.ok()) return 1;
+    Report("full-subtree (greedy)", r->view, cols, rows,
+           timer.ElapsedSeconds());
+  }
+  {
+    Stopwatch timer;
+    Result<OrderedSetResult> r =
+        RunOrderedSetPartition(dataset->table, qid, config);
+    if (!r.ok()) return 1;
+    Report("ordered-set partitioning", r->view, cols, rows,
+           timer.ElapsedSeconds());
+  }
+  {
+    Stopwatch timer;
+    Result<MondrianResult> r = RunMondrian(dataset->table, qid, config);
+    if (!r.ok()) return 1;
+    Report("Mondrian multi-dimensional", r->view, cols, rows,
+           timer.ElapsedSeconds());
+  }
+  {
+    Stopwatch timer;
+    Result<SubgraphResult> r = RunGreedySubgraph(dataset->table, qid, config);
+    if (!r.ok()) return 1;
+    Report("full-subgraph multi-dim", r->view, cols, rows,
+           timer.ElapsedSeconds());
+  }
+  {
+    Stopwatch timer;
+    Result<CellSuppressionResult> r =
+        RunCellSuppression(dataset->table, qid, config);
+    if (!r.ok()) return 1;
+    Report("cell suppression (local)", r->view, cols, rows,
+           timer.ElapsedSeconds());
+  }
+  {
+    Stopwatch timer;
+    Result<CellGeneralizationResult> r =
+        RunCellGeneralization(dataset->table, qid, config);
+    if (!r.ok()) return 1;
+    Report("cell generalization (local)", r->view, cols, rows,
+           timer.ElapsedSeconds());
+  }
+
+  printf(
+      "\nLower discernibility / smaller average class = better utility.\n"
+      "Multi-dimensional and local models can beat single-dimension global\n"
+      "recoding (paper §5.1, §5.2), at the cost of a more complex release\n"
+      "format.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Substrate tour: the in-memory relational engine the anonymization
+// algorithms run on, used directly — the way the paper describes its DB2
+// implementation (§3-4): star-schema dimension tables, joins, GROUP BY
+// frequency-set queries, and binary caching of generated datasets.
+//
+// Build & run:  ./build/examples/relational_engine
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/star_schema.h"
+#include "data/patients.h"
+#include "relation/binary_io.h"
+#include "relation/csv.h"
+#include "relation/ops.h"
+
+using namespace incognito;
+
+int main() {
+  Result<PatientsDataset> dataset = MakePatientsDataset();
+  if (!dataset.ok()) {
+    fprintf(stderr, "setup failed: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const Table& patients = dataset->table;
+  printf("Patients (microdata fact table):\n%s\n",
+         patients.ToString().c_str());
+
+  // --- The paper's §1.1 frequency-set query -------------------------------
+  // SELECT COUNT(*) FROM Patients GROUP BY Sex, Zipcode
+  Result<Table> freq = GroupByCount(patients, {"Sex", "Zipcode"});
+  if (!freq.ok()) return 1;
+  printf("GROUP BY Sex, Zipcode (the paper's k-anonymity check):\n%s\n",
+         freq->ToString().c_str());
+  printf("Counts below 2 exist, so Patients is NOT 2-anonymous w.r.t. "
+         "<Sex, Zipcode>.\n\n");
+
+  // --- Star schema (paper Fig. 4) ------------------------------------------
+  Table zip_dimension = MakeDimensionTable(dataset->qid.hierarchy(2));
+  printf("Zipcode generalization dimension (paper Fig. 4):\n%s\n",
+         zip_dimension.ToString().c_str());
+
+  // Join the fact table with the dimension and aggregate at level Z1 —
+  // producing the frequency set of <Sex, Z1> relationally.
+  Result<Table> joined = HashJoin(patients, "Zipcode", zip_dimension,
+                                  "Zipcode_0");
+  if (!joined.ok()) return 1;
+  Result<Table> rolled = GroupByCount(joined.value(), {"Sex", "Zipcode_1"});
+  if (!rolled.ok()) return 1;
+  printf("Join + GROUP BY Sex, Zipcode_1 (frequency set at <S0, Z1>):\n%s\n",
+         rolled->ToString().c_str());
+
+  // --- The star-join recoder ----------------------------------------------
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<RecodeResult> view = RecodeViaStarJoin(
+      patients, dataset->qid, SubsetNode::Full({1, 1, 0}), config);
+  if (!view.ok()) {
+    fprintf(stderr, "star join recode failed: %s\n",
+            view.status().ToString().c_str());
+    return 1;
+  }
+  printf("2-anonymous view produced via dimension-table joins:\n%s\n",
+         view->view.ToString().c_str());
+
+  // --- CSV and binary round trips ------------------------------------------
+  std::string csv = ToCsvString(view->view);
+  printf("As CSV:\n%s\n", csv.c_str());
+  const char* path = "/tmp/incognito_demo_table.inct";
+  Status written = WriteTableBinary(patients, path);
+  if (!written.ok()) {
+    fprintf(stderr, "binary write failed: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  Result<Table> reloaded = ReadTableBinary(path);
+  if (!reloaded.ok()) return 1;
+  printf("Binary round trip: %zu rows reloaded from %s, identical: %s\n",
+         reloaded->num_rows(), path,
+         reloaded->MultisetEquals(patients) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace incognito {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (size_t r = 0; r < n; ++r) cdf_[r] /= total;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace incognito

@@ -1,0 +1,65 @@
+#ifndef INCOGNITO_COMMON_RANDOM_H_
+#define INCOGNITO_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace incognito {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Used everywhere randomness is
+/// needed so that all synthetic datasets and property tests are reproducible
+/// from a printed seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Samples indices 0..n-1 with Zipf-like skew (probability of rank r
+/// proportional to 1/(r+1)^s). Precomputes the CDF once; sampling is a
+/// binary search. Used by the synthetic data generators to produce the
+/// skewed value distributions real microdata exhibits.
+class ZipfSampler {
+ public:
+  /// Builds a sampler over n ranks with exponent s (s=0 is uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_COMMON_RANDOM_H_

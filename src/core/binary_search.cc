@@ -1,0 +1,84 @@
+#include "core/binary_search.h"
+
+#include "common/stopwatch.h"
+#include "freq/frequency_set.h"
+#include "lattice/lattice.h"
+
+namespace incognito {
+
+namespace {
+
+/// Checks the generalizations at one height; returns true at the first
+/// k-anonymous node found (short-circuit, as one witness suffices for the
+/// binary search step).
+bool AnyAnonymousAtHeight(const Table& table, const QuasiIdentifier& qid,
+                          const GeneralizationLattice& lattice, int32_t h,
+                          const AnonymizationConfig& config,
+                          AlgorithmStats* stats) {
+  for (const LevelVector& levels : lattice.NodesAtHeight(h)) {
+    SubsetNode node = SubsetNode::Full(levels);
+    ++stats->nodes_checked;
+    ++stats->table_scans;
+    FrequencySet fs = FrequencySet::Compute(table, qid, node);
+    stats->freq_groups_built += static_cast<int64_t>(fs.NumGroups());
+    if (fs.IsKAnonymous(config.k, config.max_suppressed)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<BinarySearchResult> RunSamaratiBinarySearch(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (qid.size() == 0) {
+    return Status::InvalidArgument("quasi-identifier must be non-empty");
+  }
+
+  Stopwatch timer;
+  BinarySearchResult result;
+  GeneralizationLattice lattice(qid.MaxLevels());
+  result.stats.candidate_nodes = static_cast<int64_t>(lattice.NumNodes());
+
+  // Binary search for the least height with a k-anonymous generalization.
+  // Invariant: every height < low has no k-anonymous node; if found_any,
+  // some node at height `high` (or below) is k-anonymous.
+  int32_t low = 0;
+  int32_t high = lattice.MaxHeight();
+  if (!AnyAnonymousAtHeight(table, qid, lattice, high, config,
+                            &result.stats)) {
+    // Even full generalization fails (table smaller than k modulo
+    // suppression): no solution exists.
+    result.found = false;
+    result.stats.total_seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  while (low < high) {
+    int32_t mid = low + (high - low) / 2;
+    if (AnyAnonymousAtHeight(table, qid, lattice, mid, config,
+                             &result.stats)) {
+      high = mid;
+    } else {
+      low = mid + 1;
+    }
+  }
+
+  // Collect all k-anonymous generalizations at the minimal height.
+  for (const LevelVector& levels : lattice.NodesAtHeight(low)) {
+    SubsetNode node = SubsetNode::Full(levels);
+    ++result.stats.nodes_checked;
+    ++result.stats.table_scans;
+    FrequencySet fs = FrequencySet::Compute(table, qid, node);
+    result.stats.freq_groups_built += static_cast<int64_t>(fs.NumGroups());
+    if (fs.IsKAnonymous(config.k, config.max_suppressed)) {
+      result.all_at_minimal_height.push_back(node);
+    }
+  }
+  result.found = true;
+  result.node = result.all_at_minimal_height.front();
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace incognito

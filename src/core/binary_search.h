@@ -1,0 +1,44 @@
+#ifndef INCOGNITO_CORE_BINARY_SEARCH_H_
+#define INCOGNITO_CORE_BINARY_SEARCH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/checker.h"
+#include "core/quasi_identifier.h"
+#include "lattice/node.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// Output of Samarati's binary search.
+struct BinarySearchResult {
+  /// True iff any full-domain generalization satisfies k-anonymity (false
+  /// only when even the fully-generalized table fails, i.e. fewer than k
+  /// tuples remain after suppression).
+  bool found = false;
+
+  /// One minimal k-anonymous generalization (minimal height, the paper's
+  /// §2.1 definition of minimality). Valid only when found.
+  SubsetNode node;
+
+  /// Every k-anonymous generalization at the minimal height.
+  std::vector<SubsetNode> all_at_minimal_height;
+
+  AlgorithmStats stats;
+};
+
+/// Samarati's algorithm (paper §2.2, [14]): binary search on the height of
+/// the full generalization lattice, using the observation that if no
+/// generalization of height h is k-anonymous then none of height h' < h is.
+/// Each probe evaluates the generalizations at one height with one
+/// GROUP BY scan per node until an anonymous one is found. Finds a single
+/// height-minimal generalization — not the complete result set Incognito
+/// produces.
+Result<BinarySearchResult> RunSamaratiBinarySearch(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_CORE_BINARY_SEARCH_H_

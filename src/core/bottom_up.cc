@@ -1,0 +1,90 @@
+#include "core/bottom_up.h"
+
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "freq/frequency_set.h"
+#include "lattice/lattice.h"
+
+namespace incognito {
+
+Result<BottomUpResult> RunBottomUpBfs(const Table& table,
+                                      const QuasiIdentifier& qid,
+                                      const AnonymizationConfig& config,
+                                      const BottomUpOptions& options) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (qid.size() == 0) {
+    return Status::InvalidArgument("quasi-identifier must be non-empty");
+  }
+
+  Stopwatch timer;
+  BottomUpResult result;
+  GeneralizationLattice lattice(qid.MaxLevels());
+  result.stats.candidate_nodes = static_cast<int64_t>(lattice.NumNodes());
+
+  // Dense marking array over the whole lattice (mixed-radix indexing).
+  std::vector<bool> marked;
+  if (options.use_generalization_marking) {
+    marked.assign(lattice.NumNodes(), false);
+  }
+
+  // Frequency sets of the previous height's nodes, for rollup.
+  std::unordered_map<uint64_t, FrequencySet> prev_freq;
+
+  for (int32_t h = 0; h <= lattice.MaxHeight(); ++h) {
+    std::unordered_map<uint64_t, FrequencySet> cur_freq;
+    for (const LevelVector& levels : lattice.NodesAtHeight(h)) {
+      uint64_t idx = lattice.Index(levels);
+
+      if (options.use_generalization_marking && marked[idx]) {
+        // Known k-anonymous via the generalization property; propagate the
+        // mark to the direct generalizations and skip the check.
+        ++result.stats.nodes_marked;
+        result.anonymous_nodes.push_back(SubsetNode::Full(levels));
+        for (const LevelVector& g : lattice.DirectGeneralizations(levels)) {
+          marked[lattice.Index(g)] = true;
+        }
+        continue;
+      }
+
+      SubsetNode node = SubsetNode::Full(levels);
+      FrequencySet freq;
+      bool rolled = false;
+      if (options.use_rollup && h > 0) {
+        for (const LevelVector& spec : lattice.DirectSpecializations(levels)) {
+          auto it = prev_freq.find(lattice.Index(spec));
+          if (it != prev_freq.end()) {
+            freq = it->second.RollupTo(node, qid);
+            ++result.stats.rollups;
+            rolled = true;
+            break;
+          }
+        }
+      }
+      if (!rolled) {
+        freq = FrequencySet::Compute(table, qid, node);
+        ++result.stats.table_scans;
+      }
+      ++result.stats.nodes_checked;
+      result.stats.freq_groups_built += static_cast<int64_t>(freq.NumGroups());
+
+      if (freq.IsKAnonymous(config.k, config.max_suppressed)) {
+        result.anonymous_nodes.push_back(node);
+        if (options.use_generalization_marking) {
+          for (const LevelVector& g : lattice.DirectGeneralizations(levels)) {
+            marked[lattice.Index(g)] = true;
+          }
+        }
+      }
+      if (options.use_rollup) {
+        cur_freq.emplace(idx, std::move(freq));
+      }
+    }
+    prev_freq = std::move(cur_freq);
+  }
+
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace incognito

@@ -1,0 +1,34 @@
+#include "core/checker.h"
+
+#include "common/strings.h"
+
+namespace incognito {
+
+void AlgorithmStats::MergeCounters(const AlgorithmStats& other) {
+  nodes_checked += other.nodes_checked;
+  nodes_marked += other.nodes_marked;
+  table_scans += other.table_scans;
+  rollups += other.rollups;
+  freq_groups_built += other.freq_groups_built;
+  candidate_nodes += other.candidate_nodes;
+}
+
+std::string AlgorithmStats::ToString() const {
+  return StringPrintf(
+      "checked=%lld marked=%lld scans=%lld rollups=%lld groups=%lld "
+      "candidates=%lld cube=%.3fs total=%.3fs",
+      static_cast<long long>(nodes_checked),
+      static_cast<long long>(nodes_marked),
+      static_cast<long long>(table_scans), static_cast<long long>(rollups),
+      static_cast<long long>(freq_groups_built),
+      static_cast<long long>(candidate_nodes), cube_build_seconds,
+      total_seconds);
+}
+
+bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
+                  const SubsetNode& node, const AnonymizationConfig& config) {
+  FrequencySet fs = FrequencySet::Compute(table, qid, node);
+  return fs.IsKAnonymous(config.k, config.max_suppressed);
+}
+
+}  // namespace incognito

@@ -1,0 +1,56 @@
+#ifndef INCOGNITO_CORE_CHECKER_H_
+#define INCOGNITO_CORE_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/quasi_identifier.h"
+#include "freq/frequency_set.h"
+#include "lattice/node.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// Parameters common to every anonymization algorithm.
+struct AnonymizationConfig {
+  /// The k of k-anonymity: every value group must contain at least k
+  /// tuples. Must be >= 1.
+  int64_t k = 2;
+
+  /// The paper's optional tuple-suppression threshold (§2.1): up to this
+  /// many outlier tuples may be excluded from the released view, so a
+  /// generalization is acceptable if at most this many tuples lie in
+  /// groups smaller than k. Zero disables suppression.
+  int64_t max_suppressed = 0;
+};
+
+/// Counters every search algorithm reports. These make the paper's
+/// qualitative claims measurable: table_scans shows what rollup and
+/// super-roots save, nodes_checked reproduces the §4.2.1 "nodes searched"
+/// table, nodes_marked quantifies generalization-property pruning.
+struct AlgorithmStats {
+  int64_t nodes_checked = 0;      ///< frequency sets evaluated for k-anonymity
+  int64_t nodes_marked = 0;       ///< checks avoided via the generalization property
+  int64_t table_scans = 0;        ///< full scans of the microdata table
+  int64_t rollups = 0;            ///< frequency sets produced by rollup
+  int64_t freq_groups_built = 0;  ///< total groups across computed frequency sets
+  int64_t candidate_nodes = 0;    ///< nodes in all candidate graphs / full lattice
+  double cube_build_seconds = 0;  ///< Cube Incognito pre-computation time
+  double total_seconds = 0;       ///< end-to-end wall clock
+
+  /// Merges counters (not timings) from another stats object.
+  void MergeCounters(const AlgorithmStats& other);
+
+  std::string ToString() const;
+};
+
+/// Directly checks whether `table` is k-anonymous with respect to the
+/// generalization `node` by computing the frequency set with one scan —
+/// the paper's SELECT COUNT(*) ... GROUP BY query. Convenience entry point
+/// and the oracle the property tests compare the algorithms against.
+bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
+                  const SubsetNode& node, const AnonymizationConfig& config);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_CORE_CHECKER_H_

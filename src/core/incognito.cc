@@ -1,0 +1,274 @@
+#include "core/incognito.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "freq/cube.h"
+#include "freq/frequency_set.h"
+#include "lattice/candidate_gen.h"
+#include "lattice/graph_tables.h"
+
+namespace incognito {
+
+const char* IncognitoVariantName(IncognitoVariant variant) {
+  switch (variant) {
+    case IncognitoVariant::kBasic:
+      return "Basic Incognito";
+    case IncognitoVariant::kSuperRoots:
+      return "Super-roots Incognito";
+    case IncognitoVariant::kCube:
+      return "Cube Incognito";
+  }
+  return "Incognito";
+}
+
+namespace {
+
+/// Runs the modified breadth-first search of paper §3.1.1 over one
+/// candidate graph, returning per-node k-anonymity outcomes. A node's
+/// frequency set comes from (in preference order) a failed direct
+/// specialization via rollup, a family super-root / the cube via rollup,
+/// or a scan of T.
+class GraphSearch {
+ public:
+  GraphSearch(const Table& table, const QuasiIdentifier& qid,
+              const AnonymizationConfig& config,
+              const IncognitoOptions& options, const ZeroGenCube* cube,
+              AlgorithmStats* stats)
+      : table_(table),
+        qid_(qid),
+        config_(config),
+        options_(options),
+        cube_(cube),
+        stats_(stats) {}
+
+  /// Returns failed[id] == true iff T was checked and found NOT
+  /// k-anonymous w.r.t. node id; every other node is k-anonymous (checked,
+  /// marked, or implied). This is exactly the deletion set for S_i.
+  std::vector<bool> Run(const CandidateGraph& graph) {
+    const size_t n = graph.num_nodes();
+    std::vector<bool> failed(n, false);
+    std::vector<bool> marked(n, false);
+    std::vector<bool> processed(n, false);
+    // Frequency sets of failed nodes, kept for their generalizations to
+    // roll up from; freed once every direct generalization is processed.
+    std::unordered_map<int64_t, FrequencySet> stored;
+    std::unordered_map<int64_t, int64_t> pending_uses;
+
+    // Super-roots: frequency sets of the greatest common specialization of
+    // each multi-root family (computed lazily, one scan per family).
+    std::map<std::vector<int32_t>, FrequencySet> family_freq;
+    std::vector<int64_t> roots = graph.Roots();
+    std::map<std::vector<int32_t>, std::vector<int64_t>> families;
+    if (options_.variant == IncognitoVariant::kSuperRoots) {
+      for (int64_t r : roots) {
+        families[graph.node(r).ToSubsetNode().dims].push_back(r);
+      }
+    }
+
+    // Queue ordered by height (paper: "keeping queue sorted by height"),
+    // with node id as tie-breaker; the set also deduplicates.
+    std::set<std::pair<int32_t, int64_t>> queue;
+    for (int64_t r : roots) {
+      queue.insert({graph.node(r).Height(), r});
+    }
+
+    auto release_parents = [&](int64_t id) {
+      for (int64_t spec : graph.InEdges(id)) {
+        auto it = pending_uses.find(spec);
+        if (it != pending_uses.end() && --it->second == 0) {
+          stored.erase(spec);
+          pending_uses.erase(it);
+        }
+      }
+    };
+
+    while (!queue.empty()) {
+      auto [height, id] = *queue.begin();
+      queue.erase(queue.begin());
+      (void)height;
+      if (processed[static_cast<size_t>(id)]) continue;
+      processed[static_cast<size_t>(id)] = true;
+      if (marked[static_cast<size_t>(id)]) {
+        release_parents(id);
+        continue;
+      }
+
+      SubsetNode node = graph.node(id).ToSubsetNode();
+      FrequencySet freq = ComputeFrequencySet(graph, id, node, families,
+                                              &family_freq, stored);
+      ++stats_->nodes_checked;
+      stats_->freq_groups_built += static_cast<int64_t>(freq.NumGroups());
+
+      if (freq.IsKAnonymous(config_.k, config_.max_suppressed)) {
+        // Generalization property: every generalization is k-anonymous.
+        MarkGeneralizations(graph, id, &marked);
+      } else {
+        failed[static_cast<size_t>(id)] = true;
+        const auto& gens = graph.OutEdges(id);
+        if (!gens.empty() && options_.use_rollup) {
+          pending_uses[id] = static_cast<int64_t>(gens.size());
+          stored.emplace(id, std::move(freq));
+        }
+        for (int64_t g : gens) {
+          queue.insert({graph.node(g).Height(), g});
+        }
+      }
+      release_parents(id);
+    }
+    return failed;
+  }
+
+ private:
+  FrequencySet ComputeFrequencySet(
+      const CandidateGraph& graph, int64_t id, const SubsetNode& node,
+      const std::map<std::vector<int32_t>, std::vector<int64_t>>& families,
+      std::map<std::vector<int32_t>, FrequencySet>* family_freq,
+      const std::unordered_map<int64_t, FrequencySet>& stored) {
+    // Preferred source: a failed direct specialization's frequency set
+    // (Rollup Property) — the cheapest, since it is already partially
+    // aggregated.
+    if (options_.use_rollup) {
+      for (int64_t spec : graph.InEdges(id)) {
+        auto it = stored.find(spec);
+        if (it != stored.end()) {
+          ++stats_->rollups;
+          return it->second.RollupTo(node, qid_);
+        }
+      }
+    }
+    // Cube Incognito: roll up from the pre-computed zero-generalization
+    // frequency set of this attribute subset instead of scanning T.
+    if (cube_ != nullptr) {
+      ++stats_->rollups;
+      return cube_->Get(node.dims).RollupTo(node, qid_);
+    }
+    // Super-roots Incognito: families with several roots share one scan
+    // via their greatest common specialization (componentwise-minimum
+    // levels; the paper's "super-root").
+    if (options_.variant == IncognitoVariant::kSuperRoots) {
+      auto fam = families.find(node.dims);
+      if (fam != families.end() && fam->second.size() > 1) {
+        auto it = family_freq->find(node.dims);
+        if (it == family_freq->end()) {
+          SubsetNode super;
+          super.dims = node.dims;
+          // The super-root is the componentwise minimum over the family's
+          // roots — their greatest common specialization, from which each
+          // root's frequency set can be produced by rollup.
+          std::vector<int32_t> min_levels(node.dims.size(), INT32_MAX);
+          for (int64_t r : fam->second) {
+            const NodeRow& row = graph.node(r);
+            for (size_t i = 0; i < row.pairs.size(); ++i) {
+              min_levels[i] = std::min(min_levels[i], row.pairs[i].index);
+            }
+          }
+          super.levels = std::move(min_levels);
+          ++stats_->table_scans;
+          FrequencySet super_freq =
+              FrequencySet::Compute(table_, qid_, super);
+          stats_->freq_groups_built +=
+              static_cast<int64_t>(super_freq.NumGroups());
+          it = family_freq->emplace(node.dims, std::move(super_freq)).first;
+        }
+        ++stats_->rollups;
+        return it->second.RollupTo(node, qid_);
+      }
+    }
+    // Fallback: scan the table (Basic Incognito roots).
+    ++stats_->table_scans;
+    return FrequencySet::Compute(table_, qid_, node);
+  }
+
+  void MarkGeneralizations(const CandidateGraph& graph, int64_t id,
+                           std::vector<bool>* marked) {
+    for (int64_t g : graph.OutEdges(id)) {
+      if (!(*marked)[static_cast<size_t>(g)]) {
+        (*marked)[static_cast<size_t>(g)] = true;
+        ++stats_->nodes_marked;
+        if (options_.mark_transitively) {
+          MarkGeneralizations(graph, g, marked);
+        }
+      }
+    }
+  }
+
+  const Table& table_;
+  const QuasiIdentifier& qid_;
+  const AnonymizationConfig& config_;
+  const IncognitoOptions& options_;
+  const ZeroGenCube* cube_;
+  AlgorithmStats* stats_;
+};
+
+}  // namespace
+
+Result<IncognitoResult> RunIncognito(const Table& table,
+                                     const QuasiIdentifier& qid,
+                                     const AnonymizationConfig& config,
+                                     const IncognitoOptions& options) {
+  if (config.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (config.max_suppressed < 0) {
+    return Status::InvalidArgument("max_suppressed must be >= 0");
+  }
+  if (qid.size() == 0) {
+    return Status::InvalidArgument("quasi-identifier must be non-empty");
+  }
+
+  Stopwatch total_timer;
+  IncognitoResult result;
+
+  // Cube Incognito pre-computes all zero-generalization frequency sets.
+  ZeroGenCube cube;
+  const ZeroGenCube* cube_ptr = nullptr;
+  if (options.variant == IncognitoVariant::kCube) {
+    Stopwatch cube_timer;
+    ZeroGenCube::BuildInfo info;
+    cube = ZeroGenCube::Build(table, qid, &info);
+    cube_ptr = &cube;
+    result.stats.cube_build_seconds = cube_timer.ElapsedSeconds();
+    result.stats.table_scans += info.table_scans;
+    result.stats.freq_groups_built += static_cast<int64_t>(info.total_groups);
+  }
+
+  GraphSearch search(table, qid, config, options, cube_ptr, &result.stats);
+
+  // C_1, E_1: the single-attribute hierarchies.
+  CandidateGraph graph = MakeSingleAttributeGraph(qid);
+  const size_t n = qid.size();
+  for (size_t i = 1; i <= n; ++i) {
+    result.stats.candidate_nodes += static_cast<int64_t>(graph.num_nodes());
+    std::vector<bool> failed = search.Run(graph);
+
+    // S_i = C_i minus the failed nodes.
+    std::vector<bool> keep(failed.size());
+    for (size_t j = 0; j < failed.size(); ++j) keep[j] = !failed[j];
+    CandidateGraph survivors = graph.InducedSubgraph(keep);
+
+    std::vector<SubsetNode> survivor_nodes;
+    survivor_nodes.reserve(survivors.num_nodes());
+    for (const NodeRow& row : survivors.nodes()) {
+      survivor_nodes.push_back(row.ToSubsetNode());
+    }
+    std::sort(survivor_nodes.begin(), survivor_nodes.end());
+    result.per_iteration_survivors.push_back(survivor_nodes);
+
+    if (i == n) {
+      result.anonymous_nodes = std::move(survivor_nodes);
+      break;
+    }
+    // C_{i+1}, E_{i+1} from S_i (join, prune, edge generation).
+    graph = GenerateNextGraph(survivors);
+  }
+
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace incognito

@@ -1,0 +1,73 @@
+#ifndef INCOGNITO_CORE_INCOGNITO_H_
+#define INCOGNITO_CORE_INCOGNITO_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/checker.h"
+#include "core/quasi_identifier.h"
+#include "lattice/node.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// The three Incognito variants evaluated in the paper.
+enum class IncognitoVariant {
+  /// Basic Incognito (paper Fig. 8): a-priori subset iteration with
+  /// bottom-up rollup inside each candidate graph; each root's frequency
+  /// set is computed with its own scan of T.
+  kBasic,
+  /// Super-roots Incognito (§3.3.1): roots of the same family share one
+  /// scan via the frequency set of their greatest common specialization.
+  kSuperRoots,
+  /// Cube Incognito (§3.3.2): all zero-generalization frequency sets are
+  /// pre-computed bottom-up (data-cube style); roots roll up from the cube
+  /// instead of scanning T.
+  kCube,
+};
+
+const char* IncognitoVariantName(IncognitoVariant variant);
+
+/// Tuning and ablation switches.
+struct IncognitoOptions {
+  IncognitoVariant variant = IncognitoVariant::kBasic;
+
+  /// When true (default), marking an anonymous node's generalizations
+  /// propagates transitively (every implied generalization is marked); when
+  /// false only direct generalizations are marked, exactly as written in
+  /// Fig. 8. Both are sound; transitive marking skips more checks.
+  bool mark_transitively = true;
+
+  /// Ablation switch: when false, non-root nodes recompute their frequency
+  /// sets from the table instead of rolling up from a specialization's
+  /// frequency set (isolates the Rollup Property's contribution).
+  bool use_rollup = true;
+};
+
+/// The output of an Incognito run.
+struct IncognitoResult {
+  /// S_n: every full-quasi-identifier generalization with respect to which
+  /// T is k-anonymous (the complete, sound result set — minimality
+  /// selection is a separate step, see minimality.h). Nodes have
+  /// dims == {0..n-1}; levels is the distance vector.
+  std::vector<SubsetNode> anonymous_nodes;
+
+  /// The surviving i-attribute subset generalizations per iteration
+  /// (S_1..S_n), useful for diagnostics and tests; index 0 holds S_1.
+  std::vector<std::vector<SubsetNode>> per_iteration_survivors;
+
+  AlgorithmStats stats;
+};
+
+/// Runs Incognito: produces the set of ALL k-anonymous full-domain
+/// generalizations of `table` with respect to `qid` (sound and complete,
+/// paper §3.2), with the optional tuple-suppression threshold from
+/// `config`.
+Result<IncognitoResult> RunIncognito(const Table& table,
+                                     const QuasiIdentifier& qid,
+                                     const AnonymizationConfig& config,
+                                     const IncognitoOptions& options = {});
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_CORE_INCOGNITO_H_

@@ -1,0 +1,53 @@
+#include "core/quasi_identifier.h"
+
+#include "hierarchy/validation.h"
+
+namespace incognito {
+
+Result<QuasiIdentifier> QuasiIdentifier::Create(
+    const Table& table,
+    std::vector<std::pair<std::string, ValueHierarchy>> attributes) {
+  QuasiIdentifier qid;
+  if (attributes.empty()) {
+    return Status::InvalidArgument("quasi-identifier must be non-empty");
+  }
+  for (auto& [name, hierarchy] : attributes) {
+    Result<size_t> col = table.schema().ColumnIndex(name);
+    if (!col.ok()) return col.status();
+    INCOGNITO_RETURN_IF_ERROR(
+        CheckMatchesDictionary(hierarchy, table.dictionary(col.value())));
+    QidAttribute attr;
+    attr.column = col.value();
+    attr.name = name;
+    attr.hierarchy = std::move(hierarchy);
+    qid.attrs_.push_back(std::move(attr));
+  }
+  return qid;
+}
+
+QuasiIdentifier QuasiIdentifier::Prefix(size_t n) const {
+  QuasiIdentifier out;
+  out.attrs_.assign(attrs_.begin(),
+                    attrs_.begin() + static_cast<ptrdiff_t>(
+                                         std::min(n, attrs_.size())));
+  return out;
+}
+
+std::vector<int32_t> QuasiIdentifier::MaxLevels() const {
+  std::vector<int32_t> out;
+  out.reserve(attrs_.size());
+  for (const QidAttribute& a : attrs_) {
+    out.push_back(static_cast<int32_t>(a.hierarchy.height()));
+  }
+  return out;
+}
+
+uint64_t QuasiIdentifier::LatticeSize() const {
+  uint64_t n = 1;
+  for (const QidAttribute& a : attrs_) {
+    n *= static_cast<uint64_t>(a.hierarchy.height() + 1);
+  }
+  return n;
+}
+
+}  // namespace incognito

@@ -1,0 +1,115 @@
+#include "core/recoder.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "freq/frequency_set.h"
+#include "freq/key_codec.h"
+
+namespace incognito {
+
+Result<RecodeResult> ApplyFullDomainGeneralization(
+    const Table& table, const QuasiIdentifier& qid, const SubsetNode& node,
+    const AnonymizationConfig& config) {
+  if (node.size() != qid.size()) {
+    return Status::InvalidArgument(
+        "node must generalize the full quasi-identifier");
+  }
+  for (size_t i = 0; i < node.size(); ++i) {
+    if (node.dims[i] != static_cast<int32_t>(i)) {
+      return Status::InvalidArgument(
+          "node dims must be 0..n-1 over the full quasi-identifier");
+    }
+    if (node.levels[i] < 0 ||
+        static_cast<size_t>(node.levels[i]) > qid.hierarchy(i).height()) {
+      return Status::OutOfRange(StringPrintf(
+          "level %d out of range for attribute '%s'", node.levels[i],
+          qid.name(i).c_str()));
+    }
+  }
+
+  // Identify the tuples to suppress: members of groups smaller than k.
+  FrequencySet freq = FrequencySet::Compute(table, qid, node);
+  int64_t to_suppress = freq.TuplesBelowK(config.k);
+  if (to_suppress > config.max_suppressed) {
+    return Status::FailedPrecondition(StringPrintf(
+        "generalization %s is not %lld-anonymous: %lld tuples lie in "
+        "undersized groups but the suppression budget is %lld",
+        node.ToString(&qid).c_str(), static_cast<long long>(config.k),
+        static_cast<long long>(to_suppress),
+        static_cast<long long>(config.max_suppressed)));
+  }
+
+  // Collect the undersized group keys for the suppression pass.
+  const size_t n = qid.size();
+  std::vector<size_t> cards(n);
+  for (size_t i = 0; i < n; ++i) {
+    cards[i] =
+        qid.hierarchy(i).DomainSize(static_cast<size_t>(node.levels[i]));
+  }
+  KeyCodec codec = KeyCodec::Create(cards);
+  // The packed fast path is used for membership tests; with >64-bit keys we
+  // fall back to a string-keyed set.
+  std::unordered_set<uint64_t> small_packed;
+  std::unordered_set<std::string> small_str;
+  auto group_string = [n](const int32_t* codes) {
+    std::string s;
+    for (size_t i = 0; i < n; ++i) {
+      s += StringPrintf("%d,", codes[i]);
+    }
+    return s;
+  };
+  freq.ForEachGroup([&](const int32_t* codes, int64_t count) {
+    if (count < config.k) {
+      if (codec.packed()) {
+        small_packed.insert(codec.Pack(codes));
+      } else {
+        small_str.insert(group_string(codes));
+      }
+    }
+  });
+
+  // Output schema: QID columns generalized above level 0 become strings.
+  std::vector<ColumnSpec> specs(table.schema().columns());
+  for (size_t i = 0; i < n; ++i) {
+    if (node.levels[i] > 0) specs[qid.column(i)].type = DataType::kString;
+  }
+  RecodeResult result;
+  result.view = Table{Schema(std::move(specs))};
+
+  // Per-attribute base→level maps for the generalization pass.
+  std::vector<const int32_t*> maps(n);
+  std::vector<const int32_t*> cols(n);
+  for (size_t i = 0; i < n; ++i) {
+    maps[i] = qid.hierarchy(i)
+                  .BaseToLevelMap(static_cast<size_t>(node.levels[i]))
+                  .data();
+    cols[i] = table.ColumnCodes(qid.column(i)).data();
+  }
+
+  std::vector<Value> row(table.num_columns());
+  std::vector<int32_t> gen_codes(n);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < n; ++i) gen_codes[i] = maps[i][cols[i][r]];
+    bool suppress =
+        codec.packed()
+            ? small_packed.count(codec.Pack(gen_codes.data())) > 0
+            : small_str.count(group_string(gen_codes.data())) > 0;
+    if (suppress) {
+      ++result.suppressed_tuples;
+      continue;
+    }
+    for (size_t c = 0; c < table.num_columns(); ++c) row[c] = table.GetValue(r, c);
+    for (size_t i = 0; i < n; ++i) {
+      size_t level = static_cast<size_t>(node.levels[i]);
+      if (level > 0) {
+        row[qid.column(i)] =
+            Value(qid.hierarchy(i).LevelValue(level, gen_codes[i]).ToString());
+      }
+    }
+    INCOGNITO_RETURN_IF_ERROR(result.view.AppendRow(row));
+  }
+  return result;
+}
+
+}  // namespace incognito

@@ -1,0 +1,326 @@
+#include "data/adults.h"
+
+#include <array>
+#include <cassert>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "hierarchy/builders.h"
+
+namespace incognito {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value pools (the UCI Adults categorical domains, matching the distinct
+// counts in paper Fig. 9) and their taxonomy-tree groupings.
+// ---------------------------------------------------------------------------
+
+struct Categorical {
+  const char* value;
+  const char* level1;  // taxonomy group (nullptr for suppression attrs)
+  double weight;       // sampling weight (relative)
+};
+
+constexpr std::array kGender = {
+    Categorical{"Male", nullptr, 0.67},
+    Categorical{"Female", nullptr, 0.33},
+};
+
+constexpr std::array kRace = {
+    Categorical{"White", nullptr, 0.855},
+    Categorical{"Black", nullptr, 0.093},
+    Categorical{"Asian-Pac-Islander", nullptr, 0.031},
+    Categorical{"Amer-Indian-Eskimo", nullptr, 0.010},
+    Categorical{"Other", nullptr, 0.011},
+};
+
+constexpr std::array kMarital = {
+    Categorical{"Married-civ-spouse", "Married", 0.46},
+    Categorical{"Never-married", "Never-married", 0.33},
+    Categorical{"Divorced", "Was-married", 0.14},
+    Categorical{"Separated", "Was-married", 0.031},
+    Categorical{"Widowed", "Was-married", 0.030},
+    Categorical{"Married-spouse-absent", "Married", 0.013},
+    Categorical{"Married-AF-spouse", "Married", 0.001},
+};
+
+constexpr std::array kEducation = {
+    Categorical{"HS-grad", "Secondary", 0.323},
+    Categorical{"Some-college", "Some-college", 0.223},
+    Categorical{"Bachelors", "Higher", 0.164},
+    Categorical{"Masters", "Higher", 0.054},
+    Categorical{"Assoc-voc", "Assoc", 0.042},
+    Categorical{"11th", "Secondary", 0.036},
+    Categorical{"Assoc-acdm", "Assoc", 0.033},
+    Categorical{"10th", "Secondary", 0.028},
+    Categorical{"7th-8th", "Primary", 0.019},
+    Categorical{"Prof-school", "Higher", 0.018},
+    Categorical{"9th", "Secondary", 0.015},
+    Categorical{"12th", "Secondary", 0.013},
+    Categorical{"Doctorate", "Higher", 0.012},
+    Categorical{"5th-6th", "Primary", 0.010},
+    Categorical{"1st-4th", "Primary", 0.005},
+    Categorical{"Preschool", "Primary", 0.002},
+};
+
+constexpr std::array kCountry = {
+    Categorical{"United-States", "North-America", 0.897},
+    Categorical{"Mexico", "Latin-America", 0.020},
+    Categorical{"Philippines", "Asia", 0.0061},
+    Categorical{"Germany", "Europe", 0.0042},
+    Categorical{"Puerto-Rico", "Latin-America", 0.0038},
+    Categorical{"Canada", "North-America", 0.0037},
+    Categorical{"India", "Asia", 0.0031},
+    Categorical{"El-Salvador", "Latin-America", 0.0031},
+    Categorical{"Cuba", "Latin-America", 0.0029},
+    Categorical{"England", "Europe", 0.0026},
+    Categorical{"Jamaica", "Latin-America", 0.0025},
+    Categorical{"South", "Asia", 0.0023},
+    Categorical{"China", "Asia", 0.0023},
+    Categorical{"Italy", "Europe", 0.0021},
+    Categorical{"Dominican-Republic", "Latin-America", 0.0021},
+    Categorical{"Vietnam", "Asia", 0.0020},
+    Categorical{"Guatemala", "Latin-America", 0.0019},
+    Categorical{"Japan", "Asia", 0.0018},
+    Categorical{"Poland", "Europe", 0.0017},
+    Categorical{"Columbia", "Latin-America", 0.0017},
+    Categorical{"Taiwan", "Asia", 0.0013},
+    Categorical{"Haiti", "Latin-America", 0.0013},
+    Categorical{"Iran", "Asia", 0.0013},
+    Categorical{"Portugal", "Europe", 0.0011},
+    Categorical{"Nicaragua", "Latin-America", 0.0010},
+    Categorical{"Peru", "Latin-America", 0.0009},
+    Categorical{"Greece", "Europe", 0.0009},
+    Categorical{"France", "Europe", 0.0008},
+    Categorical{"Ecuador", "Latin-America", 0.0008},
+    Categorical{"Ireland", "Europe", 0.0008},
+    Categorical{"Hong", "Asia", 0.0006},
+    Categorical{"Cambodia", "Asia", 0.0006},
+    Categorical{"Trinadad&Tobago", "Latin-America", 0.0006},
+    Categorical{"Thailand", "Asia", 0.0005},
+    Categorical{"Laos", "Asia", 0.0005},
+    Categorical{"Yugoslavia", "Europe", 0.0005},
+    Categorical{"Outlying-US(Guam-USVI-etc)", "Latin-America", 0.0004},
+    Categorical{"Hungary", "Europe", 0.0004},
+    Categorical{"Honduras", "Latin-America", 0.0004},
+    Categorical{"Scotland", "Europe", 0.0004},
+    Categorical{"Holand-Netherlands", "Europe", 0.0001},
+};
+
+constexpr std::array kWorkClass = {
+    Categorical{"Private", "Private-sector", 0.737},
+    Categorical{"Self-emp-not-inc", "Self-employed", 0.083},
+    Categorical{"Local-gov", "Government", 0.068},
+    Categorical{"State-gov", "Government", 0.043},
+    Categorical{"Self-emp-inc", "Self-employed", 0.036},
+    Categorical{"Federal-gov", "Government", 0.031},
+    Categorical{"Without-pay", "Unpaid", 0.002},
+};
+
+constexpr std::array kOccupation = {
+    Categorical{"Prof-specialty", "White-collar", 0.134},
+    Categorical{"Craft-repair", "Blue-collar", 0.134},
+    Categorical{"Exec-managerial", "White-collar", 0.132},
+    Categorical{"Adm-clerical", "White-collar", 0.124},
+    Categorical{"Sales", "White-collar", 0.119},
+    Categorical{"Other-service", "Service", 0.105},
+    Categorical{"Machine-op-inspct", "Blue-collar", 0.066},
+    Categorical{"Transport-moving", "Blue-collar", 0.052},
+    Categorical{"Handlers-cleaners", "Blue-collar", 0.045},
+    Categorical{"Farming-fishing", "Blue-collar", 0.033},
+    Categorical{"Tech-support", "White-collar", 0.030},
+    Categorical{"Protective-serv", "Service", 0.021},
+    Categorical{"Priv-house-serv", "Service", 0.005},
+    Categorical{"Armed-Forces", "Military", 0.0003},
+};
+
+constexpr std::array kSalary = {
+    Categorical{"<=50K", nullptr, 0.75},
+    Categorical{">50K", nullptr, 0.25},
+};
+
+constexpr int64_t kMinAge = 17;
+constexpr size_t kNumAges = 74;  // ages 17..90, as in UCI Adults
+
+/// Cumulative distribution over a categorical pool.
+template <size_t N>
+std::vector<double> Cdf(const std::array<Categorical, N>& pool) {
+  std::vector<double> cdf(N);
+  double total = 0;
+  for (size_t i = 0; i < N; ++i) {
+    total += pool[i].weight;
+    cdf[i] = total;
+  }
+  for (double& x : cdf) x /= total;
+  return cdf;
+}
+
+size_t SampleCdf(const std::vector<double>& cdf, Rng& rng) {
+  double u = rng.NextDouble();
+  size_t lo = 0, hi = cdf.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Prefills a string column's dictionary with a categorical pool (codes ==
+/// pool indices) and builds its suppression or taxonomy hierarchy.
+template <size_t N>
+Result<ValueHierarchy> SetupCategorical(
+    Table* table, const char* column, const std::array<Categorical, N>& pool) {
+  size_t col = static_cast<size_t>(table->schema().FindColumn(column));
+  Dictionary& dict = table->mutable_dictionary(col);
+  for (const Categorical& c : pool) dict.GetOrInsert(Value(c.value));
+  if (pool[0].level1 == nullptr) {
+    return BuildSuppressionHierarchy(column, dict);
+  }
+  TaxonomyHierarchyBuilder builder{column};
+  for (const Categorical& c : pool) {
+    builder.AddLeaf(Value(c.value), {Value(c.level1), Value("*")});
+  }
+  return builder.Build(dict);
+}
+
+}  // namespace
+
+Result<SyntheticDataset> MakeAdultsDataset(const AdultsOptions& options) {
+  if (options.num_rows == 0) {
+    return Status::InvalidArgument("num_rows must be positive");
+  }
+  Table table{Schema({{"Age", DataType::kInt64},
+                      {"Gender", DataType::kString},
+                      {"Race", DataType::kString},
+                      {"Marital-status", DataType::kString},
+                      {"Education", DataType::kString},
+                      {"Native-country", DataType::kString},
+                      {"Work-class", DataType::kString},
+                      {"Occupation", DataType::kString},
+                      {"Salary-class", DataType::kString}})};
+
+  // Age domain: 17..90, dictionary code = age - 17.
+  {
+    Dictionary& dict = table.mutable_dictionary(0);
+    for (size_t a = 0; a < kNumAges; ++a) {
+      dict.GetOrInsert(Value(kMinAge + static_cast<int64_t>(a)));
+    }
+  }
+  Result<ValueHierarchy> age = BuildIntervalHierarchy(
+      "Age", table.dictionary(0), {5, 10, 20}, /*add_suppression_top=*/true);
+  if (!age.ok()) return age.status();
+
+  Result<ValueHierarchy> gender = SetupCategorical(&table, "Gender", kGender);
+  if (!gender.ok()) return gender.status();
+  Result<ValueHierarchy> race = SetupCategorical(&table, "Race", kRace);
+  if (!race.ok()) return race.status();
+  Result<ValueHierarchy> marital =
+      SetupCategorical(&table, "Marital-status", kMarital);
+  if (!marital.ok()) return marital.status();
+
+  // Education gets a deeper taxonomy (height 3, per Fig. 9): leaf →
+  // school-stage → degree/no-degree → *.
+  Result<ValueHierarchy> education = [&]() -> Result<ValueHierarchy> {
+    size_t col = static_cast<size_t>(table.schema().FindColumn("Education"));
+    Dictionary& dict = table.mutable_dictionary(col);
+    for (const Categorical& c : kEducation) dict.GetOrInsert(Value(c.value));
+    const std::map<std::string, std::string> degree = {
+        {"Primary", "No-degree"},   {"Secondary", "No-degree"},
+        {"Some-college", "No-degree"}, {"Assoc", "Degree"},
+        {"Higher", "Degree"},
+    };
+    TaxonomyHierarchyBuilder builder{"Education"};
+    for (const Categorical& c : kEducation) {
+      builder.AddLeaf(Value(c.value), {Value(c.level1),
+                                       Value(degree.at(c.level1)),
+                                       Value("*")});
+    }
+    return builder.Build(dict);
+  }();
+  if (!education.ok()) return education.status();
+
+  Result<ValueHierarchy> country =
+      SetupCategorical(&table, "Native-country", kCountry);
+  if (!country.ok()) return country.status();
+  Result<ValueHierarchy> work_class =
+      SetupCategorical(&table, "Work-class", kWorkClass);
+  if (!work_class.ok()) return work_class.status();
+  Result<ValueHierarchy> occupation =
+      SetupCategorical(&table, "Occupation", kOccupation);
+  if (!occupation.ok()) return occupation.status();
+  Result<ValueHierarchy> salary =
+      SetupCategorical(&table, "Salary-class", kSalary);
+  if (!salary.ok()) return salary.status();
+
+  // ---- Row generation -----------------------------------------------------
+  Rng rng(options.seed);
+  const std::vector<double> gender_cdf = Cdf(kGender);
+  const std::vector<double> race_cdf = Cdf(kRace);
+  const std::vector<double> marital_cdf = Cdf(kMarital);
+  const std::vector<double> education_cdf = Cdf(kEducation);
+  const std::vector<double> country_cdf = Cdf(kCountry);
+  const std::vector<double> work_cdf = Cdf(kWorkClass);
+  const std::vector<double> occupation_cdf = Cdf(kOccupation);
+
+  // Education rank (0 = lowest schooling) used for the salary correlation.
+  const std::array<int, kEducation.size()> kEduRank = {
+      8, 10, 12, 14, 9, 5, 11, 4, 2, 15, 3, 6, 16, 1, 0, 0};
+
+  std::vector<int32_t> codes(9);
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    // Age: triangular distribution peaking in the late 30s.
+    double u = (rng.NextDouble() + rng.NextDouble()) / 2.0;
+    int32_t age_code =
+        static_cast<int32_t>(u * static_cast<double>(kNumAges - 1) + 0.5);
+    size_t gender_code = SampleCdf(gender_cdf, rng);
+    size_t race_code = SampleCdf(race_cdf, rng);
+    size_t marital_code = SampleCdf(marital_cdf, rng);
+    size_t education_code = SampleCdf(education_cdf, rng);
+    size_t country_code = SampleCdf(country_cdf, rng);
+    size_t work_code = SampleCdf(work_cdf, rng);
+    size_t occupation_code = SampleCdf(occupation_cdf, rng);
+
+    // Salary correlates with schooling and mid-career age.
+    double p_high = 0.04 + 0.022 * kEduRank[education_code];
+    int64_t age_years = kMinAge + age_code;
+    if (age_years >= 35 && age_years <= 55) p_high += 0.12;
+    if (gender_code == 0) p_high += 0.05;  // matches the census skew
+    size_t salary_code = rng.Bernoulli(p_high) ? 1 : 0;
+
+    codes[0] = age_code;
+    codes[1] = static_cast<int32_t>(gender_code);
+    codes[2] = static_cast<int32_t>(race_code);
+    codes[3] = static_cast<int32_t>(marital_code);
+    codes[4] = static_cast<int32_t>(education_code);
+    codes[5] = static_cast<int32_t>(country_code);
+    codes[6] = static_cast<int32_t>(work_code);
+    codes[7] = static_cast<int32_t>(occupation_code);
+    codes[8] = static_cast<int32_t>(salary_code);
+    table.AppendRowCodes(codes);
+  }
+
+  Result<QuasiIdentifier> qid = QuasiIdentifier::Create(
+      table, {{"Age", std::move(age).value()},
+              {"Gender", std::move(gender).value()},
+              {"Race", std::move(race).value()},
+              {"Marital-status", std::move(marital).value()},
+              {"Education", std::move(education).value()},
+              {"Native-country", std::move(country).value()},
+              {"Work-class", std::move(work_class).value()},
+              {"Occupation", std::move(occupation).value()},
+              {"Salary-class", std::move(salary).value()}});
+  if (!qid.ok()) return qid.status();
+
+  SyntheticDataset dataset;
+  dataset.table = std::move(table);
+  dataset.qid = std::move(qid).value();
+  return dataset;
+}
+
+}  // namespace incognito

@@ -1,0 +1,25 @@
+#include "data/dataset.h"
+
+#include <unordered_set>
+
+namespace incognito {
+
+std::vector<AttributeStats> DescribeDataset(const SyntheticDataset& dataset) {
+  std::vector<AttributeStats> out;
+  out.reserve(dataset.qid.size());
+  for (size_t i = 0; i < dataset.qid.size(); ++i) {
+    AttributeStats stats;
+    stats.name = dataset.qid.name(i);
+    stats.domain_size = dataset.qid.hierarchy(i).DomainSize(0);
+    stats.hierarchy_height = dataset.qid.hierarchy(i).height();
+    std::unordered_set<int32_t> seen;
+    for (int32_t code : dataset.table.ColumnCodes(dataset.qid.column(i))) {
+      seen.insert(code);
+    }
+    stats.realized_distinct = seen.size();
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace incognito

@@ -1,0 +1,34 @@
+#ifndef INCOGNITO_DATA_DATASET_H_
+#define INCOGNITO_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/quasi_identifier.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// A generated benchmark dataset: the microdata table plus the full
+/// quasi-identifier (all attributes, in the order of paper Fig. 9, so the
+/// QID-size sweeps can take prefixes with QuasiIdentifier::Prefix).
+struct SyntheticDataset {
+  Table table;
+  QuasiIdentifier qid;
+};
+
+/// Per-attribute description used to verify a generated dataset against
+/// the published schema (paper Fig. 9).
+struct AttributeStats {
+  std::string name;
+  size_t domain_size = 0;      ///< distinct values in the attribute domain
+  size_t realized_distinct = 0;  ///< distinct values appearing in the data
+  size_t hierarchy_height = 0;
+};
+
+/// Computes per-attribute statistics of a dataset.
+std::vector<AttributeStats> DescribeDataset(const SyntheticDataset& dataset);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_DATA_DATASET_H_

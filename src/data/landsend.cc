@@ -1,0 +1,178 @@
+#include "data/landsend.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "hierarchy/builders.h"
+
+namespace incognito {
+namespace {
+
+constexpr size_t kNumZipcodes = 31953;
+constexpr size_t kNumDates = 320;
+constexpr size_t kNumStyles = 1509;
+constexpr size_t kNumPrices = 346;
+constexpr size_t kNumCosts = 1412;
+
+/// Day-of-year (1-based) to "2001-MM-DD" (2001 is not a leap year).
+std::string DateOfYear2001(int day_of_year) {
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  int month = 0;
+  while (day_of_year > kDays[month]) {
+    day_of_year -= kDays[month];
+    ++month;
+  }
+  return StringPrintf("2001-%02d-%02d", month + 1, day_of_year);
+}
+
+}  // namespace
+
+Result<SyntheticDataset> MakeLandsEndDataset(const LandsEndOptions& options) {
+  if (options.num_rows == 0) {
+    return Status::InvalidArgument("num_rows must be positive");
+  }
+  Table table{Schema({{"Zipcode", DataType::kInt64},
+                      {"Order-date", DataType::kString},
+                      {"Gender", DataType::kString},
+                      {"Style", DataType::kInt64},
+                      {"Price", DataType::kInt64},
+                      {"Quantity", DataType::kInt64},
+                      {"Cost", DataType::kInt64},
+                      {"Shipment", DataType::kString}})};
+
+  // ---- Domains (dictionary prefill; codes == pool indices) ---------------
+  // Zipcode: 31,953 distinct 5-digit codes spread over [01000, 99999].
+  {
+    Dictionary& dict = table.mutable_dictionary(0);
+    for (size_t i = 0; i < kNumZipcodes; ++i) {
+      int64_t zip = 1000 + static_cast<int64_t>(i * 99000ULL / kNumZipcodes);
+      dict.GetOrInsert(Value(zip));
+    }
+  }
+  // Order date: 320 of the 365 days of 2001.
+  {
+    Dictionary& dict = table.mutable_dictionary(1);
+    for (size_t i = 0; i < kNumDates; ++i) {
+      int day = 1 + static_cast<int>(i * 365ULL / kNumDates);
+      dict.GetOrInsert(Value(DateOfYear2001(day)));
+    }
+  }
+  {
+    Dictionary& dict = table.mutable_dictionary(2);
+    dict.GetOrInsert(Value("Female"));
+    dict.GetOrInsert(Value("Male"));
+  }
+  // Style: 1509 distinct catalog style numbers.
+  {
+    Dictionary& dict = table.mutable_dictionary(3);
+    for (size_t i = 0; i < kNumStyles; ++i) {
+      dict.GetOrInsert(Value(static_cast<int64_t>(10000 + i * 6)));
+    }
+  }
+  // Price: 346 distinct price points (cents dropped), 4-digit range.
+  {
+    Dictionary& dict = table.mutable_dictionary(4);
+    for (size_t i = 0; i < kNumPrices; ++i) {
+      dict.GetOrInsert(Value(static_cast<int64_t>(9 + i * 28)));
+    }
+  }
+  {
+    Dictionary& dict = table.mutable_dictionary(5);
+    dict.GetOrInsert(Value(static_cast<int64_t>(1)));  // Quantity: always 1
+  }
+  // Cost: 1412 distinct cost values, 4-digit range.
+  {
+    Dictionary& dict = table.mutable_dictionary(6);
+    for (size_t i = 0; i < kNumCosts; ++i) {
+      dict.GetOrInsert(Value(static_cast<int64_t>(5 + i * 7)));
+    }
+  }
+  {
+    Dictionary& dict = table.mutable_dictionary(7);
+    dict.GetOrInsert(Value("Standard"));
+    dict.GetOrInsert(Value("Express"));
+  }
+
+  // ---- Hierarchies (heights per Fig. 9) -----------------------------------
+  Result<ValueHierarchy> zipcode = BuildDigitRoundingHierarchy(
+      "Zipcode", table.dictionary(0), /*num_digits=*/5, /*levels=*/5);
+  if (!zipcode.ok()) return zipcode.status();
+  Result<ValueHierarchy> date =
+      BuildDateHierarchy("Order-date", table.dictionary(1));
+  if (!date.ok()) return date.status();
+  Result<ValueHierarchy> gender =
+      BuildSuppressionHierarchy("Gender", table.dictionary(2));
+  if (!gender.ok()) return gender.status();
+  Result<ValueHierarchy> style =
+      BuildSuppressionHierarchy("Style", table.dictionary(3));
+  if (!style.ok()) return style.status();
+  Result<ValueHierarchy> price = BuildDigitRoundingHierarchy(
+      "Price", table.dictionary(4), /*num_digits=*/4, /*levels=*/4);
+  if (!price.ok()) return price.status();
+  Result<ValueHierarchy> quantity =
+      BuildSuppressionHierarchy("Quantity", table.dictionary(5));
+  if (!quantity.ok()) return quantity.status();
+  Result<ValueHierarchy> cost = BuildDigitRoundingHierarchy(
+      "Cost", table.dictionary(6), /*num_digits=*/4, /*levels=*/4);
+  if (!cost.ok()) return cost.status();
+  Result<ValueHierarchy> shipment =
+      BuildSuppressionHierarchy("Shipment", table.dictionary(7));
+  if (!shipment.ok()) return shipment.status();
+
+  // ---- Row generation -----------------------------------------------------
+  Rng rng(options.seed);
+  // Orders cluster around populous zipcodes and popular styles.
+  ZipfSampler zip_sampler(kNumZipcodes, 0.5);
+  ZipfSampler style_sampler(kNumStyles, 1.0);
+  ZipfSampler price_sampler(kNumPrices, 0.7);
+  ZipfSampler date_sampler(kNumDates, 0.2);
+
+  std::vector<int32_t> codes(8);
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    size_t zip_code = zip_sampler.Sample(rng);
+    size_t date_code = date_sampler.Sample(rng);
+    size_t gender_code = rng.Bernoulli(0.62) ? 0 : 1;  // catalog skew
+    size_t style_code = style_sampler.Sample(rng);
+    size_t price_code = price_sampler.Sample(rng);
+    // Cost tracks price with noise (margin varies by a few slots).
+    double cost_center = static_cast<double>(price_code) *
+                         static_cast<double>(kNumCosts) /
+                         static_cast<double>(kNumPrices);
+    int64_t cost_code = static_cast<int64_t>(cost_center) +
+                        rng.UniformRange(-40, 40);
+    cost_code = std::clamp<int64_t>(cost_code, 0,
+                                    static_cast<int64_t>(kNumCosts) - 1);
+    size_t shipment_code = rng.Bernoulli(0.85) ? 0 : 1;
+
+    codes[0] = static_cast<int32_t>(zip_code);
+    codes[1] = static_cast<int32_t>(date_code);
+    codes[2] = static_cast<int32_t>(gender_code);
+    codes[3] = static_cast<int32_t>(style_code);
+    codes[4] = static_cast<int32_t>(price_code);
+    codes[5] = 0;
+    codes[6] = static_cast<int32_t>(cost_code);
+    codes[7] = static_cast<int32_t>(shipment_code);
+    table.AppendRowCodes(codes);
+  }
+
+  Result<QuasiIdentifier> qid = QuasiIdentifier::Create(
+      table, {{"Zipcode", std::move(zipcode).value()},
+              {"Order-date", std::move(date).value()},
+              {"Gender", std::move(gender).value()},
+              {"Style", std::move(style).value()},
+              {"Price", std::move(price).value()},
+              {"Quantity", std::move(quantity).value()},
+              {"Cost", std::move(cost).value()},
+              {"Shipment", std::move(shipment).value()}});
+  if (!qid.ok()) return qid.status();
+
+  SyntheticDataset dataset;
+  dataset.table = std::move(table);
+  dataset.qid = std::move(qid).value();
+  return dataset;
+}
+
+}  // namespace incognito

@@ -1,0 +1,89 @@
+#include "data/patients.h"
+
+#include "hierarchy/builders.h"
+
+namespace incognito {
+
+Result<PatientsDataset> MakePatientsDataset() {
+  Table table{Schema({{"Birthdate", DataType::kString},
+                      {"Sex", DataType::kString},
+                      {"Zipcode", DataType::kInt64},
+                      {"Disease", DataType::kString}})};
+  // The six tuples of Figure 1 (Hospital Patient Data).
+  const struct {
+    const char* birthdate;
+    const char* sex;
+    int64_t zipcode;
+    const char* disease;
+  } rows[] = {
+      {"1/21/76", "Male", 53715, "Flu"},
+      {"4/13/86", "Female", 53715, "Hepatitis"},
+      {"2/28/76", "Male", 53703, "Brochitis"},
+      {"1/21/76", "Male", 53703, "Broken Arm"},
+      {"4/13/86", "Female", 53706, "Sprained Ankle"},
+      {"2/28/76", "Female", 53706, "Hang Nail"},
+  };
+  for (const auto& r : rows) {
+    INCOGNITO_RETURN_IF_ERROR(table.AppendRow(
+        {Value(r.birthdate), Value(r.sex), Value(r.zipcode),
+         Value(r.disease)}));
+  }
+
+  // Birthdate (Fig. 2 c,d): {1/21/76, 2/28/76, 4/13/86} → {*}.
+  Result<ValueHierarchy> birthdate = BuildSuppressionHierarchy(
+      "Birthdate",
+      table.dictionary(
+          static_cast<size_t>(table.schema().FindColumn("Birthdate"))));
+  if (!birthdate.ok()) return birthdate.status();
+
+  // Sex (Fig. 2 e,f): {Male, Female} → {Person}.
+  Result<ValueHierarchy> sex = BuildSuppressionHierarchy(
+      "Sex", table.dictionary(static_cast<size_t>(table.schema().FindColumn("Sex"))),
+      Value("Person"));
+  if (!sex.ok()) return sex.status();
+
+  // Zipcode (Fig. 2 a,b): two rounding levels, 53715 → 5371* → 537**.
+  Result<ValueHierarchy> zipcode = BuildDigitRoundingHierarchy(
+      "Zipcode", table.dictionary(
+          static_cast<size_t>(table.schema().FindColumn("Zipcode"))),
+      /*num_digits=*/5, /*levels=*/2);
+  if (!zipcode.ok()) return zipcode.status();
+
+  Result<QuasiIdentifier> qid = QuasiIdentifier::Create(
+      table, {{"Birthdate", std::move(birthdate).value()},
+              {"Sex", std::move(sex).value()},
+              {"Zipcode", std::move(zipcode).value()}});
+  if (!qid.ok()) return qid.status();
+
+  PatientsDataset dataset;
+  dataset.table = std::move(table);
+  dataset.qid = std::move(qid).value();
+  return dataset;
+}
+
+Table MakeVoterRegistrationTable() {
+  Table table{Schema({{"Name", DataType::kString},
+                      {"Birthdate", DataType::kString},
+                      {"Sex", DataType::kString},
+                      {"Zipcode", DataType::kInt64}})};
+  const struct {
+    const char* name;
+    const char* birthdate;
+    const char* sex;
+    int64_t zipcode;
+  } rows[] = {
+      {"Andre", "1/21/76", "Male", 53715},
+      {"Beth", "1/10/81", "Female", 55410},
+      {"Carol", "10/1/44", "Female", 90210},
+      {"Dan", "2/21/84", "Male", 2174},
+      {"Ellen", "4/19/72", "Female", 2237},
+  };
+  for (const auto& r : rows) {
+    Status s = table.AppendRow(
+        {Value(r.name), Value(r.birthdate), Value(r.sex), Value(r.zipcode)});
+    (void)s;  // Static rows with a static schema cannot fail.
+  }
+  return table;
+}
+
+}  // namespace incognito

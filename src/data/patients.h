@@ -1,0 +1,30 @@
+#ifndef INCOGNITO_DATA_PATIENTS_H_
+#define INCOGNITO_DATA_PATIENTS_H_
+
+#include "common/status.h"
+#include "core/quasi_identifier.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// The paper's running example: the hospital Patients table of Figure 1
+/// (columns Birthdate, Sex, Zipcode, Disease) together with the
+/// generalization hierarchies of Figure 2 bound as the quasi-identifier
+/// 〈Birthdate, Sex, Zipcode〉.
+struct PatientsDataset {
+  Table table;
+  QuasiIdentifier qid;
+};
+
+/// Builds the Patients table and its quasi-identifier. Hierarchy shapes
+/// follow Figure 2: Zipcode has height 2 (5371x → 5371* → 537**),
+/// Birthdate and Sex have height 1 (suppress to * / Person).
+Result<PatientsDataset> MakePatientsDataset();
+
+/// The public voter registration list of Figure 1 (Name, Birthdate, Sex,
+/// Zipcode) used by the joining-attack example.
+Table MakeVoterRegistrationTable();
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_DATA_PATIENTS_H_

@@ -1,0 +1,83 @@
+#include "freq/cube.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace incognito {
+
+uint32_t ZeroGenCube::MaskOf(const std::vector<int32_t>& dims) {
+  uint32_t mask = 0;
+  for (int32_t d : dims) mask |= 1u << d;
+  return mask;
+}
+
+namespace {
+
+SubsetNode ZeroNodeForMask(uint32_t mask) {
+  SubsetNode node;
+  for (int32_t d = 0; d < 32; ++d) {
+    if (mask & (1u << d)) {
+      node.dims.push_back(d);
+      node.levels.push_back(0);
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
+                               BuildInfo* info) {
+  const size_t n = qid.size();
+  assert(n >= 1 && n <= 24);
+  ZeroGenCube cube;
+  BuildInfo local;
+
+  const uint32_t full = (n == 32 ? ~0u : (1u << n) - 1);
+  cube.sets_.emplace(full,
+                     FrequencySet::Compute(table, qid, ZeroNodeForMask(full)));
+  local.table_scans = 1;
+
+  // Process masks in decreasing popcount order; each mask is aggregated
+  // from the already-computed superset with the fewest groups.
+  std::vector<uint32_t> masks;
+  for (uint32_t m = 1; m < full; ++m) masks.push_back(m);
+  std::sort(masks.begin(), masks.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  for (uint32_t m : masks) {
+    // Candidate parents: m plus one attribute not in m.
+    const FrequencySet* best = nullptr;
+    for (size_t d = 0; d < n; ++d) {
+      uint32_t parent = m | (1u << d);
+      if (parent == m) continue;
+      auto it = cube.sets_.find(parent);
+      if (it != cube.sets_.end() &&
+          (best == nullptr || it->second.NumGroups() < best->NumGroups())) {
+        best = &it->second;
+      }
+    }
+    assert(best != nullptr);
+    cube.sets_.emplace(m, best->ProjectTo(ZeroNodeForMask(m), qid));
+    ++local.projections;
+  }
+
+  local.num_subsets = cube.sets_.size();
+  for (const auto& [mask, fs] : cube.sets_) {
+    (void)mask;
+    local.total_groups += fs.NumGroups();
+    local.total_bytes += fs.MemoryBytes();
+  }
+  if (info != nullptr) *info = local;
+  return cube;
+}
+
+const FrequencySet& ZeroGenCube::Get(const std::vector<int32_t>& dims) const {
+  auto it = sets_.find(MaskOf(dims));
+  assert(it != sets_.end() && "subset not covered by this cube");
+  return it->second;
+}
+
+}  // namespace incognito

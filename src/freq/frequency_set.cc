@@ -1,0 +1,227 @@
+#include "freq/frequency_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace incognito {
+
+namespace {
+
+/// FNV-1a hash over a code vector (fallback key path).
+struct VecHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int32_t x : v) {
+      h ^= static_cast<uint32_t>(x);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+std::vector<size_t> Cardinalities(const QuasiIdentifier& qid,
+                                  const SubsetNode& node) {
+  std::vector<size_t> cards;
+  cards.reserve(node.size());
+  for (size_t i = 0; i < node.size(); ++i) {
+    cards.push_back(qid.hierarchy(static_cast<size_t>(node.dims[i]))
+                        .DomainSize(static_cast<size_t>(node.levels[i])));
+  }
+  return cards;
+}
+
+}  // namespace
+
+FrequencySet FrequencySet::MakeEmpty(const SubsetNode& node,
+                                     const QuasiIdentifier& qid) {
+  FrequencySet fs;
+  fs.node_ = node;
+  fs.codec_ = KeyCodec::Create(Cardinalities(qid, node));
+  fs.packed_ = fs.codec_.packed();
+  return fs;
+}
+
+FrequencySet FrequencySet::Compute(const Table& table,
+                                   const QuasiIdentifier& qid,
+                                   const SubsetNode& node) {
+  assert(node.size() > 0);
+  FrequencySet fs = MakeEmpty(node, qid);
+
+  const size_t n = node.size();
+  // Gather the encoded columns and the base→level generalization maps.
+  std::vector<const int32_t*> cols(n);
+  std::vector<const int32_t*> maps(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t d = static_cast<size_t>(node.dims[i]);
+    cols[i] = table.ColumnCodes(qid.column(d)).data();
+    maps[i] = qid.hierarchy(d)
+                  .BaseToLevelMap(static_cast<size_t>(node.levels[i]))
+                  .data();
+  }
+
+  const size_t rows = table.num_rows();
+  if (fs.packed_) {
+    std::unordered_map<uint64_t, int64_t> agg;
+    agg.reserve(rows / 4 + 8);
+    std::vector<int32_t> codes(n);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+      ++agg[fs.codec_.Pack(codes.data())];
+    }
+    fs.groups_.assign(agg.begin(), agg.end());
+  } else {
+    std::unordered_map<std::vector<int32_t>, int64_t, VecHash> agg;
+    std::vector<int32_t> codes(n);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+      ++agg[codes];
+    }
+    fs.vgroups_.assign(agg.begin(), agg.end());
+  }
+  fs.total_count_ = static_cast<int64_t>(rows);
+  return fs;
+}
+
+FrequencySet FrequencySet::RollupTo(const SubsetNode& target,
+                                    const QuasiIdentifier& qid) const {
+  assert(target.dims == node_.dims);
+  const size_t n = node_.size();
+  // Per-dimension remap tables from this node's level to the target level.
+  std::vector<std::vector<int32_t>> remap(n);
+  for (size_t i = 0; i < n; ++i) {
+    assert(target.levels[i] >= node_.levels[i]);
+    const ValueHierarchy& h = qid.hierarchy(static_cast<size_t>(node_.dims[i]));
+    size_t from = static_cast<size_t>(node_.levels[i]);
+    size_t to = static_cast<size_t>(target.levels[i]);
+    remap[i].resize(h.DomainSize(from));
+    for (size_t c = 0; c < remap[i].size(); ++c) {
+      remap[i][c] = h.GeneralizeFrom(from, static_cast<int32_t>(c), to);
+    }
+  }
+
+  FrequencySet out = MakeEmpty(target, qid);
+  std::unordered_map<uint64_t, int64_t> agg;
+  std::unordered_map<std::vector<int32_t>, int64_t, VecHash> vagg;
+  std::vector<int32_t> codes(n);
+  ForEachGroup([&](const int32_t* src, int64_t count) {
+    for (size_t i = 0; i < n; ++i) {
+      codes[i] = remap[i][static_cast<size_t>(src[i])];
+    }
+    if (out.packed_) {
+      agg[out.codec_.Pack(codes.data())] += count;
+    } else {
+      vagg[codes] += count;
+    }
+  });
+  if (out.packed_) {
+    out.groups_.assign(agg.begin(), agg.end());
+  } else {
+    out.vgroups_.assign(vagg.begin(), vagg.end());
+  }
+  out.total_count_ = total_count_;
+  return out;
+}
+
+FrequencySet FrequencySet::ProjectTo(const SubsetNode& target,
+                                     const QuasiIdentifier& qid) const {
+  const size_t n = node_.size();
+  const size_t m = target.size();
+  // Positions of the kept dims within this node's dim list.
+  std::vector<size_t> pos(m);
+  for (size_t j = 0; j < m; ++j) {
+    auto it = std::find(node_.dims.begin(), node_.dims.end(), target.dims[j]);
+    assert(it != node_.dims.end());
+    pos[j] = static_cast<size_t>(it - node_.dims.begin());
+    assert(target.levels[j] == node_.levels[pos[j]]);
+  }
+  (void)n;
+
+  FrequencySet out = MakeEmpty(target, qid);
+  std::unordered_map<uint64_t, int64_t> agg;
+  std::unordered_map<std::vector<int32_t>, int64_t, VecHash> vagg;
+  std::vector<int32_t> codes(m);
+  ForEachGroup([&](const int32_t* src, int64_t count) {
+    for (size_t j = 0; j < m; ++j) codes[j] = src[pos[j]];
+    if (out.packed_) {
+      agg[out.codec_.Pack(codes.data())] += count;
+    } else {
+      vagg[codes] += count;
+    }
+  });
+  if (out.packed_) {
+    out.groups_.assign(agg.begin(), agg.end());
+  } else {
+    out.vgroups_.assign(vagg.begin(), vagg.end());
+  }
+  out.total_count_ = total_count_;
+  return out;
+}
+
+int64_t FrequencySet::MinCount() const {
+  int64_t min_count = 0;
+  bool first = true;
+  auto visit = [&](int64_t count) {
+    if (first || count < min_count) {
+      min_count = count;
+      first = false;
+    }
+  };
+  if (packed_) {
+    for (const auto& [key, count] : groups_) {
+      (void)key;
+      visit(count);
+    }
+  } else {
+    for (const auto& [key, count] : vgroups_) {
+      (void)key;
+      visit(count);
+    }
+  }
+  return first ? 0 : min_count;
+}
+
+int64_t FrequencySet::TuplesBelowK(int64_t k) const {
+  int64_t below = 0;
+  if (packed_) {
+    for (const auto& [key, count] : groups_) {
+      (void)key;
+      if (count < k) below += count;
+    }
+  } else {
+    for (const auto& [key, count] : vgroups_) {
+      (void)key;
+      if (count < k) below += count;
+    }
+  }
+  return below;
+}
+
+void FrequencySet::ForEachGroup(
+    const std::function<void(const int32_t* codes, int64_t count)>& fn) const {
+  if (packed_) {
+    std::vector<int32_t> codes(node_.size());
+    for (const auto& [key, count] : groups_) {
+      codec_.Unpack(key, codes.data());
+      fn(codes.data(), count);
+    }
+  } else {
+    for (const auto& [key, count] : vgroups_) {
+      fn(key.data(), count);
+    }
+  }
+}
+
+size_t FrequencySet::MemoryBytes() const {
+  if (packed_) {
+    return groups_.capacity() * sizeof(groups_[0]);
+  }
+  size_t bytes = vgroups_.capacity() * sizeof(vgroups_[0]);
+  for (const auto& [key, count] : vgroups_) {
+    (void)count;
+    bytes += key.capacity() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+}  // namespace incognito

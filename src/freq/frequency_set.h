@@ -1,0 +1,102 @@
+#ifndef INCOGNITO_FREQ_FREQUENCY_SET_H_
+#define INCOGNITO_FREQ_FREQUENCY_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/quasi_identifier.h"
+#include "freq/key_codec.h"
+#include "lattice/node.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// The frequency set of a table with respect to a generalization node
+/// (paper §1.1): a mapping from each value-group (the combination of
+/// generalized quasi-identifier values) to the number of tuples carrying
+/// those values. Equivalent to the result of
+///   SELECT <generalized attrs>, COUNT(*) FROM T GROUP BY <generalized attrs>
+/// over the star schema.
+///
+/// Storage is a flat array of (packed-key, count) entries when the combined
+/// key fits in 64 bits (it does for both evaluation schemas), with a
+/// vector-keyed fallback otherwise.
+class FrequencySet {
+ public:
+  FrequencySet() = default;
+
+  /// Computes the frequency set by scanning the table once — the paper's
+  /// COUNT(*) GROUP BY query. `node` selects the participating attributes
+  /// (dims, as QID indices) and the generalization level of each.
+  static FrequencySet Compute(const Table& table, const QuasiIdentifier& qid,
+                              const SubsetNode& node);
+
+  /// Produces the frequency set of a more general node over the same
+  /// attribute set *from this frequency set* without touching the table —
+  /// the paper's Rollup Property: each target count is the sum of the
+  /// source counts γ maps onto it. Requires target.dims == node().dims and
+  /// target.levels[i] >= node().levels[i].
+  FrequencySet RollupTo(const SubsetNode& target,
+                        const QuasiIdentifier& qid) const;
+
+  /// Produces the frequency set of a *subset* of the attributes at the
+  /// same levels, by summing away the dropped dimensions (data-cube style
+  /// aggregation; the Subset Property's relational counterpart, used to
+  /// build the zero-generalization cube). Requires target.dims ⊆
+  /// node().dims and matching levels on the kept dims.
+  FrequencySet ProjectTo(const SubsetNode& target,
+                         const QuasiIdentifier& qid) const;
+
+  /// The generalization this frequency set is with respect to.
+  const SubsetNode& node() const { return node_; }
+
+  /// Number of value groups.
+  size_t NumGroups() const {
+    return packed_ ? groups_.size() : vgroups_.size();
+  }
+
+  /// Total tuple count (the table size minus nothing; invariant under
+  /// rollup and projection).
+  int64_t TotalCount() const { return total_count_; }
+
+  /// The smallest group count; 0 for an empty frequency set.
+  int64_t MinCount() const;
+
+  /// Number of tuples lying in groups of size < k — the number of tuples
+  /// that would have to be suppressed for T to satisfy k-anonymity at this
+  /// generalization.
+  int64_t TuplesBelowK(int64_t k) const;
+
+  /// K-anonymity check with the paper's optional tuple-suppression
+  /// threshold: true iff at most `max_suppressed` tuples lie in groups
+  /// smaller than k (with max_suppressed == 0 this is the plain
+  /// K-Anonymity Property).
+  bool IsKAnonymous(int64_t k, int64_t max_suppressed = 0) const {
+    return TuplesBelowK(k) <= max_suppressed;
+  }
+
+  /// Visits every group as (codes, count); `codes` has node().size()
+  /// entries, each a code in the corresponding level's domain.
+  void ForEachGroup(
+      const std::function<void(const int32_t* codes, int64_t count)>& fn)
+      const;
+
+  /// Approximate heap footprint in bytes (for the cube-size diagnostics).
+  size_t MemoryBytes() const;
+
+ private:
+  static FrequencySet MakeEmpty(const SubsetNode& node,
+                                const QuasiIdentifier& qid);
+
+  SubsetNode node_;
+  KeyCodec codec_;
+  bool packed_ = true;
+  std::vector<std::pair<uint64_t, int64_t>> groups_;  // packed path
+  std::vector<std::pair<std::vector<int32_t>, int64_t>> vgroups_;  // fallback
+  int64_t total_count_ = 0;
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_FREQ_FREQUENCY_SET_H_

@@ -1,0 +1,35 @@
+#include "freq/key_codec.h"
+
+namespace incognito {
+
+namespace {
+
+/// Bits needed to represent codes in [0, n): ceil(log2(n)), with n <= 1
+/// needing zero bits.
+uint8_t BitsFor(size_t n) {
+  uint8_t bits = 0;
+  size_t capacity = 1;
+  while (capacity < n) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+KeyCodec KeyCodec::Create(const std::vector<size_t>& cardinalities) {
+  KeyCodec codec;
+  codec.bits_.reserve(cardinalities.size());
+  size_t total = 0;
+  for (size_t n : cardinalities) {
+    uint8_t b = BitsFor(n);
+    codec.bits_.push_back(b);
+    total += b;
+  }
+  codec.total_bits_ = total;
+  codec.packed_ = total <= 64;
+  return codec;
+}
+
+}  // namespace incognito

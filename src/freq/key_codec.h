@@ -1,0 +1,52 @@
+#ifndef INCOGNITO_FREQ_KEY_CODEC_H_
+#define INCOGNITO_FREQ_KEY_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace incognito {
+
+/// Packs a vector of per-dimension codes into a single uint64 key when the
+/// combined bit width allows (it does for both the Adults and Lands End
+/// schemas), so frequency sets can use flat 16-byte entries instead of
+/// vector keys. Dimensions with a single value contribute zero bits.
+class KeyCodec {
+ public:
+  KeyCodec() = default;
+
+  /// `cardinalities[i]` is the domain size of dimension i at its level.
+  static KeyCodec Create(const std::vector<size_t>& cardinalities);
+
+  /// True iff keys fit into 64 bits and Pack/Unpack may be used.
+  bool packed() const { return packed_; }
+
+  size_t num_dims() const { return bits_.size(); }
+  size_t total_bits() const { return total_bits_; }
+
+  /// Packs `num_dims()` codes into a key. Requires packed().
+  uint64_t Pack(const int32_t* codes) const {
+    uint64_t key = 0;
+    for (size_t d = 0; d < bits_.size(); ++d) {
+      key = (key << bits_[d]) | static_cast<uint64_t>(codes[d]);
+    }
+    return key;
+  }
+
+  /// Unpacks a key into `num_dims()` codes. Requires packed().
+  void Unpack(uint64_t key, int32_t* out) const {
+    for (size_t d = bits_.size(); d-- > 0;) {
+      out[d] = static_cast<int32_t>(key & ((1ULL << bits_[d]) - 1));
+      key >>= bits_[d];
+    }
+  }
+
+ private:
+  std::vector<uint8_t> bits_;
+  size_t total_bits_ = 0;
+  bool packed_ = false;
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_FREQ_KEY_CODEC_H_

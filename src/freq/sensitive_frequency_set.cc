@@ -1,0 +1,201 @@
+#include "freq/sensitive_frequency_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace incognito {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int32_t x : v) {
+      h ^= static_cast<uint32_t>(x);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+std::vector<size_t> Cardinalities(const QuasiIdentifier& qid,
+                                  const SubsetNode& node) {
+  std::vector<size_t> cards;
+  cards.reserve(node.size());
+  for (size_t i = 0; i < node.size(); ++i) {
+    cards.push_back(qid.hierarchy(static_cast<size_t>(node.dims[i]))
+                        .DomainSize(static_cast<size_t>(node.levels[i])));
+  }
+  return cards;
+}
+
+}  // namespace
+
+void SensitiveFrequencySet::InsertSensitive(std::vector<int32_t>* sorted,
+                                            int32_t code) {
+  auto it = std::lower_bound(sorted->begin(), sorted->end(), code);
+  if (it == sorted->end() || *it != code) sorted->insert(it, code);
+}
+
+void SensitiveFrequencySet::MergeSensitive(std::vector<int32_t>* dst,
+                                           const std::vector<int32_t>& src) {
+  std::vector<int32_t> merged;
+  merged.reserve(dst->size() + src.size());
+  std::set_union(dst->begin(), dst->end(), src.begin(), src.end(),
+                 std::back_inserter(merged));
+  *dst = std::move(merged);
+}
+
+SensitiveFrequencySet SensitiveFrequencySet::Compute(
+    const Table& table, const QuasiIdentifier& qid, const SubsetNode& node,
+    size_t sensitive_column) {
+  assert(node.size() > 0);
+  SensitiveFrequencySet fs;
+  fs.node_ = node;
+  fs.codec_ = KeyCodec::Create(Cardinalities(qid, node));
+  fs.packed_ = fs.codec_.packed();
+
+  const size_t n = node.size();
+  std::vector<const int32_t*> cols(n);
+  std::vector<const int32_t*> maps(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t d = static_cast<size_t>(node.dims[i]);
+    assert(qid.column(d) != sensitive_column &&
+           "sensitive attribute must not be part of the quasi-identifier");
+    cols[i] = table.ColumnCodes(qid.column(d)).data();
+    maps[i] = qid.hierarchy(d)
+                  .BaseToLevelMap(static_cast<size_t>(node.levels[i]))
+                  .data();
+  }
+  const int32_t* sensitive = table.ColumnCodes(sensitive_column).data();
+
+  const size_t rows = table.num_rows();
+  std::vector<int32_t> codes(n);
+  if (fs.packed_) {
+    std::unordered_map<uint64_t, GroupStats> agg;
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+      GroupStats& g = agg[fs.codec_.Pack(codes.data())];
+      ++g.count;
+      InsertSensitive(&g.sensitive, sensitive[r]);
+    }
+    fs.groups_.assign(std::make_move_iterator(agg.begin()),
+                      std::make_move_iterator(agg.end()));
+  } else {
+    std::unordered_map<std::vector<int32_t>, GroupStats, VecHash> agg;
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+      GroupStats& g = agg[codes];
+      ++g.count;
+      InsertSensitive(&g.sensitive, sensitive[r]);
+    }
+    fs.vgroups_.assign(std::make_move_iterator(agg.begin()),
+                       std::make_move_iterator(agg.end()));
+  }
+  fs.total_count_ = static_cast<int64_t>(rows);
+  return fs;
+}
+
+SensitiveFrequencySet SensitiveFrequencySet::RollupTo(
+    const SubsetNode& target, const QuasiIdentifier& qid) const {
+  assert(target.dims == node_.dims);
+  const size_t n = node_.size();
+  std::vector<std::vector<int32_t>> remap(n);
+  for (size_t i = 0; i < n; ++i) {
+    assert(target.levels[i] >= node_.levels[i]);
+    const ValueHierarchy& h =
+        qid.hierarchy(static_cast<size_t>(node_.dims[i]));
+    size_t from = static_cast<size_t>(node_.levels[i]);
+    size_t to = static_cast<size_t>(target.levels[i]);
+    remap[i].resize(h.DomainSize(from));
+    for (size_t c = 0; c < remap[i].size(); ++c) {
+      remap[i][c] = h.GeneralizeFrom(from, static_cast<int32_t>(c), to);
+    }
+  }
+
+  SensitiveFrequencySet out;
+  out.node_ = target;
+  out.codec_ = KeyCodec::Create(Cardinalities(qid, target));
+  out.packed_ = out.codec_.packed();
+  out.total_count_ = total_count_;
+
+  std::unordered_map<uint64_t, GroupStats> agg;
+  std::unordered_map<std::vector<int32_t>, GroupStats, VecHash> vagg;
+  std::vector<int32_t> codes(n);
+  auto fold = [&](const int32_t* src, const GroupStats& stats) {
+    for (size_t i = 0; i < n; ++i) {
+      codes[i] = remap[i][static_cast<size_t>(src[i])];
+    }
+    GroupStats& g = out.packed_ ? agg[out.codec_.Pack(codes.data())]
+                                : vagg[codes];
+    g.count += stats.count;
+    MergeSensitive(&g.sensitive, stats.sensitive);
+  };
+  if (packed_) {
+    std::vector<int32_t> unpacked(n);
+    for (const auto& [key, stats] : groups_) {
+      codec_.Unpack(key, unpacked.data());
+      fold(unpacked.data(), stats);
+    }
+  } else {
+    for (const auto& [key, stats] : vgroups_) {
+      fold(key.data(), stats);
+    }
+  }
+  if (out.packed_) {
+    out.groups_.assign(std::make_move_iterator(agg.begin()),
+                       std::make_move_iterator(agg.end()));
+  } else {
+    out.vgroups_.assign(std::make_move_iterator(vagg.begin()),
+                        std::make_move_iterator(vagg.end()));
+  }
+  return out;
+}
+
+int64_t SensitiveFrequencySet::TuplesViolating(int64_t k, int64_t l) const {
+  int64_t violating = 0;
+  auto visit = [&](const GroupStats& g) {
+    if (g.count < k || static_cast<int64_t>(g.sensitive.size()) < l) {
+      violating += g.count;
+    }
+  };
+  if (packed_) {
+    for (const auto& [key, g] : groups_) {
+      (void)key;
+      visit(g);
+    }
+  } else {
+    for (const auto& [key, g] : vgroups_) {
+      (void)key;
+      visit(g);
+    }
+  }
+  return violating;
+}
+
+bool SensitiveFrequencySet::IsLDiverse(int64_t l,
+                                       int64_t max_suppressed) const {
+  return TuplesViolating(/*k=*/1, l) <= max_suppressed;
+}
+
+bool SensitiveFrequencySet::IsKAnonymousAndLDiverse(
+    int64_t k, int64_t l, int64_t max_suppressed) const {
+  return TuplesViolating(k, l) <= max_suppressed;
+}
+
+void SensitiveFrequencySet::ForEachGroup(
+    const std::function<void(const int32_t*, int64_t, int64_t)>& fn) const {
+  if (packed_) {
+    std::vector<int32_t> codes(node_.size());
+    for (const auto& [key, g] : groups_) {
+      codec_.Unpack(key, codes.data());
+      fn(codes.data(), g.count, static_cast<int64_t>(g.sensitive.size()));
+    }
+  } else {
+    for (const auto& [key, g] : vgroups_) {
+      fn(key.data(), g.count, static_cast<int64_t>(g.sensitive.size()));
+    }
+  }
+}
+
+}  // namespace incognito

@@ -1,0 +1,89 @@
+#ifndef INCOGNITO_FREQ_SENSITIVE_FREQUENCY_SET_H_
+#define INCOGNITO_FREQ_SENSITIVE_FREQUENCY_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/quasi_identifier.h"
+#include "freq/key_codec.h"
+#include "lattice/node.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// A frequency set that additionally tracks, per value group, the set of
+/// distinct values of one *sensitive* attribute. This is the measure
+/// needed for (distinct) ℓ-diversity — the natural extension of the
+/// paper's framework pursued by follow-up work: a table is ℓ-diverse
+/// w.r.t. a generalization iff every group contains at least ℓ distinct
+/// sensitive values.
+///
+/// Both monotonicity properties that make Incognito's search correct for
+/// k-anonymity also hold here: generalizing merges groups, which can only
+/// grow each group's distinct-sensitive-value set (Generalization
+/// Property), and dropping attributes likewise merges groups (Subset
+/// Property) — so the same candidate-graph search applies unchanged.
+class SensitiveFrequencySet {
+ public:
+  SensitiveFrequencySet() = default;
+
+  /// One GROUP BY scan collecting tuple counts and distinct sensitive
+  /// codes per group. `sensitive_column` indexes the table schema and
+  /// must not be one of the quasi-identifier columns.
+  static SensitiveFrequencySet Compute(const Table& table,
+                                       const QuasiIdentifier& qid,
+                                       const SubsetNode& node,
+                                       size_t sensitive_column);
+
+  /// Rollup Property for the extended measure: counts sum, sensitive sets
+  /// union. Requires target.dims == node().dims with levels >=.
+  SensitiveFrequencySet RollupTo(const SubsetNode& target,
+                                 const QuasiIdentifier& qid) const;
+
+  const SubsetNode& node() const { return node_; }
+  size_t NumGroups() const { return groups_.size(); }
+  int64_t TotalCount() const { return total_count_; }
+
+  /// True iff every group has at least ℓ distinct sensitive values
+  /// (distinct ℓ-diversity), allowing up to `max_suppressed` tuples in
+  /// violating groups.
+  bool IsLDiverse(int64_t l, int64_t max_suppressed = 0) const;
+
+  /// True iff every group has >= k tuples AND >= ℓ distinct sensitive
+  /// values, with a shared suppression budget over violating tuples.
+  bool IsKAnonymousAndLDiverse(int64_t k, int64_t l,
+                               int64_t max_suppressed = 0) const;
+
+  /// Number of tuples lying in groups violating k-anonymity or distinct
+  /// ℓ-diversity.
+  int64_t TuplesViolating(int64_t k, int64_t l) const;
+
+  /// Visits each group: QI codes, tuple count, distinct sensitive count.
+  void ForEachGroup(const std::function<void(const int32_t* codes,
+                                             int64_t count,
+                                             int64_t distinct_sensitive)>&
+                        fn) const;
+
+ private:
+  struct GroupStats {
+    int64_t count = 0;
+    std::vector<int32_t> sensitive;  // sorted distinct sensitive codes
+  };
+
+  static void InsertSensitive(std::vector<int32_t>* sorted, int32_t code);
+  static void MergeSensitive(std::vector<int32_t>* dst,
+                             const std::vector<int32_t>& src);
+
+  SubsetNode node_;
+  KeyCodec codec_;
+  bool packed_ = true;
+  std::vector<std::pair<uint64_t, GroupStats>> groups_;
+  std::vector<std::pair<std::vector<int32_t>, GroupStats>> vgroups_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_FREQ_SENSITIVE_FREQUENCY_SET_H_

@@ -1,0 +1,94 @@
+#include "hierarchy/csv_hierarchy.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "hierarchy/builders.h"
+
+namespace incognito {
+
+Result<ValueHierarchy> ParseHierarchyCsv(std::string attribute_name,
+                                         const std::string& content,
+                                         const Dictionary& base,
+                                         char separator) {
+  TaxonomyHierarchyBuilder builder{attribute_name};
+  std::istringstream in(content);
+  std::string line;
+  size_t line_no = 0;
+  size_t width = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, separator);
+    if (fields.size() < 2) {
+      return Status::InvalidArgument(StringPrintf(
+          "hierarchy CSV '%s' line %zu: need at least leaf and one "
+          "generalization level",
+          attribute_name.c_str(), line_no));
+    }
+    if (width == 0) width = fields.size();
+    if (fields.size() != width) {
+      return Status::InvalidArgument(StringPrintf(
+          "hierarchy CSV '%s' line %zu: %zu columns, expected %zu",
+          attribute_name.c_str(), line_no, fields.size(), width));
+    }
+    // The leaf is matched against the base dictionary through the value's
+    // string rendering (the builder keys leaves on labels), so numeric
+    // leaves like "53715" match int64 dictionary values.
+    std::vector<Value> ancestors;
+    ancestors.reserve(width - 1);
+    for (size_t c = 1; c < width; ++c) {
+      ancestors.emplace_back(fields[c]);
+    }
+    builder.AddLeaf(Value(fields[0]), std::move(ancestors));
+  }
+  if (width == 0) {
+    return Status::InvalidArgument("hierarchy CSV '" + attribute_name +
+                                   "' is empty");
+  }
+  return builder.Build(base);
+}
+
+Result<ValueHierarchy> ReadHierarchyCsv(std::string attribute_name,
+                                        const std::string& path,
+                                        const Dictionary& base,
+                                        char separator) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open hierarchy file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return ParseHierarchyCsv(std::move(attribute_name), buf.str(), base,
+                           separator);
+}
+
+std::string HierarchyToCsv(const ValueHierarchy& hierarchy, char separator) {
+  std::string out;
+  for (size_t base = 0; base < hierarchy.DomainSize(0); ++base) {
+    for (size_t level = 0; level < hierarchy.num_levels(); ++level) {
+      if (level > 0) out += separator;
+      out += hierarchy
+                 .LevelValue(level, hierarchy.Generalize(
+                                        static_cast<int32_t>(base), level))
+                 .ToString();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteHierarchyCsv(const ValueHierarchy& hierarchy,
+                         const std::string& path, char separator) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  file << HierarchyToCsv(hierarchy, separator);
+  if (!file) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace incognito

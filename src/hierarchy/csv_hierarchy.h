@@ -1,0 +1,45 @@
+#ifndef INCOGNITO_HIERARCHY_CSV_HIERARCHY_H_
+#define INCOGNITO_HIERARCHY_CSV_HIERARCHY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "hierarchy/hierarchy.h"
+#include "relation/dictionary.h"
+
+namespace incognito {
+
+/// Reads a generalization hierarchy from the de-facto standard CSV format
+/// used by anonymization toolkits (one row per leaf value, columns from
+/// the leaf to the most general label):
+///
+///   53715;5371*;537**
+///   53710;5371*;537**
+///   53706;5370*;537**
+///
+/// Rows must all have the same width; every value of `base` must appear
+/// in column 0 of some row (extra rows are ignored, mirroring
+/// TaxonomyHierarchyBuilder).
+Result<ValueHierarchy> ParseHierarchyCsv(std::string attribute_name,
+                                         const std::string& content,
+                                         const Dictionary& base,
+                                         char separator = ';');
+
+/// ParseHierarchyCsv reading from a file.
+Result<ValueHierarchy> ReadHierarchyCsv(std::string attribute_name,
+                                        const std::string& path,
+                                        const Dictionary& base,
+                                        char separator = ';');
+
+/// Serializes a hierarchy into the same CSV format (one row per base
+/// value, leaf-to-root). Round-trips with ParseHierarchyCsv.
+std::string HierarchyToCsv(const ValueHierarchy& hierarchy,
+                           char separator = ';');
+
+/// HierarchyToCsv writing to a file.
+Status WriteHierarchyCsv(const ValueHierarchy& hierarchy,
+                         const std::string& path, char separator = ';');
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_HIERARCHY_CSV_HIERARCHY_H_

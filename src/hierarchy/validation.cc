@@ -1,0 +1,79 @@
+#include "hierarchy/validation.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace incognito {
+
+Status CheckWellFormed(const ValueHierarchy& h,
+                       const HierarchyCheckOptions& options) {
+  if (h.num_levels() == 0) {
+    return Status::InvalidArgument("hierarchy has no levels");
+  }
+  const std::string& name = h.attribute_name();
+
+  // Labels must be unique within a level (a domain is a set of values).
+  for (size_t l = 0; l < h.num_levels(); ++l) {
+    std::unordered_set<std::string> seen;
+    for (size_t c = 0; c < h.DomainSize(l); ++c) {
+      const Value& v = h.LevelValue(l, static_cast<int32_t>(c));
+      if (!seen.insert(v.ToString()).second) {
+        return Status::InvalidArgument(
+            StringPrintf("hierarchy '%s': duplicate label '%s' at level %zu",
+                         name.c_str(), v.ToString().c_str(), l));
+      }
+    }
+  }
+
+  if (options.require_surjective) {
+    for (size_t l = 0; l + 1 < h.num_levels(); ++l) {
+      std::vector<bool> hit(h.DomainSize(l + 1), false);
+      for (size_t c = 0; c < h.DomainSize(l); ++c) {
+        hit[static_cast<size_t>(h.Parent(l, static_cast<int32_t>(c)))] = true;
+      }
+      for (size_t p = 0; p < hit.size(); ++p) {
+        if (!hit[p]) {
+          return Status::InvalidArgument(StringPrintf(
+              "hierarchy '%s': level-%zu value '%s' is not the "
+              "generalization of any level-%zu value",
+              name.c_str(), l + 1,
+              h.LevelValue(l + 1, static_cast<int32_t>(p)).ToString().c_str(),
+              l));
+        }
+      }
+    }
+  }
+
+  if (options.require_single_root && h.DomainSize(h.height()) != 1) {
+    return Status::InvalidArgument(StringPrintf(
+        "hierarchy '%s': most general domain has %zu values, expected 1",
+        name.c_str(), h.DomainSize(h.height())));
+  }
+  return Status::OK();
+}
+
+Status CheckMatchesDictionary(const ValueHierarchy& h,
+                              const Dictionary& dict) {
+  if (h.DomainSize(0) != dict.size()) {
+    return Status::FailedPrecondition(StringPrintf(
+        "hierarchy '%s': base domain has %zu values but column dictionary "
+        "has %zu (hierarchies must be built after all data is loaded)",
+        h.attribute_name().c_str(), h.DomainSize(0), dict.size()));
+  }
+  for (size_t c = 0; c < dict.size(); ++c) {
+    if (!(h.LevelValue(0, static_cast<int32_t>(c)) ==
+          dict.value(static_cast<int32_t>(c)))) {
+      return Status::FailedPrecondition(StringPrintf(
+          "hierarchy '%s': base value at code %zu is '%s' but column "
+          "dictionary has '%s'",
+          h.attribute_name().c_str(), c,
+          h.LevelValue(0, static_cast<int32_t>(c)).ToString().c_str(),
+          dict.value(static_cast<int32_t>(c)).ToString().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace incognito

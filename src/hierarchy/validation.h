@@ -1,0 +1,34 @@
+#ifndef INCOGNITO_HIERARCHY_VALIDATION_H_
+#define INCOGNITO_HIERARCHY_VALIDATION_H_
+
+#include "common/status.h"
+#include "hierarchy/hierarchy.h"
+#include "relation/dictionary.h"
+
+namespace incognito {
+
+/// Options for hierarchy validation.
+struct HierarchyCheckOptions {
+  /// Require the most general domain to contain a single value (a unique
+  /// sink of the DGH chain, as in all the paper's example hierarchies).
+  bool require_single_root = true;
+  /// Require each γ to be surjective: every value of a domain must be the
+  /// generalization of some value one level down (domains are exactly the
+  /// images of the base domain, per the paper's value-generalization trees).
+  bool require_surjective = true;
+};
+
+/// Deep structural checks on a hierarchy (the cheap shape checks already run
+/// in ValueHierarchy::Create). Verifies label uniqueness per level,
+/// surjectivity, and the single-root property.
+Status CheckWellFormed(const ValueHierarchy& h,
+                       const HierarchyCheckOptions& options = {});
+
+/// Verifies that the hierarchy's base domain matches a table column's
+/// dictionary code-for-code (same size, same values, same order), which is
+/// the precondition for using Generalize() on that column's codes.
+Status CheckMatchesDictionary(const ValueHierarchy& h, const Dictionary& dict);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_HIERARCHY_VALIDATION_H_

@@ -1,0 +1,185 @@
+#include "lattice/candidate_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "lattice/hash_tree.h"
+
+namespace incognito {
+
+CandidateGraph MakeSingleAttributeGraph(const QuasiIdentifier& qid) {
+  CandidateGraph graph;
+  std::vector<std::vector<int64_t>> level_ids(qid.size());
+  for (size_t d = 0; d < qid.size(); ++d) {
+    size_t height = qid.hierarchy(d).height();
+    level_ids[d].resize(height + 1);
+    for (size_t l = 0; l <= height; ++l) {
+      NodeRow row;
+      row.pairs = {{static_cast<int32_t>(d), static_cast<int32_t>(l)}};
+      level_ids[d][l] = graph.AddNode(std::move(row));
+    }
+  }
+  for (size_t d = 0; d < qid.size(); ++d) {
+    for (size_t l = 0; l + 1 < level_ids[d].size(); ++l) {
+      graph.AddEdge(level_ids[d][l], level_ids[d][l + 1]);
+    }
+  }
+  graph.BuildAdjacency();
+  return graph;
+}
+
+namespace {
+
+/// Key for grouping nodes by all pairs except the last (the join phase's
+/// equality predicate on dim_1..dim_{i-2}, index_1..index_{i-2}).
+std::vector<DimIndexPair> PrefixKey(const NodeRow& row) {
+  return {row.pairs.begin(), row.pairs.end() - 1};
+}
+
+struct ParentPairHash {
+  size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+    return std::hash<int64_t>()(p.first) * 1000003u ^
+           std::hash<int64_t>()(p.second);
+  }
+};
+
+}  // namespace
+
+CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
+                                 GraphGenStats* stats) {
+  GraphGenStats local_stats;
+  CandidateGraph next;
+  if (survivors.num_nodes() == 0) {
+    next.BuildAdjacency();
+    if (stats != nullptr) *stats = local_stats;
+    return next;
+  }
+  const size_t i = survivors.subset_size();
+
+  // ---- Join phase -------------------------------------------------------
+  // Group surviving nodes by their first i-1 pairs; within a group, every
+  // ordered pair (p, q) with p's last dimension < q's last dimension joins
+  // into a candidate of size i+1 (paper's INSERT INTO C_i ... SELECT).
+  std::map<std::vector<DimIndexPair>, std::vector<int64_t>> groups;
+  for (const NodeRow& row : survivors.nodes()) {
+    groups[PrefixKey(row)].push_back(row.id);
+  }
+  for (auto& [prefix, ids] : groups) {
+    (void)prefix;
+    for (int64_t p_id : ids) {
+      for (int64_t q_id : ids) {
+        const NodeRow& p = survivors.node(p_id);
+        const NodeRow& q = survivors.node(q_id);
+        if (p.pairs.back().dim >= q.pairs.back().dim) continue;
+        NodeRow cand;
+        cand.pairs = p.pairs;
+        cand.pairs.push_back(q.pairs.back());
+        cand.parent1 = p_id;
+        cand.parent2 = q_id;
+        next.AddNode(std::move(cand));
+        ++local_stats.joined;
+      }
+    }
+  }
+
+  // ---- Prune phase ------------------------------------------------------
+  // A candidate survives only if every i-subset of its pairs is in S_i.
+  // Dropping the last pair yields p and dropping the (i)th yields q — both
+  // in S_i by construction — so only the remaining i-1 subsets need the
+  // hash-tree membership test.
+  SubsetHashTree tree;
+  for (const NodeRow& row : survivors.nodes()) tree.Insert(row.pairs);
+  std::vector<bool> keep(next.num_nodes(), true);
+  for (const NodeRow& cand : next.nodes()) {
+    for (size_t drop = 0; drop + 2 < cand.pairs.size(); ++drop) {
+      std::vector<DimIndexPair> subset;
+      subset.reserve(cand.pairs.size() - 1);
+      for (size_t j = 0; j < cand.pairs.size(); ++j) {
+        if (j != drop) subset.push_back(cand.pairs[j]);
+      }
+      if (!tree.Contains(subset)) {
+        keep[static_cast<size_t>(cand.id)] = false;
+        ++local_stats.pruned;
+        break;
+      }
+    }
+  }
+  // Rebuild the candidate table with only unpruned nodes (IDs renumbered).
+  CandidateGraph pruned_graph;
+  std::vector<int64_t> remap(next.num_nodes(), -1);
+  for (const NodeRow& cand : next.nodes()) {
+    if (keep[static_cast<size_t>(cand.id)]) {
+      NodeRow row = cand;
+      remap[static_cast<size_t>(cand.id)] = pruned_graph.AddNode(std::move(row));
+    }
+  }
+
+  // ---- Edge generation --------------------------------------------------
+  // CandidateEdges via the paper's three-disjunct join over E_i, using the
+  // tracked parent IDs, then subtraction of implied (2-path) edges.
+  std::unordered_map<std::pair<int64_t, int64_t>, int64_t, ParentPairHash>
+      by_parents;
+  for (const NodeRow& cand : pruned_graph.nodes()) {
+    by_parents[{cand.parent1, cand.parent2}] = cand.id;
+  }
+
+  std::set<std::pair<int64_t, int64_t>> candidate_edges;
+  auto try_edge = [&](int64_t p_id, int64_t q_parent1, int64_t q_parent2) {
+    auto it = by_parents.find({q_parent1, q_parent2});
+    if (it != by_parents.end() && it->second != p_id) {
+      candidate_edges.insert({p_id, it->second});
+    }
+  };
+  for (const NodeRow& cand : pruned_graph.nodes()) {
+    // Disjunct 1: e: parent1 → q.parent1 and f: parent2 → q.parent2.
+    for (int64_t e_end : survivors.OutEdges(cand.parent1)) {
+      for (int64_t f_end : survivors.OutEdges(cand.parent2)) {
+        try_edge(cand.id, e_end, f_end);
+      }
+    }
+    // Disjunct 2: e: parent1 → q.parent1, parent2 equal.
+    for (int64_t e_end : survivors.OutEdges(cand.parent1)) {
+      try_edge(cand.id, e_end, cand.parent2);
+    }
+    // Disjunct 3: f: parent2 → q.parent2, parent1 equal.
+    for (int64_t f_end : survivors.OutEdges(cand.parent2)) {
+      try_edge(cand.id, cand.parent1, f_end);
+    }
+  }
+  local_stats.candidate_edges = candidate_edges.size();
+
+  // EXCEPT: remove relationships implied by a 2-path of candidate edges
+  // ("they may only be separated by a single node", §3.1.2).
+  std::unordered_map<int64_t, std::vector<int64_t>> out_adj;
+  for (const auto& [start, end] : candidate_edges) {
+    out_adj[start].push_back(end);
+  }
+  for (const auto& [start, end] : candidate_edges) {
+    bool implied = false;
+    auto it = out_adj.find(start);
+    if (it != out_adj.end()) {
+      for (int64_t mid : it->second) {
+        if (mid != end && candidate_edges.count({mid, end}) > 0) {
+          implied = true;
+          break;
+        }
+      }
+    }
+    if (!implied) {
+      pruned_graph.AddEdge(start, end);
+    } else {
+      ++local_stats.implied_removed;
+    }
+  }
+
+  pruned_graph.BuildAdjacency();
+  if (stats != nullptr) *stats = local_stats;
+  (void)remap;
+  return pruned_graph;
+}
+
+}  // namespace incognito

@@ -1,0 +1,40 @@
+#ifndef INCOGNITO_LATTICE_CANDIDATE_GEN_H_
+#define INCOGNITO_LATTICE_CANDIDATE_GEN_H_
+
+#include <cstddef>
+
+#include "core/quasi_identifier.h"
+#include "lattice/graph_tables.h"
+
+namespace incognito {
+
+/// Counters describing one GraphGeneration step (used by tests and the
+/// ablation bench to quantify a-priori pruning).
+struct GraphGenStats {
+  size_t joined = 0;            ///< candidates produced by the join phase
+  size_t pruned = 0;            ///< candidates removed by the prune phase
+  size_t candidate_edges = 0;   ///< edges produced before implied removal
+  size_t implied_removed = 0;   ///< implied edges removed
+};
+
+/// Builds the first-iteration candidate graph (C1, E1): the nodes are every
+/// domain of every single attribute's generalization hierarchy, the edges
+/// are the hierarchy chains (paper Fig. 8 initialization).
+CandidateGraph MakeSingleAttributeGraph(const QuasiIdentifier& qid);
+
+/// The GraphGeneration procedure of paper §3.1.2: given the surviving
+/// i-attribute graph (S_i with edges E_i restricted to S_i), produces the
+/// (i+1)-attribute candidate graph (C_{i+1}, E_{i+1}) via
+///   1. the join phase (self-join of S_i on the first i-1 (dim,index) pairs
+///      with an ordering predicate on the last dimension),
+///   2. the prune phase (subset check against S_i via an Apriori hash
+///      tree), and
+///   3. edge generation (the paper's three-disjunct join over E_i followed
+///      by removal of implied, one-node-separated relationships).
+/// The returned graph has adjacency built.
+CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
+                                 GraphGenStats* stats = nullptr);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_LATTICE_CANDIDATE_GEN_H_

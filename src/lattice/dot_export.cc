@@ -1,0 +1,71 @@
+#include "lattice/dot_export.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace incognito {
+
+namespace {
+
+/// DOT node statement with optional highlight fill.
+std::string DotNode(const std::string& id, const std::string& label,
+                    bool highlighted) {
+  std::string out = "  \"" + id + "\" [label=\"" + label + "\"";
+  if (highlighted) out += ", style=filled, fillcolor=lightblue";
+  out += "];\n";
+  return out;
+}
+
+}  // namespace
+
+std::string CandidateGraphToDot(const CandidateGraph& graph,
+                                const QuasiIdentifier* qid,
+                                const std::set<std::string>& highlight) {
+  std::string out = "digraph candidates {\n  rankdir=BT;\n";
+  for (const NodeRow& row : graph.nodes()) {
+    SubsetNode node = row.ToSubsetNode();
+    std::string key = node.ToString();
+    out += DotNode(StringPrintf("n%lld", static_cast<long long>(row.id)),
+                   node.ToString(qid), highlight.count(key) > 0);
+  }
+  for (const auto& [start, end] : graph.edges()) {
+    out += StringPrintf("  \"n%lld\" -> \"n%lld\";\n",
+                        static_cast<long long>(start),
+                        static_cast<long long>(end));
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string LatticeToDot(const GeneralizationLattice& lattice,
+                         const QuasiIdentifier* qid,
+                         const std::set<std::string>& highlight) {
+  std::string out = "digraph lattice {\n  rankdir=BT;\n";
+  // Group nodes of equal height on one rank, as in the paper's figures.
+  std::map<int32_t, std::vector<std::string>> by_height;
+  for (const LevelVector& v : lattice.AllNodesByHeight()) {
+    SubsetNode node = SubsetNode::Full(v);
+    std::string id = StringPrintf("n%llu",
+                                  static_cast<unsigned long long>(
+                                      lattice.Index(v)));
+    out += DotNode(id, node.ToString(qid),
+                   highlight.count(node.ToString()) > 0);
+    by_height[node.Height()].push_back(id);
+    for (const LevelVector& g : lattice.DirectGeneralizations(v)) {
+      out += StringPrintf(
+          "  \"%s\" -> \"n%llu\";\n", id.c_str(),
+          static_cast<unsigned long long>(lattice.Index(g)));
+    }
+  }
+  for (const auto& [height, ids] : by_height) {
+    (void)height;
+    out += "  { rank=same;";
+    for (const std::string& id : ids) out += " \"" + id + "\";";
+    out += " }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace incognito

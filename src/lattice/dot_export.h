@@ -1,0 +1,30 @@
+#ifndef INCOGNITO_LATTICE_DOT_EXPORT_H_
+#define INCOGNITO_LATTICE_DOT_EXPORT_H_
+
+#include <set>
+#include <string>
+
+#include "core/quasi_identifier.h"
+#include "lattice/graph_tables.h"
+#include "lattice/lattice.h"
+
+namespace incognito {
+
+/// Renders a candidate generalization graph as Graphviz DOT (one node per
+/// candidate, one edge per direct generalization), for debugging and for
+/// reproducing figures in the style of the paper's Fig. 5/7. Nodes whose
+/// SubsetNode string appears in `highlight` are drawn filled — e.g. the
+/// k-anonymous survivors.
+std::string CandidateGraphToDot(const CandidateGraph& graph,
+                                const QuasiIdentifier* qid = nullptr,
+                                const std::set<std::string>& highlight = {});
+
+/// Renders the full multi-attribute generalization lattice (paper Fig. 3)
+/// as DOT, with nodes ranked by height.
+std::string LatticeToDot(const GeneralizationLattice& lattice,
+                         const QuasiIdentifier* qid = nullptr,
+                         const std::set<std::string>& highlight = {});
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_LATTICE_DOT_EXPORT_H_

@@ -1,0 +1,100 @@
+#include "lattice/graph_tables.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace incognito {
+
+int32_t NodeRow::Height() const {
+  int32_t h = 0;
+  for (const DimIndexPair& p : pairs) h += p.index;
+  return h;
+}
+
+SubsetNode NodeRow::ToSubsetNode() const {
+  SubsetNode n;
+  n.dims.reserve(pairs.size());
+  n.levels.reserve(pairs.size());
+  for (const DimIndexPair& p : pairs) {
+    n.dims.push_back(p.dim);
+    n.levels.push_back(p.index);
+  }
+  return n;
+}
+
+int64_t CandidateGraph::AddNode(NodeRow row) {
+  row.id = static_cast<int64_t>(nodes_.size());
+  nodes_.push_back(std::move(row));
+  adjacency_built_ = false;
+  return nodes_.back().id;
+}
+
+void CandidateGraph::AddEdge(int64_t start, int64_t end) {
+  assert(start >= 0 && static_cast<size_t>(start) < nodes_.size());
+  assert(end >= 0 && static_cast<size_t>(end) < nodes_.size());
+  edges_.emplace_back(start, end);
+  adjacency_built_ = false;
+}
+
+void CandidateGraph::BuildAdjacency() {
+  out_edges_.assign(nodes_.size(), {});
+  in_edges_.assign(nodes_.size(), {});
+  for (const auto& [start, end] : edges_) {
+    out_edges_[static_cast<size_t>(start)].push_back(end);
+    in_edges_[static_cast<size_t>(end)].push_back(start);
+  }
+  adjacency_built_ = true;
+}
+
+std::vector<int64_t> CandidateGraph::Roots() const {
+  assert(adjacency_built_);
+  std::vector<int64_t> roots;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_edges_[i].empty()) roots.push_back(static_cast<int64_t>(i));
+  }
+  return roots;
+}
+
+CandidateGraph CandidateGraph::InducedSubgraph(
+    const std::vector<bool>& keep) const {
+  assert(keep.size() == nodes_.size());
+  CandidateGraph out;
+  std::vector<int64_t> remap(nodes_.size(), -1);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!keep[i]) continue;
+    NodeRow row = nodes_[i];
+    // Parent references point into the *previous* iteration's graph; they
+    // are not meaningful in the survivor graph and are cleared.
+    row.parent1 = -1;
+    row.parent2 = -1;
+    remap[i] = out.AddNode(std::move(row));
+  }
+  for (const auto& [start, end] : edges_) {
+    int64_t s = remap[static_cast<size_t>(start)];
+    int64_t e = remap[static_cast<size_t>(end)];
+    if (s >= 0 && e >= 0) out.AddEdge(s, e);
+  }
+  out.BuildAdjacency();
+  return out;
+}
+
+std::string CandidateGraph::ToString() const {
+  std::string out = StringPrintf("Nodes (%zu):\n", nodes_.size());
+  for (const NodeRow& n : nodes_) {
+    out += StringPrintf("  %lld: ", static_cast<long long>(n.id));
+    out += n.ToSubsetNode().ToString();
+    out += StringPrintf(" parents=(%lld, %lld)\n",
+                        static_cast<long long>(n.parent1),
+                        static_cast<long long>(n.parent2));
+  }
+  out += StringPrintf("Edges (%zu):", edges_.size());
+  for (const auto& [start, end] : edges_) {
+    out += StringPrintf(" %lld->%lld", static_cast<long long>(start),
+                        static_cast<long long>(end));
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace incognito

@@ -1,0 +1,108 @@
+#ifndef INCOGNITO_LATTICE_GRAPH_TABLES_H_
+#define INCOGNITO_LATTICE_GRAPH_TABLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lattice/node.h"
+
+namespace incognito {
+
+/// One (dimension, index) pair of a candidate node — exactly the
+/// (dim_i, index_i) column pairs of the paper's relational Nodes table
+/// (Fig. 6). `dim` is the quasi-identifier attribute index, `index` the
+/// level in that attribute's hierarchy.
+struct DimIndexPair {
+  int32_t dim;
+  int32_t index;
+
+  bool operator==(const DimIndexPair& other) const {
+    return dim == other.dim && index == other.index;
+  }
+  bool operator<(const DimIndexPair& other) const {
+    if (dim != other.dim) return dim < other.dim;
+    return index < other.index;
+  }
+};
+
+/// A row of the Nodes relation (paper Fig. 6): a unique ID, the sorted
+/// (dim, index) pair list, and the IDs of the two size-(i-1) nodes joined
+/// to produce it (parent1/parent2; -1 for the single-attribute iteration).
+struct NodeRow {
+  int64_t id = -1;
+  std::vector<DimIndexPair> pairs;
+  int64_t parent1 = -1;
+  int64_t parent2 = -1;
+
+  /// Height of the generalization: sum of the level indices.
+  int32_t Height() const;
+
+  /// Converts to a SubsetNode (dims / levels split).
+  SubsetNode ToSubsetNode() const;
+};
+
+/// The relational representation of one iteration's candidate
+/// generalization graph: a Nodes table and an Edges table (paper Fig. 6),
+/// plus adjacency indexes. Node IDs are dense 0..size-1 within a graph.
+class CandidateGraph {
+ public:
+  CandidateGraph() = default;
+
+  /// Appends a node; its `id` field is assigned and returned.
+  int64_t AddNode(NodeRow row);
+
+  /// Appends a directed edge start→end (end is a direct multi-attribute
+  /// generalization of start).
+  void AddEdge(int64_t start, int64_t end);
+
+  /// Must be called after all edges are added and before using the
+  /// adjacency accessors (builds the in/out indexes).
+  void BuildAdjacency();
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const NodeRow& node(int64_t id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  const std::vector<NodeRow>& nodes() const { return nodes_; }
+  const std::vector<std::pair<int64_t, int64_t>>& edges() const {
+    return edges_;
+  }
+
+  /// Direct generalizations of a node (edge targets).
+  const std::vector<int64_t>& OutEdges(int64_t id) const {
+    return out_edges_[static_cast<size_t>(id)];
+  }
+  /// Direct specializations of a node (edge sources).
+  const std::vector<int64_t>& InEdges(int64_t id) const {
+    return in_edges_[static_cast<size_t>(id)];
+  }
+
+  /// Nodes with no incoming edge ("roots" of the breadth-first search,
+  /// paper §3.1.1 / §3.3.1).
+  std::vector<int64_t> Roots() const;
+
+  /// The attribute subset size i of this iteration (pair count of any
+  /// node). Requires num_nodes() > 0.
+  size_t subset_size() const { return nodes_.front().pairs.size(); }
+
+  /// Returns the subgraph induced by the nodes with keep[id] == true, with
+  /// IDs renumbered densely. Used to turn (C_i, E_i) plus the k-anonymity
+  /// outcomes into (S_i, E_i restricted to S_i) for the next iteration.
+  CandidateGraph InducedSubgraph(const std::vector<bool>& keep) const;
+
+  /// Diagnostic dump of both relations.
+  std::string ToString() const;
+
+ private:
+  std::vector<NodeRow> nodes_;
+  std::vector<std::pair<int64_t, int64_t>> edges_;
+  std::vector<std::vector<int64_t>> out_edges_;
+  std::vector<std::vector<int64_t>> in_edges_;
+  bool adjacency_built_ = false;
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_LATTICE_GRAPH_TABLES_H_

@@ -1,0 +1,83 @@
+#include "lattice/hash_tree.h"
+
+#include <algorithm>
+
+namespace incognito {
+
+namespace {
+constexpr size_t kFanOut = 8;
+constexpr size_t kLeafCapacity = 16;
+}  // namespace
+
+struct SubsetHashTree::Node {
+  bool is_leaf = true;
+  std::vector<std::vector<DimIndexPair>> keys;       // leaf payload
+  std::vector<std::unique_ptr<Node>> children;       // interior fan-out
+};
+
+SubsetHashTree::SubsetHashTree() : root_(std::make_unique<Node>()) {}
+
+SubsetHashTree::~SubsetHashTree() = default;
+
+SubsetHashTree::SubsetHashTree(SubsetHashTree&&) noexcept = default;
+
+SubsetHashTree& SubsetHashTree::operator=(SubsetHashTree&&) noexcept =
+    default;
+
+size_t SubsetHashTree::Bucket(const DimIndexPair& p) {
+  uint64_t h = (static_cast<uint64_t>(static_cast<uint32_t>(p.dim)) << 32) |
+               static_cast<uint32_t>(p.index);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<size_t>(h % kFanOut);
+}
+
+void SubsetHashTree::InsertInto(Node* node,
+                                const std::vector<DimIndexPair>& key,
+                                size_t depth) {
+  while (!node->is_leaf) {
+    node = node->children[Bucket(key[depth])].get();
+    ++depth;
+  }
+  if (std::find(node->keys.begin(), node->keys.end(), key) !=
+      node->keys.end()) {
+    return;
+  }
+  node->keys.push_back(key);
+  ++size_;
+  // Split an overfull leaf, provided the keys have pairs left to hash on.
+  if (node->keys.size() > kLeafCapacity && depth < key.size()) {
+    node->is_leaf = false;
+    node->children.resize(kFanOut);
+    for (auto& child : node->children) child = std::make_unique<Node>();
+    std::vector<std::vector<DimIndexPair>> keys = std::move(node->keys);
+    node->keys.clear();
+    for (auto& k : keys) {
+      Node* child = node->children[Bucket(k[depth])].get();
+      child->keys.push_back(std::move(k));
+    }
+  }
+}
+
+void SubsetHashTree::Insert(const std::vector<DimIndexPair>& key) {
+  if (key.empty()) return;
+  InsertInto(root_.get(), key, 0);
+}
+
+bool SubsetHashTree::Contains(const std::vector<DimIndexPair>& key) const {
+  if (key.empty()) return false;
+  const Node* node = root_.get();
+  size_t depth = 0;
+  while (!node->is_leaf) {
+    // Interior nodes only exist where depth < key length for the keys they
+    // hold; a shorter probe key than the tree depth cannot match anything.
+    if (depth >= key.size()) return false;
+    node = node->children[Bucket(key[depth])].get();
+    ++depth;
+  }
+  return std::find(node->keys.begin(), node->keys.end(), key) !=
+         node->keys.end();
+}
+
+}  // namespace incognito

@@ -1,0 +1,48 @@
+#ifndef INCOGNITO_LATTICE_HASH_TREE_H_
+#define INCOGNITO_LATTICE_HASH_TREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "lattice/graph_tables.h"
+
+namespace incognito {
+
+/// An Apriori-style hash tree over (dim, index) sequences, used by the
+/// prune phase of candidate generation (paper §3.1.2: "we use a hash tree
+/// structure similar to that described in [2] to remove these nodes").
+///
+/// Interior nodes hash the next pair of the key into a fixed fan-out of
+/// children; leaves hold keys directly and split into interior nodes when
+/// they exceed their capacity (and the key has pairs left to hash on).
+class SubsetHashTree {
+ public:
+  SubsetHashTree();
+  ~SubsetHashTree();
+  SubsetHashTree(SubsetHashTree&&) noexcept;
+  SubsetHashTree& operator=(SubsetHashTree&&) noexcept;
+
+  /// Inserts a key (a sorted (dim,index) sequence). Duplicate inserts are
+  /// harmless.
+  void Insert(const std::vector<DimIndexPair>& key);
+
+  /// Returns true iff the exact key was inserted.
+  bool Contains(const std::vector<DimIndexPair>& key) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Node;
+
+  static size_t Bucket(const DimIndexPair& p);
+  void InsertInto(Node* node, const std::vector<DimIndexPair>& key,
+                  size_t depth);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_LATTICE_HASH_TREE_H_

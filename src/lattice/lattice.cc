@@ -1,0 +1,111 @@
+#include "lattice/lattice.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace incognito {
+
+GeneralizationLattice::GeneralizationLattice(std::vector<int32_t> max_levels)
+    : max_levels_(std::move(max_levels)) {
+  assert(!max_levels_.empty());
+  for (int32_t m : max_levels_) {
+    assert(m >= 0);
+    (void)m;
+  }
+}
+
+uint64_t GeneralizationLattice::NumNodes() const {
+  uint64_t n = 1;
+  for (int32_t m : max_levels_) n *= static_cast<uint64_t>(m + 1);
+  return n;
+}
+
+int32_t GeneralizationLattice::MaxHeight() const {
+  return std::accumulate(max_levels_.begin(), max_levels_.end(), 0);
+}
+
+void GeneralizationLattice::EmitNodesAtHeight(
+    int32_t h, size_t dim, int32_t remaining, LevelVector* prefix,
+    std::vector<LevelVector>* out) const {
+  if (dim == max_levels_.size()) {
+    if (remaining == 0) out->push_back(*prefix);
+    return;
+  }
+  // Prune: the remaining dims can absorb at most this much height.
+  int32_t capacity = 0;
+  for (size_t d = dim; d < max_levels_.size(); ++d) capacity += max_levels_[d];
+  if (remaining > capacity) return;
+  (void)h;
+  for (int32_t l = 0; l <= std::min(max_levels_[dim], remaining); ++l) {
+    (*prefix)[dim] = l;
+    EmitNodesAtHeight(h, dim + 1, remaining - l, prefix, out);
+  }
+}
+
+std::vector<LevelVector> GeneralizationLattice::NodesAtHeight(
+    int32_t h) const {
+  std::vector<LevelVector> out;
+  if (h < 0 || h > MaxHeight()) return out;
+  LevelVector prefix(max_levels_.size(), 0);
+  EmitNodesAtHeight(h, 0, h, &prefix, &out);
+  return out;
+}
+
+std::vector<LevelVector> GeneralizationLattice::AllNodesByHeight() const {
+  std::vector<LevelVector> out;
+  out.reserve(NumNodes());
+  for (int32_t h = 0; h <= MaxHeight(); ++h) {
+    std::vector<LevelVector> at_h = NodesAtHeight(h);
+    out.insert(out.end(), at_h.begin(), at_h.end());
+  }
+  return out;
+}
+
+std::vector<LevelVector> GeneralizationLattice::DirectGeneralizations(
+    const LevelVector& v) const {
+  std::vector<LevelVector> out;
+  for (size_t d = 0; d < v.size(); ++d) {
+    if (v[d] < max_levels_[d]) {
+      LevelVector g = v;
+      ++g[d];
+      out.push_back(std::move(g));
+    }
+  }
+  return out;
+}
+
+std::vector<LevelVector> GeneralizationLattice::DirectSpecializations(
+    const LevelVector& v) const {
+  std::vector<LevelVector> out;
+  for (size_t d = 0; d < v.size(); ++d) {
+    if (v[d] > 0) {
+      LevelVector s = v;
+      --s[d];
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+uint64_t GeneralizationLattice::Index(const LevelVector& v) const {
+  assert(v.size() == max_levels_.size());
+  uint64_t idx = 0;
+  for (size_t d = 0; d < v.size(); ++d) {
+    assert(v[d] >= 0 && v[d] <= max_levels_[d]);
+    idx = idx * static_cast<uint64_t>(max_levels_[d] + 1) +
+          static_cast<uint64_t>(v[d]);
+  }
+  return idx;
+}
+
+LevelVector GeneralizationLattice::FromIndex(uint64_t index) const {
+  LevelVector v(max_levels_.size());
+  for (size_t d = max_levels_.size(); d-- > 0;) {
+    uint64_t radix = static_cast<uint64_t>(max_levels_[d] + 1);
+    v[d] = static_cast<int32_t>(index % radix);
+    index /= radix;
+  }
+  return v;
+}
+
+}  // namespace incognito

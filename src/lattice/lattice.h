@@ -1,0 +1,65 @@
+#ifndef INCOGNITO_LATTICE_LATTICE_H_
+#define INCOGNITO_LATTICE_LATTICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/node.h"
+
+namespace incognito {
+
+/// A level vector: one hierarchy level per quasi-identifier attribute.
+/// Equivalent to the paper's distance vector from the zero generalization
+/// (Fig. 3(b)).
+using LevelVector = std::vector<int32_t>;
+
+/// The complete multi-attribute generalization lattice over all n
+/// quasi-identifier attributes (paper §2, Fig. 3). Nodes are level vectors;
+/// the bottom element is all-zeros, the top is the vector of hierarchy
+/// heights. Used by the baseline algorithms (binary search, bottom-up BFS),
+/// which search the full lattice rather than Incognito's candidate graphs.
+class GeneralizationLattice {
+ public:
+  /// `max_levels[i]` is the height of attribute i's hierarchy.
+  explicit GeneralizationLattice(std::vector<int32_t> max_levels);
+
+  size_t num_dims() const { return max_levels_.size(); }
+  const std::vector<int32_t>& max_levels() const { return max_levels_; }
+
+  /// Total number of nodes: prod(max_levels[i] + 1).
+  uint64_t NumNodes() const;
+
+  /// Maximum height: sum(max_levels[i]).
+  int32_t MaxHeight() const;
+
+  /// All nodes with Height() == h, in lexicographic order.
+  std::vector<LevelVector> NodesAtHeight(int32_t h) const;
+
+  /// All nodes ordered by height, then lexicographically (a valid
+  /// bottom-up breadth-first visitation order).
+  std::vector<LevelVector> AllNodesByHeight() const;
+
+  /// Direct multi-attribute generalizations: one component raised by one.
+  std::vector<LevelVector> DirectGeneralizations(const LevelVector& v) const;
+
+  /// Direct specializations: one component lowered by one.
+  std::vector<LevelVector> DirectSpecializations(const LevelVector& v) const;
+
+  /// Mixed-radix index of a node in [0, NumNodes()), usable as a dense
+  /// array key for marking.
+  uint64_t Index(const LevelVector& v) const;
+
+  /// Inverse of Index().
+  LevelVector FromIndex(uint64_t index) const;
+
+ private:
+  void EmitNodesAtHeight(int32_t h, size_t dim, int32_t remaining,
+                         LevelVector* prefix,
+                         std::vector<LevelVector>* out) const;
+
+  std::vector<int32_t> max_levels_;
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_LATTICE_LATTICE_H_

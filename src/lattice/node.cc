@@ -1,0 +1,59 @@
+#include "lattice/node.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "common/strings.h"
+#include "core/quasi_identifier.h"
+
+namespace incognito {
+
+SubsetNode SubsetNode::Full(std::vector<int32_t> levels) {
+  SubsetNode n;
+  n.dims.resize(levels.size());
+  std::iota(n.dims.begin(), n.dims.end(), 0);
+  n.levels = std::move(levels);
+  return n;
+}
+
+int32_t SubsetNode::Height() const {
+  return std::accumulate(levels.begin(), levels.end(), 0);
+}
+
+bool SubsetNode::IsGeneralizedBy(const SubsetNode& other) const {
+  if (dims != other.dims) return false;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (other.levels[i] < levels[i]) return false;
+  }
+  return true;
+}
+
+std::string SubsetNode::ToString(const QuasiIdentifier* qid) const {
+  assert(dims.size() == levels.size());
+  std::string out = "<";
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (qid != nullptr) {
+      out += qid->name(static_cast<size_t>(dims[i]));
+    } else {
+      out += StringPrintf("d%d", dims[i]);
+    }
+    out += StringPrintf(":%d", levels[i]);
+  }
+  out += ">";
+  return out;
+}
+
+size_t SubsetNodeHash::operator()(const SubsetNode& n) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](int32_t v) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+    h *= 0x100000001b3ULL;
+  };
+  for (int32_t d : n.dims) mix(d);
+  mix(-1);
+  for (int32_t l : n.levels) mix(l);
+  return static_cast<size_t>(h);
+}
+
+}  // namespace incognito

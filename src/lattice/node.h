@@ -1,0 +1,59 @@
+#ifndef INCOGNITO_LATTICE_NODE_H_
+#define INCOGNITO_LATTICE_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace incognito {
+
+class QuasiIdentifier;
+
+/// A multi-attribute domain generalization over a *subset* of the
+/// quasi-identifier attributes: for each participating attribute (dims,
+/// ascending QID indices) the chosen level in its hierarchy (levels).
+///
+/// When dims == {0, 1, ..., n-1} this is a node of the full generalization
+/// lattice and `levels` is exactly the paper's distance vector (Fig. 3(b)).
+struct SubsetNode {
+  std::vector<int32_t> dims;
+  std::vector<int32_t> levels;
+
+  SubsetNode() = default;
+  SubsetNode(std::vector<int32_t> d, std::vector<int32_t> l)
+      : dims(std::move(d)), levels(std::move(l)) {}
+
+  /// Convenience: a full-QID node over dims 0..levels.size()-1.
+  static SubsetNode Full(std::vector<int32_t> levels);
+
+  size_t size() const { return dims.size(); }
+
+  /// The height of the generalization: the sum of the distance vector
+  /// (paper §2: "the sum of the values in the corresponding distance
+  /// vector").
+  int32_t Height() const;
+
+  /// Returns true iff `other` has the same dims and other.levels[i] >=
+  /// levels[i] for all i (other is this node or a generalization of it).
+  bool IsGeneralizedBy(const SubsetNode& other) const;
+
+  bool operator==(const SubsetNode& other) const {
+    return dims == other.dims && levels == other.levels;
+  }
+  bool operator<(const SubsetNode& other) const {
+    if (dims != other.dims) return dims < other.dims;
+    return levels < other.levels;
+  }
+
+  /// "<Age:1, Zipcode:2>" (with a QID for names) or "<d0:1, d3:2>".
+  std::string ToString(const QuasiIdentifier* qid = nullptr) const;
+};
+
+/// Hash functor for SubsetNode.
+struct SubsetNodeHash {
+  size_t operator()(const SubsetNode& n) const;
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_LATTICE_NODE_H_

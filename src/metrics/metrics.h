@@ -1,0 +1,76 @@
+#ifndef INCOGNITO_METRICS_METRICS_H_
+#define INCOGNITO_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/checker.h"
+#include "core/quasi_identifier.h"
+#include "lattice/node.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// Information-loss metrics for an anonymization (the cost metrics
+/// discussed in the paper's related work [3, 11, 17]; used by the
+/// model-comparison bench and the minimality examples).
+struct QualityReport {
+  /// Height of the generalization (sum of the distance vector); the
+  /// paper's §2.1 minimality criterion. Only meaningful for full-domain
+  /// generalizations (-1 otherwise).
+  int32_t height = -1;
+
+  /// Discernibility metric (Bayardo-Agrawal): Σ |G|² over released
+  /// equivalence classes, plus |T|·(suppressed count) for suppressed
+  /// tuples. Lower is better; |T| tuples in one class score |T|².
+  double discernibility = 0;
+
+  /// Average equivalence-class size of the released tuples.
+  double avg_class_size = 0;
+
+  /// Number of equivalence classes released.
+  int64_t num_classes = 0;
+
+  /// Samarati/Sweeney precision Prec: 1 − mean over cells of
+  /// (generalization level / hierarchy height). 1 = untouched data,
+  /// 0 = fully generalized.
+  double precision = 0;
+
+  /// Iyengar's loss metric LM: mean over cells of
+  /// (leaves under the generalized value − 1) / (|domain| − 1).
+  /// 0 = untouched, 1 = fully generalized.
+  double loss_metric = 0;
+
+  /// Tuples suppressed.
+  int64_t suppressed = 0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates the quality of the full-domain generalization `node` of
+/// `table` under `config` (suppression counted per the configured k).
+Result<QualityReport> EvaluateFullDomain(const Table& table,
+                                         const QuasiIdentifier& qid,
+                                         const SubsetNode& node,
+                                         const AnonymizationConfig& config);
+
+/// Evaluates a released view produced by ANY recoding model (full-domain,
+/// subtree, Mondrian, cell suppression, ...): groups the view on the named
+/// quasi-identifier columns and reports class-size metrics. `original_rows`
+/// is the size of the source table (to count suppressed tuples and weigh
+/// them in the discernibility score). Hierarchy-dependent metrics
+/// (precision, loss) are not computable from a view alone and are left 0.
+Result<QualityReport> EvaluateView(const Table& view,
+                                   const std::vector<std::string>& qid_columns,
+                                   int64_t original_rows);
+
+/// Returns the equivalence-class sizes of `view` grouped on the named
+/// columns, descending.
+Result<std::vector<int64_t>> ClassSizes(
+    const Table& view, const std::vector<std::string>& qid_columns);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_METRICS_METRICS_H_

@@ -1,0 +1,36 @@
+#ifndef INCOGNITO_MODELS_CELL_GENERALIZATION_H_
+#define INCOGNITO_MODELS_CELL_GENERALIZATION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/checker.h"
+#include "core/quasi_identifier.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// Output of the cell-generalization recoder.
+struct CellGeneralizationResult {
+  Table view;
+  int64_t cells_generalized = 0;  ///< single-level cell promotions applied
+  int64_t tuples_suppressed = 0;  ///< tuples removed after full generalization
+};
+
+/// Local recoding by Cell Generalization (paper §5.2, [17]): individual
+/// cells of individual tuples are replaced by ancestors from the value
+/// generalization hierarchy — the finest-grained hierarchy-based model in
+/// the taxonomy. A generalized cell is its own value for grouping (as
+/// with cell suppression, "5371*" matches only "5371*").
+///
+/// Greedy heuristic: while undersized groups remain, promote — in every
+/// violating tuple — the attribute with the most distinct current values
+/// among the violating tuples by one hierarchy level. Tuples still
+/// violating with every cell at the top are removed.
+Result<CellGeneralizationResult> RunCellGeneralization(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_MODELS_CELL_GENERALIZATION_H_

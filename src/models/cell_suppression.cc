@@ -1,0 +1,124 @@
+#include "models/cell_suppression.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace incognito {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int32_t x : v) {
+      h ^= static_cast<uint32_t>(x);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+constexpr int32_t kSuppressed = -1;
+
+}  // namespace
+
+Result<CellSuppressionResult> RunCellSuppression(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (qid.size() == 0) {
+    return Status::InvalidArgument("quasi-identifier must be non-empty");
+  }
+  const size_t n = qid.size();
+  const size_t rows = table.num_rows();
+
+  // cell[r][i]: the current (local) recoding of tuple r's attribute i —
+  // its dictionary code, or kSuppressed.
+  std::vector<std::vector<int32_t>> cell(rows, std::vector<int32_t>(n));
+  std::vector<const int32_t*> cols(n);
+  for (size_t i = 0; i < n; ++i) {
+    cols[i] = table.ColumnCodes(qid.column(i)).data();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < n; ++i) cell[r][i] = cols[i][r];
+  }
+
+  CellSuppressionResult result;
+  std::vector<bool> violating(rows, false);
+  std::vector<bool> removed(rows, false);
+  while (true) {
+    std::unordered_map<std::vector<int32_t>, int64_t, VecHash> groups;
+    for (size_t r = 0; r < rows; ++r) {
+      if (!removed[r]) ++groups[cell[r]];
+    }
+    int64_t below = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      violating[r] = !removed[r] && groups[cell[r]] < config.k;
+      if (violating[r]) ++below;
+    }
+    if (below == 0) break;
+
+    // Pick the attribute with the most distinct (unsuppressed) values
+    // among the violating tuples; suppressing it merges the most groups.
+    std::vector<std::unordered_set<int32_t>> distinct(n);
+    bool any_unsuppressed = false;
+    for (size_t r = 0; r < rows; ++r) {
+      if (!violating[r]) continue;
+      for (size_t i = 0; i < n; ++i) {
+        if (cell[r][i] != kSuppressed) {
+          distinct[i].insert(cell[r][i]);
+          any_unsuppressed = true;
+        }
+      }
+    }
+    if (!any_unsuppressed) {
+      // Fully suppressed tuples still in an undersized group: remove them
+      // (fewer than k such tuples remain in total).
+      for (size_t r = 0; r < rows; ++r) {
+        if (violating[r]) {
+          removed[r] = true;
+          ++result.tuples_suppressed;
+        }
+      }
+      break;
+    }
+    size_t best = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (distinct[i].size() > distinct[best].size()) best = i;
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      if (violating[r] && cell[r][best] != kSuppressed) {
+        cell[r][best] = kSuppressed;
+        ++result.cells_suppressed;
+      }
+    }
+  }
+
+  // Materialize the view.
+  std::vector<ColumnSpec> specs(table.schema().columns());
+  for (size_t i = 0; i < n; ++i) {
+    specs[qid.column(i)].type = DataType::kString;
+  }
+  result.view = Table{Schema(std::move(specs))};
+  std::vector<Value> row(table.num_columns());
+  for (size_t r = 0; r < rows; ++r) {
+    if (removed[r]) continue;
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      row[c] = table.GetValue(r, c);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (cell[r][i] == kSuppressed) {
+        row[qid.column(i)] = Value("*");
+      } else {
+        row[qid.column(i)] = Value(
+            table.dictionary(qid.column(i)).value(cell[r][i]).ToString());
+      }
+    }
+    INCOGNITO_RETURN_IF_ERROR(result.view.AppendRow(row));
+  }
+  return result;
+}
+
+}  // namespace incognito

@@ -1,0 +1,38 @@
+#ifndef INCOGNITO_MODELS_CELL_SUPPRESSION_H_
+#define INCOGNITO_MODELS_CELL_SUPPRESSION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/checker.h"
+#include "core/quasi_identifier.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// Output of the cell-suppression recoder.
+struct CellSuppressionResult {
+  Table view;
+  int64_t cells_suppressed = 0;
+  int64_t tuples_suppressed = 0;
+};
+
+/// Local recoding by Cell Suppression (paper §5.2, [1, 13, 20]): instead of
+/// recoding whole domains, individual cells of individual tuples are
+/// replaced by '*'. A suppressed cell is its own value for grouping (a '*'
+/// matches only another '*'), so the released view is k-anonymous in the
+/// standard multiset sense.
+///
+/// The exact minimal-cell-suppression problem is NP-hard [13]; this is a
+/// greedy heuristic: while undersized groups remain, suppress — in every
+/// violating tuple — the quasi-identifier attribute with the most distinct
+/// values among the violating tuples, merging them into larger groups.
+/// Tuples still violating after all their QID cells are suppressed are
+/// removed.
+Result<CellSuppressionResult> RunCellSuppression(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_MODELS_CELL_SUPPRESSION_H_

@@ -1,0 +1,44 @@
+#ifndef INCOGNITO_MODELS_SUBGRAPH_H_
+#define INCOGNITO_MODELS_SUBGRAPH_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/checker.h"
+#include "core/quasi_identifier.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// Output of the multi-dimension full-subgraph recoder.
+struct SubgraphResult {
+  Table view;
+  int64_t suppressed_tuples = 0;
+  size_t num_cells = 0;     ///< final multi-attribute generalization cells
+  int64_t promotions = 0;   ///< subgraph promotions applied
+};
+
+/// Multi-Dimension Full-Subgraph Recoding (paper §5.1.3): a single
+/// recoding function φ over the *multi-attribute* value domain maps each
+/// value vector to itself or a vector generalization, with the constraint
+/// that whenever φ uses a generalized vector ḡ, the entire subgraph of
+/// the multi-dimensional value generalization lattice rooted at ḡ
+/// (paper Fig. 13) maps to ḡ. Equivalently, the recoding is a partition
+/// of the domain into disjoint hierarchy-aligned boxes, one per used
+/// vector — strictly more flexible than full-domain generalization
+/// (different regions of the domain may generalize differently per
+/// attribute) while staying hierarchy-faithful, unlike Mondrian's
+/// arbitrary rank intervals.
+///
+/// Greedy heuristic instance of the model: starting from singleton cells,
+/// repeatedly promote the cell-dimension pair absorbing the most
+/// violating tuples, maintaining the disjoint-box invariant with a
+/// closure pass (overlapping cells are joined in). Stops when at most
+/// max(k, max_suppressed) tuples violate; leftovers are suppressed.
+Result<SubgraphResult> RunGreedySubgraph(const Table& table,
+                                         const QuasiIdentifier& qid,
+                                         const AnonymizationConfig& config);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_MODELS_SUBGRAPH_H_

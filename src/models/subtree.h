@@ -1,0 +1,39 @@
+#ifndef INCOGNITO_MODELS_SUBTREE_H_
+#define INCOGNITO_MODELS_SUBTREE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/checker.h"
+#include "core/quasi_identifier.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// Output of the greedy full-subtree recoder.
+struct SubtreeResult {
+  Table view;
+  int64_t suppressed_tuples = 0;
+  int64_t promotions = 0;  ///< subtree generalization steps applied
+};
+
+/// Single-Dimension Full-Subtree Recoding (paper §5.1.1, the model used by
+/// Iyengar [11]): each attribute's recoding function maps values to
+/// ancestors in the value generalization hierarchy, with the constraint
+/// that whenever a generalized value g is used, the *entire* subtree rooted
+/// at g maps to g — but, unlike full-domain generalization, different
+/// subtrees of one attribute may sit at different levels.
+///
+/// This implementation is a greedy heuristic (the paper's instances use a
+/// genetic algorithm; any search strategy fits the model): starting from
+/// the identity cut, it repeatedly promotes the subtree that covers the
+/// most tuples currently violating k-anonymity, until the view satisfies
+/// k-anonymity within the suppression budget (violating leftovers are
+/// suppressed under the same budget rule as Datafly).
+Result<SubtreeResult> RunGreedySubtree(const Table& table,
+                                       const QuasiIdentifier& qid,
+                                       const AnonymizationConfig& config);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_MODELS_SUBTREE_H_

@@ -1,0 +1,230 @@
+#include "relation/binary_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace incognito {
+
+namespace {
+
+constexpr char kMagic[4] = {'I', 'N', 'C', 'T'};
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void U8(uint8_t v) { out_.write(reinterpret_cast<const char*>(&v), 1); }
+  void U32(uint32_t v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void U64(uint64_t v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void I64(int64_t v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void F64(double v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+  void Bytes(const void* data, size_t n) {
+    out_.write(reinterpret_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), 1);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t len = U32();
+    if (len > (1u << 30)) {
+      in_.setstate(std::ios::failbit);
+      return "";
+    }
+    std::string s(len, '\0');
+    in_.read(s.data(), len);
+    return s;
+  }
+  void Bytes(void* data, size_t n) {
+    in_.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(n));
+  }
+
+ private:
+  std::istream& in_;
+};
+
+uint8_t TypeTag(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return 0;
+    case DataType::kDouble:
+      return 1;
+    case DataType::kString:
+      return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
+Status WriteTableBinary(const Table& table, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
+  Writer w(file);
+  w.Bytes(kMagic, 4);
+  w.U32(kVersion);
+  w.U32(static_cast<uint32_t>(table.num_columns()));
+  w.U64(table.num_rows());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    w.U8(TypeTag(table.schema().column(c).type));
+    w.Str(table.schema().column(c).name);
+  }
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Dictionary& dict = table.dictionary(c);
+    w.U32(static_cast<uint32_t>(dict.size()));
+    for (size_t i = 0; i < dict.size(); ++i) {
+      const Value& v = dict.value(static_cast<int32_t>(i));
+      if (v.is_null()) {
+        w.U8(0);
+      } else if (v.is_int64()) {
+        w.U8(1);
+        w.I64(v.int64());
+      } else if (v.is_double()) {
+        w.U8(2);
+        w.F64(v.dbl());
+      } else {
+        w.U8(3);
+        w.Str(v.str());
+      }
+    }
+  }
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const std::vector<int32_t>& codes = table.ColumnCodes(c);
+    w.Bytes(codes.data(), codes.size() * sizeof(int32_t));
+  }
+  if (!file) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Table> ReadTableBinary(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  Reader r(file);
+  char magic[4];
+  r.Bytes(magic, 4);
+  if (!r.ok() || memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a table file");
+  }
+  uint32_t version = r.U32();
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StringPrintf("unsupported table file version %u", version));
+  }
+  uint32_t num_columns = r.U32();
+  uint64_t num_rows = r.U64();
+  if (!r.ok() || num_columns == 0 || num_columns > 4096) {
+    return Status::InvalidArgument("corrupt table file header");
+  }
+
+  std::vector<ColumnSpec> specs(num_columns);
+  for (ColumnSpec& spec : specs) {
+    uint8_t tag = r.U8();
+    spec.type = tag == 0   ? DataType::kInt64
+                : tag == 1 ? DataType::kDouble
+                           : DataType::kString;
+    spec.name = r.Str();
+  }
+  if (!r.ok()) return Status::InvalidArgument("corrupt table file schema");
+  Table table{Schema(std::move(specs))};
+
+  std::vector<uint32_t> dict_sizes(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    uint32_t dict_size = r.U32();
+    dict_sizes[c] = dict_size;
+    Dictionary& dict = table.mutable_dictionary(c);
+    for (uint32_t i = 0; i < dict_size; ++i) {
+      uint8_t tag = r.U8();
+      Value v;
+      switch (tag) {
+        case 0:
+          break;
+        case 1:
+          v = Value(r.I64());
+          break;
+        case 2:
+          v = Value(r.F64());
+          break;
+        case 3:
+          v = Value(r.Str());
+          break;
+        default:
+          return Status::InvalidArgument("corrupt dictionary value tag");
+      }
+      if (dict.GetOrInsert(v) != static_cast<int32_t>(i)) {
+        return Status::InvalidArgument(
+            "corrupt dictionary: duplicate values");
+      }
+    }
+    if (!r.ok()) return Status::InvalidArgument("corrupt dictionary");
+  }
+
+  // Column codes, appended row-wise via a transposed read.
+  std::vector<std::vector<int32_t>> columns(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    columns[c].resize(num_rows);
+    r.Bytes(columns[c].data(), num_rows * sizeof(int32_t));
+    if (!r.ok()) return Status::InvalidArgument("corrupt column data");
+    for (int32_t code : columns[c]) {
+      if (code < 0 || static_cast<uint32_t>(code) >= dict_sizes[c]) {
+        return Status::InvalidArgument("code out of dictionary range");
+      }
+    }
+  }
+  std::vector<int32_t> row(num_columns);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    for (uint32_t c = 0; c < num_columns; ++c) row[c] = columns[c][i];
+    table.AppendRowCodes(row);
+  }
+  return table;
+}
+
+}  // namespace incognito

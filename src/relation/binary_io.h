@@ -1,0 +1,32 @@
+#ifndef INCOGNITO_RELATION_BINARY_IO_H_
+#define INCOGNITO_RELATION_BINARY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// Compact binary serialization of a Table, preserving the
+/// dictionary-encoded representation (unlike CSV, loading does not re-infer
+/// types or rebuild dictionaries, so round-trips are exact and fast —
+/// useful for caching large generated benchmark datasets).
+///
+/// Format (all integers little-endian):
+///   magic "INCT" | u32 version=1
+///   u32 num_columns | u64 num_rows
+///   per column: u8 type | u32 name_len | name bytes
+///   per column: u32 dict_size
+///     per value: u8 value_tag (0 null, 1 int64, 2 double, 3 string)
+///                | payload (i64 / f64 bits / u32 len + bytes)
+///   per column: num_rows × i32 codes
+Status WriteTableBinary(const Table& table, const std::string& path);
+
+/// Reads a table written by WriteTableBinary. Validates the magic,
+/// version, counts, and code ranges.
+Result<Table> ReadTableBinary(const std::string& path);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_RELATION_BINARY_IO_H_

@@ -1,0 +1,186 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace incognito {
+namespace {
+
+/// Splits one CSV record into fields, honoring double-quote quoting.
+/// Returns false on unterminated quotes.
+bool SplitCsvLine(const std::string& line, char sep,
+                  std::vector<std::string>* fields) {
+  fields->clear();
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += ch;
+      }
+    } else if (ch == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (ch == sep) {
+      fields->push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(cur));
+  return true;
+}
+
+/// Infers the narrowest type all cells of a column satisfy.
+DataType InferColumnType(const std::vector<std::vector<std::string>>& rows,
+                         size_t col) {
+  bool all_int = true, all_double = true, any_value = false;
+  for (const auto& row : rows) {
+    const std::string& cell = row[col];
+    if (cell.empty()) continue;  // NULL — compatible with every type.
+    any_value = true;
+    int64_t iv;
+    double dv;
+    if (!ParseInt64(cell, &iv)) all_int = false;
+    if (!ParseDouble(cell, &dv)) all_double = false;
+    if (!all_int && !all_double) break;
+  }
+  if (!any_value) return DataType::kString;
+  if (all_int) return DataType::kInt64;
+  if (all_double) return DataType::kDouble;
+  return DataType::kString;
+}
+
+Value CellToValue(const std::string& cell, DataType type) {
+  if (cell.empty()) return Value();
+  switch (type) {
+    case DataType::kInt64: {
+      int64_t v = 0;
+      ParseInt64(cell, &v);
+      return Value(v);
+    }
+    case DataType::kDouble: {
+      double v = 0;
+      ParseDouble(cell, &v);
+      return Value(v);
+    }
+    case DataType::kString:
+      return Value(cell);
+  }
+  return Value(cell);
+}
+
+std::string EscapeField(const std::string& field, char sep) {
+  bool needs_quotes = field.find(sep) != std::string::npos ||
+                      field.find('"') != std::string::npos ||
+                      field.find('\n') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(const std::string& content,
+                       const CsvReadOptions& options) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(content);
+  std::string line;
+  size_t line_no = 0;
+  size_t arity = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && in.eof()) break;
+    std::vector<std::string> fields;
+    if (!SplitCsvLine(line, options.separator, &fields)) {
+      return Status::InvalidArgument(
+          StringPrintf("unterminated quote on line %zu", line_no));
+    }
+    if (line_no == 1 && options.has_header) {
+      header = std::move(fields);
+      arity = header.size();
+      continue;
+    }
+    if (arity == 0) arity = fields.size();
+    if (fields.size() != arity) {
+      return Status::InvalidArgument(StringPrintf(
+          "line %zu has %zu fields, expected %zu", line_no, fields.size(),
+          arity));
+    }
+    rows.push_back(std::move(fields));
+  }
+  if (arity == 0) return Status::InvalidArgument("empty CSV input");
+
+  std::vector<ColumnSpec> specs;
+  specs.reserve(arity);
+  for (size_t c = 0; c < arity; ++c) {
+    ColumnSpec spec;
+    spec.name = options.has_header ? header[c] : StringPrintf("col%zu", c);
+    spec.type = options.infer_types && !rows.empty()
+                    ? InferColumnType(rows, c)
+                    : DataType::kString;
+    specs.push_back(std::move(spec));
+  }
+  Table table{Schema(std::move(specs))};
+  std::vector<Value> row_values(arity);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < arity; ++c) {
+      row_values[c] = CellToValue(row[c], table.schema().column(c).type);
+    }
+    INCOGNITO_RETURN_IF_ERROR(table.AppendRow(row_values));
+  }
+  return table;
+}
+
+Result<Table> ReadCsv(const std::string& path, const CsvReadOptions& options) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return ParseCsv(buf.str(), options);
+}
+
+std::string ToCsvString(const Table& table, char sep) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += sep;
+    out += EscapeField(table.schema().column(c).name, sep);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += sep;
+      out += EscapeField(table.GetValue(r, c).ToString(), sep);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsv(const Table& table, const std::string& path, char sep) {
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
+  file << ToCsvString(table, sep);
+  if (!file) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace incognito

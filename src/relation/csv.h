@@ -1,0 +1,41 @@
+#ifndef INCOGNITO_RELATION_CSV_H_
+#define INCOGNITO_RELATION_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// Options controlling CSV import.
+struct CsvReadOptions {
+  /// Field separator.
+  char separator = ',';
+  /// If true, the first line is a header naming the columns.
+  bool has_header = true;
+  /// If true, attempt to parse each column as int64, then double, falling
+  /// back to string (a column gets the narrowest type every row satisfies).
+  bool infer_types = true;
+};
+
+/// Reads a CSV file into a Table. Fields may be double-quoted; embedded
+/// quotes are escaped by doubling ("").
+Result<Table> ReadCsv(const std::string& path,
+                      const CsvReadOptions& options = {});
+
+/// Parses CSV from an in-memory string (same semantics as ReadCsv).
+Result<Table> ParseCsv(const std::string& content,
+                       const CsvReadOptions& options = {});
+
+/// Writes a table to a CSV file with a header row. Values containing the
+/// separator, quotes, or newlines are quoted.
+Status WriteCsv(const Table& table, const std::string& path,
+                char separator = ',');
+
+/// Serializes a table to a CSV string (same semantics as WriteCsv).
+std::string ToCsvString(const Table& table, char separator = ',');
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_RELATION_CSV_H_

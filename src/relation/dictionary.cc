@@ -1,0 +1,31 @@
+#include "relation/dictionary.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace incognito {
+
+int32_t Dictionary::GetOrInsert(const Value& v) {
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(values_.size());
+  values_.push_back(v);
+  index_.emplace(v, code);
+  return code;
+}
+
+int32_t Dictionary::Find(const Value& v) const {
+  auto it = index_.find(v);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<int32_t> Dictionary::SortedCodes() const {
+  std::vector<int32_t> codes(values_.size());
+  std::iota(codes.begin(), codes.end(), 0);
+  std::sort(codes.begin(), codes.end(), [this](int32_t a, int32_t b) {
+    return values_[static_cast<size_t>(a)] < values_[static_cast<size_t>(b)];
+  });
+  return codes;
+}
+
+}  // namespace incognito

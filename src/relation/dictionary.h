@@ -1,0 +1,48 @@
+#ifndef INCOGNITO_RELATION_DICTIONARY_H_
+#define INCOGNITO_RELATION_DICTIONARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/value.h"
+
+namespace incognito {
+
+/// Bidirectional mapping between Values and dense int32 codes.
+///
+/// Every table column is dictionary-encoded: the column stores codes, the
+/// dictionary owns the distinct values in first-seen order. Hierarchies are
+/// compiled against these codes, so generalizing a cell is an array lookup.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the code for `v`, inserting it if new.
+  int32_t GetOrInsert(const Value& v);
+
+  /// Returns the code for `v`, or -1 if not present.
+  int32_t Find(const Value& v) const;
+
+  /// Returns the value for a code. Requires 0 <= code < size().
+  const Value& value(int32_t code) const {
+    return values_[static_cast<size_t>(code)];
+  }
+
+  /// Number of distinct values.
+  size_t size() const { return values_.size(); }
+
+  /// Returns a permutation of codes that orders values ascending (used by
+  /// the ordered-set partitioning models, which treat the domain as a
+  /// totally ordered set).
+  std::vector<int32_t> SortedCodes() const;
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, int32_t, ValueHash> index_;
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_RELATION_DICTIONARY_H_

@@ -1,0 +1,111 @@
+#include "relation/ops.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace incognito {
+
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key) {
+  Result<size_t> lk = left.schema().ColumnIndex(left_key);
+  if (!lk.ok()) return lk.status();
+  Result<size_t> rk = right.schema().ColumnIndex(right_key);
+  if (!rk.ok()) return rk.status();
+
+  // Output schema: left columns, then right columns minus the key, with
+  // collision-avoiding names.
+  std::vector<ColumnSpec> specs(left.schema().columns());
+  std::vector<size_t> right_cols;
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    if (c == rk.value()) continue;
+    ColumnSpec spec = right.schema().column(c);
+    if (left.schema().FindColumn(spec.name) >= 0) {
+      spec.name = "right." + spec.name;
+    }
+    specs.push_back(std::move(spec));
+    right_cols.push_back(c);
+  }
+  Table out{Schema(std::move(specs))};
+
+  // Build side: hash the right key values (decoded, so the join works
+  // across tables with different dictionaries).
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> build;
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    build[right.GetValue(r, rk.value())].push_back(r);
+  }
+
+  std::vector<Value> row(out.num_columns());
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    auto it = build.find(left.GetValue(l, lk.value()));
+    if (it == build.end()) continue;
+    for (size_t c = 0; c < left.num_columns(); ++c) {
+      row[c] = left.GetValue(l, c);
+    }
+    for (size_t r : it->second) {
+      for (size_t j = 0; j < right_cols.size(); ++j) {
+        row[left.num_columns() + j] = right.GetValue(r, right_cols[j]);
+      }
+      INCOGNITO_RETURN_IF_ERROR(out.AppendRow(row));
+    }
+  }
+  return out;
+}
+
+Result<Table> GroupByCount(const Table& table,
+                           const std::vector<std::string>& columns) {
+  std::vector<size_t> cols;
+  cols.reserve(columns.size());
+  std::vector<ColumnSpec> specs;
+  for (const std::string& name : columns) {
+    Result<size_t> idx = table.schema().ColumnIndex(name);
+    if (!idx.ok()) return idx.status();
+    cols.push_back(idx.value());
+    specs.push_back(table.schema().column(idx.value()));
+  }
+  specs.push_back({"count", DataType::kInt64});
+
+  // Group on the encoded codes (cheap), remember one representative row
+  // per group for decoding.
+  struct VecHash {
+    size_t operator()(const std::vector<int32_t>& v) const {
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (int32_t x : v) {
+        h ^= static_cast<uint32_t>(x);
+        h *= 0x100000001b3ULL;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<int32_t>, int64_t, VecHash> counts;
+  std::vector<int32_t> key(cols.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = table.GetCode(r, cols[i]);
+    ++counts[key];
+  }
+
+  Table out{Schema(std::move(specs))};
+  std::vector<Value> row(cols.size() + 1);
+  for (const auto& [codes, count] : counts) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      row[i] = table.dictionary(cols[i]).value(codes[i]);
+    }
+    row[cols.size()] = Value(count);
+    INCOGNITO_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Table> ProjectColumns(const Table& table,
+                             const std::vector<std::string>& columns) {
+  std::vector<size_t> cols;
+  cols.reserve(columns.size());
+  for (const std::string& name : columns) {
+    Result<size_t> idx = table.schema().ColumnIndex(name);
+    if (!idx.ok()) return idx.status();
+    cols.push_back(idx.value());
+  }
+  return table.Project(cols);
+}
+
+}  // namespace incognito

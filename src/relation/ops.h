@@ -1,0 +1,39 @@
+#ifndef INCOGNITO_RELATION_OPS_H_
+#define INCOGNITO_RELATION_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// Hash equi-join of two tables on one column each (inner join). The
+/// output schema is all columns of `left` followed by all columns of
+/// `right` except its join key; a right column whose name collides with a
+/// left column is emitted as "right.<name>". Output rows appear in
+/// left-row order (each left row followed by its matches, in right-row
+/// order) — deterministic, which the tests rely on.
+///
+/// This is the engine primitive behind the paper's star-schema operations
+/// (§3: "a full-domain k-anonymization is produced by joining T with its
+/// dimension tables").
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key);
+
+/// Relational GROUP BY ... COUNT(*): the named columns plus a trailing
+/// int64 "count" column, one row per distinct combination (order
+/// unspecified). The paper's frequency-set query as a table-in/table-out
+/// operator; FrequencySet is the optimized in-memory representation of
+/// the same result.
+Result<Table> GroupByCount(const Table& table,
+                           const std::vector<std::string>& columns);
+
+/// Projects a table onto the named columns, in the given order.
+Result<Table> ProjectColumns(const Table& table,
+                             const std::vector<std::string>& columns);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_RELATION_OPS_H_

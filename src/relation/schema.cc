@@ -1,0 +1,39 @@
+#include "relation/schema.h"
+
+#include "common/strings.h"
+
+namespace incognito {
+
+Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  int idx = FindColumn(name);
+  if (idx < 0) return Status::NotFound("no column named '" + name + "'");
+  return static_cast<size_t>(idx);
+}
+
+Status Schema::AddColumn(ColumnSpec spec) {
+  if (FindColumn(spec.name) >= 0) {
+    return Status::AlreadyExists("column '" + spec.name + "' already exists");
+  }
+  columns_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const ColumnSpec& c : columns_) {
+    parts.push_back(c.name + ":" + DataTypeName(c.type));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace incognito

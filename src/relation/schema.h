@@ -1,0 +1,54 @@
+#ifndef INCOGNITO_RELATION_SCHEMA_H_
+#define INCOGNITO_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/value.h"
+
+namespace incognito {
+
+/// Describes one column: its name and logical type.
+struct ColumnSpec {
+  std::string name;
+  DataType type = DataType::kString;
+
+  bool operator==(const ColumnSpec& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Returns the index of the column with the given name, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Returns the index of the named column or an error Status.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Appends a column; fails if a column of the same name already exists.
+  Status AddColumn(ColumnSpec spec);
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_RELATION_SCHEMA_H_

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/binary_search.h"
+#include "core/bottom_up.h"
+#include "core/checker.h"
+#include "core/incognito.h"
+#include "data/patients.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::NodeSet;
+
+class PatientsBaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<PatientsDataset> ds = MakePatientsDataset();
+    ASSERT_TRUE(ds.ok());
+    table_ = std::move(ds->table);
+    qid_ = std::move(ds->qid);
+  }
+
+  Table table_;
+  QuasiIdentifier qid_;
+};
+
+// ---------------------------------------------------------------------------
+// Bottom-up breadth-first search
+// ---------------------------------------------------------------------------
+
+TEST_F(PatientsBaselinesTest, BottomUpMatchesIncognito) {
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> inc = RunIncognito(table_, qid_, config);
+  ASSERT_TRUE(inc.ok());
+  for (bool rollup : {false, true}) {
+    for (bool marking : {false, true}) {
+      BottomUpOptions opts;
+      opts.use_rollup = rollup;
+      opts.use_generalization_marking = marking;
+      Result<BottomUpResult> bu = RunBottomUpBfs(table_, qid_, config, opts);
+      ASSERT_TRUE(bu.ok());
+      EXPECT_EQ(NodeSet(bu->anonymous_nodes), NodeSet(inc->anonymous_nodes))
+          << "rollup=" << rollup << " marking=" << marking;
+    }
+  }
+}
+
+TEST_F(PatientsBaselinesTest, BottomUpWithoutMarkingChecksEveryNode) {
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<BottomUpResult> bu = RunBottomUpBfs(table_, qid_, config);
+  ASSERT_TRUE(bu.ok());
+  // Exhaustive baseline: all 12 lattice nodes evaluated.
+  EXPECT_EQ(bu->stats.nodes_checked, 12);
+  EXPECT_EQ(bu->stats.candidate_nodes, 12);
+  EXPECT_EQ(bu->stats.nodes_marked, 0);
+}
+
+TEST_F(PatientsBaselinesTest, BottomUpMarkingSkipsChecks) {
+  AnonymizationConfig config;
+  config.k = 2;
+  BottomUpOptions opts;
+  opts.use_generalization_marking = true;
+  Result<BottomUpResult> bu = RunBottomUpBfs(table_, qid_, config, opts);
+  ASSERT_TRUE(bu.ok());
+  EXPECT_LT(bu->stats.nodes_checked, 12);
+  EXPECT_GT(bu->stats.nodes_marked, 0);
+  EXPECT_EQ(bu->stats.nodes_checked + bu->stats.nodes_marked, 12);
+}
+
+TEST_F(PatientsBaselinesTest, BottomUpRollupScansOnce) {
+  AnonymizationConfig config;
+  config.k = 2;
+  BottomUpOptions with_rollup;
+  with_rollup.use_rollup = true;
+  Result<BottomUpResult> r = RunBottomUpBfs(table_, qid_, config, with_rollup);
+  ASSERT_TRUE(r.ok());
+  // Only the bottom node scans T; everything else rolls up.
+  EXPECT_EQ(r->stats.table_scans, 1);
+  EXPECT_EQ(r->stats.rollups, 11);
+  BottomUpOptions without;
+  Result<BottomUpResult> w = RunBottomUpBfs(table_, qid_, config, without);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->stats.table_scans, 12);
+  EXPECT_EQ(w->stats.rollups, 0);
+}
+
+TEST_F(PatientsBaselinesTest, BottomUpInvalidConfig) {
+  AnonymizationConfig config;
+  config.k = 0;
+  EXPECT_FALSE(RunBottomUpBfs(table_, qid_, config).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Samarati's binary search
+// ---------------------------------------------------------------------------
+
+TEST_F(PatientsBaselinesTest, BinarySearchFindsMinimalHeight) {
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<BinarySearchResult> r =
+      RunSamaratiBinarySearch(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  // The unique height-2 solution is <B1, S1, Z0>.
+  EXPECT_EQ(r->node.Height(), 2);
+  EXPECT_EQ(r->node.ToString(), "<d0:1, d1:1, d2:0>");
+  ASSERT_EQ(r->all_at_minimal_height.size(), 1u);
+}
+
+TEST_F(PatientsBaselinesTest, BinarySearchAgreesWithIncognitoMinimum) {
+  for (int64_t k : {1, 2, 3, 6}) {
+    AnonymizationConfig config;
+    config.k = k;
+    Result<BinarySearchResult> bs =
+        RunSamaratiBinarySearch(table_, qid_, config);
+    Result<IncognitoResult> inc = RunIncognito(table_, qid_, config);
+    ASSERT_TRUE(bs.ok());
+    ASSERT_TRUE(inc.ok());
+    ASSERT_TRUE(bs->found);
+    int32_t min_height = INT32_MAX;
+    for (const SubsetNode& n : inc->anonymous_nodes) {
+      min_height = std::min(min_height, n.Height());
+    }
+    EXPECT_EQ(bs->node.Height(), min_height) << "k=" << k;
+    // The returned node really is k-anonymous.
+    EXPECT_TRUE(IsKAnonymous(table_, qid_, bs->node, config));
+  }
+}
+
+TEST_F(PatientsBaselinesTest, BinarySearchImpossibleK) {
+  AnonymizationConfig config;
+  config.k = 7;  // exceeds table size
+  Result<BinarySearchResult> r =
+      RunSamaratiBinarySearch(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->found);
+}
+
+TEST_F(PatientsBaselinesTest, BinarySearchK1ReturnsBottom) {
+  AnonymizationConfig config;
+  config.k = 1;
+  Result<BinarySearchResult> r =
+      RunSamaratiBinarySearch(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  EXPECT_EQ(r->node.Height(), 0);
+}
+
+TEST_F(PatientsBaselinesTest, BinarySearchWithSuppression) {
+  AnonymizationConfig config;
+  config.k = 2;
+  config.max_suppressed = 2;
+  Result<BinarySearchResult> r =
+      RunSamaratiBinarySearch(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  // With 2 tuples suppressible, a height-1 generalization (<B1,S0,Z0> or
+  // <B0,S1,Z0> or <B0,S0,Z1>...) may pass; the minimal height can only
+  // shrink relative to the strict run.
+  EXPECT_LE(r->node.Height(), 2);
+}
+
+TEST_F(PatientsBaselinesTest, BinarySearchInvalidConfig) {
+  AnonymizationConfig config;
+  config.k = 0;
+  EXPECT_FALSE(RunSamaratiBinarySearch(table_, qid_, config).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-algorithm equivalence on random data (small scale; the heavier
+// randomized sweep lives in property_test.cc).
+// ---------------------------------------------------------------------------
+
+TEST(BaselinesRandomTest, AllAlgorithmsAgreeOnRandomData) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 8; ++trial) {
+    testing_util::RandomDatasetOptions opts;
+    opts.num_attrs = 2 + rng.Uniform(2);
+    opts.num_rows = 30 + rng.Uniform(60);
+    testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng, opts);
+    AnonymizationConfig config;
+    config.k = 2 + static_cast<int64_t>(rng.Uniform(3));
+
+    Result<IncognitoResult> inc = RunIncognito(ds.table, ds.qid, config);
+    Result<BottomUpResult> bu = RunBottomUpBfs(ds.table, ds.qid, config);
+    ASSERT_TRUE(inc.ok());
+    ASSERT_TRUE(bu.ok());
+    EXPECT_EQ(NodeSet(inc->anonymous_nodes), NodeSet(bu->anonymous_nodes));
+
+    Result<BinarySearchResult> bs =
+        RunSamaratiBinarySearch(ds.table, ds.qid, config);
+    ASSERT_TRUE(bs.ok());
+    if (inc->anonymous_nodes.empty()) {
+      EXPECT_FALSE(bs->found);
+    } else {
+      ASSERT_TRUE(bs->found);
+      int32_t min_height = INT32_MAX;
+      for (const SubsetNode& n : inc->anonymous_nodes) {
+        min_height = std::min(min_height, n.Height());
+      }
+      EXPECT_EQ(bs->node.Height(), min_height);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "data/patients.h"
+#include "lattice/candidate_gen.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::NodeSet;
+
+// Dimension indices for the Patients quasi-identifier.
+constexpr int32_t kB = 0;  // Birthdate
+constexpr int32_t kS = 1;  // Sex
+constexpr int32_t kZ = 2;  // Zipcode
+
+TEST(SingleAttributeGraphTest, PatientsC1E1) {
+  Result<PatientsDataset> patients = MakePatientsDataset();
+  ASSERT_TRUE(patients.ok()) << patients.status().ToString();
+  CandidateGraph g = MakeSingleAttributeGraph(patients->qid);
+  // Heights: Birthdate 1, Sex 1, Zipcode 2 → 2 + 2 + 3 nodes, 1 + 1 + 2
+  // chain edges, one root per attribute.
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Roots().size(), 3u);
+  for (int64_t root : g.Roots()) {
+    EXPECT_EQ(g.node(root).Height(), 0);
+  }
+}
+
+/// Builds the union of the three surviving 2-attribute graphs from the
+/// final steps of the paper's Fig. 5 (Example 3.1 at k = 2).
+CandidateGraph MakeFig5Survivors() {
+  CandidateGraph g;
+  auto add = [&g](int32_t d1, int32_t l1, int32_t d2, int32_t l2) {
+    NodeRow row;
+    row.pairs = {{d1, l1}, {d2, l2}};
+    return g.AddNode(std::move(row));
+  };
+  // Fig. 5(c): S_{B,S} = {<B1,S0>, <B0,S1>, <B1,S1>}.
+  int64_t b1s0 = add(kB, 1, kS, 0);
+  int64_t b0s1 = add(kB, 0, kS, 1);
+  int64_t b1s1 = add(kB, 1, kS, 1);
+  g.AddEdge(b1s0, b1s1);
+  g.AddEdge(b0s1, b1s1);
+  // Fig. 5(b): S_{B,Z} = {<B1,Z0>, <B1,Z1>, <B0,Z2>, <B1,Z2>}.
+  int64_t b1z0 = add(kB, 1, kZ, 0);
+  int64_t b1z1 = add(kB, 1, kZ, 1);
+  int64_t b0z2 = add(kB, 0, kZ, 2);
+  int64_t b1z2 = add(kB, 1, kZ, 2);
+  g.AddEdge(b1z0, b1z1);
+  g.AddEdge(b1z1, b1z2);
+  g.AddEdge(b0z2, b1z2);
+  // Fig. 5(a): S_{S,Z} = {<S1,Z0>, <S1,Z1>, <S0,Z2>, <S1,Z2>}.
+  int64_t s1z0 = add(kS, 1, kZ, 0);
+  int64_t s1z1 = add(kS, 1, kZ, 1);
+  int64_t s0z2 = add(kS, 0, kZ, 2);
+  int64_t s1z2 = add(kS, 1, kZ, 2);
+  g.AddEdge(s1z0, s1z1);
+  g.AddEdge(s1z1, s1z2);
+  g.AddEdge(s0z2, s1z2);
+  g.BuildAdjacency();
+  return g;
+}
+
+TEST(GenerateNextGraphTest, ReproducesFig7aNodes) {
+  GraphGenStats stats;
+  CandidateGraph c3 = GenerateNextGraph(MakeFig5Survivors(), &stats);
+
+  std::vector<SubsetNode> nodes;
+  for (const NodeRow& row : c3.nodes()) nodes.push_back(row.ToSubsetNode());
+  // Fig. 7(a): exactly {<B1,S1,Z0>, <B1,S1,Z1>, <B1,S1,Z2>, <B1,S0,Z2>,
+  // <B0,S1,Z2>}.
+  EXPECT_EQ(NodeSet(nodes),
+            (std::set<std::string>{"<d0:1, d1:1, d2:0>", "<d0:1, d1:1, d2:1>",
+                                   "<d0:1, d1:1, d2:2>", "<d0:1, d1:0, d2:2>",
+                                   "<d0:0, d1:1, d2:2>"}));
+  // The join produced 7 candidates; 2 were pruned by the subset check
+  // (<B1,S0,Z0> and <B1,S0,Z1> lack <S0,Z0>/<S0,Z1> in S_2).
+  EXPECT_EQ(stats.joined, 7u);
+  EXPECT_EQ(stats.pruned, 2u);
+}
+
+TEST(GenerateNextGraphTest, ReproducesFig7aEdges) {
+  CandidateGraph c3 = GenerateNextGraph(MakeFig5Survivors());
+  // Translate edges to string form for comparison.
+  std::set<std::string> edges;
+  for (const auto& [start, end] : c3.edges()) {
+    edges.insert(c3.node(start).ToSubsetNode().ToString() + " -> " +
+                 c3.node(end).ToSubsetNode().ToString());
+  }
+  EXPECT_EQ(edges, (std::set<std::string>{
+                       "<d0:1, d1:1, d2:0> -> <d0:1, d1:1, d2:1>",
+                       "<d0:1, d1:1, d2:1> -> <d0:1, d1:1, d2:2>",
+                       "<d0:1, d1:0, d2:2> -> <d0:1, d1:1, d2:2>",
+                       "<d0:0, d1:1, d2:2> -> <d0:1, d1:1, d2:2>"}));
+}
+
+TEST(GenerateNextGraphTest, Fig7aHasThreeRootsOneFamily) {
+  // §3.3.1: <B1,S1,Z0>, <B1,S0,Z2>, <B0,S1,Z2> are all roots of the
+  // 3-attribute graph and come from the same family.
+  CandidateGraph c3 = GenerateNextGraph(MakeFig5Survivors());
+  std::vector<int64_t> roots = c3.Roots();
+  EXPECT_EQ(roots.size(), 3u);
+  std::set<std::string> root_names;
+  for (int64_t r : roots) {
+    root_names.insert(c3.node(r).ToSubsetNode().ToString());
+  }
+  EXPECT_EQ(root_names,
+            (std::set<std::string>{"<d0:1, d1:1, d2:0>", "<d0:1, d1:0, d2:2>",
+                                   "<d0:0, d1:1, d2:2>"}));
+}
+
+TEST(GenerateNextGraphTest, WithoutPruningProducesFullLattice) {
+  // Feeding complete single-attribute chains through two generation steps
+  // must reproduce the complete 3-attribute lattice (Fig. 7(b)): a-priori
+  // pruning only ever removes nodes that some subset test rules out.
+  Result<PatientsDataset> patients = MakePatientsDataset();
+  ASSERT_TRUE(patients.ok());
+  CandidateGraph c1 = MakeSingleAttributeGraph(patients->qid);
+  CandidateGraph c2 = GenerateNextGraph(c1);
+  // Pairwise lattices: B×S (2·2) + B×Z (2·3) + S×Z (2·3) = 16 nodes,
+  // 4 + 7 + 7 = 18 edges.
+  EXPECT_EQ(c2.num_nodes(), 16u);
+  EXPECT_EQ(c2.num_edges(), 18u);
+  CandidateGraph c3 = GenerateNextGraph(c2);
+  // Full lattice: 2·2·3 = 12 nodes; edges: Σ over nodes of raisable dims.
+  EXPECT_EQ(c3.num_nodes(), 12u);
+  EXPECT_EQ(c3.num_edges(), 20u);
+  EXPECT_EQ(c3.Roots().size(), 1u);  // the all-zeros bottom
+}
+
+TEST(GenerateNextGraphTest, EmptySurvivorsYieldEmptyGraph) {
+  CandidateGraph empty;
+  empty.BuildAdjacency();
+  GraphGenStats stats;
+  CandidateGraph next = GenerateNextGraph(empty, &stats);
+  EXPECT_EQ(next.num_nodes(), 0u);
+  EXPECT_EQ(stats.joined, 0u);
+}
+
+TEST(GenerateNextGraphTest, DisjointFamiliesDoNotJoin) {
+  // Two surviving 1-attribute nodes of the SAME dimension never join.
+  CandidateGraph g;
+  NodeRow a, b;
+  a.pairs = {{0, 0}};
+  b.pairs = {{0, 1}};
+  g.AddNode(std::move(a));
+  g.AddNode(std::move(b));
+  g.AddEdge(0, 1);
+  g.BuildAdjacency();
+  CandidateGraph next = GenerateNextGraph(g);
+  EXPECT_EQ(next.num_nodes(), 0u);
+}
+
+TEST(GenerateNextGraphTest, EdgeCountsOnRandomLattices) {
+  // Property: generating from complete single-attribute chains twice
+  // always yields the full 3-attribute lattice with the right counts.
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    testing_util::RandomDatasetOptions opts;
+    opts.num_attrs = 3;
+    opts.num_rows = 10;
+    testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng, opts);
+    std::vector<int32_t> max_levels = ds.qid.MaxLevels();
+    CandidateGraph c1 = MakeSingleAttributeGraph(ds.qid);
+    CandidateGraph c2 = GenerateNextGraph(c1);
+    CandidateGraph c3 = GenerateNextGraph(c2);
+    uint64_t expected_nodes = 1;
+    for (int32_t m : max_levels) expected_nodes *= static_cast<uint64_t>(m + 1);
+    EXPECT_EQ(c3.num_nodes(), expected_nodes);
+    // Edge count of the full lattice: Σ_nodes (#dims below max).
+    GeneralizationLattice lattice(max_levels);
+    uint64_t expected_edges = 0;
+    for (const LevelVector& v : lattice.AllNodesByHeight()) {
+      expected_edges += lattice.DirectGeneralizations(v).size();
+    }
+    EXPECT_EQ(c3.num_edges(), expected_edges);
+  }
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "relation/csv.h"
+
+namespace incognito {
+namespace {
+
+TEST(CsvTest, ParseSimpleWithHeader) {
+  Result<Table> t = ParseCsv("a,b\n1,x\n2,y\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->schema().column(0).name, "a");
+  EXPECT_EQ(t->schema().column(0).type, DataType::kInt64);
+  EXPECT_EQ(t->schema().column(1).type, DataType::kString);
+  EXPECT_EQ(t->GetValue(1, 0), Value(int64_t{2}));
+  EXPECT_EQ(t->GetValue(0, 1), Value("x"));
+}
+
+TEST(CsvTest, TypeInferenceDoubleAndFallback) {
+  Result<Table> t = ParseCsv("a,b,c\n1.5,1,1\n2,x,2\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).type, DataType::kDouble);
+  EXPECT_EQ(t->schema().column(1).type, DataType::kString);
+  EXPECT_EQ(t->schema().column(2).type, DataType::kInt64);
+}
+
+TEST(CsvTest, NoHeaderNamesColumns) {
+  CsvReadOptions opts;
+  opts.has_header = false;
+  Result<Table> t = ParseCsv("1,2\n3,4\n", opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).name, "col0");
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvTest, QuotedFields) {
+  Result<Table> t = ParseCsv("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 0), Value("x,y"));
+  EXPECT_EQ(t->GetValue(0, 1), Value("he said \"hi\""));
+}
+
+TEST(CsvTest, EmptyFieldIsNull) {
+  Result<Table> t = ParseCsv("a,b\n1,\n2,z\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->GetValue(0, 1).is_null());
+  EXPECT_EQ(t->GetValue(1, 1), Value("z"));
+}
+
+TEST(CsvTest, ArityMismatchFails) {
+  Result<Table> t = ParseCsv("a,b\n1,2\n3\n");
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  Result<Table> t = ParseCsv("a\n\"oops\n");
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, EmptyInputFails) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  Result<Table> t = ParseCsv("a,b\r\n1,x\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 1), Value("x"));
+}
+
+TEST(CsvTest, CustomSeparator) {
+  CsvReadOptions opts;
+  opts.separator = ';';
+  Result<Table> t = ParseCsv("a;b\n1;2\n", opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 1), Value(int64_t{2}));
+}
+
+TEST(CsvTest, DisableTypeInference) {
+  CsvReadOptions opts;
+  opts.infer_types = false;
+  Result<Table> t = ParseCsv("a\n123\n", opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().column(0).type, DataType::kString);
+  EXPECT_EQ(t->GetValue(0, 0), Value("123"));
+}
+
+TEST(CsvTest, RoundTripThroughString) {
+  Result<Table> t = ParseCsv("name,n\n\"a,b\",1\nplain,2\n");
+  ASSERT_TRUE(t.ok());
+  std::string serialized = ToCsvString(t.value());
+  Result<Table> back = ParseCsv(serialized);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(t->MultisetEquals(back.value()));
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  Result<Table> t = ParseCsv("a,b\n1,x\n2,y\n");
+  ASSERT_TRUE(t.ok());
+  std::string path = ::testing::TempDir() + "/incognito_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(t.value(), path).ok());
+  Result<Table> back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(t->MultisetEquals(back.value()));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadCsv("/nonexistent/dir/x.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/patients.h"
+#include "freq/cube.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+TEST(CubeTest, PatientsCubeCoversAllSubsets) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  ZeroGenCube::BuildInfo info;
+  ZeroGenCube cube = ZeroGenCube::Build(ds->table, ds->qid, &info);
+  EXPECT_EQ(cube.num_subsets(), 7u);  // 2^3 - 1
+  EXPECT_EQ(info.num_subsets, 7u);
+  EXPECT_EQ(info.table_scans, 1);      // only the full set scans T
+  EXPECT_EQ(info.projections, 6);      // every other subset aggregated
+  EXPECT_GT(info.total_groups, 0u);
+  EXPECT_GT(info.total_bytes, 0u);
+}
+
+TEST(CubeTest, SubsetsMatchDirectComputation) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  ZeroGenCube cube = ZeroGenCube::Build(ds->table, ds->qid);
+  // Every subset's cube entry must equal a from-scratch GROUP BY.
+  const std::vector<std::vector<int32_t>> subsets = {
+      {0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}};
+  for (const auto& dims : subsets) {
+    const FrequencySet& from_cube = cube.Get(dims);
+    SubsetNode node(dims, std::vector<int32_t>(dims.size(), 0));
+    FrequencySet direct = FrequencySet::Compute(ds->table, ds->qid, node);
+    EXPECT_EQ(from_cube.NumGroups(), direct.NumGroups());
+    EXPECT_EQ(from_cube.TotalCount(), direct.TotalCount());
+    EXPECT_EQ(from_cube.MinCount(), direct.MinCount());
+    for (int64_t k = 1; k <= 4; ++k) {
+      EXPECT_EQ(from_cube.IsKAnonymous(k), direct.IsKAnonymous(k))
+          << node.ToString();
+    }
+  }
+}
+
+TEST(CubeTest, RollupFromCubeEntryMatchesScan) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  ZeroGenCube cube = ZeroGenCube::Build(ds->table, ds->qid);
+  // Cube Incognito's access pattern: roll a zero-generalization entry up
+  // to an arbitrary node of the same attribute subset.
+  SubsetNode target({1, 2}, {1, 1});
+  FrequencySet rolled = cube.Get({1, 2}).RollupTo(target, ds->qid);
+  FrequencySet direct = FrequencySet::Compute(ds->table, ds->qid, target);
+  EXPECT_EQ(rolled.NumGroups(), direct.NumGroups());
+  EXPECT_EQ(rolled.MinCount(), direct.MinCount());
+}
+
+TEST(CubeTest, RandomDataCubeMatchesDirect) {
+  Rng rng(777);
+  for (int trial = 0; trial < 5; ++trial) {
+    testing_util::RandomDatasetOptions opts;
+    opts.num_attrs = 4;
+    opts.num_rows = 120;
+    testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng, opts);
+    ZeroGenCube cube = ZeroGenCube::Build(ds.table, ds.qid);
+    EXPECT_EQ(cube.num_subsets(), 15u);
+    // Check a few random subsets.
+    const std::vector<std::vector<int32_t>> subsets = {
+        {0}, {3}, {1, 2}, {0, 3}, {0, 1, 2}, {1, 2, 3}, {0, 1, 2, 3}};
+    for (const auto& dims : subsets) {
+      SubsetNode node(dims, std::vector<int32_t>(dims.size(), 0));
+      FrequencySet direct = FrequencySet::Compute(ds.table, ds.qid, node);
+      EXPECT_EQ(cube.Get(dims).NumGroups(), direct.NumGroups());
+      EXPECT_EQ(cube.Get(dims).TuplesBelowK(2), direct.TuplesBelowK(2));
+    }
+  }
+}
+
+TEST(CubeTest, SingleAttributeQid) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  QuasiIdentifier qid1 = ds->qid.Prefix(1);
+  ZeroGenCube cube = ZeroGenCube::Build(ds->table, qid1);
+  EXPECT_EQ(cube.num_subsets(), 1u);
+  EXPECT_EQ(cube.Get({0}).TotalCount(), 6);
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/adults.h"
+#include "data/landsend.h"
+#include "data/patients.h"
+#include "hierarchy/validation.h"
+
+namespace incognito {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Patients (paper Fig. 1 / Fig. 2)
+// ---------------------------------------------------------------------------
+
+TEST(PatientsTest, TableMatchesFig1) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->table.num_rows(), 6u);
+  EXPECT_EQ(ds->table.num_columns(), 4u);
+  EXPECT_EQ(ds->table.GetValue(0, 0), Value("1/21/76"));
+  EXPECT_EQ(ds->table.GetValue(0, 3), Value("Flu"));
+  EXPECT_EQ(ds->table.GetValue(5, 3), Value("Hang Nail"));
+}
+
+TEST(PatientsTest, QidMatchesFig2Shapes) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->qid.size(), 3u);
+  EXPECT_EQ(ds->qid.name(0), "Birthdate");
+  EXPECT_EQ(ds->qid.name(1), "Sex");
+  EXPECT_EQ(ds->qid.name(2), "Zipcode");
+  EXPECT_EQ(ds->qid.hierarchy(0).height(), 1u);
+  EXPECT_EQ(ds->qid.hierarchy(1).height(), 1u);
+  EXPECT_EQ(ds->qid.hierarchy(2).height(), 2u);
+  EXPECT_EQ(ds->qid.LatticeSize(), 12u);
+  // Sex generalizes to Person, as in Fig. 2(f).
+  EXPECT_EQ(ds->qid.hierarchy(1).LevelValue(1, 0), Value("Person"));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(CheckWellFormed(ds->qid.hierarchy(i)).ok());
+  }
+}
+
+TEST(PatientsTest, VoterTableMatchesFig1) {
+  Table voters = MakeVoterRegistrationTable();
+  EXPECT_EQ(voters.num_rows(), 5u);
+  EXPECT_EQ(voters.GetValue(0, 0), Value("Andre"));
+  // Andre's (Birthdate, Sex, Zipcode) joins with the first patient row —
+  // the attack the paper's introduction demonstrates.
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(voters.GetValue(0, 1), ds->table.GetValue(0, 0));  // birthdate
+  EXPECT_EQ(voters.GetValue(0, 2), ds->table.GetValue(0, 1));  // sex
+  EXPECT_EQ(voters.GetValue(0, 3), ds->table.GetValue(0, 2));  // zipcode
+}
+
+// ---------------------------------------------------------------------------
+// Adults (paper Fig. 9 left)
+// ---------------------------------------------------------------------------
+
+class AdultsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AdultsOptions opts;
+    opts.num_rows = 5000;  // small for unit tests; schema is row-independent
+    Result<SyntheticDataset> ds = MakeAdultsDataset(opts);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new SyntheticDataset(std::move(ds).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static SyntheticDataset* dataset_;
+};
+
+SyntheticDataset* AdultsTest::dataset_ = nullptr;
+
+TEST_F(AdultsTest, SchemaMatchesFig9) {
+  const QuasiIdentifier& qid = dataset_->qid;
+  ASSERT_EQ(qid.size(), 9u);
+  const struct {
+    const char* name;
+    size_t distinct;
+    size_t height;
+  } expected[] = {
+      {"Age", 74, 4},           {"Gender", 2, 1},
+      {"Race", 5, 1},           {"Marital-status", 7, 2},
+      {"Education", 16, 3},     {"Native-country", 41, 2},
+      {"Work-class", 7, 2},     {"Occupation", 14, 2},
+      {"Salary-class", 2, 1},
+  };
+  for (size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(qid.name(i), expected[i].name);
+    EXPECT_EQ(qid.hierarchy(i).DomainSize(0), expected[i].distinct)
+        << expected[i].name;
+    EXPECT_EQ(qid.hierarchy(i).height(), expected[i].height)
+        << expected[i].name;
+    EXPECT_TRUE(CheckWellFormed(qid.hierarchy(i)).ok()) << expected[i].name;
+  }
+  EXPECT_EQ(qid.LatticeSize(), 12960u);
+}
+
+TEST_F(AdultsTest, RowsAndDeterminism) {
+  EXPECT_EQ(dataset_->table.num_rows(), 5000u);
+  AdultsOptions opts;
+  opts.num_rows = 200;
+  Result<SyntheticDataset> a = MakeAdultsDataset(opts);
+  Result<SyntheticDataset> b = MakeAdultsDataset(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->table.MultisetEquals(b->table));
+  opts.seed = 7;
+  Result<SyntheticDataset> c = MakeAdultsDataset(opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->table.MultisetEquals(c->table));
+}
+
+TEST_F(AdultsTest, AgeValuesInRange) {
+  size_t age_col = dataset_->qid.column(0);
+  for (size_t r = 0; r < 500; ++r) {
+    int64_t age = dataset_->table.GetValue(r, age_col).int64();
+    EXPECT_GE(age, 17);
+    EXPECT_LE(age, 90);
+  }
+}
+
+TEST_F(AdultsTest, DistributionsAreSkewed) {
+  // United-States dominates Native-country; White dominates Race.
+  auto share = [&](const char* column, const char* value) {
+    size_t col = static_cast<size_t>(
+        dataset_->table.schema().FindColumn(column));
+    size_t hits = 0;
+    for (size_t r = 0; r < dataset_->table.num_rows(); ++r) {
+      if (dataset_->table.GetValue(r, col) == Value(value)) ++hits;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(dataset_->table.num_rows());
+  };
+  EXPECT_GT(share("Native-country", "United-States"), 0.8);
+  EXPECT_GT(share("Race", "White"), 0.7);
+  EXPECT_GT(share("Gender", "Male"), 0.5);
+}
+
+TEST_F(AdultsTest, DescribeDatasetMatchesSchema) {
+  std::vector<AttributeStats> stats = DescribeDataset(*dataset_);
+  ASSERT_EQ(stats.size(), 9u);
+  EXPECT_EQ(stats[0].name, "Age");
+  EXPECT_EQ(stats[0].domain_size, 74u);
+  EXPECT_EQ(stats[0].hierarchy_height, 4u);
+  EXPECT_LE(stats[0].realized_distinct, 74u);
+  EXPECT_GT(stats[0].realized_distinct, 50u);  // 5000 rows cover most ages
+}
+
+TEST_F(AdultsTest, AgeHierarchyShape) {
+  const ValueHierarchy& age = dataset_->qid.hierarchy(0);
+  // 17 → [15-19] → [10-19] → [0-19] → *.
+  int32_t c17 = 0;  // dictionary prefilled in age order from 17
+  EXPECT_EQ(age.LevelValue(0, c17), Value(int64_t{17}));
+  EXPECT_EQ(age.LevelValue(1, age.Generalize(c17, 1)), Value("[15-19]"));
+  EXPECT_EQ(age.LevelValue(2, age.Generalize(c17, 2)), Value("[10-19]"));
+  EXPECT_EQ(age.LevelValue(3, age.Generalize(c17, 3)), Value("[0-19]"));
+  EXPECT_EQ(age.LevelValue(4, age.Generalize(c17, 4)), Value("*"));
+}
+
+TEST_F(AdultsTest, RejectsZeroRows) {
+  AdultsOptions opts;
+  opts.num_rows = 0;
+  EXPECT_FALSE(MakeAdultsDataset(opts).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Lands End (paper Fig. 9 right)
+// ---------------------------------------------------------------------------
+
+class LandsEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LandsEndOptions opts;
+    opts.num_rows = 5000;
+    Result<SyntheticDataset> ds = MakeLandsEndDataset(opts);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new SyntheticDataset(std::move(ds).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static SyntheticDataset* dataset_;
+};
+
+SyntheticDataset* LandsEndTest::dataset_ = nullptr;
+
+TEST_F(LandsEndTest, SchemaMatchesFig9) {
+  const QuasiIdentifier& qid = dataset_->qid;
+  ASSERT_EQ(qid.size(), 8u);
+  const struct {
+    const char* name;
+    size_t distinct;
+    size_t height;
+  } expected[] = {
+      {"Zipcode", 31953, 5}, {"Order-date", 320, 3}, {"Gender", 2, 1},
+      {"Style", 1509, 1},    {"Price", 346, 4},      {"Quantity", 1, 1},
+      {"Cost", 1412, 4},     {"Shipment", 2, 1},
+  };
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(qid.name(i), expected[i].name);
+    EXPECT_EQ(qid.hierarchy(i).DomainSize(0), expected[i].distinct)
+        << expected[i].name;
+    EXPECT_EQ(qid.hierarchy(i).height(), expected[i].height)
+        << expected[i].name;
+    EXPECT_TRUE(CheckWellFormed(qid.hierarchy(i)).ok()) << expected[i].name;
+  }
+  // Lattice: 6·4·2·2·5·2·5·2 = 9600.
+  EXPECT_EQ(qid.LatticeSize(), 9600u);
+}
+
+TEST_F(LandsEndTest, Determinism) {
+  LandsEndOptions opts;
+  opts.num_rows = 300;
+  Result<SyntheticDataset> a = MakeLandsEndDataset(opts);
+  Result<SyntheticDataset> b = MakeLandsEndDataset(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->table.MultisetEquals(b->table));
+}
+
+TEST_F(LandsEndTest, ZipcodesAreFiveDigitDomain) {
+  const ValueHierarchy& zip = dataset_->qid.hierarchy(0);
+  for (int32_t c : {0, 1000, 31952}) {
+    int64_t v = zip.LevelValue(0, c).int64();
+    EXPECT_GE(v, 1000);
+    EXPECT_LT(v, 100000);
+  }
+  // Level 5 is complete suppression.
+  EXPECT_EQ(zip.DomainSize(5), 1u);
+  EXPECT_EQ(zip.LevelValue(5, 0), Value("*****"));
+}
+
+TEST_F(LandsEndTest, OrderDatesSpan2001) {
+  const ValueHierarchy& date = dataset_->qid.hierarchy(1);
+  EXPECT_EQ(date.LevelValue(0, 0), Value("2001-01-01"));
+  // Year level has the single value 2001.
+  EXPECT_EQ(date.DomainSize(2), 1u);
+  EXPECT_EQ(date.LevelValue(2, 0), Value("2001"));
+  // Month level has 12 values.
+  EXPECT_EQ(date.DomainSize(1), 12u);
+}
+
+TEST_F(LandsEndTest, QuantityIsConstant) {
+  size_t col = dataset_->qid.column(5);
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(dataset_->table.GetValue(r, col), Value(int64_t{1}));
+  }
+}
+
+TEST_F(LandsEndTest, CostCorrelatesWithPrice) {
+  // Spearman-ish check: average cost code of cheap orders is below that of
+  // expensive orders.
+  size_t price_col = dataset_->qid.column(4);
+  size_t cost_col = dataset_->qid.column(6);
+  double cheap_sum = 0, cheap_n = 0, rich_sum = 0, rich_n = 0;
+  for (size_t r = 0; r < dataset_->table.num_rows(); ++r) {
+    int32_t price_code = dataset_->table.GetCode(r, price_col);
+    int32_t cost_code = dataset_->table.GetCode(r, cost_col);
+    if (price_code < 50) {
+      cheap_sum += cost_code;
+      ++cheap_n;
+    } else if (price_code > 200) {
+      rich_sum += cost_code;
+      ++rich_n;
+    }
+  }
+  ASSERT_GT(cheap_n, 0);
+  ASSERT_GT(rich_n, 0);
+  EXPECT_LT(cheap_sum / cheap_n, rich_sum / rich_n);
+}
+
+TEST_F(LandsEndTest, RejectsZeroRows) {
+  LandsEndOptions opts;
+  opts.num_rows = 0;
+  EXPECT_FALSE(MakeLandsEndDataset(opts).ok());
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/binary_search.h"
+#include "core/bottom_up.h"
+#include "core/incognito.h"
+#include "core/recoder.h"
+#include "data/patients.h"
+#include "hierarchy/builders.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::NodeSet;
+
+/// Builds a table with the given rows over two string attributes, with
+/// suppression hierarchies.
+struct TinyDataset {
+  Table table;
+  QuasiIdentifier qid;
+};
+
+TinyDataset MakeTiny(const std::vector<std::pair<const char*, const char*>>&
+                         rows) {
+  Table table{Schema({{"a", DataType::kString}, {"b", DataType::kString}})};
+  for (const auto& [a, b] : rows) {
+    EXPECT_TRUE(table.AppendRow({Value(a), Value(b)}).ok());
+  }
+  ValueHierarchy ha =
+      BuildSuppressionHierarchy("a", table.dictionary(0)).value();
+  ValueHierarchy hb =
+      BuildSuppressionHierarchy("b", table.dictionary(1)).value();
+  TinyDataset out;
+  out.qid = QuasiIdentifier::Create(table, {{"a", std::move(ha)},
+                                            {"b", std::move(hb)}})
+                .value();
+  out.table = std::move(table);
+  return out;
+}
+
+TEST(EdgeCasesTest, SingleRowTable) {
+  TinyDataset ds = MakeTiny({{"x", "y"}});
+  AnonymizationConfig config;
+  config.k = 1;
+  Result<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->anonymous_nodes.size(), 4u);  // whole 2x2 lattice
+
+  config.k = 2;
+  r = RunIncognito(ds.table, ds.qid, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->anonymous_nodes.empty());  // one tuple can never reach k=2
+
+  Result<BinarySearchResult> bs =
+      RunSamaratiBinarySearch(ds.table, ds.qid, config);
+  ASSERT_TRUE(bs.ok());
+  EXPECT_FALSE(bs->found);
+}
+
+TEST(EdgeCasesTest, AllRowsIdentical) {
+  TinyDataset ds = MakeTiny({{"x", "y"}, {"x", "y"}, {"x", "y"}});
+  AnonymizationConfig config;
+  config.k = 3;
+  Result<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
+  ASSERT_TRUE(r.ok());
+  // Already 3-anonymous at the bottom: every node qualifies.
+  EXPECT_EQ(r->anonymous_nodes.size(), 4u);
+  Result<BinarySearchResult> bs =
+      RunSamaratiBinarySearch(ds.table, ds.qid, config);
+  ASSERT_TRUE(bs.ok());
+  ASSERT_TRUE(bs->found);
+  EXPECT_EQ(bs->node.Height(), 0);
+}
+
+TEST(EdgeCasesTest, SingleAttributeQid) {
+  Table table{Schema({{"a", DataType::kString}})};
+  for (const char* v : {"p", "p", "q", "q", "r"}) {
+    ASSERT_TRUE(table.AppendRow({Value(v)}).ok());
+  }
+  ValueHierarchy h =
+      BuildSuppressionHierarchy("a", table.dictionary(0)).value();
+  QuasiIdentifier qid =
+      QuasiIdentifier::Create(table, {{"a", std::move(h)}}).value();
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> r = RunIncognito(table, qid, config);
+  ASSERT_TRUE(r.ok());
+  // "r" appears once: level 0 fails, level 1 (suppressed) passes.
+  ASSERT_EQ(r->anonymous_nodes.size(), 1u);
+  EXPECT_EQ(r->anonymous_nodes[0].levels, (std::vector<int32_t>{1}));
+  // With one suppression allowed, level 0 passes too.
+  config.max_suppressed = 1;
+  r = RunIncognito(table, qid, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->anonymous_nodes.size(), 2u);
+}
+
+TEST(EdgeCasesTest, ZeroHeightHierarchyAttribute) {
+  // A hierarchy with no generalization levels (height 0) participates as a
+  // frozen dimension: the lattice only varies the other attribute.
+  Table table{Schema({{"a", DataType::kString}, {"b", DataType::kString}})};
+  ASSERT_TRUE(table.AppendRow({Value("x"), Value("u")}).ok());
+  ASSERT_TRUE(table.AppendRow({Value("x"), Value("v")}).ok());
+  Result<ValueHierarchy> frozen = ValueHierarchy::Create(
+      "a", {{Value("x")}}, {});
+  ASSERT_TRUE(frozen.ok());
+  ValueHierarchy hb =
+      BuildSuppressionHierarchy("b", table.dictionary(1)).value();
+  QuasiIdentifier qid =
+      QuasiIdentifier::Create(table, {{"a", std::move(frozen).value()},
+                                      {"b", std::move(hb)}})
+          .value();
+  EXPECT_EQ(qid.LatticeSize(), 2u);
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> r = RunIncognito(table, qid, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->anonymous_nodes.size(), 1u);
+  EXPECT_EQ(r->anonymous_nodes[0].levels, (std::vector<int32_t>{0, 1}));
+  // All algorithms agree.
+  Result<BottomUpResult> bu = RunBottomUpBfs(table, qid, config);
+  ASSERT_TRUE(bu.ok());
+  EXPECT_EQ(NodeSet(bu->anonymous_nodes), NodeSet(r->anonymous_nodes));
+}
+
+TEST(EdgeCasesTest, KEqualsTableSizeExactly) {
+  TinyDataset ds = MakeTiny({{"x", "y"}, {"x", "z"}, {"w", "y"}, {"w", "z"}});
+  AnonymizationConfig config;
+  config.k = 4;
+  Result<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->anonymous_nodes.size(), 1u);
+  EXPECT_EQ(r->anonymous_nodes[0].Height(), 2);  // full suppression only
+}
+
+TEST(EdgeCasesTest, SuppressionBudgetLargerThanTable) {
+  TinyDataset ds = MakeTiny({{"x", "y"}, {"w", "z"}});
+  AnonymizationConfig config;
+  config.k = 5;
+  config.max_suppressed = 100;  // may suppress everything
+  Result<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
+  ASSERT_TRUE(r.ok());
+  // Every node qualifies by suppressing all tuples.
+  EXPECT_EQ(r->anonymous_nodes.size(), 4u);
+  Result<RecodeResult> view = ApplyFullDomainGeneralization(
+      ds.table, ds.qid, r->anonymous_nodes.front(), config);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->view.num_rows(), 0u);
+  EXPECT_EQ(view->suppressed_tuples, 2);
+}
+
+TEST(EdgeCasesTest, DuplicateHeavyTable) {
+  // 1000 copies of one row plus one outlier: realistic suppression case.
+  Table table{Schema({{"a", DataType::kString}, {"b", DataType::kString}})};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(table.AppendRow({Value("x"), Value("y")}).ok());
+  }
+  ASSERT_TRUE(table.AppendRow({Value("odd"), Value("one")}).ok());
+  ValueHierarchy ha =
+      BuildSuppressionHierarchy("a", table.dictionary(0)).value();
+  ValueHierarchy hb =
+      BuildSuppressionHierarchy("b", table.dictionary(1)).value();
+  QuasiIdentifier qid = QuasiIdentifier::Create(
+                            table, {{"a", std::move(ha)}, {"b", std::move(hb)}})
+                            .value();
+  AnonymizationConfig config;
+  config.k = 100;
+  Result<IncognitoResult> strict = RunIncognito(table, qid, config);
+  ASSERT_TRUE(strict.ok());
+  // Without suppression only full generalization reaches k=100.
+  ASSERT_EQ(strict->anonymous_nodes.size(), 1u);
+  EXPECT_EQ(strict->anonymous_nodes[0].Height(), 2);
+  config.max_suppressed = 1;
+  Result<IncognitoResult> loose = RunIncognito(table, qid, config);
+  ASSERT_TRUE(loose.ok());
+  // Suppressing the singleton makes the base table 100-anonymous.
+  EXPECT_EQ(loose->anonymous_nodes.size(), 4u);
+}
+
+TEST(EdgeCasesTest, RecoderOnEmptyFilterResult) {
+  // Recode with nothing suppressed on a trivially anonymous table.
+  TinyDataset ds = MakeTiny({{"x", "y"}, {"x", "y"}});
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<RecodeResult> view = ApplyFullDomainGeneralization(
+      ds.table, ds.qid, SubsetNode::Full({0, 0}), config);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->view.num_rows(), 2u);
+  EXPECT_TRUE(view->view.MultisetEquals(ds.table));
+}
+
+}  // namespace
+}  // namespace incognito

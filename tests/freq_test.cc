@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "data/patients.h"
+#include "freq/frequency_set.h"
+#include "freq/key_codec.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+// ---------------------------------------------------------------------------
+// KeyCodec
+// ---------------------------------------------------------------------------
+
+TEST(KeyCodecTest, BitWidths) {
+  KeyCodec codec = KeyCodec::Create({4, 2, 1, 5});
+  EXPECT_TRUE(codec.packed());
+  EXPECT_EQ(codec.num_dims(), 4u);
+  // ceil(log2): 4→2, 2→1, 1→0, 5→3.
+  EXPECT_EQ(codec.total_bits(), 6u);
+}
+
+TEST(KeyCodecTest, PackUnpackRoundTrip) {
+  KeyCodec codec = KeyCodec::Create({4, 2, 1, 5});
+  int32_t codes[4] = {3, 1, 0, 4};
+  uint64_t key = codec.Pack(codes);
+  int32_t out[4];
+  codec.Unpack(key, out);
+  EXPECT_EQ(out[0], 3);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(out[2], 0);
+  EXPECT_EQ(out[3], 4);
+}
+
+TEST(KeyCodecTest, PackIsInjective) {
+  KeyCodec codec = KeyCodec::Create({3, 3});
+  std::set<uint64_t> keys;
+  for (int32_t a = 0; a < 3; ++a) {
+    for (int32_t b = 0; b < 3; ++b) {
+      int32_t codes[2] = {a, b};
+      EXPECT_TRUE(keys.insert(codec.Pack(codes)).second);
+    }
+  }
+}
+
+TEST(KeyCodecTest, LandsEndSchemaFitsIn64Bits) {
+  // The zero-generalization Lands End key: 31953·320·2·1509·346·1·1412·2.
+  KeyCodec codec =
+      KeyCodec::Create({31953, 320, 2, 1509, 346, 1, 1412, 2});
+  EXPECT_TRUE(codec.packed());
+  EXPECT_LE(codec.total_bits(), 64u);
+}
+
+TEST(KeyCodecTest, OverflowFallsBackToUnpacked) {
+  KeyCodec codec = KeyCodec::Create(std::vector<size_t>(10, 1u << 20));
+  EXPECT_FALSE(codec.packed());
+}
+
+// ---------------------------------------------------------------------------
+// FrequencySet on the Patients running example (paper §1.1, §3).
+// ---------------------------------------------------------------------------
+
+class PatientsFreqTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<PatientsDataset> ds = MakePatientsDataset();
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    table_ = std::move(ds->table);
+    qid_ = std::move(ds->qid);
+  }
+
+  /// Collects groups as label-string → count for readable assertions.
+  std::map<std::string, int64_t> Groups(const FrequencySet& fs) {
+    std::map<std::string, int64_t> out;
+    const SubsetNode& node = fs.node();
+    fs.ForEachGroup([&](const int32_t* codes, int64_t count) {
+      std::string key;
+      for (size_t i = 0; i < node.size(); ++i) {
+        if (i > 0) key += "|";
+        key += qid_.hierarchy(static_cast<size_t>(node.dims[i]))
+                   .LevelValue(static_cast<size_t>(node.levels[i]), codes[i])
+                   .ToString();
+      }
+      out[key] = count;
+    });
+    return out;
+  }
+
+  Table table_;
+  QuasiIdentifier qid_;
+};
+
+TEST_F(PatientsFreqTest, SexZipcodeAtBaseLevels) {
+  // The paper's §1.1 example: SELECT COUNT(*) GROUP BY Sex, Zipcode shows
+  // Patients is NOT 2-anonymous w.r.t. <Sex, Zipcode>.
+  FrequencySet fs =
+      FrequencySet::Compute(table_, qid_, SubsetNode({1, 2}, {0, 0}));
+  EXPECT_EQ(fs.TotalCount(), 6);
+  std::map<std::string, int64_t> groups = Groups(fs);
+  EXPECT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups["Male|53715"], 1);
+  EXPECT_EQ(groups["Female|53715"], 1);
+  EXPECT_EQ(groups["Male|53703"], 2);
+  EXPECT_EQ(groups["Female|53706"], 2);
+  EXPECT_EQ(fs.MinCount(), 1);
+  EXPECT_FALSE(fs.IsKAnonymous(2));
+  EXPECT_TRUE(fs.IsKAnonymous(1));
+}
+
+TEST_F(PatientsFreqTest, RollupMatchesExample31) {
+  // Example 3.1: rolling the <S0,Z0> frequency set up to <S1,Z0> yields
+  // counts 2,2,2 — 2-anonymous.
+  FrequencySet base =
+      FrequencySet::Compute(table_, qid_, SubsetNode({1, 2}, {0, 0}));
+  FrequencySet rolled = base.RollupTo(SubsetNode({1, 2}, {1, 0}), qid_);
+  std::map<std::string, int64_t> groups = Groups(rolled);
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups["Person|53715"], 2);
+  EXPECT_EQ(groups["Person|53703"], 2);
+  EXPECT_EQ(groups["Person|53706"], 2);
+  EXPECT_TRUE(rolled.IsKAnonymous(2));
+  EXPECT_EQ(rolled.TotalCount(), 6);
+}
+
+TEST_F(PatientsFreqTest, RollupS0Z1StillFails) {
+  // Example 3.1 continued: <S0,Z1> is not 2-anonymous...
+  FrequencySet base =
+      FrequencySet::Compute(table_, qid_, SubsetNode({1, 2}, {0, 0}));
+  FrequencySet s0z1 = base.RollupTo(SubsetNode({1, 2}, {0, 1}), qid_);
+  EXPECT_FALSE(s0z1.IsKAnonymous(2));
+  // ...but <S0,Z2> is.
+  FrequencySet s0z2 = s0z1.RollupTo(SubsetNode({1, 2}, {0, 2}), qid_);
+  EXPECT_TRUE(s0z2.IsKAnonymous(2));
+  std::map<std::string, int64_t> groups = Groups(s0z2);
+  EXPECT_EQ(groups["Male|537**"], 3);
+  EXPECT_EQ(groups["Female|537**"], 3);
+}
+
+TEST_F(PatientsFreqTest, RollupEqualsDirectComputation) {
+  // Rollup Property (paper §3): rollup(freq(P)) == freq(Q) for every
+  // generalization Q of P over the same attributes.
+  SubsetNode base_node({0, 1, 2}, {0, 0, 0});
+  FrequencySet base = FrequencySet::Compute(table_, qid_, base_node);
+  for (int32_t b = 0; b <= 1; ++b) {
+    for (int32_t s = 0; s <= 1; ++s) {
+      for (int32_t z = 0; z <= 2; ++z) {
+        SubsetNode target({0, 1, 2}, {b, s, z});
+        FrequencySet rolled = base.RollupTo(target, qid_);
+        FrequencySet direct = FrequencySet::Compute(table_, qid_, target);
+        EXPECT_EQ(Groups(rolled), Groups(direct))
+            << "mismatch at " << target.ToString(&qid_);
+      }
+    }
+  }
+}
+
+TEST_F(PatientsFreqTest, ProjectToSubset) {
+  // Projecting <B0,S0,Z0> away from Birthdate gives freq w.r.t. <S0,Z0>.
+  FrequencySet full =
+      FrequencySet::Compute(table_, qid_, SubsetNode({0, 1, 2}, {0, 0, 0}));
+  FrequencySet projected = full.ProjectTo(SubsetNode({1, 2}, {0, 0}), qid_);
+  FrequencySet direct =
+      FrequencySet::Compute(table_, qid_, SubsetNode({1, 2}, {0, 0}));
+  EXPECT_EQ(Groups(projected), Groups(direct));
+  EXPECT_EQ(projected.TotalCount(), 6);
+}
+
+TEST_F(PatientsFreqTest, ProjectToSingleAttribute) {
+  FrequencySet full =
+      FrequencySet::Compute(table_, qid_, SubsetNode({0, 1, 2}, {0, 0, 0}));
+  FrequencySet sex = full.ProjectTo(SubsetNode({1}, {0}), qid_);
+  std::map<std::string, int64_t> groups = Groups(sex);
+  EXPECT_EQ(groups["Male"], 3);
+  EXPECT_EQ(groups["Female"], 3);
+}
+
+TEST_F(PatientsFreqTest, SuppressionThreshold) {
+  // <S0,Z0> has two singleton groups (2 tuples below k=2); with a
+  // suppression budget of 2 the generalization becomes acceptable.
+  FrequencySet fs =
+      FrequencySet::Compute(table_, qid_, SubsetNode({1, 2}, {0, 0}));
+  EXPECT_EQ(fs.TuplesBelowK(2), 2);
+  EXPECT_FALSE(fs.IsKAnonymous(2, /*max_suppressed=*/1));
+  EXPECT_TRUE(fs.IsKAnonymous(2, /*max_suppressed=*/2));
+  EXPECT_EQ(fs.TuplesBelowK(3), 6);  // every group is below 3
+  EXPECT_EQ(fs.TuplesBelowK(1), 0);
+}
+
+TEST_F(PatientsFreqTest, MemoryBytesNonZero) {
+  FrequencySet fs =
+      FrequencySet::Compute(table_, qid_, SubsetNode({1, 2}, {0, 0}));
+  EXPECT_GT(fs.MemoryBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: rollup and projection on random data, including the unpacked
+// key fallback.
+// ---------------------------------------------------------------------------
+
+TEST(FrequencySetPropertyTest, RollupCommutesOnRandomData) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng);
+    const size_t n = ds.qid.size();
+    std::vector<int32_t> dims(n);
+    for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+    SubsetNode bottom(dims, std::vector<int32_t>(n, 0));
+    FrequencySet base = FrequencySet::Compute(ds.table, ds.qid, bottom);
+    // Random target levels.
+    std::vector<int32_t> levels(n);
+    for (size_t i = 0; i < n; ++i) {
+      levels[i] = static_cast<int32_t>(
+          rng.Uniform(ds.qid.hierarchy(i).height() + 1));
+    }
+    SubsetNode target(dims, levels);
+    FrequencySet rolled = base.RollupTo(target, ds.qid);
+    FrequencySet direct = FrequencySet::Compute(ds.table, ds.qid, target);
+    EXPECT_EQ(rolled.NumGroups(), direct.NumGroups());
+    EXPECT_EQ(rolled.TotalCount(), direct.TotalCount());
+    EXPECT_EQ(rolled.MinCount(), direct.MinCount());
+    for (int64_t k = 1; k <= 5; ++k) {
+      EXPECT_EQ(rolled.TuplesBelowK(k), direct.TuplesBelowK(k));
+    }
+  }
+}
+
+TEST(FrequencySetPropertyTest, UnpackedFallbackMatchesPackedSemantics) {
+  // Six attributes with 4096-value domains need 72 bits — beyond the
+  // packed-key fast path — so this exercises the vector-key fallback for
+  // Compute, RollupTo, ProjectTo, and the k-anonymity accounting.
+  const size_t kAttrs = 6;
+  const size_t kDomain = 4096;
+  std::vector<ColumnSpec> specs;
+  for (size_t i = 0; i < kAttrs; ++i) {
+    specs.push_back({StringPrintf("a%zu", i), DataType::kInt64});
+  }
+  Table table{Schema(specs)};
+  std::vector<std::pair<std::string, ValueHierarchy>> hierarchies;
+  for (size_t i = 0; i < kAttrs; ++i) {
+    Dictionary& dict = table.mutable_dictionary(i);
+    std::vector<std::vector<Value>> levels(2);
+    std::vector<std::vector<int32_t>> parents(1);
+    for (size_t v = 0; v < kDomain; ++v) {
+      Value value(static_cast<int64_t>(v));
+      dict.GetOrInsert(value);
+      levels[0].push_back(value);
+      parents[0].push_back(0);
+    }
+    levels[1].push_back(Value("*"));
+    hierarchies.emplace_back(
+        StringPrintf("a%zu", i),
+        ValueHierarchy::Create(StringPrintf("a%zu", i), levels, parents)
+            .value());
+  }
+  Rng rng(31337);
+  std::vector<int32_t> codes(kAttrs);
+  for (size_t r = 0; r < 500; ++r) {
+    for (size_t i = 0; i < kAttrs; ++i) {
+      // Small value range so groups repeat despite the huge domain.
+      codes[i] = static_cast<int32_t>(rng.Uniform(3));
+    }
+    table.AppendRowCodes(codes);
+  }
+  QuasiIdentifier qid =
+      QuasiIdentifier::Create(table, std::move(hierarchies)).value();
+
+  std::vector<int32_t> dims(kAttrs);
+  for (size_t i = 0; i < kAttrs; ++i) dims[i] = static_cast<int32_t>(i);
+  SubsetNode bottom(dims, std::vector<int32_t>(kAttrs, 0));
+  FrequencySet fs = FrequencySet::Compute(table, qid, bottom);
+  EXPECT_EQ(fs.TotalCount(), 500);
+  EXPECT_LE(fs.NumGroups(), 729u);  // 3^6 possible combinations
+  EXPECT_GT(fs.NumGroups(), 1u);
+
+  // Rollup to the top collapses everything into one group of 500.
+  SubsetNode top(dims, std::vector<int32_t>(kAttrs, 1));
+  FrequencySet rolled = fs.RollupTo(top, qid);
+  EXPECT_EQ(rolled.NumGroups(), 1u);
+  EXPECT_EQ(rolled.MinCount(), 500);
+  EXPECT_TRUE(rolled.IsKAnonymous(500));
+
+  // Projection away to three attributes matches a direct computation.
+  SubsetNode half({0, 2, 4}, {0, 0, 0});
+  FrequencySet projected = fs.ProjectTo(half, qid);
+  FrequencySet direct = FrequencySet::Compute(table, qid, half);
+  EXPECT_EQ(projected.NumGroups(), direct.NumGroups());
+  EXPECT_EQ(projected.TuplesBelowK(5), direct.TuplesBelowK(5));
+  EXPECT_EQ(projected.MinCount(), direct.MinCount());
+}
+
+TEST(FrequencySetPropertyTest, TotalCountInvariantUnderOps) {
+  Rng rng(321);
+  testing_util::RandomDatasetOptions opts;
+  opts.num_rows = 200;
+  testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng, opts);
+  const size_t n = ds.qid.size();
+  std::vector<int32_t> dims(n);
+  for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+  FrequencySet base = FrequencySet::Compute(
+      ds.table, ds.qid, SubsetNode(dims, std::vector<int32_t>(n, 0)));
+  EXPECT_EQ(base.TotalCount(), 200);
+  FrequencySet projected =
+      base.ProjectTo(SubsetNode({dims[0]}, {0}), ds.qid);
+  EXPECT_EQ(projected.TotalCount(), 200);
+  SubsetNode top(dims, ds.qid.MaxLevels());
+  FrequencySet rolled = base.RollupTo(top, ds.qid);
+  EXPECT_EQ(rolled.TotalCount(), 200);
+  EXPECT_EQ(rolled.NumGroups(), 1u);  // single-root hierarchies
+}
+
+}  // namespace
+}  // namespace incognito

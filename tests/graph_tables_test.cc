@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "lattice/graph_tables.h"
+#include "lattice/hash_tree.h"
+
+namespace incognito {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NodeRow
+// ---------------------------------------------------------------------------
+
+TEST(NodeRowTest, HeightSumsIndices) {
+  NodeRow row;
+  row.pairs = {{0, 1}, {2, 2}};
+  EXPECT_EQ(row.Height(), 3);
+}
+
+TEST(NodeRowTest, ToSubsetNodeSplitsPairs) {
+  NodeRow row;
+  row.pairs = {{0, 1}, {2, 0}};
+  SubsetNode n = row.ToSubsetNode();
+  EXPECT_EQ(n.dims, (std::vector<int32_t>{0, 2}));
+  EXPECT_EQ(n.levels, (std::vector<int32_t>{1, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// CandidateGraph — built to mirror the paper's Fig. 6 Sex×Zipcode graph.
+// ---------------------------------------------------------------------------
+
+/// Builds the Fig. 3(a)/Fig. 6 graph: 6 nodes <S_i, Z_j>, 7 edges.
+CandidateGraph MakeFig6Graph() {
+  CandidateGraph g;
+  // IDs assigned in the paper's order: (S0,Z0) (S1,Z0) (S0,Z1) (S1,Z1)
+  // (S0,Z2) (S1,Z2) — i.e. paper IDs 1..6 map to ours 0..5.
+  auto add = [&g](int32_t s, int32_t z) {
+    NodeRow row;
+    row.pairs = {{0, s}, {1, z}};
+    return g.AddNode(std::move(row));
+  };
+  int64_t s0z0 = add(0, 0), s1z0 = add(1, 0), s0z1 = add(0, 1);
+  int64_t s1z1 = add(1, 1), s0z2 = add(0, 2), s1z2 = add(1, 2);
+  g.AddEdge(s0z0, s1z0);
+  g.AddEdge(s0z0, s0z1);
+  g.AddEdge(s1z0, s1z1);
+  g.AddEdge(s0z1, s1z1);
+  g.AddEdge(s0z1, s0z2);
+  g.AddEdge(s1z1, s1z2);
+  g.AddEdge(s0z2, s1z2);
+  g.BuildAdjacency();
+  return g;
+}
+
+TEST(CandidateGraphTest, CountsMatchFig6) {
+  CandidateGraph g = MakeFig6Graph();
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_EQ(g.subset_size(), 2u);
+}
+
+TEST(CandidateGraphTest, SingleRootIsBottom) {
+  CandidateGraph g = MakeFig6Graph();
+  std::vector<int64_t> roots = g.Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], 0);  // <S0, Z0>
+}
+
+TEST(CandidateGraphTest, Adjacency) {
+  CandidateGraph g = MakeFig6Graph();
+  EXPECT_EQ(g.OutEdges(0).size(), 2u);  // <S0,Z0> -> <S1,Z0>, <S0,Z1>
+  EXPECT_EQ(g.InEdges(5).size(), 2u);   // <S1,Z2> <- <S1,Z1>, <S0,Z2>
+  EXPECT_TRUE(g.OutEdges(5).empty());   // top
+  EXPECT_TRUE(g.InEdges(0).empty());    // bottom
+}
+
+TEST(CandidateGraphTest, InducedSubgraphKeepsSurvivingEdges) {
+  CandidateGraph g = MakeFig6Graph();
+  // Drop <S0,Z0> and <S0,Z1> (the nodes that fail 2-anonymity in the
+  // paper's Example 3.1 search of this graph).
+  std::vector<bool> keep = {false, true, false, true, true, true};
+  CandidateGraph s = g.InducedSubgraph(keep);
+  EXPECT_EQ(s.num_nodes(), 4u);
+  // Surviving edges: S1Z0->S1Z1, S1Z1->S1Z2, S0Z2->S1Z2.
+  EXPECT_EQ(s.num_edges(), 3u);
+  // Roots of the survivor graph: <S1,Z0> and <S0,Z2>.
+  EXPECT_EQ(s.Roots().size(), 2u);
+}
+
+TEST(CandidateGraphTest, InducedSubgraphOfNothingIsEmpty) {
+  CandidateGraph g = MakeFig6Graph();
+  CandidateGraph s = g.InducedSubgraph(std::vector<bool>(6, false));
+  EXPECT_EQ(s.num_nodes(), 0u);
+  EXPECT_EQ(s.num_edges(), 0u);
+}
+
+TEST(CandidateGraphTest, ToStringListsNodesAndEdges) {
+  std::string s = MakeFig6Graph().ToString();
+  EXPECT_NE(s.find("Nodes (6)"), std::string::npos);
+  EXPECT_NE(s.find("Edges (7)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SubsetHashTree
+// ---------------------------------------------------------------------------
+
+TEST(HashTreeTest, InsertAndContains) {
+  SubsetHashTree tree;
+  std::vector<DimIndexPair> key = {{0, 1}, {2, 0}};
+  EXPECT_FALSE(tree.Contains(key));
+  tree.Insert(key);
+  EXPECT_TRUE(tree.Contains(key));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(HashTreeTest, DuplicateInsertIsIdempotent) {
+  SubsetHashTree tree;
+  std::vector<DimIndexPair> key = {{1, 1}};
+  tree.Insert(key);
+  tree.Insert(key);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(HashTreeTest, DistinguishesSimilarKeys) {
+  SubsetHashTree tree;
+  tree.Insert({{0, 1}, {1, 0}});
+  EXPECT_FALSE(tree.Contains({{0, 0}, {1, 0}}));
+  EXPECT_FALSE(tree.Contains({{0, 1}, {1, 1}}));
+  EXPECT_FALSE(tree.Contains({{0, 1}}));
+  EXPECT_FALSE(tree.Contains({{0, 1}, {1, 0}, {2, 0}}));
+}
+
+TEST(HashTreeTest, EmptyKeyIsRejected) {
+  SubsetHashTree tree;
+  tree.Insert({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Contains({}));
+}
+
+TEST(HashTreeTest, ManyKeysForceLeafSplits) {
+  // Insert several hundred keys of length 3 so interior nodes form, then
+  // verify exact membership for all of them and absence for others.
+  SubsetHashTree tree;
+  Rng rng(17);
+  std::vector<std::vector<DimIndexPair>> keys;
+  for (int32_t a = 0; a < 8; ++a) {
+    for (int32_t b = 0; b < 8; ++b) {
+      for (int32_t c = 0; c < 8; ++c) {
+        keys.push_back({{0, a}, {1, b}, {2, c}});
+      }
+    }
+  }
+  for (const auto& k : keys) tree.Insert(k);
+  EXPECT_EQ(tree.size(), keys.size());
+  for (const auto& k : keys) {
+    EXPECT_TRUE(tree.Contains(k));
+  }
+  EXPECT_FALSE(tree.Contains({{0, 9}, {1, 0}, {2, 0}}));
+  EXPECT_FALSE(tree.Contains({{0, 0}, {1, 0}}));
+}
+
+TEST(HashTreeTest, MoveSemantics) {
+  SubsetHashTree tree;
+  tree.Insert({{0, 0}});
+  SubsetHashTree moved = std::move(tree);
+  EXPECT_TRUE(moved.Contains({{0, 0}}));
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/checker.h"
+#include "core/incognito.h"
+#include "data/patients.h"
+#include "lattice/lattice.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::NodeSet;
+
+class PatientsIncognitoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<PatientsDataset> ds = MakePatientsDataset();
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    table_ = std::move(ds->table);
+    qid_ = std::move(ds->qid);
+  }
+
+  Table table_;
+  QuasiIdentifier qid_;
+};
+
+TEST_F(PatientsIncognitoTest, Example31FirstIteration) {
+  // Example 3.1: "the first iteration finds that T is k-anonymous with
+  // respect to <B0>, <S0>, and <Z0>" — so every single-attribute node
+  // survives.
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->per_iteration_survivors.size(), 3u);
+  EXPECT_EQ(r->per_iteration_survivors[0].size(), 7u);  // all of C1
+}
+
+TEST_F(PatientsIncognitoTest, Example31SecondIterationSurvivors) {
+  // The surviving 2-attribute generalizations must match the final steps
+  // of Fig. 5 (a, b, c).
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NodeSet(r->per_iteration_survivors[1]),
+            (std::set<std::string>{
+                // Fig. 5(c): S_{Birthdate,Sex}
+                "<d0:1, d1:0>", "<d0:0, d1:1>", "<d0:1, d1:1>",
+                // Fig. 5(b): S_{Birthdate,Zipcode}
+                "<d0:1, d2:0>", "<d0:1, d2:1>", "<d0:0, d2:2>",
+                "<d0:1, d2:2>",
+                // Fig. 5(a): S_{Sex,Zipcode}
+                "<d1:1, d2:0>", "<d1:1, d2:1>", "<d1:0, d2:2>",
+                "<d1:1, d2:2>"}));
+}
+
+TEST_F(PatientsIncognitoTest, FinalResultIsFig7aNodes) {
+  // All five candidates of Fig. 7(a) are 2-anonymous, so S_3 is exactly
+  // that set.
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NodeSet(r->anonymous_nodes),
+            (std::set<std::string>{"<d0:1, d1:1, d2:0>", "<d0:1, d1:1, d2:1>",
+                                   "<d0:1, d1:1, d2:2>", "<d0:1, d1:0, d2:2>",
+                                   "<d0:0, d1:1, d2:2>"}));
+}
+
+TEST_F(PatientsIncognitoTest, ResultMatchesExhaustiveOracle) {
+  // Soundness and completeness (paper §3.2) against brute force.
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  GeneralizationLattice lattice(qid_.MaxLevels());
+  std::set<std::string> oracle;
+  for (const LevelVector& v : lattice.AllNodesByHeight()) {
+    SubsetNode node = SubsetNode::Full(v);
+    if (IsKAnonymous(table_, qid_, node, config)) {
+      oracle.insert(node.ToString());
+    }
+  }
+  EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle);
+}
+
+TEST_F(PatientsIncognitoTest, AllVariantsAgree) {
+  AnonymizationConfig config;
+  config.k = 2;
+  IncognitoOptions basic, super_roots, cube;
+  basic.variant = IncognitoVariant::kBasic;
+  super_roots.variant = IncognitoVariant::kSuperRoots;
+  cube.variant = IncognitoVariant::kCube;
+  Result<IncognitoResult> rb = RunIncognito(table_, qid_, config, basic);
+  Result<IncognitoResult> rs = RunIncognito(table_, qid_, config, super_roots);
+  Result<IncognitoResult> rc = RunIncognito(table_, qid_, config, cube);
+  ASSERT_TRUE(rb.ok());
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(NodeSet(rb->anonymous_nodes), NodeSet(rs->anonymous_nodes));
+  EXPECT_EQ(NodeSet(rb->anonymous_nodes), NodeSet(rc->anonymous_nodes));
+}
+
+TEST_F(PatientsIncognitoTest, CubeVariantScansOnce) {
+  AnonymizationConfig config;
+  config.k = 2;
+  IncognitoOptions cube;
+  cube.variant = IncognitoVariant::kCube;
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config, cube);
+  ASSERT_TRUE(r.ok());
+  // The cube build is the only scan of T.
+  EXPECT_EQ(r->stats.table_scans, 1);
+  EXPECT_GE(r->stats.cube_build_seconds, 0.0);
+}
+
+TEST_F(PatientsIncognitoTest, SuperRootsReducesScans) {
+  AnonymizationConfig config;
+  config.k = 2;
+  IncognitoOptions basic, sup;
+  basic.variant = IncognitoVariant::kBasic;
+  sup.variant = IncognitoVariant::kSuperRoots;
+  Result<IncognitoResult> rb = RunIncognito(table_, qid_, config, basic);
+  Result<IncognitoResult> rs = RunIncognito(table_, qid_, config, sup);
+  ASSERT_TRUE(rb.ok());
+  ASSERT_TRUE(rs.ok());
+  // Fig. 7(a) has a 3-root family; super-roots covers it with one scan.
+  EXPECT_LT(rs->stats.table_scans, rb->stats.table_scans);
+}
+
+TEST_F(PatientsIncognitoTest, K1EverythingIsAnonymous) {
+  AnonymizationConfig config;
+  config.k = 1;
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  // Every node of the full lattice (12 for Patients) is 1-anonymous.
+  EXPECT_EQ(r->anonymous_nodes.size(), 12u);
+}
+
+TEST_F(PatientsIncognitoTest, LargeKOnlyTopSurvives) {
+  AnonymizationConfig config;
+  config.k = 6;  // the whole table
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  // Only the fully generalized node puts all six tuples in one group.
+  ASSERT_EQ(r->anonymous_nodes.size(), 1u);
+  EXPECT_EQ(r->anonymous_nodes[0].ToString(), "<d0:1, d1:1, d2:2>");
+}
+
+TEST_F(PatientsIncognitoTest, ImpossibleKYieldsEmptyResult) {
+  AnonymizationConfig config;
+  config.k = 7;  // more than the table size
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->anonymous_nodes.empty());
+}
+
+TEST_F(PatientsIncognitoTest, SuppressionWidensResultSet) {
+  AnonymizationConfig strict, loose;
+  strict.k = 2;
+  loose.k = 2;
+  loose.max_suppressed = 2;
+  Result<IncognitoResult> rs = RunIncognito(table_, qid_, strict);
+  Result<IncognitoResult> rl = RunIncognito(table_, qid_, loose);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_GT(rl->anonymous_nodes.size(), rs->anonymous_nodes.size());
+  // Every strict result is also a result under suppression.
+  std::set<std::string> loose_set = NodeSet(rl->anonymous_nodes);
+  for (const SubsetNode& n : rs->anonymous_nodes) {
+    EXPECT_TRUE(loose_set.count(n.ToString()) > 0);
+  }
+  // <S0,Z0>-style nodes with 2 singleton tuples now pass: the bottom
+  // <B0,S0,Z0> has all counts 1, needs 6 suppressed, still fails.
+  EXPECT_EQ(loose_set.count("<d0:0, d1:0, d2:0>"), 0u);
+}
+
+TEST_F(PatientsIncognitoTest, InvalidConfigRejected) {
+  AnonymizationConfig config;
+  config.k = 0;
+  EXPECT_FALSE(RunIncognito(table_, qid_, config).ok());
+  config.k = 2;
+  config.max_suppressed = -1;
+  EXPECT_FALSE(RunIncognito(table_, qid_, config).ok());
+}
+
+TEST_F(PatientsIncognitoTest, StatsAreCoherent) {
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  ASSERT_TRUE(r.ok());
+  const AlgorithmStats& s = r->stats;
+  EXPECT_GT(s.nodes_checked, 0);
+  EXPECT_GT(s.table_scans, 0);
+  EXPECT_GE(s.rollups, 0);
+  EXPECT_GT(s.candidate_nodes, 0);
+  EXPECT_GE(s.total_seconds, 0.0);
+  // Candidate count never exceeds (sub-lattice sizes summed over subsets).
+  EXPECT_LE(s.nodes_checked + s.nodes_marked, s.candidate_nodes);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST_F(PatientsIncognitoTest, NonTransitiveMarkingStillSoundComplete) {
+  AnonymizationConfig config;
+  config.k = 2;
+  IncognitoOptions opts;
+  opts.mark_transitively = false;  // exactly Fig. 8's direct marking
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NodeSet(r->anonymous_nodes).size(), 5u);
+}
+
+TEST_F(PatientsIncognitoTest, NoRollupAblationSameResult) {
+  AnonymizationConfig config;
+  config.k = 2;
+  IncognitoOptions opts;
+  opts.use_rollup = false;
+  Result<IncognitoResult> with = RunIncognito(table_, qid_, config);
+  Result<IncognitoResult> without = RunIncognito(table_, qid_, config, opts);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(NodeSet(with->anonymous_nodes), NodeSet(without->anonymous_nodes));
+  // Disabling rollup costs more scans.
+  EXPECT_GT(without->stats.table_scans, with->stats.table_scans);
+  EXPECT_EQ(without->stats.rollups, 0);
+}
+
+TEST_F(PatientsIncognitoTest, PrefixQidRuns) {
+  AnonymizationConfig config;
+  config.k = 2;
+  QuasiIdentifier qid2 = qid_.Prefix(2);  // Birthdate, Sex
+  Result<IncognitoResult> r = RunIncognito(table_, qid2, config);
+  ASSERT_TRUE(r.ok());
+  // Matches Fig. 5(c): {<B1,S0>, <B0,S1>, <B1,S1>}.
+  EXPECT_EQ(NodeSet(r->anonymous_nodes),
+            (std::set<std::string>{"<d0:1, d1:0>", "<d0:0, d1:1>",
+                                   "<d0:1, d1:1>"}));
+}
+
+TEST(IncognitoEdgeTest, VariantNames) {
+  EXPECT_STREQ(IncognitoVariantName(IncognitoVariant::kBasic),
+               "Basic Incognito");
+  EXPECT_STREQ(IncognitoVariantName(IncognitoVariant::kSuperRoots),
+               "Super-roots Incognito");
+  EXPECT_STREQ(IncognitoVariantName(IncognitoVariant::kCube),
+               "Cube Incognito");
+}
+
+}  // namespace
+}  // namespace incognito

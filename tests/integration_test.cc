@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/binary_search.h"
+#include "core/bottom_up.h"
+#include "core/incognito.h"
+#include "core/minimality.h"
+#include "core/recoder.h"
+#include "data/adults.h"
+#include "data/landsend.h"
+#include "data/patients.h"
+#include "metrics/metrics.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::NodeSet;
+
+/// Simulates the joining attack of paper Fig. 1: counts how many voters
+/// match exactly one row of `published` on (Birthdate, Sex, Zipcode) —
+/// each such voter is re-identified.
+int CountReidentifiedVoters(const Table& voters, const Table& published) {
+  int reidentified = 0;
+  for (size_t v = 0; v < voters.num_rows(); ++v) {
+    int matches = 0;
+    for (size_t p = 0; p < published.num_rows(); ++p) {
+      // Compare on string rendering: the published table may hold
+      // generalized labels that can never equal a concrete voter value.
+      if (published.GetValue(p, 0).ToString() ==
+              voters.GetValue(v, 1).ToString() &&
+          published.GetValue(p, 1).ToString() ==
+              voters.GetValue(v, 2).ToString() &&
+          published.GetValue(p, 2).ToString() ==
+              voters.GetValue(v, 3).ToString()) {
+        ++matches;
+      }
+    }
+    if (matches == 1) ++reidentified;
+  }
+  return reidentified;
+}
+
+TEST(IntegrationTest, JoiningAttackSucceedsOnRawDataFailsOnAnonymized) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  Table voters = MakeVoterRegistrationTable();
+
+  // Raw microdata: Andre is re-identified (the paper's §1 attack).
+  EXPECT_GE(CountReidentifiedVoters(voters, ds->table), 1);
+
+  // Full pipeline: enumerate all 2-anonymous generalizations, pick the
+  // height-minimal one, publish.
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> r = RunIncognito(ds->table, ds->qid, config);
+  ASSERT_TRUE(r.ok());
+  std::vector<SubsetNode> minimal = MinimalByHeight(r->anonymous_nodes);
+  ASSERT_EQ(minimal.size(), 1u);
+  Result<RecodeResult> view =
+      ApplyFullDomainGeneralization(ds->table, ds->qid, minimal[0], config);
+  ASSERT_TRUE(view.ok());
+
+  // The anonymized release defeats the attack.
+  EXPECT_EQ(CountReidentifiedVoters(voters, view->view), 0);
+  // The sensitive attribute is still published (utility retained).
+  EXPECT_EQ(view->view.schema().FindColumn("Disease"), 3);
+}
+
+TEST(IntegrationTest, PaperWorkedExampleEndToEnd) {
+  // The complete Example 3.1 / Fig. 5 / Fig. 7 pipeline with assertions at
+  // each stage, then quality metrics on the chosen release.
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  AnonymizationConfig config;
+  config.k = 2;
+
+  Result<IncognitoResult> r = RunIncognito(ds->table, ds->qid, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->anonymous_nodes.size(), 5u);
+
+  // Samarati's binary search agrees on the minimal node.
+  Result<BinarySearchResult> bs =
+      RunSamaratiBinarySearch(ds->table, ds->qid, config);
+  ASSERT_TRUE(bs.ok());
+  ASSERT_TRUE(bs->found);
+  std::vector<SubsetNode> minimal = MinimalByHeight(r->anonymous_nodes);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_TRUE(minimal[0] == bs->node);
+
+  // Quality of the chosen release.
+  Result<QualityReport> q =
+      EvaluateFullDomain(ds->table, ds->qid, minimal[0], config);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->height, 2);
+  EXPECT_EQ(q->num_classes, 3);
+  EXPECT_EQ(q->suppressed, 0);
+}
+
+TEST(IntegrationTest, AdultsPipelineSmallScale) {
+  // End-to-end on a scaled-down Adults dataset with a 4-attribute QID
+  // prefix (the Fig. 10 sweep's smallest configurations, unit-test sized).
+  AdultsOptions opts;
+  opts.num_rows = 2000;
+  Result<SyntheticDataset> ds = MakeAdultsDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  QuasiIdentifier qid = ds->qid.Prefix(4);
+  AnonymizationConfig config;
+  config.k = 10;
+
+  IncognitoOptions basic;
+  Result<IncognitoResult> r = RunIncognito(ds->table, qid, config, basic);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->anonymous_nodes.empty());
+
+  // Variants agree (the §3.3 optimizations are behaviour-preserving).
+  IncognitoOptions sup, cube;
+  sup.variant = IncognitoVariant::kSuperRoots;
+  cube.variant = IncognitoVariant::kCube;
+  Result<IncognitoResult> rs = RunIncognito(ds->table, qid, config, sup);
+  Result<IncognitoResult> rc = RunIncognito(ds->table, qid, config, cube);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(NodeSet(r->anonymous_nodes), NodeSet(rs->anonymous_nodes));
+  EXPECT_EQ(NodeSet(r->anonymous_nodes), NodeSet(rc->anonymous_nodes));
+
+  // Publish the minimal generalization; verify k-anonymity of the release.
+  std::vector<SubsetNode> minimal = MinimalByHeight(r->anonymous_nodes);
+  ASSERT_FALSE(minimal.empty());
+  Result<RecodeResult> view =
+      ApplyFullDomainGeneralization(ds->table, qid, minimal[0], config);
+  ASSERT_TRUE(view.ok());
+  Result<std::vector<int64_t>> sizes = ClassSizes(
+      view->view, {"Age", "Gender", "Race", "Marital-status"});
+  ASSERT_TRUE(sizes.ok());
+  for (int64_t size : *sizes) EXPECT_GE(size, 10);
+}
+
+TEST(IntegrationTest, LandsEndPipelineSmallScale) {
+  LandsEndOptions opts;
+  opts.num_rows = 3000;
+  Result<SyntheticDataset> ds = MakeLandsEndDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  QuasiIdentifier qid = ds->qid.Prefix(3);  // Zipcode, Order-date, Gender
+  AnonymizationConfig config;
+  config.k = 5;
+
+  Result<IncognitoResult> r = RunIncognito(ds->table, qid, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->anonymous_nodes.empty());
+  std::vector<SubsetNode> minimal = MinimalByHeight(r->anonymous_nodes);
+  Result<RecodeResult> view =
+      ApplyFullDomainGeneralization(ds->table, qid, minimal[0], config);
+  ASSERT_TRUE(view.ok());
+  Result<std::vector<int64_t>> sizes =
+      ClassSizes(view->view, {"Zipcode", "Order-date", "Gender"});
+  ASSERT_TRUE(sizes.ok());
+  for (int64_t size : *sizes) EXPECT_GE(size, 5);
+}
+
+TEST(IntegrationTest, NodesSearchedIncognitoVsBottomUp) {
+  // The §4.2.1 comparison in miniature: on a QID of 4 Adults attributes,
+  // Incognito's a-priori pruning checks no more nodes than bottom-up.
+  AdultsOptions opts;
+  opts.num_rows = 2000;
+  Result<SyntheticDataset> ds = MakeAdultsDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  QuasiIdentifier qid = ds->qid.Prefix(4);
+  AnonymizationConfig config;
+  config.k = 2;
+
+  Result<IncognitoResult> inc = RunIncognito(ds->table, qid, config);
+  Result<BottomUpResult> bu = RunBottomUpBfs(ds->table, qid, config);
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(bu.ok());
+  EXPECT_EQ(NodeSet(inc->anonymous_nodes), NodeSet(bu->anonymous_nodes));
+  EXPECT_LE(inc->stats.nodes_checked, bu->stats.nodes_checked);
+}
+
+}  // namespace
+}  // namespace incognito

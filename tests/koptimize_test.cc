@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hierarchy/builders.h"
+#include "models/koptimize.h"
+#include "models/ordered_set.h"
+#include "metrics/metrics.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+/// Small multi-attribute dataset over integer domains.
+struct SmallDataset {
+  Table table;
+  QuasiIdentifier qid;
+};
+
+SmallDataset MakeSmall(const std::vector<std::vector<int64_t>>& rows,
+                       size_t num_attrs) {
+  std::vector<ColumnSpec> specs;
+  for (size_t i = 0; i < num_attrs; ++i) {
+    specs.push_back({StringPrintf("a%zu", i), DataType::kInt64});
+  }
+  Table table{Schema(specs)};
+  for (const auto& row : rows) {
+    std::vector<Value> values;
+    for (int64_t v : row) values.emplace_back(v);
+    EXPECT_TRUE(table.AppendRow(values).ok());
+  }
+  std::vector<std::pair<std::string, ValueHierarchy>> hierarchies;
+  for (size_t i = 0; i < num_attrs; ++i) {
+    hierarchies.emplace_back(
+        StringPrintf("a%zu", i),
+        BuildSuppressionHierarchy(StringPrintf("a%zu", i),
+                                  table.dictionary(i))
+            .value());
+  }
+  SmallDataset out;
+  out.qid = QuasiIdentifier::Create(table, std::move(hierarchies)).value();
+  out.table = std::move(table);
+  return out;
+}
+
+/// Brute-force optimum over every cut subset, with k-Optimize's cost
+/// semantics (undersized classes suppressed at |T| per tuple).
+double BruteForceCost(const SmallDataset& ds, int64_t k) {
+  const size_t n = ds.qid.size();
+  std::vector<std::vector<int32_t>> sorted(n);
+  std::vector<std::vector<int32_t>> rank_of_code(n);
+  std::vector<std::pair<size_t, size_t>> cut_points;
+  for (size_t i = 0; i < n; ++i) {
+    const Dictionary& dict = ds.table.dictionary(i);
+    sorted[i] = dict.SortedCodes();
+    rank_of_code[i].resize(dict.size());
+    for (size_t r = 0; r < sorted[i].size(); ++r) {
+      rank_of_code[i][static_cast<size_t>(sorted[i][r])] =
+          static_cast<int32_t>(r);
+    }
+    for (size_t r = 1; r < dict.size(); ++r) cut_points.emplace_back(i, r);
+  }
+  const int64_t total = static_cast<int64_t>(ds.table.num_rows());
+  double best = 1e300;
+  for (uint32_t mask = 0; mask < (1u << cut_points.size()); ++mask) {
+    // Interval id per rank per attribute.
+    std::vector<std::vector<int32_t>> interval(n);
+    for (size_t i = 0; i < n; ++i) {
+      interval[i].assign(sorted[i].size(), 0);
+      int32_t id = 0;
+      for (size_t r = 1; r < sorted[i].size(); ++r) {
+        for (size_t c = 0; c < cut_points.size(); ++c) {
+          if ((mask & (1u << c)) && cut_points[c].first == i &&
+              cut_points[c].second == r) {
+            ++id;
+          }
+        }
+        interval[i][r] = id;
+      }
+    }
+    std::map<std::vector<int32_t>, int64_t> classes;
+    std::vector<int32_t> key(n);
+    for (size_t r = 0; r < ds.table.num_rows(); ++r) {
+      for (size_t i = 0; i < n; ++i) {
+        key[i] = interval[i][static_cast<size_t>(
+            rank_of_code[i][static_cast<size_t>(ds.table.GetCode(r, i))])];
+      }
+      ++classes[key];
+    }
+    double cost = 0;
+    for (const auto& [ckey, size] : classes) {
+      (void)ckey;
+      cost += size >= k ? static_cast<double>(size) * size
+                        : static_cast<double>(size) * total;
+    }
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+TEST(KOptimizeTest, MatchesBruteForceOnRandomSmallInputs) {
+  Rng rng(24601);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t num_attrs = 1 + rng.Uniform(2);
+    size_t domain = 3 + rng.Uniform(3);  // 3..5 values per attribute
+    size_t num_rows = 10 + rng.Uniform(25);
+    std::vector<std::vector<int64_t>> rows(num_rows,
+                                           std::vector<int64_t>(num_attrs));
+    for (auto& row : rows) {
+      for (int64_t& v : row) {
+        v = static_cast<int64_t>(rng.Uniform(domain));
+      }
+    }
+    SmallDataset ds = MakeSmall(rows, num_attrs);
+    AnonymizationConfig config;
+    config.k = 2 + static_cast<int64_t>(rng.Uniform(3));
+    Result<KOptimizeResult> r = RunKOptimize(ds.table, ds.qid, config);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_DOUBLE_EQ(r->cost, BruteForceCost(ds, config.k));
+  }
+}
+
+TEST(KOptimizeTest, ViewCostMatchesReportedCost) {
+  SmallDataset ds = MakeSmall({{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0},
+                               {2, 1}, {3, 0}, {3, 1}, {0, 0}, {1, 1}},
+                              2);
+  AnonymizationConfig config;
+  config.k = 3;
+  Result<KOptimizeResult> r = RunKOptimize(ds.table, ds.qid, config);
+  ASSERT_TRUE(r.ok());
+  Result<std::vector<int64_t>> sizes = ClassSizes(r->view, {"a0", "a1"});
+  ASSERT_TRUE(sizes.ok());
+  double view_cost = static_cast<double>(r->suppressed_tuples) *
+                     static_cast<double>(ds.table.num_rows());
+  for (int64_t s : *sizes) {
+    EXPECT_GE(s, config.k);
+    view_cost += static_cast<double>(s) * s;
+  }
+  EXPECT_DOUBLE_EQ(view_cost, r->cost);
+}
+
+TEST(KOptimizeTest, NeverWorseThanGreedy) {
+  Rng rng(31415);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::vector<int64_t>> rows(40, std::vector<int64_t>(2));
+    for (auto& row : rows) {
+      row[0] = static_cast<int64_t>(rng.Uniform(5));
+      row[1] = static_cast<int64_t>(rng.Uniform(4));
+    }
+    SmallDataset ds = MakeSmall(rows, 2);
+    AnonymizationConfig config;
+    config.k = 4;
+    Result<KOptimizeResult> optimal = RunKOptimize(ds.table, ds.qid, config);
+    Result<OrderedSetResult> greedy =
+        RunOrderedSetPartition(ds.table, ds.qid, config);
+    ASSERT_TRUE(optimal.ok());
+    ASSERT_TRUE(greedy.ok());
+    // Greedy's cost under the same semantics.
+    Result<std::vector<int64_t>> sizes =
+        ClassSizes(greedy->view, {"a0", "a1"});
+    ASSERT_TRUE(sizes.ok());
+    double greedy_cost = static_cast<double>(greedy->suppressed_tuples) *
+                         static_cast<double>(ds.table.num_rows());
+    for (int64_t s : *sizes) greedy_cost += static_cast<double>(s) * s;
+    EXPECT_LE(optimal->cost, greedy_cost + 1e-9);
+  }
+}
+
+TEST(KOptimizeTest, PruningActuallyPrunes) {
+  Rng rng(999);
+  std::vector<std::vector<int64_t>> rows(60, std::vector<int64_t>(2));
+  for (auto& row : rows) {
+    row[0] = static_cast<int64_t>(rng.Uniform(8));
+    row[1] = static_cast<int64_t>(rng.Uniform(6));
+  }
+  SmallDataset ds = MakeSmall(rows, 2);
+  AnonymizationConfig config;
+  config.k = 5;
+  Result<KOptimizeResult> r = RunKOptimize(ds.table, ds.qid, config);
+  ASSERT_TRUE(r.ok());
+  // 12 cut points → 4096 subsets; the bound must prune a chunk of them.
+  EXPECT_GT(r->nodes_pruned, 0);
+  EXPECT_LT(r->nodes_visited, 4096);
+}
+
+TEST(KOptimizeTest, RejectsTooManyCuts) {
+  Rng rng(1);
+  std::vector<std::vector<int64_t>> rows(100, std::vector<int64_t>(2));
+  for (auto& row : rows) {
+    row[0] = static_cast<int64_t>(rng.Uniform(20));
+    row[1] = static_cast<int64_t>(rng.Uniform(20));
+  }
+  SmallDataset ds = MakeSmall(rows, 2);
+  AnonymizationConfig config;
+  config.k = 5;
+  EXPECT_EQ(RunKOptimize(ds.table, ds.qid, config).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(KOptimizeTest, InvalidConfig) {
+  SmallDataset ds = MakeSmall({{0}, {1}}, 1);
+  AnonymizationConfig config;
+  config.k = 0;
+  EXPECT_FALSE(RunKOptimize(ds.table, ds.qid, config).ok());
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lattice/lattice.h"
+#include "lattice/node.h"
+
+namespace incognito {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SubsetNode
+// ---------------------------------------------------------------------------
+
+TEST(SubsetNodeTest, FullBuildsDenseDims) {
+  SubsetNode n = SubsetNode::Full({1, 0, 2});
+  EXPECT_EQ(n.dims, (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(n.levels, (std::vector<int32_t>{1, 0, 2}));
+  EXPECT_EQ(n.size(), 3u);
+}
+
+TEST(SubsetNodeTest, HeightIsDistanceVectorSum) {
+  EXPECT_EQ(SubsetNode::Full({0, 0}).Height(), 0);
+  EXPECT_EQ(SubsetNode::Full({1, 1}).Height(), 2);  // paper: h(<S1,Z1>) = 2
+  EXPECT_EQ(SubsetNode({1, 3}, {2, 4}).Height(), 6);
+}
+
+TEST(SubsetNodeTest, IsGeneralizedBy) {
+  SubsetNode low({0, 2}, {0, 1});
+  EXPECT_TRUE(low.IsGeneralizedBy(low));  // reflexive
+  EXPECT_TRUE(low.IsGeneralizedBy(SubsetNode({0, 2}, {1, 1})));
+  EXPECT_TRUE(low.IsGeneralizedBy(SubsetNode({0, 2}, {2, 2})));
+  EXPECT_FALSE(low.IsGeneralizedBy(SubsetNode({0, 2}, {0, 0})));
+  EXPECT_FALSE(low.IsGeneralizedBy(SubsetNode({0, 1}, {1, 1})));  // dims differ
+}
+
+TEST(SubsetNodeTest, ComparisonAndHash) {
+  SubsetNode a({0, 1}, {0, 0});
+  SubsetNode b({0, 1}, {0, 1});
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a < b);
+  EXPECT_NE(SubsetNodeHash()(a), SubsetNodeHash()(b));
+}
+
+TEST(SubsetNodeTest, ToStringWithoutQid) {
+  EXPECT_EQ(SubsetNode({0, 3}, {1, 2}).ToString(), "<d0:1, d3:2>");
+}
+
+// ---------------------------------------------------------------------------
+// GeneralizationLattice — the paper's Sex×Zipcode lattice (Fig. 3) has
+// max levels {1, 2}: 6 nodes, heights 0..3.
+// ---------------------------------------------------------------------------
+
+TEST(LatticeTest, SizesMatchFig3) {
+  GeneralizationLattice lattice({1, 2});
+  EXPECT_EQ(lattice.NumNodes(), 6u);
+  EXPECT_EQ(lattice.MaxHeight(), 3);
+  EXPECT_EQ(lattice.num_dims(), 2u);
+}
+
+TEST(LatticeTest, NodesAtHeightMatchFig3b) {
+  GeneralizationLattice lattice({1, 2});
+  EXPECT_EQ(lattice.NodesAtHeight(0),
+            (std::vector<LevelVector>{{0, 0}}));
+  EXPECT_EQ(lattice.NodesAtHeight(1),
+            (std::vector<LevelVector>{{0, 1}, {1, 0}}));
+  EXPECT_EQ(lattice.NodesAtHeight(2),
+            (std::vector<LevelVector>{{0, 2}, {1, 1}}));
+  EXPECT_EQ(lattice.NodesAtHeight(3),
+            (std::vector<LevelVector>{{1, 2}}));
+  EXPECT_TRUE(lattice.NodesAtHeight(4).empty());
+  EXPECT_TRUE(lattice.NodesAtHeight(-1).empty());
+}
+
+TEST(LatticeTest, AllNodesByHeightCoversLattice) {
+  GeneralizationLattice lattice({1, 2, 1});
+  std::vector<LevelVector> all = lattice.AllNodesByHeight();
+  EXPECT_EQ(all.size(), lattice.NumNodes());
+  std::set<LevelVector> distinct(all.begin(), all.end());
+  EXPECT_EQ(distinct.size(), all.size());
+  // Heights are non-decreasing.
+  auto height = [](const LevelVector& v) {
+    int32_t h = 0;
+    for (int32_t x : v) h += x;
+    return h;
+  };
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(height(all[i - 1]), height(all[i]));
+  }
+}
+
+TEST(LatticeTest, DirectGeneralizationsRaiseOneComponent) {
+  GeneralizationLattice lattice({1, 2});
+  std::vector<LevelVector> gens = lattice.DirectGeneralizations({0, 1});
+  EXPECT_EQ(gens, (std::vector<LevelVector>{{1, 1}, {0, 2}}));
+  // The top has none.
+  EXPECT_TRUE(lattice.DirectGeneralizations({1, 2}).empty());
+}
+
+TEST(LatticeTest, DirectSpecializationsLowerOneComponent) {
+  GeneralizationLattice lattice({1, 2});
+  EXPECT_EQ(lattice.DirectSpecializations({1, 1}),
+            (std::vector<LevelVector>{{0, 1}, {1, 0}}));
+  EXPECT_TRUE(lattice.DirectSpecializations({0, 0}).empty());
+}
+
+TEST(LatticeTest, IndexRoundTrips) {
+  GeneralizationLattice lattice({2, 3, 1});
+  std::set<uint64_t> seen;
+  for (const LevelVector& v : lattice.AllNodesByHeight()) {
+    uint64_t idx = lattice.Index(v);
+    EXPECT_LT(idx, lattice.NumNodes());
+    EXPECT_TRUE(seen.insert(idx).second);  // injective
+    EXPECT_EQ(lattice.FromIndex(idx), v);
+  }
+}
+
+TEST(LatticeTest, SingleAttribute) {
+  GeneralizationLattice lattice({3});
+  EXPECT_EQ(lattice.NumNodes(), 4u);
+  EXPECT_EQ(lattice.MaxHeight(), 3);
+  EXPECT_EQ(lattice.NodesAtHeight(2), (std::vector<LevelVector>{{2}}));
+}
+
+TEST(LatticeTest, ZeroHeightAttribute) {
+  // An attribute with no generalizations contributes a fixed 0 level.
+  GeneralizationLattice lattice({0, 1});
+  EXPECT_EQ(lattice.NumNodes(), 2u);
+  EXPECT_EQ(lattice.NodesAtHeight(1), (std::vector<LevelVector>{{0, 1}}));
+}
+
+TEST(LatticeTest, AdultsLatticeSizeMatchesSchema) {
+  // The Adults QID-9 lattice (heights 4,1,1,2,3,2,2,2,1) has
+  // 5·2·2·3·4·3·3·3·2 = 12960 nodes — the space the §4.2.1 node-count
+  // table is measured against.
+  GeneralizationLattice lattice({4, 1, 1, 2, 3, 2, 2, 2, 1});
+  EXPECT_EQ(lattice.NumNodes(), 12960u);
+  EXPECT_EQ(lattice.MaxHeight(), 18);
+}
+
+}  // namespace
+}  // namespace incognito

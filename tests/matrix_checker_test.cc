@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/matrix_checker.h"
+#include "data/adults.h"
+#include "data/patients.h"
+#include "lattice/lattice.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+TEST(MatrixCheckerTest, AgreesWithGroupByOnPatients) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  Result<DistanceVectorMatrix> matrix =
+      DistanceVectorMatrix::Build(ds->table, ds->qid);
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+  EXPECT_EQ(matrix->num_distinct_tuples(), 6u);
+
+  GeneralizationLattice lattice(ds->qid.MaxLevels());
+  for (int64_t k : {1, 2, 3, 6, 7}) {
+    AnonymizationConfig config;
+    config.k = k;
+    for (const LevelVector& v : lattice.AllNodesByHeight()) {
+      SubsetNode node = SubsetNode::Full(v);
+      EXPECT_EQ(matrix->IsKAnonymous(node, config),
+                IsKAnonymous(ds->table, ds->qid, node, config))
+          << node.ToString() << " k=" << k;
+    }
+  }
+}
+
+TEST(MatrixCheckerTest, AgreesWithSuppressionBudget) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  Result<DistanceVectorMatrix> matrix =
+      DistanceVectorMatrix::Build(ds->table, ds->qid);
+  ASSERT_TRUE(matrix.ok());
+  GeneralizationLattice lattice(ds->qid.MaxLevels());
+  for (int64_t budget : {0, 1, 2, 6}) {
+    AnonymizationConfig config;
+    config.k = 2;
+    config.max_suppressed = budget;
+    for (const LevelVector& v : lattice.AllNodesByHeight()) {
+      SubsetNode node = SubsetNode::Full(v);
+      EXPECT_EQ(matrix->IsKAnonymous(node, config),
+                IsKAnonymous(ds->table, ds->qid, node, config))
+          << node.ToString() << " budget=" << budget;
+    }
+  }
+}
+
+TEST(MatrixCheckerTest, AgreesOnRandomData) {
+  Rng rng(909);
+  for (int trial = 0; trial < 6; ++trial) {
+    testing_util::RandomDatasetOptions opts;
+    opts.num_attrs = 3;
+    opts.num_rows = 40 + rng.Uniform(60);
+    testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng, opts);
+    Result<DistanceVectorMatrix> matrix =
+        DistanceVectorMatrix::Build(ds.table, ds.qid);
+    ASSERT_TRUE(matrix.ok());
+    AnonymizationConfig config;
+    config.k = 2 + static_cast<int64_t>(rng.Uniform(3));
+    GeneralizationLattice lattice(ds.qid.MaxLevels());
+    for (const LevelVector& v : lattice.AllNodesByHeight()) {
+      SubsetNode node = SubsetNode::Full(v);
+      EXPECT_EQ(matrix->IsKAnonymous(node, config),
+                IsKAnonymous(ds.table, ds.qid, node, config))
+          << node.ToString();
+    }
+  }
+}
+
+TEST(MatrixCheckerTest, RefusesHugeInputs) {
+  // The guard that encodes the paper's footnote-2 finding.
+  AdultsOptions opts;
+  opts.num_rows = 45222;
+  Result<SyntheticDataset> adults = MakeAdultsDataset(opts);
+  ASSERT_TRUE(adults.ok());
+  Result<DistanceVectorMatrix> matrix =
+      DistanceVectorMatrix::Build(adults->table, adults->qid);
+  EXPECT_EQ(matrix.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MatrixCheckerTest, EmptyQidRejected) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  QuasiIdentifier empty;
+  EXPECT_FALSE(DistanceVectorMatrix::Build(ds->table, empty).ok());
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/recoder.h"
+#include "data/patients.h"
+#include "metrics/metrics.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<PatientsDataset> ds = MakePatientsDataset();
+    ASSERT_TRUE(ds.ok());
+    table_ = std::move(ds->table);
+    qid_ = std::move(ds->qid);
+  }
+
+  AnonymizationConfig K(int64_t k) {
+    AnonymizationConfig c;
+    c.k = k;
+    return c;
+  }
+
+  Table table_;
+  QuasiIdentifier qid_;
+};
+
+TEST_F(MetricsTest, IdentityGeneralizationIsLossless) {
+  Result<QualityReport> q =
+      EvaluateFullDomain(table_, qid_, SubsetNode::Full({0, 0, 0}), K(1));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->height, 0);
+  EXPECT_DOUBLE_EQ(q->precision, 1.0);
+  EXPECT_DOUBLE_EQ(q->loss_metric, 0.0);
+  EXPECT_EQ(q->suppressed, 0);
+  // All six tuples are distinct at base levels → 6 classes of size 1.
+  EXPECT_EQ(q->num_classes, 6);
+  EXPECT_DOUBLE_EQ(q->avg_class_size, 1.0);
+  EXPECT_DOUBLE_EQ(q->discernibility, 6.0);
+}
+
+TEST_F(MetricsTest, FullGeneralizationIsTotalLoss) {
+  Result<QualityReport> q =
+      EvaluateFullDomain(table_, qid_, SubsetNode::Full({1, 1, 2}), K(2));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->height, 4);
+  EXPECT_DOUBLE_EQ(q->precision, 0.0);
+  EXPECT_DOUBLE_EQ(q->loss_metric, 1.0);
+  EXPECT_EQ(q->num_classes, 1);
+  EXPECT_DOUBLE_EQ(q->avg_class_size, 6.0);
+  EXPECT_DOUBLE_EQ(q->discernibility, 36.0);
+}
+
+TEST_F(MetricsTest, MinimalNodeValues) {
+  // <B1, S1, Z0>: three classes of size 2.
+  Result<QualityReport> q =
+      EvaluateFullDomain(table_, qid_, SubsetNode::Full({1, 1, 0}), K(2));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->height, 2);
+  EXPECT_EQ(q->num_classes, 3);
+  EXPECT_DOUBLE_EQ(q->avg_class_size, 2.0);
+  EXPECT_DOUBLE_EQ(q->discernibility, 12.0);
+  // Precision: 1 - (1/1 + 1/1 + 0/2)/3 = 1/3.
+  EXPECT_NEAR(q->precision, 1.0 / 3.0, 1e-12);
+  // Loss: Birthdate fully generalized (1), Sex fully (1), Zip intact (0)
+  // → mean 2/3.
+  EXPECT_NEAR(q->loss_metric, 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(MetricsTest, SuppressionCountsAgainstDiscernibility) {
+  // <B1, S0, Z0> at k=2: two singleton groups are suppressed.
+  Result<QualityReport> q =
+      EvaluateFullDomain(table_, qid_, SubsetNode::Full({1, 0, 0}), K(2));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->suppressed, 2);
+  EXPECT_EQ(q->num_classes, 2);
+  // 2² + 2² for the surviving groups + 2·6 for suppressed tuples.
+  EXPECT_DOUBLE_EQ(q->discernibility, 4 + 4 + 12);
+}
+
+TEST_F(MetricsTest, PartialGeneralizationBetweenExtremes) {
+  Result<QualityReport> q =
+      EvaluateFullDomain(table_, qid_, SubsetNode::Full({1, 1, 1}), K(2));
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(q->precision, 0.0);
+  EXPECT_LT(q->precision, 1.0);
+  EXPECT_GT(q->loss_metric, 0.0);
+  EXPECT_LT(q->loss_metric, 1.0);
+}
+
+TEST_F(MetricsTest, RejectsPartialQidNode) {
+  EXPECT_FALSE(
+      EvaluateFullDomain(table_, qid_, SubsetNode({0, 1}, {0, 0}), K(2)).ok());
+}
+
+TEST_F(MetricsTest, ToStringMentionsFields) {
+  Result<QualityReport> q =
+      EvaluateFullDomain(table_, qid_, SubsetNode::Full({1, 1, 0}), K(2));
+  ASSERT_TRUE(q.ok());
+  std::string s = q->ToString();
+  EXPECT_NE(s.find("height=2"), std::string::npos);
+  EXPECT_NE(s.find("classes=3"), std::string::npos);
+}
+
+TEST_F(MetricsTest, EvaluateViewMatchesFullDomain) {
+  AnonymizationConfig config = K(2);
+  Result<RecodeResult> view = ApplyFullDomainGeneralization(
+      table_, qid_, SubsetNode::Full({1, 1, 0}), config);
+  ASSERT_TRUE(view.ok());
+  Result<QualityReport> from_view = EvaluateView(
+      view->view, {"Birthdate", "Sex", "Zipcode"},
+      static_cast<int64_t>(table_.num_rows()));
+  Result<QualityReport> from_node =
+      EvaluateFullDomain(table_, qid_, SubsetNode::Full({1, 1, 0}), config);
+  ASSERT_TRUE(from_view.ok());
+  ASSERT_TRUE(from_node.ok());
+  EXPECT_EQ(from_view->num_classes, from_node->num_classes);
+  EXPECT_DOUBLE_EQ(from_view->avg_class_size, from_node->avg_class_size);
+  EXPECT_DOUBLE_EQ(from_view->discernibility, from_node->discernibility);
+  EXPECT_EQ(from_view->suppressed, from_node->suppressed);
+}
+
+TEST_F(MetricsTest, EvaluateViewUnknownColumnFails) {
+  EXPECT_FALSE(EvaluateView(table_, {"nope"}, 6).ok());
+}
+
+TEST_F(MetricsTest, ClassSizesSortedDescending) {
+  Result<std::vector<int64_t>> sizes =
+      ClassSizes(table_, {"Sex", "Zipcode"});
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_EQ(*sizes, (std::vector<int64_t>{2, 2, 1, 1}));
+}
+
+}  // namespace
+}  // namespace incognito

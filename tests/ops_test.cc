@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "relation/ops.h"
+
+namespace incognito {
+namespace {
+
+Table MakeOrders() {
+  Table t{Schema({{"id", DataType::kInt64},
+                  {"customer", DataType::kString},
+                  {"amount", DataType::kInt64}})};
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value("ann"), Value(int64_t{10})}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{2}), Value("bob"), Value(int64_t{20})}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{3}), Value("ann"), Value(int64_t{30})}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{4}), Value("cleo"), Value(int64_t{5})}).ok());
+  return t;
+}
+
+Table MakeCustomers() {
+  Table t{Schema({{"name", DataType::kString}, {"city", DataType::kString}})};
+  EXPECT_TRUE(t.AppendRow({Value("ann"), Value("madison")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("bob"), Value("verona")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("dan"), Value("monona")}).ok());
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// HashJoin
+// ---------------------------------------------------------------------------
+
+TEST(HashJoinTest, InnerJoinBasics) {
+  Result<Table> joined =
+      HashJoin(MakeOrders(), "customer", MakeCustomers(), "name");
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  // cleo has no customer row, dan has no order: 3 result rows.
+  EXPECT_EQ(joined->num_rows(), 3u);
+  // Schema: orders columns + city (the join key is dropped).
+  EXPECT_EQ(joined->schema().ToString(),
+            "id:int64, customer:string, amount:int64, city:string");
+  // Left-row order preserved.
+  EXPECT_EQ(joined->GetValue(0, 0), Value(int64_t{1}));
+  EXPECT_EQ(joined->GetValue(0, 3), Value("madison"));
+  EXPECT_EQ(joined->GetValue(1, 0), Value(int64_t{2}));
+  EXPECT_EQ(joined->GetValue(1, 3), Value("verona"));
+  EXPECT_EQ(joined->GetValue(2, 0), Value(int64_t{3}));
+}
+
+TEST(HashJoinTest, OneToManyDuplicatesLeftRow) {
+  Table right{Schema({{"name", DataType::kString},
+                      {"phone", DataType::kString}})};
+  ASSERT_TRUE(right.AppendRow({Value("ann"), Value("111")}).ok());
+  ASSERT_TRUE(right.AppendRow({Value("ann"), Value("222")}).ok());
+  Result<Table> joined = HashJoin(MakeOrders(), "customer", right, "name");
+  ASSERT_TRUE(joined.ok());
+  // ann's two orders × two phones = 4 rows.
+  EXPECT_EQ(joined->num_rows(), 4u);
+}
+
+TEST(HashJoinTest, NameCollisionPrefixed) {
+  Table right{Schema({{"name", DataType::kString},
+                      {"amount", DataType::kInt64}})};
+  ASSERT_TRUE(right.AppendRow({Value("ann"), Value(int64_t{99})}).ok());
+  Result<Table> joined = HashJoin(MakeOrders(), "customer", right, "name");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_GE(joined->schema().FindColumn("right.amount"), 0);
+}
+
+TEST(HashJoinTest, MissingKeyColumnFails) {
+  EXPECT_FALSE(HashJoin(MakeOrders(), "nope", MakeCustomers(), "name").ok());
+  EXPECT_FALSE(HashJoin(MakeOrders(), "customer", MakeCustomers(), "nope")
+                   .ok());
+}
+
+TEST(HashJoinTest, JoinAcrossDifferentDictionaries) {
+  // The same string value gets different codes in different tables; the
+  // join must still match (it compares decoded values).
+  Table left{Schema({{"k", DataType::kString}})};
+  ASSERT_TRUE(left.AppendRow({Value("zz")}).ok());
+  ASSERT_TRUE(left.AppendRow({Value("aa")}).ok());
+  Table right{Schema({{"k", DataType::kString}, {"v", DataType::kInt64}})};
+  ASSERT_TRUE(right.AppendRow({Value("aa"), Value(int64_t{1})}).ok());
+  ASSERT_TRUE(right.AppendRow({Value("zz"), Value(int64_t{2})}).ok());
+  Result<Table> joined = HashJoin(left, "k", right, "k");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 2u);
+  EXPECT_EQ(joined->GetValue(0, 1), Value(int64_t{2}));  // zz -> 2
+  EXPECT_EQ(joined->GetValue(1, 1), Value(int64_t{1}));  // aa -> 1
+}
+
+// ---------------------------------------------------------------------------
+// GroupByCount
+// ---------------------------------------------------------------------------
+
+TEST(GroupByCountTest, CountsGroups) {
+  Result<Table> grouped = GroupByCount(MakeOrders(), {"customer"});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->num_rows(), 3u);
+  EXPECT_EQ(grouped->schema().ToString(), "customer:string, count:int64");
+  std::map<std::string, int64_t> counts;
+  for (size_t r = 0; r < grouped->num_rows(); ++r) {
+    counts[grouped->GetValue(r, 0).ToString()] =
+        grouped->GetValue(r, 1).int64();
+  }
+  EXPECT_EQ(counts["ann"], 2);
+  EXPECT_EQ(counts["bob"], 1);
+  EXPECT_EQ(counts["cleo"], 1);
+}
+
+TEST(GroupByCountTest, MultiColumnGroups) {
+  Table t{Schema({{"a", DataType::kString}, {"b", DataType::kString}})};
+  ASSERT_TRUE(t.AppendRow({Value("x"), Value("1")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("x"), Value("1")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("x"), Value("2")}).ok());
+  Result<Table> grouped = GroupByCount(t, {"a", "b"});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->num_rows(), 2u);
+}
+
+TEST(GroupByCountTest, TotalCountPreserved) {
+  Result<Table> grouped = GroupByCount(MakeOrders(), {"customer"});
+  ASSERT_TRUE(grouped.ok());
+  int64_t total = 0;
+  for (size_t r = 0; r < grouped->num_rows(); ++r) {
+    total += grouped->GetValue(r, 1).int64();
+  }
+  EXPECT_EQ(total, 4);
+}
+
+TEST(GroupByCountTest, UnknownColumnFails) {
+  EXPECT_FALSE(GroupByCount(MakeOrders(), {"nope"}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ProjectColumns
+// ---------------------------------------------------------------------------
+
+TEST(ProjectColumnsTest, SelectsAndReorders) {
+  Result<Table> projected =
+      ProjectColumns(MakeOrders(), {"amount", "customer"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->schema().ToString(), "amount:int64, customer:string");
+  EXPECT_EQ(projected->GetValue(0, 0), Value(int64_t{10}));
+  EXPECT_EQ(projected->GetValue(0, 1), Value("ann"));
+}
+
+TEST(ProjectColumnsTest, UnknownColumnFails) {
+  EXPECT_FALSE(ProjectColumns(MakeOrders(), {"ghost"}).ok());
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "core/binary_search.h"
+#include "core/bottom_up.h"
+#include "core/checker.h"
+#include "core/incognito.h"
+#include "core/recoder.h"
+#include "data/adults.h"
+#include "data/patients.h"
+#include "lattice/lattice.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::NodeSet;
+
+/// Grid sweep over (k, suppression budget): on the Patients running
+/// example, every algorithm and every Incognito variant must produce the
+/// brute-force result set at every grid point.
+class KSuppressionGridTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {
+ protected:
+  void SetUp() override {
+    Result<PatientsDataset> ds = MakePatientsDataset();
+    ASSERT_TRUE(ds.ok());
+    table_ = std::move(ds->table);
+    qid_ = std::move(ds->qid);
+    config_.k = std::get<0>(GetParam());
+    config_.max_suppressed = std::get<1>(GetParam());
+  }
+
+  std::set<std::string> Oracle() {
+    GeneralizationLattice lattice(qid_.MaxLevels());
+    std::set<std::string> out;
+    for (const LevelVector& v : lattice.AllNodesByHeight()) {
+      SubsetNode node = SubsetNode::Full(v);
+      if (IsKAnonymous(table_, qid_, node, config_)) {
+        out.insert(node.ToString());
+      }
+    }
+    return out;
+  }
+
+  Table table_;
+  QuasiIdentifier qid_;
+  AnonymizationConfig config_;
+};
+
+TEST_P(KSuppressionGridTest, AllIncognitoVariantsMatchOracle) {
+  std::set<std::string> oracle = Oracle();
+  for (IncognitoVariant variant :
+       {IncognitoVariant::kBasic, IncognitoVariant::kSuperRoots,
+        IncognitoVariant::kCube}) {
+    IncognitoOptions opts;
+    opts.variant = variant;
+    Result<IncognitoResult> r = RunIncognito(table_, qid_, config_, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle)
+        << IncognitoVariantName(variant);
+  }
+}
+
+TEST_P(KSuppressionGridTest, BottomUpMatchesOracle) {
+  std::set<std::string> oracle = Oracle();
+  for (bool rollup : {false, true}) {
+    BottomUpOptions opts;
+    opts.use_rollup = rollup;
+    Result<BottomUpResult> r = RunBottomUpBfs(table_, qid_, config_, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle);
+  }
+}
+
+TEST_P(KSuppressionGridTest, BinarySearchHeightConsistent) {
+  std::set<std::string> oracle = Oracle();
+  Result<BinarySearchResult> r =
+      RunSamaratiBinarySearch(table_, qid_, config_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->found, !oracle.empty());
+  if (r->found) {
+    EXPECT_TRUE(oracle.count(r->node.ToString()) > 0);
+  }
+}
+
+TEST_P(KSuppressionGridTest, EverySolutionRecodesWithinBudget) {
+  Result<IncognitoResult> r = RunIncognito(table_, qid_, config_);
+  ASSERT_TRUE(r.ok());
+  for (const SubsetNode& node : r->anonymous_nodes) {
+    Result<RecodeResult> view =
+        ApplyFullDomainGeneralization(table_, qid_, node, config_);
+    ASSERT_TRUE(view.ok()) << node.ToString();
+    EXPECT_LE(view->suppressed_tuples, config_.max_suppressed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KSuppressionGridTest,
+    ::testing::Combine(::testing::Values<int64_t>(1, 2, 3, 4, 6, 7),
+                       ::testing::Values<int64_t>(0, 1, 2, 6)),
+    [](const ::testing::TestParamInfo<std::tuple<int64_t, int64_t>>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_sup" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+/// QID-size sweep on a scaled-down Adults dataset: Incognito and
+/// bottom-up agree and the result-set size shrinks (weakly) as attributes
+/// are added — releasing more attributes can only make k-anonymity harder
+/// (the Subset Property at the result level).
+class AdultsQidSweepTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    AdultsOptions opts;
+    opts.num_rows = 1500;
+    dataset_ = new SyntheticDataset(std::move(MakeAdultsDataset(opts)).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static SyntheticDataset* dataset_;
+};
+
+SyntheticDataset* AdultsQidSweepTest::dataset_ = nullptr;
+
+TEST_P(AdultsQidSweepTest, IncognitoMatchesBottomUp) {
+  QuasiIdentifier qid = dataset_->qid.Prefix(GetParam());
+  AnonymizationConfig config;
+  config.k = 5;
+  Result<IncognitoResult> inc = RunIncognito(dataset_->table, qid, config);
+  Result<BottomUpResult> bu = RunBottomUpBfs(dataset_->table, qid, config);
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(bu.ok());
+  EXPECT_EQ(NodeSet(inc->anonymous_nodes), NodeSet(bu->anonymous_nodes));
+  EXPECT_LE(inc->stats.nodes_checked, bu->stats.nodes_checked);
+}
+
+TEST_P(AdultsQidSweepTest, SolutionFractionShrinksWithQid) {
+  size_t qid_size = GetParam();
+  if (qid_size < 2) return;
+  AnonymizationConfig config;
+  config.k = 5;
+  QuasiIdentifier small = dataset_->qid.Prefix(qid_size - 1);
+  QuasiIdentifier large = dataset_->qid.Prefix(qid_size);
+  Result<IncognitoResult> rs = RunIncognito(dataset_->table, small, config);
+  Result<IncognitoResult> rl = RunIncognito(dataset_->table, large, config);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rl.ok());
+  // Subset Property at the level-vector granularity: if <v1..v_{n}> is
+  // anonymous then its prefix <v1..v_{n-1}> is anonymous for the smaller
+  // QID — so every large solution projects to a small solution.
+  std::set<std::string> small_set = NodeSet(rs->anonymous_nodes);
+  for (const SubsetNode& node : rl->anonymous_nodes) {
+    SubsetNode prefix = node;
+    prefix.dims.pop_back();
+    prefix.levels.pop_back();
+    EXPECT_TRUE(small_set.count(prefix.ToString()) > 0) << node.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QidSizes, AdultsQidSweepTest,
+                         ::testing::Values<size_t>(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/checker.h"
+#include "core/quasi_identifier.h"
+#include "data/patients.h"
+#include "hierarchy/builders.h"
+
+namespace incognito {
+namespace {
+
+class QidTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<PatientsDataset> ds = MakePatientsDataset();
+    ASSERT_TRUE(ds.ok());
+    table_ = std::move(ds->table);
+    qid_ = std::move(ds->qid);
+  }
+
+  Table table_;
+  QuasiIdentifier qid_;
+};
+
+TEST_F(QidTest, Accessors) {
+  EXPECT_EQ(qid_.size(), 3u);
+  EXPECT_EQ(qid_.name(0), "Birthdate");
+  EXPECT_EQ(qid_.column(2),
+            static_cast<size_t>(table_.schema().FindColumn("Zipcode")));
+  EXPECT_EQ(qid_.hierarchy(2).attribute_name(), "Zipcode");
+  EXPECT_EQ(qid_.MaxLevels(), (std::vector<int32_t>{1, 1, 2}));
+  EXPECT_EQ(qid_.LatticeSize(), 12u);
+}
+
+TEST_F(QidTest, PrefixClampsAndPreservesOrder) {
+  QuasiIdentifier two = qid_.Prefix(2);
+  EXPECT_EQ(two.size(), 2u);
+  EXPECT_EQ(two.name(0), "Birthdate");
+  EXPECT_EQ(two.name(1), "Sex");
+  // Requesting more attributes than exist clamps to the full set.
+  EXPECT_EQ(qid_.Prefix(99).size(), 3u);
+  EXPECT_EQ(qid_.Prefix(0).size(), 0u);
+}
+
+TEST_F(QidTest, CreateRejectsUnknownColumn) {
+  ValueHierarchy h =
+      BuildSuppressionHierarchy("Sex", table_.dictionary(1)).value();
+  EXPECT_EQ(QuasiIdentifier::Create(table_, {{"NoSuchColumn", h}})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QidTest, CreateRejectsEmpty) {
+  EXPECT_EQ(QuasiIdentifier::Create(table_, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(QidTest, CreateRejectsMismatchedHierarchy) {
+  // A hierarchy built over the wrong column's dictionary fails the
+  // code-for-code base-domain check.
+  ValueHierarchy sex_hierarchy =
+      BuildSuppressionHierarchy("Sex", table_.dictionary(1)).value();
+  EXPECT_EQ(QuasiIdentifier::Create(table_, {{"Birthdate", sex_hierarchy}})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QidTest, CreateDetectsStaleDictionary) {
+  // Rows appended after the hierarchy is built grow the dictionary; the
+  // mismatch must surface at Create time, not as a bad array access.
+  ValueHierarchy h =
+      BuildSuppressionHierarchy("Sex", table_.dictionary(1)).value();
+  ASSERT_TRUE(table_
+                  .AppendRow({Value("1/1/90"), Value("Nonbinary"),
+                              Value(int64_t{53715}), Value("Cold")})
+                  .ok());
+  EXPECT_EQ(QuasiIdentifier::Create(table_, {{"Sex", h}}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AlgorithmStatsTest, MergeCountersSumsEverythingButTimings) {
+  AlgorithmStats a;
+  a.nodes_checked = 5;
+  a.nodes_marked = 2;
+  a.table_scans = 3;
+  a.rollups = 1;
+  a.freq_groups_built = 100;
+  a.candidate_nodes = 7;
+  a.total_seconds = 1.5;
+  AlgorithmStats b;
+  b.nodes_checked = 10;
+  b.table_scans = 1;
+  b.total_seconds = 9.0;
+  a.MergeCounters(b);
+  EXPECT_EQ(a.nodes_checked, 15);
+  EXPECT_EQ(a.nodes_marked, 2);
+  EXPECT_EQ(a.table_scans, 4);
+  EXPECT_EQ(a.rollups, 1);
+  EXPECT_EQ(a.freq_groups_built, 100);
+  EXPECT_EQ(a.candidate_nodes, 7);
+  EXPECT_DOUBLE_EQ(a.total_seconds, 1.5);  // timings are not merged
+}
+
+TEST(AlgorithmStatsTest, ToStringContainsEveryCounter) {
+  AlgorithmStats s;
+  s.nodes_checked = 42;
+  std::string out = s.ToString();
+  EXPECT_NE(out.find("checked=42"), std::string::npos);
+  EXPECT_NE(out.find("scans="), std::string::npos);
+  EXPECT_NE(out.find("rollups="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace incognito

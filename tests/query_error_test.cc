@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "data/adults.h"
+#include "data/patients.h"
+#include "metrics/query_error.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+TEST(QueryErrorTest, IdentityReleaseIsExact) {
+  // Level-0 release at k=1: every class covers exactly its own base
+  // values, so the uniform-spread estimate equals the truth on every
+  // query.
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  AnonymizationConfig config;
+  config.k = 1;
+  Result<QueryWorkloadReport> report = EvaluateQueryWorkload(
+      ds->table, ds->qid, SubsetNode::Full({0, 0, 0}), config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_DOUBLE_EQ(report->mean_relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(report->max_relative_error, 0.0);
+  EXPECT_EQ(report->num_queries, 200u);
+}
+
+TEST(QueryErrorTest, DeterministicGivenSeed) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  AnonymizationConfig config;
+  config.k = 2;
+  QueryWorkloadOptions opts;
+  opts.seed = 99;
+  Result<QueryWorkloadReport> a = EvaluateQueryWorkload(
+      ds->table, ds->qid, SubsetNode::Full({1, 1, 0}), config, opts);
+  Result<QueryWorkloadReport> b = EvaluateQueryWorkload(
+      ds->table, ds->qid, SubsetNode::Full({1, 1, 0}), config, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->mean_relative_error, b->mean_relative_error);
+  EXPECT_DOUBLE_EQ(a->max_relative_error, b->max_relative_error);
+}
+
+TEST(QueryErrorTest, CoarserReleaseOnAdultsHasHigherError) {
+  AdultsOptions opts;
+  opts.num_rows = 5000;
+  Result<SyntheticDataset> adults = MakeAdultsDataset(opts);
+  ASSERT_TRUE(adults.ok());
+  QuasiIdentifier qid = adults->qid.Prefix(3);  // Age, Gender, Race
+  AnonymizationConfig config;
+  config.k = 1;  // isolate generalization error from suppression
+  QueryWorkloadOptions wopts;
+  wopts.num_queries = 100;
+  wopts.attributes_per_query = 1;
+  wopts.selectivity = 0.2;
+  Result<QueryWorkloadReport> fine = EvaluateQueryWorkload(
+      adults->table, qid, SubsetNode::Full({1, 0, 0}), config, wopts);
+  Result<QueryWorkloadReport> coarse = EvaluateQueryWorkload(
+      adults->table, qid, SubsetNode::Full({4, 1, 1}), config, wopts);
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse.ok());
+  // Fully generalized release answers range queries far worse than
+  // 5-year-banded ages.
+  EXPECT_GT(coarse->mean_relative_error, fine->mean_relative_error);
+}
+
+TEST(QueryErrorTest, SuppressionShowsUpAsError) {
+  // A table where one outlier is suppressed: queries selecting it see the
+  // loss.
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  AnonymizationConfig config;
+  config.k = 2;
+  config.max_suppressed = 2;
+  // <B1, S0, Z0>: the two singleton groups are suppressed.
+  QueryWorkloadOptions wopts;
+  wopts.num_queries = 400;
+  wopts.attributes_per_query = 2;
+  wopts.selectivity = 0.4;
+  Result<QueryWorkloadReport> report = EvaluateQueryWorkload(
+      ds->table, ds->qid, SubsetNode::Full({1, 0, 0}), config, wopts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->max_relative_error, 0.0);
+}
+
+TEST(QueryErrorTest, ReportToString) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  AnonymizationConfig config;
+  config.k = 1;
+  Result<QueryWorkloadReport> report = EvaluateQueryWorkload(
+      ds->table, ds->qid, SubsetNode::Full({0, 0, 0}), config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->ToString().find("queries=200"), std::string::npos);
+}
+
+TEST(QueryErrorTest, RejectsBadInputs) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  AnonymizationConfig config;
+  config.k = 2;
+  EXPECT_FALSE(EvaluateQueryWorkload(ds->table, ds->qid,
+                                     SubsetNode({0, 1}, {0, 0}), config)
+                   .ok());
+  QueryWorkloadOptions wopts;
+  wopts.num_queries = 0;
+  EXPECT_FALSE(EvaluateQueryWorkload(ds->table, ds->qid,
+                                     SubsetNode::Full({0, 0, 0}), config,
+                                     wopts)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace incognito

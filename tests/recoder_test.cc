@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/recoder.h"
+#include "data/patients.h"
+#include "freq/frequency_set.h"
+#include "metrics/metrics.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+class RecoderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<PatientsDataset> ds = MakePatientsDataset();
+    ASSERT_TRUE(ds.ok());
+    table_ = std::move(ds->table);
+    qid_ = std::move(ds->qid);
+  }
+
+  Table table_;
+  QuasiIdentifier qid_;
+};
+
+TEST_F(RecoderTest, AppliesMinimalGeneralization) {
+  AnonymizationConfig config;
+  config.k = 2;
+  // <B1, S1, Z0>: Birthdate and Sex suppressed, Zipcode intact.
+  Result<RecodeResult> r = ApplyFullDomainGeneralization(
+      table_, qid_, SubsetNode::Full({1, 1, 0}), config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->suppressed_tuples, 0);
+  EXPECT_EQ(r->view.num_rows(), 6u);
+  // Full-domain property: every Birthdate is '*', every Sex is 'Person'.
+  for (size_t row = 0; row < r->view.num_rows(); ++row) {
+    EXPECT_EQ(r->view.GetValue(row, 0), Value("*"));
+    EXPECT_EQ(r->view.GetValue(row, 1), Value("Person"));
+  }
+  // Zipcode (level 0) keeps its original int values.
+  EXPECT_EQ(r->view.schema().column(2).type, DataType::kInt64);
+  EXPECT_EQ(r->view.GetValue(0, 2), Value(int64_t{53715}));
+  // Disease (non-QID) carried through unchanged.
+  EXPECT_EQ(r->view.GetValue(0, 3), Value("Flu"));
+}
+
+TEST_F(RecoderTest, ViewIsKAnonymous) {
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<RecodeResult> r = ApplyFullDomainGeneralization(
+      table_, qid_, SubsetNode::Full({1, 1, 0}), config);
+  ASSERT_TRUE(r.ok());
+  Result<std::vector<int64_t>> sizes =
+      ClassSizes(r->view, {"Birthdate", "Sex", "Zipcode"});
+  ASSERT_TRUE(sizes.ok());
+  for (int64_t size : *sizes) EXPECT_GE(size, 2);
+}
+
+TEST_F(RecoderTest, GeneralizedLabelsAreAncestors) {
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<RecodeResult> r = ApplyFullDomainGeneralization(
+      table_, qid_, SubsetNode::Full({0, 1, 1}), config);
+  // <B0,S1,Z1>: is it 2-anonymous? Groups by (birthdate, Person, 5371x):
+  // (1/21/76, 5371*)=1 → NOT 2-anonymous; expect failure.
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RecoderTest, ZipcodeLevelOneLabels) {
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<RecodeResult> r = ApplyFullDomainGeneralization(
+      table_, qid_, SubsetNode::Full({1, 1, 1}), config);
+  ASSERT_TRUE(r.ok());
+  std::set<std::string> zips;
+  for (size_t row = 0; row < r->view.num_rows(); ++row) {
+    zips.insert(r->view.GetValue(row, 2).ToString());
+  }
+  EXPECT_EQ(zips, (std::set<std::string>{"5371*", "5370*"}));
+}
+
+TEST_F(RecoderTest, SuppressionRemovesOutliers) {
+  AnonymizationConfig config;
+  config.k = 2;
+  config.max_suppressed = 2;
+  // <B1,S0,Z0> leaves two singleton groups; with budget 2 they are
+  // suppressed and the rest is released.
+  Result<RecodeResult> r = ApplyFullDomainGeneralization(
+      table_, qid_, SubsetNode::Full({1, 0, 0}), config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->suppressed_tuples, 2);
+  EXPECT_EQ(r->view.num_rows(), 4u);
+  Result<std::vector<int64_t>> sizes =
+      ClassSizes(r->view, {"Birthdate", "Sex", "Zipcode"});
+  ASSERT_TRUE(sizes.ok());
+  for (int64_t size : *sizes) EXPECT_GE(size, 2);
+}
+
+TEST_F(RecoderTest, FailsWhenBudgetInsufficient) {
+  AnonymizationConfig config;
+  config.k = 2;
+  config.max_suppressed = 1;
+  Result<RecodeResult> r = ApplyFullDomainGeneralization(
+      table_, qid_, SubsetNode::Full({1, 0, 0}), config);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RecoderTest, IdentityNodeWithK1) {
+  AnonymizationConfig config;
+  config.k = 1;
+  Result<RecodeResult> r = ApplyFullDomainGeneralization(
+      table_, qid_, SubsetNode::Full({0, 0, 0}), config);
+  ASSERT_TRUE(r.ok());
+  // k=1: the view equals the original table.
+  EXPECT_TRUE(r->view.MultisetEquals(table_));
+}
+
+TEST_F(RecoderTest, RejectsMalformedNodes) {
+  AnonymizationConfig config;
+  config.k = 2;
+  // Partial QID.
+  EXPECT_FALSE(ApplyFullDomainGeneralization(table_, qid_,
+                                             SubsetNode({0, 1}, {1, 1}),
+                                             config)
+                   .ok());
+  // Level out of range.
+  EXPECT_EQ(ApplyFullDomainGeneralization(table_, qid_,
+                                          SubsetNode::Full({5, 1, 0}), config)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  // Wrong dims.
+  EXPECT_FALSE(ApplyFullDomainGeneralization(
+                   table_, qid_, SubsetNode({0, 1, 3}, {1, 1, 0}), config)
+                   .ok());
+}
+
+TEST_F(RecoderTest, FullSuppressionTopNode) {
+  AnonymizationConfig config;
+  config.k = 6;
+  Result<RecodeResult> r = ApplyFullDomainGeneralization(
+      table_, qid_, SubsetNode::Full({1, 1, 2}), config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->view.num_rows(), 6u);
+  for (size_t row = 0; row < r->view.num_rows(); ++row) {
+    EXPECT_EQ(r->view.GetValue(row, 2), Value("537**"));
+  }
+}
+
+}  // namespace
+}  // namespace incognito

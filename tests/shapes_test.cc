@@ -1,0 +1,162 @@
+// Executable versions of the qualitative claims EXPERIMENTS.md records:
+// each of the paper's evaluation findings, asserted at CI scale (reduced
+// rows, reduced QID sizes). If a refactor breaks the *shape* of a result
+// — who wins, which direction a curve moves — these tests catch it
+// without waiting for the full benchmark sweep.
+
+#include <gtest/gtest.h>
+
+#include "core/binary_search.h"
+#include "core/bottom_up.h"
+#include "core/incognito.h"
+#include "data/adults.h"
+#include "data/landsend.h"
+
+namespace incognito {
+namespace {
+
+class ShapesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AdultsOptions a;
+    a.num_rows = 5000;
+    adults_ = new SyntheticDataset(std::move(MakeAdultsDataset(a)).value());
+    LandsEndOptions l;
+    l.num_rows = 20000;
+    landsend_ =
+        new SyntheticDataset(std::move(MakeLandsEndDataset(l)).value());
+  }
+  static void TearDownTestSuite() {
+    delete adults_;
+    delete landsend_;
+    adults_ = nullptr;
+    landsend_ = nullptr;
+  }
+
+  static AlgorithmStats Incognito(const SyntheticDataset& ds, size_t qid,
+                                  int64_t k,
+                                  IncognitoVariant variant =
+                                      IncognitoVariant::kBasic) {
+    AnonymizationConfig config;
+    config.k = k;
+    IncognitoOptions opts;
+    opts.variant = variant;
+    Result<IncognitoResult> r =
+        RunIncognito(ds.table, ds.qid.Prefix(qid), config, opts);
+    EXPECT_TRUE(r.ok());
+    return r->stats;
+  }
+
+  static AlgorithmStats BottomUp(const SyntheticDataset& ds, size_t qid,
+                                 int64_t k, bool rollup) {
+    AnonymizationConfig config;
+    config.k = k;
+    BottomUpOptions opts;
+    opts.use_rollup = rollup;
+    Result<BottomUpResult> r =
+        RunBottomUpBfs(ds.table, ds.qid.Prefix(qid), config, opts);
+    EXPECT_TRUE(r.ok());
+    return r->stats;
+  }
+
+  static SyntheticDataset* adults_;
+  static SyntheticDataset* landsend_;
+};
+
+SyntheticDataset* ShapesTest::adults_ = nullptr;
+SyntheticDataset* ShapesTest::landsend_ = nullptr;
+
+// --- Fig. 10 / §4.2.1: a-priori pruning beats exhaustive search -----------
+
+TEST_F(ShapesTest, IncognitoChecksFewerNodesThanBottomUpAndGapWidens) {
+  double previous_ratio = 1.0;
+  for (size_t qid : {4u, 5u, 6u}) {
+    AlgorithmStats inc = Incognito(*adults_, qid, 2);
+    AlgorithmStats bu = BottomUp(*adults_, qid, 2, /*rollup=*/false);
+    ASSERT_GT(bu.nodes_checked, 0);
+    double ratio = static_cast<double>(bu.nodes_checked) /
+                   static_cast<double>(inc.nodes_checked);
+    EXPECT_GT(ratio, 1.0) << "qid=" << qid;
+    EXPECT_GE(ratio, previous_ratio * 0.95) << "gap should widen, qid=" << qid;
+    previous_ratio = ratio;
+  }
+}
+
+TEST_F(ShapesTest, BottomUpChecksWholeLattice) {
+  AlgorithmStats bu = BottomUp(*adults_, 5, 2, /*rollup=*/false);
+  EXPECT_EQ(bu.nodes_checked, 240);  // 5·2·2·3·4
+  EXPECT_EQ(bu.table_scans, 240);
+}
+
+// --- Fig. 10: rollup replaces scans ----------------------------------------
+
+TEST_F(ShapesTest, RollupEliminatesScans) {
+  AlgorithmStats with = BottomUp(*adults_, 5, 2, /*rollup=*/true);
+  AlgorithmStats without = BottomUp(*adults_, 5, 2, /*rollup=*/false);
+  EXPECT_EQ(with.table_scans, 1);
+  EXPECT_EQ(with.rollups, 239);
+  EXPECT_EQ(without.rollups, 0);
+}
+
+// --- §3.3.1: super-roots reduce scans --------------------------------------
+
+TEST_F(ShapesTest, SuperRootsReduceScansOnBothDatabases) {
+  for (const SyntheticDataset* ds : {adults_, landsend_}) {
+    AlgorithmStats basic =
+        Incognito(*ds, 5, 10, IncognitoVariant::kBasic);
+    AlgorithmStats super =
+        Incognito(*ds, 5, 10, IncognitoVariant::kSuperRoots);
+    EXPECT_LT(super.table_scans, basic.table_scans);
+    EXPECT_EQ(super.nodes_checked, basic.nodes_checked);
+  }
+}
+
+// --- §3.3.2: the cube turns all scans into one -----------------------------
+
+TEST_F(ShapesTest, CubeVariantScansExactlyOnce) {
+  AlgorithmStats cube = Incognito(*adults_, 6, 2, IncognitoVariant::kCube);
+  EXPECT_EQ(cube.table_scans, 1);
+  EXPECT_GE(cube.cube_build_seconds, 0.0);
+}
+
+// --- Fig. 11: larger k prunes more ------------------------------------------
+
+TEST_F(ShapesTest, CheckedNodesFallAsKGrows) {
+  int64_t previous = INT64_MAX;
+  for (int64_t k : {2, 10, 50}) {
+    AlgorithmStats stats = Incognito(*adults_, 6, k);
+    EXPECT_LE(stats.nodes_checked, previous) << "k=" << k;
+    previous = stats.nodes_checked;
+  }
+}
+
+// --- Binary search: single solution, fewer checks than exhaustive ---------
+
+TEST_F(ShapesTest, BinarySearchChecksFewerThanExhaustive) {
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<BinarySearchResult> bs =
+      RunSamaratiBinarySearch(adults_->table, adults_->qid.Prefix(5), config);
+  ASSERT_TRUE(bs.ok());
+  ASSERT_TRUE(bs->found);
+  AlgorithmStats bu = BottomUp(*adults_, 5, 2, /*rollup=*/false);
+  EXPECT_LT(bs->stats.nodes_checked, bu.nodes_checked);
+}
+
+// --- Solution sets shrink with k -------------------------------------------
+
+TEST_F(ShapesTest, SolutionSetShrinksAsKGrows) {
+  size_t previous = SIZE_MAX;
+  for (int64_t k : {2, 10, 50}) {
+    AnonymizationConfig config;
+    config.k = k;
+    Result<IncognitoResult> r =
+        RunIncognito(landsend_->table, landsend_->qid.Prefix(4), config);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->anonymous_nodes.size(), previous);
+    previous = r->anonymous_nodes.size();
+  }
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/recoder.h"
+#include "core/star_schema.h"
+#include "data/patients.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+class StarSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<PatientsDataset> ds = MakePatientsDataset();
+    ASSERT_TRUE(ds.ok());
+    table_ = std::move(ds->table);
+    qid_ = std::move(ds->qid);
+  }
+
+  Table table_;
+  QuasiIdentifier qid_;
+};
+
+TEST_F(StarSchemaTest, DimensionTableMatchesFig4) {
+  // The Zipcode dimension of paper Fig. 4: Z0, Z1, Z2 columns, one row
+  // per base zipcode.
+  Table dim = MakeDimensionTable(qid_.hierarchy(2));
+  EXPECT_EQ(dim.schema().ToString(),
+            "Zipcode_0:int64, Zipcode_1:string, Zipcode_2:string");
+  EXPECT_EQ(dim.num_rows(), 3u);  // three zipcodes in the Patients data
+  // Each row is the full generalization path of its base value.
+  for (size_t r = 0; r < dim.num_rows(); ++r) {
+    int64_t zip = dim.GetValue(r, 0).int64();
+    std::string level1 = dim.GetValue(r, 1).ToString();
+    EXPECT_EQ(level1.substr(0, 4),
+              std::to_string(zip).substr(0, 4));  // 5371* from 53715
+    EXPECT_EQ(dim.GetValue(r, 2), Value("537**"));
+  }
+}
+
+TEST_F(StarSchemaTest, DimensionTableForSuppression) {
+  Table dim = MakeDimensionTable(qid_.hierarchy(1));  // Sex
+  EXPECT_EQ(dim.num_rows(), 2u);
+  EXPECT_EQ(dim.schema().column(0).name, "Sex_0");
+  EXPECT_EQ(dim.GetValue(0, 1), Value("Person"));
+  EXPECT_EQ(dim.GetValue(1, 1), Value("Person"));
+}
+
+TEST_F(StarSchemaTest, StarJoinMatchesDirectRecoder) {
+  AnonymizationConfig config;
+  config.k = 2;
+  // Every 2-anonymous generalization of the Patients table.
+  for (const std::vector<int32_t>& levels :
+       {std::vector<int32_t>{1, 1, 0}, std::vector<int32_t>{1, 1, 1},
+        std::vector<int32_t>{1, 1, 2}, std::vector<int32_t>{1, 0, 2},
+        std::vector<int32_t>{0, 1, 2}}) {
+    SubsetNode node = SubsetNode::Full(levels);
+    Result<RecodeResult> direct =
+        ApplyFullDomainGeneralization(table_, qid_, node, config);
+    Result<RecodeResult> star = RecodeViaStarJoin(table_, qid_, node, config);
+    ASSERT_TRUE(direct.ok()) << node.ToString();
+    ASSERT_TRUE(star.ok()) << star.status().ToString();
+    EXPECT_EQ(star->suppressed_tuples, direct->suppressed_tuples);
+    EXPECT_TRUE(star->view.MultisetEquals(direct->view)) << node.ToString();
+  }
+}
+
+TEST_F(StarSchemaTest, StarJoinSuppression) {
+  AnonymizationConfig config;
+  config.k = 2;
+  config.max_suppressed = 2;
+  SubsetNode node = SubsetNode::Full({1, 0, 0});
+  Result<RecodeResult> direct =
+      ApplyFullDomainGeneralization(table_, qid_, node, config);
+  Result<RecodeResult> star = RecodeViaStarJoin(table_, qid_, node, config);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star->suppressed_tuples, 2);
+  EXPECT_TRUE(star->view.MultisetEquals(direct->view));
+}
+
+TEST_F(StarSchemaTest, StarJoinRejectsNonAnonymousNode) {
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<RecodeResult> star =
+      RecodeViaStarJoin(table_, qid_, SubsetNode::Full({0, 0, 0}), config);
+  EXPECT_EQ(star.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StarSchemaTest, StarJoinRejectsBadNode) {
+  AnonymizationConfig config;
+  config.k = 2;
+  EXPECT_FALSE(
+      RecodeViaStarJoin(table_, qid_, SubsetNode({0, 1}, {1, 1}), config)
+          .ok());
+  EXPECT_FALSE(
+      RecodeViaStarJoin(table_, qid_, SubsetNode::Full({9, 0, 0}), config)
+          .ok());
+}
+
+TEST(StarSchemaRandomTest, StarJoinMatchesDirectOnRandomData) {
+  Rng rng(616);
+  for (int trial = 0; trial < 5; ++trial) {
+    testing_util::RandomDatasetOptions opts;
+    opts.num_rows = 50;
+    testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng, opts);
+    AnonymizationConfig config;
+    config.k = 2;
+    config.max_suppressed = 10;
+    // A random node.
+    std::vector<int32_t> levels(ds.qid.size());
+    for (size_t i = 0; i < ds.qid.size(); ++i) {
+      levels[i] =
+          static_cast<int32_t>(rng.Uniform(ds.qid.hierarchy(i).height() + 1));
+    }
+    SubsetNode node = SubsetNode::Full(levels);
+    Result<RecodeResult> direct =
+        ApplyFullDomainGeneralization(ds.table, ds.qid, node, config);
+    Result<RecodeResult> star =
+        RecodeViaStarJoin(ds.table, ds.qid, node, config);
+    ASSERT_EQ(direct.ok(), star.ok()) << node.ToString();
+    if (!direct.ok()) continue;
+    EXPECT_EQ(star->suppressed_tuples, direct->suppressed_tuples);
+    EXPECT_TRUE(star->view.MultisetEquals(direct->view)) << node.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace incognito

@@ -1,0 +1,131 @@
+#ifndef INCOGNITO_TESTS_TEST_UTIL_H_
+#define INCOGNITO_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "core/quasi_identifier.h"
+#include "hierarchy/hierarchy.h"
+#include "lattice/lattice.h"
+#include "lattice/node.h"
+#include "relation/table.h"
+
+namespace incognito {
+namespace testing_util {
+
+/// A randomly generated dataset for property tests.
+struct RandomDataset {
+  Table table;
+  QuasiIdentifier qid;
+};
+
+/// Builds a random well-formed hierarchy over `domain_size` base values
+/// with `height` generalization levels. Level sizes shrink geometrically;
+/// parent maps are random but surjective; the top level has one value.
+inline ValueHierarchy MakeRandomHierarchy(const std::string& name,
+                                          size_t domain_size, size_t height,
+                                          Rng& rng) {
+  std::vector<size_t> sizes(height + 1);
+  sizes[0] = domain_size;
+  for (size_t l = 1; l <= height; ++l) {
+    size_t prev = sizes[l - 1];
+    size_t next = std::max<size_t>(1, prev / 2);
+    if (l == height) next = 1;  // single root
+    if (next >= prev && prev > 1) next = prev - 1;
+    sizes[l] = next;
+  }
+  std::vector<std::vector<Value>> level_values(height + 1);
+  for (size_t l = 0; l <= height; ++l) {
+    for (size_t c = 0; c < sizes[l]; ++c) {
+      level_values[l].push_back(
+          Value(StringPrintf("%s_L%zu_%zu", name.c_str(), l, c)));
+    }
+  }
+  std::vector<std::vector<int32_t>> parents(height);
+  for (size_t l = 0; l < height; ++l) {
+    parents[l].resize(sizes[l]);
+    // Surjectivity: the first sizes[l+1] children map to distinct parents.
+    for (size_t c = 0; c < sizes[l]; ++c) {
+      if (c < sizes[l + 1]) {
+        parents[l][c] = static_cast<int32_t>(c);
+      } else {
+        parents[l][c] = static_cast<int32_t>(rng.Uniform(sizes[l + 1]));
+      }
+    }
+  }
+  Result<ValueHierarchy> h = ValueHierarchy::Create(name, level_values,
+                                                    parents);
+  // Test helper: construction from valid shapes cannot fail.
+  return std::move(h).value();
+}
+
+/// Options for MakeRandomDataset.
+struct RandomDatasetOptions {
+  size_t num_attrs = 3;
+  size_t min_domain = 2;
+  size_t max_domain = 8;
+  size_t max_height = 3;
+  size_t num_rows = 60;
+};
+
+/// Builds a random table + quasi-identifier. Every value of every domain
+/// is pre-inserted in the dictionaries so hierarchies align.
+inline RandomDataset MakeRandomDataset(Rng& rng,
+                                       const RandomDatasetOptions& opts = {}) {
+  std::vector<ColumnSpec> specs;
+  for (size_t i = 0; i < opts.num_attrs; ++i) {
+    specs.push_back({StringPrintf("attr%zu", i), DataType::kString});
+  }
+  Table table{Schema(specs)};
+
+  std::vector<size_t> domain_sizes(opts.num_attrs);
+  std::vector<size_t> heights(opts.num_attrs);
+  std::vector<std::pair<std::string, ValueHierarchy>> hierarchies;
+  for (size_t i = 0; i < opts.num_attrs; ++i) {
+    domain_sizes[i] =
+        opts.min_domain + rng.Uniform(opts.max_domain - opts.min_domain + 1);
+    heights[i] = 1 + rng.Uniform(opts.max_height);
+    ValueHierarchy h = MakeRandomHierarchy(StringPrintf("attr%zu", i),
+                                           domain_sizes[i], heights[i], rng);
+    // Prefill the dictionary to match the hierarchy's base domain.
+    Dictionary& dict = table.mutable_dictionary(i);
+    for (size_t c = 0; c < domain_sizes[i]; ++c) {
+      dict.GetOrInsert(h.LevelValue(0, static_cast<int32_t>(c)));
+    }
+    hierarchies.emplace_back(StringPrintf("attr%zu", i), std::move(h));
+  }
+  std::vector<int32_t> codes(opts.num_attrs);
+  for (size_t r = 0; r < opts.num_rows; ++r) {
+    for (size_t i = 0; i < opts.num_attrs; ++i) {
+      codes[i] = static_cast<int32_t>(rng.Uniform(domain_sizes[i]));
+    }
+    table.AppendRowCodes(codes);
+  }
+  Result<QuasiIdentifier> qid =
+      QuasiIdentifier::Create(table, std::move(hierarchies));
+  RandomDataset out;
+  out.table = std::move(table);
+  out.qid = std::move(qid).value();
+  return out;
+}
+
+/// Canonical comparable form of a node set.
+inline std::set<std::string> NodeSet(const std::vector<SubsetNode>& nodes) {
+  std::set<std::string> out;
+  for (const SubsetNode& n : nodes) out.insert(n.ToString());
+  return out;
+}
+
+/// Makes a full-QID SubsetNode from a level vector.
+inline SubsetNode FullNode(std::vector<int32_t> levels) {
+  return SubsetNode::Full(std::move(levels));
+}
+
+}  // namespace testing_util
+}  // namespace incognito
+
+#endif  // INCOGNITO_TESTS_TEST_UTIL_H_

@@ -1,0 +1,485 @@
+// incognito_cli — command-line anonymizer over CSV files.
+//
+// Subcommands:
+//   check       test whether a table satisfies k-anonymity (and optionally
+//               distinct ℓ-diversity) at given generalization levels
+//   enumerate   list every k-anonymous full-domain generalization with
+//               quality metrics
+//   anonymize   pick a minimal generalization and write the released view
+//   models      run every §5 taxonomy model and compare release quality
+//   hierarchy   generate a hierarchy CSV for a column with a builder rule
+//
+// Inputs ending in ".inct" are read in the library's binary table format
+// (see relation/binary_io.h); everything else is parsed as CSV.
+//
+// Hierarchy specifications (--hierarchies=COL=SPEC,COL=SPEC,...):
+//   file:PATH            load an ARX-style hierarchy CSV (';'-separated)
+//   suppress             one-level suppression to '*'
+//   interval:W1:W2:...   nested integer ranges plus a '*' top
+//   digits:NUM:LEVELS    fixed-width digit rounding (e.g. digits:5:3)
+//   date                 YYYY-MM-DD → YYYY-MM → YYYY → '*'
+//
+// Examples:
+//   incognito_cli enumerate --input=adults.csv --k=5 \
+//     --qid=Age,Gender,Zipcode \
+//     --hierarchies=Age=interval:5:10:20,Gender=suppress,Zipcode=digits:5:3
+//   incognito_cli anonymize --input=adults.csv --output=out.csv --k=5 \
+//     --qid=... --hierarchies=... [--suppress=25] [--levels=1,0,2]
+//   incognito_cli check --input=... --qid=... --hierarchies=... \
+//     --levels=1,0,2 --k=5 [--l=3 --sensitive=Disease]
+//   incognito_cli hierarchy --input=adults.csv --column=Age \
+//     --spec=interval:5:10:20 --output=age_hierarchy.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/incognito.h"
+#include "core/ldiversity.h"
+#include "core/minimality.h"
+#include "core/recoder.h"
+#include "freq/sensitive_frequency_set.h"
+#include "hierarchy/builders.h"
+#include "hierarchy/csv_hierarchy.h"
+#include "hierarchy/validation.h"
+#include "metrics/metrics.h"
+#include "models/cell_generalization.h"
+#include "models/cell_suppression.h"
+#include "models/datafly.h"
+#include "models/mondrian.h"
+#include "models/ordered_set.h"
+#include "models/subgraph.h"
+#include "models/subtree.h"
+#include "relation/binary_io.h"
+#include "relation/csv.h"
+
+using namespace incognito;
+
+namespace {
+
+int Usage() {
+  fprintf(stderr,
+          "usage: incognito_cli "
+          "<check|enumerate|anonymize|models|hierarchy> "
+          "--input=FILE [options]\n"
+          "see the header of tools/incognito_cli.cpp for full options\n");
+  return 2;
+}
+
+std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      args[arg.substr(2)] = "true";
+    } else {
+      args[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+std::string Get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& def = "") {
+  auto it = args.find(key);
+  return it == args.end() ? def : it->second;
+}
+
+/// Builds one hierarchy from a spec string (see file header).
+Result<ValueHierarchy> BuildFromSpec(const std::string& column,
+                                     const std::string& spec,
+                                     const Dictionary& dict) {
+  std::vector<std::string> parts = Split(spec, ':');
+  const std::string& kind = parts[0];
+  if (kind == "file") {
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("file spec needs a path: file:PATH");
+    }
+    return ReadHierarchyCsv(column, parts[1], dict);
+  }
+  if (kind == "suppress") {
+    return BuildSuppressionHierarchy(column, dict);
+  }
+  if (kind == "interval") {
+    std::vector<int64_t> widths;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      int64_t w = 0;
+      if (!ParseInt64(parts[i], &w)) {
+        return Status::InvalidArgument("bad interval width '" + parts[i] +
+                                       "'");
+      }
+      widths.push_back(w);
+    }
+    if (widths.empty()) {
+      return Status::InvalidArgument("interval spec needs widths");
+    }
+    return BuildIntervalHierarchy(column, dict, widths);
+  }
+  if (kind == "digits") {
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("digits spec is digits:NUM:LEVELS");
+    }
+    int64_t num = 0, levels = 0;
+    if (!ParseInt64(parts[1], &num) || !ParseInt64(parts[2], &levels)) {
+      return Status::InvalidArgument("bad digits spec '" + spec + "'");
+    }
+    return BuildDigitRoundingHierarchy(column, dict,
+                                       static_cast<size_t>(num),
+                                       static_cast<size_t>(levels));
+  }
+  if (kind == "date") {
+    return BuildDateHierarchy(column, dict);
+  }
+  return Status::InvalidArgument("unknown hierarchy spec kind '" + kind +
+                                 "'");
+}
+
+/// Loads the table and assembles the quasi-identifier from --qid and
+/// --hierarchies.
+struct LoadedProblem {
+  Table table;
+  QuasiIdentifier qid;
+};
+
+Result<LoadedProblem> Load(const std::map<std::string, std::string>& args) {
+  std::string input = Get(args, "input");
+  if (input.empty()) return Status::InvalidArgument("--input is required");
+  Result<Table> table = input.size() > 5 &&
+                                input.substr(input.size() - 5) == ".inct"
+                            ? ReadTableBinary(input)
+                            : ReadCsv(input);
+  if (!table.ok()) return table.status();
+
+  std::vector<std::string> qid_names = Split(Get(args, "qid"), ',');
+  if (qid_names.empty() || qid_names[0].empty()) {
+    return Status::InvalidArgument("--qid=Col1,Col2,... is required");
+  }
+  std::map<std::string, std::string> specs;
+  for (const std::string& entry : Split(Get(args, "hierarchies"), ',')) {
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad --hierarchies entry '" + entry +
+                                     "' (want COL=SPEC)");
+    }
+    specs[entry.substr(0, eq)] = entry.substr(eq + 1);
+  }
+
+  std::vector<std::pair<std::string, ValueHierarchy>> hierarchies;
+  for (const std::string& name : qid_names) {
+    Result<size_t> col = table->schema().ColumnIndex(name);
+    if (!col.ok()) return col.status();
+    auto it = specs.find(name);
+    if (it == specs.end()) {
+      return Status::InvalidArgument(
+          "no hierarchy spec for quasi-identifier attribute '" + name + "'");
+    }
+    Result<ValueHierarchy> h =
+        BuildFromSpec(name, it->second, table->dictionary(col.value()));
+    if (!h.ok()) return h.status();
+    hierarchies.emplace_back(name, std::move(h).value());
+  }
+  Result<QuasiIdentifier> qid =
+      QuasiIdentifier::Create(table.value(), std::move(hierarchies));
+  if (!qid.ok()) return qid.status();
+  LoadedProblem out;
+  out.table = std::move(table).value();
+  out.qid = std::move(qid).value();
+  return out;
+}
+
+Result<SubsetNode> ParseLevels(const std::map<std::string, std::string>& args,
+                               const QuasiIdentifier& qid) {
+  std::vector<std::string> parts = Split(Get(args, "levels"), ',');
+  if (parts.size() != qid.size()) {
+    return Status::InvalidArgument(
+        "--levels must list one level per quasi-identifier attribute");
+  }
+  std::vector<int32_t> levels;
+  for (const std::string& p : parts) {
+    int64_t v = 0;
+    if (!ParseInt64(p, &v)) {
+      return Status::InvalidArgument("bad level '" + p + "'");
+    }
+    levels.push_back(static_cast<int32_t>(v));
+  }
+  return SubsetNode::Full(std::move(levels));
+}
+
+AnonymizationConfig ConfigFrom(const std::map<std::string, std::string>& args) {
+  AnonymizationConfig config;
+  config.k = atoll(Get(args, "k", "2").c_str());
+  config.max_suppressed = atoll(Get(args, "suppress", "0").c_str());
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int CmdCheck(const std::map<std::string, std::string>& args) {
+  Result<LoadedProblem> problem = Load(args);
+  if (!problem.ok()) {
+    fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
+    return 1;
+  }
+  Result<SubsetNode> node = ParseLevels(args, problem->qid);
+  if (!node.ok()) {
+    fprintf(stderr, "error: %s\n", node.status().ToString().c_str());
+    return 1;
+  }
+  AnonymizationConfig config = ConfigFrom(args);
+
+  bool ok = IsKAnonymous(problem->table, problem->qid, node.value(), config);
+  printf("%s at %s: %lld-anonymous = %s\n", Get(args, "input").c_str(),
+         node->ToString(&problem->qid).c_str(),
+         static_cast<long long>(config.k), ok ? "yes" : "NO");
+
+  // Optional distinct ℓ-diversity check against a sensitive column.
+  std::string sensitive = Get(args, "sensitive");
+  int64_t l = atoll(Get(args, "l", "0").c_str());
+  if (!sensitive.empty() && l > 0) {
+    Result<size_t> col = problem->table.schema().ColumnIndex(sensitive);
+    if (!col.ok()) {
+      fprintf(stderr, "error: %s\n", col.status().ToString().c_str());
+      return 1;
+    }
+    SensitiveFrequencySet fs = SensitiveFrequencySet::Compute(
+        problem->table, problem->qid, node.value(), col.value());
+    bool diverse = fs.IsKAnonymousAndLDiverse(config.k, l,
+                                              config.max_suppressed);
+    printf("%s at %s: distinct %lld-diverse (sensitive=%s) = %s\n",
+           Get(args, "input").c_str(),
+           node->ToString(&problem->qid).c_str(), static_cast<long long>(l),
+           sensitive.c_str(), diverse ? "yes" : "NO");
+    ok = ok && diverse;
+  }
+  return ok ? 0 : 1;
+}
+
+int CmdEnumerate(const std::map<std::string, std::string>& args) {
+  Result<LoadedProblem> problem = Load(args);
+  if (!problem.ok()) {
+    fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
+    return 1;
+  }
+  AnonymizationConfig config = ConfigFrom(args);
+  Result<IncognitoResult> result =
+      RunIncognito(problem->table, problem->qid, config);
+  if (!result.ok()) {
+    fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  printf("%zu %lld-anonymous full-domain generalizations (%s)\n",
+         result->anonymous_nodes.size(), static_cast<long long>(config.k),
+         result->stats.ToString().c_str());
+  printf("%-48s %7s %9s %10s %8s %8s %11s\n", "generalization", "height",
+         "classes", "avg class", "Prec", "LM", "suppressed");
+  for (const SubsetNode& node : result->anonymous_nodes) {
+    Result<QualityReport> q =
+        EvaluateFullDomain(problem->table, problem->qid, node, config);
+    if (!q.ok()) continue;
+    printf("%-48s %7d %9lld %10.1f %8.4f %8.4f %11lld\n",
+           node.ToString(&problem->qid).c_str(), q->height,
+           static_cast<long long>(q->num_classes), q->avg_class_size,
+           q->precision, q->loss_metric,
+           static_cast<long long>(q->suppressed));
+  }
+  return 0;
+}
+
+int CmdAnonymize(const std::map<std::string, std::string>& args) {
+  Result<LoadedProblem> problem = Load(args);
+  if (!problem.ok()) {
+    fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
+    return 1;
+  }
+  AnonymizationConfig config = ConfigFrom(args);
+  std::string output = Get(args, "output");
+  if (output.empty()) {
+    fprintf(stderr, "error: --output is required\n");
+    return 1;
+  }
+
+  SubsetNode chosen;
+  if (args.count("levels") > 0) {
+    Result<SubsetNode> node = ParseLevels(args, problem->qid);
+    if (!node.ok()) {
+      fprintf(stderr, "error: %s\n", node.status().ToString().c_str());
+      return 1;
+    }
+    chosen = std::move(node).value();
+  } else {
+    Result<IncognitoResult> result =
+        RunIncognito(problem->table, problem->qid, config);
+    if (!result.ok()) {
+      fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    if (result->anonymous_nodes.empty()) {
+      fprintf(stderr,
+              "no %lld-anonymous full-domain generalization exists (even "
+              "fully generalized)\n",
+              static_cast<long long>(config.k));
+      return 1;
+    }
+    std::vector<SubsetNode> minimal;
+    std::string weights_arg = Get(args, "weights");
+    if (!weights_arg.empty()) {
+      std::vector<double> weights;
+      for (const std::string& w : Split(weights_arg, ',')) {
+        weights.push_back(atof(w.c_str()));
+      }
+      Result<std::vector<SubsetNode>> weighted = MinimalByWeight(
+          result->anonymous_nodes, weights, problem->qid);
+      if (!weighted.ok()) {
+        fprintf(stderr, "error: %s\n", weighted.status().ToString().c_str());
+        return 1;
+      }
+      minimal = std::move(weighted).value();
+    } else {
+      minimal = MinimalByHeight(result->anonymous_nodes);
+    }
+    chosen = minimal.front();
+  }
+
+  Result<RecodeResult> view = ApplyFullDomainGeneralization(
+      problem->table, problem->qid, chosen, config);
+  if (!view.ok()) {
+    fprintf(stderr, "error: %s\n", view.status().ToString().c_str());
+    return 1;
+  }
+  Status written = WriteCsv(view->view, output);
+  if (!written.ok()) {
+    fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  printf("wrote %zu rows to %s using %s (%lld tuples suppressed)\n",
+         view->view.num_rows(), output.c_str(),
+         chosen.ToString(&problem->qid).c_str(),
+         static_cast<long long>(view->suppressed_tuples));
+  return 0;
+}
+
+int CmdHierarchy(const std::map<std::string, std::string>& args) {
+  std::string input = Get(args, "input");
+  std::string column = Get(args, "column");
+  std::string spec = Get(args, "spec");
+  std::string output = Get(args, "output");
+  if (input.empty() || column.empty() || spec.empty() || output.empty()) {
+    fprintf(stderr,
+            "error: hierarchy needs --input, --column, --spec, --output\n");
+    return 1;
+  }
+  Result<Table> table = ReadCsv(input);
+  if (!table.ok()) {
+    fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  Result<size_t> col = table->schema().ColumnIndex(column);
+  if (!col.ok()) {
+    fprintf(stderr, "error: %s\n", col.status().ToString().c_str());
+    return 1;
+  }
+  Result<ValueHierarchy> h =
+      BuildFromSpec(column, spec, table->dictionary(col.value()));
+  if (!h.ok()) {
+    fprintf(stderr, "error: %s\n", h.status().ToString().c_str());
+    return 1;
+  }
+  Status written = WriteHierarchyCsv(h.value(), output);
+  if (!written.ok()) {
+    fprintf(stderr, "error: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  printf("wrote hierarchy for '%s' (%zu values, height %zu) to %s\n",
+         column.c_str(), h->DomainSize(0), h->height(), output.c_str());
+  return 0;
+}
+
+int CmdModels(const std::map<std::string, std::string>& args) {
+  Result<LoadedProblem> problem = Load(args);
+  if (!problem.ok()) {
+    fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
+    return 1;
+  }
+  AnonymizationConfig config = ConfigFrom(args);
+  std::vector<std::string> cols;
+  for (size_t i = 0; i < problem->qid.size(); ++i) {
+    cols.push_back(problem->qid.name(i));
+  }
+  const int64_t rows = static_cast<int64_t>(problem->table.num_rows());
+  auto report = [&](const char* model, const Table& view) {
+    Result<QualityReport> q = EvaluateView(view, cols, rows);
+    if (!q.ok()) return;
+    printf("%-28s %9lld %11.1f %14.4g %10lld\n", model,
+           static_cast<long long>(q->num_classes), q->avg_class_size,
+           q->discernibility, static_cast<long long>(q->suppressed));
+  };
+  printf("%-28s %9s %11s %14s %10s\n", "model", "classes", "avg class",
+         "discern.", "suppressed");
+  {
+    Result<IncognitoResult> r =
+        RunIncognito(problem->table, problem->qid, config);
+    if (r.ok() && !r->anonymous_nodes.empty()) {
+      SubsetNode minimal = MinimalByHeight(r->anonymous_nodes).front();
+      Result<RecodeResult> view = ApplyFullDomainGeneralization(
+          problem->table, problem->qid, minimal, config);
+      if (view.ok()) report("full-domain (Incognito)", view->view);
+    }
+  }
+  {
+    Result<DataflyResult> r = RunDatafly(problem->table, problem->qid, config);
+    if (r.ok()) report("Datafly (greedy)", r->view);
+  }
+  {
+    Result<SubtreeResult> r =
+        RunGreedySubtree(problem->table, problem->qid, config);
+    if (r.ok()) report("full-subtree (greedy)", r->view);
+  }
+  {
+    Result<OrderedSetResult> r =
+        RunOrderedSetPartition(problem->table, problem->qid, config);
+    if (r.ok()) report("ordered-set partitioning", r->view);
+  }
+  {
+    Result<MondrianResult> r =
+        RunMondrian(problem->table, problem->qid, config);
+    if (r.ok()) report("Mondrian multi-dimensional", r->view);
+  }
+  {
+    Result<SubgraphResult> r =
+        RunGreedySubgraph(problem->table, problem->qid, config);
+    if (r.ok()) report("full-subgraph multi-dim", r->view);
+  }
+  {
+    Result<CellSuppressionResult> r =
+        RunCellSuppression(problem->table, problem->qid, config);
+    if (r.ok()) report("cell suppression (local)", r->view);
+  }
+  {
+    Result<CellGeneralizationResult> r =
+        RunCellGeneralization(problem->table, problem->qid, config);
+    if (r.ok()) report("cell generalization (local)", r->view);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::map<std::string, std::string> args = ParseArgs(argc, argv);
+  if (command == "check") return CmdCheck(args);
+  if (command == "enumerate") return CmdEnumerate(args);
+  if (command == "anonymize") return CmdAnonymize(args);
+  if (command == "models") return CmdModels(args);
+  if (command == "hierarchy") return CmdHierarchy(args);
+  return Usage();
+}

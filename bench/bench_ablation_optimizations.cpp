@@ -8,6 +8,7 @@
 //   super-roots grouping    : scan counts Basic vs Super-roots
 //
 // Flags: --rows=N (default 45222) --k=N (2) --max_qid=N (7) --quick
+//        --json[=FILE] (machine-readable BENCH_ablation_optimizations.json)
 
 #include <cstdio>
 
@@ -37,6 +38,8 @@ int main(int argc, char** argv) {
   AnonymizationConfig config;
   config.k = flags.GetInt("k", 2);
   size_t max_qid = static_cast<size_t>(flags.GetInt("max_qid", quick ? 5 : 7));
+  BenchReport report(flags, "ablation_optimizations");
+  if (!flags.CheckUnknown()) return 2;
 
   Result<SyntheticDataset> adults = MakeAdultsDataset(opts);
   if (!adults.ok()) {
@@ -98,27 +101,33 @@ int main(int argc, char** argv) {
   for (size_t qid_size = 3; qid_size <= max_qid; ++qid_size) {
     QuasiIdentifier qid = adults->qid.Prefix(qid_size);
     for (const Variant& v : variants) {
+      obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
       Stopwatch timer;
       AlgorithmStats stats;
+      size_t solutions = 0;
       if (v.family == Variant::kIncognito) {
         Result<IncognitoResult> r =
             RunIncognito(adults->table, qid, config, v.inc_opts);
         if (!r.ok()) continue;
         stats = r->stats;
+        solutions = r->anonymous_nodes.size();
       } else {
         Result<BottomUpResult> r =
             RunBottomUpBfs(adults->table, qid, config, v.bu_opts);
         if (!r.ok()) continue;
         stats = r->stats;
+        solutions = r->anonymous_nodes.size();
       }
+      double seconds = timer.ElapsedSeconds();
       printf("%4zu %-30s %10.3f %9lld %8lld %8lld %8lld\n", qid_size, v.name,
-             timer.ElapsedSeconds(),
-             static_cast<long long>(stats.nodes_checked),
+             seconds, static_cast<long long>(stats.nodes_checked),
              static_cast<long long>(stats.nodes_marked),
              static_cast<long long>(stats.table_scans),
              static_cast<long long>(stats.rollups));
       fflush(stdout);
+      report.Add("adults", config.k, qid_size, v.name, seconds, solutions,
+                 stats, obs::MetricsSnapshot::Take().DeltaSince(before));
     }
   }
-  return 0;
+  return report.Write();
 }

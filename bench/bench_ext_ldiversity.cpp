@@ -8,6 +8,7 @@
 // k-anonymity — the privacy/utility trade the extension buys.
 //
 // Flags: --rows=N (default 45222) --k=N (default 5) --max_qid=N (default 6)
+//        --json[=FILE] (machine-readable BENCH_ext_ldiversity.json)
 
 #include <cstdio>
 
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
   opts.num_rows = static_cast<size_t>(flags.GetInt("rows", 45222));
   int64_t k = flags.GetInt("k", 5);
   size_t max_qid = static_cast<size_t>(flags.GetInt("max_qid", 6));
+  BenchReport report(flags, "ext_ldiversity");
+  if (!flags.CheckUnknown()) return 2;
 
   Result<SyntheticDataset> adults = MakeAdultsDataset(opts);
   if (!adults.ok()) {
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
       config.k = k;
       config.l = l;
       config.sensitive_attribute = "Salary-class";
+      obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
       Result<LDiversityResult> r =
           RunLDiversityIncognito(adults->table, qid, config);
       if (!r.ok()) {
@@ -58,11 +62,15 @@ int main(int argc, char** argv) {
              static_cast<long long>(r->stats.rollups),
              r->diverse_nodes.size());
       fflush(stdout);
+      report.Add("adults", k, qid_size, StringPrintf("l-diversity (l=%lld)",
+                                                     static_cast<long long>(l)),
+                 r->stats.total_seconds, r->diverse_nodes.size(), r->stats,
+                 obs::MetricsSnapshot::Take().DeltaSince(before));
     }
   }
   printf(
       "\nl=1 reduces to plain k-anonymity; l=2 additionally requires both "
       "salary\nclasses in every equivalence class, shrinking the solution "
       "set.\n");
-  return 0;
+  return report.Write();
 }

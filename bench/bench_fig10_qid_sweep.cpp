@@ -13,6 +13,7 @@
 //                             proportionally slower)
 //        --min_qid=N --max_qid_adults=N --max_qid_landsend=N
 //        --quick             (smaller tables + trimmed sweep, for CI)
+//        --json[=FILE]       (machine-readable BENCH_fig10_qid_sweep.json)
 
 #include <cstdio>
 
@@ -26,7 +27,7 @@ using namespace incognito::bench;
 namespace {
 
 void Sweep(const char* name, const SyntheticDataset& dataset, size_t min_qid,
-           size_t max_qid, int64_t k) {
+           size_t max_qid, int64_t k, BenchReport* report) {
   printf("\n--- %s database (k=%lld) ---\n", name, static_cast<long long>(k));
   PrintRowHeader();
   AnonymizationConfig config;
@@ -40,7 +41,7 @@ void Sweep(const char* name, const SyntheticDataset& dataset, size_t min_qid,
                 qid_size);
         continue;
       }
-      PrintRow(name, k, qid_size, algorithm, r);
+      PrintRow(name, k, qid_size, algorithm, r, report);
     }
   }
 }
@@ -59,6 +60,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("max_qid_adults", quick ? 5 : 9));
   size_t max_qid_landsend =
       static_cast<size_t>(flags.GetInt("max_qid_landsend", quick ? 4 : 6));
+  BenchReport report(flags, "fig10_qid_sweep");
+  if (!flags.CheckUnknown()) return 2;
 
   printf("=== Figure 10: performance by quasi-identifier size ===\n");
 
@@ -72,7 +75,7 @@ int main(int argc, char** argv) {
   // The paper starts the Adults sweep at QID size 3.
   size_t adults_min = min_qid < 3 ? 3 : min_qid;
   for (int64_t k : {2, 10}) {
-    Sweep("adults", adults.value(), adults_min, max_qid_adults, k);
+    Sweep("adults", adults.value(), adults_min, max_qid_adults, k, &report);
   }
 
   LandsEndOptions landsend_opts;
@@ -83,7 +86,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (int64_t k : {2, 10}) {
-    Sweep("landsend", landsend.value(), min_qid, max_qid_landsend, k);
+    Sweep("landsend", landsend.value(), min_qid, max_qid_landsend, k, &report);
   }
-  return 0;
+  return report.Write();
 }

@@ -11,6 +11,7 @@
 // depends on where the minimal height lands.
 //
 // Flags: --adults_rows=N (45222) --landsend_rows=N (200000) --quick
+//        --json[=FILE] (machine-readable BENCH_fig11_k_sweep.json)
 
 #include <cstdio>
 
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
   LandsEndOptions landsend_opts;
   landsend_opts.num_rows = static_cast<size_t>(
       flags.GetInt("landsend_rows", quick ? 20000 : 200000));
+  BenchReport report(flags, "fig11_k_sweep");
+  if (!flags.CheckUnknown()) return 2;
   const std::vector<int64_t> ks = {2, 5, 10, 25, 50};
 
   printf("=== Figure 11: performance by k at fixed QID size ===\n");
@@ -51,7 +54,7 @@ int main(int argc, char** argv) {
            {Algorithm::kBinarySearch, Algorithm::kBottomUpRollup,
             Algorithm::kBasicIncognito, Algorithm::kSuperRootsIncognito}) {
         RunResult r = RunAlgorithm(algorithm, adults->table, qid, config);
-        if (r.ok) PrintRow("adults", k, qid_size, algorithm, r);
+        if (r.ok) PrintRow("adults", k, qid_size, algorithm, r, &report);
       }
     }
   }
@@ -73,14 +76,16 @@ int main(int argc, char** argv) {
       config.k = k;
       RunResult bs = RunAlgorithm(Algorithm::kBinarySearch, landsend->table,
                                   landsend->qid.Prefix(bs_qid), config);
-      if (bs.ok) PrintRow("landsend", k, bs_qid, Algorithm::kBinarySearch, bs);
+      if (bs.ok) {
+        PrintRow("landsend", k, bs_qid, Algorithm::kBinarySearch, bs, &report);
+      }
       for (Algorithm algorithm :
            {Algorithm::kBasicIncognito, Algorithm::kSuperRootsIncognito}) {
         RunResult r = RunAlgorithm(algorithm, landsend->table,
                                    landsend->qid.Prefix(inc_qid), config);
-        if (r.ok) PrintRow("landsend", k, inc_qid, algorithm, r);
+        if (r.ok) PrintRow("landsend", k, inc_qid, algorithm, r, &report);
       }
     }
   }
-  return 0;
+  return report.Write();
 }

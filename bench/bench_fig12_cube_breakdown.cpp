@@ -11,6 +11,7 @@
 //
 // Flags: --adults_rows=N (45222) --landsend_rows=N (200000)
 //        --max_qid_adults=N (9) --max_qid_landsend=N (8) --quick
+//        --json[=FILE] (machine-readable BENCH_fig12_cube_breakdown.json)
 
 #include <cstdio>
 
@@ -23,7 +24,8 @@ using namespace incognito::bench;
 
 namespace {
 
-void Sweep(const char* name, const SyntheticDataset& dataset, size_t max_qid) {
+void Sweep(const char* name, const SyntheticDataset& dataset, size_t max_qid,
+           BenchReport* report) {
   AnonymizationConfig config;
   config.k = 2;
   printf("\n--- %s database (k=2) ---\n", name);
@@ -44,6 +46,8 @@ void Sweep(const char* name, const SyntheticDataset& dataset, size_t max_qid) {
     printf("%4zu %11.3fs %13.3fs %11.3fs %13.3fs\n", qid_size, build,
            anonymize, cube.stats.total_seconds, basic.stats.total_seconds);
     fflush(stdout);
+    report->Add(name, config.k, qid_size, Algorithm::kCubeIncognito, cube);
+    report->Add(name, config.k, qid_size, Algorithm::kBasicIncognito, basic);
   }
 }
 
@@ -62,6 +66,8 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("max_qid_adults", quick ? 5 : 9));
   size_t max_qid_landsend =
       static_cast<size_t>(flags.GetInt("max_qid_landsend", quick ? 5 : 8));
+  BenchReport report(flags, "fig12_cube_breakdown");
+  if (!flags.CheckUnknown()) return 2;
 
   printf("=== Figure 12: cube build vs anonymization cost (Cube Incognito) "
          "===\n");
@@ -70,13 +76,13 @@ int main(int argc, char** argv) {
     fprintf(stderr, "adults generation failed\n");
     return 1;
   }
-  Sweep("adults", adults.value(), max_qid_adults);
+  Sweep("adults", adults.value(), max_qid_adults, &report);
 
   Result<SyntheticDataset> landsend = MakeLandsEndDataset(landsend_opts);
   if (!landsend.ok()) {
     fprintf(stderr, "landsend generation failed\n");
     return 1;
   }
-  Sweep("landsend", landsend.value(), max_qid_landsend);
-  return 0;
+  Sweep("landsend", landsend.value(), max_qid_landsend, &report);
+  return report.Write();
 }

@@ -6,6 +6,9 @@
 //
 // Flags: --adults_rows=N (default 45222, the paper's row count)
 //        --landsend_rows=N (default 200000; the paper's 4591581 also works)
+//        --quick           (small tables, for CI)
+//        --json[=FILE]     (also time the six algorithms on a small Adults
+//                           QID and write a machine-readable report)
 
 #include <cstdio>
 
@@ -47,11 +50,18 @@ void PrintDataset(const char* title, const SyntheticDataset& dataset,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bool quick = flags.GetBool("quick", false);
+  BenchReport report(flags, "fig9_datasets");
   printf("=== Figure 9: experimental database descriptions ===\n");
 
   AdultsOptions adults_opts;
   adults_opts.num_rows =
-      static_cast<size_t>(flags.GetInt("adults_rows", 45222));
+      static_cast<size_t>(flags.GetInt("adults_rows", quick ? 5000 : 45222));
+  LandsEndOptions landsend_opts;
+  landsend_opts.num_rows = static_cast<size_t>(
+      flags.GetInt("landsend_rows", quick ? 20000 : 200000));
+  if (!flags.CheckUnknown()) return 2;
+
   Result<SyntheticDataset> adults = MakeAdultsDataset(adults_opts);
   if (!adults.ok()) {
     fprintf(stderr, "adults generation failed: %s\n",
@@ -69,9 +79,6 @@ int main(int argc, char** argv) {
                 {"Occupation", 14, "Taxonomy tree", 2},
                 {"Salary class", 2, "Suppression", 1}});
 
-  LandsEndOptions landsend_opts;
-  landsend_opts.num_rows =
-      static_cast<size_t>(flags.GetInt("landsend_rows", 200000));
   Result<SyntheticDataset> landsend = MakeLandsEndDataset(landsend_opts);
   if (!landsend.ok()) {
     fprintf(stderr, "landsend generation failed: %s\n",
@@ -94,5 +101,25 @@ int main(int argc, char** argv) {
       "the sampled rows cover,\nwhich approaches the domain as the row "
       "count grows (paper scale: 45,222 Adults\nrows, 4,591,581 Lands End "
       "rows — see --landsend_rows).\n");
-  return 0;
+
+  if (report.enabled()) {
+    // The JSON report also carries a small algorithm comparison so one
+    // BENCH_fig9_datasets.json captures dataset shape AND per-algorithm
+    // wall time with per-phase counters.
+    printf("\n--- algorithm timings for the JSON report (Adults, QID 3, "
+           "k=2) ---\n");
+    PrintRowHeader();
+    QuasiIdentifier qid = adults->qid.Prefix(3);
+    AnonymizationConfig config;
+    config.k = 2;
+    for (Algorithm algorithm : AllAlgorithms()) {
+      RunResult r = RunAlgorithm(algorithm, adults->table, qid, config);
+      if (!r.ok) {
+        fprintf(stderr, "%s failed\n", AlgorithmName(algorithm));
+        continue;
+      }
+      PrintRow("adults", config.k, qid.size(), algorithm, r, &report);
+    }
+  }
+  return report.Write();
 }

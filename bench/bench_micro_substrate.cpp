@@ -17,6 +17,8 @@
 #include "lattice/candidate_gen.h"
 #include "lattice/hash_tree.h"
 #include "lattice/lattice.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace incognito {
 namespace {
@@ -200,6 +202,58 @@ void BM_GroupByCheckSameInput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroupByCheckSameInput)->Arg(500)->Arg(2000);
+
+// ---------------------------------------------------------------------------
+// Observability substrate: the cost of one disabled span (a single relaxed
+// atomic load), one counter increment, and one phase timer, plus a
+// group-by scan with tracing actively recording. Compare BM_GroupByScan
+// here against a -DINCOGNITO_OBS_DISABLED=ON build to verify the
+// instrumentation's overhead stays within noise (acceptance: <= 2%).
+// ---------------------------------------------------------------------------
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    INCOGNITO_SPAN("micro.span_disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  for (auto _ : state) {
+    INCOGNITO_COUNT("micro.counter");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsPhaseTimer(benchmark::State& state) {
+  for (auto _ : state) {
+    INCOGNITO_PHASE_TIMER("micro.phase_seconds");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsPhaseTimer);
+
+#ifndef INCOGNITO_OBS_DISABLED
+void BM_GroupByScanTraced(benchmark::State& state) {
+  const SyntheticDataset& ds = SharedAdults();
+  SubsetNode node = ZeroNode(3);
+  obs::TraceRecorder::Global().Enable();
+  for (auto _ : state) {
+    FrequencySet fs = FrequencySet::Compute(ds.table, ds.qid, node);
+    benchmark::DoNotOptimize(fs.NumGroups());
+    // Keep the event buffer bounded so memory doesn't grow with
+    // iteration count.
+    if (obs::TraceRecorder::Global().num_events() > 100000) {
+      obs::TraceRecorder::Global().Clear();
+    }
+  }
+  obs::TraceRecorder::Global().Disable();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.table.num_rows()));
+}
+BENCHMARK(BM_GroupByScanTraced);
+#endif  // INCOGNITO_OBS_DISABLED
 
 // ---------------------------------------------------------------------------
 // Table ingest (dictionary encoding).

@@ -6,6 +6,7 @@
 // strictest and fastest-to-audit model).
 //
 // Flags: --rows=N (default 20000) --qid=N (default 4)
+//        --json[=FILE] (machine-readable BENCH_models_taxonomy.json)
 
 #include <cstdio>
 
@@ -27,8 +28,11 @@ using namespace incognito::bench;
 
 namespace {
 
+/// Prints one model's quality row; when `json` is non-null also records it
+/// (the model's equivalence-class count doubles as the "solutions" field).
 void Report(int64_t k, const char* model, double seconds, const Table& view,
-            const std::vector<std::string>& cols, int64_t rows) {
+            const std::vector<std::string>& cols, int64_t rows,
+            size_t qid_size, BenchReport* json) {
   Result<QualityReport> q = EvaluateView(view, cols, rows);
   if (!q.ok()) return;
   printf("%4lld %-28s %9.3f %9lld %11.1f %14.4g %10lld\n",
@@ -36,6 +40,11 @@ void Report(int64_t k, const char* model, double seconds, const Table& view,
          static_cast<long long>(q->num_classes), q->avg_class_size,
          q->discernibility, static_cast<long long>(q->suppressed));
   fflush(stdout);
+  if (json != nullptr) {
+    json->Add("adults", k, qid_size, model, seconds,
+              static_cast<size_t>(q->num_classes), AlgorithmStats(),
+              obs::MetricsSnapshot());
+  }
 }
 
 }  // namespace
@@ -45,6 +54,8 @@ int main(int argc, char** argv) {
   AdultsOptions opts;
   opts.num_rows = static_cast<size_t>(flags.GetInt("rows", 20000));
   size_t qid_size = static_cast<size_t>(flags.GetInt("qid", 4));
+  BenchReport report(flags, "models_taxonomy");
+  if (!flags.CheckUnknown()) return 2;
 
   Result<SyntheticDataset> adults = MakeAdultsDataset(opts);
   if (!adults.ok()) {
@@ -86,7 +97,7 @@ int main(int argc, char** argv) {
             ApplyFullDomainGeneralization(adults->table, qid, best, config);
         if (view.ok()) {
           Report(k, "full-domain (Incognito)", t.ElapsedSeconds(), view->view,
-                 cols, rows);
+                 cols, rows, qid_size, &report);
         }
       }
     }
@@ -94,7 +105,8 @@ int main(int argc, char** argv) {
       Stopwatch t;
       Result<DataflyResult> r = RunDatafly(adults->table, qid, config);
       if (r.ok()) {
-        Report(k, "Datafly (greedy)", t.ElapsedSeconds(), r->view, cols, rows);
+        Report(k, "Datafly (greedy)", t.ElapsedSeconds(), r->view, cols, rows,
+               qid_size, &report);
       }
     }
     {
@@ -102,7 +114,7 @@ int main(int argc, char** argv) {
       Result<SubtreeResult> r = RunGreedySubtree(adults->table, qid, config);
       if (r.ok()) {
         Report(k, "full-subtree (greedy)", t.ElapsedSeconds(), r->view, cols,
-               rows);
+               rows, qid_size, &report);
       }
     }
     {
@@ -111,7 +123,7 @@ int main(int argc, char** argv) {
           RunOrderedSetPartition(adults->table, qid, config);
       if (r.ok()) {
         Report(k, "ordered-set partitioning", t.ElapsedSeconds(), r->view,
-               cols, rows);
+               cols, rows, qid_size, &report);
       }
     }
     {
@@ -119,7 +131,7 @@ int main(int argc, char** argv) {
       Result<MondrianResult> r = RunMondrian(adults->table, qid, config);
       if (r.ok()) {
         Report(k, "Mondrian multi-dimensional", t.ElapsedSeconds(), r->view,
-               cols, rows);
+               cols, rows, qid_size, &report);
       }
     }
     {
@@ -127,7 +139,7 @@ int main(int argc, char** argv) {
       Result<SubgraphResult> r = RunGreedySubgraph(adults->table, qid, config);
       if (r.ok()) {
         Report(k, "full-subgraph multi-dim", t.ElapsedSeconds(), r->view,
-               cols, rows);
+               cols, rows, qid_size, &report);
       }
     }
     {
@@ -136,7 +148,7 @@ int main(int argc, char** argv) {
           RunCellSuppression(adults->table, qid, config);
       if (r.ok()) {
         Report(k, "cell suppression (local)", t.ElapsedSeconds(), r->view,
-               cols, rows);
+               cols, rows, qid_size, &report);
       }
     }
     {
@@ -145,9 +157,9 @@ int main(int argc, char** argv) {
           RunCellGeneralization(adults->table, qid, config);
       if (r.ok()) {
         Report(k, "cell generalization (local)", t.ElapsedSeconds(), r->view,
-               cols, rows);
+               cols, rows, qid_size, &report);
       }
     }
   }
-  return 0;
+  return report.Write();
 }

@@ -5,20 +5,27 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
 #include "core/binary_search.h"
 #include "core/bottom_up.h"
 #include "core/checker.h"
 #include "core/incognito.h"
+#include "obs/counters.h"
+#include "obs/json_util.h"
 
 namespace incognito {
 namespace bench {
 
-/// Minimal --name=value flag parser shared by the bench binaries.
+/// Minimal --name=value flag parser shared by the bench binaries. Every
+/// Get* call marks its flag as known; after reading all flags, call
+/// CheckUnknown() so a typo like --quik aborts the run instead of
+/// silently starting the full non-quick suite.
 class Flags {
  public:
   Flags(int argc, char** argv) {
@@ -35,22 +42,54 @@ class Flags {
   }
 
   int64_t GetInt(const std::string& name, int64_t def) const {
+    known_.insert(name);
     auto it = kv_.find(name);
     return it == kv_.end() ? def : atoll(it->second.c_str());
   }
 
+  double GetDouble(const std::string& name, double def) const {
+    known_.insert(name);
+    auto it = kv_.find(name);
+    if (it == kv_.end()) return def;
+    double out = def;
+    return ParseDouble(it->second, &out) ? out : def;
+  }
+
   bool GetBool(const std::string& name, bool def) const {
+    known_.insert(name);
     auto it = kv_.find(name);
     return it == kv_.end() ? def : it->second != "false" && it->second != "0";
   }
 
   std::string GetString(const std::string& name, std::string def) const {
+    known_.insert(name);
     auto it = kv_.find(name);
     return it == kv_.end() ? def : it->second;
   }
 
+  /// Flags that were passed but never consumed by a Get* call.
+  std::vector<std::string> UnknownFlags() const {
+    std::vector<std::string> unknown;
+    for (const auto& [name, value] : kv_) {
+      (void)value;
+      if (known_.count(name) == 0) unknown.push_back(name);
+    }
+    return unknown;
+  }
+
+  /// Call once every flag has been read: reports unknown flags on stderr
+  /// and returns false if any were passed.
+  bool CheckUnknown() const {
+    std::vector<std::string> unknown = UnknownFlags();
+    for (const std::string& name : unknown) {
+      fprintf(stderr, "error: unknown flag --%s\n", name.c_str());
+    }
+    return unknown.empty();
+  }
+
  private:
   std::map<std::string, std::string> kv_;
+  mutable std::set<std::string> known_;
 };
 
 /// The six algorithms of the paper's Fig. 10 comparison.
@@ -96,14 +135,19 @@ struct RunResult {
   AlgorithmStats stats;
   size_t solutions = 0;  ///< k-anonymous generalizations found (1 for BS)
   bool ok = false;
+  /// Observability counter/gauge deltas attributable to this run (empty
+  /// when the library was built with INCOGNITO_OBS_DISABLED).
+  obs::MetricsSnapshot metrics;
 };
 
-/// Runs one algorithm on (table, qid, config) and reports wall-clock and
-/// the algorithm's counters.
+/// Runs one algorithm on (table, qid, config) and reports wall-clock, the
+/// algorithm's counters, and the global observability metrics the run
+/// moved (per-phase seconds, scan/rollup counts, ...).
 inline RunResult RunAlgorithm(Algorithm algorithm, const Table& table,
                               const QuasiIdentifier& qid,
                               const AnonymizationConfig& config) {
   RunResult out;
+  obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
   Stopwatch timer;
   switch (algorithm) {
     case Algorithm::kBottomUpNoRollup:
@@ -141,9 +185,168 @@ inline RunResult RunAlgorithm(Algorithm algorithm, const Table& table,
     }
   }
   out.seconds = timer.ElapsedSeconds();
+  out.metrics = obs::MetricsSnapshot::Take().DeltaSince(before);
   out.ok = true;
   return out;
 }
+
+/// Accumulates measurement rows and writes one machine-readable
+/// BENCH_<name>.json per bench run (the perf-trajectory format
+/// docs/OBSERVABILITY.md documents). Enabled by --json[=FILE]; with a
+/// bare --json the file is BENCH_<name>.json in the working directory.
+class BenchReport {
+ public:
+  BenchReport(const Flags& flags, std::string bench_name)
+      : bench_name_(std::move(bench_name)) {
+    path_ = flags.GetString("json", "");
+    if (path_ == "true") path_ = "BENCH_" + bench_name_ + ".json";
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one measurement. `metrics` may be empty for benches that do
+  /// not route through RunAlgorithm.
+  void Add(const std::string& database, int64_t k, size_t qid_size,
+           const std::string& algorithm, double seconds, size_t solutions,
+           const AlgorithmStats& stats, const obs::MetricsSnapshot& metrics) {
+    if (!enabled()) return;
+    Entry e;
+    e.database = database;
+    e.k = k;
+    e.qid_size = qid_size;
+    e.algorithm = algorithm;
+    e.seconds = seconds;
+    e.solutions = solutions;
+    e.stats = stats;
+    e.metrics = metrics;
+    entries_.push_back(std::move(e));
+  }
+
+  void Add(const std::string& database, int64_t k, size_t qid_size,
+           Algorithm algorithm, const RunResult& r) {
+    Add(database, k, qid_size, AlgorithmName(algorithm), r.seconds,
+        r.solutions, r.stats, r.metrics);
+  }
+
+  /// Writes the report (no-op when disabled). Returns the process exit
+  /// code benches should end with: 0 on success or no-op, 1 on I/O error.
+  int Write() const {
+    if (!enabled()) return 0;
+    std::string json = ToJson();
+    FILE* f = fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "error: cannot open %s\n", path_.c_str());
+      return 1;
+    }
+    size_t written = fwrite(json.data(), 1, json.size(), f);
+    bool ok = fclose(f) == 0 && written == json.size();
+    if (!ok) {
+      fprintf(stderr, "error: short write to %s\n", path_.c_str());
+      return 1;
+    }
+    fprintf(stderr, "wrote %s (%zu runs)\n", path_.c_str(), entries_.size());
+    return 0;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n";
+    out += StringPrintf("  \"schema_version\": 1,\n  \"bench\": %s,\n",
+                        obs::JsonString(bench_name_).c_str());
+    out += "  \"runs\": [";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += StringPrintf(
+          "    {\"database\": %s, \"k\": %lld, \"qid_size\": %zu, "
+          "\"algorithm\": %s, \"seconds\": %s, \"solutions\": %zu,\n",
+          obs::JsonString(e.database).c_str(), static_cast<long long>(e.k),
+          e.qid_size, obs::JsonString(e.algorithm).c_str(),
+          obs::JsonDouble(e.seconds).c_str(), e.solutions);
+      out += StringPrintf(
+          "     \"stats\": {\"nodes_checked\": %lld, \"nodes_marked\": %lld, "
+          "\"table_scans\": %lld, \"rollups\": %lld, "
+          "\"freq_groups_built\": %lld, \"candidate_nodes\": %lld, "
+          "\"cube_build_seconds\": %s, \"total_seconds\": %s}",
+          static_cast<long long>(e.stats.nodes_checked),
+          static_cast<long long>(e.stats.nodes_marked),
+          static_cast<long long>(e.stats.table_scans),
+          static_cast<long long>(e.stats.rollups),
+          static_cast<long long>(e.stats.freq_groups_built),
+          static_cast<long long>(e.stats.candidate_nodes),
+          obs::JsonDouble(e.stats.cube_build_seconds).c_str(),
+          obs::JsonDouble(e.stats.total_seconds).c_str());
+      out += AppendMetrics(e.metrics);
+      out += "}";
+    }
+    out += entries_.empty() ? "],\n" : "\n  ],\n";
+    // Cumulative process-wide observability state, for cross-run context.
+    out += "  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] :
+         obs::CounterRegistry::Global().CounterSnapshot()) {
+      out += StringPrintf("%s\n    %s: %lld", first ? "" : ",",
+                          obs::JsonString(name).c_str(),
+                          static_cast<long long>(value));
+      first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] :
+         obs::CounterRegistry::Global().GaugeSnapshot()) {
+      out += StringPrintf("%s\n    %s: %s", first ? "" : ",",
+                          obs::JsonString(name).c_str(),
+                          obs::JsonDouble(value).c_str());
+      first = false;
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::string database;
+    int64_t k = 0;
+    size_t qid_size = 0;
+    std::string algorithm;
+    double seconds = 0;
+    size_t solutions = 0;
+    AlgorithmStats stats;
+    obs::MetricsSnapshot metrics;
+  };
+
+  static std::string AppendMetrics(const obs::MetricsSnapshot& metrics) {
+    std::string out;
+    if (!metrics.counters.empty()) {
+      out += ",\n     \"counters\": {";
+      bool first = true;
+      for (const auto& [name, value] : metrics.counters) {
+        out += StringPrintf("%s\"%s\": %lld", first ? "" : ", ",
+                            obs::JsonEscape(name).c_str(),
+                            static_cast<long long>(value));
+        first = false;
+      }
+      out += "}";
+    }
+    if (!metrics.gauges.empty()) {
+      out += ",\n     \"phase_seconds\": {";
+      bool first = true;
+      for (const auto& [name, value] : metrics.gauges) {
+        out += StringPrintf("%s\"%s\": %s", first ? "" : ", ",
+                            obs::JsonEscape(name).c_str(),
+                            obs::JsonDouble(value).c_str());
+        first = false;
+      }
+      out += "}";
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::string path_;
+  std::vector<Entry> entries_;
+};
 
 /// Prints a standard measurement row (shared layout across the figure
 /// benches so the series are easy to diff against the paper's plots).
@@ -153,14 +356,18 @@ inline void PrintRowHeader() {
          "solutions");
 }
 
+/// Prints a measurement row; when `report` is non-null the row is also
+/// recorded for that report's --json output.
 inline void PrintRow(const char* database, int64_t k, size_t qid_size,
-                     Algorithm algorithm, const RunResult& r) {
+                     Algorithm algorithm, const RunResult& r,
+                     BenchReport* report = nullptr) {
   printf("%-10s %3lld %4zu %-24s %10.3f %9lld %8lld %8lld %10zu\n", database,
          static_cast<long long>(k), qid_size, AlgorithmName(algorithm),
          r.seconds, static_cast<long long>(r.stats.nodes_checked),
          static_cast<long long>(r.stats.table_scans),
          static_cast<long long>(r.stats.rollups), r.solutions);
   fflush(stdout);
+  if (report != nullptr) report->Add(database, k, qid_size, algorithm, r);
 }
 
 }  // namespace bench

@@ -3,6 +3,7 @@
 #include "common/stopwatch.h"
 #include "freq/frequency_set.h"
 #include "lattice/lattice.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -15,6 +16,8 @@ bool AnyAnonymousAtHeight(const Table& table, const QuasiIdentifier& qid,
                           const GeneralizationLattice& lattice, int32_t h,
                           const AnonymizationConfig& config,
                           AlgorithmStats* stats) {
+  INCOGNITO_SPAN("binary_search.height_probe");
+  INCOGNITO_COUNT("binary_search.height_probes");
   for (const LevelVector& levels : lattice.NodesAtHeight(h)) {
     SubsetNode node = SubsetNode::Full(levels);
     ++stats->nodes_checked;
@@ -36,6 +39,8 @@ Result<BinarySearchResult> RunSamaratiBinarySearch(
     return Status::InvalidArgument("quasi-identifier must be non-empty");
   }
 
+  INCOGNITO_SPAN("binary_search.run");
+  INCOGNITO_COUNT("binary_search.runs");
   Stopwatch timer;
   BinarySearchResult result;
   GeneralizationLattice lattice(qid.MaxLevels());

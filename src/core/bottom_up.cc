@@ -5,6 +5,7 @@
 #include "common/stopwatch.h"
 #include "freq/frequency_set.h"
 #include "lattice/lattice.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -17,6 +18,8 @@ Result<BottomUpResult> RunBottomUpBfs(const Table& table,
     return Status::InvalidArgument("quasi-identifier must be non-empty");
   }
 
+  INCOGNITO_SPAN("bottom_up.run");
+  INCOGNITO_COUNT("bottom_up.runs");
   Stopwatch timer;
   BottomUpResult result;
   GeneralizationLattice lattice(qid.MaxLevels());
@@ -32,6 +35,8 @@ Result<BottomUpResult> RunBottomUpBfs(const Table& table,
   std::unordered_map<uint64_t, FrequencySet> prev_freq;
 
   for (int32_t h = 0; h <= lattice.MaxHeight(); ++h) {
+    INCOGNITO_SPAN("bottom_up.height");
+    INCOGNITO_COUNT("bottom_up.heights");
     std::unordered_map<uint64_t, FrequencySet> cur_freq;
     for (const LevelVector& levels : lattice.NodesAtHeight(h)) {
       uint64_t idx = lattice.Index(levels);
@@ -67,8 +72,14 @@ Result<BottomUpResult> RunBottomUpBfs(const Table& table,
       }
       ++result.stats.nodes_checked;
       result.stats.freq_groups_built += static_cast<int64_t>(freq.NumGroups());
+      INCOGNITO_COUNT("bottom_up.kchecks");
 
-      if (freq.IsKAnonymous(config.k, config.max_suppressed)) {
+      bool anonymous;
+      {
+        INCOGNITO_PHASE_TIMER("phase.kcheck_seconds");
+        anonymous = freq.IsKAnonymous(config.k, config.max_suppressed);
+      }
+      if (anonymous) {
         result.anonymous_nodes.push_back(node);
         if (options.use_generalization_marking) {
           for (const LevelVector& g : lattice.DirectGeneralizations(levels)) {

@@ -1,6 +1,8 @@
 #include "core/checker.h"
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -11,6 +13,7 @@ void AlgorithmStats::MergeCounters(const AlgorithmStats& other) {
   rollups += other.rollups;
   freq_groups_built += other.freq_groups_built;
   candidate_nodes += other.candidate_nodes;
+  cube_build_seconds += other.cube_build_seconds;
 }
 
 std::string AlgorithmStats::ToString() const {
@@ -26,9 +29,20 @@ std::string AlgorithmStats::ToString() const {
 }
 
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
-                  const SubsetNode& node, const AnonymizationConfig& config) {
+                  const SubsetNode& node, const AnonymizationConfig& config,
+                  AlgorithmStats* stats) {
+  INCOGNITO_SPAN("checker.is_k_anonymous");
+  INCOGNITO_COUNT("checker.direct_checks");
+  Stopwatch timer;
   FrequencySet fs = FrequencySet::Compute(table, qid, node);
-  return fs.IsKAnonymous(config.k, config.max_suppressed);
+  bool anonymous = fs.IsKAnonymous(config.k, config.max_suppressed);
+  if (stats != nullptr) {
+    ++stats->nodes_checked;
+    ++stats->table_scans;
+    stats->freq_groups_built += static_cast<int64_t>(fs.NumGroups());
+    stats->total_seconds += timer.ElapsedSeconds();
+  }
+  return anonymous;
 }
 
 }  // namespace incognito

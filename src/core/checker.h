@@ -38,7 +38,10 @@ struct AlgorithmStats {
   double cube_build_seconds = 0;  ///< Cube Incognito pre-computation time
   double total_seconds = 0;       ///< end-to-end wall clock
 
-  /// Merges counters (not timings) from another stats object.
+  /// Merges accumulable costs from another stats object: every counter
+  /// plus cube_build_seconds (a summable pre-computation cost). Only
+  /// total_seconds is excluded — it is end-to-end wall clock, which does
+  /// not add across merged runs.
   void MergeCounters(const AlgorithmStats& other);
 
   std::string ToString() const;
@@ -48,8 +51,10 @@ struct AlgorithmStats {
 /// generalization `node` by computing the frequency set with one scan —
 /// the paper's SELECT COUNT(*) ... GROUP BY query. Convenience entry point
 /// and the oracle the property tests compare the algorithms against.
+/// When `stats` is non-null, the check's costs are accumulated into it.
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
-                  const SubsetNode& node, const AnonymizationConfig& config);
+                  const SubsetNode& node, const AnonymizationConfig& config,
+                  AlgorithmStats* stats = nullptr);
 
 }  // namespace incognito
 

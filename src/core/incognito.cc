@@ -11,6 +11,7 @@
 #include "freq/frequency_set.h"
 #include "lattice/candidate_gen.h"
 #include "lattice/graph_tables.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -50,6 +51,7 @@ class GraphSearch {
   /// k-anonymous w.r.t. node id; every other node is k-anonymous (checked,
   /// marked, or implied). This is exactly the deletion set for S_i.
   std::vector<bool> Run(const CandidateGraph& graph) {
+    INCOGNITO_SPAN("incognito.graph_search");
     const size_t n = graph.num_nodes();
     std::vector<bool> failed(n, false);
     std::vector<bool> marked(n, false);
@@ -103,9 +105,16 @@ class GraphSearch {
                                               &family_freq, stored);
       ++stats_->nodes_checked;
       stats_->freq_groups_built += static_cast<int64_t>(freq.NumGroups());
+      INCOGNITO_COUNT("incognito.kchecks");
 
-      if (freq.IsKAnonymous(config_.k, config_.max_suppressed)) {
+      bool anonymous;
+      {
+        INCOGNITO_PHASE_TIMER("phase.kcheck_seconds");
+        anonymous = freq.IsKAnonymous(config_.k, config_.max_suppressed);
+      }
+      if (anonymous) {
         // Generalization property: every generalization is k-anonymous.
+        INCOGNITO_PHASE_TIMER("phase.mark_seconds");
         MarkGeneralizations(graph, id, &marked);
       } else {
         failed[static_cast<size_t>(id)] = true;
@@ -190,6 +199,7 @@ class GraphSearch {
       if (!(*marked)[static_cast<size_t>(g)]) {
         (*marked)[static_cast<size_t>(g)] = true;
         ++stats_->nodes_marked;
+        INCOGNITO_COUNT("incognito.nodes_marked");
         if (options_.mark_transitively) {
           MarkGeneralizations(graph, g, marked);
         }
@@ -221,6 +231,8 @@ Result<IncognitoResult> RunIncognito(const Table& table,
     return Status::InvalidArgument("quasi-identifier must be non-empty");
   }
 
+  INCOGNITO_SPAN("incognito.run");
+  INCOGNITO_COUNT("incognito.runs");
   Stopwatch total_timer;
   IncognitoResult result;
 
@@ -243,6 +255,8 @@ Result<IncognitoResult> RunIncognito(const Table& table,
   CandidateGraph graph = MakeSingleAttributeGraph(qid);
   const size_t n = qid.size();
   for (size_t i = 1; i <= n; ++i) {
+    INCOGNITO_SPAN("incognito.iteration");
+    INCOGNITO_COUNT("incognito.iterations");
     result.stats.candidate_nodes += static_cast<int64_t>(graph.num_nodes());
     std::vector<bool> failed = search.Run(graph);
 

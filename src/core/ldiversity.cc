@@ -9,6 +9,7 @@
 #include "freq/sensitive_frequency_set.h"
 #include "lattice/candidate_gen.h"
 #include "lattice/graph_tables.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -121,6 +122,8 @@ class DiversityGraphSearch {
 Result<LDiversityResult> RunLDiversityIncognito(
     const Table& table, const QuasiIdentifier& qid,
     const LDiversityConfig& config) {
+  INCOGNITO_SPAN("ldiversity.run");
+  INCOGNITO_COUNT("ldiversity.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (config.l < 1) return Status::InvalidArgument("l must be >= 1");
   if (config.max_suppressed < 0) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace incognito {
 
 uint32_t ZeroGenCube::MaskOf(const std::vector<int32_t>& dims) {
@@ -28,6 +30,9 @@ SubsetNode ZeroNodeForMask(uint32_t mask) {
 
 ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
                                BuildInfo* info) {
+  INCOGNITO_SPAN("cube.build");
+  INCOGNITO_PHASE_TIMER("phase.cube_build_seconds");
+  INCOGNITO_COUNT("cube.builds");
   const size_t n = qid.size();
   assert(n >= 1 && n <= 24);
   ZeroGenCube cube;
@@ -64,6 +69,8 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
     ++local.projections;
   }
 
+  INCOGNITO_COUNT_ADD("cube.subsets",
+                      static_cast<int64_t>(cube.sets_.size()));
   local.num_subsets = cube.sets_.size();
   for (const auto& [mask, fs] : cube.sets_) {
     (void)mask;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "obs/obs.h"
+
 namespace incognito {
 
 namespace {
@@ -46,6 +48,11 @@ FrequencySet FrequencySet::Compute(const Table& table,
                                    const QuasiIdentifier& qid,
                                    const SubsetNode& node) {
   assert(node.size() > 0);
+  INCOGNITO_SPAN("freq.scan");
+  INCOGNITO_PHASE_TIMER("phase.freq_scan_seconds");
+  INCOGNITO_COUNT("freq.scans");
+  INCOGNITO_COUNT_ADD("freq.scan_rows",
+                      static_cast<int64_t>(table.num_rows()));
   FrequencySet fs = MakeEmpty(node, qid);
 
   const size_t n = node.size();
@@ -86,6 +93,11 @@ FrequencySet FrequencySet::Compute(const Table& table,
 FrequencySet FrequencySet::RollupTo(const SubsetNode& target,
                                     const QuasiIdentifier& qid) const {
   assert(target.dims == node_.dims);
+  INCOGNITO_SPAN("freq.rollup");
+  INCOGNITO_PHASE_TIMER("phase.rollup_seconds");
+  INCOGNITO_COUNT("freq.rollups");
+  INCOGNITO_COUNT_ADD("freq.rollup_groups",
+                      static_cast<int64_t>(NumGroups()));
   const size_t n = node_.size();
   // Per-dimension remap tables from this node's level to the target level.
   std::vector<std::vector<int32_t>> remap(n);
@@ -125,6 +137,9 @@ FrequencySet FrequencySet::RollupTo(const SubsetNode& target,
 
 FrequencySet FrequencySet::ProjectTo(const SubsetNode& target,
                                      const QuasiIdentifier& qid) const {
+  INCOGNITO_SPAN("freq.projection");
+  INCOGNITO_PHASE_TIMER("phase.projection_seconds");
+  INCOGNITO_COUNT("freq.projections");
   const size_t n = node_.size();
   const size_t m = target.size();
   // Positions of the kept dims within this node's dim list.

@@ -8,10 +8,12 @@
 #include <vector>
 
 #include "lattice/hash_tree.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
 CandidateGraph MakeSingleAttributeGraph(const QuasiIdentifier& qid) {
+  INCOGNITO_SPAN("lattice.single_attribute_graph");
   CandidateGraph graph;
   std::vector<std::vector<int64_t>> level_ids(qid.size());
   for (size_t d = 0; d < qid.size(); ++d) {
@@ -51,6 +53,9 @@ struct ParentPairHash {
 
 CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
                                  GraphGenStats* stats) {
+  INCOGNITO_SPAN("lattice.candidate_gen");
+  INCOGNITO_PHASE_TIMER("phase.candidate_gen_seconds");
+  INCOGNITO_COUNT("lattice.candidate_gen_calls");
   GraphGenStats local_stats;
   CandidateGraph next;
   if (survivors.num_nodes() == 0) {
@@ -59,6 +64,7 @@ CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
     return next;
   }
   const size_t i = survivors.subset_size();
+  (void)i;
 
   // ---- Join phase -------------------------------------------------------
   // Group surviving nodes by their first i-1 pairs; within a group, every
@@ -177,6 +183,12 @@ CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
   }
 
   pruned_graph.BuildAdjacency();
+  INCOGNITO_COUNT_ADD("lattice.joined",
+                      static_cast<int64_t>(local_stats.joined));
+  INCOGNITO_COUNT_ADD("lattice.pruned",
+                      static_cast<int64_t>(local_stats.pruned));
+  INCOGNITO_COUNT_ADD("lattice.candidate_edges",
+                      static_cast<int64_t>(local_stats.candidate_edges));
   if (stats != nullptr) *stats = local_stats;
   (void)remap;
   return pruned_graph;

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -24,6 +25,8 @@ struct VecHash {
 Result<CellGeneralizationResult> RunCellGeneralization(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config) {
+  INCOGNITO_SPAN("model.cell_generalization");
+  INCOGNITO_COUNT("model.cell_generalization.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (qid.size() == 0) {
     return Status::InvalidArgument("quasi-identifier must be non-empty");

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -27,6 +28,8 @@ constexpr int32_t kSuppressed = -1;
 Result<CellSuppressionResult> RunCellSuppression(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config) {
+  INCOGNITO_SPAN("model.cell_suppression");
+  INCOGNITO_COUNT("model.cell_suppression.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (qid.size() == 0) {
     return Status::InvalidArgument("quasi-identifier must be non-empty");

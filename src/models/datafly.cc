@@ -7,12 +7,15 @@
 #include "common/stopwatch.h"
 #include "core/recoder.h"
 #include "freq/frequency_set.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
 Result<DataflyResult> RunDatafly(const Table& table,
                                  const QuasiIdentifier& qid,
                                  const AnonymizationConfig& config) {
+  INCOGNITO_SPAN("model.datafly");
+  INCOGNITO_COUNT("model.datafly.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (qid.size() == 0) {
     return Status::InvalidArgument("quasi-identifier must be non-empty");

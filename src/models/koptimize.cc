@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "freq/frequency_set.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -164,6 +165,8 @@ Result<KOptimizeResult> RunKOptimize(const Table& table,
                                      const QuasiIdentifier& qid,
                                      const AnonymizationConfig& config,
                                      const KOptimizeOptions& options) {
+  INCOGNITO_SPAN("model.koptimize");
+  INCOGNITO_COUNT("model.koptimize.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   const size_t n = qid.size();
   if (n == 0) {

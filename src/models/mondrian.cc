@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -20,6 +21,8 @@ struct Partition {
 Result<MondrianResult> RunMondrian(const Table& table,
                                    const QuasiIdentifier& qid,
                                    const AnonymizationConfig& config) {
+  INCOGNITO_SPAN("model.mondrian");
+  INCOGNITO_COUNT("model.mondrian.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (qid.size() == 0) {
     return Status::InvalidArgument("quasi-identifier must be non-empty");

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -69,6 +70,8 @@ struct AttributePartition {
 Result<OrderedSetResult> RunOrderedSetPartition(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config) {
+  INCOGNITO_SPAN("model.ordered_set");
+  INCOGNITO_COUNT("model.ordered_set.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (qid.size() == 0) {
     return Status::InvalidArgument("quasi-identifier must be non-empty");

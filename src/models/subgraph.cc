@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "freq/frequency_set.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -81,6 +82,8 @@ void JoinInto(const QuasiIdentifier& qid, const Cell& other, Cell* target) {
 Result<SubgraphResult> RunGreedySubgraph(const Table& table,
                                          const QuasiIdentifier& qid,
                                          const AnonymizationConfig& config) {
+  INCOGNITO_SPAN("model.subgraph");
+  INCOGNITO_COUNT("model.subgraph.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (qid.size() == 0) {
     return Status::InvalidArgument("quasi-identifier must be non-empty");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace incognito {
 
@@ -42,6 +43,8 @@ struct VecHash {
 Result<SubtreeResult> RunGreedySubtree(const Table& table,
                                        const QuasiIdentifier& qid,
                                        const AnonymizationConfig& config) {
+  INCOGNITO_SPAN("model.subtree");
+  INCOGNITO_COUNT("model.subtree.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (qid.size() == 0) {
     return Status::InvalidArgument("quasi-identifier must be non-empty");

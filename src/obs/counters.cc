@@ -1,0 +1,88 @@
+#include "obs/counters.h"
+
+#include <cmath>
+
+namespace incognito {
+namespace obs {
+
+CounterRegistry& CounterRegistry::Global() {
+  static CounterRegistry* registry = new CounterRegistry();
+  return *registry;
+}
+
+Counter* CounterRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    std::string key(name);
+    it = counters_.emplace(key, std::unique_ptr<Counter>(new Counter(key)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* CounterRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    std::string key(name);
+    it = gauges_.emplace(key, std::unique_ptr<Gauge>(new Gauge(key))).first;
+  }
+  return it->second.get();
+}
+
+std::map<std::string, int64_t> CounterRegistry::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = counter->value();
+  }
+  return out;
+}
+
+std::map<std::string, double> CounterRegistry::GaugeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) {
+    out[name] = gauge->value();
+  }
+  return out;
+}
+
+void CounterRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    (void)name;
+    counter->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    (void)name;
+    gauge->Set(0);
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::Take(const CounterRegistry& registry) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = registry.CounterSnapshot();
+  snapshot.gauges = registry.GaugeSnapshot();
+  return snapshot;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& before) const {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    auto it = before.counters.find(name);
+    int64_t d = value - (it == before.counters.end() ? 0 : it->second);
+    if (d != 0) delta.counters[name] = d;
+  }
+  for (const auto& [name, value] : gauges) {
+    auto it = before.gauges.find(name);
+    double d = value - (it == before.gauges.end() ? 0 : it->second);
+    if (std::fabs(d) >= 1e-9) delta.gauges[name] = d;
+  }
+  return delta;
+}
+
+}  // namespace obs
+}  // namespace incognito

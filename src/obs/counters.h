@@ -1,0 +1,120 @@
+#ifndef INCOGNITO_OBS_COUNTERS_H_
+#define INCOGNITO_OBS_COUNTERS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace incognito {
+namespace obs {
+
+/// A named monotonic counter. Increments are lock-free; pointers returned
+/// by CounterRegistry::GetCounter stay valid for the registry's lifetime,
+/// so call sites cache them (the INCOGNITO_COUNT macros do this with a
+/// function-local static).
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class CounterRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// A named double-valued gauge. Supports both Set (last-write-wins) and
+/// Add (accumulating, e.g. per-phase seconds).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class CounterRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<double> value_{0};
+};
+
+/// Process-wide registry of named counters and gauges. Registration takes
+/// a mutex; reads and increments through the returned handles are
+/// lock-free. Values are cumulative for the process — use MetricsSnapshot
+/// deltas to isolate one run's contribution.
+class CounterRegistry {
+ public:
+  /// The registry the instrumentation macros record into.
+  static CounterRegistry& Global();
+
+  /// Returns the counter/gauge named `name`, creating it on first use.
+  /// The returned pointer is stable for the registry's lifetime.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+
+  std::map<std::string, int64_t> CounterSnapshot() const;
+  std::map<std::string, double> GaugeSnapshot() const;
+
+  /// Zeroes every value. Handles stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+};
+
+/// A point-in-time copy of every counter and gauge; subtract two snapshots
+/// to attribute costs to one measured region (the bench harness does this
+/// per algorithm run).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+
+  static MetricsSnapshot Take(
+      const CounterRegistry& registry = CounterRegistry::Global());
+
+  /// Returns this snapshot minus `before`, dropping entries whose delta is
+  /// zero (gauge deltas below 1ns of seconds are treated as zero).
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& before) const;
+};
+
+/// RAII accumulator: adds the scope's elapsed seconds to a gauge. Used via
+/// INCOGNITO_PHASE_TIMER, which caches the gauge handle per call site.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(Gauge* gauge)
+      : gauge_(gauge), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedPhaseTimer() {
+    gauge_->Add(std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count());
+  }
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  Gauge* gauge_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace incognito
+
+#endif  // INCOGNITO_OBS_COUNTERS_H_

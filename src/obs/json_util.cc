@@ -1,0 +1,225 @@
+#include "obs/json_util.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace incognito {
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonString(std::string_view s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::string out = StringPrintf("%.17g", v);
+  return out;
+}
+
+namespace {
+
+/// Cursor over the text being validated.
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& what) {
+    if (error.empty()) {
+      error = StringPrintf("at byte %zu: %s", pos, what.c_str());
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) {
+      return Fail("expected '" + std::string(lit) + "'");
+    }
+    pos += lit.size();
+    return true;
+  }
+
+  bool String() {
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected string");
+    ++pos;
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return Fail("truncated escape");
+        char e = text[pos];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos + i >= text.size() || !isxdigit(text[pos + i])) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    size_t digits = 0;
+    while (pos < text.size() && isdigit(text[pos])) ++pos, ++digits;
+    if (digits == 0) return Fail("expected digits");
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      digits = 0;
+      while (pos < text.size() && isdigit(text[pos])) ++pos, ++digits;
+      if (digits == 0) return Fail("expected fraction digits");
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      digits = 0;
+      while (pos < text.size() && isdigit(text[pos])) ++pos, ++digits;
+      if (digits == 0) return Fail("expected exponent digits");
+    }
+    return pos > start;
+  }
+
+  bool Value(int depth) {
+    if (depth > 128) return Fail("nesting too deep");
+    SkipWs();
+    if (pos >= text.size()) return Fail("expected value");
+    char c = text[pos];
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    if (c == '-' || isdigit(c)) return Number();
+    return Fail("unexpected character");
+  }
+
+  bool Object(int depth) {
+    ++pos;  // '{'
+    SkipWs();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos >= text.size() || text[pos] != ':') return Fail("expected ':'");
+      ++pos;
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array(int depth) {
+    ++pos;  // '['
+    SkipWs();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+bool IsValidJson(std::string_view text, std::string* error) {
+  Parser p;
+  p.text = text;
+  bool ok = p.Value(0);
+  if (ok) {
+    p.SkipWs();
+    if (p.pos != text.size()) {
+      ok = p.Fail("trailing garbage");
+    }
+  }
+  if (!ok && error != nullptr) *error = p.error;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace incognito

@@ -1,0 +1,30 @@
+#ifndef INCOGNITO_OBS_JSON_UTIL_H_
+#define INCOGNITO_OBS_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace incognito {
+namespace obs {
+
+/// Returns `s` escaped for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters; no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+/// Returns `s` as a quoted JSON string literal.
+std::string JsonString(std::string_view s);
+
+/// Formats a double as a JSON number. Non-finite values (which JSON cannot
+/// represent) are clamped to 0.
+std::string JsonDouble(double v);
+
+/// Minimal recursive-descent JSON syntax check covering objects, arrays,
+/// strings, numbers, booleans, and null. Used by tests and tools to verify
+/// that emitted traces and reports are loadable; on failure, `error` (if
+/// non-null) receives a byte offset and description.
+bool IsValidJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace incognito
+
+#endif  // INCOGNITO_OBS_JSON_UTIL_H_

@@ -1,0 +1,61 @@
+#ifndef INCOGNITO_OBS_OBS_H_
+#define INCOGNITO_OBS_OBS_H_
+
+// Umbrella header for the observability subsystem. Library hot paths use
+// only the macros below, which expand to nothing when the build defines
+// INCOGNITO_OBS_DISABLED (CMake option of the same name) — so the fully
+// stripped library carries zero instrumentation cost. With the default
+// (enabled) build the costs are:
+//
+//   INCOGNITO_SPAN         one relaxed atomic load when tracing is off;
+//                          two clock reads + one mutex push when on
+//   INCOGNITO_COUNT[_ADD]  one relaxed atomic add (handle cached per site)
+//   INCOGNITO_PHASE_TIMER  two clock reads + one atomic CAS add
+//
+// Tracing is off until TraceRecorder::Global().Enable() (the CLI's
+// --trace flag, or a test). Counters and phase gauges are always
+// collected; they are cheap and power --stats/--report/--json output.
+
+#ifndef INCOGNITO_OBS_DISABLED
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+#define INCOGNITO_OBS_CAT_(a, b) a##b
+#define INCOGNITO_OBS_CAT(a, b) INCOGNITO_OBS_CAT_(a, b)
+
+/// RAII trace span covering the rest of the enclosing scope.
+#define INCOGNITO_SPAN(name)             \
+  ::incognito::obs::ScopedSpan INCOGNITO_OBS_CAT(_obs_span_, __LINE__) { \
+    name                                 \
+  }
+
+/// Adds `delta` to the named global counter (handle cached per site).
+#define INCOGNITO_COUNT_ADD(name, delta)                              \
+  do {                                                                \
+    static ::incognito::obs::Counter* _obs_counter =                  \
+        ::incognito::obs::CounterRegistry::Global().GetCounter(name); \
+    _obs_counter->Add(delta);                                         \
+  } while (0)
+
+#define INCOGNITO_COUNT(name) INCOGNITO_COUNT_ADD(name, 1)
+
+/// Accumulates the enclosing scope's elapsed seconds into the named gauge.
+#define INCOGNITO_PHASE_TIMER(name)                                          \
+  static ::incognito::obs::Gauge* INCOGNITO_OBS_CAT(_obs_gauge_, __LINE__) = \
+      ::incognito::obs::CounterRegistry::Global().GetGauge(name);            \
+  ::incognito::obs::ScopedPhaseTimer INCOGNITO_OBS_CAT(_obs_phase_,          \
+                                                       __LINE__) {           \
+    INCOGNITO_OBS_CAT(_obs_gauge_, __LINE__)                                 \
+  }
+
+#else  // INCOGNITO_OBS_DISABLED
+
+#define INCOGNITO_SPAN(name) static_cast<void>(0)
+#define INCOGNITO_COUNT_ADD(name, delta) static_cast<void>(0)
+#define INCOGNITO_COUNT(name) static_cast<void>(0)
+#define INCOGNITO_PHASE_TIMER(name) static_cast<void>(0)
+
+#endif  // INCOGNITO_OBS_DISABLED
+
+#endif  // INCOGNITO_OBS_OBS_H_

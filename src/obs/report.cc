@@ -1,0 +1,160 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/checker.h"
+#include "obs/json_util.h"
+
+namespace incognito {
+namespace obs {
+
+RunReport::RunReport(std::string tool, std::string command)
+    : tool_(std::move(tool)), command_(std::move(command)) {}
+
+void RunReport::SetString(const std::string& key, std::string value) {
+  FieldValue v;
+  v.kind = FieldValue::Kind::kString;
+  v.s = std::move(value);
+  fields_[key] = std::move(v);
+}
+
+void RunReport::SetInt(const std::string& key, int64_t value) {
+  FieldValue v;
+  v.kind = FieldValue::Kind::kInt;
+  v.i = value;
+  fields_[key] = std::move(v);
+}
+
+void RunReport::SetDouble(const std::string& key, double value) {
+  FieldValue v;
+  v.kind = FieldValue::Kind::kDouble;
+  v.d = value;
+  fields_[key] = std::move(v);
+}
+
+void RunReport::SetBool(const std::string& key, bool value) {
+  FieldValue v;
+  v.kind = FieldValue::Kind::kBool;
+  v.b = value;
+  fields_[key] = std::move(v);
+}
+
+void RunReport::AddCounters(const CounterRegistry& registry) {
+  AddMetrics(MetricsSnapshot::Take(registry));
+}
+
+void RunReport::AddMetrics(const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) counters_[name] = value;
+  for (const auto& [name, value] : snapshot.gauges) gauges_[name] = value;
+  has_counters_ = true;
+}
+
+void RunReport::AddSpans(const TraceRecorder& recorder) {
+  for (const auto& [name, rollup] : recorder.RollupByName()) {
+    spans_[name] = rollup;
+  }
+  has_spans_ = true;
+}
+
+namespace {
+
+template <typename Map, typename Fn>
+void AppendMap(std::string* out, const char* section, const Map& map,
+               Fn&& value_to_json, bool* first_section) {
+  if (!*first_section) *out += ",\n";
+  *first_section = false;
+  *out += StringPrintf("  %s: {", JsonString(section).c_str());
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += StringPrintf("    %s: %s", JsonString(key).c_str(),
+                         value_to_json(value).c_str());
+  }
+  *out += first ? "}" : "\n  }";
+}
+
+}  // namespace
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\n";
+  out += StringPrintf("  \"schema_version\": %d,\n", kSchemaVersion);
+  out += StringPrintf("  \"tool\": %s,\n", JsonString(tool_).c_str());
+  out += StringPrintf("  \"command\": %s", JsonString(command_).c_str());
+
+  bool first_section = false;  // the header keys above came first
+  AppendMap(&out, "fields", fields_,
+            [](const FieldValue& v) -> std::string {
+              switch (v.kind) {
+                case FieldValue::Kind::kString:
+                  return JsonString(v.s);
+                case FieldValue::Kind::kInt:
+                  return StringPrintf("%lld", static_cast<long long>(v.i));
+                case FieldValue::Kind::kDouble:
+                  return JsonDouble(v.d);
+                case FieldValue::Kind::kBool:
+                  return v.b ? "true" : "false";
+              }
+              return "null";
+            },
+            &first_section);
+  if (has_stats_) {
+    AppendMap(&out, "stats", stats_,
+              [](int64_t v) {
+                return StringPrintf("%lld", static_cast<long long>(v));
+              },
+              &first_section);
+    AppendMap(&out, "stat_timings", stat_timings_,
+              [](double v) { return JsonDouble(v); }, &first_section);
+  }
+  if (has_counters_) {
+    AppendMap(&out, "counters", counters_,
+              [](int64_t v) {
+                return StringPrintf("%lld", static_cast<long long>(v));
+              },
+              &first_section);
+    AppendMap(&out, "gauges", gauges_,
+              [](double v) { return JsonDouble(v); }, &first_section);
+  }
+  if (has_spans_) {
+    AppendMap(&out, "spans", spans_,
+              [](const SpanRollup& r) {
+                return StringPrintf(
+                    "{\"count\": %lld, \"total_seconds\": %s}",
+                    static_cast<long long>(r.count),
+                    JsonDouble(r.total_seconds).c_str());
+              },
+              &first_section);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+Status RunReport::WriteFile(const std::string& path) const {
+  std::string json = ToJson();
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open report file '" + path + "'");
+  }
+  size_t written = fwrite(json.data(), 1, json.size(), f);
+  if (fclose(f) != 0 || written != json.size()) {
+    return Status::IOError("short write to report file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void AddAlgorithmStats(const AlgorithmStats& stats, RunReport* report) {
+  report->stats_["nodes_checked"] = stats.nodes_checked;
+  report->stats_["nodes_marked"] = stats.nodes_marked;
+  report->stats_["table_scans"] = stats.table_scans;
+  report->stats_["rollups"] = stats.rollups;
+  report->stats_["freq_groups_built"] = stats.freq_groups_built;
+  report->stats_["candidate_nodes"] = stats.candidate_nodes;
+  report->stat_timings_["cube_build_seconds"] = stats.cube_build_seconds;
+  report->stat_timings_["total_seconds"] = stats.total_seconds;
+  report->has_stats_ = true;
+}
+
+}  // namespace obs
+}  // namespace incognito

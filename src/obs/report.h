@@ -1,0 +1,87 @@
+#ifndef INCOGNITO_OBS_REPORT_H_
+#define INCOGNITO_OBS_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace incognito {
+
+struct AlgorithmStats;
+
+namespace obs {
+
+/// Machine-readable run summary with a stable JSON schema
+/// (docs/OBSERVABILITY.md documents it):
+///
+///   {
+///     "schema_version": 1,
+///     "tool": "...", "command": "...",
+///     "fields":   { string | int | double | bool ... },
+///     "stats":    { AlgorithmStats fields ... },        // optional
+///     "counters": { name: int ... },                    // optional
+///     "gauges":   { name: double ... },                 // optional
+///     "spans":    { name: {count, total_seconds} ... }  // optional
+///   }
+///
+/// Keys are emitted in sorted order, so identical inputs serialize to
+/// identical bytes (the golden test relies on this).
+class RunReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  RunReport(std::string tool, std::string command);
+
+  void SetString(const std::string& key, std::string value);
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  /// Copies the registry's current counter and gauge values into the
+  /// report's "counters" / "gauges" sections.
+  void AddCounters(const CounterRegistry& registry);
+  void AddMetrics(const MetricsSnapshot& snapshot);
+
+  /// Copies per-span-name aggregates into the "spans" section.
+  void AddSpans(const TraceRecorder& recorder);
+
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct FieldValue {
+    enum class Kind { kString, kInt, kDouble, kBool } kind;
+    std::string s;
+    int64_t i = 0;
+    double d = 0;
+    bool b = false;
+  };
+
+  std::string tool_;
+  std::string command_;
+  std::map<std::string, FieldValue> fields_;
+  std::map<std::string, int64_t> stats_;
+  std::map<std::string, double> stat_timings_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, SpanRollup> spans_;
+  bool has_stats_ = false;
+  bool has_counters_ = false;
+  bool has_spans_ = false;
+
+  friend void AddAlgorithmStats(const AlgorithmStats& stats,
+                                RunReport* report);
+};
+
+/// Serializes an AlgorithmStats into the report's "stats" section, one key
+/// per field (kept in sync with AlgorithmStats by the obs unit test).
+void AddAlgorithmStats(const AlgorithmStats& stats, RunReport* report);
+
+}  // namespace obs
+}  // namespace incognito
+
+#endif  // INCOGNITO_OBS_REPORT_H_

@@ -1,0 +1,105 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "obs/json_util.h"
+
+namespace incognito {
+namespace obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+uint32_t TraceRecorder::CurrentThreadId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local uint32_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceRecorder::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ns_ = NowNs();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(std::string name, uint64_t start_ns,
+                           uint64_t end_ns, uint32_t depth) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.tid = CurrentThreadId();
+  event.depth = depth;
+  std::lock_guard<std::mutex> lock(mu_);
+  // A span that started before Enable() reset the epoch is clamped to it.
+  event.start_ns = start_ns > epoch_ns_ ? start_ns - epoch_ns_ : 0;
+  uint64_t rel_end = end_ns > epoch_ns_ ? end_ns - epoch_ns_ : 0;
+  event.dur_ns = rel_end > event.start_ns ? rel_end - event.start_ns : 0;
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::map<std::string, SpanRollup> TraceRecorder::RollupByName() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, SpanRollup> out;
+  for (const TraceEvent& event : events_) {
+    SpanRollup& rollup = out[event.name];
+    ++rollup.count;
+    rollup.total_seconds += static_cast<double>(event.dur_ns) * 1e-9;
+  }
+  return out;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ",";
+    // Chrome trace_event "complete" events; ts/dur are microseconds.
+    out += StringPrintf(
+        "\n{\"name\":%s,\"cat\":\"incognito\",\"ph\":\"X\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+        "\"args\":{\"depth\":%u}}",
+        JsonString(e.name).c_str(), static_cast<double>(e.start_ns) / 1e3,
+        static_cast<double>(e.dur_ns) / 1e3, e.tid, e.depth);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::string json = ToJson();
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file '" + path + "'");
+  }
+  size_t written = fwrite(json.data(), 1, json.size(), f);
+  if (fclose(f) != 0 || written != json.size()) {
+    return Status::IOError("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace incognito

@@ -1,0 +1,398 @@
+// Tests for the observability subsystem (src/obs/): JSON utilities, the
+// counter registry, trace spans, and the RunReport schema — including the
+// golden-file guarantee that identical inputs serialize to identical
+// bytes, which downstream consumers of BENCH_*.json / --report rely on.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checker.h"
+#include "obs/counters.h"
+#include "obs/json_util.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace incognito {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON utilities
+// ---------------------------------------------------------------------------
+
+TEST(JsonUtilTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonString("x"), "\"x\"");
+}
+
+TEST(JsonUtilTest, JsonDoubleClampsNonFinite) {
+  EXPECT_EQ(JsonDouble(0.5), "0.5");
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+TEST(JsonUtilTest, ValidatorAcceptsWellFormedDocuments) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("[]"));
+  EXPECT_TRUE(IsValidJson("{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": null}}"));
+  EXPECT_TRUE(IsValidJson("[true, false, \"s\\u00e9\"]"));
+}
+
+TEST(JsonUtilTest, ValidatorRejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(IsValidJson("", &error));
+  EXPECT_FALSE(IsValidJson("{", &error));
+  EXPECT_FALSE(IsValidJson("{\"a\": }", &error));
+  EXPECT_FALSE(IsValidJson("[1, 2,]", &error));
+  EXPECT_FALSE(IsValidJson("{\"a\": 1} trailing", &error));
+  EXPECT_FALSE(IsValidJson("{'a': 1}", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// CounterRegistry
+// ---------------------------------------------------------------------------
+
+TEST(CounterRegistryTest, HandlesAreStableAndNamed) {
+  CounterRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c, registry.GetCounter("test.counter"));
+  EXPECT_EQ(c->name(), "test.counter");
+  c->Add(41);
+  c->Increment();
+  EXPECT_EQ(c->value(), 42);
+  EXPECT_EQ(registry.CounterSnapshot().at("test.counter"), 42);
+
+  Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(1.5);
+  g->Add(0.25);
+  EXPECT_DOUBLE_EQ(g->value(), 1.75);
+  EXPECT_DOUBLE_EQ(registry.GaugeSnapshot().at("test.gauge"), 1.75);
+
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_DOUBLE_EQ(g->value(), 0);
+}
+
+TEST(CounterRegistryTest, ConcurrentIncrementsAreLossless) {
+  CounterRegistry registry;
+  constexpr int kPerThread = 100000;
+  // Two threads hammer one shared counter, one shared gauge, and one
+  // private counter each; every increment must land.
+  auto worker = [&registry](const char* own_name) {
+    Counter* shared = registry.GetCounter("conc.shared");
+    Counter* own = registry.GetCounter(own_name);
+    Gauge* gauge = registry.GetGauge("conc.gauge");
+    for (int i = 0; i < kPerThread; ++i) {
+      shared->Increment();
+      own->Increment();
+      gauge->Add(1.0);
+    }
+  };
+  std::thread t1(worker, "conc.t1");
+  std::thread t2(worker, "conc.t2");
+  t1.join();
+  t2.join();
+  EXPECT_EQ(registry.GetCounter("conc.shared")->value(), 2 * kPerThread);
+  EXPECT_EQ(registry.GetCounter("conc.t1")->value(), kPerThread);
+  EXPECT_EQ(registry.GetCounter("conc.t2")->value(), kPerThread);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("conc.gauge")->value(),
+                   2.0 * kPerThread);
+}
+
+TEST(CounterRegistryTest, SnapshotDeltaIsolatesOneRegion) {
+  CounterRegistry registry;
+  registry.GetCounter("delta.before_only")->Add(7);
+  registry.GetGauge("delta.gauge")->Set(1.0);
+  MetricsSnapshot before = MetricsSnapshot::Take(registry);
+
+  registry.GetCounter("delta.bumped")->Add(3);
+  registry.GetGauge("delta.gauge")->Add(0.5);
+  MetricsSnapshot delta = MetricsSnapshot::Take(registry).DeltaSince(before);
+
+  // Only what moved inside the region appears, as the movement.
+  EXPECT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters.at("delta.bumped"), 3);
+  EXPECT_EQ(delta.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(delta.gauges.at("delta.gauge"), 0.5);
+}
+
+TEST(CounterRegistryTest, ScopedPhaseTimerAccumulates) {
+  CounterRegistry registry;
+  Gauge* gauge = registry.GetGauge("timer.seconds");
+  { ScopedPhaseTimer timer(gauge); }
+  { ScopedPhaseTimer timer(gauge); }
+  EXPECT_GT(gauge->value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder and spans
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, ScopedSpansNestWithDepthAndContainment) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  {
+    ScopedSpan outer("nest.outer");
+    {
+      ScopedSpan inner("nest.inner");
+    }
+    {
+      ScopedSpan inner2("nest.inner");
+    }
+  }
+  recorder.Disable();
+
+  const TraceEvent* outer = nullptr;
+  std::vector<const TraceEvent*> inners;
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  for (const TraceEvent& e : events) {
+    if (e.name == "nest.outer") outer = &e;
+    if (e.name == "nest.inner") inners.push_back(&e);
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_EQ(inners.size(), 2u);
+  EXPECT_EQ(outer->depth, 0u);
+  for (const TraceEvent* inner : inners) {
+    EXPECT_EQ(inner->depth, 1u);
+    EXPECT_EQ(inner->tid, outer->tid);
+    // Inner spans lie within the outer span's interval.
+    EXPECT_GE(inner->start_ns, outer->start_ns);
+    EXPECT_LE(inner->start_ns + inner->dur_ns,
+              outer->start_ns + outer->dur_ns);
+  }
+
+  std::map<std::string, SpanRollup> rollup = recorder.RollupByName();
+  EXPECT_EQ(rollup.at("nest.outer").count, 1);
+  EXPECT_EQ(rollup.at("nest.inner").count, 2);
+}
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  recorder.Disable();
+  recorder.Clear();
+  {
+    ScopedSpan span("disabled.span");
+  }
+  EXPECT_EQ(recorder.num_events(), 0u);
+}
+
+TEST(TraceTest, JsonIsAWellFormedTraceEventArray) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  {
+    ScopedSpan outer("json.outer \"quoted\\name\"");
+    ScopedSpan inner("json.inner");
+  }
+  recorder.Disable();
+
+  std::string json = recorder.ToJson();
+  std::string error;
+  EXPECT_TRUE(IsValidJson(json, &error)) << error << "\n" << json;
+  // Chrome trace_event "complete" events in a plain array.
+  EXPECT_EQ(json[0], '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"incognito\""), std::string::npos);
+  EXPECT_NE(json.find("json.inner"), std::string::npos);
+}
+
+TEST(TraceTest, EmptyTraceIsStillValidJson) {
+  TraceRecorder recorder;
+  EXPECT_TRUE(IsValidJson(recorder.ToJson()));
+  EXPECT_EQ(recorder.num_events(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros (only meaningful when obs is compiled in)
+// ---------------------------------------------------------------------------
+
+#ifndef INCOGNITO_OBS_DISABLED
+TEST(ObsMacroTest, CountAndPhaseTimerHitTheGlobalRegistry) {
+  CounterRegistry& global = CounterRegistry::Global();
+  int64_t before = global.GetCounter("macro.test_count")->value();
+  for (int i = 0; i < 3; ++i) {
+    INCOGNITO_COUNT("macro.test_count");
+  }
+  INCOGNITO_COUNT_ADD("macro.test_count", 7);
+  EXPECT_EQ(global.GetCounter("macro.test_count")->value(), before + 10);
+
+  double gauge_before = global.GetGauge("macro.test_seconds")->value();
+  {
+    INCOGNITO_PHASE_TIMER("macro.test_seconds");
+  }
+  EXPECT_GT(global.GetGauge("macro.test_seconds")->value(), gauge_before);
+}
+#endif  // INCOGNITO_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// AlgorithmStats (satellite: every field merged and printed)
+// ---------------------------------------------------------------------------
+
+// If a field is added to AlgorithmStats, this assert fires so the tests
+// below, MergeCounters, ToString, and AddAlgorithmStats get extended.
+static_assert(sizeof(AlgorithmStats) == 8 * 8,
+              "AlgorithmStats changed: update MergeCounters/ToString/"
+              "AddAlgorithmStats and these tests");
+
+TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
+  AlgorithmStats a;
+  a.nodes_checked = 1;
+  a.nodes_marked = 2;
+  a.table_scans = 3;
+  a.rollups = 4;
+  a.freq_groups_built = 5;
+  a.candidate_nodes = 6;
+  a.cube_build_seconds = 0.25;
+  a.total_seconds = 100.0;
+
+  AlgorithmStats b;
+  b.nodes_checked = 10;
+  b.nodes_marked = 20;
+  b.table_scans = 30;
+  b.rollups = 40;
+  b.freq_groups_built = 50;
+  b.candidate_nodes = 60;
+  b.cube_build_seconds = 0.5;
+  b.total_seconds = 200.0;
+
+  a.MergeCounters(b);
+  EXPECT_EQ(a.nodes_checked, 11);
+  EXPECT_EQ(a.nodes_marked, 22);
+  EXPECT_EQ(a.table_scans, 33);
+  EXPECT_EQ(a.rollups, 44);
+  EXPECT_EQ(a.freq_groups_built, 55);
+  EXPECT_EQ(a.candidate_nodes, 66);
+  EXPECT_DOUBLE_EQ(a.cube_build_seconds, 0.75);
+  // total_seconds is wall clock, deliberately NOT merged.
+  EXPECT_DOUBLE_EQ(a.total_seconds, 100.0);
+}
+
+TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
+  AlgorithmStats s;
+  s.nodes_checked = 11;
+  s.nodes_marked = 22;
+  s.table_scans = 33;
+  s.rollups = 44;
+  s.freq_groups_built = 55;
+  s.candidate_nodes = 66;
+  s.cube_build_seconds = 0.125;
+  s.total_seconds = 2.5;
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("checked=11"), std::string::npos) << str;
+  EXPECT_NE(str.find("marked=22"), std::string::npos) << str;
+  EXPECT_NE(str.find("scans=33"), std::string::npos) << str;
+  EXPECT_NE(str.find("rollups=44"), std::string::npos) << str;
+  EXPECT_NE(str.find("groups=55"), std::string::npos) << str;
+  EXPECT_NE(str.find("candidates=66"), std::string::npos) << str;
+  EXPECT_NE(str.find("cube=0.125s"), std::string::npos) << str;
+  EXPECT_NE(str.find("total=2.500s"), std::string::npos) << str;
+}
+
+TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
+  AlgorithmStats s;
+  s.nodes_checked = 1;
+  s.nodes_marked = 2;
+  s.table_scans = 3;
+  s.rollups = 4;
+  s.freq_groups_built = 5;
+  s.candidate_nodes = 6;
+  s.cube_build_seconds = 0.5;
+  s.total_seconds = 1.5;
+  RunReport report("test", "stats");
+  AddAlgorithmStats(s, &report);
+  std::string json = report.ToJson();
+  EXPECT_TRUE(IsValidJson(json));
+  for (const char* key :
+       {"nodes_checked", "nodes_marked", "table_scans", "rollups",
+        "freq_groups_built", "candidate_nodes", "cube_build_seconds",
+        "total_seconds"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RunReport schema (golden file)
+// ---------------------------------------------------------------------------
+
+/// Builds a fully deterministic report exercising every section.
+RunReport GoldenReport() {
+  RunReport report("incognito_cli", "enumerate");
+  report.SetString("input", "demo.csv");
+  report.SetInt("k", 2);
+  report.SetInt("rows", 6);
+  report.SetDouble("sample_rate", 0.5);
+  report.SetBool("quick", true);
+
+  AlgorithmStats stats;
+  stats.nodes_checked = 17;
+  stats.nodes_marked = 11;
+  stats.table_scans = 9;
+  stats.rollups = 8;
+  stats.freq_groups_built = 55;
+  stats.candidate_nodes = 28;
+  stats.cube_build_seconds = 0.25;
+  stats.total_seconds = 1.5;
+  AddAlgorithmStats(stats, &report);
+
+  MetricsSnapshot metrics;
+  metrics.counters["freq.scans"] = 9;
+  metrics.counters["incognito.kchecks"] = 17;
+  metrics.gauges["phase.kcheck_seconds"] = 0.5;
+  report.AddMetrics(metrics);
+
+  TraceRecorder recorder;  // epoch 0: absolute ns are relative ns
+  recorder.Record("incognito.run", 0, 1500000000, 0);
+  recorder.Record("freq.scan", 250000000, 500000000, 1);
+  recorder.Record("freq.scan", 500000000, 750000000, 1);
+  report.AddSpans(recorder);
+  return report;
+}
+
+TEST(RunReportTest, GoldenFileSchemaIsStable) {
+  std::string json = GoldenReport().ToJson();
+  EXPECT_TRUE(IsValidJson(json));
+
+  std::string golden_path =
+      std::string(INCOGNITO_TEST_DATA_DIR) + "/golden_run_report.json";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << "; expected contents:\n"
+                         << json;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), json)
+      << "RunReport serialization drifted from the golden schema. If the "
+         "change is intentional, bump RunReport::kSchemaVersion and "
+         "regenerate tests/data/golden_run_report.json with the 'actual' "
+         "output below.\nactual:\n"
+      << json;
+}
+
+TEST(RunReportTest, IdenticalInputsSerializeIdentically) {
+  EXPECT_EQ(GoldenReport().ToJson(), GoldenReport().ToJson());
+}
+
+TEST(RunReportTest, EmptySectionsAreOmitted) {
+  RunReport report("tool", "cmd");
+  std::string json = report.ToJson();
+  EXPECT_TRUE(IsValidJson(json));
+  EXPECT_EQ(json.find("\"stats\""), std::string::npos);
+  EXPECT_EQ(json.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace incognito

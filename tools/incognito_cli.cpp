@@ -19,6 +19,13 @@
 //   digits:NUM:LEVELS    fixed-width digit rounding (e.g. digits:5:3)
 //   date                 YYYY-MM-DD → YYYY-MM → YYYY → '*'
 //
+// Observability (any subcommand):
+//   --stats          print the run's AlgorithmStats counters on stdout
+//   --trace=FILE     write a Chrome trace_event JSON (chrome://tracing,
+//                    Perfetto) of the run's instrumented spans
+//   --report=FILE    write a machine-readable RunReport JSON (config,
+//                    dataset shape, counters, per-phase span rollups)
+//
 // Examples:
 //   incognito_cli enumerate --input=adults.csv --k=5 \
 //     --qid=Age,Gender,Zipcode \
@@ -53,12 +60,90 @@
 #include "models/ordered_set.h"
 #include "models/subgraph.h"
 #include "models/subtree.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "relation/binary_io.h"
 #include "relation/csv.h"
 
 using namespace incognito;
 
 namespace {
+
+/// The --stats/--trace/--report wiring shared by every subcommand.
+/// Subcommands fill in dataset shape and the run's AlgorithmStats; main
+/// writes the trace and report files after the subcommand returns.
+struct ObsSession {
+  ObsSession(const std::string& command,
+             const std::map<std::string, std::string>& args)
+      : report("incognito_cli", command) {
+    auto get = [&args](const std::string& key) {
+      auto it = args.find(key);
+      return it == args.end() ? std::string() : it->second;
+    };
+    trace_path = get("trace");
+    report_path = get("report");
+    print_stats = get("stats") == "true";
+    if (!get("input").empty()) report.SetString("input", get("input"));
+    report.SetInt("k", atoll(get("k").empty() ? "2" : get("k").c_str()));
+    if (!get("suppress").empty()) {
+      report.SetInt("max_suppressed", atoll(get("suppress").c_str()));
+    }
+    if (!trace_path.empty()) obs::TraceRecorder::Global().Enable();
+    before = obs::MetricsSnapshot::Take();
+  }
+
+  void RecordStats(const AlgorithmStats& s) {
+    stats = s;
+    have_stats = true;
+    if (print_stats) printf("stats: %s\n", s.ToString().c_str());
+  }
+
+  void RecordShape(const Table& table, const QuasiIdentifier& qid) {
+    report.SetInt("rows", static_cast<int64_t>(table.num_rows()));
+    report.SetInt("columns", static_cast<int64_t>(table.num_columns()));
+    report.SetInt("qid_size", static_cast<int64_t>(qid.size()));
+    report.SetInt("lattice_size", static_cast<int64_t>(qid.LatticeSize()));
+  }
+
+  /// Writes --trace/--report outputs; returns 1 if either write failed.
+  int Finish(int exit_code) {
+    int out = exit_code;
+    if (!trace_path.empty()) {
+      obs::TraceRecorder::Global().Disable();
+      Status s = obs::TraceRecorder::Global().WriteJson(trace_path);
+      if (s.ok()) {
+        fprintf(stderr, "wrote trace (%zu events) to %s\n",
+                obs::TraceRecorder::Global().num_events(),
+                trace_path.c_str());
+      } else {
+        fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        if (out == 0) out = 1;
+      }
+    }
+    if (!report_path.empty()) {
+      report.SetInt("exit_code", exit_code);
+      if (have_stats) obs::AddAlgorithmStats(stats, &report);
+      report.AddMetrics(obs::MetricsSnapshot::Take().DeltaSince(before));
+      report.AddSpans(obs::TraceRecorder::Global());
+      Status s = report.WriteFile(report_path);
+      if (s.ok()) {
+        fprintf(stderr, "wrote report to %s\n", report_path.c_str());
+      } else {
+        fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        if (out == 0) out = 1;
+      }
+    }
+    return out;
+  }
+
+  obs::RunReport report;
+  std::string trace_path;
+  std::string report_path;
+  bool print_stats = false;
+  obs::MetricsSnapshot before;
+  AlgorithmStats stats;
+  bool have_stats = false;
+};
 
 int Usage() {
   fprintf(stderr,
@@ -222,12 +307,14 @@ AnonymizationConfig ConfigFrom(const std::map<std::string, std::string>& args) {
 // Subcommands
 // ---------------------------------------------------------------------------
 
-int CmdCheck(const std::map<std::string, std::string>& args) {
+int CmdCheck(const std::map<std::string, std::string>& args,
+             ObsSession* obs) {
   Result<LoadedProblem> problem = Load(args);
   if (!problem.ok()) {
     fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
     return 1;
   }
+  obs->RecordShape(problem->table, problem->qid);
   Result<SubsetNode> node = ParseLevels(args, problem->qid);
   if (!node.ok()) {
     fprintf(stderr, "error: %s\n", node.status().ToString().c_str());
@@ -235,10 +322,13 @@ int CmdCheck(const std::map<std::string, std::string>& args) {
   }
   AnonymizationConfig config = ConfigFrom(args);
 
-  bool ok = IsKAnonymous(problem->table, problem->qid, node.value(), config);
+  AlgorithmStats stats;
+  bool ok = IsKAnonymous(problem->table, problem->qid, node.value(), config,
+                         &stats);
   printf("%s at %s: %lld-anonymous = %s\n", Get(args, "input").c_str(),
          node->ToString(&problem->qid).c_str(),
          static_cast<long long>(config.k), ok ? "yes" : "NO");
+  obs->RecordStats(stats);
 
   // Optional distinct ℓ-diversity check against a sensitive column.
   std::string sensitive = Get(args, "sensitive");
@@ -262,12 +352,14 @@ int CmdCheck(const std::map<std::string, std::string>& args) {
   return ok ? 0 : 1;
 }
 
-int CmdEnumerate(const std::map<std::string, std::string>& args) {
+int CmdEnumerate(const std::map<std::string, std::string>& args,
+                 ObsSession* obs) {
   Result<LoadedProblem> problem = Load(args);
   if (!problem.ok()) {
     fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
     return 1;
   }
+  obs->RecordShape(problem->table, problem->qid);
   AnonymizationConfig config = ConfigFrom(args);
   Result<IncognitoResult> result =
       RunIncognito(problem->table, problem->qid, config);
@@ -275,6 +367,9 @@ int CmdEnumerate(const std::map<std::string, std::string>& args) {
     fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
   }
+  obs->RecordStats(result->stats);
+  obs->report.SetInt("solutions",
+                     static_cast<int64_t>(result->anonymous_nodes.size()));
   printf("%zu %lld-anonymous full-domain generalizations (%s)\n",
          result->anonymous_nodes.size(), static_cast<long long>(config.k),
          result->stats.ToString().c_str());
@@ -293,12 +388,14 @@ int CmdEnumerate(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
-int CmdAnonymize(const std::map<std::string, std::string>& args) {
+int CmdAnonymize(const std::map<std::string, std::string>& args,
+                 ObsSession* obs) {
   Result<LoadedProblem> problem = Load(args);
   if (!problem.ok()) {
     fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
     return 1;
   }
+  obs->RecordShape(problem->table, problem->qid);
   AnonymizationConfig config = ConfigFrom(args);
   std::string output = Get(args, "output");
   if (output.empty()) {
@@ -321,6 +418,7 @@ int CmdAnonymize(const std::map<std::string, std::string>& args) {
       fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
       return 1;
     }
+    obs->RecordStats(result->stats);
     if (result->anonymous_nodes.empty()) {
       fprintf(stderr,
               "no %lld-anonymous full-domain generalization exists (even "
@@ -402,12 +500,14 @@ int CmdHierarchy(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
-int CmdModels(const std::map<std::string, std::string>& args) {
+int CmdModels(const std::map<std::string, std::string>& args,
+              ObsSession* obs) {
   Result<LoadedProblem> problem = Load(args);
   if (!problem.ok()) {
     fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
     return 1;
   }
+  obs->RecordShape(problem->table, problem->qid);
   AnonymizationConfig config = ConfigFrom(args);
   std::vector<std::string> cols;
   for (size_t i = 0; i < problem->qid.size(); ++i) {
@@ -476,10 +576,19 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   std::map<std::string, std::string> args = ParseArgs(argc, argv);
-  if (command == "check") return CmdCheck(args);
-  if (command == "enumerate") return CmdEnumerate(args);
-  if (command == "anonymize") return CmdAnonymize(args);
-  if (command == "models") return CmdModels(args);
   if (command == "hierarchy") return CmdHierarchy(args);
-  return Usage();
+  ObsSession obs(command, args);
+  int code;
+  if (command == "check") {
+    code = CmdCheck(args, &obs);
+  } else if (command == "enumerate") {
+    code = CmdEnumerate(args, &obs);
+  } else if (command == "anonymize") {
+    code = CmdAnonymize(args, &obs);
+  } else if (command == "models") {
+    code = CmdModels(args, &obs);
+  } else {
+    return Usage();
+  }
+  return obs.Finish(code);
 }

@@ -1,9 +1,8 @@
 #include "common/status.h"
 
 namespace incognito {
-namespace {
 
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -23,15 +22,19 @@ const char* CodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
 
-}  // namespace
-
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

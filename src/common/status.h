@@ -20,7 +20,26 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kNotSupported,
+  // Resource-governance codes (see src/robust/governor.h): a cooperative
+  // budget tripped and the operation stopped early with a partial result.
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
+
+/// True for the codes an ExecutionGovernor produces when a time, memory,
+/// or cancellation budget trips. Operations returning one of these stopped
+/// cleanly and may carry a valid partial result (see
+/// src/robust/partial_result.h); every other non-OK code is a hard error.
+constexpr bool IsResourceGovernance(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kCancelled;
+}
+
+/// The canonical name of a code, e.g. "InvalidArgument" (what ToString
+/// prefixes messages with; the CLI prints it next to its exit code).
+const char* StatusCodeName(StatusCode code);
 
 /// A Status encapsulates the success or failure of an operation, with a
 /// machine-readable code and a human-readable message.
@@ -63,6 +82,15 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// Returns true iff the status indicates success.

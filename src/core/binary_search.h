@@ -8,6 +8,7 @@
 #include "core/quasi_identifier.h"
 #include "lattice/node.h"
 #include "relation/table.h"
+#include "robust/partial_result.h"
 
 namespace incognito {
 
@@ -25,6 +26,14 @@ struct BinarySearchResult {
   /// Every k-anonymous generalization at the minimal height.
   std::vector<SubsetNode> all_at_minimal_height;
 
+  /// The search bracket: the minimal k-anonymous height (if any) lies in
+  /// [bracket_low, bracket_high]. On a complete successful run both equal
+  /// the minimal height; on a governed run that tripped mid-search they
+  /// record the progress proven so far (bracket_high == -1 until the first
+  /// probe confirms any solution exists).
+  int32_t bracket_low = 0;
+  int32_t bracket_high = -1;
+
   AlgorithmStats stats;
 };
 
@@ -38,6 +47,14 @@ struct BinarySearchResult {
 Result<BinarySearchResult> RunSamaratiBinarySearch(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config);
+
+/// Governed variant: polls `governor` at every node probe and charges each
+/// probe's frequency set against its memory budget. A budget trip stops
+/// the search and returns PartialResult::Partial with found == false and
+/// the bracket proven so far (see BinarySearchResult::bracket_low/_high).
+PartialResult<BinarySearchResult> RunSamaratiBinarySearch(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor& governor);
 
 }  // namespace incognito
 

@@ -9,10 +9,13 @@
 
 namespace incognito {
 
-Result<BottomUpResult> RunBottomUpBfs(const Table& table,
-                                      const QuasiIdentifier& qid,
-                                      const AnonymizationConfig& config,
-                                      const BottomUpOptions& options) {
+namespace {
+
+/// Shared implementation; `governor` == nullptr is the ungoverned path.
+PartialResult<BottomUpResult> RunBottomUpImpl(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, const BottomUpOptions& options,
+    ExecutionGovernor* governor) {
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (qid.size() == 0) {
     return Status::InvalidArgument("quasi-identifier must be non-empty");
@@ -34,12 +37,41 @@ Result<BottomUpResult> RunBottomUpBfs(const Table& table,
   // Frequency sets of the previous height's nodes, for rollup.
   std::unordered_map<uint64_t, FrequencySet> prev_freq;
 
+  // Returns all bytes still charged for retained frequency sets.
+  auto release_retained = [&](std::unordered_map<uint64_t, FrequencySet>& m) {
+    if (governor == nullptr) return;
+    for (const auto& [idx, fs] : m) {
+      (void)idx;
+      governor->ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
+    }
+  };
+
+  // Finalizes stats and wraps a budget trip into a partial result carrying
+  // the nodes confirmed so far.
+  auto stop_early = [&](Status trip) -> PartialResult<BottomUpResult> {
+    result.stats.total_seconds = timer.ElapsedSeconds();
+    if (governor != nullptr) governor->ExportTrips(&result.stats);
+    if (IsResourceGovernance(trip.code())) {
+      return PartialResult<BottomUpResult>::Partial(std::move(trip),
+                                                    std::move(result));
+    }
+    return trip;
+  };
+
   for (int32_t h = 0; h <= lattice.MaxHeight(); ++h) {
     INCOGNITO_SPAN("bottom_up.height");
     INCOGNITO_COUNT("bottom_up.heights");
     std::unordered_map<uint64_t, FrequencySet> cur_freq;
     for (const LevelVector& levels : lattice.NodesAtHeight(h)) {
       uint64_t idx = lattice.Index(levels);
+      if (governor != nullptr) {
+        Status checkpoint = governor->Check();
+        if (!checkpoint.ok()) {
+          release_retained(prev_freq);
+          release_retained(cur_freq);
+          return stop_early(std::move(checkpoint));
+        }
+      }
 
       if (options.use_generalization_marking && marked[idx]) {
         // Known k-anonymous via the generalization property; propagate the
@@ -70,6 +102,15 @@ Result<BottomUpResult> RunBottomUpBfs(const Table& table,
         freq = FrequencySet::Compute(table, qid, node);
         ++result.stats.table_scans;
       }
+      int64_t freq_bytes = static_cast<int64_t>(freq.MemoryBytes());
+      if (governor != nullptr) {
+        Status charged = governor->ChargeMemory(freq_bytes);
+        if (!charged.ok()) {
+          release_retained(prev_freq);
+          release_retained(cur_freq);
+          return stop_early(std::move(charged));
+        }
+      }
       ++result.stats.nodes_checked;
       result.stats.freq_groups_built += static_cast<int64_t>(freq.NumGroups());
       INCOGNITO_COUNT("bottom_up.kchecks");
@@ -88,14 +129,40 @@ Result<BottomUpResult> RunBottomUpBfs(const Table& table,
         }
       }
       if (options.use_rollup) {
-        cur_freq.emplace(idx, std::move(freq));
+        cur_freq.emplace(idx, std::move(freq));  // charge stays retained
+      } else if (governor != nullptr) {
+        governor->ReleaseMemory(freq_bytes);
       }
     }
+    release_retained(prev_freq);
     prev_freq = std::move(cur_freq);
+    result.completed_heights = static_cast<int64_t>(h) + 1;
   }
+  release_retained(prev_freq);
 
   result.stats.total_seconds = timer.ElapsedSeconds();
+  if (governor != nullptr) governor->ExportTrips(&result.stats);
   return result;
+}
+
+}  // namespace
+
+Result<BottomUpResult> RunBottomUpBfs(const Table& table,
+                                      const QuasiIdentifier& qid,
+                                      const AnonymizationConfig& config,
+                                      const BottomUpOptions& options) {
+  PartialResult<BottomUpResult> run =
+      RunBottomUpImpl(table, qid, config, options, nullptr);
+  if (!run.complete()) return run.status();
+  return std::move(run).value();
+}
+
+PartialResult<BottomUpResult> RunBottomUpBfs(const Table& table,
+                                             const QuasiIdentifier& qid,
+                                             const AnonymizationConfig& config,
+                                             const BottomUpOptions& options,
+                                             ExecutionGovernor& governor) {
+  return RunBottomUpImpl(table, qid, config, options, &governor);
 }
 
 }  // namespace incognito

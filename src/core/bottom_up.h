@@ -8,6 +8,7 @@
 #include "core/quasi_identifier.h"
 #include "lattice/node.h"
 #include "relation/table.h"
+#include "robust/partial_result.h"
 
 namespace incognito {
 
@@ -32,6 +33,13 @@ struct BottomUpOptions {
 /// also sound and complete, just slower).
 struct BottomUpResult {
   std::vector<SubsetNode> anonymous_nodes;
+
+  /// Lattice heights fully evaluated. Equals MaxHeight()+1 on a complete
+  /// run; smaller when a governed run tripped mid-search, in which case
+  /// anonymous_nodes holds the nodes *confirmed* k-anonymous before the
+  /// trip — a sound subset of the complete answer.
+  int64_t completed_heights = 0;
+
   AlgorithmStats stats;
 };
 
@@ -42,6 +50,17 @@ Result<BottomUpResult> RunBottomUpBfs(const Table& table,
                                       const QuasiIdentifier& qid,
                                       const AnonymizationConfig& config,
                                       const BottomUpOptions& options = {});
+
+/// Governed variant: polls `governor` at every lattice node and charges
+/// frequency sets against its memory budget. A budget trip stops the walk
+/// and returns PartialResult::Partial whose anonymous_nodes are the nodes
+/// confirmed so far (a subset of the complete answer; see
+/// BottomUpResult::completed_heights).
+PartialResult<BottomUpResult> RunBottomUpBfs(const Table& table,
+                                             const QuasiIdentifier& qid,
+                                             const AnonymizationConfig& config,
+                                             const BottomUpOptions& options,
+                                             ExecutionGovernor& governor);
 
 }  // namespace incognito
 

@@ -14,18 +14,26 @@ void AlgorithmStats::MergeCounters(const AlgorithmStats& other) {
   freq_groups_built += other.freq_groups_built;
   candidate_nodes += other.candidate_nodes;
   cube_build_seconds += other.cube_build_seconds;
+  governor_checks += other.governor_checks;
+  deadline_trips += other.deadline_trips;
+  memory_trips += other.memory_trips;
+  cancel_trips += other.cancel_trips;
 }
 
 std::string AlgorithmStats::ToString() const {
   return StringPrintf(
       "checked=%lld marked=%lld scans=%lld rollups=%lld groups=%lld "
-      "candidates=%lld cube=%.3fs total=%.3fs",
+      "candidates=%lld cube=%.3fs total=%.3fs gov_checks=%lld "
+      "dl_trips=%lld mem_trips=%lld cancel_trips=%lld",
       static_cast<long long>(nodes_checked),
       static_cast<long long>(nodes_marked),
       static_cast<long long>(table_scans), static_cast<long long>(rollups),
       static_cast<long long>(freq_groups_built),
       static_cast<long long>(candidate_nodes), cube_build_seconds,
-      total_seconds);
+      total_seconds, static_cast<long long>(governor_checks),
+      static_cast<long long>(deadline_trips),
+      static_cast<long long>(memory_trips),
+      static_cast<long long>(cancel_trips));
 }
 
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
@@ -41,6 +49,32 @@ bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
     ++stats->table_scans;
     stats->freq_groups_built += static_cast<int64_t>(fs.NumGroups());
     stats->total_seconds += timer.ElapsedSeconds();
+  }
+  return anonymous;
+}
+
+Result<bool> IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
+                          const SubsetNode& node,
+                          const AnonymizationConfig& config,
+                          ExecutionGovernor& governor,
+                          AlgorithmStats* stats) {
+  INCOGNITO_RETURN_IF_ERROR(governor.Check());
+  Stopwatch timer;
+  FrequencySet fs = FrequencySet::Compute(table, qid, node);
+  Status charge = governor.ChargeMemory(
+      static_cast<int64_t>(fs.MemoryBytes()));
+  if (!charge.ok()) {
+    if (stats != nullptr) governor.ExportTrips(stats);
+    return charge;
+  }
+  bool anonymous = fs.IsKAnonymous(config.k, config.max_suppressed);
+  governor.ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
+  if (stats != nullptr) {
+    ++stats->nodes_checked;
+    ++stats->table_scans;
+    stats->freq_groups_built += static_cast<int64_t>(fs.NumGroups());
+    stats->total_seconds += timer.ElapsedSeconds();
+    governor.ExportTrips(stats);
   }
   return anonymous;
 }

@@ -8,6 +8,7 @@
 #include "freq/frequency_set.h"
 #include "lattice/node.h"
 #include "relation/table.h"
+#include "robust/governor.h"
 
 namespace incognito {
 
@@ -38,6 +39,13 @@ struct AlgorithmStats {
   double cube_build_seconds = 0;  ///< Cube Incognito pre-computation time
   double total_seconds = 0;       ///< end-to-end wall clock
 
+  // Resource-governance activity (zero on ungoverned runs; see
+  // robust/governor.h). Trip counts explain *why* a governed run degraded.
+  int64_t governor_checks = 0;  ///< cooperative checkpoints evaluated
+  int64_t deadline_trips = 0;   ///< checkpoints that saw an expired deadline
+  int64_t memory_trips = 0;     ///< memory-budget charges refused
+  int64_t cancel_trips = 0;     ///< checkpoints that saw cancellation
+
   /// Merges accumulable costs from another stats object: every counter
   /// plus cube_build_seconds (a summable pre-computation cost). Only
   /// total_seconds is excluded — it is end-to-end wall clock, which does
@@ -55,6 +63,16 @@ struct AlgorithmStats {
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                   const SubsetNode& node, const AnonymizationConfig& config,
                   AlgorithmStats* stats = nullptr);
+
+/// Governed variant: polls `governor` before the scan and charges the
+/// frequency set's heap footprint against its memory budget (released after
+/// the check). Returns kDeadlineExceeded / kResourceExhausted / kCancelled
+/// instead of an answer when a budget trips.
+Result<bool> IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
+                          const SubsetNode& node,
+                          const AnonymizationConfig& config,
+                          ExecutionGovernor& governor,
+                          AlgorithmStats* stats = nullptr);
 
 }  // namespace incognito
 

@@ -39,18 +39,21 @@ class GraphSearch {
   GraphSearch(const Table& table, const QuasiIdentifier& qid,
               const AnonymizationConfig& config,
               const IncognitoOptions& options, const ZeroGenCube* cube,
-              AlgorithmStats* stats)
+              AlgorithmStats* stats, ExecutionGovernor* governor)
       : table_(table),
         qid_(qid),
         config_(config),
         options_(options),
         cube_(cube),
-        stats_(stats) {}
+        stats_(stats),
+        governor_(governor) {}
 
   /// Returns failed[id] == true iff T was checked and found NOT
   /// k-anonymous w.r.t. node id; every other node is k-anonymous (checked,
   /// marked, or implied). This is exactly the deletion set for S_i.
-  std::vector<bool> Run(const CandidateGraph& graph) {
+  /// Under a governor, a budget trip aborts the walk and returns the trip
+  /// status instead; all charged memory is released first.
+  Result<std::vector<bool>> Run(const CandidateGraph& graph) {
     INCOGNITO_SPAN("incognito.graph_search");
     const size_t n = graph.num_nodes();
     std::vector<bool> failed(n, false);
@@ -83,13 +86,39 @@ class GraphSearch {
       for (int64_t spec : graph.InEdges(id)) {
         auto it = pending_uses.find(spec);
         if (it != pending_uses.end() && --it->second == 0) {
+          auto sit = stored.find(spec);
+          if (sit != stored.end() && governor_ != nullptr) {
+            governor_->ReleaseMemory(
+                static_cast<int64_t>(sit->second.MemoryBytes()));
+          }
           stored.erase(spec);
           pending_uses.erase(it);
         }
       }
     };
 
+    // Returns every byte this walk still holds charged (retained rollup
+    // sources and lazily built super-root sets) to the governor's budget.
+    auto release_all = [&]() {
+      if (governor_ == nullptr) return;
+      for (const auto& [sid, fs] : stored) {
+        (void)sid;
+        governor_->ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
+      }
+      for (const auto& [dims, fs] : family_freq) {
+        (void)dims;
+        governor_->ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
+      }
+    };
+
     while (!queue.empty()) {
+      if (governor_ != nullptr) {
+        Status checkpoint = governor_->Check();
+        if (!checkpoint.ok()) {
+          release_all();
+          return checkpoint;
+        }
+      }
       auto [height, id] = *queue.begin();
       queue.erase(queue.begin());
       (void)height;
@@ -103,6 +132,16 @@ class GraphSearch {
       SubsetNode node = graph.node(id).ToSubsetNode();
       FrequencySet freq = ComputeFrequencySet(graph, id, node, families,
                                               &family_freq, stored);
+      int64_t freq_bytes = static_cast<int64_t>(freq.MemoryBytes());
+      if (governor_ != nullptr) {
+        // Covers both this transient set and any super-root set
+        // ComputeFrequencySet just latched a refusal for.
+        Status charged = governor_->ChargeMemory(freq_bytes);
+        if (!charged.ok()) {
+          release_all();
+          return charged;
+        }
+      }
       ++stats_->nodes_checked;
       stats_->freq_groups_built += static_cast<int64_t>(freq.NumGroups());
       INCOGNITO_COUNT("incognito.kchecks");
@@ -112,6 +151,7 @@ class GraphSearch {
         INCOGNITO_PHASE_TIMER("phase.kcheck_seconds");
         anonymous = freq.IsKAnonymous(config_.k, config_.max_suppressed);
       }
+      bool retained = false;
       if (anonymous) {
         // Generalization property: every generalization is k-anonymous.
         INCOGNITO_PHASE_TIMER("phase.mark_seconds");
@@ -122,13 +162,18 @@ class GraphSearch {
         if (!gens.empty() && options_.use_rollup) {
           pending_uses[id] = static_cast<int64_t>(gens.size());
           stored.emplace(id, std::move(freq));
+          retained = true;  // charge stays until release_parents frees it
         }
         for (int64_t g : gens) {
           queue.insert({graph.node(g).Height(), g});
         }
       }
+      if (!retained && governor_ != nullptr) {
+        governor_->ReleaseMemory(freq_bytes);
+      }
       release_parents(id);
     }
+    release_all();
     return failed;
   }
 
@@ -182,6 +227,16 @@ class GraphSearch {
               FrequencySet::Compute(table_, qid_, super);
           stats_->freq_groups_built +=
               static_cast<int64_t>(super_freq.NumGroups());
+          if (governor_ != nullptr &&
+              !governor_
+                   ->ChargeMemory(
+                       static_cast<int64_t>(super_freq.MemoryBytes()))
+                   .ok()) {
+            // Refused: the trip is latched (Run unwinds at its next charge).
+            // Roll up from the uncached set so byte accounting stays exact.
+            ++stats_->rollups;
+            return super_freq.RollupTo(node, qid_);
+          }
           it = family_freq->emplace(node.dims, std::move(super_freq)).first;
         }
         ++stats_->rollups;
@@ -213,14 +268,17 @@ class GraphSearch {
   const IncognitoOptions& options_;
   const ZeroGenCube* cube_;
   AlgorithmStats* stats_;
+  ExecutionGovernor* governor_;  // null = ungoverned
 };
 
-}  // namespace
-
-Result<IncognitoResult> RunIncognito(const Table& table,
-                                     const QuasiIdentifier& qid,
-                                     const AnonymizationConfig& config,
-                                     const IncognitoOptions& options) {
+/// Shared implementation behind both public entry points. With a null
+/// governor this is exactly the original ungoverned algorithm; with one,
+/// every budget trip unwinds into PartialResult::Partial carrying the
+/// iterations completed before the trip.
+PartialResult<IncognitoResult> RunIncognitoImpl(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, const IncognitoOptions& options,
+    ExecutionGovernor* governor) {
   if (config.k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
@@ -236,20 +294,37 @@ Result<IncognitoResult> RunIncognito(const Table& table,
   Stopwatch total_timer;
   IncognitoResult result;
 
+  // Finalizes stats and wraps a budget trip into a partial result; hard
+  // errors pass through value-less.
+  auto stop_early = [&](Status trip) -> PartialResult<IncognitoResult> {
+    result.stats.total_seconds = total_timer.ElapsedSeconds();
+    if (governor != nullptr) governor->ExportTrips(&result.stats);
+    if (IsResourceGovernance(trip.code())) {
+      return PartialResult<IncognitoResult>::Partial(std::move(trip),
+                                                     std::move(result));
+    }
+    return trip;
+  };
+
   // Cube Incognito pre-computes all zero-generalization frequency sets.
   ZeroGenCube cube;
   const ZeroGenCube* cube_ptr = nullptr;
   if (options.variant == IncognitoVariant::kCube) {
     Stopwatch cube_timer;
     ZeroGenCube::BuildInfo info;
-    cube = ZeroGenCube::Build(table, qid, &info);
+    cube = ZeroGenCube::Build(table, qid, &info, governor);
     cube_ptr = &cube;
     result.stats.cube_build_seconds = cube_timer.ElapsedSeconds();
     result.stats.table_scans += info.table_scans;
     result.stats.freq_groups_built += static_cast<int64_t>(info.total_groups);
+    if (governor != nullptr && governor->Tripped()) {
+      cube.ReleaseMemory(governor);
+      return stop_early(governor->TripStatus());
+    }
   }
 
-  GraphSearch search(table, qid, config, options, cube_ptr, &result.stats);
+  GraphSearch search(table, qid, config, options, cube_ptr, &result.stats,
+                     governor);
 
   // C_1, E_1: the single-attribute hierarchies.
   CandidateGraph graph = MakeSingleAttributeGraph(qid);
@@ -258,7 +333,12 @@ Result<IncognitoResult> RunIncognito(const Table& table,
     INCOGNITO_SPAN("incognito.iteration");
     INCOGNITO_COUNT("incognito.iterations");
     result.stats.candidate_nodes += static_cast<int64_t>(graph.num_nodes());
-    std::vector<bool> failed = search.Run(graph);
+    Result<std::vector<bool>> failed_or = search.Run(graph);
+    if (!failed_or.ok()) {
+      cube.ReleaseMemory(governor);
+      return stop_early(failed_or.status());
+    }
+    const std::vector<bool>& failed = failed_or.value();
 
     // S_i = C_i minus the failed nodes.
     std::vector<bool> keep(failed.size());
@@ -272,17 +352,42 @@ Result<IncognitoResult> RunIncognito(const Table& table,
     }
     std::sort(survivor_nodes.begin(), survivor_nodes.end());
     result.per_iteration_survivors.push_back(survivor_nodes);
+    result.completed_iterations = static_cast<int64_t>(i);
 
     if (i == n) {
       result.anonymous_nodes = std::move(survivor_nodes);
       break;
     }
-    // C_{i+1}, E_{i+1} from S_i (join, prune, edge generation).
-    graph = GenerateNextGraph(survivors);
+    // C_{i+1}, E_{i+1} from S_i (join, prune, edge generation). A memory
+    // refusal inside latches in the governor; the next iteration's first
+    // checkpoint unwinds it.
+    graph = GenerateNextGraph(survivors, nullptr, governor);
   }
+  cube.ReleaseMemory(governor);
 
   result.stats.total_seconds = total_timer.ElapsedSeconds();
+  if (governor != nullptr) governor->ExportTrips(&result.stats);
   return result;
+}
+
+}  // namespace
+
+Result<IncognitoResult> RunIncognito(const Table& table,
+                                     const QuasiIdentifier& qid,
+                                     const AnonymizationConfig& config,
+                                     const IncognitoOptions& options) {
+  PartialResult<IncognitoResult> run =
+      RunIncognitoImpl(table, qid, config, options, nullptr);
+  if (!run.complete()) return run.status();
+  return std::move(run).value();
+}
+
+PartialResult<IncognitoResult> RunIncognito(const Table& table,
+                                            const QuasiIdentifier& qid,
+                                            const AnonymizationConfig& config,
+                                            const IncognitoOptions& options,
+                                            ExecutionGovernor& governor) {
+  return RunIncognitoImpl(table, qid, config, options, &governor);
 }
 
 }  // namespace incognito

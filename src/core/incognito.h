@@ -8,6 +8,7 @@
 #include "core/quasi_identifier.h"
 #include "lattice/node.h"
 #include "relation/table.h"
+#include "robust/partial_result.h"
 
 namespace incognito {
 
@@ -56,6 +57,13 @@ struct IncognitoResult {
   /// (S_1..S_n), useful for diagnostics and tests; index 0 holds S_1.
   std::vector<std::vector<SubsetNode>> per_iteration_survivors;
 
+  /// Iterations (attribute-subset sizes) fully processed. Equals
+  /// qid.size() on a complete run; smaller when a governed run tripped a
+  /// budget mid-search, in which case per_iteration_survivors holds
+  /// exactly this many entries and anonymous_nodes is empty (no complete
+  /// S_n was proven).
+  int64_t completed_iterations = 0;
+
   AlgorithmStats stats;
 };
 
@@ -67,6 +75,19 @@ Result<IncognitoResult> RunIncognito(const Table& table,
                                      const QuasiIdentifier& qid,
                                      const AnonymizationConfig& config,
                                      const IncognitoOptions& options = {});
+
+/// Governed variant: polls `governor` at every lattice-node check and
+/// charges frequency-set / cube / hash-tree construction against its
+/// memory budget. When a budget trips mid-search the run stops cleanly and
+/// returns PartialResult::Partial carrying everything proven so far
+/// (completed iterations' survivor sets; see
+/// IncognitoResult::completed_iterations) with status kDeadlineExceeded,
+/// kResourceExhausted, or kCancelled. Construct a fresh governor per call.
+PartialResult<IncognitoResult> RunIncognito(const Table& table,
+                                            const QuasiIdentifier& qid,
+                                            const AnonymizationConfig& config,
+                                            const IncognitoOptions& options,
+                                            ExecutionGovernor& governor);
 
 }  // namespace incognito
 

@@ -29,7 +29,8 @@ SubsetNode ZeroNodeForMask(uint32_t mask) {
 }  // namespace
 
 ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
-                               BuildInfo* info) {
+                               BuildInfo* info,
+                               ExecutionGovernor* governor) {
   INCOGNITO_SPAN("cube.build");
   INCOGNITO_PHASE_TIMER("phase.cube_build_seconds");
   INCOGNITO_COUNT("cube.builds");
@@ -38,10 +39,21 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
   ZeroGenCube cube;
   BuildInfo local;
 
+  // Charges a freshly materialized frequency set against the governor's
+  // memory budget; false stops the build (trip is latched in the governor).
+  auto charge = [&](const FrequencySet& fs) {
+    if (governor == nullptr) return true;
+    if (!governor->Check().ok()) return false;
+    return governor->ChargeMemory(static_cast<int64_t>(fs.MemoryBytes()))
+        .ok();
+  };
+
   const uint32_t full = (n == 32 ? ~0u : (1u << n) - 1);
-  cube.sets_.emplace(full,
-                     FrequencySet::Compute(table, qid, ZeroNodeForMask(full)));
+  auto root = cube.sets_.emplace(
+      full, FrequencySet::Compute(table, qid, ZeroNodeForMask(full)));
   local.table_scans = 1;
+  bool tripped = !charge(root.first->second);
+  if (tripped) cube.sets_.clear();
 
   // Process masks in decreasing popcount order; each mask is aggregated
   // from the already-computed superset with the fewest groups.
@@ -53,6 +65,7 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
     return a < b;
   });
   for (uint32_t m : masks) {
+    if (tripped) break;
     // Candidate parents: m plus one attribute not in m.
     const FrequencySet* best = nullptr;
     for (size_t d = 0; d < n; ++d) {
@@ -65,8 +78,14 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
       }
     }
     assert(best != nullptr);
-    cube.sets_.emplace(m, best->ProjectTo(ZeroNodeForMask(m), qid));
+    auto inserted = cube.sets_.emplace(m, best->ProjectTo(ZeroNodeForMask(m), qid));
     ++local.projections;
+    if (!charge(inserted.first->second)) {
+      // The just-built set was refused: drop it (it was never charged) and
+      // stop; earlier sets stay charged until ReleaseMemory.
+      cube.sets_.erase(inserted.first);
+      tripped = true;
+    }
   }
 
   INCOGNITO_COUNT_ADD("cube.subsets",
@@ -79,6 +98,14 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
   }
   if (info != nullptr) *info = local;
   return cube;
+}
+
+void ZeroGenCube::ReleaseMemory(ExecutionGovernor* governor) const {
+  if (governor == nullptr) return;
+  for (const auto& [mask, fs] : sets_) {
+    (void)mask;
+    governor->ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
+  }
 }
 
 const FrequencySet& ZeroGenCube::Get(const std::vector<int32_t>& dims) const {

@@ -8,6 +8,7 @@
 #include "core/quasi_identifier.h"
 #include "freq/frequency_set.h"
 #include "relation/table.h"
+#include "robust/governor.h"
 
 namespace incognito {
 
@@ -30,9 +31,18 @@ class ZeroGenCube {
 
   ZeroGenCube() = default;
 
-  /// Builds the cube. Requires 1 <= qid.size() <= 24.
+  /// Builds the cube. Requires 1 <= qid.size() <= 24. When `governor` is
+  /// non-null, every materialized frequency set is charged against its
+  /// memory budget; a refused charge (or a tripped deadline/cancellation)
+  /// stops the build early — the caller detects this via
+  /// governor->Tripped() and must not use the incomplete cube.
   static ZeroGenCube Build(const Table& table, const QuasiIdentifier& qid,
-                           BuildInfo* info = nullptr);
+                           BuildInfo* info = nullptr,
+                           ExecutionGovernor* governor = nullptr);
+
+  /// Releases every byte Build() charged against `governor` (call when the
+  /// cube is discarded).
+  void ReleaseMemory(ExecutionGovernor* governor) const;
 
   /// The zero-generalization frequency set for an attribute subset
   /// (ascending QID indices). Requires the subset to be non-empty and

@@ -5,8 +5,14 @@
 
 #include "common/strings.h"
 #include "hierarchy/builders.h"
+#include "robust/safe_io.h"
 
 namespace incognito {
+
+namespace {
+/// Rows longer than this are rejected (corrupt-input guard).
+constexpr size_t kMaxHierarchyRowBytes = 1 << 20;
+}  // namespace
 
 Result<ValueHierarchy> ParseHierarchyCsv(std::string attribute_name,
                                          const std::string& content,
@@ -20,6 +26,18 @@ Result<ValueHierarchy> ParseHierarchyCsv(std::string attribute_name,
   while (std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.size() > kMaxHierarchyRowBytes) {
+      return Status::InvalidArgument(StringPrintf(
+          "hierarchy CSV '%s' line %zu is %zu bytes, over the %zu-byte row "
+          "limit",
+          attribute_name.c_str(), line_no, line.size(),
+          kMaxHierarchyRowBytes));
+    }
+    if (line.find('\0') != std::string::npos) {
+      return Status::InvalidArgument(StringPrintf(
+          "hierarchy CSV '%s' line %zu contains an embedded NUL byte",
+          attribute_name.c_str(), line_no));
+    }
     if (StripWhitespace(line).empty()) continue;
     std::vector<std::string> fields = Split(line, separator);
     if (fields.size() < 2) {
@@ -55,13 +73,9 @@ Result<ValueHierarchy> ReadHierarchyCsv(std::string attribute_name,
                                         const std::string& path,
                                         const Dictionary& base,
                                         char separator) {
-  std::ifstream file(path);
-  if (!file) {
-    return Status::IOError("cannot open hierarchy file '" + path + "'");
-  }
-  std::ostringstream buf;
-  buf << file.rdbuf();
-  return ParseHierarchyCsv(std::move(attribute_name), buf.str(), base,
+  Result<std::string> content = ReadFileToString(path, "hierarchy_csv.read");
+  INCOGNITO_RETURN_IF_ERROR(content.status());
+  return ParseHierarchyCsv(std::move(attribute_name), content.value(), base,
                            separator);
 }
 
@@ -82,13 +96,8 @@ std::string HierarchyToCsv(const ValueHierarchy& hierarchy, char separator) {
 
 Status WriteHierarchyCsv(const ValueHierarchy& hierarchy,
                          const std::string& path, char separator) {
-  std::ofstream file(path);
-  if (!file) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
-  file << HierarchyToCsv(hierarchy, separator);
-  if (!file) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  return WriteFileAtomic(path, HierarchyToCsv(hierarchy, separator),
+                         "hierarchy_csv.write");
 }
 
 }  // namespace incognito

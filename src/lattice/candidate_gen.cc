@@ -9,6 +9,7 @@
 
 #include "lattice/hash_tree.h"
 #include "obs/obs.h"
+#include "robust/governor.h"
 
 namespace incognito {
 
@@ -52,7 +53,8 @@ struct ParentPairHash {
 }  // namespace
 
 CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
-                                 GraphGenStats* stats) {
+                                 GraphGenStats* stats,
+                                 ExecutionGovernor* governor) {
   INCOGNITO_SPAN("lattice.candidate_gen");
   INCOGNITO_PHASE_TIMER("phase.candidate_gen_seconds");
   INCOGNITO_COUNT("lattice.candidate_gen_calls");
@@ -99,6 +101,11 @@ CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
   // hash-tree membership test.
   SubsetHashTree tree;
   for (const NodeRow& row : survivors.nodes()) tree.Insert(row.pairs);
+  int64_t tree_bytes = 0;
+  if (governor != nullptr) {
+    tree_bytes = static_cast<int64_t>(tree.MemoryBytes());
+    if (!governor->ChargeMemory(tree_bytes).ok()) tree_bytes = 0;
+  }
   std::vector<bool> keep(next.num_nodes(), true);
   for (const NodeRow& cand : next.nodes()) {
     for (size_t drop = 0; drop + 2 < cand.pairs.size(); ++drop) {
@@ -113,6 +120,9 @@ CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
         break;
       }
     }
+  }
+  if (governor != nullptr && tree_bytes > 0) {
+    governor->ReleaseMemory(tree_bytes);
   }
   // Rebuild the candidate table with only unpruned nodes (IDs renumbered).
   CandidateGraph pruned_graph;

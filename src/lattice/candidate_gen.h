@@ -8,6 +8,8 @@
 
 namespace incognito {
 
+class ExecutionGovernor;
+
 /// Counters describing one GraphGeneration step (used by tests and the
 /// ablation bench to quantify a-priori pruning).
 struct GraphGenStats {
@@ -31,9 +33,14 @@ CandidateGraph MakeSingleAttributeGraph(const QuasiIdentifier& qid);
 ///      tree), and
 ///   3. edge generation (the paper's three-disjunct join over E_i followed
 ///      by removal of implied, one-node-separated relationships).
-/// The returned graph has adjacency built.
+/// The returned graph has adjacency built. When `governor` is non-null the
+/// prune phase's Apriori hash tree is charged against its memory budget
+/// for the duration of the prune; a refused charge latches the trip in the
+/// governor (for the caller to observe) but the graph is still generated —
+/// candidate generation is never the step that loses work.
 CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
-                                 GraphGenStats* stats = nullptr);
+                                 GraphGenStats* stats = nullptr,
+                                 ExecutionGovernor* governor = nullptr);
 
 }  // namespace incognito
 

@@ -65,6 +65,23 @@ void SubsetHashTree::Insert(const std::vector<DimIndexPair>& key) {
   InsertInto(root_.get(), key, 0);
 }
 
+size_t SubsetHashTree::NodeBytes(const Node& node) {
+  size_t bytes = sizeof(Node);
+  bytes += node.keys.capacity() * sizeof(std::vector<DimIndexPair>);
+  for (const auto& key : node.keys) {
+    bytes += key.capacity() * sizeof(DimIndexPair);
+  }
+  bytes += node.children.capacity() * sizeof(std::unique_ptr<Node>);
+  for (const auto& child : node.children) {
+    if (child != nullptr) bytes += NodeBytes(*child);
+  }
+  return bytes;
+}
+
+size_t SubsetHashTree::MemoryBytes() const {
+  return sizeof(*this) + NodeBytes(*root_);
+}
+
 bool SubsetHashTree::Contains(const std::vector<DimIndexPair>& key) const {
   if (key.empty()) return false;
   const Node* node = root_.get();

@@ -32,10 +32,15 @@ class SubsetHashTree {
 
   size_t size() const { return size_; }
 
+  /// Approximate heap footprint (nodes, key vectors, child pointers), used
+  /// to charge the tree against an ExecutionGovernor's memory budget.
+  size_t MemoryBytes() const;
+
  private:
   struct Node;
 
   static size_t Bucket(const DimIndexPair& p);
+  static size_t NodeBytes(const Node& node);
   void InsertInto(Node* node, const std::vector<DimIndexPair>& key,
                   size_t depth);
 

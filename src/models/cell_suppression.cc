@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "common/stopwatch.h"
 #include "obs/obs.h"
 
 namespace incognito {
@@ -23,11 +25,10 @@ struct VecHash {
 
 constexpr int32_t kSuppressed = -1;
 
-}  // namespace
-
-Result<CellSuppressionResult> RunCellSuppression(
+/// Shared implementation; `governor` == nullptr is the ungoverned path.
+PartialResult<CellSuppressionResult> RunCellSuppressionImpl(
     const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config) {
+    const AnonymizationConfig& config, ExecutionGovernor* governor) {
   INCOGNITO_SPAN("model.cell_suppression");
   INCOGNITO_COUNT("model.cell_suppression.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
@@ -49,9 +50,38 @@ Result<CellSuppressionResult> RunCellSuppression(
   }
 
   CellSuppressionResult result;
+  Stopwatch timer;
+  // Per round the grouping pass materializes one hash-map entry per group
+  // — the frequency-set analogue this model charges.
+  const int64_t round_bytes =
+      static_cast<int64_t>(rows) *
+      (static_cast<int64_t>(n) * static_cast<int64_t>(sizeof(int32_t)) + 48);
+
+  // Wraps a budget trip into a partial result with an EMPTY view: the
+  // intermediate recoding is not yet k-anonymous.
+  auto stop_early = [&](Status trip) -> PartialResult<CellSuppressionResult> {
+    CellSuppressionResult partial;
+    partial.stats = result.stats;
+    partial.stats.total_seconds = timer.ElapsedSeconds();
+    if (governor != nullptr) governor->ExportTrips(&partial.stats);
+    if (IsResourceGovernance(trip.code())) {
+      return PartialResult<CellSuppressionResult>::Partial(
+          std::move(trip), std::move(partial));
+    }
+    return trip;
+  };
+
   std::vector<bool> violating(rows, false);
   std::vector<bool> removed(rows, false);
   while (true) {
+    if (governor != nullptr) {
+      Status checkpoint = governor->Check();
+      if (!checkpoint.ok()) return stop_early(std::move(checkpoint));
+      Status charged = governor->ChargeMemory(round_bytes);
+      if (!charged.ok()) return stop_early(std::move(charged));
+    }
+    ++result.stats.nodes_checked;
+    ++result.stats.table_scans;
     std::unordered_map<std::vector<int32_t>, int64_t, VecHash> groups;
     for (size_t r = 0; r < rows; ++r) {
       if (!removed[r]) ++groups[cell[r]];
@@ -61,7 +91,10 @@ Result<CellSuppressionResult> RunCellSuppression(
       violating[r] = !removed[r] && groups[cell[r]] < config.k;
       if (violating[r]) ++below;
     }
-    if (below == 0) break;
+    if (below == 0) {
+      if (governor != nullptr) governor->ReleaseMemory(round_bytes);
+      break;
+    }
 
     // Pick the attribute with the most distinct (unsuppressed) values
     // among the violating tuples; suppressing it merges the most groups.
@@ -85,6 +118,7 @@ Result<CellSuppressionResult> RunCellSuppression(
           ++result.tuples_suppressed;
         }
       }
+      if (governor != nullptr) governor->ReleaseMemory(round_bytes);
       break;
     }
     size_t best = 0;
@@ -97,6 +131,7 @@ Result<CellSuppressionResult> RunCellSuppression(
         ++result.cells_suppressed;
       }
     }
+    if (governor != nullptr) governor->ReleaseMemory(round_bytes);
   }
 
   // Materialize the view.
@@ -121,7 +156,26 @@ Result<CellSuppressionResult> RunCellSuppression(
     }
     INCOGNITO_RETURN_IF_ERROR(result.view.AppendRow(row));
   }
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  if (governor != nullptr) governor->ExportTrips(&result.stats);
   return result;
+}
+
+}  // namespace
+
+Result<CellSuppressionResult> RunCellSuppression(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config) {
+  PartialResult<CellSuppressionResult> run =
+      RunCellSuppressionImpl(table, qid, config, nullptr);
+  if (!run.complete()) return run.status();
+  return std::move(run).value();
+}
+
+PartialResult<CellSuppressionResult> RunCellSuppression(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor& governor) {
+  return RunCellSuppressionImpl(table, qid, config, &governor);
 }
 
 }  // namespace incognito

@@ -7,6 +7,7 @@
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
 #include "relation/table.h"
+#include "robust/partial_result.h"
 
 namespace incognito {
 
@@ -15,6 +16,9 @@ struct CellSuppressionResult {
   Table view;
   int64_t cells_suppressed = 0;
   int64_t tuples_suppressed = 0;
+
+  /// Suppression rounds evaluated plus governor activity (governed runs).
+  AlgorithmStats stats;
 };
 
 /// Local recoding by Cell Suppression (paper §5.2, [1, 13, 20]): instead of
@@ -32,6 +36,15 @@ struct CellSuppressionResult {
 Result<CellSuppressionResult> RunCellSuppression(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config);
+
+/// Governed variant: polls `governor` per suppression round and charges
+/// each round's grouping structure against its memory budget. A budget
+/// trip returns PartialResult::Partial with an EMPTY view (the
+/// intermediate recoding is not yet k-anonymous and must not be released);
+/// only the stats carry the progress made.
+PartialResult<CellSuppressionResult> RunCellSuppression(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor& governor);
 
 }  // namespace incognito
 

@@ -11,9 +11,13 @@
 
 namespace incognito {
 
-Result<DataflyResult> RunDatafly(const Table& table,
-                                 const QuasiIdentifier& qid,
-                                 const AnonymizationConfig& config) {
+namespace {
+
+/// Shared implementation; `governor` == nullptr is the ungoverned path.
+PartialResult<DataflyResult> RunDataflyImpl(const Table& table,
+                                            const QuasiIdentifier& qid,
+                                            const AnonymizationConfig& config,
+                                            ExecutionGovernor* governor) {
   INCOGNITO_SPAN("model.datafly");
   INCOGNITO_COUNT("model.datafly.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
@@ -30,12 +34,38 @@ Result<DataflyResult> RunDatafly(const Table& table,
   // tuples violate k-anonymity; the remainder is suppressed.
   const int64_t budget = std::max(config.k, config.max_suppressed);
 
+  // Wraps a budget trip into a partial result: the greedy walk's current
+  // node is reported, but the view stays empty — the intermediate state is
+  // not k-anonymous and releasing it would violate the privacy contract.
+  auto stop_early = [&](Status trip) -> PartialResult<DataflyResult> {
+    result.node = node;
+    result.stats.total_seconds = timer.ElapsedSeconds();
+    if (governor != nullptr) governor->ExportTrips(&result.stats);
+    if (IsResourceGovernance(trip.code())) {
+      return PartialResult<DataflyResult>::Partial(std::move(trip),
+                                                   std::move(result));
+    }
+    return trip;
+  };
+
   while (true) {
+    if (governor != nullptr) {
+      Status checkpoint = governor->Check();
+      if (!checkpoint.ok()) return stop_early(std::move(checkpoint));
+    }
     FrequencySet freq = FrequencySet::Compute(table, qid, node);
+    int64_t freq_bytes = static_cast<int64_t>(freq.MemoryBytes());
+    if (governor != nullptr) {
+      Status charged = governor->ChargeMemory(freq_bytes);
+      if (!charged.ok()) return stop_early(std::move(charged));
+    }
     ++result.stats.table_scans;
     ++result.stats.nodes_checked;
     result.stats.freq_groups_built += static_cast<int64_t>(freq.NumGroups());
-    if (freq.TuplesBelowK(config.k) <= budget) break;
+    if (freq.TuplesBelowK(config.k) <= budget) {
+      if (governor != nullptr) governor->ReleaseMemory(freq_bytes);
+      break;
+    }
 
     // Count distinct generalized values per attribute in the current view.
     std::vector<std::unordered_set<int32_t>> distinct(n);
@@ -56,6 +86,7 @@ Result<DataflyResult> RunDatafly(const Table& table,
         best_distinct = distinct[i].size();
       }
     }
+    if (governor != nullptr) governor->ReleaseMemory(freq_bytes);
     if (best < 0) break;  // everything at the top; suppression must finish it
     ++node.levels[static_cast<size_t>(best)];
   }
@@ -70,7 +101,26 @@ Result<DataflyResult> RunDatafly(const Table& table,
   result.view = std::move(recoded.value().view);
   result.suppressed_tuples = recoded.value().suppressed_tuples;
   result.stats.total_seconds = timer.ElapsedSeconds();
+  if (governor != nullptr) governor->ExportTrips(&result.stats);
   return result;
+}
+
+}  // namespace
+
+Result<DataflyResult> RunDatafly(const Table& table,
+                                 const QuasiIdentifier& qid,
+                                 const AnonymizationConfig& config) {
+  PartialResult<DataflyResult> run =
+      RunDataflyImpl(table, qid, config, nullptr);
+  if (!run.complete()) return run.status();
+  return std::move(run).value();
+}
+
+PartialResult<DataflyResult> RunDatafly(const Table& table,
+                                        const QuasiIdentifier& qid,
+                                        const AnonymizationConfig& config,
+                                        ExecutionGovernor& governor) {
+  return RunDataflyImpl(table, qid, config, &governor);
 }
 
 }  // namespace incognito

@@ -6,6 +6,7 @@
 #include "core/quasi_identifier.h"
 #include "lattice/node.h"
 #include "relation/table.h"
+#include "robust/partial_result.h"
 
 namespace incognito {
 
@@ -29,6 +30,17 @@ struct DataflyResult {
 Result<DataflyResult> RunDatafly(const Table& table,
                                  const QuasiIdentifier& qid,
                                  const AnonymizationConfig& config);
+
+/// Governed variant: polls `governor` per greedy generalization step and
+/// charges each step's frequency set against its memory budget. A budget
+/// trip returns PartialResult::Partial carrying the node the greedy walk
+/// had reached — but an EMPTY view and suppressed_tuples == 0, because
+/// Datafly's intermediate state is NOT yet k-anonymous and must not be
+/// released.
+PartialResult<DataflyResult> RunDatafly(const Table& table,
+                                        const QuasiIdentifier& qid,
+                                        const AnonymizationConfig& config,
+                                        ExecutionGovernor& governor);
 
 }  // namespace incognito
 

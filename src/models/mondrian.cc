@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "obs/obs.h"
 
@@ -16,11 +17,10 @@ struct Partition {
   std::vector<size_t> row_indices;
 };
 
-}  // namespace
-
-Result<MondrianResult> RunMondrian(const Table& table,
-                                   const QuasiIdentifier& qid,
-                                   const AnonymizationConfig& config) {
+/// Shared implementation; `governor` == nullptr is the ungoverned path.
+PartialResult<MondrianResult> RunMondrianImpl(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor* governor) {
   INCOGNITO_SPAN("model.mondrian");
   INCOGNITO_COUNT("model.mondrian.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
@@ -61,8 +61,25 @@ Result<MondrianResult> RunMondrian(const Table& table,
     for (size_t r = 0; r < table.num_rows(); ++r) all.row_indices[r] = r;
     work.push_back(std::move(all));
   }
+  Stopwatch timer;
+  AlgorithmStats stats;
+  Status trip;  // first governance trip (refinement stops, view released)
   std::vector<size_t> scratch;
   while (!work.empty()) {
+    if (governor != nullptr) {
+      Status checkpoint = governor->Check();
+      if (!checkpoint.ok()) {
+        if (!IsResourceGovernance(checkpoint.code())) return checkpoint;
+        // Graceful degradation: stop refining and release every pending
+        // partition unsplit — each still holds >= k tuples, so the coarser
+        // view remains k-anonymous.
+        trip = std::move(checkpoint);
+        for (Partition& p : work) done.push_back(std::move(p));
+        work.clear();
+        break;
+      }
+    }
+    ++stats.nodes_checked;
     Partition part = std::move(work.back());
     work.pop_back();
 
@@ -179,7 +196,32 @@ Result<MondrianResult> RunMondrian(const Table& table,
       INCOGNITO_RETURN_IF_ERROR(result.view.AppendRow(row));
     }
   }
+  stats.total_seconds = timer.ElapsedSeconds();
+  if (governor != nullptr) governor->ExportTrips(&stats);
+  result.stats = stats;
+  if (!trip.ok()) {
+    return PartialResult<MondrianResult>::Partial(std::move(trip),
+                                                  std::move(result));
+  }
   return result;
+}
+
+}  // namespace
+
+Result<MondrianResult> RunMondrian(const Table& table,
+                                   const QuasiIdentifier& qid,
+                                   const AnonymizationConfig& config) {
+  PartialResult<MondrianResult> run =
+      RunMondrianImpl(table, qid, config, nullptr);
+  if (!run.complete()) return run.status();
+  return std::move(run).value();
+}
+
+PartialResult<MondrianResult> RunMondrian(const Table& table,
+                                          const QuasiIdentifier& qid,
+                                          const AnonymizationConfig& config,
+                                          ExecutionGovernor& governor) {
+  return RunMondrianImpl(table, qid, config, &governor);
 }
 
 }  // namespace incognito

@@ -7,6 +7,7 @@
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
 #include "relation/table.h"
+#include "robust/partial_result.h"
 
 namespace incognito {
 
@@ -14,6 +15,9 @@ namespace incognito {
 struct MondrianResult {
   Table view;
   size_t num_partitions = 0;
+
+  /// Split steps evaluated plus governor activity (governed runs).
+  AlgorithmStats stats;
 };
 
 /// Multi-Dimension Ordered-Set Partitioning (paper §5.1.4) realized by the
@@ -31,6 +35,16 @@ struct MondrianResult {
 Result<MondrianResult> RunMondrian(const Table& table,
                                    const QuasiIdentifier& qid,
                                    const AnonymizationConfig& config);
+
+/// Governed variant: polls `governor` once per split step. On a budget
+/// trip, refinement stops and every unrefined partition is released as-is
+/// — the partial view is COARSER than the full answer but still
+/// k-anonymous (every partition holds >= k tuples by construction), the
+/// model's graceful degradation.
+PartialResult<MondrianResult> RunMondrian(const Table& table,
+                                          const QuasiIdentifier& qid,
+                                          const AnonymizationConfig& config,
+                                          ExecutionGovernor& governor);
 
 }  // namespace incognito
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "obs/obs.h"
 
@@ -65,11 +66,10 @@ struct AttributePartition {
   }
 };
 
-}  // namespace
-
-Result<OrderedSetResult> RunOrderedSetPartition(
+/// Shared implementation; `governor` == nullptr is the ungoverned path.
+PartialResult<OrderedSetResult> RunOrderedSetImpl(
     const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config) {
+    const AnonymizationConfig& config, ExecutionGovernor* governor) {
   INCOGNITO_SPAN("model.ordered_set");
   INCOGNITO_COUNT("model.ordered_set.runs");
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
@@ -87,8 +87,38 @@ Result<OrderedSetResult> RunOrderedSetPartition(
     cols[i] = table.ColumnCodes(qid.column(i)).data();
   }
 
+  Stopwatch timer;
+  AlgorithmStats stats;
+  // Per round the grouping pass materializes one interval key per row plus
+  // the group hash map — the frequency-set analogue this model charges.
+  const int64_t round_bytes =
+      static_cast<int64_t>(rows) *
+      (static_cast<int64_t>(n) * static_cast<int64_t>(sizeof(int32_t)) + 48);
+
+  // Wraps a budget trip into a partial result with an EMPTY view: the
+  // intermediate partitioning is not yet k-anonymous.
+  auto stop_early = [&](Status trip) -> PartialResult<OrderedSetResult> {
+    OrderedSetResult partial;
+    stats.total_seconds = timer.ElapsedSeconds();
+    if (governor != nullptr) governor->ExportTrips(&stats);
+    partial.stats = stats;
+    if (IsResourceGovernance(trip.code())) {
+      return PartialResult<OrderedSetResult>::Partial(std::move(trip),
+                                                      std::move(partial));
+    }
+    return trip;
+  };
+
   std::vector<bool> violating(rows, false);
   while (true) {
+    if (governor != nullptr) {
+      Status checkpoint = governor->Check();
+      if (!checkpoint.ok()) return stop_early(std::move(checkpoint));
+      Status charged = governor->ChargeMemory(round_bytes);
+      if (!charged.ok()) return stop_early(std::move(charged));
+    }
+    ++stats.nodes_checked;
+    ++stats.table_scans;
     std::unordered_map<std::vector<int32_t>, int64_t, VecHash> groups;
     std::vector<std::vector<int32_t>> keys(rows, std::vector<int32_t>(n));
     for (size_t r = 0; r < rows; ++r) {
@@ -104,6 +134,7 @@ Result<OrderedSetResult> RunOrderedSetPartition(
       violating[r] = groups[keys[r]] < config.k;
       if (violating[r]) ++below;
     }
+    if (governor != nullptr) governor->ReleaseMemory(round_bytes);
     if (below <= budget) break;
 
     // Halve the partition of the attribute with the most intervals.
@@ -152,7 +183,27 @@ Result<OrderedSetResult> RunOrderedSetPartition(
     }
     INCOGNITO_RETURN_IF_ERROR(result.view.AppendRow(row));
   }
+  stats.total_seconds = timer.ElapsedSeconds();
+  if (governor != nullptr) governor->ExportTrips(&stats);
+  result.stats = stats;
   return result;
+}
+
+}  // namespace
+
+Result<OrderedSetResult> RunOrderedSetPartition(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config) {
+  PartialResult<OrderedSetResult> run =
+      RunOrderedSetImpl(table, qid, config, nullptr);
+  if (!run.complete()) return run.status();
+  return std::move(run).value();
+}
+
+PartialResult<OrderedSetResult> RunOrderedSetPartition(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor& governor) {
+  return RunOrderedSetImpl(table, qid, config, &governor);
 }
 
 Result<OptimalUnivariateResult> OptimalUnivariatePartition(

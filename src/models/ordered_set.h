@@ -8,6 +8,7 @@
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
 #include "relation/table.h"
+#include "robust/partial_result.h"
 
 namespace incognito {
 
@@ -17,6 +18,9 @@ struct OrderedSetResult {
   int64_t suppressed_tuples = 0;
   /// Final interval count per quasi-identifier attribute.
   std::vector<size_t> intervals_per_attribute;
+
+  /// Refinement rounds evaluated plus governor activity (governed runs).
+  AlgorithmStats stats;
 };
 
 /// Single-Dimension Ordered-Set Partitioning (paper §5.1.2, the model of
@@ -33,6 +37,15 @@ struct OrderedSetResult {
 Result<OrderedSetResult> RunOrderedSetPartition(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config);
+
+/// Governed variant: polls `governor` per merge round and charges each
+/// round's grouping structure against its memory budget. A budget trip
+/// returns PartialResult::Partial with an EMPTY view (the intermediate
+/// partitioning is not yet k-anonymous and must not be released); only the
+/// stats carry the progress made.
+PartialResult<OrderedSetResult> RunOrderedSetPartition(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor& governor);
 
 /// Output of the exact univariate partitioner.
 struct OptimalUnivariateResult {

@@ -151,6 +151,10 @@ void AddAlgorithmStats(const AlgorithmStats& stats, RunReport* report) {
   report->stats_["rollups"] = stats.rollups;
   report->stats_["freq_groups_built"] = stats.freq_groups_built;
   report->stats_["candidate_nodes"] = stats.candidate_nodes;
+  report->stats_["governor_checks"] = stats.governor_checks;
+  report->stats_["deadline_trips"] = stats.deadline_trips;
+  report->stats_["memory_trips"] = stats.memory_trips;
+  report->stats_["cancel_trips"] = stats.cancel_trips;
   report->stat_timings_["cube_build_seconds"] = stats.cube_build_seconds;
   report->stat_timings_["total_seconds"] = stats.total_seconds;
   report->has_stats_ = true;

@@ -32,7 +32,7 @@ namespace obs {
 /// identical bytes (the golden test relies on this).
 class RunReport {
  public:
-  static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersion = 2;
 
   RunReport(std::string tool, std::string command);
 

@@ -3,8 +3,11 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "common/strings.h"
+#include "robust/fault_injector.h"
+#include "robust/safe_io.h"
 
 namespace incognito {
 
@@ -107,9 +110,8 @@ uint8_t TypeTag(DataType type) {
 }  // namespace
 
 Status WriteTableBinary(const Table& table, const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
-  Writer w(file);
+  std::ostringstream buf;
+  Writer w(buf);
   w.Bytes(kMagic, 4);
   w.U32(kVersion);
   w.U32(static_cast<uint32_t>(table.num_columns()));
@@ -141,13 +143,19 @@ Status WriteTableBinary(const Table& table, const std::string& path) {
     const std::vector<int32_t>& codes = table.ColumnCodes(c);
     w.Bytes(codes.data(), codes.size() * sizeof(int32_t));
   }
-  if (!file) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  if (!buf) return Status::IOError("serializing table for '" + path + "' failed");
+  return WriteFileAtomic(path, buf.str(), "binary_io.write");
 }
 
 Result<Table> ReadTableBinary(const std::string& path) {
+  INCOGNITO_FAULT_POINT(
+      "binary_io.read.open",
+      Status::IOError("injected open failure reading '" + path + "'"));
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IOError("cannot open '" + path + "'");
+  INCOGNITO_FAULT_POINT(
+      "binary_io.read.io",
+      Status::IOError("injected read failure for '" + path + "'"));
   Reader r(file);
   char magic[4];
   r.Bytes(magic, 4);

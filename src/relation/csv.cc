@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "robust/safe_io.h"
 
 namespace incognito {
 namespace {
@@ -109,6 +110,15 @@ Result<Table> ParseCsv(const std::string& content,
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() && in.eof()) break;
+    if (options.max_row_bytes > 0 && line.size() > options.max_row_bytes) {
+      return Status::InvalidArgument(StringPrintf(
+          "line %zu is %zu bytes, over the %zu-byte row limit", line_no,
+          line.size(), options.max_row_bytes));
+    }
+    if (line.find('\0') != std::string::npos) {
+      return Status::InvalidArgument(StringPrintf(
+          "line %zu contains an embedded NUL byte", line_no));
+    }
     std::vector<std::string> fields;
     if (!SplitCsvLine(line, options.separator, &fields)) {
       return Status::InvalidArgument(
@@ -151,11 +161,9 @@ Result<Table> ParseCsv(const std::string& content,
 }
 
 Result<Table> ReadCsv(const std::string& path, const CsvReadOptions& options) {
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << file.rdbuf();
-  return ParseCsv(buf.str(), options);
+  Result<std::string> content = ReadFileToString(path, "csv.read");
+  INCOGNITO_RETURN_IF_ERROR(content.status());
+  return ParseCsv(content.value(), options);
 }
 
 std::string ToCsvString(const Table& table, char sep) {
@@ -176,11 +184,7 @@ std::string ToCsvString(const Table& table, char sep) {
 }
 
 Status WriteCsv(const Table& table, const std::string& path, char sep) {
-  std::ofstream file(path);
-  if (!file) return Status::IOError("cannot open '" + path + "' for writing");
-  file << ToCsvString(table, sep);
-  if (!file) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  return WriteFileAtomic(path, ToCsvString(table, sep), "csv.write");
 }
 
 }  // namespace incognito

@@ -17,6 +17,9 @@ struct CsvReadOptions {
   /// If true, attempt to parse each column as int64, then double, falling
   /// back to string (a column gets the narrowest type every row satisfies).
   bool infer_types = true;
+  /// Rows longer than this many bytes are rejected with InvalidArgument
+  /// (guards against pathological or corrupt input). 0 means unlimited.
+  size_t max_row_bytes = 1 << 20;
 };
 
 /// Reads a CSV file into a Table. Fields may be double-quoted; embedded

@@ -1,0 +1,103 @@
+#ifndef INCOGNITO_ROBUST_FAULT_INJECTOR_H_
+#define INCOGNITO_ROBUST_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace incognito {
+
+/// Deterministic fault injection for testing failure paths. Library I/O
+/// and allocation sites are annotated with INCOGNITO_FAULT_POINT(site,
+/// status); when a configured injection fires at a site, the enclosing
+/// function returns `status` exactly as if the real operation had failed.
+///
+/// Two modes, combinable:
+///   - Scripted: "fail the Nth hit of site X" (ScriptFailNthHit); each
+///     script entry fires once and is then consumed, so a retry succeeds.
+///   - Random: every hit fails with probability p, driven by the seeded
+///     SplitMix64 PRNG from common/random.h, so a failing sequence is
+///     reproducible from the printed seed.
+///
+/// The injector object is always compiled (tests can configure it
+/// unconditionally), but the fault *points* compile to nothing unless the
+/// build defines INCOGNITO_FAULTS (CMake option of the same name), the
+/// same pattern INCOGNITO_OBS_DISABLED uses for the obs macros — a
+/// production build carries zero injection cost.
+class FaultInjector {
+ public:
+  /// True when this build wired the fault points into the library.
+  static constexpr bool kCompiledIn =
+#ifdef INCOGNITO_FAULTS
+      true;
+#else
+      false;
+#endif
+
+  /// The injector the INCOGNITO_FAULT_POINT macro consults.
+  static FaultInjector& Global();
+
+  /// The catalog of every fault site wired into the library, for tests
+  /// that iterate all failure paths (docs/ROBUSTNESS.md documents each).
+  static const std::vector<std::string>& KnownSites();
+
+  /// Clears all scripts, random mode, and hit counters.
+  void Reset();
+
+  /// Arms the random mode: every hit fails with probability `probability`.
+  void EnableRandom(uint64_t seed, double probability);
+
+  /// Arms a one-shot script: the `nth` hit (1-based) of `site` fails.
+  void ScriptFailNthHit(const std::string& site, int64_t nth);
+
+  /// Parses and arms a spec — either "SITE:N" (fail the Nth hit of SITE)
+  /// or "rand:SEED:PROB". Rejects unknown sites and malformed specs.
+  Status Configure(const std::string& spec);
+
+  /// Records a hit of `site`; returns true when the configured injection
+  /// says this hit should fail. Called by INCOGNITO_FAULT_POINT.
+  bool Hit(const std::string& site);
+
+  /// Total hits recorded at `site` since the last Reset().
+  int64_t HitCount(const std::string& site) const;
+
+  /// Faults fired since the last Reset().
+  int64_t FaultsFired() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> hits_;
+  std::map<std::string, int64_t> scripted_;  // site -> nth hit to fail
+  bool random_armed_ = false;
+  uint64_t rng_state_ = 0;
+  double probability_ = 0;
+  int64_t fired_ = 0;
+};
+
+}  // namespace incognito
+
+/// Annotates a failure-injection site: when the global injector fires for
+/// `site`, the enclosing function returns `status_expr` (any expression
+/// convertible to the function's return type — a Status for Status-
+/// returning functions, which also implicitly converts to Result<T> and
+/// PartialResult<T>). Compiled out entirely unless INCOGNITO_FAULTS is
+/// defined.
+#ifdef INCOGNITO_FAULTS
+#define INCOGNITO_FAULT_POINT(site, status_expr)                \
+  do {                                                          \
+    if (::incognito::FaultInjector::Global().Hit(site)) {       \
+      return (status_expr);                                     \
+    }                                                           \
+  } while (0)
+#else
+// sizeof keeps `site` formally used (no -Wunused warnings at call sites)
+// without evaluating it.
+#define INCOGNITO_FAULT_POINT(site, status_expr) \
+  static_cast<void>(sizeof((void)(site), 0))
+#endif
+
+#endif  // INCOGNITO_ROBUST_FAULT_INJECTOR_H_

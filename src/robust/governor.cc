@@ -1,0 +1,55 @@
+#include "robust/governor.h"
+
+#include "common/strings.h"
+#include "core/checker.h"
+#include "obs/obs.h"
+#include "robust/fault_injector.h"
+
+namespace incognito {
+
+Status ExecutionGovernor::Check() {
+  if (!trip_.ok()) return trip_;
+  ++trips_.checks;
+  if (cancel_ != nullptr && cancel_->Cancelled()) {
+    ++trips_.cancel_trips;
+    INCOGNITO_COUNT("governor.cancel_trips");
+    trip_ = Status::Cancelled("cancelled by caller");
+    return trip_;
+  }
+  if (deadline_.Expired()) {
+    ++trips_.deadline_trips;
+    INCOGNITO_COUNT("governor.deadline_trips");
+    trip_ = Status::DeadlineExceeded("deadline expired");
+    return trip_;
+  }
+  return Status::OK();
+}
+
+Status ExecutionGovernor::ChargeMemory(int64_t bytes) {
+  INCOGNITO_FAULT_POINT("governor.charge",
+                        Status::ResourceExhausted(
+                            "injected allocation failure (governor.charge)"));
+  if (!trip_.ok()) return trip_;
+  if (!memory_.TryCharge(bytes)) {
+    ++trips_.memory_trips;
+    INCOGNITO_COUNT("governor.memory_trips");
+    Status refused = Status::ResourceExhausted(StringPrintf(
+        "memory budget exceeded: %lld bytes used + %lld requested > %lld "
+        "limit",
+        static_cast<long long>(memory_.used()),
+        static_cast<long long>(bytes),
+        static_cast<long long>(memory_.limit())));
+    if (trip_.ok()) trip_ = refused;
+    return refused;
+  }
+  return Status::OK();
+}
+
+void ExecutionGovernor::ExportTrips(AlgorithmStats* stats) const {
+  stats->governor_checks = trips_.checks;
+  stats->deadline_trips = trips_.deadline_trips;
+  stats->memory_trips = trips_.memory_trips;
+  stats->cancel_trips = trips_.cancel_trips;
+}
+
+}  // namespace incognito

@@ -1,0 +1,184 @@
+#ifndef INCOGNITO_ROBUST_GOVERNOR_H_
+#define INCOGNITO_ROBUST_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace incognito {
+
+struct AlgorithmStats;
+
+/// A cooperative, monotonic-clock deadline. Default-constructed deadlines
+/// never expire; AfterMillis(ms) expires `ms` milliseconds from now.
+/// Checking an infinite deadline never reads the clock.
+class Deadline {
+ public:
+  Deadline() = default;  // infinite
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// A deadline `ms` milliseconds from now; ms < 0 means infinite, ms == 0
+  /// is already expired (useful to force an immediate budget trip).
+  static Deadline AfterMillis(int64_t ms) {
+    Deadline d;
+    if (ms >= 0) {
+      d.infinite_ = false;
+      d.expires_ =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    }
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool Expired() const {
+    return !infinite_ && std::chrono::steady_clock::now() >= expires_;
+  }
+
+  /// Seconds until expiry (negative once expired); +infinity when infinite.
+  double RemainingSeconds() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(expires_ -
+                                         std::chrono::steady_clock::now())
+        .count();
+  }
+
+ private:
+  bool infinite_ = true;
+  std::chrono::steady_clock::time_point expires_{};
+};
+
+/// A cancellation flag settable from any thread. The governed algorithms
+/// poll it at lattice-node granularity, so cancellation takes effect within
+/// one node-check of Cancel() being called.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Byte accounting for the memory-hungry structures the search algorithms
+/// build (frequency sets, the zero-generalization cube, Apriori hash
+/// trees). Charges are approximate heap footprints reported by the
+/// structures themselves (FrequencySet::MemoryBytes etc.); a limit of 0
+/// means unlimited.
+class MemoryBudget {
+ public:
+  MemoryBudget() = default;
+  explicit MemoryBudget(int64_t limit_bytes) : limit_(limit_bytes) {}
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Replaces the limit and clears the byte accounting. Call before a run,
+  /// never mid-run.
+  void SetLimit(int64_t limit_bytes) {
+    limit_ = limit_bytes;
+    used_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Adds `bytes` to the live total. Returns false — without charging —
+  /// when the addition would push the total past the limit.
+  bool TryCharge(int64_t bytes) {
+    int64_t next = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limit_ > 0 && next > limit_) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (next > peak &&
+           !peak_.compare_exchange_weak(peak, next,
+                                        std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
+  void Release(int64_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int64_t limit() const { return limit_; }
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  int64_t limit_ = 0;  // 0 = unlimited
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// Counts of governor activity during one governed run; exported into
+/// AlgorithmStats so run reports show *why* a run degraded.
+struct GovernorTrips {
+  int64_t checks = 0;          ///< cooperative checkpoints evaluated
+  int64_t deadline_trips = 0;  ///< checkpoints that saw an expired deadline
+  int64_t memory_trips = 0;    ///< charges refused by the memory budget
+  int64_t cancel_trips = 0;    ///< checkpoints that saw cancellation
+};
+
+/// Bundles the three cooperative budgets every governed entry point
+/// accepts: a Deadline, an optional CancelToken (owned by the caller, who
+/// may Cancel() it from another thread), and a MemoryBudget.
+///
+/// Algorithms call Check() once per lattice node and ChargeMemory() at
+/// every frequency-set/cube/hash-tree allocation site. The first non-OK
+/// outcome latches: every later Check() returns the same status, so one
+/// trip unwinds the whole search deterministically. Construct a fresh
+/// governor per run; trip state and byte accounting are not reusable.
+class ExecutionGovernor {
+ public:
+  ExecutionGovernor() = default;
+  ExecutionGovernor(const ExecutionGovernor&) = delete;
+  ExecutionGovernor& operator=(const ExecutionGovernor&) = delete;
+
+  void SetDeadline(Deadline deadline) { deadline_ = deadline; }
+  void SetCancelToken(const CancelToken* token) { cancel_ = token; }
+  void SetMemoryLimitBytes(int64_t bytes) { memory_.SetLimit(bytes); }
+
+  /// The cooperative checkpoint: returns OK to continue, or the (latched)
+  /// trip status. Cancellation is checked before the deadline so an
+  /// explicit Cancel() wins the race against an expiring clock.
+  Status Check();
+
+  /// Charges `bytes` against the memory budget; kResourceExhausted (also
+  /// latched) when the budget refuses. Compiled with INCOGNITO_FAULTS this
+  /// is an allocation-failure injection site ("governor.charge").
+  Status ChargeMemory(int64_t bytes);
+
+  void ReleaseMemory(int64_t bytes) { memory_.Release(bytes); }
+
+  bool Tripped() const { return !trip_.ok(); }
+  const Status& TripStatus() const { return trip_; }
+  const GovernorTrips& trips() const { return trips_; }
+  const MemoryBudget& memory() const { return memory_; }
+
+  /// Snapshots this governor's trip counters into `stats` (the governed
+  /// entry points call this before returning). Overwrite semantics: the
+  /// stats fields always reflect this governor's lifetime totals, so
+  /// repeated exports during one run never double-count.
+  void ExportTrips(AlgorithmStats* stats) const;
+
+ private:
+  Deadline deadline_;
+  const CancelToken* cancel_ = nullptr;
+  MemoryBudget memory_;
+  GovernorTrips trips_;
+  Status trip_;  // first trip, latched
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_ROBUST_GOVERNOR_H_

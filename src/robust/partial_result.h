@@ -1,0 +1,67 @@
+#ifndef INCOGNITO_ROBUST_PARTIAL_RESULT_H_
+#define INCOGNITO_ROBUST_PARTIAL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+
+#include "common/status.h"
+
+namespace incognito {
+
+/// The return type of governed entry points (the ExecutionGovernor
+/// overloads of RunIncognito and friends). Unlike Result<T>, a non-OK
+/// status does not necessarily discard the value: when a cooperative
+/// budget trips (kDeadlineExceeded / kResourceExhausted / kCancelled) the
+/// value holds everything *proven* before the trip — e.g. the nodes
+/// confirmed k-anonymous so far — and is sound, just possibly incomplete.
+///
+/// Three states:
+///   complete()    status is OK; the value is the full answer.
+///   partial()     status is a resource-governance code; the value is a
+///                 valid prefix of the answer (possibly empty).
+///   hard_error()  any other non-OK status (invalid argument, I/O, ...);
+///                 the value is default-constructed and meaningless.
+template <typename T>
+class PartialResult {
+ public:
+  /// Implicit construction from a value: a complete result.
+  PartialResult(T value) : value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status: a hard error.
+  PartialResult(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() &&
+           "PartialResult constructed from OK status without value");
+  }
+
+  /// A partial result: a budget trip plus everything proven so far.
+  static PartialResult Partial(Status status, T value) {
+    assert(IsResourceGovernance(status.code()));
+    PartialResult r(std::move(value));
+    r.status_ = std::move(status);
+    return r;
+  }
+
+  bool complete() const { return status_.ok(); }
+  bool partial() const { return IsResourceGovernance(status_.code()); }
+  bool hard_error() const { return !complete() && !partial(); }
+
+  const Status& status() const { return status_; }
+
+  /// The (full or partial) value; meaningless after a hard error.
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_ROBUST_PARTIAL_RESULT_H_

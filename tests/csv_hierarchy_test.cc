@@ -126,5 +126,35 @@ TEST(CsvHierarchyTest, ReadMissingFileFails) {
             StatusCode::kIOError);
 }
 
+std::string DataPath(const std::string& name) {
+  return std::string(INCOGNITO_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(CsvHierarchyTest, EmbeddedNulByteIsRejected) {
+  Dictionary d = DictOf({Value("v1")});
+  Result<ValueHierarchy> h =
+      ReadHierarchyCsv("x", DataPath("malformed_hierarchy_nul.csv"), d);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(h.status().message().find("NUL"), std::string::npos);
+}
+
+TEST(CsvHierarchyTest, SingleColumnRowIsRejected) {
+  Dictionary d = DictOf({Value("v1")});
+  Result<ValueHierarchy> h = ReadHierarchyCsv(
+      "x", DataPath("malformed_hierarchy_one_col.csv"), d);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvHierarchyTest, OverlongRowIsRejected) {
+  Dictionary d = DictOf({Value("v1")});
+  std::string row = "v1;" + std::string((1 << 20) + 16, 'x') + "\n";
+  Result<ValueHierarchy> h = ParseHierarchyCsv("x", row, d);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(h.status().message().find("row limit"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace incognito

@@ -112,5 +112,50 @@ TEST(CsvTest, ReadMissingFileFails) {
             StatusCode::kIOError);
 }
 
+std::string DataPath(const std::string& name) {
+  return std::string(INCOGNITO_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(CsvTest, CrlfLineEndingsAreStripped) {
+  Result<Table> t = ReadCsv(DataPath("crlf_rows.csv"));
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 1), Value("x"));  // no trailing \r in the cell
+}
+
+TEST(CsvTest, EmbeddedNulByteIsRejected) {
+  Result<Table> t = ReadCsv(DataPath("malformed_nul.csv"));
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("NUL"), std::string::npos);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsRejected) {
+  Result<Table> t = ReadCsv(DataPath("malformed_unterminated.csv"));
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(CsvTest, RaggedRowIsRejected) {
+  Result<Table> t = ReadCsv(DataPath("malformed_ragged.csv"));
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RowOverMaxRowBytesIsRejected) {
+  CsvReadOptions opts;
+  opts.max_row_bytes = 1024;  // the fixture's data row is ~2 KiB
+  Result<Table> t = ReadCsv(DataPath("malformed_long_row.csv"), opts);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("row limit"), std::string::npos);
+  // The default limit (1 MiB) accepts the same file.
+  EXPECT_TRUE(ReadCsv(DataPath("malformed_long_row.csv")).ok());
+  // max_row_bytes = 0 disables the guard entirely.
+  opts.max_row_bytes = 0;
+  EXPECT_TRUE(ReadCsv(DataPath("malformed_long_row.csv"), opts).ok());
+}
+
 }  // namespace
 }  // namespace incognito

@@ -241,7 +241,7 @@ TEST(ObsMacroTest, CountAndPhaseTimerHitTheGlobalRegistry) {
 
 // If a field is added to AlgorithmStats, this assert fires so the tests
 // below, MergeCounters, ToString, and AddAlgorithmStats get extended.
-static_assert(sizeof(AlgorithmStats) == 8 * 8,
+static_assert(sizeof(AlgorithmStats) == 12 * 8,
               "AlgorithmStats changed: update MergeCounters/ToString/"
               "AddAlgorithmStats and these tests");
 
@@ -255,6 +255,10 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   a.candidate_nodes = 6;
   a.cube_build_seconds = 0.25;
   a.total_seconds = 100.0;
+  a.governor_checks = 7;
+  a.deadline_trips = 1;
+  a.memory_trips = 2;
+  a.cancel_trips = 3;
 
   AlgorithmStats b;
   b.nodes_checked = 10;
@@ -265,6 +269,10 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   b.candidate_nodes = 60;
   b.cube_build_seconds = 0.5;
   b.total_seconds = 200.0;
+  b.governor_checks = 70;
+  b.deadline_trips = 10;
+  b.memory_trips = 20;
+  b.cancel_trips = 30;
 
   a.MergeCounters(b);
   EXPECT_EQ(a.nodes_checked, 11);
@@ -276,6 +284,10 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   EXPECT_DOUBLE_EQ(a.cube_build_seconds, 0.75);
   // total_seconds is wall clock, deliberately NOT merged.
   EXPECT_DOUBLE_EQ(a.total_seconds, 100.0);
+  EXPECT_EQ(a.governor_checks, 77);
+  EXPECT_EQ(a.deadline_trips, 11);
+  EXPECT_EQ(a.memory_trips, 22);
+  EXPECT_EQ(a.cancel_trips, 33);
 }
 
 TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
@@ -288,6 +300,10 @@ TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
   s.candidate_nodes = 66;
   s.cube_build_seconds = 0.125;
   s.total_seconds = 2.5;
+  s.governor_checks = 77;
+  s.deadline_trips = 88;
+  s.memory_trips = 99;
+  s.cancel_trips = 12;
   std::string str = s.ToString();
   EXPECT_NE(str.find("checked=11"), std::string::npos) << str;
   EXPECT_NE(str.find("marked=22"), std::string::npos) << str;
@@ -297,6 +313,10 @@ TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
   EXPECT_NE(str.find("candidates=66"), std::string::npos) << str;
   EXPECT_NE(str.find("cube=0.125s"), std::string::npos) << str;
   EXPECT_NE(str.find("total=2.500s"), std::string::npos) << str;
+  EXPECT_NE(str.find("gov_checks=77"), std::string::npos) << str;
+  EXPECT_NE(str.find("dl_trips=88"), std::string::npos) << str;
+  EXPECT_NE(str.find("mem_trips=99"), std::string::npos) << str;
+  EXPECT_NE(str.find("cancel_trips=12"), std::string::npos) << str;
 }
 
 TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
@@ -309,6 +329,10 @@ TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
   s.candidate_nodes = 6;
   s.cube_build_seconds = 0.5;
   s.total_seconds = 1.5;
+  s.governor_checks = 7;
+  s.deadline_trips = 8;
+  s.memory_trips = 9;
+  s.cancel_trips = 10;
   RunReport report("test", "stats");
   AddAlgorithmStats(s, &report);
   std::string json = report.ToJson();
@@ -316,7 +340,8 @@ TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
   for (const char* key :
        {"nodes_checked", "nodes_marked", "table_scans", "rollups",
         "freq_groups_built", "candidate_nodes", "cube_build_seconds",
-        "total_seconds"}) {
+        "total_seconds", "governor_checks", "deadline_trips", "memory_trips",
+        "cancel_trips"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -343,6 +368,10 @@ RunReport GoldenReport() {
   stats.candidate_nodes = 28;
   stats.cube_build_seconds = 0.25;
   stats.total_seconds = 1.5;
+  stats.governor_checks = 17;
+  stats.deadline_trips = 1;
+  stats.memory_trips = 0;
+  stats.cancel_trips = 0;
   AddAlgorithmStats(stats, &report);
 
   MetricsSnapshot metrics;
@@ -390,7 +419,7 @@ TEST(RunReportTest, EmptySectionsAreOmitted) {
   EXPECT_EQ(json.find("\"stats\""), std::string::npos);
   EXPECT_EQ(json.find("\"counters\""), std::string::npos);
   EXPECT_EQ(json.find("\"spans\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
 }
 
 }  // namespace

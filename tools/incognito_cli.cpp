@@ -26,6 +26,20 @@
 //   --report=FILE    write a machine-readable RunReport JSON (config,
 //                    dataset shape, counters, per-phase span rollups)
 //
+// Resource governance (check, enumerate, anonymize):
+//   --deadline-ms=N       stop the search after N milliseconds
+//   --memory-budget-mb=N  cap the search's accounted structures at N MiB
+//   --on-budget=fail      (default) a tripped budget exits with code 5
+//   --on-budget=partial   a tripped budget releases whatever was proven
+//                         before the trip (exit 0, warning on stderr)
+//   --fault-script=SPEC   arm the fault injector ("SITE:N" or
+//                         "rand:SEED:PROB"; needs -DINCOGNITO_FAULTS=ON)
+//
+// Exit codes (docs/ROBUSTNESS.md):
+//   0  success            3  invalid input / bad flag value
+//   1  other failure      4  I/O error
+//   2  usage error        5  deadline/memory/cancel budget tripped
+//
 // Examples:
 //   incognito_cli enumerate --input=adults.csv --k=5 \
 //     --qid=Age,Gender,Zipcode \
@@ -64,6 +78,9 @@
 #include "obs/trace.h"
 #include "relation/binary_io.h"
 #include "relation/csv.h"
+#include "robust/fault_injector.h"
+#include "robust/governor.h"
+#include "robust/partial_result.h"
 
 using namespace incognito;
 
@@ -154,6 +171,87 @@ int Usage() {
   return 2;
 }
 
+/// Maps a Status to the CLI's documented exit codes (see file header):
+/// invalid input 3, I/O 4, budget trips 5, anything else 1.
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kNotSupported:
+      return 3;
+    case StatusCode::kIOError:
+      return 4;
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
+/// Prints "error[CodeName]: message" on stderr and returns the mapped
+/// exit code, so scripts can branch on the class of failure.
+int Fail(const Status& status) {
+  fprintf(stderr, "error[%s]: %s\n", StatusCodeName(status.code()),
+          status.message().c_str());
+  return ExitCodeFor(status);
+}
+
+std::string Get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& def = "");
+
+/// The --deadline-ms/--memory-budget-mb/--on-budget flag values.
+struct GovernanceOptions {
+  bool enabled = false;     // any budget flag was given
+  bool partial_ok = false;  // --on-budget=partial
+  int64_t deadline_ms = -1;
+  int64_t memory_budget_mb = 0;
+
+  /// Arms `governor` with the configured budgets.
+  void Apply(ExecutionGovernor* governor) const {
+    if (deadline_ms >= 0) {
+      governor->SetDeadline(Deadline::AfterMillis(deadline_ms));
+    }
+    if (memory_budget_mb > 0) {
+      governor->SetMemoryLimitBytes(memory_budget_mb * (1ll << 20));
+    }
+  }
+};
+
+Result<GovernanceOptions> ParseGovernance(
+    const std::map<std::string, std::string>& args) {
+  GovernanceOptions opts;
+  std::string deadline = Get(args, "deadline-ms");
+  if (!deadline.empty()) {
+    if (!ParseInt64(deadline, &opts.deadline_ms) || opts.deadline_ms < 0) {
+      return Status::InvalidArgument("bad --deadline-ms value '" + deadline +
+                                     "' (want a non-negative integer)");
+    }
+    opts.enabled = true;
+  }
+  std::string budget = Get(args, "memory-budget-mb");
+  if (!budget.empty()) {
+    if (!ParseInt64(budget, &opts.memory_budget_mb) ||
+        opts.memory_budget_mb <= 0) {
+      return Status::InvalidArgument("bad --memory-budget-mb value '" +
+                                     budget + "' (want a positive integer)");
+    }
+    opts.enabled = true;
+  }
+  std::string on_budget = Get(args, "on-budget", "fail");
+  if (on_budget == "partial") {
+    opts.partial_ok = true;
+  } else if (on_budget != "fail") {
+    return Status::InvalidArgument("bad --on-budget value '" + on_budget +
+                                   "' (want fail or partial)");
+  }
+  return opts;
+}
+
 std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
   std::map<std::string, std::string> args;
   for (int i = 2; i < argc; ++i) {
@@ -170,7 +268,7 @@ std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
 }
 
 std::string Get(const std::map<std::string, std::string>& args,
-                const std::string& key, const std::string& def = "") {
+                const std::string& key, const std::string& def) {
   auto it = args.find(key);
   return it == args.end() ? def : it->second;
 }
@@ -310,21 +408,33 @@ AnonymizationConfig ConfigFrom(const std::map<std::string, std::string>& args) {
 int CmdCheck(const std::map<std::string, std::string>& args,
              ObsSession* obs) {
   Result<LoadedProblem> problem = Load(args);
-  if (!problem.ok()) {
-    fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
-    return 1;
-  }
+  if (!problem.ok()) return Fail(problem.status());
   obs->RecordShape(problem->table, problem->qid);
   Result<SubsetNode> node = ParseLevels(args, problem->qid);
-  if (!node.ok()) {
-    fprintf(stderr, "error: %s\n", node.status().ToString().c_str());
-    return 1;
-  }
+  if (!node.ok()) return Fail(node.status());
+  Result<GovernanceOptions> gov = ParseGovernance(args);
+  if (!gov.ok()) return Fail(gov.status());
   AnonymizationConfig config = ConfigFrom(args);
 
   AlgorithmStats stats;
-  bool ok = IsKAnonymous(problem->table, problem->qid, node.value(), config,
-                         &stats);
+  bool ok;
+  if (gov->enabled) {
+    // A single-node check has no meaningful partial answer, so a budget
+    // trip always fails here regardless of --on-budget.
+    ExecutionGovernor governor;
+    gov->Apply(&governor);
+    Result<bool> governed = IsKAnonymous(problem->table, problem->qid,
+                                         node.value(), config, governor,
+                                         &stats);
+    if (!governed.ok()) {
+      obs->RecordStats(stats);
+      return Fail(governed.status());
+    }
+    ok = governed.value();
+  } else {
+    ok = IsKAnonymous(problem->table, problem->qid, node.value(), config,
+                      &stats);
+  }
   printf("%s at %s: %lld-anonymous = %s\n", Get(args, "input").c_str(),
          node->ToString(&problem->qid).c_str(),
          static_cast<long long>(config.k), ok ? "yes" : "NO");
@@ -335,10 +445,7 @@ int CmdCheck(const std::map<std::string, std::string>& args,
   int64_t l = atoll(Get(args, "l", "0").c_str());
   if (!sensitive.empty() && l > 0) {
     Result<size_t> col = problem->table.schema().ColumnIndex(sensitive);
-    if (!col.ok()) {
-      fprintf(stderr, "error: %s\n", col.status().ToString().c_str());
-      return 1;
-    }
+    if (!col.ok()) return Fail(col.status());
     SensitiveFrequencySet fs = SensitiveFrequencySet::Compute(
         problem->table, problem->qid, node.value(), col.value());
     bool diverse = fs.IsKAnonymousAndLDiverse(config.k, l,
@@ -355,17 +462,32 @@ int CmdCheck(const std::map<std::string, std::string>& args,
 int CmdEnumerate(const std::map<std::string, std::string>& args,
                  ObsSession* obs) {
   Result<LoadedProblem> problem = Load(args);
-  if (!problem.ok()) {
-    fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
-    return 1;
-  }
+  if (!problem.ok()) return Fail(problem.status());
   obs->RecordShape(problem->table, problem->qid);
+  Result<GovernanceOptions> gov = ParseGovernance(args);
+  if (!gov.ok()) return Fail(gov.status());
   AnonymizationConfig config = ConfigFrom(args);
-  Result<IncognitoResult> result =
-      RunIncognito(problem->table, problem->qid, config);
-  if (!result.ok()) {
-    fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-    return 1;
+  PartialResult<IncognitoResult> result = [&] {
+    if (gov->enabled) {
+      ExecutionGovernor governor;
+      gov->Apply(&governor);
+      return RunIncognito(problem->table, problem->qid, config,
+                          IncognitoOptions{}, governor);
+    }
+    Result<IncognitoResult> full =
+        RunIncognito(problem->table, problem->qid, config);
+    if (!full.ok()) return PartialResult<IncognitoResult>(full.status());
+    return PartialResult<IncognitoResult>(std::move(full).value());
+  }();
+  if (result.hard_error()) return Fail(result.status());
+  if (result.partial()) {
+    if (!gov->partial_ok) {
+      obs->RecordStats(result->stats);
+      return Fail(result.status());
+    }
+    fprintf(stderr, "warning[%s]: %s; releasing the partial enumeration\n",
+            StatusCodeName(result.status().code()),
+            result.status().message().c_str());
   }
   obs->RecordStats(result->stats);
   obs->report.SetInt("solutions",
@@ -391,34 +513,49 @@ int CmdEnumerate(const std::map<std::string, std::string>& args,
 int CmdAnonymize(const std::map<std::string, std::string>& args,
                  ObsSession* obs) {
   Result<LoadedProblem> problem = Load(args);
-  if (!problem.ok()) {
-    fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
-    return 1;
-  }
+  if (!problem.ok()) return Fail(problem.status());
   obs->RecordShape(problem->table, problem->qid);
+  Result<GovernanceOptions> gov = ParseGovernance(args);
+  if (!gov.ok()) return Fail(gov.status());
   AnonymizationConfig config = ConfigFrom(args);
   std::string output = Get(args, "output");
   if (output.empty()) {
-    fprintf(stderr, "error: --output is required\n");
-    return 1;
+    return Fail(Status::InvalidArgument("--output is required"));
   }
 
   SubsetNode chosen;
   if (args.count("levels") > 0) {
     Result<SubsetNode> node = ParseLevels(args, problem->qid);
-    if (!node.ok()) {
-      fprintf(stderr, "error: %s\n", node.status().ToString().c_str());
-      return 1;
-    }
+    if (!node.ok()) return Fail(node.status());
     chosen = std::move(node).value();
   } else {
-    Result<IncognitoResult> result =
-        RunIncognito(problem->table, problem->qid, config);
-    if (!result.ok()) {
-      fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-      return 1;
-    }
+    PartialResult<IncognitoResult> result = [&] {
+      if (gov->enabled) {
+        ExecutionGovernor governor;
+        gov->Apply(&governor);
+        return RunIncognito(problem->table, problem->qid, config,
+                          IncognitoOptions{}, governor);
+      }
+      Result<IncognitoResult> full =
+          RunIncognito(problem->table, problem->qid, config);
+      if (!full.ok()) return PartialResult<IncognitoResult>(full.status());
+      return PartialResult<IncognitoResult>(std::move(full).value());
+    }();
+    if (result.hard_error()) return Fail(result.status());
     obs->RecordStats(result->stats);
+    if (result.partial()) {
+      // A partial enumeration may have proven no node yet; with
+      // --on-budget=partial we release a view only when one exists.
+      if (!gov->partial_ok || result->anonymous_nodes.empty()) {
+        return Fail(result.status());
+      }
+      fprintf(stderr,
+              "warning[%s]: %s; choosing among the %zu generalizations "
+              "proven before the trip\n",
+              StatusCodeName(result.status().code()),
+              result.status().message().c_str(),
+              result->anonymous_nodes.size());
+    }
     if (result->anonymous_nodes.empty()) {
       fprintf(stderr,
               "no %lld-anonymous full-domain generalization exists (even "
@@ -435,10 +572,7 @@ int CmdAnonymize(const std::map<std::string, std::string>& args,
       }
       Result<std::vector<SubsetNode>> weighted = MinimalByWeight(
           result->anonymous_nodes, weights, problem->qid);
-      if (!weighted.ok()) {
-        fprintf(stderr, "error: %s\n", weighted.status().ToString().c_str());
-        return 1;
-      }
+      if (!weighted.ok()) return Fail(weighted.status());
       minimal = std::move(weighted).value();
     } else {
       minimal = MinimalByHeight(result->anonymous_nodes);
@@ -448,15 +582,9 @@ int CmdAnonymize(const std::map<std::string, std::string>& args,
 
   Result<RecodeResult> view = ApplyFullDomainGeneralization(
       problem->table, problem->qid, chosen, config);
-  if (!view.ok()) {
-    fprintf(stderr, "error: %s\n", view.status().ToString().c_str());
-    return 1;
-  }
+  if (!view.ok()) return Fail(view.status());
   Status written = WriteCsv(view->view, output);
-  if (!written.ok()) {
-    fprintf(stderr, "error: %s\n", written.ToString().c_str());
-    return 1;
-  }
+  if (!written.ok()) return Fail(written);
   printf("wrote %zu rows to %s using %s (%lld tuples suppressed)\n",
          view->view.num_rows(), output.c_str(),
          chosen.ToString(&problem->qid).c_str(),
@@ -470,31 +598,18 @@ int CmdHierarchy(const std::map<std::string, std::string>& args) {
   std::string spec = Get(args, "spec");
   std::string output = Get(args, "output");
   if (input.empty() || column.empty() || spec.empty() || output.empty()) {
-    fprintf(stderr,
-            "error: hierarchy needs --input, --column, --spec, --output\n");
-    return 1;
+    return Fail(Status::InvalidArgument(
+        "hierarchy needs --input, --column, --spec, --output"));
   }
   Result<Table> table = ReadCsv(input);
-  if (!table.ok()) {
-    fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
-    return 1;
-  }
+  if (!table.ok()) return Fail(table.status());
   Result<size_t> col = table->schema().ColumnIndex(column);
-  if (!col.ok()) {
-    fprintf(stderr, "error: %s\n", col.status().ToString().c_str());
-    return 1;
-  }
+  if (!col.ok()) return Fail(col.status());
   Result<ValueHierarchy> h =
       BuildFromSpec(column, spec, table->dictionary(col.value()));
-  if (!h.ok()) {
-    fprintf(stderr, "error: %s\n", h.status().ToString().c_str());
-    return 1;
-  }
+  if (!h.ok()) return Fail(h.status());
   Status written = WriteHierarchyCsv(h.value(), output);
-  if (!written.ok()) {
-    fprintf(stderr, "error: %s\n", written.ToString().c_str());
-    return 1;
-  }
+  if (!written.ok()) return Fail(written);
   printf("wrote hierarchy for '%s' (%zu values, height %zu) to %s\n",
          column.c_str(), h->DomainSize(0), h->height(), output.c_str());
   return 0;
@@ -503,10 +618,7 @@ int CmdHierarchy(const std::map<std::string, std::string>& args) {
 int CmdModels(const std::map<std::string, std::string>& args,
               ObsSession* obs) {
   Result<LoadedProblem> problem = Load(args);
-  if (!problem.ok()) {
-    fprintf(stderr, "error: %s\n", problem.status().ToString().c_str());
-    return 1;
-  }
+  if (!problem.ok()) return Fail(problem.status());
   obs->RecordShape(problem->table, problem->qid);
   AnonymizationConfig config = ConfigFrom(args);
   std::vector<std::string> cols;
@@ -576,6 +688,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   std::map<std::string, std::string> args = ParseArgs(argc, argv);
+  std::string fault_spec = Get(args, "fault-script");
+  if (!fault_spec.empty()) {
+    if (!FaultInjector::kCompiledIn) {
+      return Fail(Status::InvalidArgument(
+          "--fault-script requires a build with -DINCOGNITO_FAULTS=ON"));
+    }
+    Status armed = FaultInjector::Global().Configure(fault_spec);
+    if (!armed.ok()) return Fail(armed);
+  }
   if (command == "hierarchy") return CmdHierarchy(args);
   ObsSession obs(command, args);
   int code;

@@ -9,10 +9,13 @@
 //        --quick           (small tables, for CI)
 //        --json[=FILE]     (also time the six algorithms on a small Adults
 //                           QID and write a machine-readable report)
+//        --threads=N       (cap for the parallel speedup sweep, default 8;
+//                           the sweep runs at 1, 2, 4, ... up to the cap)
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "core/parallel.h"
 #include "data/adults.h"
 #include "data/landsend.h"
 
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
   LandsEndOptions landsend_opts;
   landsend_opts.num_rows = static_cast<size_t>(
       flags.GetInt("landsend_rows", quick ? 20000 : 200000));
+  int64_t max_threads = flags.GetInt("threads", 8);
   if (!flags.CheckUnknown()) return 2;
 
   Result<SyntheticDataset> adults = MakeAdultsDataset(adults_opts);
@@ -119,6 +123,33 @@ int main(int argc, char** argv) {
         continue;
       }
       PrintRow("adults", config.k, qid.size(), algorithm, r, &report);
+    }
+
+    // Parallel speedup sweep: RunIncognitoParallel is bit-identical to the
+    // serial search (docs/PARALLELISM.md), so wall time is the only axis
+    // worth plotting. The 1-thread run is the speedup baseline.
+    printf("\n--- parallel search speedup (Adults, QID 3, k=2) ---\n");
+    double base_seconds = 0;
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+      obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
+      Stopwatch timer;
+      Result<IncognitoResult> r =
+          RunIncognitoParallel(adults->table, qid, config, {}, threads);
+      double seconds = timer.ElapsedSeconds();
+      if (!r.ok()) {
+        fprintf(stderr, "parallel search (%d threads) failed: %s\n", threads,
+                r.status().ToString().c_str());
+        continue;
+      }
+      if (threads == 1) base_seconds = seconds;
+      double speedup = seconds > 0 ? base_seconds / seconds : 0;
+      printf("threads=%-2d  %10.3fs  speedup=%.2fx  solutions=%zu\n", threads,
+             seconds, speedup, r->anonymous_nodes.size());
+      report.Add("adults", config.k, qid.size(),
+                 StringPrintf("Parallel Incognito (%d threads)", threads),
+                 seconds, r->anonymous_nodes.size(), r->stats,
+                 obs::MetricsSnapshot::Take().DeltaSince(before));
+      report.SetDerived(StringPrintf("speedup_threads_%d", threads), speedup);
     }
   }
   return report.Write();

@@ -8,8 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/random.h"
 #include "core/matrix_checker.h"
+#include "core/parallel.h"
 #include "data/adults.h"
 #include "freq/cube.h"
 #include "freq/frequency_set.h"
@@ -256,6 +261,31 @@ BENCHMARK(BM_GroupByScanTraced);
 #endif  // INCOGNITO_OBS_DISABLED
 
 // ---------------------------------------------------------------------------
+// Parallel level-wise search: the same Adults instance at increasing
+// worker counts (Arg = threads). The 1-thread run prices the pool's
+// coordination overhead against the serial search; higher counts show the
+// per-level fan-out's scaling (docs/PARALLELISM.md).
+// ---------------------------------------------------------------------------
+void BM_ParallelLevelSearch(benchmark::State& state) {
+  const SyntheticDataset& ds = SharedAdults();
+  QuasiIdentifier qid = ds.qid.Prefix(3);
+  AnonymizationConfig config;
+  config.k = 2;
+  int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Result<IncognitoResult> r =
+        RunIncognitoParallel(ds.table, qid, config, {}, threads);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_ParallelLevelSearch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // Table ingest (dictionary encoding).
 // ---------------------------------------------------------------------------
 void BM_DatasetGeneration(benchmark::State& state) {
@@ -272,4 +302,62 @@ BENCHMARK(BM_DatasetGeneration);
 }  // namespace
 }  // namespace incognito
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN: --json[=FILE] and --threads=N are consumed
+// here (google-benchmark would reject them) and, when --json is given, a
+// parallel-search speedup sweep is timed and written to
+// BENCH_micro_substrate.json in the perf-trajectory format, with the
+// per-thread speedup under the report's "derived" object.
+int main(int argc, char** argv) {
+  std::vector<char*> own_argv = {argv[0]};
+  std::vector<char*> bm_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json", 0) == 0 || arg.rfind("--threads", 0) == 0) {
+      own_argv.push_back(argv[i]);
+    } else {
+      bm_argv.push_back(argv[i]);
+    }
+  }
+  incognito::bench::Flags flags(static_cast<int>(own_argv.size()),
+                                own_argv.data());
+  int64_t max_threads = flags.GetInt("threads", 8);
+  incognito::bench::BenchReport report(flags, "micro_substrate");
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_argv.data())) {
+    return 1;
+  }
+
+  if (report.enabled()) {
+    using incognito::StringPrintf;
+    const incognito::SyntheticDataset& ds = incognito::SharedAdults();
+    incognito::QuasiIdentifier qid = ds.qid.Prefix(3);
+    incognito::AnonymizationConfig config;
+    config.k = 2;
+    double base_seconds = 0;
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+      incognito::obs::MetricsSnapshot before =
+          incognito::obs::MetricsSnapshot::Take();
+      incognito::Stopwatch timer;
+      incognito::Result<incognito::IncognitoResult> r =
+          incognito::RunIncognitoParallel(ds.table, qid, config, {}, threads);
+      double seconds = timer.ElapsedSeconds();
+      if (!r.ok()) {
+        fprintf(stderr, "parallel search (%d threads) failed: %s\n", threads,
+                r.status().ToString().c_str());
+        continue;
+      }
+      if (threads == 1) base_seconds = seconds;
+      double speedup = seconds > 0 ? base_seconds / seconds : 0;
+      report.Add("adults-10k", config.k, qid.size(),
+                 StringPrintf("Parallel Incognito (%d threads)", threads),
+                 seconds, r->anonymous_nodes.size(), r->stats,
+                 incognito::obs::MetricsSnapshot::Take().DeltaSince(before));
+      report.SetDerived(StringPrintf("speedup_threads_%d", threads), speedup);
+    }
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return report.Write();
+}

@@ -228,6 +228,13 @@ class BenchReport {
         r.solutions, r.stats, r.metrics);
   }
 
+  /// Records a derived scalar (a value computed *across* runs, like the
+  /// parallel speedup at a given thread count) under a top-level
+  /// "derived" object in the JSON report.
+  void SetDerived(const std::string& key, double value) {
+    if (enabled()) derived_[key] = value;
+  }
+
   /// Writes the report (no-op when disabled). Returns the process exit
   /// code benches should end with: 0 on success or no-op, 1 on I/O error.
   int Write() const {
@@ -279,6 +286,17 @@ class BenchReport {
       out += "}";
     }
     out += entries_.empty() ? "],\n" : "\n  ],\n";
+    if (!derived_.empty()) {
+      out += "  \"derived\": {";
+      bool first_derived = true;
+      for (const auto& [key, value] : derived_) {
+        out += StringPrintf("%s\n    %s: %s", first_derived ? "" : ",",
+                            obs::JsonString(key).c_str(),
+                            obs::JsonDouble(value).c_str());
+        first_derived = false;
+      }
+      out += "\n  },\n";
+    }
     // Cumulative process-wide observability state, for cross-run context.
     out += "  \"counters\": {";
     bool first = true;
@@ -346,6 +364,7 @@ class BenchReport {
   std::string bench_name_;
   std::string path_;
   std::vector<Entry> entries_;
+  std::map<std::string, double> derived_;
 };
 
 /// Prints a standard measurement row (shared layout across the figure

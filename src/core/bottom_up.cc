@@ -6,6 +6,7 @@
 #include "freq/frequency_set.h"
 #include "lattice/lattice.h"
 #include "obs/obs.h"
+#include "robust/fault_injector.h"
 
 namespace incognito {
 
@@ -91,6 +92,16 @@ PartialResult<BottomUpResult> RunBottomUpImpl(
         for (const LevelVector& spec : lattice.DirectSpecializations(levels)) {
           auto it = prev_freq.find(lattice.Index(spec));
           if (it != prev_freq.end()) {
+            // Fault site "bottom_up.rollup": an injected allocation failure
+            // while aggregating the rollup unwinds like a refused charge.
+            if (governor != nullptr &&
+                INCOGNITO_FAULT_FIRED("bottom_up.rollup")) {
+              Status injected =
+                  governor->LatchInjectedFailure("bottom_up.rollup");
+              release_retained(prev_freq);
+              release_retained(cur_freq);
+              return stop_early(std::move(injected));
+            }
             freq = it->second.RollupTo(node, qid);
             ++result.stats.rollups;
             rolled = true;

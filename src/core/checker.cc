@@ -1,5 +1,7 @@
 #include "core/checker.h"
 
+#include <algorithm>
+
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "obs/obs.h"
@@ -18,13 +20,14 @@ void AlgorithmStats::MergeCounters(const AlgorithmStats& other) {
   deadline_trips += other.deadline_trips;
   memory_trips += other.memory_trips;
   cancel_trips += other.cancel_trips;
+  parallel_workers = std::max(parallel_workers, other.parallel_workers);
 }
 
 std::string AlgorithmStats::ToString() const {
   return StringPrintf(
       "checked=%lld marked=%lld scans=%lld rollups=%lld groups=%lld "
       "candidates=%lld cube=%.3fs total=%.3fs gov_checks=%lld "
-      "dl_trips=%lld mem_trips=%lld cancel_trips=%lld",
+      "dl_trips=%lld mem_trips=%lld cancel_trips=%lld workers=%lld",
       static_cast<long long>(nodes_checked),
       static_cast<long long>(nodes_marked),
       static_cast<long long>(table_scans), static_cast<long long>(rollups),
@@ -33,7 +36,8 @@ std::string AlgorithmStats::ToString() const {
       total_seconds, static_cast<long long>(governor_checks),
       static_cast<long long>(deadline_trips),
       static_cast<long long>(memory_trips),
-      static_cast<long long>(cancel_trips));
+      static_cast<long long>(cancel_trips),
+      static_cast<long long>(parallel_workers));
 }
 
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,

@@ -46,6 +46,10 @@ struct AlgorithmStats {
   int64_t memory_trips = 0;     ///< memory-budget charges refused
   int64_t cancel_trips = 0;     ///< checkpoints that saw cancellation
 
+  /// Worker count of a parallel run (core/parallel.h); 0 for the serial
+  /// path. Merged with max, not sum — it describes the pool, not work.
+  int64_t parallel_workers = 0;
+
   /// Merges accumulable costs from another stats object: every counter
   /// plus cube_build_seconds (a summable pre-computation cost). Only
   /// total_seconds is excluded — it is end-to-end wall clock, which does

@@ -7,11 +7,13 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "core/parallel.h"
 #include "freq/cube.h"
 #include "freq/frequency_set.h"
 #include "lattice/candidate_gen.h"
 #include "lattice/graph_tables.h"
 #include "obs/obs.h"
+#include "robust/fault_injector.h"
 
 namespace incognito {
 
@@ -190,6 +192,13 @@ class GraphSearch {
       for (int64_t spec : graph.InEdges(id)) {
         auto it = stored.find(spec);
         if (it != stored.end()) {
+          // Fault site "incognito.rollup": an injected allocation failure
+          // while aggregating the rollup latches like a refused charge;
+          // Run unwinds at its next ChargeMemory.
+          if (governor_ != nullptr &&
+              INCOGNITO_FAULT_FIRED("incognito.rollup")) {
+            governor_->LatchInjectedFailure("incognito.rollup");
+          }
           ++stats_->rollups;
           return it->second.RollupTo(node, qid_);
         }
@@ -376,6 +385,10 @@ Result<IncognitoResult> RunIncognito(const Table& table,
                                      const QuasiIdentifier& qid,
                                      const AnonymizationConfig& config,
                                      const IncognitoOptions& options) {
+  if (options.num_threads > 1) {
+    return RunIncognitoParallel(table, qid, config, options,
+                                options.num_threads);
+  }
   PartialResult<IncognitoResult> run =
       RunIncognitoImpl(table, qid, config, options, nullptr);
   if (!run.complete()) return run.status();
@@ -387,6 +400,10 @@ PartialResult<IncognitoResult> RunIncognito(const Table& table,
                                             const AnonymizationConfig& config,
                                             const IncognitoOptions& options,
                                             ExecutionGovernor& governor) {
+  if (options.num_threads > 1) {
+    return RunIncognitoParallel(table, qid, config, options, governor,
+                                options.num_threads);
+  }
   return RunIncognitoImpl(table, qid, config, options, &governor);
 }
 

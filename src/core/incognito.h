@@ -43,6 +43,11 @@ struct IncognitoOptions {
   /// sets from the table instead of rolling up from a specialization's
   /// frequency set (isolates the Rollup Property's contribution).
   bool use_rollup = true;
+
+  /// Worker threads for the level-wise candidate evaluation. 1 (default)
+  /// runs the serial path; > 1 dispatches to RunIncognitoParallel
+  /// (core/parallel.h), which is bit-identical to serial on complete runs.
+  int num_threads = 1;
 };
 
 /// The output of an Incognito run.
@@ -65,12 +70,20 @@ struct IncognitoResult {
   int64_t completed_iterations = 0;
 
   AlgorithmStats stats;
+
+  /// Parallel runs only (empty otherwise): each worker shard's high-water
+  /// lease against the shared memory budget, in bytes. Because shard
+  /// leases are monotonic until drain, the sum of these marks never
+  /// exceeds the governor's global memory limit (docs/PARALLELISM.md).
+  std::vector<int64_t> shard_high_water_bytes;
 };
 
 /// Runs Incognito: produces the set of ALL k-anonymous full-domain
 /// generalizations of `table` with respect to `qid` (sound and complete,
 /// paper §3.2), with the optional tuple-suppression threshold from
-/// `config`.
+/// `config`. With options.num_threads > 1 the run dispatches to
+/// RunIncognitoParallel (core/parallel.h) and returns the identical
+/// answer set, survivor sets, and node-count statistics.
 Result<IncognitoResult> RunIncognito(const Table& table,
                                      const QuasiIdentifier& qid,
                                      const AnonymizationConfig& config,
@@ -83,6 +96,8 @@ Result<IncognitoResult> RunIncognito(const Table& table,
 /// (completed iterations' survivor sets; see
 /// IncognitoResult::completed_iterations) with status kDeadlineExceeded,
 /// kResourceExhausted, or kCancelled. Construct a fresh governor per call.
+/// The parallel overload in core/parallel.h honors the same contract,
+/// with each worker charging a GovernorShard leased from `governor`.
 PartialResult<IncognitoResult> RunIncognito(const Table& table,
                                             const QuasiIdentifier& qid,
                                             const AnonymizationConfig& config,

@@ -1,0 +1,580 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "freq/cube.h"
+#include "freq/frequency_set.h"
+#include "lattice/candidate_gen.h"
+#include "lattice/graph_tables.h"
+#include "obs/obs.h"
+#include "robust/fault_injector.h"
+
+namespace incognito {
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+// ---------------------------------------------------------------------------
+
+WorkerPool::WorkerPool(int num_threads) : size_(std::max(1, num_threads)) {
+  threads_.reserve(static_cast<size_t>(size_ - 1));
+  for (int w = 1; w < size_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Run(size_t n,
+                     const std::function<void(int, size_t, size_t)>& fn) {
+  const size_t workers = static_cast<size_t>(size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n_ = n;
+    fn_ = &fn;
+    active_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is worker 0; its chunk runs on this thread.
+  fn(0, 0, n / workers);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(int worker) {
+  const size_t workers = static_cast<size_t>(size());
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int, size_t, size_t)>* fn;
+    size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      n = n_;
+    }
+    const size_t w = static_cast<size_t>(worker);
+    (*fn)(worker, n * w / workers, n * (w + 1) / workers);
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = --active_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel graph search
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The level-synchronous parallel twin of incognito.cc's GraphSearch
+/// (docs/PARALLELISM.md). The serial search processes its queue in strict
+/// (height, id) order, and every effect of processing a node — marks,
+/// newly enqueued generalizations, retained rollup sources — lands only on
+/// strictly greater heights. So processing one whole height level at a
+/// time, with a deterministic id-ordered merge between levels, visits the
+/// exact node sequence the serial walk does and produces bit-identical
+/// marked sets, failed sets, and node-count statistics.
+class ParallelGraphSearch {
+ public:
+  ParallelGraphSearch(const Table& table, const QuasiIdentifier& qid,
+                      const AnonymizationConfig& config,
+                      const IncognitoOptions& options, const ZeroGenCube* cube,
+                      AlgorithmStats* stats, ExecutionGovernor* governor,
+                      WorkerPool* pool,
+                      std::vector<std::unique_ptr<GovernorShard>>* shards,
+                      std::vector<AlgorithmStats>* worker_stats)
+      : table_(table),
+        qid_(qid),
+        config_(config),
+        options_(options),
+        cube_(cube),
+        stats_(stats),
+        governor_(governor),
+        pool_(pool),
+        shards_(shards),
+        worker_stats_(worker_stats) {}
+
+  /// Same contract as the serial GraphSearch::Run: failed[id] == true iff
+  /// T was checked and found NOT k-anonymous w.r.t. node id; a budget trip
+  /// aborts the walk and returns the trip status with every charged byte
+  /// released back to the shards / governor first.
+  Result<std::vector<bool>> Run(const CandidateGraph& graph) {
+    INCOGNITO_SPAN("incognito.graph_search");
+    const size_t n = graph.num_nodes();
+    std::vector<bool> failed(n, false);
+    std::vector<bool> marked(n, false);
+    std::vector<char> enqueued(n, 0);
+
+    // Frequency sets of failed nodes, kept for their generalizations to
+    // roll up from. Written only between level barriers (Phase B); workers
+    // read it concurrently but never mutate it.
+    std::unordered_map<int64_t, StoredEntry> stored;
+    std::unordered_map<int64_t, int64_t> pending_uses;
+
+    auto& shards = *shards_;
+
+    auto release_parents = [&](int64_t id) {
+      for (int64_t spec : graph.InEdges(id)) {
+        auto it = pending_uses.find(spec);
+        if (it != pending_uses.end() && --it->second == 0) {
+          auto sit = stored.find(spec);
+          if (sit != stored.end()) {
+            shards[static_cast<size_t>(sit->second.owner)]->ReleaseMemory(
+                sit->second.bytes);
+          }
+          stored.erase(spec);
+          pending_uses.erase(it);
+        }
+      }
+    };
+
+    auto release_all = [&]() {
+      for (const auto& [sid, entry] : stored) {
+        (void)sid;
+        shards[static_cast<size_t>(entry.owner)]->ReleaseMemory(entry.bytes);
+      }
+      stored.clear();
+      pending_uses.clear();
+      for (const auto& [dims, fs] : family_freq_) {
+        (void)dims;
+        governor_->ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
+      }
+      family_freq_.clear();
+    };
+
+    // Super-roots: the serial search builds each multi-root family's
+    // super-root frequency set lazily, when its first root is processed.
+    // Roots have no in-edges, so they can never be marked and every one is
+    // always processed — pre-computing all multi-root family sets up front
+    // therefore performs the exact same scans and builds the exact same
+    // groups, just earlier. A refused charge trips like any other.
+    std::vector<int64_t> roots = graph.Roots();
+    family_freq_.clear();
+    if (options_.variant == IncognitoVariant::kSuperRoots) {
+      std::map<std::vector<int32_t>, std::vector<int64_t>> families;
+      for (int64_t r : roots) {
+        families[graph.node(r).ToSubsetNode().dims].push_back(r);
+      }
+      for (const auto& [dims, fam] : families) {
+        if (fam.size() <= 1) continue;
+        SubsetNode super;
+        super.dims = dims;
+        std::vector<int32_t> min_levels(dims.size(), INT32_MAX);
+        for (int64_t r : fam) {
+          const NodeRow& row = graph.node(r);
+          for (size_t i = 0; i < row.pairs.size(); ++i) {
+            min_levels[i] = std::min(min_levels[i], row.pairs[i].index);
+          }
+        }
+        super.levels = std::move(min_levels);
+        ++stats_->table_scans;
+        FrequencySet super_freq = FrequencySet::Compute(table_, qid_, super);
+        stats_->freq_groups_built +=
+            static_cast<int64_t>(super_freq.NumGroups());
+        Status charged = governor_->ChargeMemory(
+            static_cast<int64_t>(super_freq.MemoryBytes()));
+        if (!charged.ok()) {
+          release_all();
+          return charged;
+        }
+        family_freq_.emplace(dims, std::move(super_freq));
+      }
+    }
+
+    // The frontier, bucketed by height. The serial queue is ordered by
+    // (height, id); draining one height bucket at a time in ascending id
+    // order reproduces that order exactly.
+    std::map<int32_t, std::vector<int64_t>> by_height;
+    for (int64_t r : roots) {
+      enqueued[static_cast<size_t>(r)] = 1;
+      by_height[graph.node(r).Height()].push_back(r);
+    }
+
+    enum OutcomeKind : uint8_t { kSkipped, kMarked, kAnonymous, kFailed };
+    struct NodeOutcome {
+      OutcomeKind kind = kSkipped;
+      int owner = 0;
+      int64_t bytes = 0;
+      FrequencySet freq;
+    };
+
+    const int workers = pool_->size();
+    while (!by_height.empty()) {
+      // Main-thread checkpoint between levels: catches trips latched by
+      // GenerateNextGraph / the cube build / a previous level's workers.
+      Status checkpoint = governor_->Check();
+      if (!checkpoint.ok()) {
+        release_all();
+        return checkpoint;
+      }
+
+      auto level_it = by_height.begin();
+      std::vector<int64_t> ids = std::move(level_it->second);
+      by_height.erase(level_it);
+      std::sort(ids.begin(), ids.end());
+
+      INCOGNITO_SPAN("incognito.parallel.level");
+      INCOGNITO_COUNT("incognito.parallel.levels");
+
+      // Phase A: evaluate every node of this level concurrently. Workers
+      // only read shared search state (marked, stored, family_freq_, the
+      // graph, the cube) and write their private outcome slots, worker
+      // stats, and shard accounting — the pool barrier separates these
+      // reads from the merge's writes.
+      std::vector<NodeOutcome> outcomes(ids.size());
+      std::vector<Status> worker_status(static_cast<size_t>(workers));
+      pool_->Run(
+          ids.size(), [&](int w, size_t begin, size_t end) {
+            INCOGNITO_SPAN("incognito.parallel.chunk");
+            GovernorShard& shard = *shards[static_cast<size_t>(w)];
+            AlgorithmStats& wstats = (*worker_stats_)[static_cast<size_t>(w)];
+            for (size_t i = begin; i < end; ++i) {
+              Status cp = shard.Check();
+              if (!cp.ok()) {
+                worker_status[static_cast<size_t>(w)] = cp;
+                return;
+              }
+              const int64_t id = ids[i];
+              NodeOutcome& out = outcomes[i];
+              if (marked[static_cast<size_t>(id)]) {
+                out.kind = kMarked;
+                continue;
+              }
+              SubsetNode node = graph.node(id).ToSubsetNode();
+              FrequencySet freq =
+                  ComputeFrequencySet(graph, id, node, stored, &wstats);
+              int64_t freq_bytes = static_cast<int64_t>(freq.MemoryBytes());
+              Status charged = shard.ChargeMemory(freq_bytes);
+              if (!charged.ok()) {
+                worker_status[static_cast<size_t>(w)] = charged;
+                return;
+              }
+              ++wstats.nodes_checked;
+              wstats.freq_groups_built +=
+                  static_cast<int64_t>(freq.NumGroups());
+              INCOGNITO_COUNT("incognito.kchecks");
+              INCOGNITO_COUNT("incognito.parallel.kchecks");
+              bool anonymous;
+              {
+                INCOGNITO_PHASE_TIMER("phase.kcheck_seconds");
+                anonymous =
+                    freq.IsKAnonymous(config_.k, config_.max_suppressed);
+              }
+              if (anonymous) {
+                shard.ReleaseMemory(freq_bytes);
+                out.kind = kAnonymous;
+              } else {
+                out.kind = kFailed;
+                out.owner = w;
+                out.bytes = freq_bytes;
+                out.freq = std::move(freq);
+              }
+            }
+          });
+
+      // Every worker trip latched the shared status; drain and unwind.
+      Status trip = governor_->SharedTrip();
+      if (trip.ok()) {
+        for (const Status& ws : worker_status) {
+          if (!ws.ok()) {
+            trip = ws;
+            break;
+          }
+        }
+      }
+      if (!trip.ok()) {
+        for (NodeOutcome& out : outcomes) {
+          if (out.kind == kFailed) {
+            shards[static_cast<size_t>(out.owner)]->ReleaseMemory(out.bytes);
+          }
+        }
+        release_all();
+        return trip;
+      }
+
+      // Phase B: merge this level's outcomes serially, in ascending node
+      // id — the same order the serial walk applies them in.
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const int64_t id = ids[i];
+        NodeOutcome& out = outcomes[i];
+        if (out.kind == kAnonymous) {
+          INCOGNITO_PHASE_TIMER("phase.mark_seconds");
+          MarkGeneralizations(graph, id, &marked);
+        } else if (out.kind == kFailed) {
+          failed[static_cast<size_t>(id)] = true;
+          const auto& gens = graph.OutEdges(id);
+          if (!gens.empty() && options_.use_rollup) {
+            pending_uses[id] = static_cast<int64_t>(gens.size());
+            stored.emplace(id, StoredEntry{std::move(out.freq), out.bytes,
+                                           out.owner});
+          } else {
+            shards[static_cast<size_t>(out.owner)]->ReleaseMemory(out.bytes);
+          }
+          for (int64_t g : gens) {
+            if (!enqueued[static_cast<size_t>(g)]) {
+              enqueued[static_cast<size_t>(g)] = 1;
+              by_height[graph.node(g).Height()].push_back(g);
+            }
+          }
+        }
+        release_parents(id);
+      }
+    }
+    release_all();
+    return failed;
+  }
+
+ private:
+  /// A failed node's retained frequency set plus the worker shard its
+  /// bytes are charged to.
+  struct StoredEntry {
+    FrequencySet freq;
+    int64_t bytes = 0;
+    int owner = 0;
+  };
+
+  /// Worker-side frequency-set computation; same source preference order
+  /// as the serial search. Reads only level-frozen shared state.
+  FrequencySet ComputeFrequencySet(
+      const CandidateGraph& graph, int64_t id, const SubsetNode& node,
+      const std::unordered_map<int64_t, StoredEntry>& stored,
+      AlgorithmStats* wstats) const {
+    if (options_.use_rollup) {
+      for (int64_t spec : graph.InEdges(id)) {
+        auto it = stored.find(spec);
+        if (it != stored.end()) {
+          // Same fault site as the serial rollup path; the latch is
+          // thread-safe and sibling shards observe it at their next
+          // checkpoint.
+          if (INCOGNITO_FAULT_FIRED("incognito.rollup")) {
+            governor_->LatchInjectedFailure("incognito.rollup");
+          }
+          ++wstats->rollups;
+          return it->second.freq.RollupTo(node, qid_);
+        }
+      }
+    }
+    if (cube_ != nullptr) {
+      ++wstats->rollups;
+      return cube_->Get(node.dims).RollupTo(node, qid_);
+    }
+    if (options_.variant == IncognitoVariant::kSuperRoots) {
+      auto it = family_freq_.find(node.dims);
+      if (it != family_freq_.end()) {
+        ++wstats->rollups;
+        return it->second.RollupTo(node, qid_);
+      }
+    }
+    ++wstats->table_scans;
+    return FrequencySet::Compute(table_, qid_, node);
+  }
+
+  void MarkGeneralizations(const CandidateGraph& graph, int64_t id,
+                           std::vector<bool>* marked) {
+    for (int64_t g : graph.OutEdges(id)) {
+      if (!(*marked)[static_cast<size_t>(g)]) {
+        (*marked)[static_cast<size_t>(g)] = true;
+        ++stats_->nodes_marked;
+        INCOGNITO_COUNT("incognito.nodes_marked");
+        if (options_.mark_transitively) {
+          MarkGeneralizations(graph, g, marked);
+        }
+      }
+    }
+  }
+
+  const Table& table_;
+  const QuasiIdentifier& qid_;
+  const AnonymizationConfig& config_;
+  const IncognitoOptions& options_;
+  const ZeroGenCube* cube_;
+  AlgorithmStats* stats_;        // main-thread stats (marks, super-roots)
+  ExecutionGovernor* governor_;  // never null; unlimited when ungoverned
+  WorkerPool* pool_;
+  std::vector<std::unique_ptr<GovernorShard>>* shards_;
+  std::vector<AlgorithmStats>* worker_stats_;
+  // Pre-computed super-root sets of the current graph (read-only to
+  // workers; bytes charged to governor_, released by release_all).
+  std::map<std::vector<int32_t>, FrequencySet> family_freq_;
+};
+
+/// Shared implementation behind both public parallel entry points —
+/// structured exactly like incognito.cc's RunIncognitoImpl, with the
+/// per-graph search fanned out over the worker pool. `external` == nullptr
+/// means an ungoverned run: the workers still shard-lease from a private
+/// unlimited governor so the charge accounting (and its used() == 0
+/// end-state invariant) is exercised identically.
+PartialResult<IncognitoResult> RunIncognitoParallelImpl(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, const IncognitoOptions& options,
+    ExecutionGovernor* external, int num_threads) {
+  if (config.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (config.max_suppressed < 0) {
+    return Status::InvalidArgument("max_suppressed must be >= 0");
+  }
+  if (qid.size() == 0) {
+    return Status::InvalidArgument("quasi-identifier must be non-empty");
+  }
+
+  INCOGNITO_SPAN("incognito.parallel.run");
+  INCOGNITO_COUNT("incognito.runs");
+  INCOGNITO_COUNT("incognito.parallel.runs");
+  Stopwatch total_timer;
+  IncognitoResult result;
+
+  ExecutionGovernor local;  // unlimited / infinite: accounting only
+  ExecutionGovernor* governor = external != nullptr ? external : &local;
+
+  WorkerPool pool(num_threads);
+  const int workers = pool.size();
+  std::vector<std::unique_ptr<GovernorShard>> shards;
+  shards.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    shards.push_back(std::make_unique<GovernorShard>(governor));
+  }
+  std::vector<AlgorithmStats> worker_stats(static_cast<size_t>(workers));
+
+  // Drains every shard back into the governor, folds the workers' stats
+  // into the result, and records the shard high-water marks. Runs exactly
+  // once, on every return path.
+  auto finalize = [&]() {
+    result.shard_high_water_bytes.clear();
+    for (auto& shard : shards) {
+      result.shard_high_water_bytes.push_back(shard->high_water_bytes());
+      shard->Drain();
+    }
+    for (const AlgorithmStats& ws : worker_stats) {
+      result.stats.MergeCounters(ws);
+    }
+    result.stats.parallel_workers = workers;
+    result.stats.total_seconds = total_timer.ElapsedSeconds();
+    // Ungoverned runs leave the trip counters at zero, like the serial
+    // ungoverned path.
+    if (external != nullptr) external->ExportTrips(&result.stats);
+  };
+
+  auto stop_early = [&](Status trip) -> PartialResult<IncognitoResult> {
+    finalize();
+    if (IsResourceGovernance(trip.code())) {
+      return PartialResult<IncognitoResult>::Partial(std::move(trip),
+                                                     std::move(result));
+    }
+    return trip;
+  };
+
+  // Cube Incognito pre-computes all zero-generalization frequency sets on
+  // the main thread (the workers only read the finished cube).
+  ZeroGenCube cube;
+  const ZeroGenCube* cube_ptr = nullptr;
+  if (options.variant == IncognitoVariant::kCube) {
+    Stopwatch cube_timer;
+    ZeroGenCube::BuildInfo info;
+    cube = ZeroGenCube::Build(table, qid, &info, governor);
+    cube_ptr = &cube;
+    result.stats.cube_build_seconds = cube_timer.ElapsedSeconds();
+    result.stats.table_scans += info.table_scans;
+    result.stats.freq_groups_built += static_cast<int64_t>(info.total_groups);
+    if (governor->Tripped()) {
+      cube.ReleaseMemory(governor);
+      return stop_early(governor->TripStatus());
+    }
+  }
+
+  ParallelGraphSearch search(table, qid, config, options, cube_ptr,
+                             &result.stats, governor, &pool, &shards,
+                             &worker_stats);
+
+  CandidateGraph graph = MakeSingleAttributeGraph(qid);
+  const size_t n = qid.size();
+  for (size_t i = 1; i <= n; ++i) {
+    INCOGNITO_SPAN("incognito.iteration");
+    INCOGNITO_COUNT("incognito.iterations");
+    result.stats.candidate_nodes += static_cast<int64_t>(graph.num_nodes());
+    Result<std::vector<bool>> failed_or = search.Run(graph);
+    if (!failed_or.ok()) {
+      cube.ReleaseMemory(governor);
+      return stop_early(failed_or.status());
+    }
+    const std::vector<bool>& failed = failed_or.value();
+
+    std::vector<bool> keep(failed.size());
+    for (size_t j = 0; j < failed.size(); ++j) keep[j] = !failed[j];
+    CandidateGraph survivors = graph.InducedSubgraph(keep);
+
+    std::vector<SubsetNode> survivor_nodes;
+    survivor_nodes.reserve(survivors.num_nodes());
+    for (const NodeRow& row : survivors.nodes()) {
+      survivor_nodes.push_back(row.ToSubsetNode());
+    }
+    std::sort(survivor_nodes.begin(), survivor_nodes.end());
+    result.per_iteration_survivors.push_back(survivor_nodes);
+    result.completed_iterations = static_cast<int64_t>(i);
+
+    if (i == n) {
+      result.anonymous_nodes = std::move(survivor_nodes);
+      break;
+    }
+    graph = GenerateNextGraph(survivors, nullptr, governor);
+  }
+  cube.ReleaseMemory(governor);
+
+  finalize();
+  return result;
+}
+
+}  // namespace
+
+PartialResult<IncognitoResult> RunIncognitoParallel(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, const IncognitoOptions& options,
+    ExecutionGovernor& governor, int num_threads) {
+  if (num_threads <= 1) {
+    IncognitoOptions serial = options;
+    serial.num_threads = 1;
+    return RunIncognito(table, qid, config, serial, governor);
+  }
+  return RunIncognitoParallelImpl(table, qid, config, options, &governor,
+                                  num_threads);
+}
+
+Result<IncognitoResult> RunIncognitoParallel(const Table& table,
+                                             const QuasiIdentifier& qid,
+                                             const AnonymizationConfig& config,
+                                             const IncognitoOptions& options,
+                                             int num_threads) {
+  if (num_threads <= 1) {
+    IncognitoOptions serial = options;
+    serial.num_threads = 1;
+    return RunIncognito(table, qid, config, serial);
+  }
+  PartialResult<IncognitoResult> run = RunIncognitoParallelImpl(
+      table, qid, config, options, nullptr, num_threads);
+  if (!run.complete()) return run.status();
+  return std::move(run).value();
+}
+
+}  // namespace incognito

@@ -1,0 +1,84 @@
+#ifndef INCOGNITO_CORE_PARALLEL_H_
+#define INCOGNITO_CORE_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/incognito.h"
+
+namespace incognito {
+
+/// A small fixed-size worker pool for level-synchronous lattice search
+/// (docs/PARALLELISM.md). `num_threads` is the total evaluator count: the
+/// pool spawns num_threads - 1 persistent threads and the calling thread
+/// runs worker 0's chunk inside Run(), so a 1-thread pool spawns nothing
+/// and degenerates to a plain loop.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total evaluators (spawned threads + the caller).
+  int size() const { return size_; }
+
+  /// Statically partitions [0, n) into size() contiguous chunks and runs
+  /// fn(worker, begin, end) on each — worker w gets [n*w/W, n*(w+1)/W).
+  /// Blocks until every chunk finishes (a full barrier), which is what
+  /// makes the level-synchronous merge race-free: callers may freely read
+  /// state the workers wrote once Run returns.
+  void Run(size_t n, const std::function<void(int, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop(int worker);
+
+  int size_ = 1;  // fixed before any thread spawns; safe to read unlocked
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  int active_ = 0;
+  bool stop_ = false;
+  size_t n_ = 0;
+  const std::function<void(int, size_t, size_t)>* fn_ = nullptr;
+};
+
+/// Parallel Incognito: partitions each lattice level's unmarked candidate
+/// nodes across `num_threads` workers, evaluates frequency sets and
+/// k-checks concurrently, and merges marks, failures, and survivor sets in
+/// stable node order — so complete runs are bit-identical to the serial
+/// path: same anonymous_nodes, same per_iteration_survivors, and the same
+/// nodes_checked / nodes_marked / table_scans / rollups /
+/// freq_groups_built counts. (governor_checks may differ: checkpoint
+/// cadence is per-worker.)
+///
+/// Each worker charges memory against a GovernorShard leased from a shared
+/// ExecutionGovernor; a Deadline/CancelToken/budget trip in any worker
+/// latches the shared trip, the pool drains at the level barrier, and the
+/// run returns the same sound PartialResult contract as the serial
+/// governed overload (completed iterations' survivor sets).
+///
+/// num_threads <= 1 delegates to the serial path.
+PartialResult<IncognitoResult> RunIncognitoParallel(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, const IncognitoOptions& options,
+    ExecutionGovernor& governor, int num_threads);
+
+/// Ungoverned convenience overload: same bit-identical guarantee, no
+/// budgets (internally the workers still shard-lease from a private
+/// unlimited governor, so the charge accounting is exercised either way).
+Result<IncognitoResult> RunIncognitoParallel(const Table& table,
+                                             const QuasiIdentifier& qid,
+                                             const AnonymizationConfig& config,
+                                             const IncognitoOptions& options,
+                                             int num_threads);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_CORE_PARALLEL_H_

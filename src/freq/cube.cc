@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/obs.h"
+#include "robust/fault_injector.h"
 
 namespace incognito {
 
@@ -44,6 +45,13 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
   auto charge = [&](const FrequencySet& fs) {
     if (governor == nullptr) return true;
     if (!governor->Check().ok()) return false;
+    // Fault site "cube.build": an injected allocation failure while
+    // materializing a cube subset (the root scan or a projection) latches
+    // like a refused charge and stops the build.
+    if (INCOGNITO_FAULT_FIRED("cube.build")) {
+      governor->LatchInjectedFailure("cube.build");
+      return false;
+    }
     return governor->ChargeMemory(static_cast<int64_t>(fs.MemoryBytes()))
         .ok();
   };

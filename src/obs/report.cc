@@ -155,6 +155,7 @@ void AddAlgorithmStats(const AlgorithmStats& stats, RunReport* report) {
   report->stats_["deadline_trips"] = stats.deadline_trips;
   report->stats_["memory_trips"] = stats.memory_trips;
   report->stats_["cancel_trips"] = stats.cancel_trips;
+  report->stats_["parallel_workers"] = stats.parallel_workers;
   report->stat_timings_["cube_build_seconds"] = stats.cube_build_seconds;
   report->stat_timings_["total_seconds"] = stats.total_seconds;
   report->has_stats_ = true;

@@ -30,6 +30,9 @@ const std::vector<std::string>& FaultInjector::KnownSites() {
       "binary_io.write.io",
       "binary_io.write.rename",
       "governor.charge",
+      "cube.build",
+      "incognito.rollup",
+      "bottom_up.rollup",
   };
   return *sites;
 }

@@ -100,4 +100,18 @@ class FaultInjector {
   static_cast<void>(sizeof((void)(site), 0))
 #endif
 
+/// Boolean form for sites whose enclosing function cannot return a Status
+/// (the rollup/cube compute paths, which return frequency sets by value):
+/// evaluates to true when the injector fires, and the call site routes the
+/// failure through ExecutionGovernor::LatchInjectedFailure so the search
+/// unwinds exactly like a refused memory charge. Compiles to a constant
+/// false unless INCOGNITO_FAULTS is defined.
+#ifdef INCOGNITO_FAULTS
+#define INCOGNITO_FAULT_FIRED(site) \
+  (::incognito::FaultInjector::Global().Hit(site))
+#else
+#define INCOGNITO_FAULT_FIRED(site) \
+  (static_cast<void>(sizeof((void)(site), 0)), false)
+#endif
+
 #endif  // INCOGNITO_ROBUST_FAULT_INJECTOR_H_

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 
 #include "common/status.h"
 
@@ -160,10 +161,19 @@ class ExecutionGovernor {
 
   void ReleaseMemory(int64_t bytes) { memory_.Release(bytes); }
 
+  /// Latches an injected allocation failure at `site` exactly as if the
+  /// memory budget had refused a charge (used by the compute-path fault
+  /// points in the rollup/cube code, whose enclosing functions cannot
+  /// return a Status directly; the search unwinds at its next checkpoint
+  /// or charge). Thread-safe. Returns the latched trip.
+  Status LatchInjectedFailure(const char* site);
+
   bool Tripped() const { return !trip_.ok(); }
   const Status& TripStatus() const { return trip_; }
   const GovernorTrips& trips() const { return trips_; }
   const MemoryBudget& memory() const { return memory_; }
+  const Deadline& deadline() const { return deadline_; }
+  const CancelToken* cancel_token() const { return cancel_; }
 
   /// Snapshots this governor's trip counters into `stats` (the governed
   /// entry points call this before returning). Overwrite semantics: the
@@ -171,12 +181,107 @@ class ExecutionGovernor {
   /// repeated exports during one run never double-count.
   void ExportTrips(AlgorithmStats* stats) const;
 
+  // --- Shard support (thread-safe; used by GovernorShard) -----------------
+  //
+  // The serial methods above touch trip state without locking, which is
+  // fine for the single-threaded search loops. Parallel search instead
+  // gives each worker a GovernorShard; shards reach the shared budget only
+  // through the three calls below (an atomic budget operation plus a
+  // mutex-guarded trip latch), so worker threads never race the governor's
+  // plain members. The parallel driver itself only calls the serial
+  // methods while the worker pool is quiescent.
+
+  /// Leases `bytes` straight from the memory budget without touching trip
+  /// state. Returns false when the budget refuses. Thread-safe.
+  bool TryLeaseMemory(int64_t bytes) { return memory_.TryCharge(bytes); }
+
+  /// Returns previously leased bytes to the budget. Thread-safe.
+  void ReturnLeasedMemory(int64_t bytes) { memory_.Release(bytes); }
+
+  /// First-trip latch shared by all shards: the first caller's status is
+  /// stored and returned to everyone (so one worker's trip stops the
+  /// others at their next checkpoint). Thread-safe.
+  Status LatchSharedTrip(Status trip);
+
+  /// The latched shared trip, or OK when none. Thread-safe.
+  Status SharedTrip() const;
+
+  /// Folds a drained shard's trip counters into this governor's totals so
+  /// ExportTrips reflects the whole parallel run. Call only while the
+  /// worker pool is quiescent (GovernorShard::Drain does).
+  void AbsorbShardTrips(const GovernorTrips& trips);
+
  private:
   Deadline deadline_;
   const CancelToken* cancel_ = nullptr;
   MemoryBudget memory_;
   GovernorTrips trips_;
   Status trip_;  // first trip, latched
+  mutable std::mutex shared_mu_;  // guards trip_ for the shard-side calls
+};
+
+/// A worker-local view of a shared ExecutionGovernor for parallel search
+/// (docs/PARALLELISM.md). Each worker owns one shard and charges its
+/// frequency sets against it; the shard leases bytes from the shared
+/// MemoryBudget in `lease_chunk_bytes` slabs so workers do not contend on
+/// the global counter for every small charge.
+///
+/// Leases are monotonic: a shard never returns bytes mid-run, only at
+/// Drain(). Because every live lease is charged to the shared budget, the
+/// sum of all shards' high-water (peak-lease) marks can never exceed the
+/// global limit — the invariant tests/property_test.cc checks.
+///
+/// Check() observes the parent's Deadline/CancelToken and the shared trip
+/// latch, so a trip in any worker (or in the main thread) stops every
+/// shard within one node-check. Not thread-safe itself: one shard belongs
+/// to exactly one worker, plus the quiescent main thread during merges.
+class GovernorShard {
+ public:
+  static constexpr int64_t kDefaultLeaseChunkBytes = int64_t{256} << 10;
+
+  explicit GovernorShard(ExecutionGovernor* parent,
+                         int64_t lease_chunk_bytes = kDefaultLeaseChunkBytes);
+  ~GovernorShard();
+  GovernorShard(const GovernorShard&) = delete;
+  GovernorShard& operator=(const GovernorShard&) = delete;
+
+  /// The cooperative checkpoint: local latch, then the shared latch, then
+  /// cancellation, then the deadline. A fresh trip is published to the
+  /// shared latch so sibling shards stop too.
+  Status Check();
+
+  /// Charges `bytes` against this shard, leasing another slab from the
+  /// shared budget when the current lease is exhausted. A refused lease
+  /// trips (kResourceExhausted), latches shared, and is retried at exact
+  /// size first so small global budgets behave like the serial path.
+  /// Compiled with INCOGNITO_FAULTS this hits the "governor.charge" site.
+  Status ChargeMemory(int64_t bytes);
+
+  /// Returns `bytes` to this shard's local accounting (the lease itself
+  /// stays; Drain returns it to the shared budget).
+  void ReleaseMemory(int64_t bytes);
+
+  /// Returns every leased byte to the parent and folds this shard's trip
+  /// counters into it. Idempotent; called by the destructor. After Drain
+  /// the shard must not be charged again.
+  void Drain();
+
+  int64_t leased_bytes() const { return leased_; }
+  int64_t used_bytes() const { return used_; }
+  /// Peak lease, == final lease since leases are monotonic until Drain.
+  int64_t high_water_bytes() const { return high_water_; }
+  const GovernorTrips& trips() const { return trips_; }
+  bool tripped() const { return !trip_.ok(); }
+
+ private:
+  ExecutionGovernor* parent_;
+  int64_t chunk_;
+  int64_t leased_ = 0;
+  int64_t used_ = 0;
+  int64_t high_water_ = 0;
+  GovernorTrips trips_;
+  Status trip_;  // local copy of the first trip this shard observed
+  bool drained_ = false;
 };
 
 }  // namespace incognito

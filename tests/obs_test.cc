@@ -241,7 +241,7 @@ TEST(ObsMacroTest, CountAndPhaseTimerHitTheGlobalRegistry) {
 
 // If a field is added to AlgorithmStats, this assert fires so the tests
 // below, MergeCounters, ToString, and AddAlgorithmStats get extended.
-static_assert(sizeof(AlgorithmStats) == 12 * 8,
+static_assert(sizeof(AlgorithmStats) == 13 * 8,
               "AlgorithmStats changed: update MergeCounters/ToString/"
               "AddAlgorithmStats and these tests");
 
@@ -259,6 +259,7 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   a.deadline_trips = 1;
   a.memory_trips = 2;
   a.cancel_trips = 3;
+  a.parallel_workers = 2;
 
   AlgorithmStats b;
   b.nodes_checked = 10;
@@ -273,6 +274,7 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   b.deadline_trips = 10;
   b.memory_trips = 20;
   b.cancel_trips = 30;
+  b.parallel_workers = 8;
 
   a.MergeCounters(b);
   EXPECT_EQ(a.nodes_checked, 11);
@@ -288,6 +290,8 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   EXPECT_EQ(a.deadline_trips, 11);
   EXPECT_EQ(a.memory_trips, 22);
   EXPECT_EQ(a.cancel_trips, 33);
+  // parallel_workers describes the pool, not work: merged with max.
+  EXPECT_EQ(a.parallel_workers, 8);
 }
 
 TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
@@ -304,6 +308,7 @@ TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
   s.deadline_trips = 88;
   s.memory_trips = 99;
   s.cancel_trips = 12;
+  s.parallel_workers = 4;
   std::string str = s.ToString();
   EXPECT_NE(str.find("checked=11"), std::string::npos) << str;
   EXPECT_NE(str.find("marked=22"), std::string::npos) << str;
@@ -317,6 +322,7 @@ TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
   EXPECT_NE(str.find("dl_trips=88"), std::string::npos) << str;
   EXPECT_NE(str.find("mem_trips=99"), std::string::npos) << str;
   EXPECT_NE(str.find("cancel_trips=12"), std::string::npos) << str;
+  EXPECT_NE(str.find("workers=4"), std::string::npos) << str;
 }
 
 TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
@@ -333,6 +339,7 @@ TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
   s.deadline_trips = 8;
   s.memory_trips = 9;
   s.cancel_trips = 10;
+  s.parallel_workers = 11;
   RunReport report("test", "stats");
   AddAlgorithmStats(s, &report);
   std::string json = report.ToJson();
@@ -341,7 +348,7 @@ TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
        {"nodes_checked", "nodes_marked", "table_scans", "rollups",
         "freq_groups_built", "candidate_nodes", "cube_build_seconds",
         "total_seconds", "governor_checks", "deadline_trips", "memory_trips",
-        "cancel_trips"}) {
+        "cancel_trips", "parallel_workers"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -372,6 +379,7 @@ RunReport GoldenReport() {
   stats.deadline_trips = 1;
   stats.memory_trips = 0;
   stats.cancel_trips = 0;
+  stats.parallel_workers = 4;
   AddAlgorithmStats(stats, &report);
 
   MetricsSnapshot metrics;

@@ -1,0 +1,463 @@
+// Differential tests for the parallel level-wise lattice search
+// (src/core/parallel.h): the worker pool, the GovernorShard lease
+// protocol, and — the core guarantee — bit-identical results between the
+// serial and parallel searches at every thread count, plus the sound
+// partial-result contract when a budget trips mid-search.
+
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/checker.h"
+#include "core/incognito.h"
+#include "data/adults.h"
+#include "robust/fault_injector.h"
+#include "robust/governor.h"
+#include "robust/partial_result.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::NodeSet;
+using testing_util::RandomDataset;
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+// ---------------------------------------------------------------------------
+
+TEST(WorkerPoolTest, PartitionCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 3, 4, 8}) {
+    WorkerPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{17}, size_t{100}}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.Run(n, [&](int worker, size_t begin, size_t end) {
+        EXPECT_GE(worker, 0);
+        EXPECT_LT(worker, threads);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(WorkerPoolTest, RunIsABarrierAndReusable) {
+  WorkerPool pool(4);
+  // Sequential Runs see each other's writes without extra synchronization:
+  // the barrier at the end of Run orders them.
+  std::vector<int64_t> data(1000, 0);
+  for (int round = 1; round <= 3; ++round) {
+    pool.Run(data.size(), [&](int, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) data[i] += round;
+    });
+  }
+  for (int64_t v : data) EXPECT_EQ(v, 1 + 2 + 3);
+}
+
+TEST(WorkerPoolTest, DistinctWorkersRunDistinctChunks) {
+  WorkerPool pool(4);
+  std::vector<int> owner(64, -1);
+  pool.Run(owner.size(), [&](int worker, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) owner[i] = worker;
+  });
+  // Static partition: workers own contiguous, ascending ranges.
+  for (size_t i = 1; i < owner.size(); ++i) {
+    EXPECT_GE(owner[i], owner[i - 1]);
+  }
+  EXPECT_EQ(owner.front(), 0);
+  EXPECT_EQ(owner.back(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// GovernorShard lease protocol
+// ---------------------------------------------------------------------------
+
+TEST(GovernorShardTest, LeasesInChunksAndDrainReturnsEverything) {
+  ExecutionGovernor governor;  // unlimited
+  {
+    GovernorShard shard(&governor, /*lease_chunk_bytes=*/1024);
+    EXPECT_TRUE(shard.ChargeMemory(100).ok());
+    // One whole chunk was leased for a 100-byte charge.
+    EXPECT_EQ(shard.leased_bytes(), 1024);
+    EXPECT_EQ(shard.used_bytes(), 100);
+    EXPECT_EQ(governor.memory().used(), 1024);
+    // Fits inside the existing lease: no new chunk.
+    EXPECT_TRUE(shard.ChargeMemory(900).ok());
+    EXPECT_EQ(shard.leased_bytes(), 1024);
+    // Overflows the lease: another chunk.
+    EXPECT_TRUE(shard.ChargeMemory(100).ok());
+    EXPECT_EQ(shard.leased_bytes(), 2048);
+    EXPECT_EQ(shard.high_water_bytes(), 2048);
+    shard.ReleaseMemory(1100);
+    EXPECT_EQ(shard.used_bytes(), 0);
+    // Releases stay local: the lease is monotonic until Drain.
+    EXPECT_EQ(governor.memory().used(), 2048);
+    shard.Drain();
+    EXPECT_EQ(governor.memory().used(), 0);
+    EXPECT_EQ(shard.high_water_bytes(), 2048);  // high-water survives Drain
+  }
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(GovernorShardTest, ExactSizeRetryWhenChunkRefused) {
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(500);  // smaller than one chunk
+  GovernorShard shard(&governor, /*lease_chunk_bytes=*/1024);
+  // The whole-chunk lease is refused but the exact-size retry fits, so a
+  // global budget smaller than the chunk still admits what fits (like the
+  // serial path's exact accounting).
+  EXPECT_TRUE(shard.ChargeMemory(400).ok());
+  EXPECT_EQ(shard.leased_bytes(), 400);
+  EXPECT_FALSE(governor.Tripped());
+  shard.Drain();
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(GovernorShardTest, RefusalLatchesSharedTripForSiblings) {
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(1000);
+  GovernorShard a(&governor, 256);
+  GovernorShard b(&governor, 256);
+  EXPECT_TRUE(a.ChargeMemory(900).ok());
+  Status refused = b.ChargeMemory(900);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(b.trips().memory_trips, 1);
+  // The sibling observes the shared trip at its next checkpoint.
+  EXPECT_EQ(a.Check().code(), StatusCode::kResourceExhausted);
+  a.Drain();
+  b.Drain();
+  EXPECT_EQ(governor.memory().used(), 0);
+  // Drain folded both shards' counters into the governor.
+  EXPECT_GE(governor.trips().memory_trips, 1);
+  EXPECT_GE(governor.trips().checks, 1);
+}
+
+TEST(GovernorShardTest, ChecksObserveParentDeadlineAndCancel) {
+  CancelToken token;
+  ExecutionGovernor governor;
+  governor.SetCancelToken(&token);
+  GovernorShard shard(&governor);
+  EXPECT_TRUE(shard.Check().ok());
+  token.Cancel();
+  EXPECT_EQ(shard.Check().code(), StatusCode::kCancelled);
+  // Latched locally and shared.
+  EXPECT_EQ(shard.Check().code(), StatusCode::kCancelled);
+  EXPECT_EQ(governor.SharedTrip().code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: parallel == serial, bit for bit
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Strings(const std::vector<SubsetNode>& nodes) {
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (const SubsetNode& n : nodes) out.push_back(n.ToString());
+  return out;
+}
+
+/// Asserts the parallel result is indistinguishable from the serial one:
+/// same answer set (in the same order), same survivor sets per iteration,
+/// and the same node-count statistics. governor_checks and the trip
+/// counters are excluded — checkpoint cadence is per-worker by design.
+void ExpectBitIdentical(const IncognitoResult& serial,
+                        const IncognitoResult& parallel) {
+  EXPECT_EQ(Strings(serial.anonymous_nodes), Strings(parallel.anonymous_nodes));
+  ASSERT_EQ(serial.per_iteration_survivors.size(),
+            parallel.per_iteration_survivors.size());
+  for (size_t i = 0; i < serial.per_iteration_survivors.size(); ++i) {
+    EXPECT_EQ(Strings(serial.per_iteration_survivors[i]),
+              Strings(parallel.per_iteration_survivors[i]))
+        << "iteration " << i + 1;
+  }
+  EXPECT_EQ(serial.completed_iterations, parallel.completed_iterations);
+  EXPECT_EQ(serial.stats.nodes_checked, parallel.stats.nodes_checked);
+  EXPECT_EQ(serial.stats.nodes_marked, parallel.stats.nodes_marked);
+  EXPECT_EQ(serial.stats.table_scans, parallel.stats.table_scans);
+  EXPECT_EQ(serial.stats.rollups, parallel.stats.rollups);
+  EXPECT_EQ(serial.stats.freq_groups_built, parallel.stats.freq_groups_built);
+  EXPECT_EQ(serial.stats.candidate_nodes, parallel.stats.candidate_nodes);
+}
+
+TEST(ParallelIncognitoTest, AdultsSweepMatchesSerialAtEveryThreadCount) {
+  AdultsOptions adults;
+  adults.num_rows = 300;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  AnonymizationConfig config;
+  config.k = 5;
+  for (size_t prefix = 1; prefix <= 3; ++prefix) {
+    QuasiIdentifier qid = data->qid.Prefix(prefix);
+    Result<IncognitoResult> serial = RunIncognito(data->table, qid, config);
+    ASSERT_TRUE(serial.ok());
+    for (int threads : {1, 2, 4, 8}) {
+      Result<IncognitoResult> parallel =
+          RunIncognitoParallel(data->table, qid, config, {}, threads);
+      ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+      ExpectBitIdentical(*serial, *parallel);
+      if (threads > 1) {
+        EXPECT_EQ(parallel->stats.parallel_workers, threads);
+        EXPECT_EQ(parallel->shard_high_water_bytes.size(),
+                  static_cast<size_t>(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelIncognitoTest, EveryVariantMatchesSerialOnRandomDatasets) {
+  for (uint64_t seed : {3u, 17u, 101u}) {
+    Rng rng(seed);
+    RandomDataset data = MakeRandomDataset(rng);
+    AnonymizationConfig config;
+    config.k = 2 + static_cast<int64_t>(seed % 3);
+    for (IncognitoVariant variant :
+         {IncognitoVariant::kBasic, IncognitoVariant::kSuperRoots,
+          IncognitoVariant::kCube}) {
+      IncognitoOptions options;
+      options.variant = variant;
+      Result<IncognitoResult> serial =
+          RunIncognito(data.table, data.qid, config, options);
+      ASSERT_TRUE(serial.ok());
+      Result<IncognitoResult> parallel =
+          RunIncognitoParallel(data.table, data.qid, config, options, 4);
+      ASSERT_TRUE(parallel.ok())
+          << "seed=" << seed << " variant=" << IncognitoVariantName(variant);
+      ExpectBitIdentical(*serial, *parallel);
+    }
+  }
+}
+
+TEST(ParallelIncognitoTest, RollupAblationStaysBitIdentical) {
+  Rng rng(5);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 3;
+  IncognitoOptions options;
+  options.use_rollup = false;
+  Result<IncognitoResult> serial =
+      RunIncognito(data.table, data.qid, config, options);
+  ASSERT_TRUE(serial.ok());
+  Result<IncognitoResult> parallel =
+      RunIncognitoParallel(data.table, data.qid, config, options, 3);
+  ASSERT_TRUE(parallel.ok());
+  ExpectBitIdentical(*serial, *parallel);
+  EXPECT_EQ(parallel->stats.rollups, 0);
+}
+
+TEST(ParallelIncognitoTest, NonTransitiveMarkingStaysBitIdentical) {
+  Rng rng(29);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  IncognitoOptions options;
+  options.mark_transitively = false;
+  Result<IncognitoResult> serial =
+      RunIncognito(data.table, data.qid, config, options);
+  ASSERT_TRUE(serial.ok());
+  Result<IncognitoResult> parallel =
+      RunIncognitoParallel(data.table, data.qid, config, options, 4);
+  ASSERT_TRUE(parallel.ok());
+  ExpectBitIdentical(*serial, *parallel);
+}
+
+TEST(ParallelIncognitoTest, OptionsNumThreadsDispatchesFromRunIncognito) {
+  Rng rng(41);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> serial = RunIncognito(data.table, data.qid, config);
+  ASSERT_TRUE(serial.ok());
+  IncognitoOptions options;
+  options.num_threads = 4;
+  Result<IncognitoResult> dispatched =
+      RunIncognito(data.table, data.qid, config, options);
+  ASSERT_TRUE(dispatched.ok());
+  ExpectBitIdentical(*serial, *dispatched);
+  EXPECT_EQ(dispatched->stats.parallel_workers, 4);
+}
+
+TEST(ParallelIncognitoTest, GovernedGenerousBudgetMatchesSerial) {
+  AdultsOptions adults;
+  adults.num_rows = 300;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  QuasiIdentifier qid = data->qid.Prefix(3);
+  AnonymizationConfig config;
+  config.k = 5;
+  Result<IncognitoResult> serial = RunIncognito(data->table, qid, config);
+  ASSERT_TRUE(serial.ok());
+
+  ExecutionGovernor governor;
+  governor.SetDeadline(Deadline::AfterMillis(5 * 60 * 1000));
+  governor.SetMemoryLimitBytes(int64_t{1} << 33);
+  PartialResult<IncognitoResult> governed =
+      RunIncognitoParallel(data->table, qid, config, {}, governor, 4);
+  ASSERT_TRUE(governed.complete()) << governed.status().ToString();
+  ExpectBitIdentical(*serial, governed.value());
+  EXPECT_EQ(governor.memory().used(), 0);
+  EXPECT_GT(governed->stats.governor_checks, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Trips: cancellation, deadline, shard memory budgets
+// ---------------------------------------------------------------------------
+
+TEST(ParallelIncognitoTest, DeadlineZeroReturnsEmptyValidPartial) {
+  Rng rng(7);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  ExecutionGovernor governor;
+  governor.SetDeadline(Deadline::AfterMillis(0));
+  PartialResult<IncognitoResult> run =
+      RunIncognitoParallel(data.table, data.qid, config, {}, governor, 4);
+  ASSERT_TRUE(run.partial());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(run->anonymous_nodes.empty());
+  EXPECT_EQ(run->completed_iterations, 0);
+  EXPECT_GE(run->stats.deadline_trips, 1);
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(ParallelIncognitoTest, PreCancelledTokenTripsCleanly) {
+  Rng rng(7);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  CancelToken token;
+  token.Cancel();
+  ExecutionGovernor governor;
+  governor.SetCancelToken(&token);
+  PartialResult<IncognitoResult> run =
+      RunIncognitoParallel(data.table, data.qid, config, {}, governor, 4);
+  ASSERT_TRUE(run.partial());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(run->stats.cancel_trips, 1);
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(ParallelIncognitoTest, MidSearchCancelFromSecondThreadDrainsCleanly) {
+  // A search slow enough (5 attributes, no rollup, larger table) that the
+  // canceller thread reliably lands mid-run; every worker must latch and
+  // the pool must drain with all shard memory returned.
+  Rng rng(11);
+  testing_util::RandomDatasetOptions opts;
+  opts.num_attrs = 5;
+  opts.max_height = 3;
+  opts.num_rows = 4000;
+  RandomDataset data = MakeRandomDataset(rng, opts);
+  AnonymizationConfig config;
+  config.k = 2;
+  IncognitoOptions options;
+  options.use_rollup = false;
+  CancelToken token;
+  ExecutionGovernor governor;
+  governor.SetCancelToken(&token);
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.Cancel();
+  });
+  PartialResult<IncognitoResult> run = RunIncognitoParallel(
+      data.table, data.qid, config, options, governor, 4);
+  canceller.join();
+  if (run.partial()) {
+    EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+    EXPECT_GE(run->stats.cancel_trips, 1);
+    // Everything proven before the trip is sound: completed iterations
+    // carry their full survivor sets.
+    EXPECT_EQ(run->per_iteration_survivors.size(),
+              static_cast<size_t>(run->completed_iterations));
+  } else {
+    EXPECT_TRUE(run.complete());
+  }
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(ParallelIncognitoTest, ShardBudgetTripYieldsSoundPrefixAndBoundedPeaks) {
+  Rng rng(33);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  Result<IncognitoResult> full = RunIncognito(data.table, data.qid, config);
+  ASSERT_TRUE(full.ok());
+
+  bool saw_partial = false;
+  for (int64_t limit : {int64_t{512}, int64_t{4} << 10, int64_t{64} << 10,
+                        int64_t{1} << 20, int64_t{16} << 20}) {
+    ExecutionGovernor governor;
+    governor.SetMemoryLimitBytes(limit);
+    PartialResult<IncognitoResult> run =
+        RunIncognitoParallel(data.table, data.qid, config, {}, governor, 4);
+    ASSERT_FALSE(run.hard_error()) << run.status().ToString();
+    // Sum of per-shard high-water leases never exceeds the global limit —
+    // leases are charged to the shared budget before they count.
+    int64_t high_water_sum = 0;
+    for (int64_t hw : run->shard_high_water_bytes) high_water_sum += hw;
+    EXPECT_LE(high_water_sum, limit) << "limit=" << limit;
+    EXPECT_EQ(governor.memory().used(), 0) << "limit=" << limit;
+    if (run.partial()) {
+      saw_partial = true;
+      EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+      EXPECT_GE(run->stats.memory_trips, 1);
+      // Sound prefix: every completed iteration's survivor set equals the
+      // unconstrained run's.
+      ASSERT_LE(run->per_iteration_survivors.size(),
+                full->per_iteration_survivors.size());
+      for (size_t i = 0; i < run->per_iteration_survivors.size(); ++i) {
+        EXPECT_EQ(Strings(run->per_iteration_survivors[i]),
+                  Strings(full->per_iteration_survivors[i]));
+      }
+    } else {
+      ExpectBitIdentical(*full, run.value());
+    }
+  }
+  EXPECT_TRUE(saw_partial) << "no limit in the sweep tripped; weaken limits";
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (only with -DINCOGNITO_FAULTS=ON)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFaultTest, RandomFaultsNeverCrashTheParallelSearch) {
+  if (!FaultInjector::kCompiledIn) {
+    GTEST_SKIP() << "build with -DINCOGNITO_FAULTS=ON";
+  }
+  Rng rng(7);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().EnableRandom(seed, 0.05);
+    ExecutionGovernor governor;
+    governor.SetDeadline(Deadline::AfterMillis(60 * 1000));
+    PartialResult<IncognitoResult> run =
+        RunIncognitoParallel(data.table, data.qid, config, {}, governor, 4);
+    // Injected failures surface as clean partials (latched like a refused
+    // charge) — never a crash, never leaked charges.
+    if (run.partial()) {
+      EXPECT_TRUE(IsResourceGovernance(run.status().code()))
+          << run.status().ToString();
+    }
+    EXPECT_EQ(governor.memory().used(), 0) << "seed=" << seed;
+  }
+  FaultInjector::Global().Reset();
+}
+
+}  // namespace
+}  // namespace incognito

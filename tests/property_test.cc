@@ -8,6 +8,7 @@
 #include "core/bottom_up.h"
 #include "core/checker.h"
 #include "core/incognito.h"
+#include "core/parallel.h"
 #include "core/recoder.h"
 #include "freq/frequency_set.h"
 #include "lattice/lattice.h"
@@ -140,6 +141,55 @@ TEST_P(SeededPropertyTest, IncognitoSoundAndComplete) {
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle)
         << IncognitoVariantName(variant) << " k=" << k_;
+  }
+}
+
+TEST_P(SeededPropertyTest, ParallelIncognitoMatchesOracle) {
+  std::set<std::string> oracle = Oracle(config_);
+  int threads = 2 + static_cast<int>(GetParam() % 3);  // 2..4 workers
+  Result<IncognitoResult> r = RunIncognitoParallel(
+      dataset_.table, dataset_.qid, config_, IncognitoOptions{}, threads);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle) << "threads=" << threads;
+}
+
+TEST_P(SeededPropertyTest, ParallelGovernorAlwaysDrainsToZero) {
+  // Invariant: whatever way a parallel run ends — completed, deadline,
+  // cancelled, or shard-budget-tripped — every leased byte is returned
+  // (used() == 0) and the shard high-water leases sum to at most the
+  // global limit (docs/PARALLELISM.md).
+  const int64_t limit = int64_t{16} << 10;
+  CancelToken cancelled;
+  cancelled.Cancel();
+  struct Scenario {
+    const char* name;
+    Deadline deadline;
+    int64_t memory_limit;  // 0 = unlimited
+    const CancelToken* token;
+  } scenarios[] = {
+      {"complete", Deadline::Infinite(), 0, nullptr},
+      {"deadline", Deadline::AfterMillis(0), 0, nullptr},
+      {"memory", Deadline::Infinite(), limit, nullptr},
+      {"cancelled", Deadline::Infinite(), 0, &cancelled},
+  };
+  for (const Scenario& s : scenarios) {
+    ExecutionGovernor governor;
+    governor.SetDeadline(s.deadline);
+    if (s.memory_limit > 0) governor.SetMemoryLimitBytes(s.memory_limit);
+    governor.SetCancelToken(s.token);
+    PartialResult<IncognitoResult> run = RunIncognitoParallel(
+        dataset_.table, dataset_.qid, config_, IncognitoOptions{}, governor,
+        4);
+    ASSERT_FALSE(run.hard_error()) << s.name << ": " << run.status().ToString();
+    EXPECT_EQ(governor.memory().used(), 0) << s.name;
+    int64_t high_water_sum = 0;
+    for (int64_t hw : run->shard_high_water_bytes) high_water_sum += hw;
+    if (s.memory_limit > 0) {
+      EXPECT_LE(high_water_sum, s.memory_limit) << s.name;
+    }
+    if (run.complete()) {
+      EXPECT_EQ(NodeSet(run->anonymous_nodes), Oracle(config_)) << s.name;
+    }
   }
 }
 

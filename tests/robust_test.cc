@@ -589,6 +589,51 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
       BuildSuppressionHierarchy("a", table.dictionary(0));
   ASSERT_TRUE(hierarchy.ok());
 
+  // The compute-path sites (cube.build, incognito.rollup,
+  // bottom_up.rollup) only fire inside governed searches, so the battery
+  // also runs one search per family. k is set high enough that low nodes
+  // fail, forcing their stored frequency sets to be rolled up.
+  RandomDataset search = SmallDataset();
+  AnonymizationConfig search_config;
+  search_config.k = 10;
+  IncognitoOptions cube_opts;
+  cube_opts.variant = IncognitoVariant::kCube;
+  BottomUpOptions rollup_opts;
+  rollup_opts.use_rollup = true;
+  auto run_searches = [&](std::vector<Status>* outcomes) {
+    {
+      ExecutionGovernor g;
+      outcomes->push_back(
+          RunIncognito(search.table, search.qid, search_config, {}, g)
+              .status());
+    }
+    {
+      ExecutionGovernor g;
+      outcomes->push_back(
+          RunIncognito(search.table, search.qid, search_config, cube_opts, g)
+              .status());
+    }
+    {
+      ExecutionGovernor g;
+      outcomes->push_back(RunBottomUpBfs(search.table, search.qid,
+                                         search_config, rollup_opts, g)
+                             .status());
+    }
+  };
+  // Probe (no scripts armed): the searches must actually reach every
+  // compute-path site, or the per-site loop below would vacuously pass.
+  FaultInjector::Global().Reset();
+  {
+    std::vector<Status> probe;
+    run_searches(&probe);
+    for (const Status& s : probe) EXPECT_TRUE(s.ok()) << s.message();
+  }
+  for (const char* compute_site :
+       {"cube.build", "incognito.rollup", "bottom_up.rollup"}) {
+    EXPECT_GE(FaultInjector::Global().HitCount(compute_site), 1)
+        << "battery searches never reach " << compute_site;
+  }
+
   for (const std::string& site : FaultInjector::KnownSites()) {
     FaultInjector::Global().Reset();
     FaultInjector::Global().ScriptFailNthHit(site, 1);
@@ -607,6 +652,7 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
     ExecutionGovernor governor;
     outcomes.push_back(governor.ChargeMemory(16));
     governor.ReleaseMemory(16);
+    run_searches(&outcomes);
 
     EXPECT_EQ(FaultInjector::Global().FaultsFired(), 1)
         << "site " << site << " was never hit by the battery";

@@ -26,6 +26,11 @@
 //   --report=FILE    write a machine-readable RunReport JSON (config,
 //                    dataset shape, counters, per-phase span rollups)
 //
+// Parallel search (enumerate, anonymize):
+//   --threads=N      evaluate each lattice level with N worker threads
+//                    (1-256; results are bit-identical to the serial
+//                    search, see docs/PARALLELISM.md)
+//
 // Resource governance (check, enumerate, anonymize):
 //   --deadline-ms=N       stop the search after N milliseconds
 //   --memory-budget-mb=N  cap the search's accounted structures at N MiB
@@ -252,6 +257,23 @@ Result<GovernanceOptions> ParseGovernance(
   return opts;
 }
 
+/// The --threads flag: worker count for the parallel lattice search
+/// (core/parallel.h). Defaults to 1 (the serial path).
+Result<IncognitoOptions> ParseRunOptions(
+    const std::map<std::string, std::string>& args) {
+  IncognitoOptions opts;
+  std::string threads = Get(args, "threads");
+  if (!threads.empty()) {
+    int64_t n = 0;
+    if (!ParseInt64(threads, &n) || n < 1 || n > 256) {
+      return Status::InvalidArgument("bad --threads value '" + threads +
+                                     "' (want an integer in [1, 256])");
+    }
+    opts.num_threads = static_cast<int>(n);
+  }
+  return opts;
+}
+
 std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
   std::map<std::string, std::string> args;
   for (int i = 2; i < argc; ++i) {
@@ -466,16 +488,18 @@ int CmdEnumerate(const std::map<std::string, std::string>& args,
   obs->RecordShape(problem->table, problem->qid);
   Result<GovernanceOptions> gov = ParseGovernance(args);
   if (!gov.ok()) return Fail(gov.status());
+  Result<IncognitoOptions> run_opts = ParseRunOptions(args);
+  if (!run_opts.ok()) return Fail(run_opts.status());
   AnonymizationConfig config = ConfigFrom(args);
   PartialResult<IncognitoResult> result = [&] {
     if (gov->enabled) {
       ExecutionGovernor governor;
       gov->Apply(&governor);
-      return RunIncognito(problem->table, problem->qid, config,
-                          IncognitoOptions{}, governor);
+      return RunIncognito(problem->table, problem->qid, config, *run_opts,
+                          governor);
     }
     Result<IncognitoResult> full =
-        RunIncognito(problem->table, problem->qid, config);
+        RunIncognito(problem->table, problem->qid, config, *run_opts);
     if (!full.ok()) return PartialResult<IncognitoResult>(full.status());
     return PartialResult<IncognitoResult>(std::move(full).value());
   }();
@@ -517,6 +541,8 @@ int CmdAnonymize(const std::map<std::string, std::string>& args,
   obs->RecordShape(problem->table, problem->qid);
   Result<GovernanceOptions> gov = ParseGovernance(args);
   if (!gov.ok()) return Fail(gov.status());
+  Result<IncognitoOptions> run_opts = ParseRunOptions(args);
+  if (!run_opts.ok()) return Fail(run_opts.status());
   AnonymizationConfig config = ConfigFrom(args);
   std::string output = Get(args, "output");
   if (output.empty()) {
@@ -533,11 +559,11 @@ int CmdAnonymize(const std::map<std::string, std::string>& args,
       if (gov->enabled) {
         ExecutionGovernor governor;
         gov->Apply(&governor);
-        return RunIncognito(problem->table, problem->qid, config,
-                          IncognitoOptions{}, governor);
+        return RunIncognito(problem->table, problem->qid, config, *run_opts,
+                            governor);
       }
       Result<IncognitoResult> full =
-          RunIncognito(problem->table, problem->qid, config);
+          RunIncognito(problem->table, problem->qid, config, *run_opts);
       if (!full.ok()) return PartialResult<IncognitoResult>(full.status());
       return PartialResult<IncognitoResult>(std::move(full).value());
     }();

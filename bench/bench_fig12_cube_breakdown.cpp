@@ -11,13 +11,16 @@
 //
 // Flags: --adults_rows=N (45222) --landsend_rows=N (200000)
 //        --max_qid_adults=N (9) --max_qid_landsend=N (8) --quick
+//        --threads=N (8, upper bound of the parallel-build sweep)
 //        --json[=FILE] (machine-readable BENCH_fig12_cube_breakdown.json)
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "core/worker_pool.h"
 #include "data/adults.h"
 #include "data/landsend.h"
+#include "freq/cube.h"
 
 using namespace incognito;
 using namespace incognito::bench;
@@ -51,6 +54,39 @@ void Sweep(const char* name, const SyntheticDataset& dataset, size_t max_qid,
   }
 }
 
+// Times the DAG-scheduled parallel cube build against the serial build on
+// the largest Adults QID and records the per-thread speedup under the
+// report's "derived" object (docs/PARALLELISM.md "Intra-node parallelism").
+void ThreadSweep(const SyntheticDataset& dataset, size_t qid_size,
+                 int max_threads, BenchReport* report) {
+  QuasiIdentifier qid = dataset.qid.Prefix(qid_size);
+  Stopwatch serial_timer;
+  ZeroGenCube::BuildInfo serial_info;
+  ZeroGenCube serial = ZeroGenCube::Build(dataset.table, qid, &serial_info);
+  double serial_seconds = serial_timer.ElapsedSeconds();
+  printf("\n--- parallel cube build, adults qid=%zu ---\n", qid_size);
+  printf("%8s %12s %9s\n", "threads", "build", "speedup");
+  printf("%8s %11.3fs %9s\n", "serial", serial_seconds, "1.00x");
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    WorkerPool pool(threads);
+    Stopwatch timer;
+    ZeroGenCube::BuildInfo info;
+    ZeroGenCube cube =
+        ZeroGenCube::BuildParallel(dataset.table, qid, pool, &info);
+    double seconds = timer.ElapsedSeconds();
+    if (cube.num_subsets() != serial.num_subsets() ||
+        info.total_groups != serial_info.total_groups) {
+      fprintf(stderr, "parallel build mismatch at %d threads\n", threads);
+      continue;
+    }
+    double speedup = seconds > 0 ? serial_seconds / seconds : 0;
+    printf("%8d %11.3fs %8.2fx\n", threads, seconds, speedup);
+    fflush(stdout);
+    report->SetDerived(
+        StringPrintf("cube_build_speedup_threads_%d", threads), speedup);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +102,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("max_qid_adults", quick ? 5 : 9));
   size_t max_qid_landsend =
       static_cast<size_t>(flags.GetInt("max_qid_landsend", quick ? 5 : 8));
+  int max_threads = static_cast<int>(flags.GetInt("threads", 8));
   BenchReport report(flags, "fig12_cube_breakdown");
   if (!flags.CheckUnknown()) return 2;
 
@@ -77,6 +114,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   Sweep("adults", adults.value(), max_qid_adults, &report);
+  ThreadSweep(adults.value(), max_qid_adults, max_threads, &report);
 
   Result<SyntheticDataset> landsend = MakeLandsEndDataset(landsend_opts);
   if (!landsend.ok()) {

@@ -15,6 +15,7 @@
 #include "common/random.h"
 #include "core/matrix_checker.h"
 #include "core/parallel.h"
+#include "core/worker_pool.h"
 #include "data/adults.h"
 #include "freq/cube.h"
 #include "freq/frequency_set.h"
@@ -60,6 +61,25 @@ void BM_GroupByScan(benchmark::State& state) {
                           static_cast<int64_t>(ds.table.num_rows()));
 }
 BENCHMARK(BM_GroupByScan)->Arg(1)->Arg(3)->Arg(6)->Arg(9);
+
+// ---------------------------------------------------------------------------
+// Parallel group-by scan at the full 9-attribute node (Arg = threads).
+// Chunked per-worker aggregation + ordered merge; bit-identical to
+// BM_GroupByScan's result, so the delta is pure merge/coordination cost.
+// ---------------------------------------------------------------------------
+void BM_GroupByScanParallel(benchmark::State& state) {
+  const SyntheticDataset& ds = SharedAdults();
+  SubsetNode node = ZeroNode(9);
+  WorkerPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    FrequencySet fs =
+        FrequencySet::ComputeParallel(ds.table, ds.qid, node, pool);
+    benchmark::DoNotOptimize(fs.NumGroups());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.table.num_rows()));
+}
+BENCHMARK(BM_GroupByScanParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 // ---------------------------------------------------------------------------
 // Rollup vs rescan: producing the frequency set one level up from an
@@ -108,6 +128,22 @@ void BM_CubeBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CubeBuild)->Arg(3)->Arg(5)->Arg(7);
+
+// ---------------------------------------------------------------------------
+// DAG-scheduled parallel cube build at a fixed 7-attribute QID (Arg =
+// threads). Projections at the same popcount run concurrently; compare
+// against BM_CubeBuild/7 for the scheduling overhead and scaling.
+// ---------------------------------------------------------------------------
+void BM_CubeBuildParallel(benchmark::State& state) {
+  const SyntheticDataset& ds = SharedAdults();
+  QuasiIdentifier qid = ds.qid.Prefix(7);
+  WorkerPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ZeroGenCube cube = ZeroGenCube::BuildParallel(ds.table, qid, pool);
+    benchmark::DoNotOptimize(cube.num_subsets());
+  }
+}
+BENCHMARK(BM_CubeBuildParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 // ---------------------------------------------------------------------------
 // Lattice enumeration and candidate graph generation.
@@ -354,6 +390,30 @@ int main(int argc, char** argv) {
                  seconds, r->anonymous_nodes.size(), r->stats,
                  incognito::obs::MetricsSnapshot::Take().DeltaSince(before));
       report.SetDerived(StringPrintf("speedup_threads_%d", threads), speedup);
+    }
+
+    // Per-thread speedup of the intra-node parallel scan itself: the
+    // chunked FrequencySet::ComputeParallel at the full 9-attribute
+    // zero-generalization node, against the serial scan it must match
+    // bit-for-bit.
+    incognito::SubsetNode scan_node = incognito::ZeroNode(9);
+    incognito::Stopwatch serial_timer;
+    incognito::FrequencySet serial_fs =
+        incognito::FrequencySet::Compute(ds.table, ds.qid, scan_node);
+    double serial_scan_seconds = serial_timer.ElapsedSeconds();
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+      incognito::WorkerPool pool(threads);
+      incognito::Stopwatch timer;
+      incognito::FrequencySet fs = incognito::FrequencySet::ComputeParallel(
+          ds.table, ds.qid, scan_node, pool);
+      double seconds = timer.ElapsedSeconds();
+      if (fs.NumGroups() != serial_fs.NumGroups()) {
+        fprintf(stderr, "parallel scan mismatch at %d threads\n", threads);
+        continue;
+      }
+      double speedup = seconds > 0 ? serial_scan_seconds / seconds : 0;
+      report.SetDerived(StringPrintf("scan_speedup_threads_%d", threads),
+                        speedup);
     }
   }
 

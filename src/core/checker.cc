@@ -4,9 +4,26 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "core/worker_pool.h"
 #include "obs/obs.h"
 
 namespace incognito {
+
+namespace {
+
+/// One-scan frequency-set computation, serial or fanned out across a
+/// transient pool (bit-identical either way; see docs/PARALLELISM.md).
+FrequencySet CheckScan(const Table& table, const QuasiIdentifier& qid,
+                       const SubsetNode& node, int num_threads,
+                       ExecutionGovernor* governor) {
+  if (num_threads <= 1) {
+    return FrequencySet::Compute(table, qid, node);
+  }
+  WorkerPool pool(num_threads);
+  return FrequencySet::ComputeParallel(table, qid, node, pool, governor);
+}
+
+}  // namespace
 
 void AlgorithmStats::MergeCounters(const AlgorithmStats& other) {
   nodes_checked += other.nodes_checked;
@@ -42,11 +59,11 @@ std::string AlgorithmStats::ToString() const {
 
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                   const SubsetNode& node, const AnonymizationConfig& config,
-                  AlgorithmStats* stats) {
+                  AlgorithmStats* stats, int num_threads) {
   INCOGNITO_SPAN("checker.is_k_anonymous");
   INCOGNITO_COUNT("checker.direct_checks");
   Stopwatch timer;
-  FrequencySet fs = FrequencySet::Compute(table, qid, node);
+  FrequencySet fs = CheckScan(table, qid, node, num_threads, nullptr);
   bool anonymous = fs.IsKAnonymous(config.k, config.max_suppressed);
   if (stats != nullptr) {
     ++stats->nodes_checked;
@@ -61,10 +78,10 @@ Result<bool> IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                           const SubsetNode& node,
                           const AnonymizationConfig& config,
                           ExecutionGovernor& governor,
-                          AlgorithmStats* stats) {
+                          AlgorithmStats* stats, int num_threads) {
   INCOGNITO_RETURN_IF_ERROR(governor.Check());
   Stopwatch timer;
-  FrequencySet fs = FrequencySet::Compute(table, qid, node);
+  FrequencySet fs = CheckScan(table, qid, node, num_threads, &governor);
   Status charge = governor.ChargeMemory(
       static_cast<int64_t>(fs.MemoryBytes()));
   if (!charge.ok()) {

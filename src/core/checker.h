@@ -64,19 +64,23 @@ struct AlgorithmStats {
 /// the paper's SELECT COUNT(*) ... GROUP BY query. Convenience entry point
 /// and the oracle the property tests compare the algorithms against.
 /// When `stats` is non-null, the check's costs are accumulated into it.
+/// `num_threads` > 1 fans the scan out across a worker pool
+/// (FrequencySet::ComputeParallel) with a bit-identical verdict and stats.
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                   const SubsetNode& node, const AnonymizationConfig& config,
-                  AlgorithmStats* stats = nullptr);
+                  AlgorithmStats* stats = nullptr, int num_threads = 1);
 
 /// Governed variant: polls `governor` before the scan and charges the
 /// frequency set's heap footprint against its memory budget (released after
 /// the check). Returns kDeadlineExceeded / kResourceExhausted / kCancelled
-/// instead of an answer when a budget trips.
+/// instead of an answer when a budget trips. `num_threads` > 1 runs the
+/// scan across a worker pool with per-worker shard charges.
 Result<bool> IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                           const SubsetNode& node,
                           const AnonymizationConfig& config,
                           ExecutionGovernor& governor,
-                          AlgorithmStats* stats = nullptr);
+                          AlgorithmStats* stats = nullptr,
+                          int num_threads = 1);
 
 }  // namespace incognito
 

@@ -19,70 +19,6 @@
 namespace incognito {
 
 // ---------------------------------------------------------------------------
-// WorkerPool
-// ---------------------------------------------------------------------------
-
-WorkerPool::WorkerPool(int num_threads) : size_(std::max(1, num_threads)) {
-  threads_.reserve(static_cast<size_t>(size_ - 1));
-  for (int w = 1; w < size_; ++w) {
-    threads_.emplace_back([this, w] { WorkerLoop(w); });
-  }
-}
-
-WorkerPool::~WorkerPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-}
-
-void WorkerPool::Run(size_t n,
-                     const std::function<void(int, size_t, size_t)>& fn) {
-  const size_t workers = static_cast<size_t>(size());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    n_ = n;
-    fn_ = &fn;
-    active_ = static_cast<int>(threads_.size());
-    ++generation_;
-  }
-  work_cv_.notify_all();
-  // The caller is worker 0; its chunk runs on this thread.
-  fn(0, 0, n / workers);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return active_ == 0; });
-  fn_ = nullptr;
-}
-
-void WorkerPool::WorkerLoop(int worker) {
-  const size_t workers = static_cast<size_t>(size());
-  uint64_t seen = 0;
-  for (;;) {
-    const std::function<void(int, size_t, size_t)>* fn;
-    size_t n;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      fn = fn_;
-      n = n_;
-    }
-    const size_t w = static_cast<size_t>(worker);
-    (*fn)(worker, n * w / workers, n * (w + 1) / workers);
-    bool last;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      last = --active_ == 0;
-    }
-    if (last) done_cv_.notify_one();
-  }
-}
-
-// ---------------------------------------------------------------------------
 // Parallel graph search
 // ---------------------------------------------------------------------------
 
@@ -190,7 +126,12 @@ class ParallelGraphSearch {
         }
         super.levels = std::move(min_levels);
         ++stats_->table_scans;
-        FrequencySet super_freq = FrequencySet::Compute(table_, qid_, super);
+        // The pool is idle between levels, so the family scan itself fans
+        // out across it; the result is bit-identical to the serial
+        // Compute (docs/PARALLELISM.md "Intra-node parallelism").
+        FrequencySet super_freq =
+            FrequencySet::ComputeParallel(table_, qid_, super, *pool_,
+                                          governor_);
         stats_->freq_groups_built +=
             static_cast<int64_t>(super_freq.NumGroups());
         Status charged = governor_->ChargeMemory(
@@ -486,14 +427,16 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
     return trip;
   };
 
-  // Cube Incognito pre-computes all zero-generalization frequency sets on
-  // the main thread (the workers only read the finished cube).
+  // Cube Incognito pre-computes all zero-generalization frequency sets
+  // across the pool — a parallel root scan plus DAG-scheduled projections
+  // — before the search starts (the search workers only read the
+  // finished cube).
   ZeroGenCube cube;
   const ZeroGenCube* cube_ptr = nullptr;
   if (options.variant == IncognitoVariant::kCube) {
     Stopwatch cube_timer;
     ZeroGenCube::BuildInfo info;
-    cube = ZeroGenCube::Build(table, qid, &info, governor);
+    cube = ZeroGenCube::BuildParallel(table, qid, pool, &info, governor);
     cube_ptr = &cube;
     result.stats.cube_build_seconds = cube_timer.ElapsedSeconds();
     result.stats.table_scans += info.table_scans;

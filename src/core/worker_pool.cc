@@ -1,0 +1,67 @@
+#include "core/worker_pool.h"
+
+#include <algorithm>
+
+namespace incognito {
+
+WorkerPool::WorkerPool(int num_threads) : size_(std::max(1, num_threads)) {
+  threads_.reserve(static_cast<size_t>(size_ - 1));
+  for (int w = 1; w < size_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Run(size_t n,
+                     const std::function<void(int, size_t, size_t)>& fn) {
+  const size_t workers = static_cast<size_t>(size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n_ = n;
+    fn_ = &fn;
+    active_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is worker 0; its chunk runs on this thread.
+  fn(0, 0, n / workers);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(int worker) {
+  const size_t workers = static_cast<size_t>(size());
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int, size_t, size_t)>* fn;
+    size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      n = n_;
+    }
+    const size_t w = static_cast<size_t>(worker);
+    (*fn)(worker, n * w / workers, n * (w + 1) / workers);
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = --active_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+}  // namespace incognito

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
 
+#include "core/worker_pool.h"
 #include "obs/obs.h"
 #include "robust/fault_injector.h"
 
@@ -56,7 +61,7 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
         .ok();
   };
 
-  const uint32_t full = (n == 32 ? ~0u : (1u << n) - 1);
+  const uint32_t full = (1u << n) - 1;  // n <= 24, so the shift is safe
   auto root = cube.sets_.emplace(
       full, FrequencySet::Compute(table, qid, ZeroNodeForMask(full)));
   local.table_scans = 1;
@@ -94,6 +99,212 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
       cube.sets_.erase(inserted.first);
       tripped = true;
     }
+  }
+
+  INCOGNITO_COUNT_ADD("cube.subsets",
+                      static_cast<int64_t>(cube.sets_.size()));
+  local.num_subsets = cube.sets_.size();
+  for (const auto& [mask, fs] : cube.sets_) {
+    (void)mask;
+    local.total_groups += fs.NumGroups();
+    local.total_bytes += fs.MemoryBytes();
+  }
+  if (info != nullptr) *info = local;
+  return cube;
+}
+
+ZeroGenCube ZeroGenCube::BuildParallel(const Table& table,
+                                       const QuasiIdentifier& qid,
+                                       WorkerPool& pool, BuildInfo* info,
+                                       ExecutionGovernor* governor) {
+  INCOGNITO_SPAN("cube.build");
+  INCOGNITO_PHASE_TIMER("phase.cube_build_seconds");
+  INCOGNITO_COUNT("cube.builds");
+  INCOGNITO_COUNT("cube.parallel_builds");
+  const size_t n = qid.size();
+  assert(n >= 1 && n <= 24);
+  ZeroGenCube cube;
+  BuildInfo local;
+  const uint32_t full = (1u << n) - 1;
+
+  // Root: one parallel scan of T (the cube's only table access). A trip
+  // inside the scan latches the governor and yields an empty set; the
+  // main-thread charge below observes the latch via Check().
+  FrequencySet root_fs = FrequencySet::ComputeParallel(
+      table, qid, ZeroNodeForMask(full), pool, governor);
+  local.table_scans = 1;
+
+  // Same root charge protocol as the serial Build, fault site included.
+  bool tripped = false;
+  int64_t root_bytes = 0;
+  if (governor != nullptr) {
+    if (!governor->Check().ok()) {
+      tripped = true;
+    } else if (INCOGNITO_FAULT_FIRED("cube.build")) {
+      governor->LatchInjectedFailure("cube.build");
+      tripped = true;
+    } else {
+      root_bytes = static_cast<int64_t>(root_fs.MemoryBytes());
+      if (!governor->ChargeMemory(root_bytes).ok()) {
+        root_bytes = 0;
+        tripped = true;
+      }
+    }
+  }
+  if (tripped) {
+    if (info != nullptr) *info = local;
+    return cube;
+  }
+  cube.sets_.emplace(full, std::move(root_fs));
+
+  // Pre-insert every proper subset so the workers never mutate the map
+  // structure; each slot is written by exactly one worker and published
+  // to its children through the scheduler mutex.
+  for (uint32_t m = 1; m < full; ++m) cube.sets_.emplace(m, FrequencySet());
+  std::vector<FrequencySet*> slot(static_cast<size_t>(full) + 1, nullptr);
+  for (auto& [mask, fs] : cube.sets_) slot[mask] = &fs;
+
+  // Dependency counting: a mask becomes ready only when ALL of its
+  // parents (supersets with one extra attribute) are materialized, so the
+  // serial best-parent rule — fewest groups, lowest parent mask — picks
+  // the same parent no matter which worker runs the projection, or when.
+  std::vector<int32_t> deps(static_cast<size_t>(full) + 1, 0);
+  for (uint32_t m = 1; m < full; ++m) {
+    deps[m] = static_cast<int32_t>(n) - __builtin_popcount(m);
+  }
+
+  // Ready masks, ordered by decreasing popcount then ascending mask —
+  // the serial processing order, which fills the wide (high-popcount)
+  // tiers first and keeps the most independent work in flight.
+  struct MaskOrder {
+    bool operator()(uint32_t a, uint32_t b) const {
+      int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+      if (pa != pb) return pa > pb;
+      return a < b;
+    }
+  };
+  std::set<uint32_t, MaskOrder> ready;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = full - 1;  // proper subsets still to materialize
+  bool stopped = false;
+  int64_t projections = 0;
+
+  // The root is materialized: seed its children (popcount n-1 masks).
+  for (size_t d = 0; d < n; ++d) {
+    uint32_t child = full & ~(1u << d);
+    if (child != 0 && --deps[child] == 0) ready.insert(child);
+  }
+
+  const size_t workers = static_cast<size_t>(pool.size());
+  std::vector<std::unique_ptr<GovernorShard>> shards;
+  if (governor != nullptr) {
+    shards.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      shards.push_back(std::make_unique<GovernorShard>(governor));
+    }
+  }
+
+  if (remaining > 0) {
+    // Run(workers, ...) hands every worker its own index: each runs the
+    // scheduler loop below until the DAG is drained or the build stops.
+    pool.Run(workers, [&](int w, size_t, size_t) {
+      INCOGNITO_SPAN("cube.project.worker");
+      GovernorShard* shard =
+          governor != nullptr ? shards[static_cast<size_t>(w)].get() : nullptr;
+      std::unique_lock<std::mutex> lock(mu);
+      for (;;) {
+        cv.wait(lock,
+                [&] { return stopped || remaining == 0 || !ready.empty(); });
+        if (stopped || remaining == 0) return;
+        const uint32_t m = *ready.begin();
+        ready.erase(ready.begin());
+        lock.unlock();
+
+        bool failed = false;
+        if (shard != nullptr) {
+          if (!shard->Check().ok()) {
+            failed = true;
+          } else if (INCOGNITO_FAULT_FIRED("cube.project")) {
+            // Fault site "cube.project": an injected allocation failure
+            // in one worker's projection; siblings stop at their next
+            // checkpoint.
+            governor->LatchInjectedFailure("cube.project");
+            failed = true;
+          }
+        }
+        if (!failed) {
+          // All parents are materialized (the dependency invariant), so
+          // this scan is the serial one: ascending candidate order,
+          // first strict improvement wins.
+          const FrequencySet* best = nullptr;
+          for (size_t d = 0; d < n; ++d) {
+            uint32_t parent = m | (1u << d);
+            if (parent == m) continue;
+            const FrequencySet* p = slot[parent];
+            if (best == nullptr || p->NumGroups() < best->NumGroups()) {
+              best = p;
+            }
+          }
+          INCOGNITO_COUNT("cube.parallel_projections");
+          *slot[m] = best->ProjectTo(ZeroNodeForMask(m), qid);
+          if (shard != nullptr &&
+              !shard
+                   ->ChargeMemory(
+                       static_cast<int64_t>(slot[m]->MemoryBytes()))
+                   .ok()) {
+            // Refused: the set was never admitted — drop it so the final
+            // footprint only covers charged sets.
+            *slot[m] = FrequencySet();
+            failed = true;
+          }
+        }
+
+        lock.lock();
+        if (failed) {
+          stopped = true;
+          cv.notify_all();
+          return;
+        }
+        ++projections;
+        --remaining;
+        for (size_t d = 0; d < n; ++d) {
+          if ((m & (1u << d)) == 0) continue;
+          uint32_t child = m & ~(1u << d);
+          if (child != 0 && --deps[child] == 0) ready.insert(child);
+        }
+        if (remaining == 0 || !ready.empty()) cv.notify_all();
+      }
+    });
+  }
+  local.projections = projections;
+
+  // The worker charges were transient leases: drain them, then (on
+  // success) charge the whole projection footprint once on the main
+  // thread. The recharge always fits — the drained leases covered at
+  // least this many bytes — so the governor's live total matches the
+  // serial build and ReleaseMemory balances it back to zero.
+  for (auto& shard : shards) shard->Drain();
+  bool build_tripped =
+      stopped || (governor != nullptr && !governor->SharedTrip().ok());
+  if (!build_tripped && governor != nullptr) {
+    int64_t projection_bytes = 0;
+    for (const auto& [mask, fs] : cube.sets_) {
+      if (mask != full) {
+        projection_bytes += static_cast<int64_t>(fs.MemoryBytes());
+      }
+    }
+    build_tripped =
+        projection_bytes > 0 && !governor->ChargeMemory(projection_bytes).ok();
+  }
+  if (build_tripped) {
+    cube.sets_.clear();
+    if (governor != nullptr) governor->ReleaseMemory(root_bytes);
+    if (info != nullptr) {
+      local.num_subsets = 0;
+      *info = local;
+    }
+    return cube;
   }
 
   INCOGNITO_COUNT_ADD("cube.subsets",

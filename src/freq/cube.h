@@ -12,6 +12,8 @@
 
 namespace incognito {
 
+class WorkerPool;
+
 /// The pre-computed zero-generalization frequency sets used by Cube
 /// Incognito (paper §3.3.2): for every non-empty subset of the
 /// quasi-identifier attributes, the frequency set of T at the lowest level
@@ -39,6 +41,30 @@ class ZeroGenCube {
   static ZeroGenCube Build(const Table& table, const QuasiIdentifier& qid,
                            BuildInfo* info = nullptr,
                            ExecutionGovernor* governor = nullptr);
+
+  /// Parallel twin of Build (docs/PARALLELISM.md "Intra-node
+  /// parallelism"): the root scan runs as a parallel FrequencySet::
+  /// ComputeParallel, and the per-mask projections — which form a DAG
+  /// (every mask depends on its one-attribute supersets) — are scheduled
+  /// by decreasing popcount with dependency counting, so independent
+  /// projections at the same popcount run concurrently across the pool.
+  /// A mask is only scheduled once ALL of its parents are materialized,
+  /// which keeps the best-parent choice (fewest groups, lowest parent
+  /// mask) deterministic; a complete build is bit-identical to Build,
+  /// BuildInfo totals included.
+  ///
+  /// Governed builds charge each projection to the running worker's
+  /// private GovernorShard ("cube.project" fault site per projection;
+  /// "cube.build" at the main-thread root charge, as in Build). The
+  /// transient shard leases drain at the end and a successful build
+  /// re-charges the exact footprint on the main thread, so the governor's
+  /// live total — and ReleaseMemory's balance back to zero — match the
+  /// serial build. A tripped build latches the governor and returns an
+  /// empty cube with every charged byte released.
+  static ZeroGenCube BuildParallel(const Table& table,
+                                   const QuasiIdentifier& qid,
+                                   WorkerPool& pool, BuildInfo* info = nullptr,
+                                   ExecutionGovernor* governor = nullptr);
 
   /// Releases every byte Build() charged against `governor` (call when the
   /// cube is discarded).

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <unordered_map>
 
+#include "core/worker_pool.h"
 #include "obs/obs.h"
+#include "robust/fault_injector.h"
+#include "robust/governor.h"
 
 namespace incognito {
 
@@ -32,6 +36,11 @@ std::vector<size_t> Cardinalities(const QuasiIdentifier& qid,
   }
   return cards;
 }
+
+/// Approximate per-entry heap cost of the aggregation hash maps, used for
+/// the parallel scan's transient shard charges (two bucket/node pointers
+/// of overhead per entry on the common implementations).
+constexpr size_t kHashNodeOverhead = 2 * sizeof(void*);
 
 }  // namespace
 
@@ -79,12 +88,174 @@ FrequencySet FrequencySet::Compute(const Table& table,
     fs.groups_.assign(agg.begin(), agg.end());
   } else {
     std::unordered_map<std::vector<int32_t>, int64_t, VecHash> agg;
+    agg.reserve(rows / 4 + 8);
     std::vector<int32_t> codes(n);
     for (size_t r = 0; r < rows; ++r) {
       for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
       ++agg[codes];
     }
     fs.vgroups_.assign(agg.begin(), agg.end());
+  }
+  fs.SortGroups();
+  fs.total_count_ = static_cast<int64_t>(rows);
+  return fs;
+}
+
+FrequencySet FrequencySet::ComputeParallel(const Table& table,
+                                           const QuasiIdentifier& qid,
+                                           const SubsetNode& node,
+                                           WorkerPool& pool,
+                                           ExecutionGovernor* governor) {
+  assert(node.size() > 0);
+  INCOGNITO_SPAN("freq.scan");
+  INCOGNITO_PHASE_TIMER("phase.freq_scan_seconds");
+  INCOGNITO_COUNT("freq.scans");
+  INCOGNITO_COUNT("freq.parallel_scans");
+  INCOGNITO_COUNT_ADD("freq.scan_rows",
+                      static_cast<int64_t>(table.num_rows()));
+  FrequencySet fs = MakeEmpty(node, qid);
+
+  const size_t n = node.size();
+  std::vector<const int32_t*> cols(n);
+  std::vector<const int32_t*> maps(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t d = static_cast<size_t>(node.dims[i]);
+    cols[i] = table.ColumnCodes(qid.column(d)).data();
+    maps[i] = qid.hierarchy(d)
+                  .BaseToLevelMap(static_cast<size_t>(node.levels[i]))
+                  .data();
+  }
+
+  const size_t rows = table.num_rows();
+  const size_t workers = static_cast<size_t>(pool.size());
+  INCOGNITO_COUNT_ADD("freq.scan_chunks", static_cast<int64_t>(workers));
+
+  // Per-worker thread-local aggregation maps; merged after the barrier.
+  std::vector<std::unordered_map<uint64_t, int64_t>> wagg;
+  std::vector<std::unordered_map<std::vector<int32_t>, int64_t, VecHash>>
+      wvagg;
+  if (fs.packed_) {
+    wagg.resize(workers);
+  } else {
+    wvagg.resize(workers);
+  }
+
+  // Governed scans charge the running footprint of each worker's local map
+  // to a private shard so the global budget observes the transient scan
+  // memory; the shards drain before returning and the caller charges the
+  // final set exactly as on the serial path.
+  std::vector<std::unique_ptr<GovernorShard>> shards;
+  if (governor != nullptr) {
+    shards.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      shards.push_back(std::make_unique<GovernorShard>(governor));
+    }
+  }
+
+  const size_t entry_bytes =
+      (fs.packed_ ? sizeof(std::pair<const uint64_t, int64_t>)
+                  : sizeof(std::pair<const std::vector<int32_t>, int64_t>) +
+                        n * sizeof(int32_t)) +
+      kHashNodeOverhead;
+  constexpr size_t kCheckEveryRows = 16384;
+
+  pool.Run(rows, [&](int w, size_t begin, size_t end) {
+    INCOGNITO_SPAN("freq.scan.chunk");
+    const size_t wi = static_cast<size_t>(w);
+    GovernorShard* shard = governor != nullptr ? shards[wi].get() : nullptr;
+    if (shard != nullptr) {
+      if (!shard->Check().ok()) return;
+      // Fault site "freq.scan.chunk": an injected allocation failure at
+      // the start of a worker's row chunk latches like a refused charge;
+      // sibling chunks stop at their next checkpoint.
+      if (INCOGNITO_FAULT_FIRED("freq.scan.chunk")) {
+        governor->LatchInjectedFailure("freq.scan.chunk");
+        return;
+      }
+    }
+    int64_t charged = 0;
+    auto checkpoint = [&](size_t groups) {
+      if (shard == nullptr) return true;
+      if (!shard->Check().ok()) return false;
+      int64_t now = static_cast<int64_t>(groups * entry_bytes);
+      if (now > charged) {
+        if (!shard->ChargeMemory(now - charged).ok()) return false;
+        charged = now;
+      }
+      return true;
+    };
+    std::vector<int32_t> codes(n);
+    if (fs.packed_) {
+      auto& agg = wagg[wi];
+      agg.reserve((end - begin) / 4 + 8);
+      for (size_t r = begin; r < end; ++r) {
+        if ((r - begin) % kCheckEveryRows == 0 && !checkpoint(agg.size())) {
+          return;
+        }
+        for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+        ++agg[fs.codec_.Pack(codes.data())];
+      }
+      checkpoint(agg.size());
+    } else {
+      auto& agg = wvagg[wi];
+      agg.reserve((end - begin) / 4 + 8);
+      for (size_t r = begin; r < end; ++r) {
+        if ((r - begin) % kCheckEveryRows == 0 && !checkpoint(agg.size())) {
+          return;
+        }
+        for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+        ++agg[codes];
+      }
+      checkpoint(agg.size());
+    }
+  });
+
+  // Transient charges return to the governor here; a trip (if any) is
+  // already latched shared, so the caller's next Check()/charge sees it.
+  for (auto& shard : shards) shard->Drain();
+  if (governor != nullptr && !governor->SharedTrip().ok()) {
+    return MakeEmpty(node, qid);
+  }
+
+  // Merge in worker-id order, coalesce equal keys, and canonically sort.
+  // Keys are unique after coalescing, so the sorted result — including its
+  // exact capacity, hence MemoryBytes() — matches the serial scan.
+  if (fs.packed_) {
+    std::vector<std::pair<uint64_t, int64_t>> all;
+    size_t total = 0;
+    for (const auto& m : wagg) total += m.size();
+    all.reserve(total);
+    for (const auto& m : wagg) all.insert(all.end(), m.begin(), m.end());
+    std::sort(all.begin(), all.end());
+    size_t unique = 0;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (i == 0 || all[i].first != all[i - 1].first) ++unique;
+    }
+    fs.groups_.reserve(unique);
+    for (size_t i = 0; i < all.size();) {
+      const uint64_t key = all[i].first;
+      int64_t count = 0;
+      for (; i < all.size() && all[i].first == key; ++i) count += all[i].second;
+      fs.groups_.emplace_back(key, count);
+    }
+  } else {
+    std::vector<std::pair<std::vector<int32_t>, int64_t>> all;
+    size_t total = 0;
+    for (const auto& m : wvagg) total += m.size();
+    all.reserve(total);
+    for (const auto& m : wvagg) all.insert(all.end(), m.begin(), m.end());
+    std::sort(all.begin(), all.end());
+    size_t unique = 0;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (i == 0 || all[i].first != all[i - 1].first) ++unique;
+    }
+    fs.vgroups_.reserve(unique);
+    for (size_t i = 0; i < all.size();) {
+      std::vector<int32_t> key = all[i].first;
+      int64_t count = 0;
+      for (; i < all.size() && all[i].first == key; ++i) count += all[i].second;
+      fs.vgroups_.emplace_back(std::move(key), count);
+    }
   }
   fs.total_count_ = static_cast<int64_t>(rows);
   return fs;
@@ -115,6 +286,13 @@ FrequencySet FrequencySet::RollupTo(const SubsetNode& target,
   FrequencySet out = MakeEmpty(target, qid);
   std::unordered_map<uint64_t, int64_t> agg;
   std::unordered_map<std::vector<int32_t>, int64_t, VecHash> vagg;
+  // Rollup can only merge groups, so the source group count bounds the
+  // output size.
+  if (out.packed_) {
+    agg.reserve(NumGroups());
+  } else {
+    vagg.reserve(NumGroups());
+  }
   std::vector<int32_t> codes(n);
   ForEachGroup([&](const int32_t* src, int64_t count) {
     for (size_t i = 0; i < n; ++i) {
@@ -131,6 +309,7 @@ FrequencySet FrequencySet::RollupTo(const SubsetNode& target,
   } else {
     out.vgroups_.assign(vagg.begin(), vagg.end());
   }
+  out.SortGroups();
   out.total_count_ = total_count_;
   return out;
 }
@@ -155,6 +334,13 @@ FrequencySet FrequencySet::ProjectTo(const SubsetNode& target,
   FrequencySet out = MakeEmpty(target, qid);
   std::unordered_map<uint64_t, int64_t> agg;
   std::unordered_map<std::vector<int32_t>, int64_t, VecHash> vagg;
+  // Projection sums groups away, so the source group count is an upper
+  // bound here too.
+  if (out.packed_) {
+    agg.reserve(NumGroups());
+  } else {
+    vagg.reserve(NumGroups());
+  }
   std::vector<int32_t> codes(m);
   ForEachGroup([&](const int32_t* src, int64_t count) {
     for (size_t j = 0; j < m; ++j) codes[j] = src[pos[j]];
@@ -169,8 +355,20 @@ FrequencySet FrequencySet::ProjectTo(const SubsetNode& target,
   } else {
     out.vgroups_.assign(vagg.begin(), vagg.end());
   }
+  out.SortGroups();
   out.total_count_ = total_count_;
   return out;
+}
+
+void FrequencySet::SortGroups() {
+  // Keys are unique, so sorting the pairs sorts by key; for the packed
+  // path ascending keys equal ascending lexicographic code vectors
+  // because KeyCodec::Pack is order-preserving.
+  if (packed_) {
+    std::sort(groups_.begin(), groups_.end());
+  } else {
+    std::sort(vgroups_.begin(), vgroups_.end());
+  }
 }
 
 int64_t FrequencySet::MinCount() const {

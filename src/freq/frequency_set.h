@@ -12,6 +12,9 @@
 
 namespace incognito {
 
+class ExecutionGovernor;
+class WorkerPool;
+
 /// The frequency set of a table with respect to a generalization node
 /// (paper §1.1): a mapping from each value-group (the combination of
 /// generalized quasi-identifier values) to the number of tuples carrying
@@ -21,7 +24,11 @@ namespace incognito {
 ///
 /// Storage is a flat array of (packed-key, count) entries when the combined
 /// key fits in 64 bits (it does for both evaluation schemas), with a
-/// vector-keyed fallback otherwise.
+/// vector-keyed fallback otherwise. Groups are kept in canonical order —
+/// ascending lexicographic code vectors, which for the packed path is the
+/// same as ascending packed keys because KeyCodec::Pack is
+/// order-preserving — so serial, parallel, and cross-platform runs agree
+/// byte-for-byte.
 class FrequencySet {
  public:
   FrequencySet() = default;
@@ -31,6 +38,25 @@ class FrequencySet {
   /// (dims, as QID indices) and the generalization level of each.
   static FrequencySet Compute(const Table& table, const QuasiIdentifier& qid,
                               const SubsetNode& node);
+
+  /// Parallel twin of Compute (docs/PARALLELISM.md "Intra-node
+  /// parallelism"): statically partitions the rows into one chunk per pool
+  /// worker, aggregates each chunk into a thread-local map, then merges in
+  /// worker-id order and canonically sorts — bit-identical to Compute at
+  /// any thread count, including the group order and MemoryBytes().
+  ///
+  /// When `governor` is non-null the scan is governed: each worker charges
+  /// its local map's running footprint to a private GovernorShard
+  /// (transient — drained before returning, so the caller charges the
+  /// final set exactly as on the serial path), polls for
+  /// deadline/cancel/shared trips every few thousand rows, and consults
+  /// the "freq.scan.chunk" fault site once per chunk. A tripped scan
+  /// latches the governor and returns an empty frequency set; callers
+  /// detect it via governor->Check() / a failed charge.
+  static FrequencySet ComputeParallel(const Table& table,
+                                      const QuasiIdentifier& qid,
+                                      const SubsetNode& node, WorkerPool& pool,
+                                      ExecutionGovernor* governor = nullptr);
 
   /// Produces the frequency set of a more general node over the same
   /// attribute set *from this frequency set* without touching the table —
@@ -76,8 +102,9 @@ class FrequencySet {
     return TuplesBelowK(k) <= max_suppressed;
   }
 
-  /// Visits every group as (codes, count); `codes` has node().size()
-  /// entries, each a code in the corresponding level's domain.
+  /// Visits every group as (codes, count) in canonical order (ascending
+  /// lexicographic code vectors); `codes` has node().size() entries, each
+  /// a code in the corresponding level's domain.
   void ForEachGroup(
       const std::function<void(const int32_t* codes, int64_t count)>& fn)
       const;
@@ -88,6 +115,9 @@ class FrequencySet {
  private:
   static FrequencySet MakeEmpty(const SubsetNode& node,
                                 const QuasiIdentifier& qid);
+
+  /// Sorts groups_/vgroups_ into canonical order (see class comment).
+  void SortGroups();
 
   SubsetNode node_;
   KeyCodec codec_;

@@ -31,6 +31,8 @@ const std::vector<std::string>& FaultInjector::KnownSites() {
       "binary_io.write.rename",
       "governor.charge",
       "cube.build",
+      "cube.project",
+      "freq.scan.chunk",
       "incognito.rollup",
       "bottom_up.rollup",
   };

@@ -26,9 +26,11 @@ Status ExecutionGovernor::Check() {
 }
 
 Status ExecutionGovernor::ChargeMemory(int64_t bytes) {
-  INCOGNITO_FAULT_POINT("governor.charge",
-                        Status::ResourceExhausted(
-                            "injected allocation failure (governor.charge)"));
+  if (INCOGNITO_FAULT_FIRED("governor.charge")) {
+    // Behaves exactly like a refused charge, latch included — callers
+    // (e.g. the cube builds) detect a stopped computation via Tripped().
+    return LatchInjectedFailure("governor.charge");
+  }
   if (!trip_.ok()) return trip_;
   if (!memory_.TryCharge(bytes)) {
     ++trips_.memory_trips;
@@ -119,9 +121,18 @@ Status GovernorShard::Check() {
 }
 
 Status GovernorShard::ChargeMemory(int64_t bytes) {
-  INCOGNITO_FAULT_POINT("governor.charge",
-                        Status::ResourceExhausted(
-                            "injected allocation failure (governor.charge)"));
+  if (INCOGNITO_FAULT_FIRED("governor.charge")) {
+    // Behaves exactly like a refused lease, latch included: the local and
+    // shared trips are set so sibling workers stop at their next
+    // checkpoint and the post-drain caller observes the failure.
+    if (trip_.ok()) {
+      ++trips_.memory_trips;
+      INCOGNITO_COUNT("governor.memory_trips");
+    }
+    trip_ = parent_->LatchSharedTrip(Status::ResourceExhausted(
+        "injected allocation failure (governor.charge)"));
+    return trip_;
+  }
   if (!trip_.ok()) return trip_;
   if (used_ + bytes > leased_) {
     int64_t need = used_ + bytes - leased_;

@@ -1,13 +1,65 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+#include <utility>
+#include <vector>
 
+#include "core/worker_pool.h"
 #include "data/patients.h"
 #include "freq/cube.h"
+#include "robust/governor.h"
 #include "test_util.h"
 
 namespace incognito {
 namespace {
+
+/// Every non-empty subset of {0..n-1} as ascending QID index lists.
+std::vector<std::vector<int32_t>> AllSubsets(size_t n) {
+  std::vector<std::vector<int32_t>> out;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<int32_t> dims;
+    for (size_t d = 0; d < n; ++d) {
+      if (mask & (1u << d)) dims.push_back(static_cast<int32_t>(d));
+    }
+    out.push_back(std::move(dims));
+  }
+  return out;
+}
+
+/// Asserts two frequency sets are identical group for group — contents,
+/// canonical order, and footprint.
+void ExpectSameFrequencySet(const FrequencySet& a, const FrequencySet& b) {
+  using Groups = std::vector<std::pair<std::vector<int32_t>, int64_t>>;
+  auto collect = [](const FrequencySet& fs) {
+    Groups out;
+    const size_t width = fs.node().size();
+    fs.ForEachGroup([&](const int32_t* codes, int64_t count) {
+      out.emplace_back(std::vector<int32_t>(codes, codes + width), count);
+    });
+    return out;
+  };
+  EXPECT_EQ(collect(a), collect(b));
+  EXPECT_EQ(a.TotalCount(), b.TotalCount());
+  EXPECT_EQ(a.MemoryBytes(), b.MemoryBytes());
+}
+
+/// Asserts a parallel build reproduced the serial one bit for bit:
+/// every subset's frequency set and the BuildInfo totals.
+void ExpectSameCube(const ZeroGenCube& serial,
+                    const ZeroGenCube::BuildInfo& serial_info,
+                    const ZeroGenCube& parallel,
+                    const ZeroGenCube::BuildInfo& parallel_info, size_t n) {
+  EXPECT_EQ(serial.num_subsets(), parallel.num_subsets());
+  EXPECT_EQ(serial_info.num_subsets, parallel_info.num_subsets);
+  EXPECT_EQ(serial_info.total_groups, parallel_info.total_groups);
+  EXPECT_EQ(serial_info.total_bytes, parallel_info.total_bytes);
+  EXPECT_EQ(serial_info.table_scans, parallel_info.table_scans);
+  EXPECT_EQ(serial_info.projections, parallel_info.projections);
+  for (const auto& dims : AllSubsets(n)) {
+    ExpectSameFrequencySet(serial.Get(dims), parallel.Get(dims));
+  }
+}
 
 TEST(CubeTest, PatientsCubeCoversAllSubsets) {
   Result<PatientsDataset> ds = MakePatientsDataset();
@@ -84,6 +136,97 @@ TEST(CubeTest, SingleAttributeQid) {
   ZeroGenCube cube = ZeroGenCube::Build(ds->table, qid1);
   EXPECT_EQ(cube.num_subsets(), 1u);
   EXPECT_EQ(cube.Get({0}).TotalCount(), 6);
+}
+
+// ---------------------------------------------------------------------------
+// BuildParallel: the DAG-scheduled build must be bit-identical to Build.
+// ---------------------------------------------------------------------------
+
+TEST(CubeTest, BuildParallelMatchesSerialOnPatients) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  ZeroGenCube::BuildInfo serial_info;
+  ZeroGenCube serial = ZeroGenCube::Build(ds->table, ds->qid, &serial_info);
+  for (int threads : {1, 2, 4, 8}) {
+    WorkerPool pool(threads);
+    ZeroGenCube::BuildInfo info;
+    ZeroGenCube cube =
+        ZeroGenCube::BuildParallel(ds->table, ds->qid, pool, &info);
+    SCOPED_TRACE(threads);
+    ExpectSameCube(serial, serial_info, cube, info, ds->qid.size());
+  }
+}
+
+TEST(CubeTest, BuildParallelMatchesSerialOnRandomData) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 3; ++trial) {
+    testing_util::RandomDatasetOptions opts;
+    opts.num_attrs = 4;
+    opts.num_rows = 120;
+    testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng, opts);
+    ZeroGenCube::BuildInfo serial_info;
+    ZeroGenCube serial = ZeroGenCube::Build(ds.table, ds.qid, &serial_info);
+    for (int threads : {2, 8}) {
+      WorkerPool pool(threads);
+      ZeroGenCube::BuildInfo info;
+      ZeroGenCube cube =
+          ZeroGenCube::BuildParallel(ds.table, ds.qid, pool, &info);
+      SCOPED_TRACE(trial * 100 + threads);
+      ExpectSameCube(serial, serial_info, cube, info, ds.qid.size());
+    }
+  }
+}
+
+TEST(CubeTest, BuildParallelSingleAttributeQid) {
+  // n == 1: no projections, no DAG — the parallel build is just the
+  // parallel root scan.
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  QuasiIdentifier qid1 = ds->qid.Prefix(1);
+  WorkerPool pool(4);
+  ZeroGenCube::BuildInfo info;
+  ZeroGenCube cube = ZeroGenCube::BuildParallel(ds->table, qid1, pool, &info);
+  EXPECT_EQ(cube.num_subsets(), 1u);
+  EXPECT_EQ(info.projections, 0);
+  EXPECT_EQ(info.table_scans, 1);
+  EXPECT_EQ(cube.Get({0}).TotalCount(), 6);
+}
+
+TEST(CubeTest, GovernedBuildParallelMatchesAndBalances) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  ZeroGenCube::BuildInfo serial_info;
+  ZeroGenCube serial = ZeroGenCube::Build(ds->table, ds->qid, &serial_info);
+  WorkerPool pool(4);
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 30);
+  ZeroGenCube::BuildInfo info;
+  ZeroGenCube cube =
+      ZeroGenCube::BuildParallel(ds->table, ds->qid, pool, &info, &governor);
+  ASSERT_FALSE(governor.Tripped());
+  ExpectSameCube(serial, serial_info, cube, info, ds->qid.size());
+  // The governed build charges exactly what the serial build would; the
+  // transient worker leases are gone and ReleaseMemory balances to zero.
+  EXPECT_EQ(governor.memory().used(),
+            static_cast<int64_t>(serial_info.total_bytes));
+  cube.ReleaseMemory(&governor);
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(CubeTest, GovernedBuildParallelTinyBudgetTripsCleanly) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  WorkerPool pool(4);
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(64);
+  ZeroGenCube::BuildInfo info;
+  ZeroGenCube cube =
+      ZeroGenCube::BuildParallel(ds->table, ds->qid, pool, &info, &governor);
+  EXPECT_TRUE(governor.Tripped());
+  // A tripped build hands back nothing and leaks nothing.
+  EXPECT_EQ(cube.num_subsets(), 0u);
+  EXPECT_EQ(info.num_subsets, 0u);
+  EXPECT_EQ(governor.memory().used(), 0);
 }
 
 }  // namespace

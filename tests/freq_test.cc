@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
+#include "core/worker_pool.h"
 #include "data/patients.h"
 #include "freq/frequency_set.h"
 #include "freq/key_codec.h"
@@ -10,6 +14,28 @@
 
 namespace incognito {
 namespace {
+
+/// Collects groups exactly as ForEachGroup visits them, so assertions can
+/// check both contents and the canonical visiting order.
+using CodeGroups = std::vector<std::pair<std::vector<int32_t>, int64_t>>;
+
+CodeGroups GroupsOf(const FrequencySet& fs) {
+  CodeGroups out;
+  const size_t width = fs.node().size();
+  fs.ForEachGroup([&](const int32_t* codes, int64_t count) {
+    out.emplace_back(std::vector<int32_t>(codes, codes + width), count);
+  });
+  return out;
+}
+
+/// Regression for the nondeterministic hash-order bug: groups must visit
+/// in strictly ascending lexicographic code order, on both storage paths.
+void ExpectCanonicalOrder(const FrequencySet& fs) {
+  CodeGroups groups = GroupsOf(fs);
+  for (size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_LT(groups[i - 1].first, groups[i].first) << "group " << i;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // KeyCodec
@@ -57,6 +83,59 @@ TEST(KeyCodecTest, LandsEndSchemaFitsIn64Bits) {
 TEST(KeyCodecTest, OverflowFallsBackToUnpacked) {
   KeyCodec codec = KeyCodec::Create(std::vector<size_t>(10, 1u << 20));
   EXPECT_FALSE(codec.packed());
+}
+
+TEST(KeyCodecTest, RoundTripAtCardinalityBoundaries) {
+  // Domains straddling power-of-two boundaries: the bit width changes at
+  // exactly these cardinalities, so an off-by-one in the shift math shows
+  // up here first. Total bits: 0+1+2+2+3+3+4+4+5 = 24.
+  const std::vector<size_t> domains = {1, 2, 3, 4, 5, 8, 9, 16, 17};
+  KeyCodec codec = KeyCodec::Create(domains);
+  ASSERT_TRUE(codec.packed());
+  const size_t n = domains.size();
+  std::vector<int32_t> codes(n, 0);
+  std::vector<int32_t> out(n);
+  // All-zero, all-max, and each dimension individually at its max code.
+  auto round_trip = [&]() {
+    uint64_t key = codec.Pack(codes.data());
+    codec.Unpack(key, out.data());
+    EXPECT_EQ(out, codes);
+  };
+  round_trip();
+  for (size_t i = 0; i < n; ++i) {
+    codes[i] = static_cast<int32_t>(domains[i]) - 1;
+  }
+  round_trip();
+  for (size_t i = 0; i < n; ++i) {
+    std::fill(codes.begin(), codes.end(), 0);
+    codes[i] = static_cast<int32_t>(domains[i]) - 1;
+    round_trip();
+  }
+}
+
+TEST(KeyCodecTest, PackPreservesLexicographicOrder) {
+  // The canonical group order leans on this: sorting packed keys must be
+  // the same as sorting the code vectors lexicographically.
+  const std::vector<size_t> domains = {3, 5, 2, 9};
+  KeyCodec codec = KeyCodec::Create(domains);
+  ASSERT_TRUE(codec.packed());
+  Rng rng(99);
+  std::vector<std::vector<int32_t>> vectors;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<int32_t> codes(domains.size());
+    for (size_t d = 0; d < domains.size(); ++d) {
+      codes[d] = static_cast<int32_t>(rng.Uniform(domains[d]));
+    }
+    vectors.push_back(std::move(codes));
+  }
+  std::vector<std::vector<int32_t>> by_vector = vectors;
+  std::sort(by_vector.begin(), by_vector.end());
+  std::stable_sort(vectors.begin(), vectors.end(),
+                   [&](const std::vector<int32_t>& a,
+                       const std::vector<int32_t>& b) {
+                     return codec.Pack(a.data()) < codec.Pack(b.data());
+                   });
+  EXPECT_EQ(vectors, by_vector);
 }
 
 // ---------------------------------------------------------------------------
@@ -195,6 +274,67 @@ TEST_F(PatientsFreqTest, MemoryBytesNonZero) {
   EXPECT_GT(fs.MemoryBytes(), 0u);
 }
 
+TEST_F(PatientsFreqTest, GroupsVisitInCanonicalOrder) {
+  // Compute, RollupTo, and ProjectTo all sort after aggregating; the
+  // visiting order must not depend on hash-map iteration order.
+  FrequencySet base =
+      FrequencySet::Compute(table_, qid_, SubsetNode({0, 1, 2}, {0, 0, 0}));
+  ExpectCanonicalOrder(base);
+  ExpectCanonicalOrder(base.RollupTo(SubsetNode({0, 1, 2}, {0, 1, 1}), qid_));
+  ExpectCanonicalOrder(base.ProjectTo(SubsetNode({0, 2}, {0, 0}), qid_));
+  ExpectCanonicalOrder(
+      FrequencySet::Compute(table_, qid_, SubsetNode({1, 2}, {0, 1})));
+}
+
+TEST_F(PatientsFreqTest, SingleGroupSaturation) {
+  // Sex generalized to its root collapses everything into one group: the
+  // k-anonymity accounting must saturate cleanly at count == TotalCount.
+  FrequencySet fs = FrequencySet::Compute(table_, qid_, SubsetNode({1}, {1}));
+  EXPECT_EQ(fs.NumGroups(), 1u);
+  EXPECT_EQ(fs.TotalCount(), 6);
+  EXPECT_EQ(fs.MinCount(), 6);
+  EXPECT_TRUE(fs.IsKAnonymous(6));
+  EXPECT_FALSE(fs.IsKAnonymous(7));
+  EXPECT_EQ(fs.TuplesBelowK(6), 0);
+  EXPECT_EQ(fs.TuplesBelowK(7), 6);
+}
+
+TEST_F(PatientsFreqTest, MemoryBytesMonotoneUnderRollup) {
+  // Rollup can only merge groups, so the footprint never grows along a
+  // generalization chain.
+  FrequencySet fs =
+      FrequencySet::Compute(table_, qid_, SubsetNode({1, 2}, {0, 0}));
+  size_t prev = fs.MemoryBytes();
+  for (int32_t z = 1; z <= 2; ++z) {
+    fs = fs.RollupTo(SubsetNode({1, 2}, {0, z}), qid_);
+    EXPECT_LE(fs.MemoryBytes(), prev) << "z=" << z;
+    prev = fs.MemoryBytes();
+  }
+  FrequencySet top = fs.RollupTo(SubsetNode({1, 2}, {1, 2}), qid_);
+  EXPECT_LE(top.MemoryBytes(), prev);
+  EXPECT_EQ(top.NumGroups(), 1u);
+}
+
+TEST_F(PatientsFreqTest, ComputeParallelMatchesSerial) {
+  // The intra-node differential on the running example: identical groups,
+  // identical order, identical footprint at every thread count.
+  const std::vector<SubsetNode> nodes = {
+      SubsetNode({0, 1, 2}, {0, 0, 0}), SubsetNode({1, 2}, {0, 0}),
+      SubsetNode({1, 2}, {1, 1}),       SubsetNode({0}, {0}),
+      SubsetNode({2}, {2})};
+  for (int threads : {1, 2, 4, 8}) {
+    WorkerPool pool(threads);
+    for (const SubsetNode& node : nodes) {
+      FrequencySet serial = FrequencySet::Compute(table_, qid_, node);
+      FrequencySet parallel =
+          FrequencySet::ComputeParallel(table_, qid_, node, pool);
+      EXPECT_EQ(GroupsOf(serial), GroupsOf(parallel)) << threads;
+      EXPECT_EQ(serial.TotalCount(), parallel.TotalCount());
+      EXPECT_EQ(serial.MemoryBytes(), parallel.MemoryBytes()) << threads;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Property: rollup and projection on random data, including the unpacked
 // key fallback.
@@ -231,41 +371,10 @@ TEST(FrequencySetPropertyTest, UnpackedFallbackMatchesPackedSemantics) {
   // Six attributes with 4096-value domains need 72 bits — beyond the
   // packed-key fast path — so this exercises the vector-key fallback for
   // Compute, RollupTo, ProjectTo, and the k-anonymity accounting.
-  const size_t kAttrs = 6;
-  const size_t kDomain = 4096;
-  std::vector<ColumnSpec> specs;
-  for (size_t i = 0; i < kAttrs; ++i) {
-    specs.push_back({StringPrintf("a%zu", i), DataType::kInt64});
-  }
-  Table table{Schema(specs)};
-  std::vector<std::pair<std::string, ValueHierarchy>> hierarchies;
-  for (size_t i = 0; i < kAttrs; ++i) {
-    Dictionary& dict = table.mutable_dictionary(i);
-    std::vector<std::vector<Value>> levels(2);
-    std::vector<std::vector<int32_t>> parents(1);
-    for (size_t v = 0; v < kDomain; ++v) {
-      Value value(static_cast<int64_t>(v));
-      dict.GetOrInsert(value);
-      levels[0].push_back(value);
-      parents[0].push_back(0);
-    }
-    levels[1].push_back(Value("*"));
-    hierarchies.emplace_back(
-        StringPrintf("a%zu", i),
-        ValueHierarchy::Create(StringPrintf("a%zu", i), levels, parents)
-            .value());
-  }
-  Rng rng(31337);
-  std::vector<int32_t> codes(kAttrs);
-  for (size_t r = 0; r < 500; ++r) {
-    for (size_t i = 0; i < kAttrs; ++i) {
-      // Small value range so groups repeat despite the huge domain.
-      codes[i] = static_cast<int32_t>(rng.Uniform(3));
-    }
-    table.AppendRowCodes(codes);
-  }
-  QuasiIdentifier qid =
-      QuasiIdentifier::Create(table, std::move(hierarchies)).value();
+  testing_util::RandomDataset ds = testing_util::MakeWideFallbackDataset(500);
+  const Table& table = ds.table;
+  const QuasiIdentifier& qid = ds.qid;
+  const size_t kAttrs = qid.size();
 
   std::vector<int32_t> dims(kAttrs);
   for (size_t i = 0; i < kAttrs; ++i) dims[i] = static_cast<int32_t>(i);
@@ -289,6 +398,94 @@ TEST(FrequencySetPropertyTest, UnpackedFallbackMatchesPackedSemantics) {
   EXPECT_EQ(projected.NumGroups(), direct.NumGroups());
   EXPECT_EQ(projected.TuplesBelowK(5), direct.TuplesBelowK(5));
   EXPECT_EQ(projected.MinCount(), direct.MinCount());
+}
+
+TEST(FrequencySetPropertyTest, FallbackGroupsVisitInCanonicalOrder) {
+  // The canonical-order regression on the vector-key storage path, where
+  // there is no packed key to lean on — the sort compares code vectors.
+  testing_util::RandomDataset ds = testing_util::MakeWideFallbackDataset(300);
+  const size_t n = ds.qid.size();
+  std::vector<int32_t> dims(n);
+  for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+  SubsetNode bottom(dims, std::vector<int32_t>(n, 0));
+  FrequencySet fs = FrequencySet::Compute(ds.table, ds.qid, bottom);
+  ExpectCanonicalOrder(fs);
+  ExpectCanonicalOrder(
+      fs.RollupTo(SubsetNode(dims, {1, 0, 1, 0, 1, 0}), ds.qid));
+  ExpectCanonicalOrder(fs.ProjectTo(SubsetNode({0, 2, 4}, {0, 0, 0}), ds.qid));
+}
+
+TEST(FrequencySetPropertyTest, ComputeParallelMatchesSerialOnFallback) {
+  testing_util::RandomDataset ds = testing_util::MakeWideFallbackDataset(500);
+  const size_t n = ds.qid.size();
+  std::vector<int32_t> dims(n);
+  for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+  SubsetNode bottom(dims, std::vector<int32_t>(n, 0));
+  FrequencySet serial = FrequencySet::Compute(ds.table, ds.qid, bottom);
+  for (int threads : {1, 2, 4, 8}) {
+    WorkerPool pool(threads);
+    FrequencySet parallel =
+        FrequencySet::ComputeParallel(ds.table, ds.qid, bottom, pool);
+    EXPECT_EQ(GroupsOf(serial), GroupsOf(parallel)) << threads;
+    EXPECT_EQ(serial.MemoryBytes(), parallel.MemoryBytes()) << threads;
+  }
+}
+
+TEST(FrequencySetEdgeTest, ZeroRowTable) {
+  // An empty relation is vacuously k-anonymous for every k; every
+  // statistic must come back zero instead of tripping on empty containers.
+  Rng rng(5);
+  testing_util::RandomDatasetOptions opts;
+  opts.num_rows = 0;
+  testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng, opts);
+  const size_t n = ds.qid.size();
+  std::vector<int32_t> dims(n);
+  for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+  SubsetNode bottom(dims, std::vector<int32_t>(n, 0));
+  FrequencySet fs = FrequencySet::Compute(ds.table, ds.qid, bottom);
+  EXPECT_EQ(fs.NumGroups(), 0u);
+  EXPECT_EQ(fs.TotalCount(), 0);
+  EXPECT_EQ(fs.MinCount(), 0);
+  EXPECT_EQ(fs.TuplesBelowK(2), 0);
+  EXPECT_TRUE(fs.IsKAnonymous(2));
+  EXPECT_TRUE(fs.IsKAnonymous(1000));
+  // Rollup of nothing is still nothing.
+  FrequencySet rolled = fs.RollupTo(SubsetNode(dims, ds.qid.MaxLevels()),
+                                    ds.qid);
+  EXPECT_EQ(rolled.NumGroups(), 0u);
+  EXPECT_TRUE(rolled.IsKAnonymous(2));
+  // The parallel scan agrees, even with more workers than rows.
+  WorkerPool pool(4);
+  FrequencySet parallel =
+      FrequencySet::ComputeParallel(ds.table, ds.qid, bottom, pool);
+  EXPECT_EQ(GroupsOf(fs), GroupsOf(parallel));
+  EXPECT_EQ(fs.MemoryBytes(), parallel.MemoryBytes());
+}
+
+TEST(FrequencySetPropertyTest, MemoryBytesMonotoneUnderRollupOnRandomData) {
+  Rng rng(246);
+  for (int trial = 0; trial < 5; ++trial) {
+    testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng);
+    const size_t n = ds.qid.size();
+    std::vector<int32_t> dims(n);
+    for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+    std::vector<int32_t> levels(n, 0);
+    FrequencySet fs =
+        FrequencySet::Compute(ds.table, ds.qid, SubsetNode(dims, levels));
+    size_t prev = fs.MemoryBytes();
+    // Walk one attribute at a time up to its root; the footprint must be
+    // non-increasing at every step of the chain.
+    for (size_t i = 0; i < n; ++i) {
+      int32_t height = static_cast<int32_t>(ds.qid.hierarchy(i).height());
+      for (int32_t l = 1; l <= height; ++l) {
+        levels[i] = l;
+        fs = fs.RollupTo(SubsetNode(dims, levels), ds.qid);
+        EXPECT_LE(fs.MemoryBytes(), prev) << "trial=" << trial;
+        prev = fs.MemoryBytes();
+      }
+    }
+    EXPECT_EQ(fs.NumGroups(), 1u);  // single-root hierarchies
+  }
 }
 
 TEST(FrequencySetPropertyTest, TotalCountInvariantUnderOps) {

@@ -21,6 +21,9 @@
 #include "core/checker.h"
 #include "core/incognito.h"
 #include "data/adults.h"
+#include "data/patients.h"
+#include "freq/cube.h"
+#include "freq/frequency_set.h"
 #include "robust/fault_injector.h"
 #include "robust/governor.h"
 #include "robust/partial_result.h"
@@ -430,6 +433,196 @@ TEST(ParallelIncognitoTest, ShardBudgetTripYieldsSoundPrefixAndBoundedPeaks) {
 }
 
 // ---------------------------------------------------------------------------
+// Differential: FrequencySet::ComputeParallel / ZeroGenCube::BuildParallel
+// == their serial twins, bit for bit, on every fixture dataset.
+// ---------------------------------------------------------------------------
+
+using GroupList = std::vector<std::pair<std::vector<int32_t>, int64_t>>;
+
+GroupList GroupsOf(const FrequencySet& fs) {
+  GroupList out;
+  const size_t width = fs.node().size();
+  fs.ForEachGroup([&](const int32_t* codes, int64_t count) {
+    out.emplace_back(std::vector<int32_t>(codes, codes + width), count);
+  });
+  return out;
+}
+
+void ExpectSameFrequencySet(const FrequencySet& serial,
+                            const FrequencySet& parallel) {
+  EXPECT_EQ(GroupsOf(serial), GroupsOf(parallel));
+  EXPECT_EQ(serial.TotalCount(), parallel.TotalCount());
+  EXPECT_EQ(serial.MinCount(), parallel.MinCount());
+  EXPECT_EQ(serial.MemoryBytes(), parallel.MemoryBytes());
+}
+
+/// Sweeps serial-vs-parallel scans over a representative node set of
+/// `qid` at 1/2/4/8 threads: the full bottom node, every single
+/// attribute, and the full node one level up on every dimension.
+void SweepComputeParallel(const Table& table, const QuasiIdentifier& qid) {
+  const size_t n = qid.size();
+  std::vector<SubsetNode> nodes;
+  std::vector<int32_t> dims(n);
+  for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+  nodes.emplace_back(dims, std::vector<int32_t>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    nodes.emplace_back(std::vector<int32_t>{static_cast<int32_t>(i)},
+                       std::vector<int32_t>{0});
+  }
+  std::vector<int32_t> up(n);
+  for (size_t i = 0; i < n; ++i) {
+    up[i] = qid.hierarchy(i).height() >= 1 ? 1 : 0;
+  }
+  nodes.emplace_back(dims, up);
+  for (int threads : {1, 2, 4, 8}) {
+    WorkerPool pool(threads);
+    for (const SubsetNode& node : nodes) {
+      SCOPED_TRACE(node.ToString() + " threads=" + std::to_string(threads));
+      FrequencySet serial = FrequencySet::Compute(table, qid, node);
+      FrequencySet parallel =
+          FrequencySet::ComputeParallel(table, qid, node, pool);
+      ExpectSameFrequencySet(serial, parallel);
+    }
+  }
+}
+
+TEST(ComputeParallelTest, MatchesSerialOnEveryFixture) {
+  {
+    Result<PatientsDataset> patients = MakePatientsDataset();
+    ASSERT_TRUE(patients.ok());
+    SweepComputeParallel(patients->table, patients->qid);
+  }
+  {
+    AdultsOptions adults;
+    adults.num_rows = 300;
+    Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+    ASSERT_TRUE(data.ok());
+    SweepComputeParallel(data->table, data->qid.Prefix(3));
+  }
+  for (uint64_t seed : {uint64_t{3}, uint64_t{17}, uint64_t{101}}) {
+    Rng rng(seed);
+    RandomDataset data = MakeRandomDataset(rng);
+    SweepComputeParallel(data.table, data.qid);
+  }
+  {
+    RandomDataset wide = testing_util::MakeWideFallbackDataset(400);
+    SweepComputeParallel(wide.table, wide.qid);
+  }
+}
+
+TEST(ComputeParallelTest, GovernedScanMatchesAndDrainsShardsToZero) {
+  AdultsOptions adults;
+  adults.num_rows = 300;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  QuasiIdentifier qid = data->qid.Prefix(3);
+  std::vector<int32_t> dims = {0, 1, 2};
+  SubsetNode node(dims, {0, 0, 0});
+  FrequencySet serial = FrequencySet::Compute(data->table, qid, node);
+  WorkerPool pool(4);
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 30);
+  FrequencySet parallel =
+      FrequencySet::ComputeParallel(data->table, qid, node, pool, &governor);
+  EXPECT_FALSE(governor.Tripped());
+  ExpectSameFrequencySet(serial, parallel);
+  // The per-worker shard leases are transient: drained before returning,
+  // so the caller owns the only live charge (here: none yet).
+  EXPECT_EQ(governor.memory().used(), 0);
+  EXPECT_GE(governor.trips().checks, 1);
+}
+
+TEST(ComputeParallelTest, TinyBudgetTripsToEmptySetWithNothingLeaked) {
+  AdultsOptions adults;
+  adults.num_rows = 300;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  QuasiIdentifier qid = data->qid.Prefix(3);
+  SubsetNode node({0, 1, 2}, {0, 0, 0});
+  WorkerPool pool(4);
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(16);  // smaller than a single group entry
+  FrequencySet tripped =
+      FrequencySet::ComputeParallel(data->table, qid, node, pool, &governor);
+  EXPECT_TRUE(governor.Tripped());
+  EXPECT_EQ(tripped.NumGroups(), 0u);
+  EXPECT_EQ(governor.memory().used(), 0);
+  // Callers detect the trip exactly like a serial refusal: the latched
+  // status comes back from the next charge.
+  EXPECT_EQ(governor.ChargeMemory(0).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParallelIncognitoTest, CubeVariantMatchesSerialAtEveryThreadCount) {
+  // End-to-end: the cube variant's parallel search builds the cube with
+  // BuildParallel; results and work counters must match the serial search
+  // at every thread count.
+  AdultsOptions adults;
+  adults.num_rows = 300;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  QuasiIdentifier qid = data->qid.Prefix(3);
+  AnonymizationConfig config;
+  config.k = 5;
+  IncognitoOptions options;
+  options.variant = IncognitoVariant::kCube;
+  Result<IncognitoResult> serial =
+      RunIncognito(data->table, qid, config, options);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {1, 2, 4, 8}) {
+    Result<IncognitoResult> parallel =
+        RunIncognitoParallel(data->table, qid, config, options, threads);
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    ExpectBitIdentical(*serial, *parallel);
+  }
+}
+
+TEST(ParallelIncognitoTest, GovernedCubeVariantDrainsEveryShardToZero) {
+  AdultsOptions adults;
+  adults.num_rows = 300;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  QuasiIdentifier qid = data->qid.Prefix(3);
+  AnonymizationConfig config;
+  config.k = 5;
+  IncognitoOptions options;
+  options.variant = IncognitoVariant::kCube;
+  Result<IncognitoResult> serial =
+      RunIncognito(data->table, qid, config, options);
+  ASSERT_TRUE(serial.ok());
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 33);
+  PartialResult<IncognitoResult> governed =
+      RunIncognitoParallel(data->table, qid, config, options, governor, 4);
+  ASSERT_TRUE(governed.complete()) << governed.status().ToString();
+  ExpectBitIdentical(*serial, governed.value());
+  EXPECT_EQ(governed->stats.parallel_workers, 4);
+  // Acceptance: every shard — search workers, scan chunks, cube
+  // projections — drained back to the shared budget.
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(ParallelIncognitoTest, GovernedSuperRootsVariantMatchesSerial) {
+  // The super-roots family scans route through the governed parallel
+  // frequency-set scan; the answer must not change.
+  Rng rng(59);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 3;
+  IncognitoOptions options;
+  options.variant = IncognitoVariant::kSuperRoots;
+  Result<IncognitoResult> serial =
+      RunIncognito(data.table, data.qid, config, options);
+  ASSERT_TRUE(serial.ok());
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 33);
+  PartialResult<IncognitoResult> governed =
+      RunIncognitoParallel(data.table, data.qid, config, options, governor, 4);
+  ASSERT_TRUE(governed.complete()) << governed.status().ToString();
+  ExpectBitIdentical(*serial, governed.value());
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Fault injection (only with -DINCOGNITO_FAULTS=ON)
 // ---------------------------------------------------------------------------
 
@@ -450,6 +643,118 @@ TEST(ParallelFaultTest, RandomFaultsNeverCrashTheParallelSearch) {
         RunIncognitoParallel(data.table, data.qid, config, {}, governor, 4);
     // Injected failures surface as clean partials (latched like a refused
     // charge) — never a crash, never leaked charges.
+    if (run.partial()) {
+      EXPECT_TRUE(IsResourceGovernance(run.status().code()))
+          << run.status().ToString();
+    }
+    EXPECT_EQ(governor.memory().used(), 0) << "seed=" << seed;
+  }
+  FaultInjector::Global().Reset();
+}
+
+TEST(ParallelFaultTest, ScanChunkFaultYieldsEmptySetAndLatchedTrip) {
+  if (!FaultInjector::kCompiledIn) {
+    GTEST_SKIP() << "build with -DINCOGNITO_FAULTS=ON";
+  }
+  Rng rng(7);
+  RandomDataset data = MakeRandomDataset(rng);
+  const size_t n = data.qid.size();
+  std::vector<int32_t> dims(n);
+  for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+  SubsetNode node(dims, std::vector<int32_t>(n, 0));
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().ScriptFailNthHit("freq.scan.chunk", 1);
+  WorkerPool pool(4);
+  ExecutionGovernor governor;
+  FrequencySet fs =
+      FrequencySet::ComputeParallel(data.table, data.qid, node, pool,
+                                    &governor);
+  EXPECT_EQ(FaultInjector::Global().FaultsFired(), 1);
+  EXPECT_EQ(fs.NumGroups(), 0u);
+  EXPECT_TRUE(governor.Tripped());
+  EXPECT_EQ(governor.memory().used(), 0);
+  // The one-shot script is consumed: a retry of the scan succeeds — but
+  // on a fresh governor, since the first one stays latched.
+  ExecutionGovernor retry_governor;
+  FrequencySet retry = FrequencySet::ComputeParallel(
+      data.table, data.qid, node, pool, &retry_governor);
+  EXPECT_FALSE(retry_governor.Tripped());
+  EXPECT_EQ(GroupsOf(retry),
+            GroupsOf(FrequencySet::Compute(data.table, data.qid, node)));
+  FaultInjector::Global().Reset();
+}
+
+TEST(ParallelFaultTest, CubeProjectFaultYieldsEmptyCubeAndBalances) {
+  if (!FaultInjector::kCompiledIn) {
+    GTEST_SKIP() << "build with -DINCOGNITO_FAULTS=ON";
+  }
+  Rng rng(7);
+  RandomDataset data = MakeRandomDataset(rng);
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().ScriptFailNthHit("cube.project", 1);
+  WorkerPool pool(4);
+  ExecutionGovernor governor;
+  ZeroGenCube::BuildInfo info;
+  ZeroGenCube cube = ZeroGenCube::BuildParallel(data.table, data.qid, pool,
+                                                &info, &governor);
+  EXPECT_EQ(FaultInjector::Global().FaultsFired(), 1);
+  EXPECT_TRUE(governor.Tripped());
+  EXPECT_EQ(cube.num_subsets(), 0u);
+  EXPECT_EQ(info.num_subsets, 0u);
+  EXPECT_EQ(governor.memory().used(), 0);
+  FaultInjector::Global().Reset();
+}
+
+TEST(ParallelFaultTest, NewSitesSurfaceAsCleanPartialsEndToEnd) {
+  if (!FaultInjector::kCompiledIn) {
+    GTEST_SKIP() << "build with -DINCOGNITO_FAULTS=ON";
+  }
+  // The governed parallel cube search reaches both new compute sites: the
+  // parallel root scan ("freq.scan.chunk") and the DAG projections
+  // ("cube.project"). A scripted failure at either must surface as a
+  // governance partial with the byte accounting balanced.
+  Rng rng(7);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  IncognitoOptions options;
+  options.variant = IncognitoVariant::kCube;
+  for (const char* site : {"freq.scan.chunk", "cube.project"}) {
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().ScriptFailNthHit(site, 1);
+    ExecutionGovernor governor;
+    PartialResult<IncognitoResult> run =
+        RunIncognitoParallel(data.table, data.qid, config, options, governor,
+                             4);
+    EXPECT_EQ(FaultInjector::Global().FaultsFired(), 1) << site;
+    ASSERT_TRUE(run.partial()) << site;
+    EXPECT_TRUE(IsResourceGovernance(run.status().code()))
+        << site << ": " << run.status().ToString();
+    EXPECT_EQ(governor.memory().used(), 0) << site;
+  }
+  FaultInjector::Global().Reset();
+}
+
+TEST(ParallelFaultTest, RandomFaultsNeverCrashTheParallelCubeSearch) {
+  if (!FaultInjector::kCompiledIn) {
+    GTEST_SKIP() << "build with -DINCOGNITO_FAULTS=ON";
+  }
+  // The cube-variant soak additionally sweeps the DAG scheduler's fault
+  // handling: a projection failure must stop every worker cleanly.
+  Rng rng(7);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  IncognitoOptions options;
+  options.variant = IncognitoVariant::kCube;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().EnableRandom(seed, 0.05);
+    ExecutionGovernor governor;
+    governor.SetDeadline(Deadline::AfterMillis(60 * 1000));
+    PartialResult<IncognitoResult> run =
+        RunIncognitoParallel(data.table, data.qid, config, options, governor,
+                             4);
     if (run.partial()) {
       EXPECT_TRUE(IsResourceGovernance(run.status().code()))
           << run.status().ToString();

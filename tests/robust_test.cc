@@ -22,6 +22,7 @@
 #include "core/bottom_up.h"
 #include "core/checker.h"
 #include "core/incognito.h"
+#include "core/parallel.h"
 #include "data/adults.h"
 #include "hierarchy/builders.h"
 #include "hierarchy/csv_hierarchy.h"
@@ -589,10 +590,12 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
       BuildSuppressionHierarchy("a", table.dictionary(0));
   ASSERT_TRUE(hierarchy.ok());
 
-  // The compute-path sites (cube.build, incognito.rollup,
-  // bottom_up.rollup) only fire inside governed searches, so the battery
-  // also runs one search per family. k is set high enough that low nodes
-  // fail, forcing their stored frequency sets to be rolled up.
+  // The compute-path sites (cube.build, cube.project, freq.scan.chunk,
+  // incognito.rollup, bottom_up.rollup) only fire inside governed
+  // searches, so the battery also runs one search per family — including
+  // a 4-thread parallel cube search for the intra-node sites. k is set
+  // high enough that low nodes fail, forcing their stored frequency sets
+  // to be rolled up.
   RandomDataset search = SmallDataset();
   AnonymizationConfig search_config;
   search_config.k = 10;
@@ -619,6 +622,16 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
                                          search_config, rollup_opts, g)
                              .status());
     }
+    {
+      // The governed parallel cube search reaches the intra-node sites:
+      // the parallel root scan (freq.scan.chunk) and the DAG-scheduled
+      // projections (cube.project).
+      ExecutionGovernor g;
+      outcomes->push_back(RunIncognitoParallel(search.table, search.qid,
+                                               search_config, cube_opts, g,
+                                               /*num_threads=*/4)
+                              .status());
+    }
   };
   // Probe (no scripts armed): the searches must actually reach every
   // compute-path site, or the per-site loop below would vacuously pass.
@@ -629,7 +642,8 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
     for (const Status& s : probe) EXPECT_TRUE(s.ok()) << s.message();
   }
   for (const char* compute_site :
-       {"cube.build", "incognito.rollup", "bottom_up.rollup"}) {
+       {"cube.build", "cube.project", "freq.scan.chunk", "incognito.rollup",
+        "bottom_up.rollup"}) {
     EXPECT_GE(FaultInjector::Global().HitCount(compute_site), 1)
         << "battery searches never reach " << compute_site;
   }

@@ -113,6 +113,52 @@ inline RandomDataset MakeRandomDataset(Rng& rng,
   return out;
 }
 
+/// Builds the vector-key fallback fixture: six attributes whose 4096-value
+/// domains need 72 key bits — beyond the 64-bit packed fast path — each
+/// with a two-level (value, '*') hierarchy. Row values are drawn from a
+/// small range so groups repeat despite the huge domains. Deterministic:
+/// the same `num_rows` always yields the same table.
+inline RandomDataset MakeWideFallbackDataset(size_t num_rows) {
+  const size_t kAttrs = 6;
+  const size_t kDomain = 4096;
+  std::vector<ColumnSpec> specs;
+  for (size_t i = 0; i < kAttrs; ++i) {
+    specs.push_back({StringPrintf("a%zu", i), DataType::kInt64});
+  }
+  Table table{Schema(specs)};
+  std::vector<std::pair<std::string, ValueHierarchy>> hierarchies;
+  for (size_t i = 0; i < kAttrs; ++i) {
+    Dictionary& dict = table.mutable_dictionary(i);
+    std::vector<std::vector<Value>> levels(2);
+    std::vector<std::vector<int32_t>> parents(1);
+    for (size_t v = 0; v < kDomain; ++v) {
+      Value value(static_cast<int64_t>(v));
+      dict.GetOrInsert(value);
+      levels[0].push_back(value);
+      parents[0].push_back(0);
+    }
+    levels[1].push_back(Value("*"));
+    hierarchies.emplace_back(
+        StringPrintf("a%zu", i),
+        ValueHierarchy::Create(StringPrintf("a%zu", i), levels, parents)
+            .value());
+  }
+  Rng rng(31337);
+  std::vector<int32_t> codes(kAttrs);
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t i = 0; i < kAttrs; ++i) {
+      codes[i] = static_cast<int32_t>(rng.Uniform(3));
+    }
+    table.AppendRowCodes(codes);
+  }
+  Result<QuasiIdentifier> qid =
+      QuasiIdentifier::Create(table, std::move(hierarchies));
+  RandomDataset out;
+  out.table = std::move(table);
+  out.qid = std::move(qid).value();
+  return out;
+}
+
 /// Canonical comparable form of a node set.
 inline std::set<std::string> NodeSet(const std::vector<SubsetNode>& nodes) {
   std::set<std::string> out;

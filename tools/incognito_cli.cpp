@@ -26,10 +26,13 @@
 //   --report=FILE    write a machine-readable RunReport JSON (config,
 //                    dataset shape, counters, per-phase span rollups)
 //
-// Parallel search (enumerate, anonymize):
-//   --threads=N      evaluate each lattice level with N worker threads
-//                    (1-256; results are bit-identical to the serial
-//                    search, see docs/PARALLELISM.md)
+// Parallel search (check, enumerate, anonymize):
+//   --threads=N      evaluate each lattice level — and, inside a node, the
+//                    frequency-set scan and the cube build — with N worker
+//                    threads (1-256; results are bit-identical to the
+//                    serial search, see docs/PARALLELISM.md)
+//   --variant=V      Incognito variant: basic (default), superroots, or
+//                    cube (enumerate, anonymize)
 //
 // Resource governance (check, enumerate, anonymize):
 //   --deadline-ms=N       stop the search after N milliseconds
@@ -257,8 +260,10 @@ Result<GovernanceOptions> ParseGovernance(
   return opts;
 }
 
-/// The --threads flag: worker count for the parallel lattice search
-/// (core/parallel.h). Defaults to 1 (the serial path).
+/// The --threads flag (worker count for the parallel search,
+/// core/parallel.h; on `check` it fans out the single scan) and the
+/// --variant flag (which Incognito variant to run). Defaults: 1 thread,
+/// basic variant.
 Result<IncognitoOptions> ParseRunOptions(
     const std::map<std::string, std::string>& args) {
   IncognitoOptions opts;
@@ -270,6 +275,20 @@ Result<IncognitoOptions> ParseRunOptions(
                                      "' (want an integer in [1, 256])");
     }
     opts.num_threads = static_cast<int>(n);
+  }
+  std::string variant = Get(args, "variant");
+  if (!variant.empty()) {
+    if (variant == "basic") {
+      opts.variant = IncognitoVariant::kBasic;
+    } else if (variant == "superroots") {
+      opts.variant = IncognitoVariant::kSuperRoots;
+    } else if (variant == "cube") {
+      opts.variant = IncognitoVariant::kCube;
+    } else {
+      return Status::InvalidArgument(
+          "bad --variant value '" + variant +
+          "' (want basic, superroots, or cube)");
+    }
   }
   return opts;
 }
@@ -436,6 +455,8 @@ int CmdCheck(const std::map<std::string, std::string>& args,
   if (!node.ok()) return Fail(node.status());
   Result<GovernanceOptions> gov = ParseGovernance(args);
   if (!gov.ok()) return Fail(gov.status());
+  Result<IncognitoOptions> run_opts = ParseRunOptions(args);
+  if (!run_opts.ok()) return Fail(run_opts.status());
   AnonymizationConfig config = ConfigFrom(args);
 
   AlgorithmStats stats;
@@ -447,7 +468,7 @@ int CmdCheck(const std::map<std::string, std::string>& args,
     gov->Apply(&governor);
     Result<bool> governed = IsKAnonymous(problem->table, problem->qid,
                                          node.value(), config, governor,
-                                         &stats);
+                                         &stats, run_opts->num_threads);
     if (!governed.ok()) {
       obs->RecordStats(stats);
       return Fail(governed.status());
@@ -455,7 +476,7 @@ int CmdCheck(const std::map<std::string, std::string>& args,
     ok = governed.value();
   } else {
     ok = IsKAnonymous(problem->table, problem->qid, node.value(), config,
-                      &stats);
+                      &stats, run_opts->num_threads);
   }
   printf("%s at %s: %lld-anonymous = %s\n", Get(args, "input").c_str(),
          node->ToString(&problem->qid).c_str(),

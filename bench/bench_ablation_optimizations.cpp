@@ -106,13 +106,13 @@ int main(int argc, char** argv) {
       AlgorithmStats stats;
       size_t solutions = 0;
       if (v.family == Variant::kIncognito) {
-        Result<IncognitoResult> r =
+        PartialResult<IncognitoResult> r =
             RunIncognito(adults->table, qid, config, v.inc_opts);
         if (!r.ok()) continue;
         stats = r->stats;
         solutions = r->anonymous_nodes.size();
       } else {
-        Result<BottomUpResult> r =
+        PartialResult<BottomUpResult> r =
             RunBottomUpBfs(adults->table, qid, config, v.bu_opts);
         if (!r.ok()) continue;
         stats = r->stats;

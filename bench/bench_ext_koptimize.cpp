@@ -83,14 +83,14 @@ int main(int argc, char** argv) {
     config.k = k;
     obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
     Stopwatch t;
-    Result<KOptimizeResult> optimal = RunKOptimize(ds->table, ds->qid, config);
+    PartialResult<KOptimizeResult> optimal = RunKOptimize(ds->table, ds->qid, config);
     double opt_seconds = t.ElapsedSeconds();
     if (!optimal.ok()) {
       fprintf(stderr, "k-optimize failed: %s\n",
               optimal.status().ToString().c_str());
       continue;
     }
-    Result<OrderedSetResult> greedy =
+    PartialResult<OrderedSetResult> greedy =
         RunOrderedSetPartition(ds->table, ds->qid, config);
     if (!greedy.ok()) continue;
     Result<std::vector<int64_t>> sizes =

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
       config.l = l;
       config.sensitive_attribute = "Salary-class";
       obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
-      Result<LDiversityResult> r =
+      PartialResult<LDiversityResult> r =
           RunLDiversityIncognito(adults->table, qid, config);
       if (!r.ok()) {
         fprintf(stderr, "run failed: %s\n", r.status().ToString().c_str());

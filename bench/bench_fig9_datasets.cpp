@@ -12,6 +12,7 @@
 //        --threads=N       (cap for the parallel speedup sweep, default 8;
 //                           the sweep runs at 1, 2, 4, ... up to the cap)
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -133,8 +134,8 @@ int main(int argc, char** argv) {
     for (int threads = 1; threads <= max_threads; threads *= 2) {
       obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
       Stopwatch timer;
-      Result<IncognitoResult> r =
-          RunIncognitoParallel(adults->table, qid, config, {}, threads);
+      PartialResult<IncognitoResult> r =
+          RunIncognitoParallel(adults->table, qid, config, {}, RunContext::WithThreads(threads));
       double seconds = timer.ElapsedSeconds();
       if (!r.ok()) {
         fprintf(stderr, "parallel search (%d threads) failed: %s\n", threads,
@@ -150,6 +151,57 @@ int main(int argc, char** argv) {
                  seconds, r->anonymous_nodes.size(), r->stats,
                  obs::MetricsSnapshot::Take().DeltaSince(before));
       report.SetDerived(StringPrintf("speedup_threads_%d", threads), speedup);
+    }
+
+    // Scheduler comparison: the pipelined subset DAG vs the barrier
+    // schedule at the same thread counts (both bit-identical to serial;
+    // docs/PARALLELISM.md "Pipelined subset DAG"). A 5-attribute QID: the
+    // subset DAG then has 31 tasks across 5 tiers, enough cross-tier work
+    // for pipelining to overlap (at QID 3 the DAG is 7 tasks and the two
+    // schedules are indistinguishable). The derived key
+    // pipeline_speedup_threads_N is barrier wall time over pipelined wall
+    // time — > 1 means pipelining won.
+    QuasiIdentifier sched_qid = adults->qid.Prefix(5);
+    printf("\n--- pipelined vs barrier schedule (Adults, QID 5, k=2) ---\n");
+    for (int threads = 2; threads <= max_threads; threads *= 2) {
+      RunContext pipelined = RunContext::WithThreads(threads);
+      RunContext barrier = RunContext::WithThreads(threads);
+      barrier.scheduling = SchedulingMode::kBarrier;
+      // Best-of-3 per schedule: these runs are tens of milliseconds, so a
+      // single sample is dominated by thread-pool spin-up jitter.
+      constexpr int kRepeats = 3;
+      obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
+      Stopwatch barrier_timer;
+      PartialResult<IncognitoResult> b =
+          RunIncognitoParallel(adults->table, sched_qid, config, {}, barrier);
+      double barrier_seconds = barrier_timer.ElapsedSeconds();
+      Stopwatch pipelined_timer;
+      PartialResult<IncognitoResult> p =
+          RunIncognitoParallel(adults->table, sched_qid, config, {}, pipelined);
+      double pipelined_seconds = pipelined_timer.ElapsedSeconds();
+      for (int rep = 1; rep < kRepeats && b.ok() && p.ok(); ++rep) {
+        Stopwatch bt;
+        b = RunIncognitoParallel(adults->table, sched_qid, config, {}, barrier);
+        barrier_seconds = std::min(barrier_seconds, bt.ElapsedSeconds());
+        Stopwatch pt;
+        p = RunIncognitoParallel(adults->table, sched_qid, config, {},
+                                 pipelined);
+        pipelined_seconds = std::min(pipelined_seconds, pt.ElapsedSeconds());
+      }
+      if (!b.ok() || !p.ok()) {
+        fprintf(stderr, "schedule comparison (%d threads) failed\n", threads);
+        continue;
+      }
+      double ratio =
+          pipelined_seconds > 0 ? barrier_seconds / pipelined_seconds : 0;
+      printf("threads=%-2d  barrier=%8.3fs  pipelined=%8.3fs  ratio=%.2fx\n",
+             threads, barrier_seconds, pipelined_seconds, ratio);
+      report.Add("adults", config.k, sched_qid.size(),
+                 StringPrintf("Pipelined Incognito (%d threads)", threads),
+                 pipelined_seconds, p->anonymous_nodes.size(), p->stats,
+                 obs::MetricsSnapshot::Take().DeltaSince(before));
+      report.SetDerived(StringPrintf("pipeline_speedup_threads_%d", threads),
+                        ratio);
     }
   }
   return report.Write();

@@ -309,8 +309,8 @@ void BM_ParallelLevelSearch(benchmark::State& state) {
   config.k = 2;
   int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    Result<IncognitoResult> r =
-        RunIncognitoParallel(ds.table, qid, config, {}, threads);
+    PartialResult<IncognitoResult> r =
+        RunIncognitoParallel(ds.table, qid, config, {}, RunContext::WithThreads(threads));
     benchmark::DoNotOptimize(r.ok());
   }
 }
@@ -375,8 +375,10 @@ int main(int argc, char** argv) {
       incognito::obs::MetricsSnapshot before =
           incognito::obs::MetricsSnapshot::Take();
       incognito::Stopwatch timer;
-      incognito::Result<incognito::IncognitoResult> r =
-          incognito::RunIncognitoParallel(ds.table, qid, config, {}, threads);
+      incognito::PartialResult<incognito::IncognitoResult> r =
+          incognito::RunIncognitoParallel(
+              ds.table, qid, config, {},
+              incognito::RunContext::WithThreads(threads));
       double seconds = timer.ElapsedSeconds();
       if (!r.ok()) {
         fprintf(stderr, "parallel search (%d threads) failed: %s\n", threads,

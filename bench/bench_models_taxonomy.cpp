@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
       // any criteria" (paper §3.2): evaluate the lattice-minimal result
       // antichain and release the node with the best discernibility.
       Stopwatch t;
-      Result<IncognitoResult> r = RunIncognito(adults->table, qid, config);
+      PartialResult<IncognitoResult> r = RunIncognito(adults->table, qid, config);
       if (r.ok() && !r->anonymous_nodes.empty()) {
         SubsetNode best = MinimalByHeight(r->anonymous_nodes).front();
         double best_discernibility = -1;
@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
     }
     {
       Stopwatch t;
-      Result<DataflyResult> r = RunDatafly(adults->table, qid, config);
+      PartialResult<DataflyResult> r = RunDatafly(adults->table, qid, config);
       if (r.ok()) {
         Report(k, "Datafly (greedy)", t.ElapsedSeconds(), r->view, cols, rows,
                qid_size, &report);
@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
     }
     {
       Stopwatch t;
-      Result<OrderedSetResult> r =
+      PartialResult<OrderedSetResult> r =
           RunOrderedSetPartition(adults->table, qid, config);
       if (r.ok()) {
         Report(k, "ordered-set partitioning", t.ElapsedSeconds(), r->view,
@@ -128,7 +128,7 @@ int main(int argc, char** argv) {
     }
     {
       Stopwatch t;
-      Result<MondrianResult> r = RunMondrian(adults->table, qid, config);
+      PartialResult<MondrianResult> r = RunMondrian(adults->table, qid, config);
       if (r.ok()) {
         Report(k, "Mondrian multi-dimensional", t.ElapsedSeconds(), r->view,
                cols, rows, qid_size, &report);
@@ -144,7 +144,7 @@ int main(int argc, char** argv) {
     }
     {
       Stopwatch t;
-      Result<CellSuppressionResult> r =
+      PartialResult<CellSuppressionResult> r =
           RunCellSuppression(adults->table, qid, config);
       if (r.ok()) {
         Report(k, "cell suppression (local)", t.ElapsedSeconds(), r->view,

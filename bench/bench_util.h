@@ -154,14 +154,14 @@ inline RunResult RunAlgorithm(Algorithm algorithm, const Table& table,
     case Algorithm::kBottomUpRollup: {
       BottomUpOptions opts;
       opts.use_rollup = algorithm == Algorithm::kBottomUpRollup;
-      Result<BottomUpResult> r = RunBottomUpBfs(table, qid, config, opts);
+      PartialResult<BottomUpResult> r = RunBottomUpBfs(table, qid, config, opts);
       if (!r.ok()) return out;
       out.stats = r->stats;
       out.solutions = r->anonymous_nodes.size();
       break;
     }
     case Algorithm::kBinarySearch: {
-      Result<BinarySearchResult> r =
+      PartialResult<BinarySearchResult> r =
           RunSamaratiBinarySearch(table, qid, config);
       if (!r.ok()) return out;
       out.stats = r->stats;
@@ -177,7 +177,7 @@ inline RunResult RunAlgorithm(Algorithm algorithm, const Table& table,
                      : algorithm == Algorithm::kSuperRootsIncognito
                          ? IncognitoVariant::kSuperRoots
                          : IncognitoVariant::kBasic;
-      Result<IncognitoResult> r = RunIncognito(table, qid, config, opts);
+      PartialResult<IncognitoResult> r = RunIncognito(table, qid, config, opts);
       if (!r.ok()) return out;
       out.stats = r->stats;
       out.solutions = r->anonymous_nodes.size();

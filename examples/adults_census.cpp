@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
          "(lattice of %llu generalizations)\n\n",
          static_cast<unsigned long long>(qid.LatticeSize()));
 
-  Result<IncognitoResult> result =
+  PartialResult<IncognitoResult> result =
       RunIncognito(dataset->table, qid, config,
                    {.variant = IncognitoVariant::kSuperRoots});
   if (!result.ok()) {

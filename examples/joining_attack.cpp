@@ -73,7 +73,7 @@ int main() {
   // Defense: publish a minimal 2-anonymous full-domain generalization.
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> result =
+  PartialResult<IncognitoResult> result =
       RunIncognito(dataset->table, dataset->qid, config);
   if (!result.ok()) {
     fprintf(stderr, "incognito failed: %s\n",

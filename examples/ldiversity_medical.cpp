@@ -72,7 +72,7 @@ int main() {
   // k-anonymity alone.
   AnonymizationConfig kconfig;
   kconfig.k = 4;
-  Result<IncognitoResult> kanon =
+  PartialResult<IncognitoResult> kanon =
       RunIncognito(clinic->table, clinic->qid, kconfig);
   if (!kanon.ok()) return 1;
   SubsetNode kmin = MinimalByHeight(kanon->anonymous_nodes).front();
@@ -106,7 +106,7 @@ int main() {
   lconfig.k = 4;
   lconfig.l = 3;
   lconfig.sensitive_attribute = "Diagnosis";
-  Result<LDiversityResult> diverse =
+  PartialResult<LDiversityResult> diverse =
       RunLDiversityIncognito(clinic->table, clinic->qid, lconfig);
   if (!diverse.ok()) {
     fprintf(stderr, "ldiversity failed: %s\n",

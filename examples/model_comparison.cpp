@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
 
   {  // Full-domain generalization, minimal via Incognito.
     Stopwatch timer;
-    Result<IncognitoResult> r = RunIncognito(dataset->table, qid, config);
+    PartialResult<IncognitoResult> r = RunIncognito(dataset->table, qid, config);
     if (!r.ok() || r->anonymous_nodes.empty()) {
       fprintf(stderr, "incognito failed or found nothing\n");
       return 1;
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   }
   {
     Stopwatch timer;
-    Result<DataflyResult> r = RunDatafly(dataset->table, qid, config);
+    PartialResult<DataflyResult> r = RunDatafly(dataset->table, qid, config);
     if (!r.ok()) return 1;
     Report("Datafly (greedy)", r->view, cols, rows, timer.ElapsedSeconds());
   }
@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
   }
   {
     Stopwatch timer;
-    Result<OrderedSetResult> r =
+    PartialResult<OrderedSetResult> r =
         RunOrderedSetPartition(dataset->table, qid, config);
     if (!r.ok()) return 1;
     Report("ordered-set partitioning", r->view, cols, rows,
@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
   }
   {
     Stopwatch timer;
-    Result<MondrianResult> r = RunMondrian(dataset->table, qid, config);
+    PartialResult<MondrianResult> r = RunMondrian(dataset->table, qid, config);
     if (!r.ok()) return 1;
     Report("Mondrian multi-dimensional", r->view, cols, rows,
            timer.ElapsedSeconds());
@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
   }
   {
     Stopwatch timer;
-    Result<CellSuppressionResult> r =
+    PartialResult<CellSuppressionResult> r =
         RunCellSuppression(dataset->table, qid, config);
     if (!r.ok()) return 1;
     Report("cell suppression (local)", r->view, cols, rows,

@@ -33,7 +33,7 @@ int main() {
   // 2. Enumerate every 2-anonymous full-domain generalization.
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> result =
+  PartialResult<IncognitoResult> result =
       RunIncognito(dataset->table, dataset->qid, config);
   if (!result.ok()) {
     fprintf(stderr, "incognito failed: %s\n",

@@ -144,19 +144,10 @@ PartialResult<BinarySearchResult> RunBinarySearchImpl(
 
 }  // namespace
 
-Result<BinarySearchResult> RunSamaratiBinarySearch(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config) {
-  PartialResult<BinarySearchResult> run =
-      RunBinarySearchImpl(table, qid, config, nullptr);
-  if (!run.complete()) return run.status();
-  return std::move(run).value();
-}
-
 PartialResult<BinarySearchResult> RunSamaratiBinarySearch(
     const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, ExecutionGovernor& governor) {
-  return RunBinarySearchImpl(table, qid, config, &governor);
+    const AnonymizationConfig& config, const RunContext& ctx) {
+  return RunBinarySearchImpl(table, qid, config, ctx.governor);
 }
 
 }  // namespace incognito

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
+#include "core/run_context.h"
 #include "lattice/node.h"
 #include "relation/table.h"
 #include "robust/partial_result.h"
@@ -44,17 +45,35 @@ struct BinarySearchResult {
 /// GROUP BY scan per node until an anonymous one is found. Finds a single
 /// height-minimal generalization — not the complete result set Incognito
 /// produces.
-Result<BinarySearchResult> RunSamaratiBinarySearch(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config);
-
-/// Governed variant: polls `governor` at every node probe and charges each
-/// probe's frequency set against its memory budget. A budget trip stops
+///
+/// `ctx` carries the execution parameters (docs/API.md): a default
+/// RunContext reproduces the legacy ungoverned call. With ctx.governor
+/// set, the search polls the governor at every node probe and charges each
+/// probe's frequency set against its memory budget; a budget trip stops
 /// the search and returns PartialResult::Partial with found == false and
 /// the bracket proven so far (see BinarySearchResult::bracket_low/_high).
+/// The algorithm is single-threaded: ctx.num_threads and ctx.scheduling
+/// are ignored.
 PartialResult<BinarySearchResult> RunSamaratiBinarySearch(
     const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, ExecutionGovernor& governor);
+    const AnonymizationConfig& config, const RunContext& ctx = {});
+
+#if !defined(INCOGNITO_NO_LEGACY_API)
+
+/// Deprecated pre-RunContext governed entry point (docs/API.md). Compiled
+/// out under -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once
+/// external callers have migrated.
+[[deprecated(
+    "use RunSamaratiBinarySearch(table, qid, config, "
+    "RunContext::Governed(governor)) — see docs/API.md")]]
+inline PartialResult<BinarySearchResult> RunSamaratiBinarySearch(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor& governor) {
+  return RunSamaratiBinarySearch(table, qid, config,
+                                 RunContext::Governed(governor));
+}
+
+#endif  // !defined(INCOGNITO_NO_LEGACY_API)
 
 }  // namespace incognito
 

@@ -158,22 +158,12 @@ PartialResult<BottomUpResult> RunBottomUpImpl(
 
 }  // namespace
 
-Result<BottomUpResult> RunBottomUpBfs(const Table& table,
-                                      const QuasiIdentifier& qid,
-                                      const AnonymizationConfig& config,
-                                      const BottomUpOptions& options) {
-  PartialResult<BottomUpResult> run =
-      RunBottomUpImpl(table, qid, config, options, nullptr);
-  if (!run.complete()) return run.status();
-  return std::move(run).value();
-}
-
 PartialResult<BottomUpResult> RunBottomUpBfs(const Table& table,
                                              const QuasiIdentifier& qid,
                                              const AnonymizationConfig& config,
                                              const BottomUpOptions& options,
-                                             ExecutionGovernor& governor) {
-  return RunBottomUpImpl(table, qid, config, options, &governor);
+                                             const RunContext& ctx) {
+  return RunBottomUpImpl(table, qid, config, options, ctx.governor);
 }
 
 }  // namespace incognito

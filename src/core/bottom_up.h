@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
+#include "core/run_context.h"
 #include "lattice/node.h"
 #include "relation/table.h"
 #include "robust/partial_result.h"
@@ -46,21 +47,38 @@ struct BottomUpResult {
 /// Exhaustive bottom-up breadth-first search of the full multi-attribute
 /// generalization lattice, optionally with rollup aggregation along the
 /// dimension hierarchies (paper §2.2, run exhaustively as in §4).
-Result<BottomUpResult> RunBottomUpBfs(const Table& table,
-                                      const QuasiIdentifier& qid,
-                                      const AnonymizationConfig& config,
-                                      const BottomUpOptions& options = {});
-
-/// Governed variant: polls `governor` at every lattice node and charges
-/// frequency sets against its memory budget. A budget trip stops the walk
+///
+/// `ctx` carries the execution parameters (docs/API.md): a default
+/// RunContext reproduces the legacy ungoverned call. With ctx.governor
+/// set, the walk polls the governor at every lattice node and charges
+/// frequency sets against its memory budget; a budget trip stops the walk
 /// and returns PartialResult::Partial whose anonymous_nodes are the nodes
 /// confirmed so far (a subset of the complete answer; see
-/// BottomUpResult::completed_heights).
+/// BottomUpResult::completed_heights). The algorithm is single-threaded:
+/// ctx.num_threads and ctx.scheduling are ignored.
 PartialResult<BottomUpResult> RunBottomUpBfs(const Table& table,
                                              const QuasiIdentifier& qid,
                                              const AnonymizationConfig& config,
-                                             const BottomUpOptions& options,
-                                             ExecutionGovernor& governor);
+                                             const BottomUpOptions& options = {},
+                                             const RunContext& ctx = {});
+
+#if !defined(INCOGNITO_NO_LEGACY_API)
+
+/// Deprecated pre-RunContext governed entry point (docs/API.md). Compiled
+/// out under -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once
+/// external callers have migrated.
+[[deprecated(
+    "use RunBottomUpBfs(table, qid, config, options, "
+    "RunContext::Governed(governor)) — see docs/API.md")]]
+inline PartialResult<BottomUpResult> RunBottomUpBfs(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, const BottomUpOptions& options,
+    ExecutionGovernor& governor) {
+  return RunBottomUpBfs(table, qid, config, options,
+                        RunContext::Governed(governor));
+}
+
+#endif  // !defined(INCOGNITO_NO_LEGACY_API)
 
 }  // namespace incognito
 

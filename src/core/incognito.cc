@@ -381,30 +381,19 @@ PartialResult<IncognitoResult> RunIncognitoImpl(
 
 }  // namespace
 
-Result<IncognitoResult> RunIncognito(const Table& table,
-                                     const QuasiIdentifier& qid,
-                                     const AnonymizationConfig& config,
-                                     const IncognitoOptions& options) {
-  if (options.num_threads > 1) {
-    return RunIncognitoParallel(table, qid, config, options,
-                                options.num_threads);
-  }
-  PartialResult<IncognitoResult> run =
-      RunIncognitoImpl(table, qid, config, options, nullptr);
-  if (!run.complete()) return run.status();
-  return std::move(run).value();
-}
-
 PartialResult<IncognitoResult> RunIncognito(const Table& table,
                                             const QuasiIdentifier& qid,
                                             const AnonymizationConfig& config,
                                             const IncognitoOptions& options,
-                                            ExecutionGovernor& governor) {
-  if (options.num_threads > 1) {
-    return RunIncognitoParallel(table, qid, config, options, governor,
-                                options.num_threads);
+                                            const RunContext& ctx) {
+  const int num_threads =
+      ctx.num_threads > 0 ? ctx.num_threads : options.num_threads;
+  if (num_threads > 1) {
+    RunContext parallel_ctx = ctx;
+    parallel_ctx.num_threads = num_threads;
+    return RunIncognitoParallel(table, qid, config, options, parallel_ctx);
   }
-  return RunIncognitoImpl(table, qid, config, options, &governor);
+  return RunIncognitoImpl(table, qid, config, options, ctx.governor);
 }
 
 }  // namespace incognito

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
+#include "core/run_context.h"
 #include "lattice/node.h"
 #include "relation/table.h"
 #include "robust/partial_result.h"
@@ -81,28 +82,52 @@ struct IncognitoResult {
 /// Runs Incognito: produces the set of ALL k-anonymous full-domain
 /// generalizations of `table` with respect to `qid` (sound and complete,
 /// paper §3.2), with the optional tuple-suppression threshold from
-/// `config`. With options.num_threads > 1 the run dispatches to
-/// RunIncognitoParallel (core/parallel.h) and returns the identical
-/// answer set, survivor sets, and node-count statistics.
-Result<IncognitoResult> RunIncognito(const Table& table,
-                                     const QuasiIdentifier& qid,
-                                     const AnonymizationConfig& config,
-                                     const IncognitoOptions& options = {});
-
-/// Governed variant: polls `governor` at every lattice-node check and
-/// charges frequency-set / cube / hash-tree construction against its
-/// memory budget. When a budget trips mid-search the run stops cleanly and
-/// returns PartialResult::Partial carrying everything proven so far
-/// (completed iterations' survivor sets; see
-/// IncognitoResult::completed_iterations) with status kDeadlineExceeded,
-/// kResourceExhausted, or kCancelled. Construct a fresh governor per call.
-/// The parallel overload in core/parallel.h honors the same contract,
-/// with each worker charging a GovernorShard leased from `governor`.
+/// `config`.
+///
+/// `ctx` carries the execution parameters (docs/API.md):
+///   - A default RunContext reproduces the legacy ungoverned call; the
+///     result is complete() and the trip counters stay zero.
+///   - ctx.governor non-null polls the governor at every lattice-node
+///     check and charges frequency-set / cube / hash-tree construction
+///     against its memory budget. When a budget trips mid-search the run
+///     stops cleanly and returns PartialResult::Partial carrying
+///     everything proven so far (completed iterations' survivor sets; see
+///     IncognitoResult::completed_iterations) with status
+///     kDeadlineExceeded, kResourceExhausted, or kCancelled. Construct a
+///     fresh governor per call.
+///   - An effective thread count > 1 (ctx.num_threads, or
+///     options.num_threads when ctx leaves it 0) dispatches to
+///     RunIncognitoParallel (core/parallel.h) under ctx.scheduling —
+///     pipelined subset DAG by default — returning the identical answer
+///     set, survivor sets, and node-count statistics, with each worker
+///     charging a GovernorShard leased from ctx.governor.
 PartialResult<IncognitoResult> RunIncognito(const Table& table,
                                             const QuasiIdentifier& qid,
                                             const AnonymizationConfig& config,
-                                            const IncognitoOptions& options,
-                                            ExecutionGovernor& governor);
+                                            const IncognitoOptions& options = {},
+                                            const RunContext& ctx = {});
+
+#if !defined(INCOGNITO_NO_LEGACY_API)
+
+/// Deprecated pre-RunContext governed entry point (docs/API.md); keeps the
+/// behavior it shipped with, including level-synchronous (kBarrier)
+/// scheduling when options.num_threads > 1. Compiled out under
+/// -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once external
+/// callers have migrated.
+[[deprecated(
+    "use RunIncognito(table, qid, config, options, "
+    "RunContext::Governed(governor)) — see docs/API.md")]]
+inline PartialResult<IncognitoResult> RunIncognito(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, const IncognitoOptions& options,
+    ExecutionGovernor& governor) {
+  RunContext ctx;
+  ctx.governor = &governor;
+  ctx.scheduling = SchedulingMode::kBarrier;
+  return RunIncognito(table, qid, config, options, ctx);
+}
+
+#endif  // !defined(INCOGNITO_NO_LEGACY_API)
 
 }  // namespace incognito
 

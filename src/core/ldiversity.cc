@@ -10,6 +10,7 @@
 #include "lattice/candidate_gen.h"
 #include "lattice/graph_tables.h"
 #include "obs/obs.h"
+#include "robust/governor.h"
 
 namespace incognito {
 
@@ -23,12 +24,17 @@ class DiversityGraphSearch {
  public:
   DiversityGraphSearch(const Table& table, const QuasiIdentifier& qid,
                        const LDiversityConfig& config, size_t sensitive_column,
-                       AlgorithmStats* stats)
+                       AlgorithmStats* stats, ExecutionGovernor* governor)
       : table_(table),
         qid_(qid),
         config_(config),
         sensitive_column_(sensitive_column),
-        stats_(stats) {}
+        stats_(stats),
+        governor_(governor) {}
+
+  /// Non-OK when the governor tripped mid-search; the failed vector
+  /// returned by Run is then meaningless and the caller must unwind.
+  const Status& trip() const { return trip_; }
 
   std::vector<bool> Run(const CandidateGraph& graph) {
     const size_t n = graph.num_nodes();
@@ -37,6 +43,8 @@ class DiversityGraphSearch {
     std::vector<bool> processed(n, false);
     std::unordered_map<int64_t, SensitiveFrequencySet> stored;
     std::unordered_map<int64_t, int64_t> pending_uses;
+    // Bytes charged against the governor per stored frequency set.
+    std::unordered_map<int64_t, int64_t> stored_bytes;
 
     std::set<std::pair<int32_t, int64_t>> queue;
     for (int64_t r : graph.Roots()) {
@@ -48,11 +56,18 @@ class DiversityGraphSearch {
         if (it != pending_uses.end() && --it->second == 0) {
           stored.erase(spec);
           pending_uses.erase(it);
+          auto bytes = stored_bytes.find(spec);
+          if (bytes != stored_bytes.end()) {
+            if (governor_ != nullptr) governor_->ReleaseMemory(bytes->second);
+            stored_bytes.erase(bytes);
+          }
         }
       }
     };
 
     while (!queue.empty()) {
+      if (governor_ != nullptr && trip_.ok()) trip_ = governor_->Check();
+      if (!trip_.ok()) break;
       auto [height, id] = *queue.begin();
       queue.erase(queue.begin());
       (void)height;
@@ -78,7 +93,16 @@ class DiversityGraphSearch {
       }();
       ++stats_->nodes_checked;
       stats_->freq_groups_built += static_cast<int64_t>(freq.NumGroups());
+      const int64_t freq_bytes = static_cast<int64_t>(freq.MemoryBytes());
+      if (governor_ != nullptr) {
+        Status charged = governor_->ChargeMemory(freq_bytes);
+        if (!charged.ok()) {
+          trip_ = std::move(charged);
+          break;
+        }
+      }
 
+      bool kept = false;
       if (freq.IsKAnonymousAndLDiverse(config_.k, config_.l,
                                        config_.max_suppressed)) {
         Mark(graph, id, &marked);
@@ -88,12 +112,23 @@ class DiversityGraphSearch {
         if (!gens.empty()) {
           pending_uses[id] = static_cast<int64_t>(gens.size());
           stored.emplace(id, std::move(freq));
+          stored_bytes[id] = freq_bytes;
+          kept = true;
         }
         for (int64_t g : gens) {
           queue.insert({graph.node(g).Height(), g});
         }
       }
+      if (!kept && governor_ != nullptr) governor_->ReleaseMemory(freq_bytes);
       release_parents(id);
+    }
+
+    // Balance the budget on every exit path (including a mid-search trip).
+    if (governor_ != nullptr) {
+      for (const auto& [id, bytes] : stored_bytes) {
+        (void)id;
+        governor_->ReleaseMemory(bytes);
+      }
     }
     return failed;
   }
@@ -115,15 +150,18 @@ class DiversityGraphSearch {
   const LDiversityConfig& config_;
   size_t sensitive_column_;
   AlgorithmStats* stats_;
+  ExecutionGovernor* governor_;
+  Status trip_;
 };
 
 }  // namespace
 
-Result<LDiversityResult> RunLDiversityIncognito(
+PartialResult<LDiversityResult> RunLDiversityIncognito(
     const Table& table, const QuasiIdentifier& qid,
-    const LDiversityConfig& config) {
+    const LDiversityConfig& config, const RunContext& ctx) {
   INCOGNITO_SPAN("ldiversity.run");
   INCOGNITO_COUNT("ldiversity.runs");
+  ExecutionGovernor* governor = ctx.governor;
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (config.l < 1) return Status::InvalidArgument("l must be >= 1");
   if (config.max_suppressed < 0) {
@@ -146,16 +184,32 @@ Result<LDiversityResult> RunLDiversityIncognito(
   Stopwatch timer;
   LDiversityResult result;
   DiversityGraphSearch search(table, qid, config, sensitive.value(),
-                              &result.stats);
+                              &result.stats, governor);
+
+  // Wraps a budget trip into a partial result: completed_iterations
+  // records the subset sizes fully processed; diverse_nodes stays empty
+  // (no complete S_n was proven).
+  auto stop_early = [&](Status trip) -> PartialResult<LDiversityResult> {
+    result.diverse_nodes.clear();
+    result.stats.total_seconds = timer.ElapsedSeconds();
+    if (governor != nullptr) governor->ExportTrips(&result.stats);
+    if (IsResourceGovernance(trip.code())) {
+      return PartialResult<LDiversityResult>::Partial(std::move(trip),
+                                                      std::move(result));
+    }
+    return trip;
+  };
 
   CandidateGraph graph = MakeSingleAttributeGraph(qid);
   const size_t n = qid.size();
   for (size_t i = 1; i <= n; ++i) {
     result.stats.candidate_nodes += static_cast<int64_t>(graph.num_nodes());
     std::vector<bool> failed = search.Run(graph);
+    if (!search.trip().ok()) return stop_early(search.trip());
     std::vector<bool> keep(failed.size());
     for (size_t j = 0; j < failed.size(); ++j) keep[j] = !failed[j];
     CandidateGraph survivors = graph.InducedSubgraph(keep);
+    result.completed_iterations = static_cast<int64_t>(i);
     if (i == n) {
       for (const NodeRow& row : survivors.nodes()) {
         result.diverse_nodes.push_back(row.ToSubsetNode());
@@ -166,6 +220,7 @@ Result<LDiversityResult> RunLDiversityIncognito(
     graph = GenerateNextGraph(survivors);
   }
   result.stats.total_seconds = timer.ElapsedSeconds();
+  if (governor != nullptr) governor->ExportTrips(&result.stats);
   return result;
 }
 

@@ -7,8 +7,10 @@
 #include "common/status.h"
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
+#include "core/run_context.h"
 #include "lattice/node.h"
 #include "relation/table.h"
+#include "robust/partial_result.h"
 
 namespace incognito {
 
@@ -29,6 +31,13 @@ struct LDiversityResult {
   /// Every full-QID generalization satisfying distinct ℓ-diversity (and
   /// k-anonymity when k > 1) — complete, like the k-anonymity search.
   std::vector<SubsetNode> diverse_nodes;
+
+  /// Iterations (attribute-subset sizes) fully processed. Equals
+  /// qid.size() on a complete run; smaller when a governed run tripped a
+  /// budget mid-search, in which case diverse_nodes is empty (no complete
+  /// S_n was proven).
+  int64_t completed_iterations = 0;
+
   AlgorithmStats stats;
 };
 
@@ -40,9 +49,19 @@ struct LDiversityResult {
 /// Subset properties (merging groups can only grow a group's set of
 /// sensitive values), so the a-priori candidate-graph machinery and
 /// bottom-up rollup apply unchanged.
-Result<LDiversityResult> RunLDiversityIncognito(const Table& table,
-                                                const QuasiIdentifier& qid,
-                                                const LDiversityConfig& config);
+///
+/// `ctx` carries the execution parameters (docs/API.md): a default
+/// RunContext reproduces the ungoverned call. With ctx.governor set, the
+/// search polls the governor at every candidate node and charges each
+/// sensitive frequency set against its memory budget; a budget trip stops
+/// the search cleanly and returns PartialResult::Partial with
+/// diverse_nodes EMPTY and completed_iterations recording how many
+/// subset-size iterations finished (the same contract as RunIncognito's
+/// governed path). The algorithm is single-threaded: ctx.num_threads and
+/// ctx.scheduling are ignored.
+PartialResult<LDiversityResult> RunLDiversityIncognito(
+    const Table& table, const QuasiIdentifier& qid,
+    const LDiversityConfig& config, const RunContext& ctx = {});
 
 /// The released (k, ℓ)-private view.
 struct DiverseRecodeResult {

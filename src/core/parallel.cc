@@ -1,12 +1,15 @@
 #include "core/parallel.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "freq/cube.h"
@@ -361,6 +364,233 @@ class ParallelGraphSearch {
   std::map<std::vector<int32_t>, FrequencySet> family_freq_;
 };
 
+/// The per-task serial walk of the pipelined scheduler: the serial
+/// GraphSearch of incognito.cc over ONE subset's candidate graph, with
+/// every byte charged to the owning worker's GovernorShard. Node-for-node
+/// identical to the serial walk restricted to this subset — the candidate
+/// graph of an iteration is the disjoint union of its per-subset
+/// components, and the serial (height, id) queue order interleaves
+/// subsets without ever letting one affect another's outcomes (marks,
+/// rollup sources, and enqueues all stay inside a node's own component).
+class SubsetGraphWalk {
+ public:
+  SubsetGraphWalk(const Table& table, const QuasiIdentifier& qid,
+                  const AnonymizationConfig& config,
+                  const IncognitoOptions& options, const ZeroGenCube* cube,
+                  ExecutionGovernor* governor, GovernorShard* shard,
+                  AlgorithmStats* wstats)
+      : table_(table),
+        qid_(qid),
+        config_(config),
+        options_(options),
+        cube_(cube),
+        governor_(governor),
+        shard_(shard),
+        wstats_(wstats) {}
+
+  /// Same contract as the serial GraphSearch::Run. On a trip every charged
+  /// byte is released back to the shard before the status returns.
+  Result<std::vector<bool>> Run(const CandidateGraph& graph) {
+    INCOGNITO_SPAN("incognito.subset.task");
+    const size_t n = graph.num_nodes();
+    std::vector<bool> failed(n, false);
+    std::vector<bool> marked(n, false);
+    std::vector<bool> processed(n, false);
+    std::unordered_map<int64_t, FrequencySet> stored;
+    std::unordered_map<int64_t, int64_t> pending_uses;
+
+    // All nodes of a subset graph share dims, so there is at most one
+    // super-root family: the graph's root set. Computed lazily like the
+    // serial walk (the first processed root builds it; roots are never
+    // marked, so it is always built for multi-root graphs).
+    std::map<std::vector<int32_t>, FrequencySet> family_freq;
+    std::vector<int64_t> roots = graph.Roots();
+    std::map<std::vector<int32_t>, std::vector<int64_t>> families;
+    if (options_.variant == IncognitoVariant::kSuperRoots) {
+      for (int64_t r : roots) {
+        families[graph.node(r).ToSubsetNode().dims].push_back(r);
+      }
+    }
+
+    std::set<std::pair<int32_t, int64_t>> queue;
+    for (int64_t r : roots) {
+      queue.insert({graph.node(r).Height(), r});
+    }
+
+    auto release_parents = [&](int64_t id) {
+      for (int64_t spec : graph.InEdges(id)) {
+        auto it = pending_uses.find(spec);
+        if (it != pending_uses.end() && --it->second == 0) {
+          auto sit = stored.find(spec);
+          if (sit != stored.end()) {
+            shard_->ReleaseMemory(
+                static_cast<int64_t>(sit->second.MemoryBytes()));
+          }
+          stored.erase(spec);
+          pending_uses.erase(it);
+        }
+      }
+    };
+
+    auto release_all = [&]() {
+      for (const auto& [sid, fs] : stored) {
+        (void)sid;
+        shard_->ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
+      }
+      for (const auto& [dims, fs] : family_freq) {
+        (void)dims;
+        shard_->ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
+      }
+    };
+
+    while (!queue.empty()) {
+      Status checkpoint = shard_->Check();
+      if (!checkpoint.ok()) {
+        release_all();
+        return checkpoint;
+      }
+      auto [height, id] = *queue.begin();
+      queue.erase(queue.begin());
+      (void)height;
+      if (processed[static_cast<size_t>(id)]) continue;
+      processed[static_cast<size_t>(id)] = true;
+      if (marked[static_cast<size_t>(id)]) {
+        release_parents(id);
+        continue;
+      }
+
+      SubsetNode node = graph.node(id).ToSubsetNode();
+      FrequencySet freq = ComputeFrequencySet(graph, id, node, families,
+                                              &family_freq, stored);
+      int64_t freq_bytes = static_cast<int64_t>(freq.MemoryBytes());
+      Status charged = shard_->ChargeMemory(freq_bytes);
+      if (!charged.ok()) {
+        release_all();
+        return charged;
+      }
+      ++wstats_->nodes_checked;
+      wstats_->freq_groups_built += static_cast<int64_t>(freq.NumGroups());
+      INCOGNITO_COUNT("incognito.kchecks");
+      INCOGNITO_COUNT("incognito.parallel.kchecks");
+
+      bool anonymous;
+      {
+        INCOGNITO_PHASE_TIMER("phase.kcheck_seconds");
+        anonymous = freq.IsKAnonymous(config_.k, config_.max_suppressed);
+      }
+      bool retained = false;
+      if (anonymous) {
+        MarkGeneralizations(graph, id, &marked);
+      } else {
+        failed[static_cast<size_t>(id)] = true;
+        const auto& gens = graph.OutEdges(id);
+        if (!gens.empty() && options_.use_rollup) {
+          pending_uses[id] = static_cast<int64_t>(gens.size());
+          stored.emplace(id, std::move(freq));
+          retained = true;
+        }
+        for (int64_t g : gens) {
+          queue.insert({graph.node(g).Height(), g});
+        }
+      }
+      if (!retained) {
+        shard_->ReleaseMemory(freq_bytes);
+      }
+      release_parents(id);
+    }
+    release_all();
+    return failed;
+  }
+
+ private:
+  FrequencySet ComputeFrequencySet(
+      const CandidateGraph& graph, int64_t id, const SubsetNode& node,
+      const std::map<std::vector<int32_t>, std::vector<int64_t>>& families,
+      std::map<std::vector<int32_t>, FrequencySet>* family_freq,
+      const std::unordered_map<int64_t, FrequencySet>& stored) {
+    if (options_.use_rollup) {
+      for (int64_t spec : graph.InEdges(id)) {
+        auto it = stored.find(spec);
+        if (it != stored.end()) {
+          if (INCOGNITO_FAULT_FIRED("incognito.rollup")) {
+            governor_->LatchInjectedFailure("incognito.rollup");
+          }
+          ++wstats_->rollups;
+          return it->second.RollupTo(node, qid_);
+        }
+      }
+    }
+    if (cube_ != nullptr) {
+      ++wstats_->rollups;
+      return cube_->Get(node.dims).RollupTo(node, qid_);
+    }
+    if (options_.variant == IncognitoVariant::kSuperRoots) {
+      auto fam = families.find(node.dims);
+      if (fam != families.end() && fam->second.size() > 1) {
+        auto it = family_freq->find(node.dims);
+        if (it == family_freq->end()) {
+          SubsetNode super;
+          super.dims = node.dims;
+          std::vector<int32_t> min_levels(node.dims.size(), INT32_MAX);
+          for (int64_t r : fam->second) {
+            const NodeRow& row = graph.node(r);
+            for (size_t i = 0; i < row.pairs.size(); ++i) {
+              min_levels[i] = std::min(min_levels[i], row.pairs[i].index);
+            }
+          }
+          super.levels = std::move(min_levels);
+          ++wstats_->table_scans;
+          // Serial Compute, deliberately: the siblings of this task keep
+          // the rest of the pool busy (the apex graph, which has the pool
+          // to itself, uses the level-parallel search instead).
+          FrequencySet super_freq =
+              FrequencySet::Compute(table_, qid_, super);
+          wstats_->freq_groups_built +=
+              static_cast<int64_t>(super_freq.NumGroups());
+          if (!shard_
+                   ->ChargeMemory(
+                       static_cast<int64_t>(super_freq.MemoryBytes()))
+                   .ok()) {
+            // Refused: the trip is latched; Run unwinds at its next
+            // charge. Roll up from the uncached set so byte accounting
+            // stays exact.
+            ++wstats_->rollups;
+            return super_freq.RollupTo(node, qid_);
+          }
+          it = family_freq->emplace(node.dims, std::move(super_freq)).first;
+        }
+        ++wstats_->rollups;
+        return it->second.RollupTo(node, qid_);
+      }
+    }
+    ++wstats_->table_scans;
+    return FrequencySet::Compute(table_, qid_, node);
+  }
+
+  void MarkGeneralizations(const CandidateGraph& graph, int64_t id,
+                           std::vector<bool>* marked) {
+    for (int64_t g : graph.OutEdges(id)) {
+      if (!(*marked)[static_cast<size_t>(g)]) {
+        (*marked)[static_cast<size_t>(g)] = true;
+        ++wstats_->nodes_marked;
+        INCOGNITO_COUNT("incognito.nodes_marked");
+        if (options_.mark_transitively) {
+          MarkGeneralizations(graph, g, marked);
+        }
+      }
+    }
+  }
+
+  const Table& table_;
+  const QuasiIdentifier& qid_;
+  const AnonymizationConfig& config_;
+  const IncognitoOptions& options_;
+  const ZeroGenCube* cube_;
+  ExecutionGovernor* governor_;  // never null; for thread-safe latching only
+  GovernorShard* shard_;         // this worker's budget lease
+  AlgorithmStats* wstats_;       // this worker's private stats
+};
+
 /// Shared implementation behind both public parallel entry points —
 /// structured exactly like incognito.cc's RunIncognitoImpl, with the
 /// per-graph search fanned out over the worker pool. `external` == nullptr
@@ -370,7 +600,7 @@ class ParallelGraphSearch {
 PartialResult<IncognitoResult> RunIncognitoParallelImpl(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config, const IncognitoOptions& options,
-    ExecutionGovernor* external, int num_threads) {
+    ExecutionGovernor* external, int num_threads, SchedulingMode mode) {
   if (config.k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
@@ -451,8 +681,214 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
                              &result.stats, governor, &pool, &shards,
                              &worker_stats);
 
-  CandidateGraph graph = MakeSingleAttributeGraph(qid);
   const size_t n = qid.size();
+
+  // ---- Pipelined subset DAG (docs/PARALLELISM.md) -----------------------
+  // Sizes 1..n-1 run as a dependency-counted task DAG: the task of a
+  // size-(i+1) subset becomes ready once all i+1 of its immediate
+  // sub-subsets have published their survivor graphs, so iteration i+1
+  // work overlaps slow subsets of iteration i. The final size-n graph
+  // depends on EVERY size-(n-1) subset — an inherent barrier with nothing
+  // to pipeline against — so it runs with the level-parallel search across
+  // the whole pool instead of serially on one worker. The bitmask
+  // bookkeeping caps at 16 attributes; wider quasi-identifiers fall back
+  // to the barrier schedule (bit-identical results either way).
+  if (mode == SchedulingMode::kPipelined && n >= 2 && n <= 16) {
+    INCOGNITO_SPAN("incognito.pipelined.dag");
+    INCOGNITO_COUNT("incognito.pipelined.runs");
+    const uint32_t full = (1u << n) - 1;
+    struct SubsetTask {
+      CandidateGraph survivors;  // published survivor graph, adjacency built
+      int remaining = 0;         // unpublished immediate sub-subsets
+      bool done = false;
+    };
+    std::vector<SubsetTask> tasks(static_cast<size_t>(full) + 1);
+    // Ready tasks in ascending (subset size, mask) order: small subsets
+    // first — each one published unblocks work across the next tier.
+    struct MaskOrder {
+      bool operator()(uint32_t a, uint32_t b) const {
+        int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+        if (pa != pb) return pa < pb;
+        return a < b;
+      }
+    };
+    std::set<uint32_t, MaskOrder> ready;
+    // tasks_left_for_size[s]: unpublished subsets of size s. The partial
+    // contract's completed_iterations is the longest prefix of sizes whose
+    // counters have all reached zero — "every subset of this size
+    // finished".
+    std::vector<int64_t> tasks_left_for_size(n, 0);
+    size_t remaining_tasks = 0;
+    for (uint32_t m = 1; m < full; ++m) {
+      int size = __builtin_popcount(m);
+      tasks[m].remaining = size == 1 ? 0 : size;
+      ++tasks_left_for_size[static_cast<size_t>(size)];
+      ++remaining_tasks;
+      if (size == 1) ready.insert(m);
+    }
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stopped = false;
+    std::vector<Status> worker_status(static_cast<size_t>(workers));
+
+    pool.Run(static_cast<size_t>(workers), [&](int w, size_t, size_t) {
+      INCOGNITO_SPAN("incognito.pipelined.worker");
+      GovernorShard& shard = *shards[static_cast<size_t>(w)];
+      AlgorithmStats& wstats = worker_stats[static_cast<size_t>(w)];
+      SubsetGraphWalk walk(table, qid, config, options, cube_ptr, governor,
+                           &shard, &wstats);
+      std::unique_lock<std::mutex> lock(mu);
+      for (;;) {
+        cv.wait(lock,
+                [&] { return stopped || remaining_tasks == 0 || !ready.empty(); });
+        if (stopped || remaining_tasks == 0) return;
+        const uint32_t m = *ready.begin();
+        ready.erase(ready.begin());
+        const int size = __builtin_popcount(m);
+        // Parent survivor graphs, gathered under the lock (they are
+        // immutable once published; the lock's happens-before makes the
+        // publication visible to this worker). parents[j] drops the j-th
+        // dimension in ascending order — GenerateSubsetGraph's contract.
+        std::vector<const CandidateGraph*> parent_graphs;
+        if (size > 1) {
+          parent_graphs.reserve(static_cast<size_t>(size));
+          for (size_t d = 0; d < n; ++d) {
+            if (m & (1u << d)) {
+              parent_graphs.push_back(&tasks[m ^ (1u << d)].survivors);
+            }
+          }
+        }
+        lock.unlock();
+
+        Status bad = shard.Check();
+        if (bad.ok() && INCOGNITO_FAULT_FIRED("incognito.subset.schedule")) {
+          // Fault site "incognito.subset.schedule": an injected failure
+          // while dequeuing one subset task; siblings stop at their next
+          // checkpoint.
+          governor->LatchInjectedFailure("incognito.subset.schedule");
+          bad = shard.Check();
+        }
+        CandidateGraph survivors;
+        if (bad.ok()) {
+          CandidateGraph graph;
+          if (size == 1) {
+            size_t dim = 0;
+            while (((m >> dim) & 1u) == 0) ++dim;
+            graph = MakeSingleDimensionChain(qid, dim);
+          } else {
+            graph = GenerateSubsetGraph(parent_graphs, nullptr, &shard);
+          }
+          wstats.candidate_nodes += static_cast<int64_t>(graph.num_nodes());
+          Result<std::vector<bool>> failed_or = walk.Run(graph);
+          if (!failed_or.ok()) {
+            bad = failed_or.status();
+          } else {
+            const std::vector<bool>& failed = failed_or.value();
+            std::vector<bool> keep(failed.size());
+            for (size_t j = 0; j < failed.size(); ++j) keep[j] = !failed[j];
+            survivors = graph.InducedSubgraph(keep);
+          }
+        }
+
+        lock.lock();
+        if (!bad.ok()) {
+          worker_status[static_cast<size_t>(w)] = bad;
+          stopped = true;
+          cv.notify_all();
+          return;
+        }
+        SubsetTask& task = tasks[m];
+        task.survivors = std::move(survivors);
+        task.done = true;
+        --remaining_tasks;
+        --tasks_left_for_size[static_cast<size_t>(size)];
+        if (static_cast<size_t>(size) + 1 < n) {
+          for (size_t d = 0; d < n; ++d) {
+            if (m & (1u << d)) continue;
+            uint32_t child = m | (1u << d);
+            if (--tasks[child].remaining == 0) ready.insert(child);
+          }
+        }
+        if (remaining_tasks == 0 || !ready.empty()) cv.notify_all();
+      }
+    });
+
+    Status trip = governor->SharedTrip();
+    if (trip.ok()) {
+      for (const Status& ws : worker_status) {
+        if (!ws.ok()) {
+          trip = ws;
+          break;
+        }
+      }
+    }
+
+    // Merge the published survivor sets, iteration by iteration, in the
+    // serial result order (the per-mask node sets are disjoint; one sort
+    // per size makes the merged vector identical to the serial sorted
+    // S_i). On a trip only the fully finished size prefix is kept — the
+    // completed_iterations contract.
+    int64_t completed = 0;
+    for (size_t s = 1; s < n; ++s) {
+      if (tasks_left_for_size[s] != 0) break;
+      completed = static_cast<int64_t>(s);
+    }
+    for (int64_t i = 1; i <= completed; ++i) {
+      INCOGNITO_SPAN("incognito.iteration");
+      INCOGNITO_COUNT("incognito.iterations");
+      std::vector<SubsetNode> survivor_nodes;
+      for (uint32_t m = 1; m < full; ++m) {
+        if (__builtin_popcount(m) != static_cast<int>(i)) continue;
+        for (const NodeRow& row : tasks[m].survivors.nodes()) {
+          survivor_nodes.push_back(row.ToSubsetNode());
+        }
+      }
+      std::sort(survivor_nodes.begin(), survivor_nodes.end());
+      result.per_iteration_survivors.push_back(std::move(survivor_nodes));
+      result.completed_iterations = i;
+    }
+    if (!trip.ok()) {
+      cube.ReleaseMemory(governor);
+      return stop_early(trip);
+    }
+
+    // ---- Apex: C_n, searched level-parallel across the whole pool ------
+    INCOGNITO_SPAN("incognito.iteration");
+    INCOGNITO_COUNT("incognito.iterations");
+    std::vector<const CandidateGraph*> apex_parents;
+    apex_parents.reserve(n);
+    for (size_t j = 0; j < n; ++j) {
+      apex_parents.push_back(&tasks[full ^ (1u << j)].survivors);
+    }
+    CandidateGraph apex =
+        GenerateSubsetGraph(apex_parents, nullptr, shards[0].get());
+    result.stats.candidate_nodes += static_cast<int64_t>(apex.num_nodes());
+    Result<std::vector<bool>> failed_or = search.Run(apex);
+    if (!failed_or.ok()) {
+      cube.ReleaseMemory(governor);
+      return stop_early(failed_or.status());
+    }
+    const std::vector<bool>& failed = failed_or.value();
+    std::vector<bool> keep(failed.size());
+    for (size_t j = 0; j < failed.size(); ++j) keep[j] = !failed[j];
+    CandidateGraph apex_survivors = apex.InducedSubgraph(keep);
+    std::vector<SubsetNode> survivor_nodes;
+    survivor_nodes.reserve(apex_survivors.num_nodes());
+    for (const NodeRow& row : apex_survivors.nodes()) {
+      survivor_nodes.push_back(row.ToSubsetNode());
+    }
+    std::sort(survivor_nodes.begin(), survivor_nodes.end());
+    result.per_iteration_survivors.push_back(survivor_nodes);
+    result.completed_iterations = static_cast<int64_t>(n);
+    result.anonymous_nodes = std::move(survivor_nodes);
+    cube.ReleaseMemory(governor);
+
+    finalize();
+    return result;
+  }
+
+  CandidateGraph graph = MakeSingleAttributeGraph(qid);
   for (size_t i = 1; i <= n; ++i) {
     INCOGNITO_SPAN("incognito.iteration");
     INCOGNITO_COUNT("incognito.iterations");
@@ -494,30 +930,18 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
 PartialResult<IncognitoResult> RunIncognitoParallel(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config, const IncognitoOptions& options,
-    ExecutionGovernor& governor, int num_threads) {
+    const RunContext& ctx) {
+  const int num_threads =
+      ctx.num_threads > 0 ? ctx.num_threads : options.num_threads;
   if (num_threads <= 1) {
     IncognitoOptions serial = options;
     serial.num_threads = 1;
-    return RunIncognito(table, qid, config, serial, governor);
+    RunContext serial_ctx = ctx;
+    serial_ctx.num_threads = 1;
+    return RunIncognito(table, qid, config, serial, serial_ctx);
   }
-  return RunIncognitoParallelImpl(table, qid, config, options, &governor,
-                                  num_threads);
-}
-
-Result<IncognitoResult> RunIncognitoParallel(const Table& table,
-                                             const QuasiIdentifier& qid,
-                                             const AnonymizationConfig& config,
-                                             const IncognitoOptions& options,
-                                             int num_threads) {
-  if (num_threads <= 1) {
-    IncognitoOptions serial = options;
-    serial.num_threads = 1;
-    return RunIncognito(table, qid, config, serial);
-  }
-  PartialResult<IncognitoResult> run = RunIncognitoParallelImpl(
-      table, qid, config, options, nullptr, num_threads);
-  if (!run.complete()) return run.status();
-  return std::move(run).value();
+  return RunIncognitoParallelImpl(table, qid, config, options, ctx.governor,
+                                  num_threads, ctx.scheduling);
 }
 
 }  // namespace incognito

@@ -2,39 +2,88 @@
 #define INCOGNITO_CORE_PARALLEL_H_
 
 #include "core/incognito.h"
+#include "core/run_context.h"
 #include "core/worker_pool.h"
 
 namespace incognito {
 
-/// Parallel Incognito: partitions each lattice level's unmarked candidate
-/// nodes across `num_threads` workers, evaluates frequency sets and
-/// k-checks concurrently, and merges marks, failures, and survivor sets in
-/// stable node order — so complete runs are bit-identical to the serial
-/// path: same anonymous_nodes, same per_iteration_survivors, and the same
+/// Parallel Incognito across a pool of ctx.num_threads workers (0 inherits
+/// options.num_threads). Two scheduling modes, selected by ctx.scheduling:
+///
+///   SchedulingMode::kPipelined (default) runs each attribute subset's
+///   candidate-graph search as its own task over the subset DAG: a subset
+///   becomes runnable once all of its immediate sub-subsets have published
+///   their survivor graphs (all-parents dependency counting + mutex/condvar
+///   publication, mirroring ZeroGenCube::BuildParallel), so iteration i+1
+///   work starts while slow subsets of iteration i are still running. The
+///   final size-n graph — which depends on every size-(n-1) subset, an
+///   inherent barrier — runs with the level-parallel search across the
+///   whole pool.
+///
+///   SchedulingMode::kBarrier evaluates one candidate graph at a time,
+///   partitioning each lattice level across the pool with a full barrier
+///   between subset-size iterations.
+///
+/// Both modes are bit-identical to the serial path on complete runs: same
+/// anonymous_nodes, same per_iteration_survivors, and the same
 /// nodes_checked / nodes_marked / table_scans / rollups /
-/// freq_groups_built counts. (governor_checks may differ: checkpoint
-/// cadence is per-worker.)
+/// freq_groups_built / candidate_nodes counts. (governor_checks may
+/// differ: checkpoint cadence is per-worker.) See docs/PARALLELISM.md for
+/// the determinism argument.
 ///
-/// Each worker charges memory against a GovernorShard leased from a shared
-/// ExecutionGovernor; a Deadline/CancelToken/budget trip in any worker
-/// latches the shared trip, the pool drains at the level barrier, and the
-/// run returns the same sound PartialResult contract as the serial
-/// governed overload (completed iterations' survivor sets).
+/// Each worker charges memory against a GovernorShard leased from
+/// ctx.governor; a Deadline/CancelToken/budget trip in any worker latches
+/// the shared trip, the pool drains, and the run returns the same sound
+/// PartialResult contract as the serial governed path:
+/// completed_iterations still means "every subset of this size finished".
+/// A null ctx.governor runs ungoverned (the workers still shard-lease from
+/// a private unlimited governor, so the charge accounting is exercised
+/// identically).
 ///
-/// num_threads <= 1 delegates to the serial path.
+/// An effective thread count <= 1 delegates to the serial path.
 PartialResult<IncognitoResult> RunIncognitoParallel(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config, const IncognitoOptions& options,
-    ExecutionGovernor& governor, int num_threads);
+    const RunContext& ctx = {});
 
-/// Ungoverned convenience overload: same bit-identical guarantee, no
-/// budgets (internally the workers still shard-lease from a private
-/// unlimited governor, so the charge accounting is exercised either way).
-Result<IncognitoResult> RunIncognitoParallel(const Table& table,
-                                             const QuasiIdentifier& qid,
-                                             const AnonymizationConfig& config,
-                                             const IncognitoOptions& options,
-                                             int num_threads);
+#if !defined(INCOGNITO_NO_LEGACY_API)
+
+/// Deprecated pre-RunContext entry points (docs/API.md). Both preserve the
+/// documented level-synchronous behavior they shipped with, i.e. they map
+/// to SchedulingMode::kBarrier. Compiled out under
+/// -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once external callers
+/// have migrated.
+[[deprecated(
+    "use RunIncognitoParallel(table, qid, config, options, "
+    "RunContext::Governed(governor, num_threads)) — see docs/API.md")]]
+inline PartialResult<IncognitoResult> RunIncognitoParallel(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, const IncognitoOptions& options,
+    ExecutionGovernor& governor, int num_threads) {
+  RunContext ctx;
+  ctx.governor = &governor;
+  ctx.num_threads = num_threads;
+  ctx.scheduling = SchedulingMode::kBarrier;
+  return RunIncognitoParallel(table, qid, config, options, ctx);
+}
+
+[[deprecated(
+    "use RunIncognitoParallel(table, qid, config, options, "
+    "RunContext::WithThreads(num_threads)) — see docs/API.md")]]
+inline Result<IncognitoResult> RunIncognitoParallel(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, const IncognitoOptions& options,
+    int num_threads) {
+  RunContext ctx;
+  ctx.num_threads = num_threads;
+  ctx.scheduling = SchedulingMode::kBarrier;
+  PartialResult<IncognitoResult> run =
+      RunIncognitoParallel(table, qid, config, options, ctx);
+  if (!run.complete()) return run.status();
+  return std::move(run).value();
+}
+
+#endif  // !defined(INCOGNITO_NO_LEGACY_API)
 
 }  // namespace incognito
 

@@ -1,0 +1,69 @@
+#ifndef INCOGNITO_CORE_RUN_CONTEXT_H_
+#define INCOGNITO_CORE_RUN_CONTEXT_H_
+
+namespace incognito {
+
+class ExecutionGovernor;
+
+/// How a multi-threaded lattice search distributes work across the pool.
+enum class SchedulingMode {
+  /// Pipelined subset DAG (docs/PARALLELISM.md "Pipelined subset DAG"):
+  /// each attribute subset's candidate-graph search is a task that becomes
+  /// runnable as soon as all of its immediate sub-subsets have published
+  /// their survivors, so iteration i+1 work starts while slow subsets of
+  /// iteration i are still running. Bit-identical to serial and to
+  /// kBarrier on complete runs.
+  kPipelined,
+  /// Level-synchronous scheduling: the pool evaluates one candidate graph
+  /// at a time with a full barrier between subset-size iterations (the
+  /// pre-RunContext RunIncognitoParallel behavior).
+  kBarrier,
+};
+
+/// Execution parameters shared by every Run* entry point: who governs the
+/// run (deadline / memory budget / cancellation), how many worker threads
+/// it may use, and how those workers are scheduled. Replaces the old
+/// governed/ungoverned overload pairs (docs/API.md): a default-constructed
+/// RunContext reproduces the legacy ungoverned call exactly, and
+/// RunContext::Governed(governor) reproduces the legacy governed one.
+///
+/// The context only borrows the governor — the caller keeps ownership and
+/// must keep it alive for the duration of the run. Construct a fresh
+/// governor per run; trips latch.
+struct RunContext {
+  /// Optional resource governor. Null runs ungoverned: no deadline, no
+  /// memory budget, trip counters stay zero.
+  ExecutionGovernor* governor = nullptr;
+
+  /// Worker threads. 0 (default) inherits the algorithm's own option where
+  /// one exists (IncognitoOptions::num_threads) and means 1 everywhere
+  /// else; values > 1 run algorithms with a parallel path across a worker
+  /// pool. Single-threaded algorithms ignore the value.
+  int num_threads = 0;
+
+  /// Scheduling of a multi-threaded lattice search. Ignored by
+  /// single-threaded runs; both modes produce bit-identical complete
+  /// results.
+  SchedulingMode scheduling = SchedulingMode::kPipelined;
+
+  /// The legacy governed call, as a context: RunContext::Governed(g) ==
+  /// old Run*(..., g).
+  static RunContext Governed(ExecutionGovernor& governor,
+                             int num_threads = 0) {
+    RunContext ctx;
+    ctx.governor = &governor;
+    ctx.num_threads = num_threads;
+    return ctx;
+  }
+
+  /// Convenience for thread-count-only contexts.
+  static RunContext WithThreads(int num_threads) {
+    RunContext ctx;
+    ctx.num_threads = num_threads;
+    return ctx;
+  }
+};
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_CORE_RUN_CONTEXT_H_

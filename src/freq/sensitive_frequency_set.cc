@@ -183,6 +183,21 @@ bool SensitiveFrequencySet::IsKAnonymousAndLDiverse(
   return TuplesViolating(k, l) <= max_suppressed;
 }
 
+size_t SensitiveFrequencySet::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += groups_.capacity() * sizeof(groups_[0]);
+  for (const auto& [key, g] : groups_) {
+    (void)key;
+    bytes += g.sensitive.capacity() * sizeof(int32_t);
+  }
+  bytes += vgroups_.capacity() * sizeof(vgroups_[0]);
+  for (const auto& [key, g] : vgroups_) {
+    bytes += key.capacity() * sizeof(int32_t);
+    bytes += g.sensitive.capacity() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
 void SensitiveFrequencySet::ForEachGroup(
     const std::function<void(const int32_t*, int64_t, int64_t)>& fn) const {
   if (packed_) {

@@ -66,6 +66,10 @@ class SensitiveFrequencySet {
                                              int64_t distinct_sensitive)>&
                         fn) const;
 
+  /// Approximate heap footprint (group storage plus per-group sensitive
+  /// sets), for charging against an ExecutionGovernor memory budget.
+  size_t MemoryBytes() const;
+
  private:
   struct GroupStats {
     int64_t count = 0;

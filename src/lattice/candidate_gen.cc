@@ -204,4 +204,170 @@ CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
   return pruned_graph;
 }
 
+CandidateGraph MakeSingleDimensionChain(const QuasiIdentifier& qid,
+                                        size_t dim) {
+  CandidateGraph graph;
+  size_t height = qid.hierarchy(dim).height();
+  for (size_t l = 0; l <= height; ++l) {
+    NodeRow row;
+    row.pairs = {{static_cast<int32_t>(dim), static_cast<int32_t>(l)}};
+    graph.AddNode(std::move(row));
+  }
+  for (size_t l = 0; l < height; ++l) {
+    graph.AddEdge(static_cast<int64_t>(l), static_cast<int64_t>(l + 1));
+  }
+  graph.BuildAdjacency();
+  return graph;
+}
+
+CandidateGraph GenerateSubsetGraph(
+    const std::vector<const CandidateGraph*>& parents, GraphGenStats* stats,
+    GovernorShard* shard) {
+  INCOGNITO_SPAN("lattice.subset_candidate_gen");
+  INCOGNITO_COUNT("lattice.subset_candidate_gen_calls");
+  GraphGenStats local_stats;
+  CandidateGraph next;
+  assert(parents.size() >= 2);
+  // The two designated join parents: dropping D's largest dimension gives
+  // the p side (its nodes end in D's second-largest dimension), dropping
+  // the second-largest gives the q side (its nodes end in the largest).
+  const CandidateGraph& p_graph = *parents[parents.size() - 1];
+  const CandidateGraph& q_graph = *parents[parents.size() - 2];
+  if (p_graph.num_nodes() == 0 || q_graph.num_nodes() == 0) {
+    next.BuildAdjacency();
+    if (stats != nullptr) *stats = local_stats;
+    return next;
+  }
+
+  // ---- Join phase -------------------------------------------------------
+  // Batch GenerateNextGraph joins p, q from the same prefix group with
+  // p.last.dim < q.last.dim. Restricted to subset D that is exactly: p
+  // from D minus its largest dimension, q from D minus its second-largest,
+  // equal on the shared prefix — the ordering predicate holds for every
+  // such pair by construction.
+  std::map<std::vector<DimIndexPair>, std::vector<int64_t>> q_by_prefix;
+  for (const NodeRow& row : q_graph.nodes()) {
+    q_by_prefix[PrefixKey(row)].push_back(row.id);
+  }
+  for (const NodeRow& p : p_graph.nodes()) {
+    auto it = q_by_prefix.find(PrefixKey(p));
+    if (it == q_by_prefix.end()) continue;
+    for (int64_t q_id : it->second) {
+      const NodeRow& q = q_graph.node(q_id);
+      assert(p.pairs.back().dim < q.pairs.back().dim);
+      NodeRow cand;
+      cand.pairs = p.pairs;
+      cand.pairs.push_back(q.pairs.back());
+      cand.parent1 = p.id;
+      cand.parent2 = q_id;
+      next.AddNode(std::move(cand));
+      ++local_stats.joined;
+    }
+  }
+
+  // ---- Prune phase ------------------------------------------------------
+  // The batch prune drops each non-designated position of a candidate and
+  // tests membership in S_i; a candidate of subset D with position `drop`
+  // dropped lies in subset D minus its drop-th dimension — i.e. among
+  // parents[drop]'s nodes. The tree over parents[0..size-3] therefore
+  // answers exactly the queries the batch tree (over all of S_i) would.
+  SubsetHashTree tree;
+  for (size_t j = 0; j + 2 < parents.size(); ++j) {
+    for (const NodeRow& row : parents[j]->nodes()) tree.Insert(row.pairs);
+  }
+  int64_t tree_bytes = 0;
+  if (shard != nullptr) {
+    tree_bytes = static_cast<int64_t>(tree.MemoryBytes());
+    if (!shard->ChargeMemory(tree_bytes).ok()) tree_bytes = 0;
+  }
+  std::vector<bool> keep(next.num_nodes(), true);
+  for (const NodeRow& cand : next.nodes()) {
+    for (size_t drop = 0; drop + 2 < cand.pairs.size(); ++drop) {
+      std::vector<DimIndexPair> subset;
+      subset.reserve(cand.pairs.size() - 1);
+      for (size_t j = 0; j < cand.pairs.size(); ++j) {
+        if (j != drop) subset.push_back(cand.pairs[j]);
+      }
+      if (!tree.Contains(subset)) {
+        keep[static_cast<size_t>(cand.id)] = false;
+        ++local_stats.pruned;
+        break;
+      }
+    }
+  }
+  if (shard != nullptr && tree_bytes > 0) {
+    shard->ReleaseMemory(tree_bytes);
+  }
+  CandidateGraph pruned_graph;
+  for (const NodeRow& cand : next.nodes()) {
+    if (keep[static_cast<size_t>(cand.id)]) {
+      NodeRow row = cand;
+      pruned_graph.AddNode(std::move(row));
+    }
+  }
+
+  // ---- Edge generation --------------------------------------------------
+  // Identical to the batch three-disjunct join, with the parent ids local
+  // to p_graph / q_graph. Edges never cross subsets, so the batch edge set
+  // restricted to D is reproduced exactly.
+  std::unordered_map<std::pair<int64_t, int64_t>, int64_t, ParentPairHash>
+      by_parents;
+  for (const NodeRow& cand : pruned_graph.nodes()) {
+    by_parents[{cand.parent1, cand.parent2}] = cand.id;
+  }
+  std::set<std::pair<int64_t, int64_t>> candidate_edges;
+  auto try_edge = [&](int64_t p_id, int64_t q_parent1, int64_t q_parent2) {
+    auto it = by_parents.find({q_parent1, q_parent2});
+    if (it != by_parents.end() && it->second != p_id) {
+      candidate_edges.insert({p_id, it->second});
+    }
+  };
+  for (const NodeRow& cand : pruned_graph.nodes()) {
+    for (int64_t e_end : p_graph.OutEdges(cand.parent1)) {
+      for (int64_t f_end : q_graph.OutEdges(cand.parent2)) {
+        try_edge(cand.id, e_end, f_end);
+      }
+    }
+    for (int64_t e_end : p_graph.OutEdges(cand.parent1)) {
+      try_edge(cand.id, e_end, cand.parent2);
+    }
+    for (int64_t f_end : q_graph.OutEdges(cand.parent2)) {
+      try_edge(cand.id, cand.parent1, f_end);
+    }
+  }
+  local_stats.candidate_edges = candidate_edges.size();
+
+  std::unordered_map<int64_t, std::vector<int64_t>> out_adj;
+  for (const auto& [start, end] : candidate_edges) {
+    out_adj[start].push_back(end);
+  }
+  for (const auto& [start, end] : candidate_edges) {
+    bool implied = false;
+    auto it = out_adj.find(start);
+    if (it != out_adj.end()) {
+      for (int64_t mid : it->second) {
+        if (mid != end && candidate_edges.count({mid, end}) > 0) {
+          implied = true;
+          break;
+        }
+      }
+    }
+    if (!implied) {
+      pruned_graph.AddEdge(start, end);
+    } else {
+      ++local_stats.implied_removed;
+    }
+  }
+
+  pruned_graph.BuildAdjacency();
+  INCOGNITO_COUNT_ADD("lattice.joined",
+                      static_cast<int64_t>(local_stats.joined));
+  INCOGNITO_COUNT_ADD("lattice.pruned",
+                      static_cast<int64_t>(local_stats.pruned));
+  INCOGNITO_COUNT_ADD("lattice.candidate_edges",
+                      static_cast<int64_t>(local_stats.candidate_edges));
+  if (stats != nullptr) *stats = local_stats;
+  return pruned_graph;
+}
+
 }  // namespace incognito

@@ -9,6 +9,7 @@
 namespace incognito {
 
 class ExecutionGovernor;
+class GovernorShard;
 
 /// Counters describing one GraphGeneration step (used by tests and the
 /// ablation bench to quantify a-priori pruning).
@@ -41,6 +42,36 @@ CandidateGraph MakeSingleAttributeGraph(const QuasiIdentifier& qid);
 CandidateGraph GenerateNextGraph(const CandidateGraph& survivors,
                                  GraphGenStats* stats = nullptr,
                                  ExecutionGovernor* governor = nullptr);
+
+/// The chain graph of one attribute's generalization hierarchy — the
+/// single-dimension slice of MakeSingleAttributeGraph, used to seed the
+/// per-subset pipeline.
+CandidateGraph MakeSingleDimensionChain(const QuasiIdentifier& qid,
+                                        size_t dim);
+
+/// Per-subset GraphGeneration for the pipelined scheduler
+/// (docs/PARALLELISM.md "Pipelined subset DAG"): builds the candidate
+/// graph of ONE size-(i+1) attribute subset D from the published survivor
+/// graphs of its immediate sub-subsets. `parents[j]` must be the survivor
+/// graph of D with its j-th attribute (in ascending dimension order)
+/// dropped, so parents.size() == i+1. The join operands are
+/// parents[i] (D minus its largest dimension) and parents[i-1] (D minus
+/// its second-largest); the remaining parents serve the prune phase's
+/// membership tests, exactly the i-subsets the batch prune queries.
+///
+/// Since a batch GenerateNextGraph output is the disjoint union of its
+/// per-subset components (candidates and edges never cross attribute
+/// subsets), the union over all size-(i+1) subsets D of these graphs is
+/// node- and edge-identical to GenerateNextGraph(S_i); only the node ids
+/// are subset-local, and ids are never part of the search outcome.
+///
+/// When `shard` is non-null the prune hash tree is charged against the
+/// worker's shard lease for the duration of the prune; like the batch
+/// path, a refused charge latches the trip but the graph is still
+/// generated.
+CandidateGraph GenerateSubsetGraph(
+    const std::vector<const CandidateGraph*>& parents,
+    GraphGenStats* stats = nullptr, GovernorShard* shard = nullptr);
 
 }  // namespace incognito
 

@@ -163,19 +163,10 @@ PartialResult<CellSuppressionResult> RunCellSuppressionImpl(
 
 }  // namespace
 
-Result<CellSuppressionResult> RunCellSuppression(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config) {
-  PartialResult<CellSuppressionResult> run =
-      RunCellSuppressionImpl(table, qid, config, nullptr);
-  if (!run.complete()) return run.status();
-  return std::move(run).value();
-}
-
 PartialResult<CellSuppressionResult> RunCellSuppression(
     const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, ExecutionGovernor& governor) {
-  return RunCellSuppressionImpl(table, qid, config, &governor);
+    const AnonymizationConfig& config, const RunContext& ctx) {
+  return RunCellSuppressionImpl(table, qid, config, ctx.governor);
 }
 
 }  // namespace incognito

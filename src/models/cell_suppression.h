@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
+#include "core/run_context.h"
 #include "relation/table.h"
 #include "robust/partial_result.h"
 
@@ -33,18 +34,35 @@ struct CellSuppressionResult {
 /// values among the violating tuples, merging them into larger groups.
 /// Tuples still violating after all their QID cells are suppressed are
 /// removed.
-Result<CellSuppressionResult> RunCellSuppression(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config);
-
-/// Governed variant: polls `governor` per suppression round and charges
-/// each round's grouping structure against its memory budget. A budget
+///
+/// `ctx` carries the execution parameters (docs/API.md): a default
+/// RunContext reproduces the legacy ungoverned call. With ctx.governor
+/// set, the recoder polls the governor per suppression round and charges
+/// each round's grouping structure against its memory budget; a budget
 /// trip returns PartialResult::Partial with an EMPTY view (the
 /// intermediate recoding is not yet k-anonymous and must not be released);
-/// only the stats carry the progress made.
+/// only the stats carry the progress made. The algorithm is
+/// single-threaded: ctx.num_threads and ctx.scheduling are ignored.
 PartialResult<CellSuppressionResult> RunCellSuppression(
     const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, ExecutionGovernor& governor);
+    const AnonymizationConfig& config, const RunContext& ctx = {});
+
+#if !defined(INCOGNITO_NO_LEGACY_API)
+
+/// Deprecated pre-RunContext governed entry point (docs/API.md). Compiled
+/// out under -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once
+/// external callers have migrated.
+[[deprecated(
+    "use RunCellSuppression(table, qid, config, "
+    "RunContext::Governed(governor)) — see docs/API.md")]]
+inline PartialResult<CellSuppressionResult> RunCellSuppression(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor& governor) {
+  return RunCellSuppression(table, qid, config,
+                            RunContext::Governed(governor));
+}
+
+#endif  // !defined(INCOGNITO_NO_LEGACY_API)
 
 }  // namespace incognito
 

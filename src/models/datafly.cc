@@ -107,20 +107,11 @@ PartialResult<DataflyResult> RunDataflyImpl(const Table& table,
 
 }  // namespace
 
-Result<DataflyResult> RunDatafly(const Table& table,
-                                 const QuasiIdentifier& qid,
-                                 const AnonymizationConfig& config) {
-  PartialResult<DataflyResult> run =
-      RunDataflyImpl(table, qid, config, nullptr);
-  if (!run.complete()) return run.status();
-  return std::move(run).value();
-}
-
 PartialResult<DataflyResult> RunDatafly(const Table& table,
                                         const QuasiIdentifier& qid,
                                         const AnonymizationConfig& config,
-                                        ExecutionGovernor& governor) {
-  return RunDataflyImpl(table, qid, config, &governor);
+                                        const RunContext& ctx) {
+  return RunDataflyImpl(table, qid, config, ctx.governor);
 }
 
 }  // namespace incognito

@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
+#include "core/run_context.h"
 #include "lattice/node.h"
 #include "relation/table.h"
 #include "robust/partial_result.h"
@@ -27,20 +28,36 @@ struct DataflyResult {
 /// those outliers. The result is guaranteed k-anonymous but — unlike
 /// Incognito — carries no minimality guarantee; the model-comparison bench
 /// quantifies the quality gap.
-Result<DataflyResult> RunDatafly(const Table& table,
-                                 const QuasiIdentifier& qid,
-                                 const AnonymizationConfig& config);
-
-/// Governed variant: polls `governor` per greedy generalization step and
-/// charges each step's frequency set against its memory budget. A budget
+///
+/// `ctx` carries the execution parameters (docs/API.md): a default
+/// RunContext reproduces the legacy ungoverned call. With ctx.governor
+/// set, the walk polls the governor per greedy generalization step and
+/// charges each step's frequency set against its memory budget; a budget
 /// trip returns PartialResult::Partial carrying the node the greedy walk
 /// had reached — but an EMPTY view and suppressed_tuples == 0, because
 /// Datafly's intermediate state is NOT yet k-anonymous and must not be
-/// released.
+/// released. The algorithm is single-threaded: ctx.num_threads and
+/// ctx.scheduling are ignored.
 PartialResult<DataflyResult> RunDatafly(const Table& table,
                                         const QuasiIdentifier& qid,
                                         const AnonymizationConfig& config,
-                                        ExecutionGovernor& governor);
+                                        const RunContext& ctx = {});
+
+#if !defined(INCOGNITO_NO_LEGACY_API)
+
+/// Deprecated pre-RunContext governed entry point (docs/API.md). Compiled
+/// out under -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once
+/// external callers have migrated.
+[[deprecated(
+    "use RunDatafly(table, qid, config, RunContext::Governed(governor)) "
+    "— see docs/API.md")]]
+inline PartialResult<DataflyResult> RunDatafly(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor& governor) {
+  return RunDatafly(table, qid, config, RunContext::Governed(governor));
+}
+
+#endif  // !defined(INCOGNITO_NO_LEGACY_API)
 
 }  // namespace incognito
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "freq/frequency_set.h"
 #include "obs/obs.h"
+#include "robust/governor.h"
 
 namespace incognito {
 
@@ -28,14 +30,16 @@ class Search {
   Search(const QuasiIdentifier& qid, std::vector<std::vector<int32_t>> ranks,
          std::vector<int64_t> counts,
          std::vector<std::pair<size_t, size_t>> cut_points, int64_t total,
-         const AnonymizationConfig& config, const KOptimizeOptions& options)
+         const AnonymizationConfig& config, const KOptimizeOptions& options,
+         ExecutionGovernor* governor)
       : qid_(qid),
         ranks_(std::move(ranks)),
         counts_(std::move(counts)),
         cut_points_(std::move(cut_points)),
         total_(total),
         config_(config),
-        options_(options) {
+        options_(options),
+        governor_(governor) {
     domain_sizes_.resize(qid_.size());
     for (size_t i = 0; i < qid_.size(); ++i) {
       domain_sizes_[i] = qid_.hierarchy(i).DomainSize(0);
@@ -72,6 +76,8 @@ class Search {
   }
 
   void Dfs(uint32_t mask, size_t next_index) {
+    if (governor_ != nullptr && trip_.ok()) trip_ = governor_->Check();
+    if (!trip_.ok()) return;
     if (options_.max_nodes > 0 && nodes_visited_ >= options_.max_nodes) {
       complete_ = false;
       return;
@@ -95,6 +101,7 @@ class Search {
         continue;
       }
       Dfs(child, idx + 1);
+      if (!trip_.ok()) return;
     }
   }
 
@@ -103,6 +110,10 @@ class Search {
   int64_t nodes_visited() const { return nodes_visited_; }
   int64_t nodes_pruned() const { return nodes_pruned_; }
   bool complete() const { return complete_; }
+
+  /// Non-OK when the governor tripped mid-enumeration; best_mask() then
+  /// holds the best cut set proven before the trip.
+  const Status& trip() const { return trip_; }
 
   /// Interval id of each rank of attribute `attr` under `mask`.
   void IntervalOfRank(uint32_t mask, size_t attr,
@@ -150,6 +161,8 @@ class Search {
   int64_t total_;
   const AnonymizationConfig& config_;
   const KOptimizeOptions& options_;
+  ExecutionGovernor* governor_;
+  Status trip_;
 
   double best_cost_ = 1e300;
   uint32_t best_mask_ = 0;
@@ -161,12 +174,14 @@ class Search {
 
 }  // namespace
 
-Result<KOptimizeResult> RunKOptimize(const Table& table,
-                                     const QuasiIdentifier& qid,
-                                     const AnonymizationConfig& config,
-                                     const KOptimizeOptions& options) {
+PartialResult<KOptimizeResult> RunKOptimize(const Table& table,
+                                            const QuasiIdentifier& qid,
+                                            const AnonymizationConfig& config,
+                                            const KOptimizeOptions& options,
+                                            const RunContext& ctx) {
   INCOGNITO_SPAN("model.koptimize");
   INCOGNITO_COUNT("model.koptimize.runs");
+  ExecutionGovernor* governor = ctx.governor;
   if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
   const size_t n = qid.size();
   if (n == 0) {
@@ -203,8 +218,21 @@ Result<KOptimizeResult> RunKOptimize(const Table& table,
   }
   std::vector<int32_t> dims(n);
   for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+  Stopwatch timer;
+  KOptimizeResult result;
   FrequencySet freq = FrequencySet::Compute(
       table, qid, SubsetNode(dims, std::vector<int32_t>(n, 0)));
+  ++result.stats.table_scans;
+  const int64_t freq_bytes = static_cast<int64_t>(freq.MemoryBytes());
+  if (governor != nullptr) {
+    Status charged = governor->ChargeMemory(freq_bytes);
+    if (!charged.ok()) {
+      result.stats.total_seconds = timer.ElapsedSeconds();
+      governor->ExportTrips(&result.stats);
+      return PartialResult<KOptimizeResult>::Partial(std::move(charged),
+                                                     std::move(result));
+    }
+  }
   std::vector<std::vector<int32_t>> vectors;
   std::vector<int64_t> counts;
   freq.ForEachGroup([&](const int32_t* codes, int64_t count) {
@@ -217,8 +245,100 @@ Result<KOptimizeResult> RunKOptimize(const Table& table,
   });
 
   Search search(qid, std::move(vectors), std::move(counts), cut_points,
-                static_cast<int64_t>(table.num_rows()), config, options);
+                static_cast<int64_t>(table.num_rows()), config, options,
+                governor);
   search.Dfs(0, 0);
+  if (governor != nullptr) governor->ReleaseMemory(freq_bytes);
+
+  // Stamps search effort and governor activity into the result.
+  auto finalize = [&]() {
+    result.nodes_visited = search.nodes_visited();
+    result.nodes_pruned = search.nodes_pruned();
+    result.stats.nodes_checked = search.nodes_visited();
+    result.stats.total_seconds = timer.ElapsedSeconds();
+    if (governor != nullptr) governor->ExportTrips(&result.stats);
+  };
+
+  // Materializes the partition induced by `mask` (cuts, cost, released
+  // view with undersized classes suppressed) into `result`.
+  auto materialize = [&](uint32_t mask) -> Status {
+    result.cost = search.Cost(mask);
+    for (size_t c = 0; c < cut_points.size(); ++c) {
+      if (mask & (1u << c)) result.cuts.push_back(cut_points[c]);
+    }
+
+    std::vector<std::vector<int32_t>> interval(n);
+    std::vector<std::vector<std::string>> labels(n);
+    for (size_t i = 0; i < n; ++i) {
+      search.IntervalOfRank(mask, i, &interval[i]);
+      const Dictionary& dict = table.dictionary(qid.column(i));
+      int32_t num_intervals = interval[i].empty() ? 0 : interval[i].back() + 1;
+      labels[i].resize(static_cast<size_t>(num_intervals));
+      for (int32_t t = 0; t < num_intervals; ++t) {
+        size_t lo = 0, hi = 0;
+        bool first = true;
+        for (size_t rank = 0; rank < interval[i].size(); ++rank) {
+          if (interval[i][rank] == t) {
+            if (first) lo = rank;
+            hi = rank;
+            first = false;
+          }
+        }
+        const Value& lo_v = dict.value(sorted[i][lo]);
+        const Value& hi_v = dict.value(sorted[i][hi]);
+        labels[i][static_cast<size_t>(t)] =
+            lo == hi ? lo_v.ToString()
+                     : "[" + lo_v.ToString() + "-" + hi_v.ToString() + "]";
+      }
+    }
+
+    // Per-row interval keys, suppression of undersized classes.
+    std::unordered_map<std::vector<int32_t>, int64_t, VecHash> class_sizes;
+    std::vector<std::vector<int32_t>> row_keys(table.num_rows(),
+                                               std::vector<int32_t>(n));
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      for (size_t i = 0; i < n; ++i) {
+        int32_t rank = rank_of_code[i][static_cast<size_t>(
+            table.GetCode(r, qid.column(i)))];
+        row_keys[r][i] = interval[i][static_cast<size_t>(rank)];
+      }
+      ++class_sizes[row_keys[r]];
+    }
+
+    std::vector<ColumnSpec> specs(table.schema().columns());
+    for (size_t i = 0; i < n; ++i) {
+      specs[qid.column(i)].type = DataType::kString;
+    }
+    result.view = Table{Schema(std::move(specs))};
+    std::vector<Value> row(table.num_columns());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (class_sizes[row_keys[r]] < config.k) {
+        ++result.suppressed_tuples;
+        continue;
+      }
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        row[c] = table.GetValue(r, c);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        row[qid.column(i)] =
+            Value(labels[i][static_cast<size_t>(row_keys[r][i])]);
+      }
+      INCOGNITO_RETURN_IF_ERROR(result.view.AppendRow(row));
+    }
+    return Status::OK();
+  };
+
+  if (!search.trip().ok()) {
+    // Budget tripped mid-enumeration: release the best cut set proven so
+    // far. Any mask induces a k-anonymous view (undersized classes are
+    // suppressed), so the partial value is sound — just not provably
+    // optimal. A trip before the first node leaves best_mask() == 0, the
+    // fully-generalized partition.
+    INCOGNITO_RETURN_IF_ERROR(materialize(search.best_mask()));
+    finalize();
+    return PartialResult<KOptimizeResult>::Partial(search.trip(),
+                                                   std::move(result));
+  }
   if (!search.complete()) {
     return Status::Internal(StringPrintf(
         "search aborted after %lld nodes (max_nodes); result would not be "
@@ -227,72 +347,8 @@ Result<KOptimizeResult> RunKOptimize(const Table& table,
   }
 
   // Materialize the winning partition.
-  KOptimizeResult result;
-  result.cost = search.best_cost();
-  result.nodes_visited = search.nodes_visited();
-  result.nodes_pruned = search.nodes_pruned();
-  for (size_t c = 0; c < cut_points.size(); ++c) {
-    if (search.best_mask() & (1u << c)) result.cuts.push_back(cut_points[c]);
-  }
-
-  std::vector<std::vector<int32_t>> interval(n);
-  std::vector<std::vector<std::string>> labels(n);
-  for (size_t i = 0; i < n; ++i) {
-    search.IntervalOfRank(search.best_mask(), i, &interval[i]);
-    const Dictionary& dict = table.dictionary(qid.column(i));
-    int32_t num_intervals = interval[i].empty() ? 0 : interval[i].back() + 1;
-    labels[i].resize(static_cast<size_t>(num_intervals));
-    for (int32_t t = 0; t < num_intervals; ++t) {
-      size_t lo = 0, hi = 0;
-      bool first = true;
-      for (size_t rank = 0; rank < interval[i].size(); ++rank) {
-        if (interval[i][rank] == t) {
-          if (first) lo = rank;
-          hi = rank;
-          first = false;
-        }
-      }
-      const Value& lo_v = dict.value(sorted[i][lo]);
-      const Value& hi_v = dict.value(sorted[i][hi]);
-      labels[i][static_cast<size_t>(t)] =
-          lo == hi ? lo_v.ToString()
-                   : "[" + lo_v.ToString() + "-" + hi_v.ToString() + "]";
-    }
-  }
-
-  // Per-row interval keys, suppression of undersized classes.
-  std::unordered_map<std::vector<int32_t>, int64_t, VecHash> class_sizes;
-  std::vector<std::vector<int32_t>> row_keys(table.num_rows(),
-                                             std::vector<int32_t>(n));
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    for (size_t i = 0; i < n; ++i) {
-      int32_t rank = rank_of_code[i][static_cast<size_t>(
-          table.GetCode(r, qid.column(i)))];
-      row_keys[r][i] = interval[i][static_cast<size_t>(rank)];
-    }
-    ++class_sizes[row_keys[r]];
-  }
-
-  std::vector<ColumnSpec> specs(table.schema().columns());
-  for (size_t i = 0; i < n; ++i) {
-    specs[qid.column(i)].type = DataType::kString;
-  }
-  result.view = Table{Schema(std::move(specs))};
-  std::vector<Value> row(table.num_columns());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (class_sizes[row_keys[r]] < config.k) {
-      ++result.suppressed_tuples;
-      continue;
-    }
-    for (size_t c = 0; c < table.num_columns(); ++c) {
-      row[c] = table.GetValue(r, c);
-    }
-    for (size_t i = 0; i < n; ++i) {
-      row[qid.column(i)] =
-          Value(labels[i][static_cast<size_t>(row_keys[r][i])]);
-    }
-    INCOGNITO_RETURN_IF_ERROR(result.view.AppendRow(row));
-  }
+  INCOGNITO_RETURN_IF_ERROR(materialize(search.best_mask()));
+  finalize();
   return result;
 }
 

@@ -7,7 +7,9 @@
 #include "common/status.h"
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
+#include "core/run_context.h"
 #include "relation/table.h"
+#include "robust/partial_result.h"
 
 namespace incognito {
 
@@ -35,6 +37,9 @@ struct KOptimizeResult {
   /// Search effort: set-enumeration nodes visited / pruned by the bound.
   int64_t nodes_visited = 0;
   int64_t nodes_pruned = 0;
+
+  /// Timing plus governor activity (governed runs).
+  AlgorithmStats stats;
 };
 
 /// Optimal Single-Dimension Ordered-Set Partitioning in the style of
@@ -52,10 +57,24 @@ struct KOptimizeResult {
 /// Undersized classes are suppressed at |T| penalty per tuple (never
 /// infeasible). Exact but exponential in the number of cuts: intended for
 /// small/pre-binned domains; see KOptimizeOptions::max_total_cuts.
-Result<KOptimizeResult> RunKOptimize(const Table& table,
-                                     const QuasiIdentifier& qid,
-                                     const AnonymizationConfig& config,
-                                     const KOptimizeOptions& options = {});
+///
+/// `ctx` carries the execution parameters (docs/API.md): a default
+/// RunContext reproduces the ungoverned call. With ctx.governor set, the
+/// search polls the governor at every set-enumeration node and charges the
+/// initial frequency set against its memory budget. A budget trip stops
+/// the enumeration and materializes the BEST CUT SET FOUND SO FAR: because
+/// every cut-set mask induces a k-anonymous release (undersized classes
+/// are suppressed), the partial view is sound — it is just not provably
+/// optimal, and cost/cuts reflect the best-so-far mask rather than the
+/// optimum. The options.max_nodes safety valve is unchanged and remains a
+/// hard Internal error (an un-governed abort proves nothing). The
+/// algorithm is single-threaded: ctx.num_threads and ctx.scheduling are
+/// ignored.
+PartialResult<KOptimizeResult> RunKOptimize(const Table& table,
+                                            const QuasiIdentifier& qid,
+                                            const AnonymizationConfig& config,
+                                            const KOptimizeOptions& options = {},
+                                            const RunContext& ctx = {});
 
 }  // namespace incognito
 

@@ -208,20 +208,11 @@ PartialResult<MondrianResult> RunMondrianImpl(
 
 }  // namespace
 
-Result<MondrianResult> RunMondrian(const Table& table,
-                                   const QuasiIdentifier& qid,
-                                   const AnonymizationConfig& config) {
-  PartialResult<MondrianResult> run =
-      RunMondrianImpl(table, qid, config, nullptr);
-  if (!run.complete()) return run.status();
-  return std::move(run).value();
-}
-
 PartialResult<MondrianResult> RunMondrian(const Table& table,
                                           const QuasiIdentifier& qid,
                                           const AnonymizationConfig& config,
-                                          ExecutionGovernor& governor) {
-  return RunMondrianImpl(table, qid, config, &governor);
+                                          const RunContext& ctx) {
+  return RunMondrianImpl(table, qid, config, ctx.governor);
 }
 
 }  // namespace incognito

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
+#include "core/run_context.h"
 #include "relation/table.h"
 #include "robust/partial_result.h"
 
@@ -32,19 +33,35 @@ struct MondrianResult {
 /// The paper cites [12] for evidence that multi-dimension models "might
 /// produce better anonymizations than their single-dimension
 /// counterparts"; the model-comparison bench quantifies this.
-Result<MondrianResult> RunMondrian(const Table& table,
-                                   const QuasiIdentifier& qid,
-                                   const AnonymizationConfig& config);
-
-/// Governed variant: polls `governor` once per split step. On a budget
-/// trip, refinement stops and every unrefined partition is released as-is
-/// — the partial view is COARSER than the full answer but still
+///
+/// `ctx` carries the execution parameters (docs/API.md): a default
+/// RunContext reproduces the legacy ungoverned call. With ctx.governor
+/// set, the partitioner polls the governor once per split step; on a
+/// budget trip, refinement stops and every unrefined partition is released
+/// as-is — the partial view is COARSER than the full answer but still
 /// k-anonymous (every partition holds >= k tuples by construction), the
-/// model's graceful degradation.
+/// model's graceful degradation. The algorithm is single-threaded:
+/// ctx.num_threads and ctx.scheduling are ignored.
 PartialResult<MondrianResult> RunMondrian(const Table& table,
                                           const QuasiIdentifier& qid,
                                           const AnonymizationConfig& config,
-                                          ExecutionGovernor& governor);
+                                          const RunContext& ctx = {});
+
+#if !defined(INCOGNITO_NO_LEGACY_API)
+
+/// Deprecated pre-RunContext governed entry point (docs/API.md). Compiled
+/// out under -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once
+/// external callers have migrated.
+[[deprecated(
+    "use RunMondrian(table, qid, config, RunContext::Governed(governor)) "
+    "— see docs/API.md")]]
+inline PartialResult<MondrianResult> RunMondrian(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor& governor) {
+  return RunMondrian(table, qid, config, RunContext::Governed(governor));
+}
+
+#endif  // !defined(INCOGNITO_NO_LEGACY_API)
 
 }  // namespace incognito
 

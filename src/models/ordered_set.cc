@@ -191,19 +191,10 @@ PartialResult<OrderedSetResult> RunOrderedSetImpl(
 
 }  // namespace
 
-Result<OrderedSetResult> RunOrderedSetPartition(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config) {
-  PartialResult<OrderedSetResult> run =
-      RunOrderedSetImpl(table, qid, config, nullptr);
-  if (!run.complete()) return run.status();
-  return std::move(run).value();
-}
-
 PartialResult<OrderedSetResult> RunOrderedSetPartition(
     const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, ExecutionGovernor& governor) {
-  return RunOrderedSetImpl(table, qid, config, &governor);
+    const AnonymizationConfig& config, const RunContext& ctx) {
+  return RunOrderedSetImpl(table, qid, config, ctx.governor);
 }
 
 Result<OptimalUnivariateResult> OptimalUnivariatePartition(

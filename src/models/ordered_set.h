@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/checker.h"
 #include "core/quasi_identifier.h"
+#include "core/run_context.h"
 #include "relation/table.h"
 #include "robust/partial_result.h"
 
@@ -34,18 +35,35 @@ struct OrderedSetResult {
 /// the partition of the attribute with the most intervals (merging
 /// adjacent interval pairs) until the view satisfies k-anonymity within
 /// the Datafly-style suppression budget.
-Result<OrderedSetResult> RunOrderedSetPartition(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config);
-
-/// Governed variant: polls `governor` per merge round and charges each
-/// round's grouping structure against its memory budget. A budget trip
+///
+/// `ctx` carries the execution parameters (docs/API.md): a default
+/// RunContext reproduces the legacy ungoverned call. With ctx.governor
+/// set, the recoder polls the governor per merge round and charges each
+/// round's grouping structure against its memory budget; a budget trip
 /// returns PartialResult::Partial with an EMPTY view (the intermediate
 /// partitioning is not yet k-anonymous and must not be released); only the
-/// stats carry the progress made.
+/// stats carry the progress made. The algorithm is single-threaded:
+/// ctx.num_threads and ctx.scheduling are ignored.
 PartialResult<OrderedSetResult> RunOrderedSetPartition(
     const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, ExecutionGovernor& governor);
+    const AnonymizationConfig& config, const RunContext& ctx = {});
+
+#if !defined(INCOGNITO_NO_LEGACY_API)
+
+/// Deprecated pre-RunContext governed entry point (docs/API.md). Compiled
+/// out under -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once
+/// external callers have migrated.
+[[deprecated(
+    "use RunOrderedSetPartition(table, qid, config, "
+    "RunContext::Governed(governor)) — see docs/API.md")]]
+inline PartialResult<OrderedSetResult> RunOrderedSetPartition(
+    const Table& table, const QuasiIdentifier& qid,
+    const AnonymizationConfig& config, ExecutionGovernor& governor) {
+  return RunOrderedSetPartition(table, qid, config,
+                                RunContext::Governed(governor));
+}
+
+#endif  // !defined(INCOGNITO_NO_LEGACY_API)
 
 /// Output of the exact univariate partitioner.
 struct OptimalUnivariateResult {

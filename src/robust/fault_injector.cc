@@ -34,6 +34,7 @@ const std::vector<std::string>& FaultInjector::KnownSites() {
       "cube.project",
       "freq.scan.chunk",
       "incognito.rollup",
+      "incognito.subset.schedule",
       "bottom_up.rollup",
   };
   return *sites;

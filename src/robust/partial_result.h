@@ -45,6 +45,12 @@ class PartialResult {
   bool partial() const { return IsResourceGovernance(status_.code()); }
   bool hard_error() const { return !complete() && !partial(); }
 
+  /// Result<T>-compatible spelling of complete(), so call sites migrating
+  /// from the legacy ungoverned overloads (docs/API.md) keep reading
+  /// naturally. Note it is false on a partial() result even though the
+  /// value is sound — check partial() before discarding the value.
+  bool ok() const { return status_.ok(); }
+
   const Status& status() const { return status_; }
 
   /// The (full or partial) value; meaningless after a hard error.

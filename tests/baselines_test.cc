@@ -35,14 +35,14 @@ class PatientsBaselinesTest : public ::testing::Test {
 TEST_F(PatientsBaselinesTest, BottomUpMatchesIncognito) {
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> inc = RunIncognito(table_, qid_, config);
+  PartialResult<IncognitoResult> inc = RunIncognito(table_, qid_, config);
   ASSERT_TRUE(inc.ok());
   for (bool rollup : {false, true}) {
     for (bool marking : {false, true}) {
       BottomUpOptions opts;
       opts.use_rollup = rollup;
       opts.use_generalization_marking = marking;
-      Result<BottomUpResult> bu = RunBottomUpBfs(table_, qid_, config, opts);
+      PartialResult<BottomUpResult> bu = RunBottomUpBfs(table_, qid_, config, opts);
       ASSERT_TRUE(bu.ok());
       EXPECT_EQ(NodeSet(bu->anonymous_nodes), NodeSet(inc->anonymous_nodes))
           << "rollup=" << rollup << " marking=" << marking;
@@ -53,7 +53,7 @@ TEST_F(PatientsBaselinesTest, BottomUpMatchesIncognito) {
 TEST_F(PatientsBaselinesTest, BottomUpWithoutMarkingChecksEveryNode) {
   AnonymizationConfig config;
   config.k = 2;
-  Result<BottomUpResult> bu = RunBottomUpBfs(table_, qid_, config);
+  PartialResult<BottomUpResult> bu = RunBottomUpBfs(table_, qid_, config);
   ASSERT_TRUE(bu.ok());
   // Exhaustive baseline: all 12 lattice nodes evaluated.
   EXPECT_EQ(bu->stats.nodes_checked, 12);
@@ -66,7 +66,7 @@ TEST_F(PatientsBaselinesTest, BottomUpMarkingSkipsChecks) {
   config.k = 2;
   BottomUpOptions opts;
   opts.use_generalization_marking = true;
-  Result<BottomUpResult> bu = RunBottomUpBfs(table_, qid_, config, opts);
+  PartialResult<BottomUpResult> bu = RunBottomUpBfs(table_, qid_, config, opts);
   ASSERT_TRUE(bu.ok());
   EXPECT_LT(bu->stats.nodes_checked, 12);
   EXPECT_GT(bu->stats.nodes_marked, 0);
@@ -78,13 +78,13 @@ TEST_F(PatientsBaselinesTest, BottomUpRollupScansOnce) {
   config.k = 2;
   BottomUpOptions with_rollup;
   with_rollup.use_rollup = true;
-  Result<BottomUpResult> r = RunBottomUpBfs(table_, qid_, config, with_rollup);
+  PartialResult<BottomUpResult> r = RunBottomUpBfs(table_, qid_, config, with_rollup);
   ASSERT_TRUE(r.ok());
   // Only the bottom node scans T; everything else rolls up.
   EXPECT_EQ(r->stats.table_scans, 1);
   EXPECT_EQ(r->stats.rollups, 11);
   BottomUpOptions without;
-  Result<BottomUpResult> w = RunBottomUpBfs(table_, qid_, config, without);
+  PartialResult<BottomUpResult> w = RunBottomUpBfs(table_, qid_, config, without);
   ASSERT_TRUE(w.ok());
   EXPECT_EQ(w->stats.table_scans, 12);
   EXPECT_EQ(w->stats.rollups, 0);
@@ -103,7 +103,7 @@ TEST_F(PatientsBaselinesTest, BottomUpInvalidConfig) {
 TEST_F(PatientsBaselinesTest, BinarySearchFindsMinimalHeight) {
   AnonymizationConfig config;
   config.k = 2;
-  Result<BinarySearchResult> r =
+  PartialResult<BinarySearchResult> r =
       RunSamaratiBinarySearch(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   ASSERT_TRUE(r->found);
@@ -117,9 +117,9 @@ TEST_F(PatientsBaselinesTest, BinarySearchAgreesWithIncognitoMinimum) {
   for (int64_t k : {1, 2, 3, 6}) {
     AnonymizationConfig config;
     config.k = k;
-    Result<BinarySearchResult> bs =
+    PartialResult<BinarySearchResult> bs =
         RunSamaratiBinarySearch(table_, qid_, config);
-    Result<IncognitoResult> inc = RunIncognito(table_, qid_, config);
+    PartialResult<IncognitoResult> inc = RunIncognito(table_, qid_, config);
     ASSERT_TRUE(bs.ok());
     ASSERT_TRUE(inc.ok());
     ASSERT_TRUE(bs->found);
@@ -136,7 +136,7 @@ TEST_F(PatientsBaselinesTest, BinarySearchAgreesWithIncognitoMinimum) {
 TEST_F(PatientsBaselinesTest, BinarySearchImpossibleK) {
   AnonymizationConfig config;
   config.k = 7;  // exceeds table size
-  Result<BinarySearchResult> r =
+  PartialResult<BinarySearchResult> r =
       RunSamaratiBinarySearch(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   EXPECT_FALSE(r->found);
@@ -145,7 +145,7 @@ TEST_F(PatientsBaselinesTest, BinarySearchImpossibleK) {
 TEST_F(PatientsBaselinesTest, BinarySearchK1ReturnsBottom) {
   AnonymizationConfig config;
   config.k = 1;
-  Result<BinarySearchResult> r =
+  PartialResult<BinarySearchResult> r =
       RunSamaratiBinarySearch(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   ASSERT_TRUE(r->found);
@@ -156,7 +156,7 @@ TEST_F(PatientsBaselinesTest, BinarySearchWithSuppression) {
   AnonymizationConfig config;
   config.k = 2;
   config.max_suppressed = 2;
-  Result<BinarySearchResult> r =
+  PartialResult<BinarySearchResult> r =
       RunSamaratiBinarySearch(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   ASSERT_TRUE(r->found);
@@ -187,13 +187,13 @@ TEST(BaselinesRandomTest, AllAlgorithmsAgreeOnRandomData) {
     AnonymizationConfig config;
     config.k = 2 + static_cast<int64_t>(rng.Uniform(3));
 
-    Result<IncognitoResult> inc = RunIncognito(ds.table, ds.qid, config);
-    Result<BottomUpResult> bu = RunBottomUpBfs(ds.table, ds.qid, config);
+    PartialResult<IncognitoResult> inc = RunIncognito(ds.table, ds.qid, config);
+    PartialResult<BottomUpResult> bu = RunBottomUpBfs(ds.table, ds.qid, config);
     ASSERT_TRUE(inc.ok());
     ASSERT_TRUE(bu.ok());
     EXPECT_EQ(NodeSet(inc->anonymous_nodes), NodeSet(bu->anonymous_nodes));
 
-    Result<BinarySearchResult> bs =
+    PartialResult<BinarySearchResult> bs =
         RunSamaratiBinarySearch(ds.table, ds.qid, config);
     ASSERT_TRUE(bs.ok());
     if (inc->anonymous_nodes.empty()) {

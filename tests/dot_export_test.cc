@@ -28,7 +28,7 @@ TEST(DotExportTest, HighlightMarksSurvivors) {
   ASSERT_TRUE(ds.ok());
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> r = RunIncognito(ds->table, ds->qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(ds->table, ds->qid, config);
   ASSERT_TRUE(r.ok());
   std::set<std::string> survivors;
   for (const SubsetNode& n : r->anonymous_nodes) {

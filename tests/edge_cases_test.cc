@@ -42,7 +42,7 @@ TEST(EdgeCasesTest, SingleRowTable) {
   TinyDataset ds = MakeTiny({{"x", "y"}});
   AnonymizationConfig config;
   config.k = 1;
-  Result<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->anonymous_nodes.size(), 4u);  // whole 2x2 lattice
 
@@ -51,7 +51,7 @@ TEST(EdgeCasesTest, SingleRowTable) {
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->anonymous_nodes.empty());  // one tuple can never reach k=2
 
-  Result<BinarySearchResult> bs =
+  PartialResult<BinarySearchResult> bs =
       RunSamaratiBinarySearch(ds.table, ds.qid, config);
   ASSERT_TRUE(bs.ok());
   EXPECT_FALSE(bs->found);
@@ -61,11 +61,11 @@ TEST(EdgeCasesTest, AllRowsIdentical) {
   TinyDataset ds = MakeTiny({{"x", "y"}, {"x", "y"}, {"x", "y"}});
   AnonymizationConfig config;
   config.k = 3;
-  Result<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
   ASSERT_TRUE(r.ok());
   // Already 3-anonymous at the bottom: every node qualifies.
   EXPECT_EQ(r->anonymous_nodes.size(), 4u);
-  Result<BinarySearchResult> bs =
+  PartialResult<BinarySearchResult> bs =
       RunSamaratiBinarySearch(ds.table, ds.qid, config);
   ASSERT_TRUE(bs.ok());
   ASSERT_TRUE(bs->found);
@@ -83,7 +83,7 @@ TEST(EdgeCasesTest, SingleAttributeQid) {
       QuasiIdentifier::Create(table, {{"a", std::move(h)}}).value();
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> r = RunIncognito(table, qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table, qid, config);
   ASSERT_TRUE(r.ok());
   // "r" appears once: level 0 fails, level 1 (suppressed) passes.
   ASSERT_EQ(r->anonymous_nodes.size(), 1u);
@@ -113,12 +113,12 @@ TEST(EdgeCasesTest, ZeroHeightHierarchyAttribute) {
   EXPECT_EQ(qid.LatticeSize(), 2u);
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> r = RunIncognito(table, qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table, qid, config);
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->anonymous_nodes.size(), 1u);
   EXPECT_EQ(r->anonymous_nodes[0].levels, (std::vector<int32_t>{0, 1}));
   // All algorithms agree.
-  Result<BottomUpResult> bu = RunBottomUpBfs(table, qid, config);
+  PartialResult<BottomUpResult> bu = RunBottomUpBfs(table, qid, config);
   ASSERT_TRUE(bu.ok());
   EXPECT_EQ(NodeSet(bu->anonymous_nodes), NodeSet(r->anonymous_nodes));
 }
@@ -127,7 +127,7 @@ TEST(EdgeCasesTest, KEqualsTableSizeExactly) {
   TinyDataset ds = MakeTiny({{"x", "y"}, {"x", "z"}, {"w", "y"}, {"w", "z"}});
   AnonymizationConfig config;
   config.k = 4;
-  Result<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->anonymous_nodes.size(), 1u);
   EXPECT_EQ(r->anonymous_nodes[0].Height(), 2);  // full suppression only
@@ -138,7 +138,7 @@ TEST(EdgeCasesTest, SuppressionBudgetLargerThanTable) {
   AnonymizationConfig config;
   config.k = 5;
   config.max_suppressed = 100;  // may suppress everything
-  Result<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(ds.table, ds.qid, config);
   ASSERT_TRUE(r.ok());
   // Every node qualifies by suppressing all tuples.
   EXPECT_EQ(r->anonymous_nodes.size(), 4u);
@@ -165,13 +165,13 @@ TEST(EdgeCasesTest, DuplicateHeavyTable) {
                             .value();
   AnonymizationConfig config;
   config.k = 100;
-  Result<IncognitoResult> strict = RunIncognito(table, qid, config);
+  PartialResult<IncognitoResult> strict = RunIncognito(table, qid, config);
   ASSERT_TRUE(strict.ok());
   // Without suppression only full generalization reaches k=100.
   ASSERT_EQ(strict->anonymous_nodes.size(), 1u);
   EXPECT_EQ(strict->anonymous_nodes[0].Height(), 2);
   config.max_suppressed = 1;
-  Result<IncognitoResult> loose = RunIncognito(table, qid, config);
+  PartialResult<IncognitoResult> loose = RunIncognito(table, qid, config);
   ASSERT_TRUE(loose.ok());
   // Suppressing the singleton makes the base table 100-anonymous.
   EXPECT_EQ(loose->anonymous_nodes.size(), 4u);

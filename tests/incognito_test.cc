@@ -33,7 +33,7 @@ TEST_F(PatientsIncognitoTest, Example31FirstIteration) {
   // survives.
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   ASSERT_EQ(r->per_iteration_survivors.size(), 3u);
   EXPECT_EQ(r->per_iteration_survivors[0].size(), 7u);  // all of C1
@@ -44,7 +44,7 @@ TEST_F(PatientsIncognitoTest, Example31SecondIterationSurvivors) {
   // of Fig. 5 (a, b, c).
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(NodeSet(r->per_iteration_survivors[1]),
             (std::set<std::string>{
@@ -63,7 +63,7 @@ TEST_F(PatientsIncognitoTest, FinalResultIsFig7aNodes) {
   // that set.
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(NodeSet(r->anonymous_nodes),
             (std::set<std::string>{"<d0:1, d1:1, d2:0>", "<d0:1, d1:1, d2:1>",
@@ -75,7 +75,7 @@ TEST_F(PatientsIncognitoTest, ResultMatchesExhaustiveOracle) {
   // Soundness and completeness (paper §3.2) against brute force.
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   GeneralizationLattice lattice(qid_.MaxLevels());
   std::set<std::string> oracle;
@@ -95,9 +95,9 @@ TEST_F(PatientsIncognitoTest, AllVariantsAgree) {
   basic.variant = IncognitoVariant::kBasic;
   super_roots.variant = IncognitoVariant::kSuperRoots;
   cube.variant = IncognitoVariant::kCube;
-  Result<IncognitoResult> rb = RunIncognito(table_, qid_, config, basic);
-  Result<IncognitoResult> rs = RunIncognito(table_, qid_, config, super_roots);
-  Result<IncognitoResult> rc = RunIncognito(table_, qid_, config, cube);
+  PartialResult<IncognitoResult> rb = RunIncognito(table_, qid_, config, basic);
+  PartialResult<IncognitoResult> rs = RunIncognito(table_, qid_, config, super_roots);
+  PartialResult<IncognitoResult> rc = RunIncognito(table_, qid_, config, cube);
   ASSERT_TRUE(rb.ok());
   ASSERT_TRUE(rs.ok());
   ASSERT_TRUE(rc.ok());
@@ -110,7 +110,7 @@ TEST_F(PatientsIncognitoTest, CubeVariantScansOnce) {
   config.k = 2;
   IncognitoOptions cube;
   cube.variant = IncognitoVariant::kCube;
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config, cube);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config, cube);
   ASSERT_TRUE(r.ok());
   // The cube build is the only scan of T.
   EXPECT_EQ(r->stats.table_scans, 1);
@@ -123,8 +123,8 @@ TEST_F(PatientsIncognitoTest, SuperRootsReducesScans) {
   IncognitoOptions basic, sup;
   basic.variant = IncognitoVariant::kBasic;
   sup.variant = IncognitoVariant::kSuperRoots;
-  Result<IncognitoResult> rb = RunIncognito(table_, qid_, config, basic);
-  Result<IncognitoResult> rs = RunIncognito(table_, qid_, config, sup);
+  PartialResult<IncognitoResult> rb = RunIncognito(table_, qid_, config, basic);
+  PartialResult<IncognitoResult> rs = RunIncognito(table_, qid_, config, sup);
   ASSERT_TRUE(rb.ok());
   ASSERT_TRUE(rs.ok());
   // Fig. 7(a) has a 3-root family; super-roots covers it with one scan.
@@ -134,7 +134,7 @@ TEST_F(PatientsIncognitoTest, SuperRootsReducesScans) {
 TEST_F(PatientsIncognitoTest, K1EverythingIsAnonymous) {
   AnonymizationConfig config;
   config.k = 1;
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   // Every node of the full lattice (12 for Patients) is 1-anonymous.
   EXPECT_EQ(r->anonymous_nodes.size(), 12u);
@@ -143,7 +143,7 @@ TEST_F(PatientsIncognitoTest, K1EverythingIsAnonymous) {
 TEST_F(PatientsIncognitoTest, LargeKOnlyTopSurvives) {
   AnonymizationConfig config;
   config.k = 6;  // the whole table
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   // Only the fully generalized node puts all six tuples in one group.
   ASSERT_EQ(r->anonymous_nodes.size(), 1u);
@@ -153,7 +153,7 @@ TEST_F(PatientsIncognitoTest, LargeKOnlyTopSurvives) {
 TEST_F(PatientsIncognitoTest, ImpossibleKYieldsEmptyResult) {
   AnonymizationConfig config;
   config.k = 7;  // more than the table size
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->anonymous_nodes.empty());
 }
@@ -163,8 +163,8 @@ TEST_F(PatientsIncognitoTest, SuppressionWidensResultSet) {
   strict.k = 2;
   loose.k = 2;
   loose.max_suppressed = 2;
-  Result<IncognitoResult> rs = RunIncognito(table_, qid_, strict);
-  Result<IncognitoResult> rl = RunIncognito(table_, qid_, loose);
+  PartialResult<IncognitoResult> rs = RunIncognito(table_, qid_, strict);
+  PartialResult<IncognitoResult> rl = RunIncognito(table_, qid_, loose);
   ASSERT_TRUE(rs.ok());
   ASSERT_TRUE(rl.ok());
   EXPECT_GT(rl->anonymous_nodes.size(), rs->anonymous_nodes.size());
@@ -190,7 +190,7 @@ TEST_F(PatientsIncognitoTest, InvalidConfigRejected) {
 TEST_F(PatientsIncognitoTest, StatsAreCoherent) {
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   const AlgorithmStats& s = r->stats;
   EXPECT_GT(s.nodes_checked, 0);
@@ -208,7 +208,7 @@ TEST_F(PatientsIncognitoTest, NonTransitiveMarkingStillSoundComplete) {
   config.k = 2;
   IncognitoOptions opts;
   opts.mark_transitively = false;  // exactly Fig. 8's direct marking
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config, opts);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config, opts);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(NodeSet(r->anonymous_nodes).size(), 5u);
 }
@@ -218,8 +218,8 @@ TEST_F(PatientsIncognitoTest, NoRollupAblationSameResult) {
   config.k = 2;
   IncognitoOptions opts;
   opts.use_rollup = false;
-  Result<IncognitoResult> with = RunIncognito(table_, qid_, config);
-  Result<IncognitoResult> without = RunIncognito(table_, qid_, config, opts);
+  PartialResult<IncognitoResult> with = RunIncognito(table_, qid_, config);
+  PartialResult<IncognitoResult> without = RunIncognito(table_, qid_, config, opts);
   ASSERT_TRUE(with.ok());
   ASSERT_TRUE(without.ok());
   EXPECT_EQ(NodeSet(with->anonymous_nodes), NodeSet(without->anonymous_nodes));
@@ -232,7 +232,7 @@ TEST_F(PatientsIncognitoTest, PrefixQidRuns) {
   AnonymizationConfig config;
   config.k = 2;
   QuasiIdentifier qid2 = qid_.Prefix(2);  // Birthdate, Sex
-  Result<IncognitoResult> r = RunIncognito(table_, qid2, config);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid2, config);
   ASSERT_TRUE(r.ok());
   // Matches Fig. 5(c): {<B1,S0>, <B0,S1>, <B1,S1>}.
   EXPECT_EQ(NodeSet(r->anonymous_nodes),

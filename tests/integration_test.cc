@@ -55,7 +55,7 @@ TEST(IntegrationTest, JoiningAttackSucceedsOnRawDataFailsOnAnonymized) {
   // height-minimal one, publish.
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> r = RunIncognito(ds->table, ds->qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(ds->table, ds->qid, config);
   ASSERT_TRUE(r.ok());
   std::vector<SubsetNode> minimal = MinimalByHeight(r->anonymous_nodes);
   ASSERT_EQ(minimal.size(), 1u);
@@ -77,12 +77,12 @@ TEST(IntegrationTest, PaperWorkedExampleEndToEnd) {
   AnonymizationConfig config;
   config.k = 2;
 
-  Result<IncognitoResult> r = RunIncognito(ds->table, ds->qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(ds->table, ds->qid, config);
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->anonymous_nodes.size(), 5u);
 
   // Samarati's binary search agrees on the minimal node.
-  Result<BinarySearchResult> bs =
+  PartialResult<BinarySearchResult> bs =
       RunSamaratiBinarySearch(ds->table, ds->qid, config);
   ASSERT_TRUE(bs.ok());
   ASSERT_TRUE(bs->found);
@@ -111,7 +111,7 @@ TEST(IntegrationTest, AdultsPipelineSmallScale) {
   config.k = 10;
 
   IncognitoOptions basic;
-  Result<IncognitoResult> r = RunIncognito(ds->table, qid, config, basic);
+  PartialResult<IncognitoResult> r = RunIncognito(ds->table, qid, config, basic);
   ASSERT_TRUE(r.ok());
   ASSERT_FALSE(r->anonymous_nodes.empty());
 
@@ -119,8 +119,8 @@ TEST(IntegrationTest, AdultsPipelineSmallScale) {
   IncognitoOptions sup, cube;
   sup.variant = IncognitoVariant::kSuperRoots;
   cube.variant = IncognitoVariant::kCube;
-  Result<IncognitoResult> rs = RunIncognito(ds->table, qid, config, sup);
-  Result<IncognitoResult> rc = RunIncognito(ds->table, qid, config, cube);
+  PartialResult<IncognitoResult> rs = RunIncognito(ds->table, qid, config, sup);
+  PartialResult<IncognitoResult> rc = RunIncognito(ds->table, qid, config, cube);
   ASSERT_TRUE(rs.ok());
   ASSERT_TRUE(rc.ok());
   EXPECT_EQ(NodeSet(r->anonymous_nodes), NodeSet(rs->anonymous_nodes));
@@ -147,7 +147,7 @@ TEST(IntegrationTest, LandsEndPipelineSmallScale) {
   AnonymizationConfig config;
   config.k = 5;
 
-  Result<IncognitoResult> r = RunIncognito(ds->table, qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(ds->table, qid, config);
   ASSERT_TRUE(r.ok());
   ASSERT_FALSE(r->anonymous_nodes.empty());
   std::vector<SubsetNode> minimal = MinimalByHeight(r->anonymous_nodes);
@@ -171,8 +171,8 @@ TEST(IntegrationTest, NodesSearchedIncognitoVsBottomUp) {
   AnonymizationConfig config;
   config.k = 2;
 
-  Result<IncognitoResult> inc = RunIncognito(ds->table, qid, config);
-  Result<BottomUpResult> bu = RunBottomUpBfs(ds->table, qid, config);
+  PartialResult<IncognitoResult> inc = RunIncognito(ds->table, qid, config);
+  PartialResult<BottomUpResult> bu = RunBottomUpBfs(ds->table, qid, config);
   ASSERT_TRUE(inc.ok());
   ASSERT_TRUE(bu.ok());
   EXPECT_EQ(NodeSet(inc->anonymous_nodes), NodeSet(bu->anonymous_nodes));

@@ -114,7 +114,7 @@ TEST(KOptimizeTest, MatchesBruteForceOnRandomSmallInputs) {
     SmallDataset ds = MakeSmall(rows, num_attrs);
     AnonymizationConfig config;
     config.k = 2 + static_cast<int64_t>(rng.Uniform(3));
-    Result<KOptimizeResult> r = RunKOptimize(ds.table, ds.qid, config);
+    PartialResult<KOptimizeResult> r = RunKOptimize(ds.table, ds.qid, config);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_DOUBLE_EQ(r->cost, BruteForceCost(ds, config.k));
   }
@@ -126,7 +126,7 @@ TEST(KOptimizeTest, ViewCostMatchesReportedCost) {
                               2);
   AnonymizationConfig config;
   config.k = 3;
-  Result<KOptimizeResult> r = RunKOptimize(ds.table, ds.qid, config);
+  PartialResult<KOptimizeResult> r = RunKOptimize(ds.table, ds.qid, config);
   ASSERT_TRUE(r.ok());
   Result<std::vector<int64_t>> sizes = ClassSizes(r->view, {"a0", "a1"});
   ASSERT_TRUE(sizes.ok());
@@ -150,8 +150,8 @@ TEST(KOptimizeTest, NeverWorseThanGreedy) {
     SmallDataset ds = MakeSmall(rows, 2);
     AnonymizationConfig config;
     config.k = 4;
-    Result<KOptimizeResult> optimal = RunKOptimize(ds.table, ds.qid, config);
-    Result<OrderedSetResult> greedy =
+    PartialResult<KOptimizeResult> optimal = RunKOptimize(ds.table, ds.qid, config);
+    PartialResult<OrderedSetResult> greedy =
         RunOrderedSetPartition(ds.table, ds.qid, config);
     ASSERT_TRUE(optimal.ok());
     ASSERT_TRUE(greedy.ok());
@@ -176,7 +176,7 @@ TEST(KOptimizeTest, PruningActuallyPrunes) {
   SmallDataset ds = MakeSmall(rows, 2);
   AnonymizationConfig config;
   config.k = 5;
-  Result<KOptimizeResult> r = RunKOptimize(ds.table, ds.qid, config);
+  PartialResult<KOptimizeResult> r = RunKOptimize(ds.table, ds.qid, config);
   ASSERT_TRUE(r.ok());
   // 12 cut points → 4096 subsets; the bound must prune a chunk of them.
   EXPECT_GT(r->nodes_pruned, 0);

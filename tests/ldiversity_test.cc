@@ -112,7 +112,7 @@ TEST_F(LDiversityTest, MatchesBruteForce) {
   config.k = 2;
   config.l = 2;
   config.sensitive_attribute = "Disease";
-  Result<LDiversityResult> r = RunLDiversityIncognito(table_, qid_, config);
+  PartialResult<LDiversityResult> r = RunLDiversityIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
 
   GeneralizationLattice lattice(qid_.MaxLevels());
@@ -136,11 +136,11 @@ TEST_F(LDiversityTest, DiversitySubsetOfAnonymity) {
   lconfig.k = 2;
   lconfig.l = 2;
   lconfig.sensitive_attribute = "Disease";
-  Result<LDiversityResult> lr = RunLDiversityIncognito(table_, qid_, lconfig);
+  PartialResult<LDiversityResult> lr = RunLDiversityIncognito(table_, qid_, lconfig);
   ASSERT_TRUE(lr.ok());
   AnonymizationConfig kconfig;
   kconfig.k = 2;
-  Result<IncognitoResult> kr = RunIncognito(table_, qid_, kconfig);
+  PartialResult<IncognitoResult> kr = RunIncognito(table_, qid_, kconfig);
   ASSERT_TRUE(kr.ok());
   std::set<std::string> anonymous = NodeSet(kr->anonymous_nodes);
   for (const SubsetNode& node : lr->diverse_nodes) {
@@ -152,7 +152,7 @@ TEST_F(LDiversityTest, HighLOnlyTopOrNothing) {
   LDiversityConfig config;
   config.l = 6;  // needs all six diseases in every group
   config.sensitive_attribute = "Disease";
-  Result<LDiversityResult> r = RunLDiversityIncognito(table_, qid_, config);
+  PartialResult<LDiversityResult> r = RunLDiversityIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->diverse_nodes.size(), 1u);
   EXPECT_EQ(r->diverse_nodes[0].ToString(), "<d0:1, d1:1, d2:2>");
@@ -168,11 +168,11 @@ TEST_F(LDiversityTest, LEqualsOneReducesToKAnonymity) {
   config.k = 2;
   config.l = 1;
   config.sensitive_attribute = "Disease";
-  Result<LDiversityResult> lr = RunLDiversityIncognito(table_, qid_, config);
+  PartialResult<LDiversityResult> lr = RunLDiversityIncognito(table_, qid_, config);
   ASSERT_TRUE(lr.ok());
   AnonymizationConfig kconfig;
   kconfig.k = 2;
-  Result<IncognitoResult> kr = RunIncognito(table_, qid_, kconfig);
+  PartialResult<IncognitoResult> kr = RunIncognito(table_, qid_, kconfig);
   ASSERT_TRUE(kr.ok());
   EXPECT_EQ(NodeSet(lr->diverse_nodes), NodeSet(kr->anonymous_nodes));
 }
@@ -199,7 +199,7 @@ TEST_F(LDiversityTest, DiverseRecoderPublishesValidView) {
   config.k = 2;
   config.l = 2;
   config.sensitive_attribute = "Disease";
-  Result<LDiversityResult> r = RunLDiversityIncognito(table_, qid_, config);
+  PartialResult<LDiversityResult> r = RunLDiversityIncognito(table_, qid_, config);
   ASSERT_TRUE(r.ok());
   ASSERT_FALSE(r->diverse_nodes.empty());
   for (const SubsetNode& node : r->diverse_nodes) {

@@ -110,7 +110,7 @@ TEST(ParetoMinimalTest, EveryResultIsGeneralizationOfSomeMinimal) {
   ASSERT_TRUE(ds.ok());
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> r = RunIncognito(ds->table, ds->qid, config);
+  PartialResult<IncognitoResult> r = RunIncognito(ds->table, ds->qid, config);
   ASSERT_TRUE(r.ok());
   std::vector<SubsetNode> pareto = ParetoMinimal(r->anonymous_nodes);
   for (const SubsetNode& n : r->anonymous_nodes) {

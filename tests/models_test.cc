@@ -55,14 +55,14 @@ class ModelsTest : public ::testing::Test {
 // ---------------------------------------------------------------------------
 
 TEST_F(ModelsTest, DataflyProducesKAnonymousView) {
-  Result<DataflyResult> r = RunDatafly(table_, qid_, K(2));
+  PartialResult<DataflyResult> r = RunDatafly(table_, qid_, K(2));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   ExpectViewKAnonymous(r->view, qid_columns_, 2);
   EXPECT_LE(r->suppressed_tuples, 2);  // budget = max(k, max_suppressed)
 }
 
 TEST_F(ModelsTest, DataflyNodeIsValidGeneralization) {
-  Result<DataflyResult> r = RunDatafly(table_, qid_, K(2));
+  PartialResult<DataflyResult> r = RunDatafly(table_, qid_, K(2));
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->node.size(), 3u);
   for (size_t i = 0; i < 3; ++i) {
@@ -76,11 +76,11 @@ TEST_F(ModelsTest, DataflyNeverBeatsIncognitoMinimality) {
   // Datafly has no minimality guarantee; Incognito's height-minimal result
   // is at most Datafly's height once suppression budgets match.
   AnonymizationConfig config = K(2);
-  Result<DataflyResult> df = RunDatafly(table_, qid_, config);
+  PartialResult<DataflyResult> df = RunDatafly(table_, qid_, config);
   ASSERT_TRUE(df.ok());
   AnonymizationConfig with_budget = config;
   with_budget.max_suppressed = std::max(config.k, config.max_suppressed);
-  Result<IncognitoResult> inc = RunIncognito(table_, qid_, with_budget);
+  PartialResult<IncognitoResult> inc = RunIncognito(table_, qid_, with_budget);
   ASSERT_TRUE(inc.ok());
   std::vector<SubsetNode> minimal = MinimalByHeight(inc->anonymous_nodes);
   ASSERT_FALSE(minimal.empty());
@@ -119,14 +119,14 @@ TEST_F(ModelsTest, SubtreeInvalidK) {
 // ---------------------------------------------------------------------------
 
 TEST_F(ModelsTest, OrderedSetProducesKAnonymousView) {
-  Result<OrderedSetResult> r = RunOrderedSetPartition(table_, qid_, K(2));
+  PartialResult<OrderedSetResult> r = RunOrderedSetPartition(table_, qid_, K(2));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   ExpectViewKAnonymous(r->view, qid_columns_, 2);
   EXPECT_EQ(r->intervals_per_attribute.size(), 3u);
 }
 
 TEST_F(ModelsTest, OrderedSetK1IsIdentityPartition) {
-  Result<OrderedSetResult> r = RunOrderedSetPartition(table_, qid_, K(1));
+  PartialResult<OrderedSetResult> r = RunOrderedSetPartition(table_, qid_, K(1));
   ASSERT_TRUE(r.ok());
   // Singleton intervals everywhere: distinct counts preserved.
   EXPECT_EQ(r->intervals_per_attribute[0], 3u);  // birthdates
@@ -232,7 +232,7 @@ TEST(OptimalUnivariateTest, NeverWorseThanGreedy) {
     config.k = 3;
     Result<OptimalUnivariateResult> optimal =
         OptimalUnivariatePartition(ds.table, ds.qid, config);
-    Result<OrderedSetResult> greedy =
+    PartialResult<OrderedSetResult> greedy =
         RunOrderedSetPartition(ds.table, ds.qid, config);
     ASSERT_TRUE(optimal.ok());
     ASSERT_TRUE(greedy.ok());
@@ -276,7 +276,7 @@ TEST(OptimalUnivariateTest, RejectsBadInputs) {
 // ---------------------------------------------------------------------------
 
 TEST_F(ModelsTest, MondrianProducesKAnonymousView) {
-  Result<MondrianResult> r = RunMondrian(table_, qid_, K(2));
+  PartialResult<MondrianResult> r = RunMondrian(table_, qid_, K(2));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->view.num_rows(), table_.num_rows());  // no suppression
   ExpectViewKAnonymous(r->view, qid_columns_, 2);
@@ -290,7 +290,7 @@ TEST_F(ModelsTest, MondrianRefusesTinyTable) {
 }
 
 TEST_F(ModelsTest, MondrianKEqualsTableSizeSinglePartition) {
-  Result<MondrianResult> r = RunMondrian(table_, qid_, K(6));
+  PartialResult<MondrianResult> r = RunMondrian(table_, qid_, K(6));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->num_partitions, 1u);
   ExpectViewKAnonymous(r->view, qid_columns_, 6);
@@ -303,7 +303,7 @@ TEST_F(ModelsTest, MondrianPartitionsAtLeastK) {
   opts.num_rows = 100;
   testing_util::RandomDataset ds = testing_util::MakeRandomDataset(rng, opts);
   for (int64_t k : {2, 5, 10}) {
-    Result<MondrianResult> r = RunMondrian(ds.table, ds.qid, K(k));
+    PartialResult<MondrianResult> r = RunMondrian(ds.table, ds.qid, K(k));
     ASSERT_TRUE(r.ok());
     EXPECT_LE(r->num_partitions, static_cast<size_t>(100 / k));
     std::vector<std::string> cols;
@@ -317,14 +317,14 @@ TEST_F(ModelsTest, MondrianPartitionsAtLeastK) {
 // ---------------------------------------------------------------------------
 
 TEST_F(ModelsTest, CellSuppressionProducesKAnonymousView) {
-  Result<CellSuppressionResult> r = RunCellSuppression(table_, qid_, K(2));
+  PartialResult<CellSuppressionResult> r = RunCellSuppression(table_, qid_, K(2));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   ExpectViewKAnonymous(r->view, qid_columns_, 2);
   EXPECT_GT(r->cells_suppressed, 0);
 }
 
 TEST_F(ModelsTest, CellSuppressionK1IsIdentity) {
-  Result<CellSuppressionResult> r = RunCellSuppression(table_, qid_, K(1));
+  PartialResult<CellSuppressionResult> r = RunCellSuppression(table_, qid_, K(1));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->cells_suppressed, 0);
   EXPECT_EQ(r->tuples_suppressed, 0);
@@ -335,7 +335,7 @@ TEST_F(ModelsTest, CellSuppressionIsLocalNotGlobal) {
   // Local recoding: at least one attribute should retain both an original
   // value in some tuple and '*' in another — which full-domain recoding
   // can never do.
-  Result<CellSuppressionResult> r = RunCellSuppression(table_, qid_, K(2));
+  PartialResult<CellSuppressionResult> r = RunCellSuppression(table_, qid_, K(2));
   ASSERT_TRUE(r.ok());
   bool found_mixed = false;
   for (size_t c = 0; c < 3 && !found_mixed; ++c) {
@@ -452,7 +452,7 @@ TEST(ModelsRandomTest, AllModelsKAnonymousOnRandomData) {
     AnonymizationConfig config;
     config.k = 3;
 
-    Result<DataflyResult> df = RunDatafly(ds.table, ds.qid, config);
+    PartialResult<DataflyResult> df = RunDatafly(ds.table, ds.qid, config);
     ASSERT_TRUE(df.ok());
     ExpectViewKAnonymous(df->view, cols, config.k);
 
@@ -460,16 +460,16 @@ TEST(ModelsRandomTest, AllModelsKAnonymousOnRandomData) {
     ASSERT_TRUE(st.ok());
     ExpectViewKAnonymous(st->view, cols, config.k);
 
-    Result<OrderedSetResult> os =
+    PartialResult<OrderedSetResult> os =
         RunOrderedSetPartition(ds.table, ds.qid, config);
     ASSERT_TRUE(os.ok());
     ExpectViewKAnonymous(os->view, cols, config.k);
 
-    Result<MondrianResult> mo = RunMondrian(ds.table, ds.qid, config);
+    PartialResult<MondrianResult> mo = RunMondrian(ds.table, ds.qid, config);
     ASSERT_TRUE(mo.ok());
     ExpectViewKAnonymous(mo->view, cols, config.k);
 
-    Result<CellSuppressionResult> cs =
+    PartialResult<CellSuppressionResult> cs =
         RunCellSuppression(ds.table, ds.qid, config);
     ASSERT_TRUE(cs.ok());
     ExpectViewKAnonymous(cs->view, cols, config.k);

@@ -206,11 +206,11 @@ TEST(ParallelIncognitoTest, AdultsSweepMatchesSerialAtEveryThreadCount) {
   config.k = 5;
   for (size_t prefix = 1; prefix <= 3; ++prefix) {
     QuasiIdentifier qid = data->qid.Prefix(prefix);
-    Result<IncognitoResult> serial = RunIncognito(data->table, qid, config);
+    PartialResult<IncognitoResult> serial = RunIncognito(data->table, qid, config);
     ASSERT_TRUE(serial.ok());
     for (int threads : {1, 2, 4, 8}) {
-      Result<IncognitoResult> parallel =
-          RunIncognitoParallel(data->table, qid, config, {}, threads);
+      PartialResult<IncognitoResult> parallel =
+          RunIncognitoParallel(data->table, qid, config, {}, RunContext::WithThreads(threads));
       ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
       ExpectBitIdentical(*serial, *parallel);
       if (threads > 1) {
@@ -233,11 +233,11 @@ TEST(ParallelIncognitoTest, EveryVariantMatchesSerialOnRandomDatasets) {
           IncognitoVariant::kCube}) {
       IncognitoOptions options;
       options.variant = variant;
-      Result<IncognitoResult> serial =
+      PartialResult<IncognitoResult> serial =
           RunIncognito(data.table, data.qid, config, options);
       ASSERT_TRUE(serial.ok());
-      Result<IncognitoResult> parallel =
-          RunIncognitoParallel(data.table, data.qid, config, options, 4);
+      PartialResult<IncognitoResult> parallel =
+          RunIncognitoParallel(data.table, data.qid, config, options, RunContext::WithThreads(4));
       ASSERT_TRUE(parallel.ok())
           << "seed=" << seed << " variant=" << IncognitoVariantName(variant);
       ExpectBitIdentical(*serial, *parallel);
@@ -252,11 +252,11 @@ TEST(ParallelIncognitoTest, RollupAblationStaysBitIdentical) {
   config.k = 3;
   IncognitoOptions options;
   options.use_rollup = false;
-  Result<IncognitoResult> serial =
+  PartialResult<IncognitoResult> serial =
       RunIncognito(data.table, data.qid, config, options);
   ASSERT_TRUE(serial.ok());
-  Result<IncognitoResult> parallel =
-      RunIncognitoParallel(data.table, data.qid, config, options, 3);
+  PartialResult<IncognitoResult> parallel =
+      RunIncognitoParallel(data.table, data.qid, config, options, RunContext::WithThreads(3));
   ASSERT_TRUE(parallel.ok());
   ExpectBitIdentical(*serial, *parallel);
   EXPECT_EQ(parallel->stats.rollups, 0);
@@ -269,11 +269,11 @@ TEST(ParallelIncognitoTest, NonTransitiveMarkingStaysBitIdentical) {
   config.k = 2;
   IncognitoOptions options;
   options.mark_transitively = false;
-  Result<IncognitoResult> serial =
+  PartialResult<IncognitoResult> serial =
       RunIncognito(data.table, data.qid, config, options);
   ASSERT_TRUE(serial.ok());
-  Result<IncognitoResult> parallel =
-      RunIncognitoParallel(data.table, data.qid, config, options, 4);
+  PartialResult<IncognitoResult> parallel =
+      RunIncognitoParallel(data.table, data.qid, config, options, RunContext::WithThreads(4));
   ASSERT_TRUE(parallel.ok());
   ExpectBitIdentical(*serial, *parallel);
 }
@@ -283,11 +283,11 @@ TEST(ParallelIncognitoTest, OptionsNumThreadsDispatchesFromRunIncognito) {
   RandomDataset data = MakeRandomDataset(rng);
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> serial = RunIncognito(data.table, data.qid, config);
+  PartialResult<IncognitoResult> serial = RunIncognito(data.table, data.qid, config);
   ASSERT_TRUE(serial.ok());
   IncognitoOptions options;
   options.num_threads = 4;
-  Result<IncognitoResult> dispatched =
+  PartialResult<IncognitoResult> dispatched =
       RunIncognito(data.table, data.qid, config, options);
   ASSERT_TRUE(dispatched.ok());
   ExpectBitIdentical(*serial, *dispatched);
@@ -302,14 +302,14 @@ TEST(ParallelIncognitoTest, GovernedGenerousBudgetMatchesSerial) {
   QuasiIdentifier qid = data->qid.Prefix(3);
   AnonymizationConfig config;
   config.k = 5;
-  Result<IncognitoResult> serial = RunIncognito(data->table, qid, config);
+  PartialResult<IncognitoResult> serial = RunIncognito(data->table, qid, config);
   ASSERT_TRUE(serial.ok());
 
   ExecutionGovernor governor;
   governor.SetDeadline(Deadline::AfterMillis(5 * 60 * 1000));
   governor.SetMemoryLimitBytes(int64_t{1} << 33);
   PartialResult<IncognitoResult> governed =
-      RunIncognitoParallel(data->table, qid, config, {}, governor, 4);
+      RunIncognitoParallel(data->table, qid, config, {}, RunContext::Governed(governor, 4));
   ASSERT_TRUE(governed.complete()) << governed.status().ToString();
   ExpectBitIdentical(*serial, governed.value());
   EXPECT_EQ(governor.memory().used(), 0);
@@ -328,7 +328,7 @@ TEST(ParallelIncognitoTest, DeadlineZeroReturnsEmptyValidPartial) {
   ExecutionGovernor governor;
   governor.SetDeadline(Deadline::AfterMillis(0));
   PartialResult<IncognitoResult> run =
-      RunIncognitoParallel(data.table, data.qid, config, {}, governor, 4);
+      RunIncognitoParallel(data.table, data.qid, config, {}, RunContext::Governed(governor, 4));
   ASSERT_TRUE(run.partial());
   EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(run->anonymous_nodes.empty());
@@ -347,7 +347,7 @@ TEST(ParallelIncognitoTest, PreCancelledTokenTripsCleanly) {
   ExecutionGovernor governor;
   governor.SetCancelToken(&token);
   PartialResult<IncognitoResult> run =
-      RunIncognitoParallel(data.table, data.qid, config, {}, governor, 4);
+      RunIncognitoParallel(data.table, data.qid, config, {}, RunContext::Governed(governor, 4));
   ASSERT_TRUE(run.partial());
   EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
   EXPECT_GE(run->stats.cancel_trips, 1);
@@ -376,7 +376,7 @@ TEST(ParallelIncognitoTest, MidSearchCancelFromSecondThreadDrainsCleanly) {
     token.Cancel();
   });
   PartialResult<IncognitoResult> run = RunIncognitoParallel(
-      data.table, data.qid, config, options, governor, 4);
+      data.table, data.qid, config, options, RunContext::Governed(governor, 4));
   canceller.join();
   if (run.partial()) {
     EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
@@ -396,7 +396,7 @@ TEST(ParallelIncognitoTest, ShardBudgetTripYieldsSoundPrefixAndBoundedPeaks) {
   RandomDataset data = MakeRandomDataset(rng);
   AnonymizationConfig config;
   config.k = 2;
-  Result<IncognitoResult> full = RunIncognito(data.table, data.qid, config);
+  PartialResult<IncognitoResult> full = RunIncognito(data.table, data.qid, config);
   ASSERT_TRUE(full.ok());
 
   bool saw_partial = false;
@@ -405,7 +405,7 @@ TEST(ParallelIncognitoTest, ShardBudgetTripYieldsSoundPrefixAndBoundedPeaks) {
     ExecutionGovernor governor;
     governor.SetMemoryLimitBytes(limit);
     PartialResult<IncognitoResult> run =
-        RunIncognitoParallel(data.table, data.qid, config, {}, governor, 4);
+        RunIncognitoParallel(data.table, data.qid, config, {}, RunContext::Governed(governor, 4));
     ASSERT_FALSE(run.hard_error()) << run.status().ToString();
     // Sum of per-shard high-water leases never exceeds the global limit —
     // leases are charged to the shared budget before they count.
@@ -565,12 +565,12 @@ TEST(ParallelIncognitoTest, CubeVariantMatchesSerialAtEveryThreadCount) {
   config.k = 5;
   IncognitoOptions options;
   options.variant = IncognitoVariant::kCube;
-  Result<IncognitoResult> serial =
+  PartialResult<IncognitoResult> serial =
       RunIncognito(data->table, qid, config, options);
   ASSERT_TRUE(serial.ok());
   for (int threads : {1, 2, 4, 8}) {
-    Result<IncognitoResult> parallel =
-        RunIncognitoParallel(data->table, qid, config, options, threads);
+    PartialResult<IncognitoResult> parallel =
+        RunIncognitoParallel(data->table, qid, config, options, RunContext::WithThreads(threads));
     ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
     ExpectBitIdentical(*serial, *parallel);
   }
@@ -586,13 +586,13 @@ TEST(ParallelIncognitoTest, GovernedCubeVariantDrainsEveryShardToZero) {
   config.k = 5;
   IncognitoOptions options;
   options.variant = IncognitoVariant::kCube;
-  Result<IncognitoResult> serial =
+  PartialResult<IncognitoResult> serial =
       RunIncognito(data->table, qid, config, options);
   ASSERT_TRUE(serial.ok());
   ExecutionGovernor governor;
   governor.SetMemoryLimitBytes(int64_t{1} << 33);
   PartialResult<IncognitoResult> governed =
-      RunIncognitoParallel(data->table, qid, config, options, governor, 4);
+      RunIncognitoParallel(data->table, qid, config, options, RunContext::Governed(governor, 4));
   ASSERT_TRUE(governed.complete()) << governed.status().ToString();
   ExpectBitIdentical(*serial, governed.value());
   EXPECT_EQ(governed->stats.parallel_workers, 4);
@@ -610,13 +610,13 @@ TEST(ParallelIncognitoTest, GovernedSuperRootsVariantMatchesSerial) {
   config.k = 3;
   IncognitoOptions options;
   options.variant = IncognitoVariant::kSuperRoots;
-  Result<IncognitoResult> serial =
+  PartialResult<IncognitoResult> serial =
       RunIncognito(data.table, data.qid, config, options);
   ASSERT_TRUE(serial.ok());
   ExecutionGovernor governor;
   governor.SetMemoryLimitBytes(int64_t{1} << 33);
   PartialResult<IncognitoResult> governed =
-      RunIncognitoParallel(data.table, data.qid, config, options, governor, 4);
+      RunIncognitoParallel(data.table, data.qid, config, options, RunContext::Governed(governor, 4));
   ASSERT_TRUE(governed.complete()) << governed.status().ToString();
   ExpectBitIdentical(*serial, governed.value());
   EXPECT_EQ(governor.memory().used(), 0);
@@ -640,7 +640,7 @@ TEST(ParallelFaultTest, RandomFaultsNeverCrashTheParallelSearch) {
     ExecutionGovernor governor;
     governor.SetDeadline(Deadline::AfterMillis(60 * 1000));
     PartialResult<IncognitoResult> run =
-        RunIncognitoParallel(data.table, data.qid, config, {}, governor, 4);
+        RunIncognitoParallel(data.table, data.qid, config, {}, RunContext::Governed(governor, 4));
     // Injected failures surface as clean partials (latched like a refused
     // charge) — never a crash, never leaked charges.
     if (run.partial()) {
@@ -724,14 +724,160 @@ TEST(ParallelFaultTest, NewSitesSurfaceAsCleanPartialsEndToEnd) {
     FaultInjector::Global().ScriptFailNthHit(site, 1);
     ExecutionGovernor governor;
     PartialResult<IncognitoResult> run =
-        RunIncognitoParallel(data.table, data.qid, config, options, governor,
-                             4);
+        RunIncognitoParallel(data.table, data.qid, config, options, RunContext::Governed(governor, 4));
     EXPECT_EQ(FaultInjector::Global().FaultsFired(), 1) << site;
     ASSERT_TRUE(run.partial()) << site;
     EXPECT_TRUE(IsResourceGovernance(run.status().code()))
         << site << ": " << run.status().ToString();
     EXPECT_EQ(governor.memory().used(), 0) << site;
   }
+  FaultInjector::Global().Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined subset-DAG scheduler (SchedulingMode::kPipelined)
+// ---------------------------------------------------------------------------
+
+/// Runs serial / kBarrier / kPipelined on one instance and asserts all
+/// three are bit-identical at every thread count.
+void ExpectSchedulesMatchSerial(const Table& table, const QuasiIdentifier& qid,
+                                const AnonymizationConfig& config,
+                                const IncognitoOptions& options = {}) {
+  PartialResult<IncognitoResult> serial =
+      RunIncognito(table, qid, config, options);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {1, 2, 4, 8}) {
+    RunContext pipelined = RunContext::WithThreads(threads);
+    ASSERT_EQ(pipelined.scheduling, SchedulingMode::kPipelined);
+    RunContext barrier = RunContext::WithThreads(threads);
+    barrier.scheduling = SchedulingMode::kBarrier;
+    PartialResult<IncognitoResult> p =
+        RunIncognitoParallel(table, qid, config, options, pipelined);
+    ASSERT_TRUE(p.ok()) << "pipelined threads=" << threads;
+    ExpectBitIdentical(*serial, *p);
+    PartialResult<IncognitoResult> b =
+        RunIncognitoParallel(table, qid, config, options, barrier);
+    ASSERT_TRUE(b.ok()) << "barrier threads=" << threads;
+    ExpectBitIdentical(*serial, *b);
+  }
+}
+
+TEST(PipelinedScheduleTest, AdultsPrefixesMatchSerialUnderBothSchedules) {
+  AdultsOptions adults;
+  adults.num_rows = 300;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  AnonymizationConfig config;
+  config.k = 5;
+  for (size_t prefix = 1; prefix <= 3; ++prefix) {
+    ExpectSchedulesMatchSerial(data->table, data->qid.Prefix(prefix), config);
+  }
+}
+
+TEST(PipelinedScheduleTest, RandomDatasetsMatchSerialUnderBothSchedules) {
+  for (uint64_t seed : {3u, 17u, 101u}) {
+    Rng rng(seed);
+    RandomDataset data = MakeRandomDataset(rng);
+    AnonymizationConfig config;
+    config.k = 2 + static_cast<int64_t>(seed % 3);
+    ExpectSchedulesMatchSerial(data.table, data.qid, config);
+  }
+}
+
+TEST(PipelinedScheduleTest, EveryVariantAndAblationMatchesUnderBothSchedules) {
+  Rng rng(23);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 3;
+  for (IncognitoVariant variant :
+       {IncognitoVariant::kBasic, IncognitoVariant::kSuperRoots,
+        IncognitoVariant::kCube}) {
+    IncognitoOptions options;
+    options.variant = variant;
+    ExpectSchedulesMatchSerial(data.table, data.qid, config, options);
+  }
+  IncognitoOptions no_rollup;
+  no_rollup.use_rollup = false;
+  ExpectSchedulesMatchSerial(data.table, data.qid, config, no_rollup);
+  IncognitoOptions direct_marking;
+  direct_marking.mark_transitively = false;
+  ExpectSchedulesMatchSerial(data.table, data.qid, config, direct_marking);
+}
+
+TEST(PipelinedScheduleTest, WideFallbackKeysMatchSerialUnderBothSchedules) {
+  // The vector-key fallback path (domains beyond the 64-bit packed keys)
+  // must pipeline identically.
+  RandomDataset data = testing_util::MakeWideFallbackDataset(120);
+  AnonymizationConfig config;
+  config.k = 2;
+  ExpectSchedulesMatchSerial(data.table, data.qid, config);
+}
+
+TEST(PipelinedScheduleTest, GovernedPipelinedDrainsShardsToZero) {
+  AdultsOptions adults;
+  adults.num_rows = 300;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  QuasiIdentifier qid = data->qid.Prefix(3);
+  AnonymizationConfig config;
+  config.k = 5;
+  PartialResult<IncognitoResult> serial = RunIncognito(data->table, qid, config);
+  ASSERT_TRUE(serial.ok());
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 33);
+  RunContext ctx = RunContext::Governed(governor, 4);
+  ASSERT_EQ(ctx.scheduling, SchedulingMode::kPipelined);
+  PartialResult<IncognitoResult> governed =
+      RunIncognitoParallel(data->table, qid, config, {}, ctx);
+  ASSERT_TRUE(governed.complete()) << governed.status().ToString();
+  ExpectBitIdentical(*serial, governed.value());
+  // Acceptance: every worker shard leased from the shared budget drained
+  // back to zero after the pipelined run.
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(PipelinedScheduleTest, DeadlineZeroPipelinedYieldsValidEmptyPartial) {
+  Rng rng(47);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  ExecutionGovernor governor;
+  governor.SetDeadline(Deadline::AfterMillis(0));
+  PartialResult<IncognitoResult> run = RunIncognitoParallel(
+      data.table, data.qid, config, {}, RunContext::Governed(governor, 4));
+  ASSERT_TRUE(run.partial()) << run.status().ToString();
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+  // The partial contract holds under pipelining: exactly
+  // completed_iterations survivor sets, no claimed S_n.
+  EXPECT_EQ(run->per_iteration_survivors.size(),
+            static_cast<size_t>(run->completed_iterations));
+  EXPECT_TRUE(run->anonymous_nodes.empty());
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(ParallelFaultTest, SubsetScheduleFaultSurfacesAsCleanPartial) {
+  if (!FaultInjector::kCompiledIn) {
+    GTEST_SKIP() << "build with -DINCOGNITO_FAULTS=ON";
+  }
+  // A scripted failure at the pipelined scheduler's dispatch site
+  // ("incognito.subset.schedule") must latch like a refused charge:
+  // governance partial, honest completed_iterations, balanced bytes.
+  Rng rng(7);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().ScriptFailNthHit("incognito.subset.schedule", 1);
+  ExecutionGovernor governor;
+  PartialResult<IncognitoResult> run = RunIncognitoParallel(
+      data.table, data.qid, config, {}, RunContext::Governed(governor, 4));
+  EXPECT_EQ(FaultInjector::Global().FaultsFired(), 1);
+  ASSERT_TRUE(run.partial()) << run.status().ToString();
+  EXPECT_TRUE(IsResourceGovernance(run.status().code()))
+      << run.status().ToString();
+  EXPECT_EQ(run->per_iteration_survivors.size(),
+            static_cast<size_t>(run->completed_iterations));
+  EXPECT_EQ(governor.memory().used(), 0);
   FaultInjector::Global().Reset();
 }
 
@@ -753,8 +899,7 @@ TEST(ParallelFaultTest, RandomFaultsNeverCrashTheParallelCubeSearch) {
     ExecutionGovernor governor;
     governor.SetDeadline(Deadline::AfterMillis(60 * 1000));
     PartialResult<IncognitoResult> run =
-        RunIncognitoParallel(data.table, data.qid, config, options, governor,
-                             4);
+        RunIncognitoParallel(data.table, data.qid, config, options, RunContext::Governed(governor, 4));
     if (run.partial()) {
       EXPECT_TRUE(IsResourceGovernance(run.status().code()))
           << run.status().ToString();

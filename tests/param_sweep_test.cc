@@ -58,7 +58,7 @@ TEST_P(KSuppressionGridTest, AllIncognitoVariantsMatchOracle) {
         IncognitoVariant::kCube}) {
     IncognitoOptions opts;
     opts.variant = variant;
-    Result<IncognitoResult> r = RunIncognito(table_, qid_, config_, opts);
+    PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config_, opts);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle)
         << IncognitoVariantName(variant);
@@ -70,7 +70,7 @@ TEST_P(KSuppressionGridTest, BottomUpMatchesOracle) {
   for (bool rollup : {false, true}) {
     BottomUpOptions opts;
     opts.use_rollup = rollup;
-    Result<BottomUpResult> r = RunBottomUpBfs(table_, qid_, config_, opts);
+    PartialResult<BottomUpResult> r = RunBottomUpBfs(table_, qid_, config_, opts);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle);
   }
@@ -78,7 +78,7 @@ TEST_P(KSuppressionGridTest, BottomUpMatchesOracle) {
 
 TEST_P(KSuppressionGridTest, BinarySearchHeightConsistent) {
   std::set<std::string> oracle = Oracle();
-  Result<BinarySearchResult> r =
+  PartialResult<BinarySearchResult> r =
       RunSamaratiBinarySearch(table_, qid_, config_);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->found, !oracle.empty());
@@ -88,7 +88,7 @@ TEST_P(KSuppressionGridTest, BinarySearchHeightConsistent) {
 }
 
 TEST_P(KSuppressionGridTest, EverySolutionRecodesWithinBudget) {
-  Result<IncognitoResult> r = RunIncognito(table_, qid_, config_);
+  PartialResult<IncognitoResult> r = RunIncognito(table_, qid_, config_);
   ASSERT_TRUE(r.ok());
   for (const SubsetNode& node : r->anonymous_nodes) {
     Result<RecodeResult> view =
@@ -131,8 +131,8 @@ TEST_P(AdultsQidSweepTest, IncognitoMatchesBottomUp) {
   QuasiIdentifier qid = dataset_->qid.Prefix(GetParam());
   AnonymizationConfig config;
   config.k = 5;
-  Result<IncognitoResult> inc = RunIncognito(dataset_->table, qid, config);
-  Result<BottomUpResult> bu = RunBottomUpBfs(dataset_->table, qid, config);
+  PartialResult<IncognitoResult> inc = RunIncognito(dataset_->table, qid, config);
+  PartialResult<BottomUpResult> bu = RunBottomUpBfs(dataset_->table, qid, config);
   ASSERT_TRUE(inc.ok());
   ASSERT_TRUE(bu.ok());
   EXPECT_EQ(NodeSet(inc->anonymous_nodes), NodeSet(bu->anonymous_nodes));
@@ -146,8 +146,8 @@ TEST_P(AdultsQidSweepTest, SolutionFractionShrinksWithQid) {
   config.k = 5;
   QuasiIdentifier small = dataset_->qid.Prefix(qid_size - 1);
   QuasiIdentifier large = dataset_->qid.Prefix(qid_size);
-  Result<IncognitoResult> rs = RunIncognito(dataset_->table, small, config);
-  Result<IncognitoResult> rl = RunIncognito(dataset_->table, large, config);
+  PartialResult<IncognitoResult> rs = RunIncognito(dataset_->table, small, config);
+  PartialResult<IncognitoResult> rl = RunIncognito(dataset_->table, large, config);
   ASSERT_TRUE(rs.ok());
   ASSERT_TRUE(rl.ok());
   // Subset Property at the level-vector granularity: if <v1..v_{n}> is

@@ -136,7 +136,7 @@ TEST_P(SeededPropertyTest, IncognitoSoundAndComplete) {
         IncognitoVariant::kCube}) {
     IncognitoOptions opts;
     opts.variant = variant;
-    Result<IncognitoResult> r =
+    PartialResult<IncognitoResult> r =
         RunIncognito(dataset_.table, dataset_.qid, config_, opts);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle)
@@ -147,8 +147,8 @@ TEST_P(SeededPropertyTest, IncognitoSoundAndComplete) {
 TEST_P(SeededPropertyTest, ParallelIncognitoMatchesOracle) {
   std::set<std::string> oracle = Oracle(config_);
   int threads = 2 + static_cast<int>(GetParam() % 3);  // 2..4 workers
-  Result<IncognitoResult> r = RunIncognitoParallel(
-      dataset_.table, dataset_.qid, config_, IncognitoOptions{}, threads);
+  PartialResult<IncognitoResult> r = RunIncognitoParallel(
+      dataset_.table, dataset_.qid, config_, IncognitoOptions{}, RunContext::WithThreads(threads));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle) << "threads=" << threads;
 }
@@ -178,8 +178,7 @@ TEST_P(SeededPropertyTest, ParallelGovernorAlwaysDrainsToZero) {
     if (s.memory_limit > 0) governor.SetMemoryLimitBytes(s.memory_limit);
     governor.SetCancelToken(s.token);
     PartialResult<IncognitoResult> run = RunIncognitoParallel(
-        dataset_.table, dataset_.qid, config_, IncognitoOptions{}, governor,
-        4);
+        dataset_.table, dataset_.qid, config_, IncognitoOptions{}, RunContext::Governed(governor, 4));
     ASSERT_FALSE(run.hard_error()) << s.name << ": " << run.status().ToString();
     EXPECT_EQ(governor.memory().used(), 0) << s.name;
     int64_t high_water_sum = 0;
@@ -197,7 +196,7 @@ TEST_P(SeededPropertyTest, IncognitoSoundCompleteWithSuppression) {
   AnonymizationConfig config = config_;
   config.max_suppressed = static_cast<int64_t>(GetParam() % 7);
   std::set<std::string> oracle = Oracle(config);
-  Result<IncognitoResult> r =
+  PartialResult<IncognitoResult> r =
       RunIncognito(dataset_.table, dataset_.qid, config);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle);
@@ -208,7 +207,7 @@ TEST_P(SeededPropertyTest, BottomUpMatchesOracle) {
   for (bool rollup : {false, true}) {
     BottomUpOptions opts;
     opts.use_rollup = rollup;
-    Result<BottomUpResult> r =
+    PartialResult<BottomUpResult> r =
         RunBottomUpBfs(dataset_.table, dataset_.qid, config_, opts);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(NodeSet(r->anonymous_nodes), oracle);
@@ -217,7 +216,7 @@ TEST_P(SeededPropertyTest, BottomUpMatchesOracle) {
 
 TEST_P(SeededPropertyTest, BinarySearchFindsTrueMinimalHeight) {
   std::set<std::string> oracle = Oracle(config_);
-  Result<BinarySearchResult> r =
+  PartialResult<BinarySearchResult> r =
       RunSamaratiBinarySearch(dataset_.table, dataset_.qid, config_);
   ASSERT_TRUE(r.ok());
   if (oracle.empty()) {
@@ -236,7 +235,7 @@ TEST_P(SeededPropertyTest, BinarySearchFindsTrueMinimalHeight) {
 }
 
 TEST_P(SeededPropertyTest, RecodedViewIsKAnonymousAndAncestral) {
-  Result<IncognitoResult> r =
+  PartialResult<IncognitoResult> r =
       RunIncognito(dataset_.table, dataset_.qid, config_);
   ASSERT_TRUE(r.ok());
   if (r->anonymous_nodes.empty()) return;
@@ -274,7 +273,7 @@ TEST_P(SeededPropertyTest, RecodedViewIsKAnonymousAndAncestral) {
 TEST_P(SeededPropertyTest, SuppressionBudgetIsRespected) {
   AnonymizationConfig config = config_;
   config.max_suppressed = static_cast<int64_t>(5 + GetParam() % 10);
-  Result<IncognitoResult> r =
+  PartialResult<IncognitoResult> r =
       RunIncognito(dataset_.table, dataset_.qid, config);
   ASSERT_TRUE(r.ok());
   for (const SubsetNode& node : r->anonymous_nodes) {

@@ -241,7 +241,7 @@ TEST(GovernedSearchTest, IncognitoDeadlineZeroReturnsEmptyValidPartial) {
   ExecutionGovernor governor;
   governor.SetDeadline(Deadline::AfterMillis(0));
   PartialResult<IncognitoResult> run =
-      RunIncognito(data.table, data.qid, config, {}, governor);
+      RunIncognito(data.table, data.qid, config, {}, RunContext::Governed(governor));
   ASSERT_TRUE(run.partial());
   EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(run->anonymous_nodes.empty());
@@ -257,7 +257,7 @@ TEST(GovernedSearchTest, BottomUpDeadlineZeroReturnsEmptyValidPartial) {
   ExecutionGovernor governor;
   governor.SetDeadline(Deadline::AfterMillis(0));
   PartialResult<BottomUpResult> run =
-      RunBottomUpBfs(data.table, data.qid, config, {}, governor);
+      RunBottomUpBfs(data.table, data.qid, config, {}, RunContext::Governed(governor));
   ASSERT_TRUE(run.partial());
   EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(run->anonymous_nodes.empty());
@@ -272,7 +272,7 @@ TEST(GovernedSearchTest, BinarySearchDeadlineZeroReturnsBracketOnly) {
   ExecutionGovernor governor;
   governor.SetDeadline(Deadline::AfterMillis(0));
   PartialResult<BinarySearchResult> run =
-      RunSamaratiBinarySearch(data.table, data.qid, config, governor);
+      RunSamaratiBinarySearch(data.table, data.qid, config, RunContext::Governed(governor));
   ASSERT_TRUE(run.partial());
   EXPECT_FALSE(run->found);
   EXPECT_EQ(run->bracket_high, -1);  // no probe succeeded before the trip
@@ -291,7 +291,7 @@ TEST(GovernedSearchTest, PreCancelledTokenTripsImmediately) {
   ExecutionGovernor governor;
   governor.SetCancelToken(&token);
   PartialResult<IncognitoResult> run =
-      RunIncognito(data.table, data.qid, config, {}, governor);
+      RunIncognito(data.table, data.qid, config, {}, RunContext::Governed(governor));
   ASSERT_TRUE(run.partial());
   EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
   EXPECT_GE(run->stats.cancel_trips, 1);
@@ -316,7 +316,7 @@ TEST(GovernedSearchTest, SecondThreadCancelStopsARunningSearch) {
     token.Cancel();
   });
   PartialResult<BottomUpResult> run =
-      RunBottomUpBfs(data.table, data.qid, config, {}, governor);
+      RunBottomUpBfs(data.table, data.qid, config, {}, RunContext::Governed(governor));
   canceller.join();
   // Either the cancel landed mid-search (the expected outcome) or the
   // machine was fast enough to finish first; both must be clean.
@@ -342,14 +342,14 @@ TEST(GovernedSearchTest, GenerousBudgetMatchesUngovernedOnAdultsSweep) {
   config.k = 5;
   for (size_t prefix = 1; prefix <= 3; ++prefix) {
     QuasiIdentifier qid = data->qid.Prefix(prefix);
-    Result<IncognitoResult> full = RunIncognito(data->table, qid, config);
+    PartialResult<IncognitoResult> full = RunIncognito(data->table, qid, config);
     ASSERT_TRUE(full.ok());
 
     ExecutionGovernor governor;
     governor.SetDeadline(Deadline::AfterMillis(5 * 60 * 1000));
     governor.SetMemoryLimitBytes(int64_t{1} << 33);
     PartialResult<IncognitoResult> governed =
-        RunIncognito(data->table, qid, config, {}, governor);
+        RunIncognito(data->table, qid, config, {}, RunContext::Governed(governor));
     ASSERT_TRUE(governed.complete()) << governed.status().ToString();
     // Bit-identical answer set, per-iteration survivors included.
     EXPECT_EQ(NodeSet(governed->anonymous_nodes),
@@ -371,13 +371,13 @@ TEST(GovernedSearchTest, BinarySearchGenerousBudgetMatchesUngoverned) {
   RandomDataset data = SmallDataset(21);
   AnonymizationConfig config;
   config.k = 3;
-  Result<BinarySearchResult> full =
+  PartialResult<BinarySearchResult> full =
       RunSamaratiBinarySearch(data.table, data.qid, config);
   ASSERT_TRUE(full.ok());
   ExecutionGovernor governor;
   governor.SetDeadline(Deadline::AfterMillis(5 * 60 * 1000));
   PartialResult<BinarySearchResult> governed =
-      RunSamaratiBinarySearch(data.table, data.qid, config, governor);
+      RunSamaratiBinarySearch(data.table, data.qid, config, RunContext::Governed(governor));
   ASSERT_TRUE(governed.complete());
   EXPECT_EQ(governed->found, full->found);
   if (full->found) {
@@ -392,7 +392,7 @@ TEST(GovernedSearchTest, MemoryTripYieldsConfirmedSubsetOfFullAnswer) {
   RandomDataset data = SmallDataset(33);
   AnonymizationConfig config;
   config.k = 2;
-  Result<BottomUpResult> full = RunBottomUpBfs(data.table, data.qid, config);
+  PartialResult<BottomUpResult> full = RunBottomUpBfs(data.table, data.qid, config);
   ASSERT_TRUE(full.ok());
   std::set<std::string> full_set = NodeSet(full->anonymous_nodes);
 
@@ -402,7 +402,7 @@ TEST(GovernedSearchTest, MemoryTripYieldsConfirmedSubsetOfFullAnswer) {
     ExecutionGovernor governor;
     governor.SetMemoryLimitBytes(limit);
     PartialResult<BottomUpResult> run =
-        RunBottomUpBfs(data.table, data.qid, config, {}, governor);
+        RunBottomUpBfs(data.table, data.qid, config, {}, RunContext::Governed(governor));
     ASSERT_FALSE(run.hard_error()) << run.status().ToString();
     if (run.partial()) {
       saw_partial = true;
@@ -429,7 +429,7 @@ TEST(GovernedSearchTest, IncognitoMemoryTripReleasesAllCharges) {
     ExecutionGovernor governor;
     governor.SetMemoryLimitBytes(limit);
     PartialResult<IncognitoResult> run =
-        RunIncognito(data.table, data.qid, config, {}, governor);
+        RunIncognito(data.table, data.qid, config, {}, RunContext::Governed(governor));
     ASSERT_FALSE(run.hard_error()) << run.status().ToString();
     if (run.partial()) {
       EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
@@ -473,7 +473,7 @@ TEST(GovernedModelsTest, MondrianPartialViewIsStillKAnonymous) {
   ExecutionGovernor governor;
   governor.SetDeadline(Deadline::AfterMillis(0));
   PartialResult<MondrianResult> run =
-      RunMondrian(data.table, data.qid, config, governor);
+      RunMondrian(data.table, data.qid, config, RunContext::Governed(governor));
   ASSERT_TRUE(run.partial()) << run.status().ToString();
   // Graceful degradation: every tuple is released, just under a coarser
   // (possibly unsplit) partitioning — and each group still has >= k rows.
@@ -499,7 +499,7 @@ TEST(GovernedModelsTest, DataflyPartialHasEmptyView) {
   ExecutionGovernor governor;
   governor.SetDeadline(Deadline::AfterMillis(0));
   PartialResult<DataflyResult> run =
-      RunDatafly(data.table, data.qid, config, governor);
+      RunDatafly(data.table, data.qid, config, RunContext::Governed(governor));
   ASSERT_TRUE(run.partial());
   // The intermediate recoding is not k-anonymous, so nothing is released.
   EXPECT_EQ(run->view.num_rows(), 0u);
@@ -606,30 +606,45 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
   auto run_searches = [&](std::vector<Status>* outcomes) {
     {
       ExecutionGovernor g;
-      outcomes->push_back(
-          RunIncognito(search.table, search.qid, search_config, {}, g)
-              .status());
+      outcomes->push_back(RunIncognito(search.table, search.qid,
+                                       search_config, {},
+                                       RunContext::Governed(g))
+                              .status());
     }
     {
       ExecutionGovernor g;
-      outcomes->push_back(
-          RunIncognito(search.table, search.qid, search_config, cube_opts, g)
-              .status());
+      outcomes->push_back(RunIncognito(search.table, search.qid,
+                                       search_config, cube_opts,
+                                       RunContext::Governed(g))
+                              .status());
     }
     {
       ExecutionGovernor g;
       outcomes->push_back(RunBottomUpBfs(search.table, search.qid,
-                                         search_config, rollup_opts, g)
-                             .status());
+                                         search_config, rollup_opts,
+                                         RunContext::Governed(g))
+                              .status());
     }
     {
       // The governed parallel cube search reaches the intra-node sites:
       // the parallel root scan (freq.scan.chunk) and the DAG-scheduled
-      // projections (cube.project).
+      // projections (cube.project). Pipelined scheduling (the default)
+      // additionally reaches the subset-DAG dispatch site
+      // (incognito.subset.schedule).
       ExecutionGovernor g;
       outcomes->push_back(RunIncognitoParallel(search.table, search.qid,
-                                               search_config, cube_opts, g,
-                                               /*num_threads=*/4)
+                                               search_config, cube_opts,
+                                               RunContext::Governed(g, 4))
+                              .status());
+    }
+    {
+      // The barrier schedule stays covered too.
+      ExecutionGovernor g;
+      RunContext barrier = RunContext::Governed(g, 4);
+      barrier.scheduling = SchedulingMode::kBarrier;
+      outcomes->push_back(RunIncognitoParallel(search.table, search.qid,
+                                               search_config, cube_opts,
+                                               barrier)
                               .status());
     }
   };
@@ -643,7 +658,7 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
   }
   for (const char* compute_site :
        {"cube.build", "cube.project", "freq.scan.chunk", "incognito.rollup",
-        "bottom_up.rollup"}) {
+        "incognito.subset.schedule", "bottom_up.rollup"}) {
     EXPECT_GE(FaultInjector::Global().HitCount(compute_site), 1)
         << "battery searches never reach " << compute_site;
   }
@@ -701,7 +716,7 @@ TEST_F(FaultPointTest, RandomFaultsNeverCrashTheSearch) {
     FaultInjector::Global().EnableRandom(seed, 0.05);
     ExecutionGovernor governor;
     PartialResult<IncognitoResult> run =
-        RunIncognito(data.table, data.qid, config, {}, governor);
+        RunIncognito(data.table, data.qid, config, {}, RunContext::Governed(governor));
     // Any outcome is acceptable as long as it is a clean Status and the
     // byte accounting balances.
     if (!run.complete()) {

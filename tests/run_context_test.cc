@@ -1,0 +1,370 @@
+// Differential tests for the RunContext API redesign (core/run_context.h,
+// docs/API.md): every unified Run* entry point called with
+// RunContext::Governed(governor) must be indistinguishable from the
+// deprecated pre-RunContext governed overload, and a default-constructed
+// context must reproduce the ungoverned call (complete result, zero trip
+// counters). Also covers the two entry points that GAINED governed
+// execution in the redesign — RunKOptimize and RunLDiversityIncognito —
+// including their documented partial contracts.
+
+#include "core/run_context.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/binary_search.h"
+#include "core/bottom_up.h"
+#include "core/incognito.h"
+#include "core/ldiversity.h"
+#include "core/parallel.h"
+#include "data/patients.h"
+#include "models/cell_suppression.h"
+#include "models/datafly.h"
+#include "models/koptimize.h"
+#include "models/mondrian.h"
+#include "models/ordered_set.h"
+#include "robust/governor.h"
+#include "robust/partial_result.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::NodeSet;
+using testing_util::RandomDataset;
+
+/// Canonical comparable form of a released view: one string per row.
+std::vector<std::string> ViewRows(const Table& view) {
+  std::vector<std::string> rows;
+  rows.reserve(view.num_rows());
+  for (size_t r = 0; r < view.num_rows(); ++r) {
+    std::string row;
+    for (size_t c = 0; c < view.num_columns(); ++c) {
+      row += view.GetValue(r, c).ToString();
+      row += '|';
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+RandomDataset Fixture() {
+  Rng rng(4242);
+  return MakeRandomDataset(rng);
+}
+
+AnonymizationConfig Config() {
+  AnonymizationConfig config;
+  config.k = 2;
+  return config;
+}
+
+// The legacy side of each differential calls the deprecated shim on
+// purpose; this file is the one place those warnings are expected. Under
+// -DINCOGNITO_LEGACY_API=OFF the shims don't exist, so the differentials
+// compile out with them (the default-context and new-governed-entry-point
+// tests below still run).
+#if !defined(INCOGNITO_NO_LEGACY_API)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(RunContextDifferentialTest, IncognitoGovernedContextMatchesLegacyShim) {
+  RandomDataset data = Fixture();
+  ExecutionGovernor modern_governor;
+  PartialResult<IncognitoResult> modern =
+      RunIncognito(data.table, data.qid, Config(), {},
+                   RunContext::Governed(modern_governor));
+  ExecutionGovernor legacy_governor;
+  PartialResult<IncognitoResult> legacy =
+      RunIncognito(data.table, data.qid, Config(), {}, legacy_governor);
+  ASSERT_TRUE(modern.complete());
+  ASSERT_TRUE(legacy.complete());
+  EXPECT_EQ(NodeSet(modern->anonymous_nodes), NodeSet(legacy->anonymous_nodes));
+  EXPECT_EQ(modern->completed_iterations, legacy->completed_iterations);
+  EXPECT_EQ(modern->stats.nodes_checked, legacy->stats.nodes_checked);
+}
+
+TEST(RunContextDifferentialTest, ParallelGovernedContextMatchesLegacyShim) {
+  // The legacy shim pins kBarrier; compare against an explicit kBarrier
+  // context (pipelined-vs-barrier identity is parallel_test's job).
+  RandomDataset data = Fixture();
+  ExecutionGovernor modern_governor;
+  RunContext ctx = RunContext::Governed(modern_governor, 4);
+  ctx.scheduling = SchedulingMode::kBarrier;
+  PartialResult<IncognitoResult> modern =
+      RunIncognitoParallel(data.table, data.qid, Config(), {}, ctx);
+  ExecutionGovernor legacy_governor;
+  PartialResult<IncognitoResult> legacy = RunIncognitoParallel(
+      data.table, data.qid, Config(), {}, legacy_governor, 4);
+  ASSERT_TRUE(modern.complete());
+  ASSERT_TRUE(legacy.complete());
+  EXPECT_EQ(NodeSet(modern->anonymous_nodes), NodeSet(legacy->anonymous_nodes));
+  EXPECT_EQ(modern->stats.nodes_checked, legacy->stats.nodes_checked);
+  EXPECT_EQ(modern->stats.parallel_workers, legacy->stats.parallel_workers);
+}
+
+TEST(RunContextDifferentialTest, ParallelUngovernedShimMatchesWithThreads) {
+  RandomDataset data = Fixture();
+  PartialResult<IncognitoResult> modern = RunIncognitoParallel(
+      data.table, data.qid, Config(), {}, RunContext::WithThreads(4));
+  Result<IncognitoResult> legacy =
+      RunIncognitoParallel(data.table, data.qid, Config(), {}, 4);
+  ASSERT_TRUE(modern.complete());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(NodeSet(modern->anonymous_nodes), NodeSet(legacy->anonymous_nodes));
+  EXPECT_EQ(modern->stats.nodes_checked, legacy->stats.nodes_checked);
+}
+
+TEST(RunContextDifferentialTest, BottomUpGovernedContextMatchesLegacyShim) {
+  RandomDataset data = Fixture();
+  ExecutionGovernor modern_governor;
+  PartialResult<BottomUpResult> modern =
+      RunBottomUpBfs(data.table, data.qid, Config(), {},
+                     RunContext::Governed(modern_governor));
+  ExecutionGovernor legacy_governor;
+  PartialResult<BottomUpResult> legacy =
+      RunBottomUpBfs(data.table, data.qid, Config(), {}, legacy_governor);
+  ASSERT_TRUE(modern.complete());
+  ASSERT_TRUE(legacy.complete());
+  EXPECT_EQ(NodeSet(modern->anonymous_nodes), NodeSet(legacy->anonymous_nodes));
+  EXPECT_EQ(modern->completed_heights, legacy->completed_heights);
+  EXPECT_EQ(modern->stats.nodes_checked, legacy->stats.nodes_checked);
+}
+
+TEST(RunContextDifferentialTest, BinarySearchGovernedContextMatchesLegacyShim) {
+  RandomDataset data = Fixture();
+  ExecutionGovernor modern_governor;
+  PartialResult<BinarySearchResult> modern = RunSamaratiBinarySearch(
+      data.table, data.qid, Config(), RunContext::Governed(modern_governor));
+  ExecutionGovernor legacy_governor;
+  PartialResult<BinarySearchResult> legacy =
+      RunSamaratiBinarySearch(data.table, data.qid, Config(), legacy_governor);
+  ASSERT_TRUE(modern.complete());
+  ASSERT_TRUE(legacy.complete());
+  EXPECT_EQ(modern->found, legacy->found);
+  EXPECT_EQ(modern->node.ToString(), legacy->node.ToString());
+  EXPECT_EQ(NodeSet(modern->all_at_minimal_height),
+            NodeSet(legacy->all_at_minimal_height));
+}
+
+TEST(RunContextDifferentialTest, DataflyGovernedContextMatchesLegacyShim) {
+  RandomDataset data = Fixture();
+  ExecutionGovernor modern_governor;
+  PartialResult<DataflyResult> modern = RunDatafly(
+      data.table, data.qid, Config(), RunContext::Governed(modern_governor));
+  ExecutionGovernor legacy_governor;
+  PartialResult<DataflyResult> legacy =
+      RunDatafly(data.table, data.qid, Config(), legacy_governor);
+  ASSERT_TRUE(modern.complete());
+  ASSERT_TRUE(legacy.complete());
+  EXPECT_EQ(modern->node.ToString(), legacy->node.ToString());
+  EXPECT_EQ(ViewRows(modern->view), ViewRows(legacy->view));
+  EXPECT_EQ(modern->suppressed_tuples, legacy->suppressed_tuples);
+}
+
+TEST(RunContextDifferentialTest, MondrianGovernedContextMatchesLegacyShim) {
+  RandomDataset data = Fixture();
+  ExecutionGovernor modern_governor;
+  PartialResult<MondrianResult> modern = RunMondrian(
+      data.table, data.qid, Config(), RunContext::Governed(modern_governor));
+  ExecutionGovernor legacy_governor;
+  PartialResult<MondrianResult> legacy =
+      RunMondrian(data.table, data.qid, Config(), legacy_governor);
+  ASSERT_TRUE(modern.complete());
+  ASSERT_TRUE(legacy.complete());
+  EXPECT_EQ(modern->num_partitions, legacy->num_partitions);
+  EXPECT_EQ(ViewRows(modern->view), ViewRows(legacy->view));
+}
+
+TEST(RunContextDifferentialTest, OrderedSetGovernedContextMatchesLegacyShim) {
+  RandomDataset data = Fixture();
+  ExecutionGovernor modern_governor;
+  PartialResult<OrderedSetResult> modern = RunOrderedSetPartition(
+      data.table, data.qid, Config(), RunContext::Governed(modern_governor));
+  ExecutionGovernor legacy_governor;
+  PartialResult<OrderedSetResult> legacy =
+      RunOrderedSetPartition(data.table, data.qid, Config(), legacy_governor);
+  ASSERT_TRUE(modern.complete());
+  ASSERT_TRUE(legacy.complete());
+  EXPECT_EQ(ViewRows(modern->view), ViewRows(legacy->view));
+  EXPECT_EQ(modern->intervals_per_attribute, legacy->intervals_per_attribute);
+}
+
+TEST(RunContextDifferentialTest,
+     CellSuppressionGovernedContextMatchesLegacyShim) {
+  RandomDataset data = Fixture();
+  ExecutionGovernor modern_governor;
+  PartialResult<CellSuppressionResult> modern = RunCellSuppression(
+      data.table, data.qid, Config(), RunContext::Governed(modern_governor));
+  ExecutionGovernor legacy_governor;
+  PartialResult<CellSuppressionResult> legacy =
+      RunCellSuppression(data.table, data.qid, Config(), legacy_governor);
+  ASSERT_TRUE(modern.complete());
+  ASSERT_TRUE(legacy.complete());
+  EXPECT_EQ(ViewRows(modern->view), ViewRows(legacy->view));
+  EXPECT_EQ(modern->cells_suppressed, legacy->cells_suppressed);
+  EXPECT_EQ(modern->tuples_suppressed, legacy->tuples_suppressed);
+}
+
+#pragma GCC diagnostic pop
+#endif  // !defined(INCOGNITO_NO_LEGACY_API)
+
+// ---------------------------------------------------------------------------
+// Default context ≡ legacy ungoverned call
+// ---------------------------------------------------------------------------
+
+TEST(RunContextDefaultTest, DefaultContextRunsUngovernedAndComplete) {
+  // The old ungoverned overloads were subsumed by the defaulted ctx
+  // parameter, so "legacy ungoverned" IS the default-context call; the
+  // observable contract is a complete() result with zero trip counters.
+  RandomDataset data = Fixture();
+  PartialResult<IncognitoResult> r =
+      RunIncognito(data.table, data.qid, Config());
+  ASSERT_TRUE(r.complete());
+  EXPECT_EQ(r->stats.governor_checks, 0);
+  EXPECT_EQ(r->completed_iterations,
+            static_cast<int64_t>(data.qid.size()));
+  PartialResult<DataflyResult> d = RunDatafly(data.table, data.qid, Config());
+  ASSERT_TRUE(d.complete());
+  EXPECT_EQ(d->stats.governor_checks, 0);
+}
+
+TEST(RunContextDefaultTest, GenerousGovernedContextMatchesDefaultContext) {
+  // A governor nobody trips must not change any answer.
+  RandomDataset data = Fixture();
+  PartialResult<IncognitoResult> plain =
+      RunIncognito(data.table, data.qid, Config());
+  ASSERT_TRUE(plain.complete());
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 33);
+  PartialResult<IncognitoResult> governed = RunIncognito(
+      data.table, data.qid, Config(), {}, RunContext::Governed(governor));
+  ASSERT_TRUE(governed.complete()) << governed.status().ToString();
+  EXPECT_EQ(NodeSet(plain->anonymous_nodes), NodeSet(governed->anonymous_nodes));
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// RunKOptimize under a RunContext (new governed entry point)
+// ---------------------------------------------------------------------------
+
+TEST(RunContextKOptimizeTest, GenerousBudgetMatchesUngoverned) {
+  RandomDataset data = Fixture();
+  PartialResult<KOptimizeResult> plain =
+      RunKOptimize(data.table, data.qid, Config());
+  ASSERT_TRUE(plain.complete()) << plain.status().ToString();
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 33);
+  PartialResult<KOptimizeResult> governed = RunKOptimize(
+      data.table, data.qid, Config(), {}, RunContext::Governed(governor));
+  ASSERT_TRUE(governed.complete()) << governed.status().ToString();
+  EXPECT_EQ(plain->cost, governed->cost);
+  EXPECT_EQ(plain->cuts, governed->cuts);
+  EXPECT_EQ(ViewRows(plain->view), ViewRows(governed->view));
+  EXPECT_EQ(plain->nodes_visited, governed->nodes_visited);
+  // The charged frequency set was released on the way out.
+  EXPECT_EQ(governor.memory().used(), 0);
+  EXPECT_GT(governed->stats.governor_checks, 0);
+}
+
+TEST(RunContextKOptimizeTest, DeadlineTripMaterializesBestSoFarMask) {
+  // Partial contract (models/koptimize.h): a trip releases the best cut
+  // set found so far — a sound k-anonymous view, just not provably
+  // optimal. Deadline zero trips before any cut is added, so the
+  // materialized view is the fully-generalized (empty cut set) release.
+  RandomDataset data = Fixture();
+  ExecutionGovernor governor;
+  governor.SetDeadline(Deadline::AfterMillis(0));
+  PartialResult<KOptimizeResult> r = RunKOptimize(
+      data.table, data.qid, Config(), {}, RunContext::Governed(governor));
+  ASSERT_TRUE(r.partial()) << r.status().ToString();
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // The partial view exists and covers every released (non-suppressed)
+  // tuple of the input.
+  EXPECT_EQ(static_cast<int64_t>(r->view.num_rows()) + r->suppressed_tuples,
+            static_cast<int64_t>(data.table.num_rows()));
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(RunContextKOptimizeTest, MaxNodesAbortStaysAHardError) {
+  // The options.max_nodes safety valve is NOT governance: an un-governed
+  // abort proves nothing, so it must stay a hard Internal error even
+  // under a governed context.
+  RandomDataset data = Fixture();
+  KOptimizeOptions options;
+  options.max_nodes = 1;
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 33);
+  PartialResult<KOptimizeResult> r = RunKOptimize(
+      data.table, data.qid, Config(), options, RunContext::Governed(governor));
+  EXPECT_TRUE(r.hard_error());
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// RunLDiversityIncognito under a RunContext (new governed entry point)
+// ---------------------------------------------------------------------------
+
+LDiversityConfig DiversityConfig() {
+  LDiversityConfig config;
+  config.k = 2;
+  config.l = 2;
+  config.sensitive_attribute = "Disease";
+  return config;
+}
+
+TEST(RunContextLDiversityTest, GenerousBudgetMatchesUngoverned) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  PartialResult<LDiversityResult> plain =
+      RunLDiversityIncognito(ds->table, ds->qid, DiversityConfig());
+  ASSERT_TRUE(plain.complete()) << plain.status().ToString();
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 33);
+  PartialResult<LDiversityResult> governed = RunLDiversityIncognito(
+      ds->table, ds->qid, DiversityConfig(), RunContext::Governed(governor));
+  ASSERT_TRUE(governed.complete()) << governed.status().ToString();
+  EXPECT_EQ(NodeSet(plain->diverse_nodes), NodeSet(governed->diverse_nodes));
+  EXPECT_EQ(plain->completed_iterations, governed->completed_iterations);
+  EXPECT_EQ(plain->stats.nodes_checked, governed->stats.nodes_checked);
+  // Every charged sensitive frequency set was released (including the
+  // stored rollup sources).
+  EXPECT_EQ(governor.memory().used(), 0);
+  EXPECT_GT(governed->stats.governor_checks, 0);
+}
+
+TEST(RunContextLDiversityTest, DeadlineTripYieldsDocumentedPartial) {
+  // Partial contract (core/ldiversity.h): diverse_nodes EMPTY,
+  // completed_iterations records the fully-processed subset sizes.
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  ExecutionGovernor governor;
+  governor.SetDeadline(Deadline::AfterMillis(0));
+  PartialResult<LDiversityResult> r = RunLDiversityIncognito(
+      ds->table, ds->qid, DiversityConfig(), RunContext::Governed(governor));
+  ASSERT_TRUE(r.partial()) << r.status().ToString();
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(r->diverse_nodes.empty());
+  EXPECT_EQ(r->completed_iterations, 0);
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(RunContextLDiversityTest, TinyMemoryBudgetTripsCleanly) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(1);  // the first frequency set refuses
+  PartialResult<LDiversityResult> r = RunLDiversityIncognito(
+      ds->table, ds->qid, DiversityConfig(), RunContext::Governed(governor));
+  ASSERT_TRUE(r.partial()) << r.status().ToString();
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(r->diverse_nodes.empty());
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+}  // namespace
+}  // namespace incognito

@@ -41,7 +41,7 @@ class ShapesTest : public ::testing::Test {
     config.k = k;
     IncognitoOptions opts;
     opts.variant = variant;
-    Result<IncognitoResult> r =
+    PartialResult<IncognitoResult> r =
         RunIncognito(ds.table, ds.qid.Prefix(qid), config, opts);
     EXPECT_TRUE(r.ok());
     return r->stats;
@@ -53,7 +53,7 @@ class ShapesTest : public ::testing::Test {
     config.k = k;
     BottomUpOptions opts;
     opts.use_rollup = rollup;
-    Result<BottomUpResult> r =
+    PartialResult<BottomUpResult> r =
         RunBottomUpBfs(ds.table, ds.qid.Prefix(qid), config, opts);
     EXPECT_TRUE(r.ok());
     return r->stats;
@@ -135,7 +135,7 @@ TEST_F(ShapesTest, CheckedNodesFallAsKGrows) {
 TEST_F(ShapesTest, BinarySearchChecksFewerThanExhaustive) {
   AnonymizationConfig config;
   config.k = 2;
-  Result<BinarySearchResult> bs =
+  PartialResult<BinarySearchResult> bs =
       RunSamaratiBinarySearch(adults_->table, adults_->qid.Prefix(5), config);
   ASSERT_TRUE(bs.ok());
   ASSERT_TRUE(bs->found);
@@ -150,7 +150,7 @@ TEST_F(ShapesTest, SolutionSetShrinksAsKGrows) {
   for (int64_t k : {2, 10, 50}) {
     AnonymizationConfig config;
     config.k = k;
-    Result<IncognitoResult> r =
+    PartialResult<IncognitoResult> r =
         RunIncognito(landsend_->table, landsend_->qid.Prefix(4), config);
     ASSERT_TRUE(r.ok());
     EXPECT_LE(r->anonymous_nodes.size(), previous);

@@ -26,15 +26,19 @@
 //   --report=FILE    write a machine-readable RunReport JSON (config,
 //                    dataset shape, counters, per-phase span rollups)
 //
-// Parallel search (check, enumerate, anonymize):
+// Parallel search (check, enumerate, anonymize, models):
 //   --threads=N      evaluate each lattice level — and, inside a node, the
 //                    frequency-set scan and the cube build — with N worker
 //                    threads (1-256; results are bit-identical to the
 //                    serial search, see docs/PARALLELISM.md)
+//   --schedule=S     scheduler for the multi-threaded search: pipelined
+//                    (default; subset-DAG pipelining, see
+//                    docs/PARALLELISM.md "Pipelined subset DAG") or
+//                    barrier (level-synchronous)
 //   --variant=V      Incognito variant: basic (default), superroots, or
 //                    cube (enumerate, anonymize)
 //
-// Resource governance (check, enumerate, anonymize):
+// Resource governance (check, enumerate, anonymize, models):
 //   --deadline-ms=N       stop the search after N milliseconds
 //   --memory-budget-mb=N  cap the search's accounted structures at N MiB
 //   --on-budget=fail      (default) a tripped budget exits with code 5
@@ -42,6 +46,15 @@
 //                         before the trip (exit 0, warning on stderr)
 //   --fault-script=SPEC   arm the fault injector ("SITE:N" or
 //                         "rand:SEED:PROB"; needs -DINCOGNITO_FAULTS=ON)
+//
+// All execution flags flow through one RunContext (core/run_context.h,
+// docs/API.md) handed to every Run* entry point.
+//
+// Model comparison (models):
+//   --model=NAME     run only the named model (incognito, datafly,
+//                    subtree, ordered-set, mondrian, subgraph,
+//                    cell-suppression, cell-generalization, koptimize);
+//                    default runs all of them
 //
 // Exit codes (docs/ROBUSTNESS.md):
 //   0  success            3  invalid input / bad flag value
@@ -70,6 +83,7 @@
 #include "core/ldiversity.h"
 #include "core/minimality.h"
 #include "core/recoder.h"
+#include "core/run_context.h"
 #include "freq/sensitive_frequency_set.h"
 #include "hierarchy/builders.h"
 #include "hierarchy/csv_hierarchy.h"
@@ -78,6 +92,7 @@
 #include "models/cell_generalization.h"
 #include "models/cell_suppression.h"
 #include "models/datafly.h"
+#include "models/koptimize.h"
 #include "models/mondrian.h"
 #include "models/ordered_set.h"
 #include "models/subgraph.h"
@@ -228,6 +243,23 @@ struct GovernanceOptions {
       governor->SetMemoryLimitBytes(memory_budget_mb * (1ll << 20));
     }
   }
+
+  /// Assembles the RunContext every Run* call in a subcommand shares.
+  /// `governor` is the caller's stack slot (the context only borrows it);
+  /// it is armed and attached only when a budget flag was given. Trips
+  /// latch, so governed subcommands making several runs arm a fresh
+  /// governor per run.
+  RunContext MakeContext(ExecutionGovernor* governor, int num_threads,
+                         SchedulingMode schedule) const {
+    RunContext ctx;
+    if (enabled) {
+      Apply(governor);
+      ctx.governor = governor;
+    }
+    ctx.num_threads = num_threads;
+    ctx.scheduling = schedule;
+    return ctx;
+  }
 };
 
 Result<GovernanceOptions> ParseGovernance(
@@ -291,6 +323,17 @@ Result<IncognitoOptions> ParseRunOptions(
     }
   }
   return opts;
+}
+
+/// The --schedule flag: which scheduler drives a multi-threaded search.
+/// Default pipelined; ignored (harmlessly) by single-threaded runs.
+Result<SchedulingMode> ParseSchedule(
+    const std::map<std::string, std::string>& args) {
+  std::string schedule = Get(args, "schedule", "pipelined");
+  if (schedule == "pipelined") return SchedulingMode::kPipelined;
+  if (schedule == "barrier") return SchedulingMode::kBarrier;
+  return Status::InvalidArgument("bad --schedule value '" + schedule +
+                                 "' (want pipelined or barrier)");
 }
 
 std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
@@ -511,19 +554,14 @@ int CmdEnumerate(const std::map<std::string, std::string>& args,
   if (!gov.ok()) return Fail(gov.status());
   Result<IncognitoOptions> run_opts = ParseRunOptions(args);
   if (!run_opts.ok()) return Fail(run_opts.status());
+  Result<SchedulingMode> schedule = ParseSchedule(args);
+  if (!schedule.ok()) return Fail(schedule.status());
   AnonymizationConfig config = ConfigFrom(args);
-  PartialResult<IncognitoResult> result = [&] {
-    if (gov->enabled) {
-      ExecutionGovernor governor;
-      gov->Apply(&governor);
-      return RunIncognito(problem->table, problem->qid, config, *run_opts,
-                          governor);
-    }
-    Result<IncognitoResult> full =
-        RunIncognito(problem->table, problem->qid, config, *run_opts);
-    if (!full.ok()) return PartialResult<IncognitoResult>(full.status());
-    return PartialResult<IncognitoResult>(std::move(full).value());
-  }();
+  ExecutionGovernor governor;
+  RunContext ctx =
+      gov->MakeContext(&governor, run_opts->num_threads, schedule.value());
+  PartialResult<IncognitoResult> result =
+      RunIncognito(problem->table, problem->qid, config, *run_opts, ctx);
   if (result.hard_error()) return Fail(result.status());
   if (result.partial()) {
     if (!gov->partial_ok) {
@@ -564,6 +602,8 @@ int CmdAnonymize(const std::map<std::string, std::string>& args,
   if (!gov.ok()) return Fail(gov.status());
   Result<IncognitoOptions> run_opts = ParseRunOptions(args);
   if (!run_opts.ok()) return Fail(run_opts.status());
+  Result<SchedulingMode> schedule = ParseSchedule(args);
+  if (!schedule.ok()) return Fail(schedule.status());
   AnonymizationConfig config = ConfigFrom(args);
   std::string output = Get(args, "output");
   if (output.empty()) {
@@ -576,18 +616,11 @@ int CmdAnonymize(const std::map<std::string, std::string>& args,
     if (!node.ok()) return Fail(node.status());
     chosen = std::move(node).value();
   } else {
-    PartialResult<IncognitoResult> result = [&] {
-      if (gov->enabled) {
-        ExecutionGovernor governor;
-        gov->Apply(&governor);
-        return RunIncognito(problem->table, problem->qid, config, *run_opts,
-                            governor);
-      }
-      Result<IncognitoResult> full =
-          RunIncognito(problem->table, problem->qid, config, *run_opts);
-      if (!full.ok()) return PartialResult<IncognitoResult>(full.status());
-      return PartialResult<IncognitoResult>(std::move(full).value());
-    }();
+    ExecutionGovernor governor;
+    RunContext ctx =
+        gov->MakeContext(&governor, run_opts->num_threads, schedule.value());
+    PartialResult<IncognitoResult> result =
+        RunIncognito(problem->table, problem->qid, config, *run_opts, ctx);
     if (result.hard_error()) return Fail(result.status());
     obs->RecordStats(result->stats);
     if (result.partial()) {
@@ -667,6 +700,12 @@ int CmdModels(const std::map<std::string, std::string>& args,
   Result<LoadedProblem> problem = Load(args);
   if (!problem.ok()) return Fail(problem.status());
   obs->RecordShape(problem->table, problem->qid);
+  Result<GovernanceOptions> gov = ParseGovernance(args);
+  if (!gov.ok()) return Fail(gov.status());
+  Result<IncognitoOptions> run_opts = ParseRunOptions(args);
+  if (!run_opts.ok()) return Fail(run_opts.status());
+  Result<SchedulingMode> schedule = ParseSchedule(args);
+  if (!schedule.ok()) return Fail(schedule.status());
   AnonymizationConfig config = ConfigFrom(args);
   std::vector<std::string> cols;
   for (size_t i = 0; i < problem->qid.size(); ++i) {
@@ -680,51 +719,126 @@ int CmdModels(const std::map<std::string, std::string>& args,
            static_cast<long long>(q->num_classes), q->avg_class_size,
            q->discernibility, static_cast<long long>(q->suppressed));
   };
+  // --model=NAME filter; `matched` distinguishes a filtered-out model
+  // list from a typo in the name (the latter exits 3 below).
+  const std::string only = Get(args, "model");
+  bool matched = false;
+  auto wanted = [&](const char* name) {
+    if (!only.empty() && only != name) return false;
+    matched = true;
+    return true;
+  };
+  // Applies the --on-budget policy to one governed model run: hard errors
+  // and (without --on-budget=partial) budget trips skip the row with a
+  // note; accepted partials carry a warning. Returns whether the row's
+  // partial view may be reported (each model's partial contract is
+  // documented on its Run* entry point).
+  auto accept = [&](const char* model, const Status& status, bool partial) {
+    if (status.ok()) return true;
+    if (partial && gov->partial_ok) {
+      fprintf(stderr, "warning[%s]: %s; %s reports its partial release\n",
+              StatusCodeName(status.code()), status.message().c_str(),
+              model);
+      return true;
+    }
+    fprintf(stderr, "note: %s skipped (%s)\n", model,
+            status.ToString().c_str());
+    return false;
+  };
+  // Each governed run arms its own fresh governor (trips latch).
+  auto context = [&](ExecutionGovernor* governor) {
+    return gov->MakeContext(governor, run_opts->num_threads,
+                            schedule.value());
+  };
   printf("%-28s %9s %11s %14s %10s\n", "model", "classes", "avg class",
          "discern.", "suppressed");
-  {
-    Result<IncognitoResult> r =
-        RunIncognito(problem->table, problem->qid, config);
-    if (r.ok() && !r->anonymous_nodes.empty()) {
+  if (wanted("incognito")) {
+    ExecutionGovernor governor;
+    PartialResult<IncognitoResult> r = RunIncognito(
+        problem->table, problem->qid, config, *run_opts, context(&governor));
+    if (accept("full-domain (Incognito)", r.status(), r.partial()) &&
+        !r->anonymous_nodes.empty()) {
       SubsetNode minimal = MinimalByHeight(r->anonymous_nodes).front();
       Result<RecodeResult> view = ApplyFullDomainGeneralization(
           problem->table, problem->qid, minimal, config);
       if (view.ok()) report("full-domain (Incognito)", view->view);
     }
   }
-  {
-    Result<DataflyResult> r = RunDatafly(problem->table, problem->qid, config);
-    if (r.ok()) report("Datafly (greedy)", r->view);
+  if (wanted("datafly")) {
+    ExecutionGovernor governor;
+    PartialResult<DataflyResult> r = RunDatafly(
+        problem->table, problem->qid, config, context(&governor));
+    // Datafly's partial contract releases an EMPTY view — nothing to rank.
+    if (r.ok()) {
+      report("Datafly (greedy)", r->view);
+    } else {
+      accept("Datafly (greedy)", r.status(), false);
+    }
   }
-  {
+  if (wanted("subtree")) {
+    // No governed entry point; always runs ungoverned.
     Result<SubtreeResult> r =
         RunGreedySubtree(problem->table, problem->qid, config);
     if (r.ok()) report("full-subtree (greedy)", r->view);
   }
-  {
-    Result<OrderedSetResult> r =
-        RunOrderedSetPartition(problem->table, problem->qid, config);
-    if (r.ok()) report("ordered-set partitioning", r->view);
+  if (wanted("ordered-set")) {
+    ExecutionGovernor governor;
+    PartialResult<OrderedSetResult> r = RunOrderedSetPartition(
+        problem->table, problem->qid, config, context(&governor));
+    // Partial contract releases an EMPTY view — nothing to rank.
+    if (r.ok()) {
+      report("ordered-set partitioning", r->view);
+    } else {
+      accept("ordered-set partitioning", r.status(), false);
+    }
   }
-  {
-    Result<MondrianResult> r =
-        RunMondrian(problem->table, problem->qid, config);
-    if (r.ok()) report("Mondrian multi-dimensional", r->view);
+  if (wanted("mondrian")) {
+    ExecutionGovernor governor;
+    PartialResult<MondrianResult> r = RunMondrian(
+        problem->table, problem->qid, config, context(&governor));
+    // Mondrian's partial view (fewer cuts applied) is still k-anonymous.
+    if (accept("Mondrian multi-dimensional", r.status(), r.partial())) {
+      report("Mondrian multi-dimensional", r->view);
+    }
   }
-  {
+  if (wanted("subgraph")) {
+    // No governed entry point; always runs ungoverned.
     Result<SubgraphResult> r =
         RunGreedySubgraph(problem->table, problem->qid, config);
     if (r.ok()) report("full-subgraph multi-dim", r->view);
   }
-  {
-    Result<CellSuppressionResult> r =
-        RunCellSuppression(problem->table, problem->qid, config);
-    if (r.ok()) report("cell suppression (local)", r->view);
+  if (wanted("cell-suppression")) {
+    ExecutionGovernor governor;
+    PartialResult<CellSuppressionResult> r = RunCellSuppression(
+        problem->table, problem->qid, config, context(&governor));
+    // Partial contract releases an EMPTY view — nothing to rank.
+    if (r.ok()) {
+      report("cell suppression (local)", r->view);
+    } else {
+      accept("cell suppression (local)", r.status(), false);
+    }
   }
-  {
+  if (wanted("cell-generalization")) {
+    // No governed entry point; always runs ungoverned.
     Result<CellGeneralizationResult> r =
         RunCellGeneralization(problem->table, problem->qid, config);
     if (r.ok()) report("cell generalization (local)", r->view);
+  }
+  if (wanted("koptimize")) {
+    ExecutionGovernor governor;
+    PartialResult<KOptimizeResult> r = RunKOptimize(
+        problem->table, problem->qid, config, {}, context(&governor));
+    // k-Optimize's partial view (best cut set found so far) is a sound
+    // k-anonymous release, just not provably optimal.
+    if (accept("k-Optimize (optimal 1-D)", r.status(), r.partial())) {
+      report("k-Optimize (optimal 1-D)", r->view);
+    }
+  }
+  if (!only.empty() && !matched) {
+    return Fail(Status::InvalidArgument(
+        "unknown --model value '" + only +
+        "' (want incognito, datafly, subtree, ordered-set, mondrian, "
+        "subgraph, cell-suppression, cell-generalization, or koptimize)"));
   }
   return 0;
 }

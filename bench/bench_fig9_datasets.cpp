@@ -11,14 +11,25 @@
 //                           QID and write a machine-readable report)
 //        --threads=N       (cap for the parallel speedup sweep, default 8;
 //                           the sweep runs at 1, 2, 4, ... up to the cap)
+//        --trace=FILE      (write a Chrome trace_event JSON of the timed
+//                           runs; the scheduler swimlanes live under the
+//                           pid-2 "scheduler" process, one tid per worker —
+//                           docs/OBSERVABILITY.md has the viewing recipe)
+//        --report=FILE     (write an obs::RunReport with the last pipelined
+//                           run's AlgorithmStats, worker_utilization, and
+//                           histogram percentiles)
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/parallel.h"
 #include "data/adults.h"
 #include "data/landsend.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 using namespace incognito;
 using namespace incognito::bench;
@@ -65,7 +76,17 @@ int main(int argc, char** argv) {
   landsend_opts.num_rows = static_cast<size_t>(
       flags.GetInt("landsend_rows", quick ? 20000 : 200000));
   int64_t max_threads = flags.GetInt("threads", 8);
+  std::string trace_path = flags.GetString("trace", "");
+  std::string report_path = flags.GetString("report", "");
   if (!flags.CheckUnknown()) return 2;
+
+  std::string command;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) command += " ";
+    command += argv[i];
+  }
+  obs::MetricsSnapshot start_metrics = obs::MetricsSnapshot::Take();
+  if (!trace_path.empty()) obs::TraceRecorder::Global().Enable();
 
   Result<SyntheticDataset> adults = MakeAdultsDataset(adults_opts);
   if (!adults.ok()) {
@@ -107,7 +128,15 @@ int main(int argc, char** argv) {
       "count grows (paper scale: 45,222 Adults\nrows, 4,591,581 Lands End "
       "rows — see --landsend_rows).\n");
 
-  if (report.enabled()) {
+  // The last successful parallel run feeds the --report summary: its
+  // AlgorithmStats and per-worker utilization become the RunReport body.
+  AlgorithmStats last_stats{};
+  std::vector<double> last_utilization;
+  bool have_parallel_run = false;
+
+  bool timed_section =
+      report.enabled() || !trace_path.empty() || !report_path.empty();
+  if (timed_section) {
     // The JSON report also carries a small algorithm comparison so one
     // BENCH_fig9_datasets.json captures dataset shape AND per-algorithm
     // wall time with per-phase counters.
@@ -143,6 +172,9 @@ int main(int argc, char** argv) {
         continue;
       }
       if (threads == 1) base_seconds = seconds;
+      last_stats = r->stats;
+      last_utilization = r->worker_utilization;
+      have_parallel_run = true;
       double speedup = seconds > 0 ? base_seconds / seconds : 0;
       printf("threads=%-2d  %10.3fs  speedup=%.2fx  solutions=%zu\n", threads,
              seconds, speedup, r->anonymous_nodes.size());
@@ -192,6 +224,9 @@ int main(int argc, char** argv) {
         fprintf(stderr, "schedule comparison (%d threads) failed\n", threads);
         continue;
       }
+      last_stats = p->stats;
+      last_utilization = p->worker_utilization;
+      have_parallel_run = true;
       double ratio =
           pipelined_seconds > 0 ? barrier_seconds / pipelined_seconds : 0;
       printf("threads=%-2d  barrier=%8.3fs  pipelined=%8.3fs  ratio=%.2fx\n",
@@ -203,6 +238,46 @@ int main(int argc, char** argv) {
       report.SetDerived(StringPrintf("pipeline_speedup_threads_%d", threads),
                         ratio);
     }
+  }
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  if (!report_path.empty()) {
+    obs::RunReport run_report("bench_fig9_datasets", command);
+    run_report.SetInt("threads", max_threads);
+    run_report.SetInt("adults_rows",
+                      static_cast<int64_t>(adults_opts.num_rows));
+    if (have_parallel_run) {
+      obs::AddAlgorithmStats(last_stats, &run_report);
+      if (!last_utilization.empty()) {
+        run_report.SetDoubleList("worker_utilization", last_utilization);
+      }
+    }
+    run_report.AddMetrics(
+        obs::MetricsSnapshot::Take().DeltaSince(start_metrics));
+    if (recorder.enabled()) {
+      run_report.AddSpans(recorder);
+      if (recorder.dropped_events() > 0) {
+        run_report.SetInt("trace_dropped_events",
+                          static_cast<int64_t>(recorder.dropped_events()));
+      }
+    }
+    Status written = run_report.WriteFile(report_path);
+    if (!written.ok()) {
+      fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    fprintf(stderr, "wrote report %s\n", report_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    Status written = recorder.WriteJson(trace_path);
+    recorder.Disable();
+    if (!written.ok()) {
+      fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    fprintf(stderr, "wrote trace %s (%zu events, %llu dropped)\n",
+            trace_path.c_str(), recorder.num_events(),
+            static_cast<unsigned long long>(recorder.dropped_events()));
   }
   return report.Write();
 }

@@ -273,15 +273,20 @@ class BenchReport {
           "     \"stats\": {\"nodes_checked\": %lld, \"nodes_marked\": %lld, "
           "\"table_scans\": %lld, \"rollups\": %lld, "
           "\"freq_groups_built\": %lld, \"candidate_nodes\": %lld, "
-          "\"cube_build_seconds\": %s, \"total_seconds\": %s}",
+          "\"tasks_scheduled\": %lld, \"cube_build_seconds\": %s, "
+          "\"total_seconds\": %s, \"critical_path_seconds\": %s, "
+          "\"scheduler_idle_seconds\": %s}",
           static_cast<long long>(e.stats.nodes_checked),
           static_cast<long long>(e.stats.nodes_marked),
           static_cast<long long>(e.stats.table_scans),
           static_cast<long long>(e.stats.rollups),
           static_cast<long long>(e.stats.freq_groups_built),
           static_cast<long long>(e.stats.candidate_nodes),
+          static_cast<long long>(e.stats.tasks_scheduled),
           obs::JsonDouble(e.stats.cube_build_seconds).c_str(),
-          obs::JsonDouble(e.stats.total_seconds).c_str());
+          obs::JsonDouble(e.stats.total_seconds).c_str(),
+          obs::JsonDouble(e.stats.critical_path_seconds).c_str(),
+          obs::JsonDouble(e.stats.scheduler_idle_seconds).c_str());
       out += AppendMetrics(e.metrics);
       out += "}";
     }
@@ -354,6 +359,23 @@ class BenchReport {
         out += StringPrintf("%s\"%s\": %s", first ? "" : ", ",
                             obs::JsonEscape(name).c_str(),
                             obs::JsonDouble(value).c_str());
+        first = false;
+      }
+      out += "}";
+    }
+    if (!metrics.histograms.empty()) {
+      out += ",\n     \"histograms\": {";
+      bool first = true;
+      for (const auto& [name, hist] : metrics.histograms) {
+        out += StringPrintf(
+            "%s\"%s\": {\"count\": %lld, \"p50_seconds\": %s, "
+            "\"p95_seconds\": %s, \"p99_seconds\": %s, \"max_seconds\": %s}",
+            first ? "" : ", ", obs::JsonEscape(name).c_str(),
+            static_cast<long long>(hist.count),
+            obs::JsonDouble(hist.PercentileSeconds(50)).c_str(),
+            obs::JsonDouble(hist.PercentileSeconds(95)).c_str(),
+            obs::JsonDouble(hist.PercentileSeconds(99)).c_str(),
+            obs::JsonDouble(hist.MaxSeconds()).c_str());
         first = false;
       }
       out += "}";

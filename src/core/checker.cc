@@ -38,13 +38,17 @@ void AlgorithmStats::MergeCounters(const AlgorithmStats& other) {
   memory_trips += other.memory_trips;
   cancel_trips += other.cancel_trips;
   parallel_workers = std::max(parallel_workers, other.parallel_workers);
+  tasks_scheduled += other.tasks_scheduled;
+  critical_path_seconds += other.critical_path_seconds;
+  scheduler_idle_seconds += other.scheduler_idle_seconds;
 }
 
 std::string AlgorithmStats::ToString() const {
   return StringPrintf(
       "checked=%lld marked=%lld scans=%lld rollups=%lld groups=%lld "
       "candidates=%lld cube=%.3fs total=%.3fs gov_checks=%lld "
-      "dl_trips=%lld mem_trips=%lld cancel_trips=%lld workers=%lld",
+      "dl_trips=%lld mem_trips=%lld cancel_trips=%lld workers=%lld "
+      "tasks=%lld critical_path=%.3fs idle=%.3fs",
       static_cast<long long>(nodes_checked),
       static_cast<long long>(nodes_marked),
       static_cast<long long>(table_scans), static_cast<long long>(rollups),
@@ -54,7 +58,9 @@ std::string AlgorithmStats::ToString() const {
       static_cast<long long>(deadline_trips),
       static_cast<long long>(memory_trips),
       static_cast<long long>(cancel_trips),
-      static_cast<long long>(parallel_workers));
+      static_cast<long long>(parallel_workers),
+      static_cast<long long>(tasks_scheduled), critical_path_seconds,
+      scheduler_idle_seconds);
 }
 
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
@@ -77,9 +83,14 @@ bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
 Result<bool> IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                           const SubsetNode& node,
                           const AnonymizationConfig& config,
-                          ExecutionGovernor& governor,
-                          AlgorithmStats* stats, int num_threads) {
+                          const RunContext& ctx, AlgorithmStats* stats) {
+  int num_threads = ctx.num_threads > 0 ? ctx.num_threads : 1;
+  if (ctx.governor == nullptr) {
+    return IsKAnonymous(table, qid, node, config, stats, num_threads);
+  }
+  ExecutionGovernor& governor = *ctx.governor;
   INCOGNITO_RETURN_IF_ERROR(governor.Check());
+  INCOGNITO_HIST_TIMER("checker.check_seconds");
   Stopwatch timer;
   FrequencySet fs = CheckScan(table, qid, node, num_threads, &governor);
   Status charge = governor.ChargeMemory(

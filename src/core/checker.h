@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/quasi_identifier.h"
+#include "core/run_context.h"
 #include "freq/frequency_set.h"
 #include "lattice/node.h"
 #include "relation/table.h"
@@ -50,6 +51,12 @@ struct AlgorithmStats {
   /// path. Merged with max, not sum — it describes the pool, not work.
   int64_t parallel_workers = 0;
 
+  // Scheduler telemetry derived from a parallel run's TaskTimeline
+  // (obs/timeline.h); zero on the serial path.
+  int64_t tasks_scheduled = 0;       ///< tasks the scheduler dispatched
+  double critical_path_seconds = 0;  ///< longest dependency chain of tasks
+  double scheduler_idle_seconds = 0; ///< worker-seconds spent waiting
+
   /// Merges accumulable costs from another stats object: every counter
   /// plus cube_build_seconds (a summable pre-computation cost). Only
   /// total_seconds is excluded — it is end-to-end wall clock, which does
@@ -70,17 +77,39 @@ bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                   const SubsetNode& node, const AnonymizationConfig& config,
                   AlgorithmStats* stats = nullptr, int num_threads = 1);
 
-/// Governed variant: polls `governor` before the scan and charges the
-/// frequency set's heap footprint against its memory budget (released after
-/// the check). Returns kDeadlineExceeded / kResourceExhausted / kCancelled
-/// instead of an answer when a budget trips. `num_threads` > 1 runs the
-/// scan across a worker pool with per-worker shard charges.
+/// RunContext variant (docs/API.md): ctx.governor (when non-null) is
+/// polled before the scan and charged the frequency set's heap footprint
+/// (released after the check); kDeadlineExceeded / kResourceExhausted /
+/// kCancelled replace the answer when a budget trips. An ungoverned
+/// context never trips. ctx.num_threads > 1 runs the scan across a worker
+/// pool with per-worker shard charges; ctx.scheduling is ignored (a single
+/// check has no lattice to schedule).
 Result<bool> IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                           const SubsetNode& node,
                           const AnonymizationConfig& config,
-                          ExecutionGovernor& governor,
-                          AlgorithmStats* stats = nullptr,
-                          int num_threads = 1);
+                          const RunContext& ctx,
+                          AlgorithmStats* stats = nullptr);
+
+#if !defined(INCOGNITO_NO_LEGACY_API)
+
+/// Deprecated pre-RunContext governed check; compiled out under
+/// -DINCOGNITO_LEGACY_API=OFF and scheduled for removal once external
+/// callers have migrated.
+[[deprecated(
+    "use IsKAnonymous(table, qid, node, config, "
+    "RunContext::Governed(governor)) — see docs/API.md")]]
+inline Result<bool> IsKAnonymous(const Table& table,
+                                 const QuasiIdentifier& qid,
+                                 const SubsetNode& node,
+                                 const AnonymizationConfig& config,
+                                 ExecutionGovernor& governor,
+                                 AlgorithmStats* stats = nullptr,
+                                 int num_threads = 1) {
+  return IsKAnonymous(table, qid, node, config,
+                      RunContext::Governed(governor, num_threads), stats);
+}
+
+#endif  // !defined(INCOGNITO_NO_LEGACY_API)
 
 }  // namespace incognito
 

@@ -77,6 +77,12 @@ struct IncognitoResult {
   /// leases are monotonic until drain, the sum of these marks never
   /// exceeds the governor's global memory limit (docs/PARALLELISM.md).
   std::vector<int64_t> shard_high_water_bytes;
+
+  /// Parallel runs only (empty otherwise): fraction of the run's makespan
+  /// each worker spent executing tasks, indexed by worker id (worker 0 is
+  /// the calling thread). Derived from the scheduler's TaskTimeline
+  /// (obs/timeline.h); empty when observability is compiled out.
+  std::vector<double> worker_utilization;
 };
 
 /// Runs Incognito: produces the set of ALL k-anonymous full-domain

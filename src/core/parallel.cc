@@ -17,6 +17,8 @@
 #include "lattice/candidate_gen.h"
 #include "lattice/graph_tables.h"
 #include "obs/obs.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "robust/fault_injector.h"
 
 namespace incognito {
@@ -622,6 +624,13 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
 
   WorkerPool pool(num_threads);
   const int workers = pool.size();
+#ifndef INCOGNITO_OBS_DISABLED
+  // Scheduler telemetry: barrier batches are recorded by the pool itself
+  // (one chunk event per worker per Run); the pipelined DAG detaches the
+  // pool and records one event per subset task instead.
+  obs::TaskTimeline timeline(workers);
+  pool.set_timeline(&timeline, "pool.chunk");
+#endif
   std::vector<std::unique_ptr<GovernorShard>> shards;
   shards.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
@@ -646,6 +655,19 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
     // Ungoverned runs leave the trip counters at zero, like the serial
     // ungoverned path.
     if (external != nullptr) external->ExportTrips(&result.stats);
+#ifndef INCOGNITO_OBS_DISABLED
+    pool.set_timeline(nullptr);
+    obs::TimelineStats timeline_stats = timeline.Derive();
+    result.stats.tasks_scheduled = timeline_stats.tasks;
+    result.stats.critical_path_seconds =
+        timeline_stats.critical_path_seconds;
+    result.stats.scheduler_idle_seconds =
+        timeline_stats.scheduler_idle_seconds;
+    result.worker_utilization = std::move(timeline_stats.worker_utilization);
+    if (obs::TraceRecorder::Global().enabled()) {
+      timeline.ExportTo(obs::TraceRecorder::Global());
+    }
+#endif
   };
 
   auto stop_early = [&](Status trip) -> PartialResult<IncognitoResult> {
@@ -701,6 +723,7 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
       CandidateGraph survivors;  // published survivor graph, adjacency built
       int remaining = 0;         // unpublished immediate sub-subsets
       bool done = false;
+      uint64_t ready_ns = 0;     // when the task became runnable (telemetry)
     };
     std::vector<SubsetTask> tasks(static_cast<size_t>(full) + 1);
     // Ready tasks in ascending (subset size, mask) order: small subsets
@@ -727,6 +750,15 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
       if (size == 1) ready.insert(m);
     }
 
+#ifndef INCOGNITO_OBS_DISABLED
+    // The DAG records one timeline event per subset task itself; detach
+    // the pool so the thread-group launch below isn't logged as one giant
+    // chunk per worker.
+    pool.set_timeline(nullptr);
+    const uint64_t dag_ready_ns = obs::TraceRecorder::NowNs();
+    for (uint32_t m : ready) tasks[m].ready_ns = dag_ready_ns;
+#endif
+
     std::mutex mu;
     std::condition_variable cv;
     bool stopped = false;
@@ -746,6 +778,10 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
         const uint32_t m = *ready.begin();
         ready.erase(ready.begin());
         const int size = __builtin_popcount(m);
+#ifndef INCOGNITO_OBS_DISABLED
+        const uint64_t task_enqueue_ns = tasks[m].ready_ns;
+        const uint64_t task_start_ns = obs::TraceRecorder::NowNs();
+#endif
         // Parent survivor graphs, gathered under the lock (they are
         // immutable once published; the lock's happens-before makes the
         // publication visible to this worker). parents[j] drops the j-th
@@ -791,6 +827,19 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
           }
         }
 
+#ifndef INCOGNITO_OBS_DISABLED
+        {
+          obs::TaskEvent event;
+          event.mask = m;
+          event.worker = w;
+          event.enqueue_ns = task_enqueue_ns;
+          event.start_ns = task_start_ns;
+          event.end_ns = obs::TraceRecorder::NowNs();
+          event.name = "subset";
+          timeline.Record(std::move(event));
+        }
+#endif
+
         lock.lock();
         if (!bad.ok()) {
           worker_status[static_cast<size_t>(w)] = bad;
@@ -807,12 +856,23 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
           for (size_t d = 0; d < n; ++d) {
             if (m & (1u << d)) continue;
             uint32_t child = m | (1u << d);
-            if (--tasks[child].remaining == 0) ready.insert(child);
+            if (--tasks[child].remaining == 0) {
+#ifndef INCOGNITO_OBS_DISABLED
+              tasks[child].ready_ns = obs::TraceRecorder::NowNs();
+#endif
+              ready.insert(child);
+            }
           }
         }
         if (remaining_tasks == 0 || !ready.empty()) cv.notify_all();
       }
     });
+
+#ifndef INCOGNITO_OBS_DISABLED
+    // The DAG is drained and the pool quiescent; the apex search below
+    // runs level-parallel, so its chunks go back through the pool.
+    pool.set_timeline(&timeline, "pool.chunk");
+#endif
 
     Status trip = governor->SharedTrip();
     if (trip.ok()) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/timeline.h"
+#include "obs/trace.h"
+
 namespace incognito {
 
 WorkerPool::WorkerPool(int num_threads) : size_(std::max(1, num_threads)) {
@@ -20,19 +23,48 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void WorkerPool::set_timeline(obs::TaskTimeline* timeline,
+                              const char* task_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timeline_ = timeline;
+  task_name_ = task_name != nullptr ? task_name : "chunk";
+}
+
 void WorkerPool::Run(size_t n,
                      const std::function<void(int, size_t, size_t)>& fn) {
   const size_t workers = static_cast<size_t>(size());
+  obs::TaskTimeline* timeline;
+  const char* task_name;
+  int64_t batch;
+  uint64_t enqueue_ns = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     n_ = n;
     fn_ = &fn;
     active_ = static_cast<int>(threads_.size());
     ++generation_;
+    batch = static_cast<int64_t>(generation_);
+    timeline = timeline_;
+    task_name = task_name_;
+    if (timeline != nullptr) {
+      enqueue_ns = enqueue_ns_ = obs::TraceRecorder::NowNs();
+    }
   }
   work_cv_.notify_all();
   // The caller is worker 0; its chunk runs on this thread.
-  fn(0, 0, n / workers);
+  if (timeline != nullptr) {
+    obs::TaskEvent event;
+    event.worker = 0;
+    event.batch = batch;
+    event.enqueue_ns = enqueue_ns;
+    event.name = task_name;
+    event.start_ns = obs::TraceRecorder::NowNs();
+    fn(0, 0, n / workers);
+    event.end_ns = obs::TraceRecorder::NowNs();
+    timeline->Record(std::move(event));
+  } else {
+    fn(0, 0, n / workers);
+  }
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return active_ == 0; });
   fn_ = nullptr;
@@ -44,6 +76,10 @@ void WorkerPool::WorkerLoop(int worker) {
   for (;;) {
     const std::function<void(int, size_t, size_t)>* fn;
     size_t n;
+    obs::TaskTimeline* timeline;
+    const char* task_name;
+    int64_t batch;
+    uint64_t enqueue_ns;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
@@ -52,9 +88,25 @@ void WorkerPool::WorkerLoop(int worker) {
       seen = generation_;
       fn = fn_;
       n = n_;
+      timeline = timeline_;
+      task_name = task_name_;
+      batch = static_cast<int64_t>(generation_);
+      enqueue_ns = enqueue_ns_;
     }
     const size_t w = static_cast<size_t>(worker);
-    (*fn)(worker, n * w / workers, n * (w + 1) / workers);
+    if (timeline != nullptr) {
+      obs::TaskEvent event;
+      event.worker = worker;
+      event.batch = batch;
+      event.enqueue_ns = enqueue_ns;
+      event.name = task_name;
+      event.start_ns = obs::TraceRecorder::NowNs();
+      (*fn)(worker, n * w / workers, n * (w + 1) / workers);
+      event.end_ns = obs::TraceRecorder::NowNs();
+      timeline->Record(std::move(event));
+    } else {
+      (*fn)(worker, n * w / workers, n * (w + 1) / workers);
+    }
     bool last;
     {
       std::lock_guard<std::mutex> lock(mu_);

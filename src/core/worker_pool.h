@@ -11,6 +11,10 @@
 
 namespace incognito {
 
+namespace obs {
+class TaskTimeline;
+}  // namespace obs
+
 /// A small fixed-size worker pool for level-synchronous lattice search and
 /// intra-node parallelism (docs/PARALLELISM.md). `num_threads` is the total
 /// evaluator count: the pool spawns num_threads - 1 persistent threads and
@@ -38,6 +42,16 @@ class WorkerPool {
   /// state the workers wrote once Run returns.
   void Run(size_t n, const std::function<void(int, size_t, size_t)>& fn);
 
+  /// Attaches a scheduler timeline: every subsequent Run records one
+  /// TaskEvent per worker chunk (batch = the Run's generation, so barrier
+  /// phases stay distinguishable), labeled `task_name` (must outlive the
+  /// pool, typically a string literal). nullptr detaches. Call only while
+  /// the pool is quiescent — the same discipline as Run itself. A detached
+  /// pool (the default) records nothing and pays one branch per Run.
+  void set_timeline(obs::TaskTimeline* timeline,
+                    const char* task_name = "chunk");
+  obs::TaskTimeline* timeline() const { return timeline_; }
+
  private:
   void WorkerLoop(int worker);
 
@@ -51,6 +65,11 @@ class WorkerPool {
   bool stop_ = false;
   size_t n_ = 0;
   const std::function<void(int, size_t, size_t)>* fn_ = nullptr;
+  // Timeline recording; timeline_/task_name_ are set while quiescent and
+  // read by workers under mu_ (enqueue_ns_ is per-Run, written under mu_).
+  obs::TaskTimeline* timeline_ = nullptr;
+  const char* task_name_ = "chunk";
+  uint64_t enqueue_ns_ = 0;
 };
 
 }  // namespace incognito

@@ -59,6 +59,7 @@ FrequencySet FrequencySet::Compute(const Table& table,
   assert(node.size() > 0);
   INCOGNITO_SPAN("freq.scan");
   INCOGNITO_PHASE_TIMER("phase.freq_scan_seconds");
+  INCOGNITO_HIST_TIMER("freq.build_seconds");
   INCOGNITO_COUNT("freq.scans");
   INCOGNITO_COUNT_ADD("freq.scan_rows",
                       static_cast<int64_t>(table.num_rows()));
@@ -109,6 +110,7 @@ FrequencySet FrequencySet::ComputeParallel(const Table& table,
   assert(node.size() > 0);
   INCOGNITO_SPAN("freq.scan");
   INCOGNITO_PHASE_TIMER("phase.freq_scan_seconds");
+  INCOGNITO_HIST_TIMER("freq.build_seconds");
   INCOGNITO_COUNT("freq.scans");
   INCOGNITO_COUNT("freq.parallel_scans");
   INCOGNITO_COUNT_ADD("freq.scan_rows",
@@ -266,6 +268,7 @@ FrequencySet FrequencySet::RollupTo(const SubsetNode& target,
   assert(target.dims == node_.dims);
   INCOGNITO_SPAN("freq.rollup");
   INCOGNITO_PHASE_TIMER("phase.rollup_seconds");
+  INCOGNITO_HIST_TIMER("freq.build_seconds");
   INCOGNITO_COUNT("freq.rollups");
   INCOGNITO_COUNT_ADD("freq.rollup_groups",
                       static_cast<int64_t>(NumGroups()));

@@ -31,6 +31,18 @@ Gauge* CounterRegistry::GetGauge(std::string_view name) {
   return it->second.get();
 }
 
+Histogram* CounterRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    std::string key(name);
+    it = histograms_
+             .emplace(key, std::unique_ptr<Histogram>(new Histogram(key)))
+             .first;
+  }
+  return it->second.get();
+}
+
 std::map<std::string, int64_t> CounterRegistry::CounterSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, int64_t> out;
@@ -49,6 +61,16 @@ std::map<std::string, double> CounterRegistry::GaugeSnapshot() const {
   return out;
 }
 
+std::map<std::string, HistogramSnapshot> CounterRegistry::HistogramSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, hist] : histograms_) {
+    out[name] = hist->Snapshot();
+  }
+  return out;
+}
+
 void CounterRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) {
@@ -59,12 +81,75 @@ void CounterRegistry::Reset() {
     (void)name;
     gauge->Set(0);
   }
+  for (auto& [name, hist] : histograms_) {
+    (void)name;
+    hist->count_.store(0, std::memory_order_relaxed);
+    hist->sum_ns_.store(0, std::memory_order_relaxed);
+    hist->max_ns_.store(0, std::memory_order_relaxed);
+    for (auto& bucket : hist->buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  snap.max_ns = max_ns_.load(std::memory_order_relaxed);
+  for (int b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double HistogramSnapshot::PercentileSeconds(double p) const {
+  if (count <= 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // The 1-based rank of the percentile observation, rounded up so p=100
+  // lands on the last observation.
+  int64_t rank =
+      static_cast<int64_t>(std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] >= rank) {
+      // Interpolate linearly inside [2^(b-1), 2^b) — exact to within one
+      // log bucket either way.
+      double lo = b == 0 ? 0.0 : static_cast<double>(int64_t{1} << (b - 1));
+      double hi = static_cast<double>(
+          b >= 63 ? max_ns : (int64_t{1} << b));
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(buckets[b]);
+      double ns = lo + (hi - lo) * frac;
+      if (ns > static_cast<double>(max_ns)) ns = static_cast<double>(max_ns);
+      return ns * 1e-9;
+    }
+    seen += buckets[b];
+  }
+  return MaxSeconds();
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& before) const {
+  HistogramSnapshot delta;
+  delta.count = count - before.count;
+  delta.sum_ns = sum_ns - before.sum_ns;
+  delta.max_ns = max_ns;  // cumulative max: an upper bound for the interval
+  for (int b = 0; b < kNumBuckets; ++b) {
+    delta.buckets[b] = buckets[b] - before.buckets[b];
+  }
+  return delta;
 }
 
 MetricsSnapshot MetricsSnapshot::Take(const CounterRegistry& registry) {
   MetricsSnapshot snapshot;
   snapshot.counters = registry.CounterSnapshot();
   snapshot.gauges = registry.GaugeSnapshot();
+  snapshot.histograms = registry.HistogramSnapshots();
   return snapshot;
 }
 
@@ -80,6 +165,13 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(
     auto it = before.gauges.find(name);
     double d = value - (it == before.gauges.end() ? 0 : it->second);
     if (std::fabs(d) >= 1e-9) delta.gauges[name] = d;
+  }
+  for (const auto& [name, value] : histograms) {
+    auto it = before.histograms.find(name);
+    HistogramSnapshot d = it == before.histograms.end()
+                              ? value
+                              : value.DeltaSince(it->second);
+    if (d.count != 0) delta.histograms[name] = d;
   }
   return delta;
 }

@@ -1,6 +1,8 @@
 #include "obs/json_util.h"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/strings.h"
 
@@ -85,7 +87,9 @@ struct Parser {
     return true;
   }
 
-  bool String() {
+  /// Validates a string literal; when `out` is non-null, also decodes the
+  /// escapes into it.
+  bool String(std::string* out = nullptr) {
     if (pos >= text.size() || text[pos] != '"') return Fail("expected string");
     ++pos;
     while (pos < text.size()) {
@@ -102,23 +106,55 @@ struct Parser {
         if (pos >= text.size()) return Fail("truncated escape");
         char e = text[pos];
         if (e == 'u') {
+          unsigned code = 0;
           for (int i = 1; i <= 4; ++i) {
             if (pos + i >= text.size() || !isxdigit(text[pos + i])) {
               return Fail("bad \\u escape");
             }
+            char h = text[pos + i];
+            code = code * 16 +
+                   static_cast<unsigned>(isdigit(h) ? h - '0'
+                                                    : tolower(h) - 'a' + 10);
           }
           pos += 4;
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
-                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          if (out != nullptr) {
+            // UTF-8 encode (BMP only; surrogate pairs come through as two
+            // replacement-range sequences, good enough for diagnostics).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+          }
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                   e == 'f' || e == 'n' || e == 'r' || e == 't') {
+          if (out != nullptr) {
+            switch (e) {
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              default: out->push_back(e);
+            }
+          }
+        } else {
           return Fail("bad escape character");
         }
+      } else if (out != nullptr) {
+        out->push_back(c);
       }
       ++pos;
     }
     return Fail("unterminated string");
   }
 
-  bool Number() {
+  bool Number(double* out = nullptr) {
     size_t start = pos;
     if (pos < text.size() && text[pos] == '-') ++pos;
     size_t digits = 0;
@@ -137,25 +173,56 @@ struct Parser {
       while (pos < text.size() && isdigit(text[pos])) ++pos, ++digits;
       if (digits == 0) return Fail("expected exponent digits");
     }
+    if (out != nullptr) {
+      *out = strtod(std::string(text.substr(start, pos - start)).c_str(),
+                    nullptr);
+    }
     return pos > start;
   }
 
-  bool Value(int depth) {
+  bool Value(int depth, JsonValue* out = nullptr) {
     if (depth > 128) return Fail("nesting too deep");
     SkipWs();
     if (pos >= text.size()) return Fail("expected value");
     char c = text[pos];
-    if (c == '{') return Object(depth);
-    if (c == '[') return Array(depth);
-    if (c == '"') return String();
-    if (c == 't') return Literal("true");
-    if (c == 'f') return Literal("false");
-    if (c == 'n') return Literal("null");
-    if (c == '-' || isdigit(c)) return Number();
+    if (c == '{') {
+      if (out != nullptr) out->type = JsonValue::Type::kObject;
+      return Object(depth, out);
+    }
+    if (c == '[') {
+      if (out != nullptr) out->type = JsonValue::Type::kArray;
+      return Array(depth, out);
+    }
+    if (c == '"') {
+      if (out != nullptr) out->type = JsonValue::Type::kString;
+      return String(out != nullptr ? &out->str : nullptr);
+    }
+    if (c == 't') {
+      if (out != nullptr) {
+        out->type = JsonValue::Type::kBool;
+        out->b = true;
+      }
+      return Literal("true");
+    }
+    if (c == 'f') {
+      if (out != nullptr) {
+        out->type = JsonValue::Type::kBool;
+        out->b = false;
+      }
+      return Literal("false");
+    }
+    if (c == 'n') {
+      if (out != nullptr) out->type = JsonValue::Type::kNull;
+      return Literal("null");
+    }
+    if (c == '-' || isdigit(c)) {
+      if (out != nullptr) out->type = JsonValue::Type::kNumber;
+      return Number(out != nullptr ? &out->num : nullptr);
+    }
     return Fail("unexpected character");
   }
 
-  bool Object(int depth) {
+  bool Object(int depth, JsonValue* out = nullptr) {
     ++pos;  // '{'
     SkipWs();
     if (pos < text.size() && text[pos] == '}') {
@@ -164,11 +231,14 @@ struct Parser {
     }
     while (true) {
       SkipWs();
-      if (!String()) return false;
+      std::string key;
+      if (!String(out != nullptr ? &key : nullptr)) return false;
       SkipWs();
       if (pos >= text.size() || text[pos] != ':') return Fail("expected ':'");
       ++pos;
-      if (!Value(depth + 1)) return false;
+      JsonValue* member =
+          out != nullptr ? &out->object[std::move(key)] : nullptr;
+      if (!Value(depth + 1, member)) return false;
       SkipWs();
       if (pos < text.size() && text[pos] == ',') {
         ++pos;
@@ -182,7 +252,7 @@ struct Parser {
     }
   }
 
-  bool Array(int depth) {
+  bool Array(int depth, JsonValue* out = nullptr) {
     ++pos;  // '['
     SkipWs();
     if (pos < text.size() && text[pos] == ']') {
@@ -190,7 +260,12 @@ struct Parser {
       return true;
     }
     while (true) {
-      if (!Value(depth + 1)) return false;
+      JsonValue* element = nullptr;
+      if (out != nullptr) {
+        out->array.emplace_back();
+        element = &out->array.back();
+      }
+      if (!Value(depth + 1, element)) return false;
       SkipWs();
       if (pos < text.size() && text[pos] == ',') {
         ++pos;
@@ -211,6 +286,21 @@ bool IsValidJson(std::string_view text, std::string* error) {
   Parser p;
   p.text = text;
   bool ok = p.Value(0);
+  if (ok) {
+    p.SkipWs();
+    if (p.pos != text.size()) {
+      ok = p.Fail("trailing garbage");
+    }
+  }
+  if (!ok && error != nullptr) *error = p.error;
+  return ok;
+}
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue();
+  Parser p;
+  p.text = text;
+  bool ok = p.Value(0, out);
   if (ok) {
     p.SkipWs();
     if (p.pos != text.size()) {

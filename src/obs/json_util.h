@@ -1,8 +1,10 @@
 #ifndef INCOGNITO_OBS_JSON_UTIL_H_
 #define INCOGNITO_OBS_JSON_UTIL_H_
 
+#include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace incognito {
 namespace obs {
@@ -23,6 +25,48 @@ std::string JsonDouble(double v);
 /// that emitted traces and reports are loadable; on failure, `error` (if
 /// non-null) receives a byte offset and description.
 bool IsValidJson(std::string_view text, std::string* error = nullptr);
+
+/// A parsed JSON document node. Small and copyable; object members keep
+/// sorted (map) order, which is what our own emitters produce anyway.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when this is not an object or the key
+  /// is absent.
+  const JsonValue* Find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  double NumberOr(double fallback) const {
+    return type == Type::kNumber ? num : fallback;
+  }
+  std::string StringOr(const std::string& fallback) const {
+    return type == Type::kString ? str : fallback;
+  }
+};
+
+/// Parses `text` into a JsonValue DOM (used by bench_diff and the trace
+/// parse-back tests). Same grammar as IsValidJson; on failure returns
+/// false and fills `error` (if non-null) with a byte offset and
+/// description.
+bool ParseJson(std::string_view text, JsonValue* out,
+               std::string* error = nullptr);
 
 }  // namespace obs
 }  // namespace incognito

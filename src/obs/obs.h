@@ -11,6 +11,8 @@
 //                          two clock reads + one mutex push when on
 //   INCOGNITO_COUNT[_ADD]  one relaxed atomic add (handle cached per site)
 //   INCOGNITO_PHASE_TIMER  two clock reads + one atomic CAS add
+//   INCOGNITO_HIST_TIMER   two clock reads + three relaxed adds + CAS max
+//   INCOGNITO_HIST_NANOS   three relaxed adds + one CAS max
 //
 // Tracing is off until TraceRecorder::Global().Enable() (the CLI's
 // --trace flag, or a test). Counters and phase gauges are always
@@ -49,12 +51,33 @@
     INCOGNITO_OBS_CAT(_obs_gauge_, __LINE__)                                 \
   }
 
+/// Records the enclosing scope's elapsed time into the named latency
+/// histogram (handle cached per site).
+#define INCOGNITO_HIST_TIMER(name)                                           \
+  static ::incognito::obs::Histogram* INCOGNITO_OBS_CAT(_obs_hist_,          \
+                                                        __LINE__) =          \
+      ::incognito::obs::CounterRegistry::Global().GetHistogram(name);        \
+  ::incognito::obs::ScopedHistogramTimer INCOGNITO_OBS_CAT(_obs_hist_timer_, \
+                                                           __LINE__) {       \
+    INCOGNITO_OBS_CAT(_obs_hist_, __LINE__)                                  \
+  }
+
+/// Records a pre-measured duration (nanoseconds) into the named histogram.
+#define INCOGNITO_HIST_NANOS(name, ns)                                    \
+  do {                                                                    \
+    static ::incognito::obs::Histogram* _obs_hist =                       \
+        ::incognito::obs::CounterRegistry::Global().GetHistogram(name);   \
+    _obs_hist->RecordNanos(ns);                                           \
+  } while (0)
+
 #else  // INCOGNITO_OBS_DISABLED
 
 #define INCOGNITO_SPAN(name) static_cast<void>(0)
 #define INCOGNITO_COUNT_ADD(name, delta) static_cast<void>(0)
 #define INCOGNITO_COUNT(name) static_cast<void>(0)
 #define INCOGNITO_PHASE_TIMER(name) static_cast<void>(0)
+#define INCOGNITO_HIST_TIMER(name) static_cast<void>(0)
+#define INCOGNITO_HIST_NANOS(name, ns) static_cast<void>(0)
 
 #endif  // INCOGNITO_OBS_DISABLED
 

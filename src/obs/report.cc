@@ -40,6 +40,14 @@ void RunReport::SetBool(const std::string& key, bool value) {
   fields_[key] = std::move(v);
 }
 
+void RunReport::SetDoubleList(const std::string& key,
+                              std::vector<double> values) {
+  FieldValue v;
+  v.kind = FieldValue::Kind::kDoubleList;
+  v.list = std::move(values);
+  fields_[key] = std::move(v);
+}
+
 void RunReport::AddCounters(const CounterRegistry& registry) {
   AddMetrics(MetricsSnapshot::Take(registry));
 }
@@ -47,6 +55,10 @@ void RunReport::AddCounters(const CounterRegistry& registry) {
 void RunReport::AddMetrics(const MetricsSnapshot& snapshot) {
   for (const auto& [name, value] : snapshot.counters) counters_[name] = value;
   for (const auto& [name, value] : snapshot.gauges) gauges_[name] = value;
+  for (const auto& [name, value] : snapshot.histograms) {
+    histograms_[name] = value;
+    has_histograms_ = true;
+  }
   has_counters_ = true;
 }
 
@@ -95,6 +107,15 @@ std::string RunReport::ToJson() const {
                   return JsonDouble(v.d);
                 case FieldValue::Kind::kBool:
                   return v.b ? "true" : "false";
+                case FieldValue::Kind::kDoubleList: {
+                  std::string out = "[";
+                  for (size_t i = 0; i < v.list.size(); ++i) {
+                    if (i > 0) out += ", ";
+                    out += JsonDouble(v.list[i]);
+                  }
+                  out += "]";
+                  return out;
+                }
               }
               return "null";
             },
@@ -116,6 +137,22 @@ std::string RunReport::ToJson() const {
               &first_section);
     AppendMap(&out, "gauges", gauges_,
               [](double v) { return JsonDouble(v); }, &first_section);
+  }
+  if (has_histograms_) {
+    AppendMap(&out, "histograms", histograms_,
+              [](const HistogramSnapshot& h) {
+                return StringPrintf(
+                    "{\"count\": %lld, \"p50_seconds\": %s, "
+                    "\"p95_seconds\": %s, \"p99_seconds\": %s, "
+                    "\"max_seconds\": %s, \"mean_seconds\": %s}",
+                    static_cast<long long>(h.count),
+                    JsonDouble(h.PercentileSeconds(50)).c_str(),
+                    JsonDouble(h.PercentileSeconds(95)).c_str(),
+                    JsonDouble(h.PercentileSeconds(99)).c_str(),
+                    JsonDouble(h.MaxSeconds()).c_str(),
+                    JsonDouble(h.MeanSeconds()).c_str());
+              },
+              &first_section);
   }
   if (has_spans_) {
     AppendMap(&out, "spans", spans_,
@@ -156,8 +193,13 @@ void AddAlgorithmStats(const AlgorithmStats& stats, RunReport* report) {
   report->stats_["memory_trips"] = stats.memory_trips;
   report->stats_["cancel_trips"] = stats.cancel_trips;
   report->stats_["parallel_workers"] = stats.parallel_workers;
+  report->stats_["tasks_scheduled"] = stats.tasks_scheduled;
   report->stat_timings_["cube_build_seconds"] = stats.cube_build_seconds;
   report->stat_timings_["total_seconds"] = stats.total_seconds;
+  report->stat_timings_["critical_path_seconds"] =
+      stats.critical_path_seconds;
+  report->stat_timings_["scheduler_idle_seconds"] =
+      stats.scheduler_idle_seconds;
   report->has_stats_ = true;
 }
 

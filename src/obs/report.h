@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/counters.h"
@@ -19,20 +20,23 @@ namespace obs {
 /// (docs/OBSERVABILITY.md documents it):
 ///
 ///   {
-///     "schema_version": 1,
+///     "schema_version": 3,
 ///     "tool": "...", "command": "...",
-///     "fields":   { string | int | double | bool ... },
-///     "stats":    { AlgorithmStats fields ... },        // optional
-///     "counters": { name: int ... },                    // optional
-///     "gauges":   { name: double ... },                 // optional
-///     "spans":    { name: {count, total_seconds} ... }  // optional
+///     "fields":     { string | int | double | bool | [double...] ... },
+///     "stats":      { AlgorithmStats fields ... },        // optional
+///     "counters":   { name: int ... },                    // optional
+///     "gauges":     { name: double ... },                 // optional
+///     "histograms": { name: {count, p50_seconds, p95_seconds,
+///                            p99_seconds, max_seconds,
+///                            mean_seconds} ... },         // optional
+///     "spans":      { name: {count, total_seconds} ... }  // optional
 ///   }
 ///
 /// Keys are emitted in sorted order, so identical inputs serialize to
 /// identical bytes (the golden test relies on this).
 class RunReport {
  public:
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
 
   RunReport(std::string tool, std::string command);
 
@@ -40,6 +44,8 @@ class RunReport {
   void SetInt(const std::string& key, int64_t value);
   void SetDouble(const std::string& key, double value);
   void SetBool(const std::string& key, bool value);
+  /// A JSON array of doubles (e.g. per-worker utilization fractions).
+  void SetDoubleList(const std::string& key, std::vector<double> values);
 
   /// Copies the registry's current counter and gauge values into the
   /// report's "counters" / "gauges" sections.
@@ -54,11 +60,12 @@ class RunReport {
 
  private:
   struct FieldValue {
-    enum class Kind { kString, kInt, kDouble, kBool } kind;
+    enum class Kind { kString, kInt, kDouble, kBool, kDoubleList } kind;
     std::string s;
     int64_t i = 0;
     double d = 0;
     bool b = false;
+    std::vector<double> list;
   };
 
   std::string tool_;
@@ -68,9 +75,11 @@ class RunReport {
   std::map<std::string, double> stat_timings_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramSnapshot> histograms_;
   std::map<std::string, SpanRollup> spans_;
   bool has_stats_ = false;
   bool has_counters_ = false;
+  bool has_histograms_ = false;
   bool has_spans_ = false;
 
   friend void AddAlgorithmStats(const AlgorithmStats& stats,

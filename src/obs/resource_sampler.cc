@@ -1,0 +1,146 @@
+#include "obs/resource_sampler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "common/strings.h"
+#include "obs/trace.h"
+
+namespace incognito {
+namespace obs {
+
+ResourceSample ResourceSampler::ReadOnce() {
+  ResourceSample sample;
+  sample.ts_ns = TraceRecorder::NowNs();
+#ifdef __linux__
+  // /proc/self/statm: "size resident shared ..." in pages.
+  if (FILE* f = fopen("/proc/self/statm", "r")) {
+    long long size = 0, resident = 0;
+    if (fscanf(f, "%lld %lld", &size, &resident) == 2) {
+      sample.rss_bytes = resident * sysconf(_SC_PAGESIZE);
+    }
+    fclose(f);
+  }
+  // /proc/self/stat: utime and stime are fields 14 and 15, counted after
+  // the ")" that closes the comm field (comm itself may contain spaces).
+  if (FILE* f = fopen("/proc/self/stat", "r")) {
+    char buf[1024];
+    size_t n = fread(buf, 1, sizeof(buf) - 1, f);
+    fclose(f);
+    buf[n] = '\0';
+    if (const char* close_paren = strrchr(buf, ')')) {
+      const char* p = close_paren + 1;
+      // Skip fields 3..13 (state through majflt); utime is the 12th
+      // whitespace-separated token after the comm field.
+      long long utime = 0, stime = 0;
+      int field = 2;
+      while (*p != '\0' && field < 13) {
+        while (*p == ' ') ++p;
+        while (*p != '\0' && *p != ' ') ++p;
+        ++field;
+      }
+      if (sscanf(p, "%lld %lld", &utime, &stime) == 2) {
+        long ticks = sysconf(_SC_CLK_TCK);
+        if (ticks > 0) {
+          sample.cpu_seconds =
+              static_cast<double>(utime + stime) / static_cast<double>(ticks);
+        }
+      }
+    }
+  }
+#endif  // __linux__
+  return sample;
+}
+
+void ResourceSampler::SampleLocked() {
+  ResourceSample sample = ReadOnce();
+  if (sample.rss_bytes > peak_rss_) peak_rss_ = sample.rss_bytes;
+  if (sample.cpu_seconds > cpu_seconds_) cpu_seconds_ = sample.cpu_seconds;
+  samples_.push_back(sample);
+}
+
+void ResourceSampler::Start(int interval_ms) {
+#ifdef INCOGNITO_OBS_DISABLED
+  (void)interval_ms;
+  return;
+#else
+  if (interval_ms < 1) interval_ms = 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  samples_.clear();
+  peak_rss_ = 0;
+  cpu_seconds_ = 0;
+  SampleLocked();
+  thread_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> thread_lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(thread_lock, std::chrono::milliseconds(interval_ms),
+                   [this] { return stop_; });
+      if (stop_) break;
+      SampleLocked();
+    }
+  });
+#endif  // INCOGNITO_OBS_DISABLED
+}
+
+void ResourceSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+    SampleLocked();
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool ResourceSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::vector<ResourceSample> ResourceSampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+int64_t ResourceSampler::peak_rss_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_rss_;
+}
+
+double ResourceSampler::cpu_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cpu_seconds_;
+}
+
+void ResourceSampler::ExportCounterEvents(TraceRecorder& recorder) const {
+  std::vector<ResourceSample> samples = Samples();
+  const ResourceSample* prev = nullptr;
+  for (const ResourceSample& s : samples) {
+    recorder.RecordCounter(
+        "rss_bytes", s.ts_ns, 1,
+        StringPrintf("\"bytes\":%lld", static_cast<long long>(s.rss_bytes)));
+    // CPU as a rate between consecutive samples (percent of one core).
+    if (prev != nullptr && s.ts_ns > prev->ts_ns) {
+      double wall = static_cast<double>(s.ts_ns - prev->ts_ns) * 1e-9;
+      double pct = (s.cpu_seconds - prev->cpu_seconds) / wall * 100.0;
+      if (pct < 0) pct = 0;
+      recorder.RecordCounter("cpu_percent", s.ts_ns, 1,
+                             StringPrintf("\"percent\":%.1f", pct));
+    }
+    prev = &s;
+  }
+}
+
+}  // namespace obs
+}  // namespace incognito

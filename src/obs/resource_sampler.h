@@ -1,0 +1,75 @@
+#ifndef INCOGNITO_OBS_RESOURCE_SAMPLER_H_
+#define INCOGNITO_OBS_RESOURCE_SAMPLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace incognito {
+namespace obs {
+
+class TraceRecorder;
+
+/// One point-in-time reading of the process's resource usage.
+struct ResourceSample {
+  uint64_t ts_ns = 0;       ///< absolute TraceRecorder::NowNs timestamp
+  int64_t rss_bytes = 0;    ///< resident set size (procfs statm)
+  double cpu_seconds = 0;   ///< cumulative user+system CPU (procfs stat)
+};
+
+/// Samples the process's RSS and CPU ticks from procfs on a background
+/// thread at a fixed interval. Shutdown is governed: Stop() (also run by
+/// the destructor) signals the thread and joins it, so the sampler never
+/// outlives its owner. Under INCOGNITO_OBS_DISABLED Start() is a no-op —
+/// the thread never starts and every accessor returns zeros. On platforms
+/// without procfs the readings are zero but the machinery still works.
+class ResourceSampler {
+ public:
+  ResourceSampler() = default;
+  ~ResourceSampler() { Stop(); }
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  /// Starts sampling every `interval_ms` milliseconds (clamped to >= 1).
+  /// No-op if already running or compiled with INCOGNITO_OBS_DISABLED.
+  /// Takes one sample immediately so even short runs get a reading.
+  void Start(int interval_ms);
+
+  /// Takes a final sample, stops the thread, and joins it. Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  std::vector<ResourceSample> Samples() const;
+  int64_t peak_rss_bytes() const;
+  /// Cumulative process CPU seconds at the last sample.
+  double cpu_seconds() const;
+
+  /// Emits every sample into `recorder` as Chrome counter events
+  /// ("rss_bytes", "cpu_percent") so resource usage renders alongside the
+  /// task swimlanes.
+  void ExportCounterEvents(TraceRecorder& recorder) const;
+
+  /// One synchronous procfs reading (exposed for tests and the report's
+  /// end-of-run figures).
+  static ResourceSample ReadOnce();
+
+ private:
+  void SampleLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+  std::vector<ResourceSample> samples_;
+  int64_t peak_rss_ = 0;
+  double cpu_seconds_ = 0;
+};
+
+}  // namespace obs
+}  // namespace incognito
+
+#endif  // INCOGNITO_OBS_RESOURCE_SAMPLER_H_

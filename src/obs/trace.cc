@@ -22,12 +22,32 @@ uint32_t TraceRecorder::CurrentThreadId() {
 void TraceRecorder::Enable() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  dropped_ = 0;
   epoch_ns_ = NowNs();
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void TraceRecorder::Disable() {
   enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::SetCapacity(size_t max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = max_events == 0 ? kDefaultCapacity : max_events;
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::Push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
 }
 
 void TraceRecorder::Record(std::string name, uint64_t start_ns,
@@ -37,11 +57,62 @@ void TraceRecorder::Record(std::string name, uint64_t start_ns,
   event.tid = CurrentThreadId();
   event.depth = depth;
   std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
   // A span that started before Enable() reset the epoch is clamped to it.
   event.start_ns = start_ns > epoch_ns_ ? start_ns - epoch_ns_ : 0;
   uint64_t rel_end = end_ns > epoch_ns_ ? end_ns - epoch_ns_ : 0;
   event.dur_ns = rel_end > event.start_ns ? rel_end - event.start_ns : 0;
   events_.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordComplete(std::string name, uint64_t start_ns,
+                                   uint64_t end_ns, uint32_t tid,
+                                   uint32_t pid, std::string args_json) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.tid = tid;
+  event.pid = pid;
+  event.phase = 'X';
+  event.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  event.start_ns = start_ns > epoch_ns_ ? start_ns - epoch_ns_ : 0;
+  uint64_t rel_end = end_ns > epoch_ns_ ? end_ns - epoch_ns_ : 0;
+  event.dur_ns = rel_end > event.start_ns ? rel_end - event.start_ns : 0;
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordCounter(std::string name, uint64_t ts_ns,
+                                  uint32_t pid, std::string args_json) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.pid = pid;
+  event.phase = 'C';
+  event.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  event.start_ns = ts_ns > epoch_ns_ ? ts_ns - epoch_ns_ : 0;
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordMetadata(std::string name, uint32_t tid,
+                                   uint32_t pid, std::string args_json) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.tid = tid;
+  event.pid = pid;
+  event.phase = 'M';
+  event.args_json = std::move(args_json);
+  Push(std::move(event));
 }
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
@@ -63,6 +134,7 @@ std::map<std::string, SpanRollup> TraceRecorder::RollupByName() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, SpanRollup> out;
   for (const TraceEvent& event : events_) {
+    if (event.phase != 'X') continue;
     SpanRollup& rollup = out[event.name];
     ++rollup.count;
     rollup.total_seconds += static_cast<double>(event.dur_ns) * 1e-9;
@@ -72,19 +144,48 @@ std::map<std::string, SpanRollup> TraceRecorder::RollupByName() const {
 
 std::string TraceRecorder::ToJson() const {
   std::vector<TraceEvent> events = Snapshot();
-  std::string out = "[";
+  uint64_t dropped = dropped_events();
+  // The trace_event object format: viewers read "traceEvents" and ignore
+  // the footer keys, which carry the recorder's own bookkeeping.
+  std::string out = "{\n\"traceEvents\": [";
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     if (i > 0) out += ",";
-    // Chrome trace_event "complete" events; ts/dur are microseconds.
-    out += StringPrintf(
-        "\n{\"name\":%s,\"cat\":\"incognito\",\"ph\":\"X\","
-        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
-        "\"args\":{\"depth\":%u}}",
-        JsonString(e.name).c_str(), static_cast<double>(e.start_ns) / 1e3,
-        static_cast<double>(e.dur_ns) / 1e3, e.tid, e.depth);
+    switch (e.phase) {
+      case 'C':
+        // Counter sample; ts is microseconds.
+        out += StringPrintf(
+            "\n{\"name\":%s,\"cat\":\"incognito\",\"ph\":\"C\","
+            "\"ts\":%.3f,\"pid\":%u,\"args\":{%s}}",
+            JsonString(e.name).c_str(), static_cast<double>(e.start_ns) / 1e3,
+            e.pid, e.args_json.c_str());
+        break;
+      case 'M':
+        out += StringPrintf(
+            "\n{\"name\":%s,\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+            "\"args\":{%s}}",
+            JsonString(e.name).c_str(), e.pid, e.tid, e.args_json.c_str());
+        break;
+      default: {
+        // Chrome trace_event "complete" events; ts/dur are microseconds.
+        std::string args = StringPrintf("\"depth\":%u", e.depth);
+        if (!e.args_json.empty()) {
+          args += ",";
+          args += e.args_json;
+        }
+        out += StringPrintf(
+            "\n{\"name\":%s,\"cat\":\"incognito\",\"ph\":\"X\","
+            "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u,"
+            "\"args\":{%s}}",
+            JsonString(e.name).c_str(), static_cast<double>(e.start_ns) / 1e3,
+            static_cast<double>(e.dur_ns) / 1e3, e.pid, e.tid, args.c_str());
+        break;
+      }
+    }
   }
-  out += "\n]\n";
+  out += StringPrintf(
+      "\n],\n\"displayTimeUnit\": \"ms\",\n\"droppedEvents\": %llu\n}\n",
+      static_cast<unsigned long long>(dropped));
   return out;
 }
 

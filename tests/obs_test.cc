@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -45,6 +47,46 @@ TEST(JsonUtilTest, ValidatorAcceptsWellFormedDocuments) {
   EXPECT_TRUE(IsValidJson("[]"));
   EXPECT_TRUE(IsValidJson("{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": null}}"));
   EXPECT_TRUE(IsValidJson("[true, false, \"s\\u00e9\"]"));
+}
+
+TEST(JsonUtilTest, ParseJsonBuildsADom) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      "{\"a\": [1, 2.5, -3], \"s\": \"x\\ny\", \"t\": true, \"n\": null}",
+      &doc, &error))
+      << error;
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].num, 1.0);
+  EXPECT_DOUBLE_EQ(a->array[1].num, 2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].num, -3.0);
+  EXPECT_EQ(doc.Find("s")->StringOr(""), "x\ny");
+  EXPECT_TRUE(doc.Find("t")->is_bool());
+  EXPECT_TRUE(doc.Find("t")->b);
+  EXPECT_TRUE(doc.Find("n")->is_null());
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.Find("a")->NumberOr(-1.0), -1.0);
+}
+
+TEST(JsonUtilTest, ParseJsonDecodesUnicodeEscapes) {
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson("[\"s\\u00e9\\u0041\"]", &doc));
+  ASSERT_EQ(doc.array.size(), 1u);
+  EXPECT_EQ(doc.array[0].str, "s\xc3\xa9"
+                              "A");
+}
+
+TEST(JsonUtilTest, ParseJsonRejectsMalformedDocuments) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\": }", &doc, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseJson("[1, 2,]", &doc));
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing", &doc));
 }
 
 TEST(JsonUtilTest, ValidatorRejectsMalformedDocuments) {
@@ -136,6 +178,126 @@ TEST(CounterRegistryTest, ScopedPhaseTimerAccumulates) {
 }
 
 // ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketForIsLogarithmic) {
+  // Bucket 0 catches non-positive durations; bucket b holds [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketFor(-5), 0);
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Histogram::BucketFor(2), 2);
+  EXPECT_EQ(Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Histogram::BucketFor(4), 3);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11);
+  EXPECT_EQ(Histogram::BucketFor(std::numeric_limits<int64_t>::max()),
+            HistogramSnapshot::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, RecordsCountSumMaxAndPercentiles) {
+  CounterRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist, registry.GetHistogram("test.hist"));
+  for (int64_t us = 1; us <= 1000; ++us) {
+    hist->RecordNanos(us * 1000);  // 1µs .. 1ms, uniform
+  }
+  HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 1000);
+  EXPECT_EQ(snap.sum_ns, 1000 * 1001 / 2 * 1000);
+  EXPECT_EQ(snap.max_ns, 1000000);
+  double p50 = snap.PercentileSeconds(50);
+  double p95 = snap.PercentileSeconds(95);
+  double p99 = snap.PercentileSeconds(99);
+  // Log-binning bounds each estimate within its power-of-two bucket, and
+  // percentiles must be monotone and capped by the observed max.
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, snap.MaxSeconds());
+  // The true p50 is ~500µs, inside the [2^18, 2^19) ns bucket.
+  EXPECT_GT(p50, 262e-6);
+  EXPECT_LT(p50, 525e-6);
+  EXPECT_DOUBLE_EQ(snap.MaxSeconds(), 1e-3);
+  EXPECT_DOUBLE_EQ(snap.MeanSeconds(), 500.5e-6);
+  EXPECT_NEAR(snap.PercentileSeconds(100), 1e-3, 1e-12);
+}
+
+TEST(HistogramTest, EmptyAndSingleValueSnapshotsAreSane) {
+  CounterRegistry registry;
+  HistogramSnapshot empty = registry.GetHistogram("test.empty")->Snapshot();
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_DOUBLE_EQ(empty.PercentileSeconds(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.MeanSeconds(), 0.0);
+
+  Histogram* one = registry.GetHistogram("test.one");
+  one->RecordNanos(4000);
+  HistogramSnapshot snap = one->Snapshot();
+  // Every percentile of a single observation is that observation (clamped
+  // to the recorded max, which is exact).
+  EXPECT_DOUBLE_EQ(snap.PercentileSeconds(1), 4000e-9);
+  EXPECT_DOUBLE_EQ(snap.PercentileSeconds(99), 4000e-9);
+}
+
+TEST(HistogramTest, DeltaSinceSubtractsBucketwise) {
+  CounterRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.delta");
+  hist->RecordNanos(100);
+  hist->RecordNanos(1000000);
+  HistogramSnapshot before = hist->Snapshot();
+  hist->RecordNanos(100);
+  hist->RecordNanos(500);
+  HistogramSnapshot delta = hist->Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.count, 2);
+  EXPECT_EQ(delta.sum_ns, 600);
+  // max_ns is not subtractable: the cumulative value is an upper bound.
+  EXPECT_EQ(delta.max_ns, 1000000);
+  int64_t bucket_total = 0;
+  for (int64_t b : delta.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 2);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreLossless) {
+  CounterRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.concurrent");
+  constexpr int kPerThread = 50000;
+  auto worker = [hist] {
+    for (int i = 0; i < kPerThread; ++i) hist->RecordNanos(i + 1);
+  };
+  std::thread t1(worker);
+  std::thread t2(worker);
+  t1.join();
+  t2.join();
+  HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 2 * kPerThread);
+  EXPECT_EQ(snap.max_ns, kPerThread);
+}
+
+TEST(HistogramTest, ScopedTimerRecordsAndResetZeroes) {
+  CounterRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.timer");
+  { ScopedHistogramTimer timer(hist); }
+  { ScopedHistogramTimer timer(hist); }
+  HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 2);
+  EXPECT_GE(snap.max_ns, 0);
+  registry.Reset();
+  snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.max_ns, 0);
+}
+
+TEST(HistogramTest, SnapshotDeltaDropsIdleHistograms) {
+  CounterRegistry registry;
+  registry.GetHistogram("test.idle")->RecordNanos(10);
+  MetricsSnapshot before = MetricsSnapshot::Take(registry);
+  registry.GetHistogram("test.busy")->RecordNanos(10);
+  MetricsSnapshot delta = MetricsSnapshot::Take(registry).DeltaSince(before);
+  EXPECT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms.count("test.busy"), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // TraceRecorder and spans
 // ---------------------------------------------------------------------------
 
@@ -200,11 +362,52 @@ TEST(TraceTest, JsonIsAWellFormedTraceEventArray) {
   std::string json = recorder.ToJson();
   std::string error;
   EXPECT_TRUE(IsValidJson(json, &error)) << error << "\n" << json;
-  // Chrome trace_event "complete" events in a plain array.
-  EXPECT_EQ(json[0], '[');
+  // Chrome trace_event object format: complete events under "traceEvents"
+  // plus a drop-accounting footer.
+  EXPECT_EQ(json[0], '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"incognito\""), std::string::npos);
   EXPECT_NE(json.find("json.inner"), std::string::npos);
+}
+
+TEST(TraceTest, CapacityBoundsTheBufferAndCountsDrops) {
+  TraceRecorder recorder;
+  recorder.SetCapacity(4);
+  recorder.Enable();
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record("cap.span", i * 1000, (i + 1) * 1000, 0);
+  }
+  recorder.Disable();
+  EXPECT_EQ(recorder.num_events(), 4u);
+  EXPECT_EQ(recorder.dropped_events(), 6u);
+  std::string json = recorder.ToJson();
+  EXPECT_TRUE(IsValidJson(json));
+  EXPECT_NE(json.find("\"droppedEvents\": 6"), std::string::npos) << json;
+  // Re-enabling clears the buffer and the drop counter with it.
+  recorder.Enable();
+  recorder.Disable();
+  EXPECT_EQ(recorder.dropped_events(), 0u);
+}
+
+TEST(TraceTest, CounterAndMetadataEventsSerialize) {
+  TraceRecorder recorder;
+  recorder.Enable();
+  recorder.RecordMetadata("thread_name", 3, 2, "\"name\":\"worker 3\"");
+  recorder.RecordCounter("rss_bytes", 1000, 1, "\"value\":12345");
+  recorder.RecordComplete("task", 0, 2000, 3, 2, "\"task\":7");
+  recorder.Disable();
+  std::string json = recorder.ToJson();
+  std::string error;
+  EXPECT_TRUE(IsValidJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker 3\""), std::string::npos);
+  EXPECT_NE(json.find("\"task\":7"), std::string::npos);
+  // Metadata and counter events never enter the span rollup.
+  EXPECT_EQ(recorder.RollupByName().count("thread_name"), 0u);
+  EXPECT_EQ(recorder.RollupByName().count("rss_bytes"), 0u);
 }
 
 TEST(TraceTest, EmptyTraceIsStillValidJson) {
@@ -241,7 +444,7 @@ TEST(ObsMacroTest, CountAndPhaseTimerHitTheGlobalRegistry) {
 
 // If a field is added to AlgorithmStats, this assert fires so the tests
 // below, MergeCounters, ToString, and AddAlgorithmStats get extended.
-static_assert(sizeof(AlgorithmStats) == 13 * 8,
+static_assert(sizeof(AlgorithmStats) == 16 * 8,
               "AlgorithmStats changed: update MergeCounters/ToString/"
               "AddAlgorithmStats and these tests");
 
@@ -260,6 +463,9 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   a.memory_trips = 2;
   a.cancel_trips = 3;
   a.parallel_workers = 2;
+  a.tasks_scheduled = 100;
+  a.critical_path_seconds = 0.5;
+  a.scheduler_idle_seconds = 0.25;
 
   AlgorithmStats b;
   b.nodes_checked = 10;
@@ -275,6 +481,9 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   b.memory_trips = 20;
   b.cancel_trips = 30;
   b.parallel_workers = 8;
+  b.tasks_scheduled = 1000;
+  b.critical_path_seconds = 1.5;
+  b.scheduler_idle_seconds = 0.75;
 
   a.MergeCounters(b);
   EXPECT_EQ(a.nodes_checked, 11);
@@ -292,6 +501,9 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   EXPECT_EQ(a.cancel_trips, 33);
   // parallel_workers describes the pool, not work: merged with max.
   EXPECT_EQ(a.parallel_workers, 8);
+  EXPECT_EQ(a.tasks_scheduled, 1100);
+  EXPECT_DOUBLE_EQ(a.critical_path_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(a.scheduler_idle_seconds, 1.0);
 }
 
 TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
@@ -309,6 +521,9 @@ TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
   s.memory_trips = 99;
   s.cancel_trips = 12;
   s.parallel_workers = 4;
+  s.tasks_scheduled = 123;
+  s.critical_path_seconds = 0.75;
+  s.scheduler_idle_seconds = 0.5;
   std::string str = s.ToString();
   EXPECT_NE(str.find("checked=11"), std::string::npos) << str;
   EXPECT_NE(str.find("marked=22"), std::string::npos) << str;
@@ -323,6 +538,9 @@ TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
   EXPECT_NE(str.find("mem_trips=99"), std::string::npos) << str;
   EXPECT_NE(str.find("cancel_trips=12"), std::string::npos) << str;
   EXPECT_NE(str.find("workers=4"), std::string::npos) << str;
+  EXPECT_NE(str.find("tasks=123"), std::string::npos) << str;
+  EXPECT_NE(str.find("critical_path=0.750s"), std::string::npos) << str;
+  EXPECT_NE(str.find("idle=0.500s"), std::string::npos) << str;
 }
 
 TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
@@ -340,6 +558,9 @@ TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
   s.memory_trips = 9;
   s.cancel_trips = 10;
   s.parallel_workers = 11;
+  s.tasks_scheduled = 12;
+  s.critical_path_seconds = 0.25;
+  s.scheduler_idle_seconds = 0.125;
   RunReport report("test", "stats");
   AddAlgorithmStats(s, &report);
   std::string json = report.ToJson();
@@ -348,7 +569,8 @@ TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
        {"nodes_checked", "nodes_marked", "table_scans", "rollups",
         "freq_groups_built", "candidate_nodes", "cube_build_seconds",
         "total_seconds", "governor_checks", "deadline_trips", "memory_trips",
-        "cancel_trips", "parallel_workers"}) {
+        "cancel_trips", "parallel_workers", "tasks_scheduled",
+        "critical_path_seconds", "scheduler_idle_seconds"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -380,12 +602,23 @@ RunReport GoldenReport() {
   stats.memory_trips = 0;
   stats.cancel_trips = 0;
   stats.parallel_workers = 4;
+  stats.tasks_scheduled = 40;
+  stats.critical_path_seconds = 0.75;
+  stats.scheduler_idle_seconds = 0.5;
   AddAlgorithmStats(stats, &report);
+  report.SetDoubleList("worker_utilization", {0.95, 0.875});
 
   MetricsSnapshot metrics;
   metrics.counters["freq.scans"] = 9;
   metrics.counters["incognito.kchecks"] = 17;
   metrics.gauges["phase.kcheck_seconds"] = 0.5;
+  HistogramSnapshot hist;
+  hist.count = 4;
+  hist.sum_ns = 7000;
+  hist.max_ns = 4000;
+  hist.buckets[Histogram::BucketFor(1000)] += 3;
+  hist.buckets[Histogram::BucketFor(4000)] += 1;
+  metrics.histograms["task.run_seconds"] = hist;
   report.AddMetrics(metrics);
 
   TraceRecorder recorder;  // epoch 0: absolute ns are relative ns
@@ -402,6 +635,10 @@ TEST(RunReportTest, GoldenFileSchemaIsStable) {
 
   std::string golden_path =
       std::string(INCOGNITO_TEST_DATA_DIR) + "/golden_run_report.json";
+  if (std::getenv("INCOGNITO_REGEN_GOLDEN") != nullptr) {
+    std::ofstream regen(golden_path);
+    regen << json;
+  }
   std::ifstream in(golden_path);
   ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
                          << "; expected contents:\n"
@@ -427,7 +664,8 @@ TEST(RunReportTest, EmptySectionsAreOmitted) {
   EXPECT_EQ(json.find("\"stats\""), std::string::npos);
   EXPECT_EQ(json.find("\"counters\""), std::string::npos);
   EXPECT_EQ(json.find("\"spans\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_EQ(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
 }
 
 }  // namespace

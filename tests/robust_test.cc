@@ -447,8 +447,9 @@ TEST(GovernedCheckerTest, GovernedCheckMatchesAndTrips) {
   bool plain = IsKAnonymous(data.table, data.qid, node, config);
   ExecutionGovernor governor;
   AlgorithmStats stats;
-  Result<bool> governed =
-      IsKAnonymous(data.table, data.qid, node, config, governor, &stats);
+  Result<bool> governed = IsKAnonymous(data.table, data.qid, node, config,
+                                       RunContext::Governed(governor),
+                                       &stats);
   ASSERT_TRUE(governed.ok());
   EXPECT_EQ(governed.value(), plain);
   EXPECT_GE(stats.governor_checks, 1);
@@ -456,8 +457,8 @@ TEST(GovernedCheckerTest, GovernedCheckMatchesAndTrips) {
 
   ExecutionGovernor expired;
   expired.SetDeadline(Deadline::AfterMillis(0));
-  Result<bool> tripped =
-      IsKAnonymous(data.table, data.qid, node, config, expired, &stats);
+  Result<bool> tripped = IsKAnonymous(data.table, data.qid, node, config,
+                                      RunContext::Governed(expired), &stats);
   EXPECT_FALSE(tripped.ok());
   EXPECT_EQ(tripped.status().code(), StatusCode::kDeadlineExceeded);
 }

@@ -1,0 +1,378 @@
+// bench_diff — the machine-checked perf regression gate.
+//
+// Compares two BENCH_*.json files (bench/bench_util.h BenchReport format)
+// key by key: per-run stats/counters/phase_seconds/histograms (runs are
+// matched by their database/k/qid_size/algorithm identity), the derived
+// speedup keys, and the cumulative top-level counter/gauge sections.
+//
+//   bench_diff OLD.json NEW.json [options]
+//
+// Keys are classified by name and each class has its own relative
+// threshold:
+//   time      leaf key "seconds" or ending in "_seconds", plus keys
+//             containing "bytes" or "utilization" (noisy, lower is
+//             better): REGRESSION when new > old * (1 + time-threshold).
+//             Old values below --time-floor seconds are skipped — sub-
+//             millisecond timings are scheduler noise, not signal.
+//   speedup   keys containing "speedup" (noisy, higher is better):
+//             REGRESSION when new < old * (1 - speedup-threshold).
+//   exact     keys named "solutions" (a correctness answer): REGRESSION
+//             on any difference, in either direction.
+//   counter   everything else (deterministic work counters, lower is
+//             better): REGRESSION when new > old * (1 + counter-threshold)
+//             — defaults to exact, since the synthetic datasets are
+//             seeded and the search is deterministic.
+//
+// A run or key present in OLD but missing from NEW is a coverage
+// regression; keys only in NEW are accepted silently (schema growth).
+//
+// Options:
+//   --time-threshold=R      allowed relative slowdown (default 0.5)
+//   --speedup-threshold=R   allowed relative speedup loss (default 0.5)
+//   --counter-threshold=R   allowed relative counter growth (default 0)
+//   --time-floor=S          ignore time keys whose OLD value is below S
+//                           seconds (default 0.001)
+//   --ignore=SUBSTR[,...]   skip keys whose path contains any SUBSTR; a
+//                           leading '^' anchors the match at the start of
+//                           the dotted path
+//   --list                  also print improvements and skipped keys
+//
+// Exit codes (the CI contract):
+//   0  no regressions          3  malformed/incompatible input JSON
+//   1  regressions (each       4  I/O error reading a file
+//      printed as a named      2  usage error
+//      "REGRESSION <key>" line)
+//
+// CI runs this against bench/baselines/ with generous thresholds
+// (--time-threshold=1.0: hard-fail only on >2x slowdowns); see
+// .github/workflows/ci.yml and docs/OBSERVABILITY.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "obs/json_util.h"
+
+using incognito::Split;
+using incognito::StringPrintf;
+using incognito::obs::JsonValue;
+using incognito::obs::ParseJson;
+
+namespace {
+
+struct Options {
+  double time_threshold = 0.5;
+  double speedup_threshold = 0.5;
+  double counter_threshold = 0.0;
+  double time_floor = 1e-3;
+  std::vector<std::string> ignore;
+  bool list = false;
+};
+
+enum class KeyClass { kTime, kSpeedup, kExact, kCounter };
+
+/// Classifies a flattened key path by its leaf segment (see file header).
+KeyClass ClassifyKey(const std::string& path) {
+  size_t dot = path.rfind('.');
+  std::string leaf = dot == std::string::npos ? path : path.substr(dot + 1);
+  if (leaf.find("speedup") != std::string::npos) return KeyClass::kSpeedup;
+  if (leaf == "seconds" ||
+      (leaf.size() > 8 &&
+       leaf.compare(leaf.size() - 8, 8, "_seconds") == 0) ||
+      leaf.find("bytes") != std::string::npos ||
+      leaf.find("utilization") != std::string::npos) {
+    return KeyClass::kTime;
+  }
+  if (leaf == "solutions") return KeyClass::kExact;
+  return KeyClass::kCounter;
+}
+
+/// Flattens the numeric leaves of a JSON subtree into dotted key paths.
+void FlattenNumbers(const JsonValue& node, const std::string& prefix,
+                    std::map<std::string, double>* out) {
+  if (node.is_number()) {
+    (*out)[prefix] = node.num;
+    return;
+  }
+  if (node.is_object()) {
+    for (const auto& [key, child] : node.object) {
+      FlattenNumbers(child, prefix.empty() ? key : prefix + "." + key, out);
+    }
+    return;
+  }
+  if (node.is_array()) {
+    for (size_t i = 0; i < node.array.size(); ++i) {
+      FlattenNumbers(node.array[i], StringPrintf("%s.%zu", prefix.c_str(), i),
+                     out);
+    }
+  }
+}
+
+/// The comparison state threaded through every key check.
+struct Diff {
+  const Options& opts;
+  int regressions = 0;
+  int compared = 0;
+  int skipped = 0;
+  int improvements = 0;
+
+  explicit Diff(const Options& options) : opts(options) {}
+
+  bool Ignored(const std::string& path) const {
+    for (const std::string& needle : opts.ignore) {
+      if (needle.empty()) continue;
+      // A leading '^' anchors the needle at the start of the path (so
+      // "^counters" skips the cumulative process-wide section without
+      // touching runs.*.counters); otherwise substring match.
+      if (needle[0] == '^') {
+        if (path.rfind(needle.substr(1), 0) == 0) return true;
+      } else if (path.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Compare(const std::string& path, double old_value, double new_value) {
+    if (Ignored(path)) {
+      ++skipped;
+      if (opts.list) {
+        printf("ignored    %s\n", path.c_str());
+      }
+      return;
+    }
+    ++compared;
+    switch (ClassifyKey(path)) {
+      case KeyClass::kTime:
+        if (old_value < opts.time_floor) {
+          ++skipped;
+          if (opts.list) {
+            printf("below-floor %s (old=%g)\n", path.c_str(), old_value);
+          }
+          return;
+        }
+        if (new_value > old_value * (1.0 + opts.time_threshold)) {
+          Regress(path, old_value, new_value);
+        } else if (opts.list && new_value < old_value) {
+          Improve(path, old_value, new_value);
+        }
+        return;
+      case KeyClass::kSpeedup:
+        if (new_value < old_value * (1.0 - opts.speedup_threshold)) {
+          Regress(path, old_value, new_value);
+        } else if (opts.list && new_value > old_value) {
+          Improve(path, old_value, new_value);
+        }
+        return;
+      case KeyClass::kExact:
+        if (new_value != old_value) {
+          Regress(path, old_value, new_value);
+        }
+        return;
+      case KeyClass::kCounter:
+        if (new_value > old_value * (1.0 + opts.counter_threshold) &&
+            new_value > old_value) {
+          Regress(path, old_value, new_value);
+        } else if (opts.list && new_value < old_value) {
+          Improve(path, old_value, new_value);
+        }
+        return;
+    }
+  }
+
+  void Missing(const std::string& path) {
+    if (Ignored(path)) {
+      ++skipped;
+      return;
+    }
+    ++regressions;
+    printf("REGRESSION %s: present in OLD, missing from NEW\n", path.c_str());
+  }
+
+ private:
+  void Regress(const std::string& path, double old_value, double new_value) {
+    ++regressions;
+    double pct = old_value != 0 ? (new_value - old_value) / old_value * 100.0
+                                : 0.0;
+    printf("REGRESSION %s: old=%g new=%g (%+.1f%%)\n", path.c_str(),
+           old_value, new_value, pct);
+  }
+
+  void Improve(const std::string& path, double old_value, double new_value) {
+    ++improvements;
+    printf("improved   %s: old=%g new=%g\n", path.c_str(), old_value,
+           new_value);
+  }
+};
+
+/// Compares two flattened key sets under one path prefix.
+void CompareFlat(const std::string& prefix, const JsonValue& old_node,
+                 const JsonValue& new_node, Diff* diff) {
+  std::map<std::string, double> old_flat;
+  std::map<std::string, double> new_flat;
+  FlattenNumbers(old_node, prefix, &old_flat);
+  FlattenNumbers(new_node, prefix, &new_flat);
+  for (const auto& [path, old_value] : old_flat) {
+    auto it = new_flat.find(path);
+    if (it == new_flat.end()) {
+      diff->Missing(path);
+    } else {
+      diff->Compare(path, old_value, it->second);
+    }
+  }
+}
+
+/// The (database, k, qid_size, algorithm) identity that matches a run
+/// across the two reports.
+std::string RunKey(const JsonValue& run) {
+  const JsonValue* database = run.Find("database");
+  const JsonValue* k = run.Find("k");
+  const JsonValue* qid_size = run.Find("qid_size");
+  const JsonValue* algorithm = run.Find("algorithm");
+  return StringPrintf(
+      "%s/k=%lld/qid=%lld/%s",
+      database != nullptr ? database->StringOr("?").c_str() : "?",
+      static_cast<long long>(k != nullptr ? k->NumberOr(-1) : -1),
+      static_cast<long long>(qid_size != nullptr ? qid_size->NumberOr(-1)
+                                                 : -1),
+      algorithm != nullptr ? algorithm->StringOr("?").c_str() : "?");
+}
+
+int Usage() {
+  fprintf(stderr,
+          "usage: bench_diff OLD.json NEW.json [--time-threshold=R] "
+          "[--speedup-threshold=R] [--counter-threshold=R] [--time-floor=S] "
+          "[--ignore=SUBSTR,...] [--list]\n"
+          "see the header of tools/bench_diff.cpp for the full contract\n");
+  return 2;
+}
+
+/// Reads and parses one report; fills `doc` or returns the exit code.
+int LoadReport(const char* path, JsonValue* doc) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    fprintf(stderr, "error: cannot read %s\n", path);
+    return 4;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!ParseJson(buffer.str(), doc, &error)) {
+    fprintf(stderr, "error: %s is not valid JSON: %s\n", path, error.c_str());
+    return 3;
+  }
+  if (!doc->is_object() || doc->Find("runs") == nullptr ||
+      !doc->Find("runs")->is_array()) {
+    fprintf(stderr, "error: %s is not a BENCH_*.json report (no runs array)\n",
+            path);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(argv[i]);
+      continue;
+    }
+    size_t eq = arg.find('=');
+    std::string name = arg.substr(2, eq == std::string::npos ? std::string::npos
+                                                             : eq - 2);
+    std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (name == "time-threshold") {
+      opts.time_threshold = atof(value.c_str());
+    } else if (name == "speedup-threshold") {
+      opts.speedup_threshold = atof(value.c_str());
+    } else if (name == "counter-threshold") {
+      opts.counter_threshold = atof(value.c_str());
+    } else if (name == "time-floor") {
+      opts.time_floor = atof(value.c_str());
+    } else if (name == "ignore") {
+      for (const std::string& needle : Split(value, ',')) {
+        if (!needle.empty()) opts.ignore.push_back(needle);
+      }
+    } else if (name == "list") {
+      opts.list = true;
+    } else {
+      fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (positional.size() != 2) return Usage();
+
+  JsonValue old_doc;
+  JsonValue new_doc;
+  int code = LoadReport(positional[0], &old_doc);
+  if (code != 0) return code;
+  code = LoadReport(positional[1], &new_doc);
+  if (code != 0) return code;
+
+  const JsonValue* old_bench = old_doc.Find("bench");
+  const JsonValue* new_bench = new_doc.Find("bench");
+  if (old_bench != nullptr && new_bench != nullptr &&
+      old_bench->StringOr("") != new_bench->StringOr("")) {
+    fprintf(stderr, "error: comparing different benches ('%s' vs '%s')\n",
+            old_bench->StringOr("").c_str(), new_bench->StringOr("").c_str());
+    return 3;
+  }
+
+  Diff diff(opts);
+
+  // Per-run comparison, matched by identity. Identity strings themselves
+  // never enter the numeric comparison (RunKey consumes them).
+  std::map<std::string, const JsonValue*> new_runs;
+  for (const JsonValue& run : new_doc.Find("runs")->array) {
+    new_runs[RunKey(run)] = &run;
+  }
+  for (const JsonValue& run : old_doc.Find("runs")->array) {
+    std::string key = RunKey(run);
+    auto it = new_runs.find(key);
+    if (it == new_runs.end()) {
+      diff.Missing("runs." + key);
+      continue;
+    }
+    for (const char* section :
+         {"seconds", "solutions", "stats", "counters", "phase_seconds",
+          "histograms"}) {
+      const JsonValue* old_section = run.Find(section);
+      if (old_section == nullptr) continue;
+      const JsonValue* new_section = it->second->Find(section);
+      std::string prefix = "runs." + key + "." + section;
+      if (new_section == nullptr) {
+        diff.Missing(prefix);
+        continue;
+      }
+      CompareFlat(prefix, *old_section, *new_section, &diff);
+    }
+  }
+
+  // Derived cross-run scalars (speedups) and the cumulative process-wide
+  // counter/gauge sections.
+  for (const char* section : {"derived", "counters", "gauges"}) {
+    const JsonValue* old_section = old_doc.Find(section);
+    if (old_section == nullptr) continue;
+    const JsonValue* new_section = new_doc.Find(section);
+    if (new_section == nullptr) {
+      diff.Missing(section);
+      continue;
+    }
+    CompareFlat(section, *old_section, *new_section, &diff);
+  }
+
+  printf("%d keys compared, %d regressions, %d skipped%s\n", diff.compared,
+         diff.regressions, diff.skipped,
+         diff.regressions == 0 ? " -- OK" : "");
+  return diff.regressions == 0 ? 0 : 1;
+}

@@ -19,12 +19,21 @@
 //   digits:NUM:LEVELS    fixed-width digit rounding (e.g. digits:5:3)
 //   date                 YYYY-MM-DD → YYYY-MM → YYYY → '*'
 //
-// Observability (any subcommand):
-//   --stats          print the run's AlgorithmStats counters on stdout
+// Observability (any subcommand; see docs/OBSERVABILITY.md):
+//   --stats          print the run's AlgorithmStats counters plus the
+//                    sorted counter/gauge/histogram deltas on stdout
+//   --stats=json     the same data as one JSON object on stdout
 //   --trace=FILE     write a Chrome trace_event JSON (chrome://tracing,
-//                    Perfetto) of the run's instrumented spans
+//                    Perfetto) of the run's instrumented spans and, on
+//                    parallel runs, per-worker scheduler swimlanes
+//   --trace-capacity=N      cap the trace buffer at N events (default
+//                    262144; overflow is counted, not grown)
 //   --report=FILE    write a machine-readable RunReport JSON (config,
-//                    dataset shape, counters, per-phase span rollups)
+//                    dataset shape, counters, histograms, per-phase span
+//                    rollups, scheduler telemetry)
+//   --sample-interval-ms=N  sample process RSS and CPU every N ms on a
+//                    background thread; emits trace counter tracks and
+//                    peak_rss_bytes / cpu_seconds report fields
 //
 // Parallel search (check, enumerate, anonymize, models):
 //   --threads=N      evaluate each lattice level — and, inside a node, the
@@ -97,7 +106,10 @@
 #include "models/ordered_set.h"
 #include "models/subgraph.h"
 #include "models/subtree.h"
+#include "obs/counters.h"
+#include "obs/json_util.h"
 #include "obs/report.h"
+#include "obs/resource_sampler.h"
 #include "obs/trace.h"
 #include "relation/binary_io.h"
 #include "relation/csv.h"
@@ -109,10 +121,13 @@ using namespace incognito;
 
 namespace {
 
-/// The --stats/--trace/--report wiring shared by every subcommand.
-/// Subcommands fill in dataset shape and the run's AlgorithmStats; main
-/// writes the trace and report files after the subcommand returns.
+/// The --stats/--trace/--report/--sample-interval-ms wiring shared by
+/// every subcommand. Subcommands fill in dataset shape and the run's
+/// AlgorithmStats; main writes the trace and report files after the
+/// subcommand returns.
 struct ObsSession {
+  enum class StatsMode { kOff, kText, kJson };
+
   ObsSession(const std::string& command,
              const std::map<std::string, std::string>& args)
       : report("incognito_cli", command) {
@@ -122,20 +137,37 @@ struct ObsSession {
     };
     trace_path = get("trace");
     report_path = get("report");
-    print_stats = get("stats") == "true";
+    std::string stats_flag = get("stats");
+    if (stats_flag == "json") {
+      stats_mode = StatsMode::kJson;
+    } else if (!stats_flag.empty()) {
+      stats_mode = StatsMode::kText;
+    }
     if (!get("input").empty()) report.SetString("input", get("input"));
     report.SetInt("k", atoll(get("k").empty() ? "2" : get("k").c_str()));
     if (!get("suppress").empty()) {
       report.SetInt("max_suppressed", atoll(get("suppress").c_str()));
     }
+    std::string capacity = get("trace-capacity");
+    if (!capacity.empty()) {
+      obs::TraceRecorder::Global().SetCapacity(
+          static_cast<size_t>(atoll(capacity.c_str())));
+    }
     if (!trace_path.empty()) obs::TraceRecorder::Global().Enable();
+    std::string interval = get("sample-interval-ms");
+    if (!interval.empty()) {
+      sampling = true;
+      sampler.Start(atoll(interval.c_str()));
+    }
     before = obs::MetricsSnapshot::Take();
   }
 
   void RecordStats(const AlgorithmStats& s) {
     stats = s;
     have_stats = true;
-    if (print_stats) printf("stats: %s\n", s.ToString().c_str());
+    if (stats_mode == StatsMode::kText) {
+      printf("stats: %s\n", s.ToString().c_str());
+    }
   }
 
   void RecordShape(const Table& table, const QuasiIdentifier& qid) {
@@ -145,15 +177,41 @@ struct ObsSession {
     report.SetInt("lattice_size", static_cast<int64_t>(qid.LatticeSize()));
   }
 
-  /// Writes --trace/--report outputs; returns 1 if either write failed.
+  /// Per-worker busy fractions from a parallel run (empty otherwise).
+  void RecordUtilization(const std::vector<double>& utilization) {
+    if (!utilization.empty()) {
+      report.SetDoubleList("worker_utilization", utilization);
+    }
+  }
+
+  /// The governor's own byte-accounting high-water mark, exported next to
+  /// the sampler's peak RSS so the two can be cross-checked (the governor
+  /// counts accounted structures; RSS counts the whole process).
+  void RecordGovernorPeak(const ExecutionGovernor& governor) {
+    report.SetInt("governor_peak_bytes", governor.memory().peak());
+  }
+
+  /// Writes --stats/--trace/--report outputs; returns 1 if a file write
+  /// failed.
   int Finish(int exit_code) {
     int out = exit_code;
+    sampler.Stop();
+    obs::MetricsSnapshot delta =
+        obs::MetricsSnapshot::Take().DeltaSince(before);
+    if (stats_mode == StatsMode::kText) {
+      PrintMetricsText(delta);
+    } else if (stats_mode == StatsMode::kJson) {
+      PrintMetricsJson(delta);
+    }
     if (!trace_path.empty()) {
-      obs::TraceRecorder::Global().Disable();
-      Status s = obs::TraceRecorder::Global().WriteJson(trace_path);
+      obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+      if (sampling) sampler.ExportCounterEvents(recorder);
+      recorder.Disable();
+      Status s = recorder.WriteJson(trace_path);
       if (s.ok()) {
-        fprintf(stderr, "wrote trace (%zu events) to %s\n",
-                obs::TraceRecorder::Global().num_events(),
+        fprintf(stderr, "wrote trace (%zu events, %llu dropped) to %s\n",
+                recorder.num_events(),
+                static_cast<unsigned long long>(recorder.dropped_events()),
                 trace_path.c_str());
       } else {
         fprintf(stderr, "error: %s\n", s.ToString().c_str());
@@ -162,8 +220,22 @@ struct ObsSession {
     }
     if (!report_path.empty()) {
       report.SetInt("exit_code", exit_code);
+      // Samples() is empty when the sampler is compiled out
+      // (INCOGNITO_OBS_DISABLED: Start() never launches the thread) —
+      // omit the fields rather than reporting a fake zero peak.
+      if (sampling && !sampler.Samples().empty()) {
+        report.SetInt("peak_rss_bytes", sampler.peak_rss_bytes());
+        report.SetDouble("cpu_seconds", sampler.cpu_seconds());
+        report.SetInt("resource_samples",
+                      static_cast<int64_t>(sampler.Samples().size()));
+      }
+      uint64_t dropped = obs::TraceRecorder::Global().dropped_events();
+      if (dropped > 0) {
+        report.SetInt("trace_dropped_events",
+                      static_cast<int64_t>(dropped));
+      }
       if (have_stats) obs::AddAlgorithmStats(stats, &report);
-      report.AddMetrics(obs::MetricsSnapshot::Take().DeltaSince(before));
+      report.AddMetrics(delta);
       report.AddSpans(obs::TraceRecorder::Global());
       Status s = report.WriteFile(report_path);
       if (s.ok()) {
@@ -176,10 +248,98 @@ struct ObsSession {
     return out;
   }
 
+  /// Sorted text dump of the run's counter/gauge/histogram deltas (the
+  /// maps are ordered, so the output order is stable across runs).
+  static void PrintMetricsText(const obs::MetricsSnapshot& m) {
+    for (const auto& [name, value] : m.counters) {
+      printf("counter %s = %lld\n", name.c_str(),
+             static_cast<long long>(value));
+    }
+    for (const auto& [name, value] : m.gauges) {
+      printf("gauge %s = %.6f\n", name.c_str(), value);
+    }
+    for (const auto& [name, hist] : m.histograms) {
+      printf("hist %s count=%lld p50=%.6fs p95=%.6fs p99=%.6fs max=%.6fs\n",
+             name.c_str(), static_cast<long long>(hist.count),
+             hist.PercentileSeconds(50), hist.PercentileSeconds(95),
+             hist.PercentileSeconds(99), hist.MaxSeconds());
+    }
+  }
+
+  /// The same data as one JSON object on stdout (--stats=json).
+  void PrintMetricsJson(const obs::MetricsSnapshot& m) const {
+    std::string out = "{";
+    if (have_stats) {
+      out += "\"algorithm_stats\": {";
+      out += StringPrintf(
+          "\"cancel_trips\": %lld, \"candidate_nodes\": %lld, "
+          "\"critical_path_seconds\": %s, \"cube_build_seconds\": %s, "
+          "\"deadline_trips\": %lld, \"freq_groups_built\": %lld, "
+          "\"governor_checks\": %lld, \"memory_trips\": %lld, "
+          "\"nodes_checked\": %lld, \"nodes_marked\": %lld, "
+          "\"parallel_workers\": %lld, \"rollups\": %lld, "
+          "\"scheduler_idle_seconds\": %s, \"table_scans\": %lld, "
+          "\"tasks_scheduled\": %lld, \"total_seconds\": %s",
+          static_cast<long long>(stats.cancel_trips),
+          static_cast<long long>(stats.candidate_nodes),
+          obs::JsonDouble(stats.critical_path_seconds).c_str(),
+          obs::JsonDouble(stats.cube_build_seconds).c_str(),
+          static_cast<long long>(stats.deadline_trips),
+          static_cast<long long>(stats.freq_groups_built),
+          static_cast<long long>(stats.governor_checks),
+          static_cast<long long>(stats.memory_trips),
+          static_cast<long long>(stats.nodes_checked),
+          static_cast<long long>(stats.nodes_marked),
+          static_cast<long long>(stats.parallel_workers),
+          static_cast<long long>(stats.rollups),
+          obs::JsonDouble(stats.scheduler_idle_seconds).c_str(),
+          static_cast<long long>(stats.table_scans),
+          static_cast<long long>(stats.tasks_scheduled),
+          obs::JsonDouble(stats.total_seconds).c_str());
+      out += "}, ";
+    }
+    out += "\"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : m.counters) {
+      out += StringPrintf("%s%s: %lld", first ? "" : ", ",
+                          obs::JsonString(name).c_str(),
+                          static_cast<long long>(value));
+      first = false;
+    }
+    out += "}, \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : m.gauges) {
+      out += StringPrintf("%s%s: %s", first ? "" : ", ",
+                          obs::JsonString(name).c_str(),
+                          obs::JsonDouble(value).c_str());
+      first = false;
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const auto& [name, hist] : m.histograms) {
+      out += StringPrintf(
+          "%s%s: {\"count\": %lld, \"p50_seconds\": %s, "
+          "\"p95_seconds\": %s, \"p99_seconds\": %s, \"max_seconds\": %s, "
+          "\"mean_seconds\": %s}",
+          first ? "" : ", ", obs::JsonString(name).c_str(),
+          static_cast<long long>(hist.count),
+          obs::JsonDouble(hist.PercentileSeconds(50)).c_str(),
+          obs::JsonDouble(hist.PercentileSeconds(95)).c_str(),
+          obs::JsonDouble(hist.PercentileSeconds(99)).c_str(),
+          obs::JsonDouble(hist.MaxSeconds()).c_str(),
+          obs::JsonDouble(hist.MeanSeconds()).c_str());
+      first = false;
+    }
+    out += "}}\n";
+    fputs(out.c_str(), stdout);
+  }
+
   obs::RunReport report;
   std::string trace_path;
   std::string report_path;
-  bool print_stats = false;
+  StatsMode stats_mode = StatsMode::kOff;
+  obs::ResourceSampler sampler;
+  bool sampling = false;
   obs::MetricsSnapshot before;
   AlgorithmStats stats;
   bool have_stats = false;
@@ -509,9 +669,10 @@ int CmdCheck(const std::map<std::string, std::string>& args,
     // trip always fails here regardless of --on-budget.
     ExecutionGovernor governor;
     gov->Apply(&governor);
-    Result<bool> governed = IsKAnonymous(problem->table, problem->qid,
-                                         node.value(), config, governor,
-                                         &stats, run_opts->num_threads);
+    Result<bool> governed = IsKAnonymous(
+        problem->table, problem->qid, node.value(), config,
+        RunContext::Governed(governor, run_opts->num_threads), &stats);
+    obs->RecordGovernorPeak(governor);
     if (!governed.ok()) {
       obs->RecordStats(stats);
       return Fail(governed.status());
@@ -563,6 +724,8 @@ int CmdEnumerate(const std::map<std::string, std::string>& args,
   PartialResult<IncognitoResult> result =
       RunIncognito(problem->table, problem->qid, config, *run_opts, ctx);
   if (result.hard_error()) return Fail(result.status());
+  if (gov->enabled) obs->RecordGovernorPeak(governor);
+  obs->RecordUtilization(result->worker_utilization);
   if (result.partial()) {
     if (!gov->partial_ok) {
       obs->RecordStats(result->stats);
@@ -622,6 +785,8 @@ int CmdAnonymize(const std::map<std::string, std::string>& args,
     PartialResult<IncognitoResult> result =
         RunIncognito(problem->table, problem->qid, config, *run_opts, ctx);
     if (result.hard_error()) return Fail(result.status());
+    if (gov->enabled) obs->RecordGovernorPeak(governor);
+    obs->RecordUtilization(result->worker_utilization);
     obs->RecordStats(result->stats);
     if (result.partial()) {
       // A partial enumeration may have proven no node yet; with

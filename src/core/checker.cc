@@ -41,6 +41,11 @@ void AlgorithmStats::MergeCounters(const AlgorithmStats& other) {
   tasks_scheduled += other.tasks_scheduled;
   critical_path_seconds += other.critical_path_seconds;
   scheduler_idle_seconds += other.scheduler_idle_seconds;
+  checkpoint_writes += other.checkpoint_writes;
+  checkpoint_bytes += other.checkpoint_bytes;
+  checkpoint_write_failures += other.checkpoint_write_failures;
+  restored_iterations += other.restored_iterations;
+  restored_subsets += other.restored_subsets;
 }
 
 std::string AlgorithmStats::ToString() const {
@@ -48,7 +53,9 @@ std::string AlgorithmStats::ToString() const {
       "checked=%lld marked=%lld scans=%lld rollups=%lld groups=%lld "
       "candidates=%lld cube=%.3fs total=%.3fs gov_checks=%lld "
       "dl_trips=%lld mem_trips=%lld cancel_trips=%lld workers=%lld "
-      "tasks=%lld critical_path=%.3fs idle=%.3fs",
+      "tasks=%lld critical_path=%.3fs idle=%.3fs ckpt_writes=%lld "
+      "ckpt_bytes=%lld ckpt_failures=%lld restored_iters=%lld "
+      "restored_subsets=%lld",
       static_cast<long long>(nodes_checked),
       static_cast<long long>(nodes_marked),
       static_cast<long long>(table_scans), static_cast<long long>(rollups),
@@ -60,7 +67,11 @@ std::string AlgorithmStats::ToString() const {
       static_cast<long long>(cancel_trips),
       static_cast<long long>(parallel_workers),
       static_cast<long long>(tasks_scheduled), critical_path_seconds,
-      scheduler_idle_seconds);
+      scheduler_idle_seconds, static_cast<long long>(checkpoint_writes),
+      static_cast<long long>(checkpoint_bytes),
+      static_cast<long long>(checkpoint_write_failures),
+      static_cast<long long>(restored_iterations),
+      static_cast<long long>(restored_subsets));
 }
 
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,

@@ -57,6 +57,15 @@ struct AlgorithmStats {
   double critical_path_seconds = 0;  ///< longest dependency chain of tasks
   double scheduler_idle_seconds = 0; ///< worker-seconds spent waiting
 
+  // Crash-safe checkpointing activity (robust/checkpoint.h; zero when the
+  // run had no CheckpointPolicy). Not part of the bit-identity contract —
+  // like the governor counters, they describe the run, not the answer.
+  int64_t checkpoint_writes = 0;          ///< snapshots written successfully
+  int64_t checkpoint_bytes = 0;           ///< bytes across written snapshots
+  int64_t checkpoint_write_failures = 0;  ///< writes that failed (non-fatal)
+  int64_t restored_iterations = 0;  ///< subset-size levels skipped on resume
+  int64_t restored_subsets = 0;     ///< pipelined subset tasks skipped on resume
+
   /// Merges accumulable costs from another stats object: every counter
   /// plus cube_build_seconds (a summable pre-computation cost). Only
   /// total_seconds is excluded — it is end-to-end wall clock, which does

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "core/checkpoint_resume.h"
 #include "core/parallel.h"
+#include "robust/checkpoint.h"
 #include "freq/cube.h"
 #include "freq/frequency_set.h"
 #include "lattice/candidate_gen.h"
@@ -287,7 +290,7 @@ class GraphSearch {
 PartialResult<IncognitoResult> RunIncognitoImpl(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config, const IncognitoOptions& options,
-    ExecutionGovernor* governor) {
+    ExecutionGovernor* governor, const CheckpointPolicy* checkpoint_policy) {
   if (config.k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
@@ -303,9 +306,28 @@ PartialResult<IncognitoResult> RunIncognitoImpl(
   Stopwatch total_timer;
   IncognitoResult result;
 
+  // Crash-safe checkpointing (robust/checkpoint.h): records completed
+  // iterations and spills them per the policy; on a trip the snapshot is
+  // written before the partial result is released.
+  std::unique_ptr<CheckpointManager> ckpt;
+  CheckpointFingerprint fingerprint;
+  if (checkpoint_policy != nullptr && checkpoint_policy->enabled()) {
+    fingerprint = MakeCheckpointFingerprint(table, qid, config, options);
+    ckpt = std::make_unique<CheckpointManager>(*checkpoint_policy,
+                                               fingerprint);
+  }
+  auto export_checkpoint_stats = [&] {
+    if (ckpt == nullptr) return;
+    result.stats.checkpoint_writes = ckpt->writes();
+    result.stats.checkpoint_bytes = ckpt->bytes_written();
+    result.stats.checkpoint_write_failures = ckpt->write_failures();
+  };
+
   // Finalizes stats and wraps a budget trip into a partial result; hard
   // errors pass through value-less.
   auto stop_early = [&](Status trip) -> PartialResult<IncognitoResult> {
+    if (ckpt != nullptr) ckpt->WriteNow();  // spill before dying
+    export_checkpoint_stats();
     result.stats.total_seconds = total_timer.ElapsedSeconds();
     if (governor != nullptr) governor->ExportTrips(&result.stats);
     if (IsResourceGovernance(trip.code())) {
@@ -314,6 +336,29 @@ PartialResult<IncognitoResult> RunIncognitoImpl(
     }
     return trip;
   };
+
+  // Resume decision — before any expensive setup, so a kRequire failure
+  // costs nothing. The restored prefix is re-anchored into regenerated
+  // candidate graphs with no stats counted (the restored deltas already
+  // carry those counters).
+  SerialResumeState resumed;
+  if (ckpt != nullptr) {
+    Result<ResumeDecision> decision =
+        DecideResume(checkpoint_policy, fingerprint);
+    if (!decision.ok()) return stop_early(decision.status());
+    if (decision->restore) {
+      Result<SerialResumeState> state =
+          RestoreSerialPrefix(decision->snapshot, qid);
+      if (!state.ok()) {
+        if (checkpoint_policy->resume == ResumeMode::kRequire) {
+          return stop_early(state.status());
+        }
+      } else {
+        resumed = std::move(state).value();
+        if (resumed.completed > 0) ckpt->Seed(decision->snapshot);
+      }
+    }
+  }
 
   // Cube Incognito pre-computes all zero-generalization frequency sets.
   ZeroGenCube cube;
@@ -335,12 +380,33 @@ PartialResult<IncognitoResult> RunIncognitoImpl(
   GraphSearch search(table, qid, config, options, cube_ptr, &result.stats,
                      governor);
 
-  // C_1, E_1: the single-attribute hierarchies.
-  CandidateGraph graph = MakeSingleAttributeGraph(qid);
   const size_t n = qid.size();
-  for (size_t i = 1; i <= n; ++i) {
+  size_t start_iteration = 1;
+  CandidateGraph graph;
+  if (resumed.completed > 0) {
+    result.per_iteration_survivors = resumed.per_iteration_survivors;
+    result.completed_iterations = resumed.completed;
+    result.stats.restored_iterations = resumed.completed;
+    AddCounters(resumed.restored, &result.stats);
+    if (static_cast<size_t>(resumed.completed) == n) {
+      // The checkpoint covers the whole search.
+      result.anonymous_nodes = result.per_iteration_survivors.back();
+      cube.ReleaseMemory(governor);
+      export_checkpoint_stats();
+      result.stats.total_seconds = total_timer.ElapsedSeconds();
+      if (governor != nullptr) governor->ExportTrips(&result.stats);
+      return result;
+    }
+    start_iteration = static_cast<size_t>(resumed.completed) + 1;
+    graph = GenerateNextGraph(resumed.survivors, nullptr, governor);
+  } else {
+    // C_1, E_1: the single-attribute hierarchies.
+    graph = MakeSingleAttributeGraph(qid);
+  }
+  for (size_t i = start_iteration; i <= n; ++i) {
     INCOGNITO_SPAN("incognito.iteration");
     INCOGNITO_COUNT("incognito.iterations");
+    const AlgorithmStats before_iteration = result.stats;
     result.stats.candidate_nodes += static_cast<int64_t>(graph.num_nodes());
     Result<std::vector<bool>> failed_or = search.Run(graph);
     if (!failed_or.ok()) {
@@ -363,6 +429,12 @@ PartialResult<IncognitoResult> RunIncognitoImpl(
     result.per_iteration_survivors.push_back(survivor_nodes);
     result.completed_iterations = static_cast<int64_t>(i);
 
+    if (ckpt != nullptr) {
+      ckpt->AddIteration(static_cast<uint32_t>(i), survivor_nodes,
+                         CounterDelta(before_iteration, result.stats));
+      ckpt->MaybeWrite();
+    }
+
     if (i == n) {
       result.anonymous_nodes = std::move(survivor_nodes);
       break;
@@ -374,6 +446,8 @@ PartialResult<IncognitoResult> RunIncognitoImpl(
   }
   cube.ReleaseMemory(governor);
 
+  if (ckpt != nullptr) ckpt->WriteNow();  // make the final iteration durable
+  export_checkpoint_stats();
   result.stats.total_seconds = total_timer.ElapsedSeconds();
   if (governor != nullptr) governor->ExportTrips(&result.stats);
   return result;
@@ -393,7 +467,8 @@ PartialResult<IncognitoResult> RunIncognito(const Table& table,
     parallel_ctx.num_threads = num_threads;
     return RunIncognitoParallel(table, qid, config, options, parallel_ctx);
   }
-  return RunIncognitoImpl(table, qid, config, options, ctx.governor);
+  return RunIncognitoImpl(table, qid, config, options, ctx.governor,
+                          ctx.checkpoint);
 }
 
 }  // namespace incognito

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "core/checkpoint_resume.h"
 #include "freq/cube.h"
 #include "freq/frequency_set.h"
 #include "lattice/candidate_gen.h"
@@ -19,6 +20,7 @@
 #include "obs/obs.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "robust/checkpoint.h"
 #include "robust/fault_injector.h"
 
 namespace incognito {
@@ -602,7 +604,8 @@ class SubsetGraphWalk {
 PartialResult<IncognitoResult> RunIncognitoParallelImpl(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config, const IncognitoOptions& options,
-    ExecutionGovernor* external, int num_threads, SchedulingMode mode) {
+    ExecutionGovernor* external, int num_threads, SchedulingMode mode,
+    const CheckpointPolicy* checkpoint_policy) {
   if (config.k < 1) {
     return Status::InvalidArgument("k must be >= 1");
   }
@@ -638,10 +641,27 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
   }
   std::vector<AlgorithmStats> worker_stats(static_cast<size_t>(workers));
 
+  // Crash-safe checkpointing (robust/checkpoint.h): the pipelined DAG
+  // records one mask record per finished subset task, the barrier loop one
+  // iteration record per finished subset size; a trip spills the snapshot
+  // before the partial result is released.
+  std::unique_ptr<CheckpointManager> ckpt;
+  CheckpointFingerprint fingerprint;
+  if (checkpoint_policy != nullptr && checkpoint_policy->enabled()) {
+    fingerprint = MakeCheckpointFingerprint(table, qid, config, options);
+    ckpt = std::make_unique<CheckpointManager>(*checkpoint_policy,
+                                               fingerprint);
+  }
+
   // Drains every shard back into the governor, folds the workers' stats
   // into the result, and records the shard high-water marks. Runs exactly
   // once, on every return path.
   auto finalize = [&]() {
+    if (ckpt != nullptr) {
+      result.stats.checkpoint_writes = ckpt->writes();
+      result.stats.checkpoint_bytes = ckpt->bytes_written();
+      result.stats.checkpoint_write_failures = ckpt->write_failures();
+    }
     result.shard_high_water_bytes.clear();
     for (auto& shard : shards) {
       result.shard_high_water_bytes.push_back(shard->high_water_bytes());
@@ -671,6 +691,7 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
   };
 
   auto stop_early = [&](Status trip) -> PartialResult<IncognitoResult> {
+    if (ckpt != nullptr) ckpt->WriteNow();  // spill before dying
     finalize();
     if (IsResourceGovernance(trip.code())) {
       return PartialResult<IncognitoResult>::Partial(std::move(trip),
@@ -678,6 +699,16 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
     }
     return trip;
   };
+
+  // Resume decision — before the cube build, so a kRequire failure costs
+  // nothing. Restore itself is mode-specific and happens below.
+  ResumeDecision resume_decision;
+  if (ckpt != nullptr) {
+    Result<ResumeDecision> decision =
+        DecideResume(checkpoint_policy, fingerprint);
+    if (!decision.ok()) return stop_early(decision.status());
+    resume_decision = std::move(decision).value();
+  }
 
   // Cube Incognito pre-computes all zero-generalization frequency sets
   // across the pool — a parallel root scan plus DAG-scheduled projections
@@ -750,6 +781,138 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
       if (size == 1) ready.insert(m);
     }
 
+    // Resume: re-anchor the checkpointed, downward-closed set of finished
+    // subsets into regenerated candidate graphs and mark their tasks done
+    // before the pool starts. Everything fallible is computed into locals
+    // first, so a kAuto fallback leaves the fresh scheduler state intact.
+    bool apex_restored = false;
+    std::vector<SubsetNode> apex_restored_nodes;
+    if (ckpt != nullptr && resume_decision.restore) {
+      const CheckpointSnapshot& snap = resume_decision.snapshot;
+      std::map<uint32_t, CandidateGraph> restored_graphs;
+      std::map<uint32_t, std::vector<SubsetNode>> restored_nodes;
+      CheckpointCounters restored_counters;
+      const CheckpointRecord* apex_record = nullptr;
+      Status restore_status = [&]() -> Status {
+        std::vector<CheckpointLevel> levels =
+            LevelsFromSnapshot(snap, static_cast<int>(n));
+        size_t prefix = 0;
+        for (size_t s = 1; s < n; ++s) {
+          if (!levels[s].complete) break;
+          prefix = s;
+        }
+        std::map<uint32_t, const CheckpointRecord*> mask_records;
+        for (const CheckpointRecord& rec : snap.records) {
+          if (rec.kind == CheckpointRecord::Kind::kMask) {
+            mask_records[rec.key] = &rec;
+          }
+        }
+        // Restorable masks: every subset inside the complete level prefix
+        // (survivors split back out by dims — a mask with no survivors is
+        // still finished), then the closure of mask records beyond it
+        // whose immediate sub-subsets are all restorable. Ascending mask
+        // order is a topological order (a parent m ^ bit is < m).
+        for (size_t s = 1; s <= prefix; ++s) {
+          for (uint32_t m = 1; m < full; ++m) {
+            if (static_cast<size_t>(__builtin_popcount(m)) == s) {
+              restored_nodes[m];
+            }
+          }
+          for (const SubsetNode& node : levels[s].survivors) {
+            uint32_t m = 0;
+            for (int32_t d : node.dims) m |= 1u << d;
+            restored_nodes[m].push_back(node);
+          }
+          restored_counters += levels[s].counters;
+        }
+        for (uint32_t m = 1; m < full; ++m) {
+          const size_t s = static_cast<size_t>(__builtin_popcount(m));
+          if (s <= prefix) continue;
+          auto it = mask_records.find(m);
+          if (it == mask_records.end()) continue;
+          bool parents_restored = true;
+          if (s > 1) {
+            for (size_t d = 0; d < n && parents_restored; ++d) {
+              if ((m & (1u << d)) && !restored_nodes.count(m ^ (1u << d))) {
+                parents_restored = false;
+              }
+            }
+          }
+          if (!parents_restored) continue;
+          restored_nodes[m] = it->second->survivors;
+          restored_counters += it->second->counters;
+        }
+        // Regenerate each restorable mask's candidate graph from the
+        // already-rebuilt parents and re-anchor its survivors (no stats
+        // counted — the restored deltas carry those counters).
+        for (const auto& [m, nodes] : restored_nodes) {
+          const int size = __builtin_popcount(m);
+          CandidateGraph candidates;
+          if (size == 1) {
+            size_t dim = 0;
+            while (((m >> dim) & 1u) == 0) ++dim;
+            candidates = MakeSingleDimensionChain(qid, dim);
+          } else {
+            std::vector<const CandidateGraph*> parents;
+            parents.reserve(static_cast<size_t>(size));
+            for (size_t d = 0; d < n; ++d) {
+              if (m & (1u << d)) {
+                parents.push_back(&restored_graphs[m ^ (1u << d)]);
+              }
+            }
+            candidates = GenerateSubsetGraph(parents);
+          }
+          Result<CandidateGraph> survivors =
+              RebuildSurvivorGraph(candidates, nodes);
+          if (!survivors.ok()) return survivors.status();
+          restored_graphs[m] = std::move(survivors).value();
+        }
+        // The apex (full-mask) record short-circuits the final search —
+        // valid only when every proper subset is restorable.
+        auto apex_it = mask_records.find(full);
+        if (apex_it != mask_records.end() &&
+            restored_nodes.size() == static_cast<size_t>(full) - 1) {
+          apex_record = apex_it->second;
+          restored_counters += apex_record->counters;
+        }
+        return Status::OK();
+      }();
+      if (!restore_status.ok()) {
+        if (checkpoint_policy->resume == ResumeMode::kRequire) {
+          cube.ReleaseMemory(governor);
+          return stop_early(restore_status);
+        }
+      } else if (!restored_graphs.empty()) {
+        ckpt->Seed(snap);
+        for (auto& [m, graph] : restored_graphs) {
+          const int size = __builtin_popcount(m);
+          SubsetTask& task = tasks[m];
+          task.survivors = std::move(graph);
+          task.done = true;
+          ready.erase(m);
+          --remaining_tasks;
+          --tasks_left_for_size[static_cast<size_t>(size)];
+          if (static_cast<size_t>(size) + 1 < n) {
+            for (size_t d = 0; d < n; ++d) {
+              if (m & (1u << d)) continue;
+              uint32_t child = m | (1u << d);
+              // A restored child re-erases itself when its own entry
+              // applies (map order visits parents first).
+              if (--tasks[child].remaining == 0) ready.insert(child);
+            }
+          }
+        }
+        if (apex_record != nullptr) {
+          apex_restored = true;
+          apex_restored_nodes = apex_record->survivors;
+        }
+        result.stats.restored_subsets =
+            static_cast<int64_t>(restored_graphs.size()) +
+            (apex_restored ? 1 : 0);
+        AddCounters(restored_counters, &result.stats);
+      }
+    }
+
 #ifndef INCOGNITO_OBS_DISABLED
     // The DAG records one timeline event per subset task itself; detach
     // the pool so the thread-group launch below isn't logged as one giant
@@ -797,6 +960,10 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
         }
         lock.unlock();
 
+        // Snapshot for the checkpoint delta: this worker's stats are only
+        // ever touched on this thread.
+        const AlgorithmStats task_before = wstats;
+
         Status bad = shard.Check();
         if (bad.ok() && INCOGNITO_FAULT_FIRED("incognito.subset.schedule")) {
           // Fault site "incognito.subset.schedule": an injected failure
@@ -839,6 +1006,20 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
           timeline.Record(std::move(event));
         }
 #endif
+
+        if (ckpt != nullptr && bad.ok()) {
+          // Record the finished subset outside the scheduler lock — the
+          // policy-gated write does file I/O.
+          std::vector<SubsetNode> task_nodes;
+          task_nodes.reserve(survivors.num_nodes());
+          for (const NodeRow& row : survivors.nodes()) {
+            task_nodes.push_back(row.ToSubsetNode());
+          }
+          std::sort(task_nodes.begin(), task_nodes.end());
+          ckpt->AddMask(m, std::move(task_nodes),
+                        CounterDelta(task_before, wstats));
+          ckpt->MaybeWrite();
+        }
 
         lock.lock();
         if (!bad.ok()) {
@@ -916,6 +1097,23 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
     // ---- Apex: C_n, searched level-parallel across the whole pool ------
     INCOGNITO_SPAN("incognito.iteration");
     INCOGNITO_COUNT("incognito.iterations");
+    if (apex_restored) {
+      // The checkpoint covers the whole search, apex included.
+      result.per_iteration_survivors.push_back(apex_restored_nodes);
+      result.completed_iterations = static_cast<int64_t>(n);
+      result.anonymous_nodes = std::move(apex_restored_nodes);
+      cube.ReleaseMemory(governor);
+      finalize();
+      return result;
+    }
+    // Delta for the apex checkpoint record: the level-parallel search
+    // spreads its counters over the main stats and every worker's.
+    auto sum_counters = [&] {
+      CheckpointCounters sum = CountersFrom(result.stats);
+      for (const AlgorithmStats& ws : worker_stats) sum += CountersFrom(ws);
+      return sum;
+    };
+    const CheckpointCounters apex_before = sum_counters();
     std::vector<const CandidateGraph*> apex_parents;
     apex_parents.reserve(n);
     for (size_t j = 0; j < n; ++j) {
@@ -941,6 +1139,12 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
     std::sort(survivor_nodes.begin(), survivor_nodes.end());
     result.per_iteration_survivors.push_back(survivor_nodes);
     result.completed_iterations = static_cast<int64_t>(n);
+    if (ckpt != nullptr) {
+      CheckpointCounters apex_delta = sum_counters();
+      apex_delta -= apex_before;
+      ckpt->AddMask(full, survivor_nodes, apex_delta);
+      ckpt->WriteNow();  // the run is complete; make it durable
+    }
     result.anonymous_nodes = std::move(survivor_nodes);
     cube.ReleaseMemory(governor);
 
@@ -948,10 +1152,50 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
     return result;
   }
 
-  CandidateGraph graph = MakeSingleAttributeGraph(qid);
-  for (size_t i = 1; i <= n; ++i) {
+  // Barrier loop: same iteration shape as the serial algorithm, so it
+  // reuses the serial resume path (longest complete level prefix).
+  size_t start_iteration = 1;
+  CandidateGraph graph;
+  bool seeded = false;
+  if (ckpt != nullptr && resume_decision.restore) {
+    Result<SerialResumeState> state_or =
+        RestoreSerialPrefix(resume_decision.snapshot, qid);
+    if (!state_or.ok()) {
+      if (checkpoint_policy->resume == ResumeMode::kRequire) {
+        cube.ReleaseMemory(governor);
+        return stop_early(state_or.status());
+      }
+      // kAuto: the checkpoint can't seed this run; start fresh.
+    } else if (state_or->completed > 0) {
+      SerialResumeState resumed = std::move(state_or).value();
+      ckpt->Seed(resume_decision.snapshot);
+      result.per_iteration_survivors = resumed.per_iteration_survivors;
+      result.completed_iterations = resumed.completed;
+      result.stats.restored_iterations = resumed.completed;
+      AddCounters(resumed.restored, &result.stats);
+      if (static_cast<size_t>(resumed.completed) == n) {
+        result.anonymous_nodes = result.per_iteration_survivors.back();
+        cube.ReleaseMemory(governor);
+        finalize();
+        return result;
+      }
+      start_iteration = static_cast<size_t>(resumed.completed) + 1;
+      graph = GenerateNextGraph(resumed.survivors, nullptr, governor);
+      seeded = true;
+    }
+  }
+  if (!seeded) graph = MakeSingleAttributeGraph(qid);
+  // The level-parallel search spreads its counters over the main stats and
+  // every worker's, so iteration deltas come from summed snapshots.
+  auto sum_all = [&] {
+    CheckpointCounters sum = CountersFrom(result.stats);
+    for (const AlgorithmStats& ws : worker_stats) sum += CountersFrom(ws);
+    return sum;
+  };
+  for (size_t i = start_iteration; i <= n; ++i) {
     INCOGNITO_SPAN("incognito.iteration");
     INCOGNITO_COUNT("incognito.iterations");
+    const CheckpointCounters iter_before = sum_all();
     result.stats.candidate_nodes += static_cast<int64_t>(graph.num_nodes());
     Result<std::vector<bool>> failed_or = search.Run(graph);
     if (!failed_or.ok()) {
@@ -972,6 +1216,12 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
     std::sort(survivor_nodes.begin(), survivor_nodes.end());
     result.per_iteration_survivors.push_back(survivor_nodes);
     result.completed_iterations = static_cast<int64_t>(i);
+    if (ckpt != nullptr) {
+      CheckpointCounters iter_delta = sum_all();
+      iter_delta -= iter_before;
+      ckpt->AddIteration(static_cast<uint32_t>(i), survivor_nodes, iter_delta);
+      ckpt->MaybeWrite();
+    }
 
     if (i == n) {
       result.anonymous_nodes = std::move(survivor_nodes);
@@ -981,6 +1231,7 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
   }
   cube.ReleaseMemory(governor);
 
+  if (ckpt != nullptr) ckpt->WriteNow();
   finalize();
   return result;
 }
@@ -1001,7 +1252,7 @@ PartialResult<IncognitoResult> RunIncognitoParallel(
     return RunIncognito(table, qid, config, serial, serial_ctx);
   }
   return RunIncognitoParallelImpl(table, qid, config, options, ctx.governor,
-                                  num_threads, ctx.scheduling);
+                                  num_threads, ctx.scheduling, ctx.checkpoint);
 }
 
 }  // namespace incognito

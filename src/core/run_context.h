@@ -4,6 +4,7 @@
 namespace incognito {
 
 class ExecutionGovernor;
+struct CheckpointPolicy;
 
 /// How a multi-threaded lattice search distributes work across the pool.
 enum class SchedulingMode {
@@ -45,6 +46,14 @@ struct RunContext {
   /// single-threaded runs; both modes produce bit-identical complete
   /// results.
   SchedulingMode scheduling = SchedulingMode::kPipelined;
+
+  /// Optional crash-safe checkpointing (robust/checkpoint.h): when set
+  /// and enabled, the Incognito lattice search periodically spills its
+  /// completed-unit progress to the policy's file and, under
+  /// ResumeMode::kAuto/kRequire, warm-starts from an existing compatible
+  /// checkpoint. Borrowed, like the governor; null disables. Algorithms
+  /// without a checkpointable search ignore it.
+  const CheckpointPolicy* checkpoint = nullptr;
 
   /// The legacy governed call, as a context: RunContext::Governed(g) ==
   /// old Run*(..., g).

@@ -72,8 +72,10 @@ Result<ValueHierarchy> ParseHierarchyCsv(std::string attribute_name,
 Result<ValueHierarchy> ReadHierarchyCsv(std::string attribute_name,
                                         const std::string& path,
                                         const Dictionary& base,
-                                        char separator) {
-  Result<std::string> content = ReadFileToString(path, "hierarchy_csv.read");
+                                        char separator,
+                                        const RetryPolicy& retry) {
+  Result<std::string> content = RetryWithBackoff(
+      retry, [&] { return ReadFileToString(path, "hierarchy_csv.read"); });
   INCOGNITO_RETURN_IF_ERROR(content.status());
   return ParseHierarchyCsv(std::move(attribute_name), content.value(), base,
                            separator);

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "hierarchy/hierarchy.h"
 #include "relation/dictionary.h"
+#include "robust/retry.h"
 
 namespace incognito {
 
@@ -25,11 +26,15 @@ Result<ValueHierarchy> ParseHierarchyCsv(std::string attribute_name,
                                          const Dictionary& base,
                                          char separator = ';');
 
-/// ParseHierarchyCsv reading from a file.
+/// ParseHierarchyCsv reading from a file. `retry` bounds retry-with-
+/// backoff for transient I/O errors; the default never retries (failed
+/// opens surface immediately, as the fault-injection tests expect).
 Result<ValueHierarchy> ReadHierarchyCsv(std::string attribute_name,
                                         const std::string& path,
                                         const Dictionary& base,
-                                        char separator = ';');
+                                        char separator = ';',
+                                        const RetryPolicy& retry =
+                                            RetryPolicy::None());
 
 /// Serializes a hierarchy into the same CSV format (one row per base
 /// value, leaf-to-root). Round-trips with ParseHierarchyCsv.

@@ -194,6 +194,11 @@ void AddAlgorithmStats(const AlgorithmStats& stats, RunReport* report) {
   report->stats_["cancel_trips"] = stats.cancel_trips;
   report->stats_["parallel_workers"] = stats.parallel_workers;
   report->stats_["tasks_scheduled"] = stats.tasks_scheduled;
+  report->stats_["checkpoint_writes"] = stats.checkpoint_writes;
+  report->stats_["checkpoint_bytes"] = stats.checkpoint_bytes;
+  report->stats_["checkpoint_write_failures"] = stats.checkpoint_write_failures;
+  report->stats_["restored_iterations"] = stats.restored_iterations;
+  report->stats_["restored_subsets"] = stats.restored_subsets;
   report->stat_timings_["cube_build_seconds"] = stats.cube_build_seconds;
   report->stat_timings_["total_seconds"] = stats.total_seconds;
   report->stat_timings_["critical_path_seconds"] =

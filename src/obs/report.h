@@ -36,7 +36,7 @@ namespace obs {
 /// identical bytes (the golden test relies on this).
 class RunReport {
  public:
-  static constexpr int kSchemaVersion = 3;
+  static constexpr int kSchemaVersion = 4;
 
   RunReport(std::string tool, std::string command);
 

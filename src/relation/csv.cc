@@ -161,7 +161,8 @@ Result<Table> ParseCsv(const std::string& content,
 }
 
 Result<Table> ReadCsv(const std::string& path, const CsvReadOptions& options) {
-  Result<std::string> content = ReadFileToString(path, "csv.read");
+  Result<std::string> content = RetryWithBackoff(
+      options.retry, [&] { return ReadFileToString(path, "csv.read"); });
   INCOGNITO_RETURN_IF_ERROR(content.status());
   return ParseCsv(content.value(), options);
 }

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "relation/table.h"
+#include "robust/retry.h"
 
 namespace incognito {
 
@@ -20,6 +21,10 @@ struct CsvReadOptions {
   /// Rows longer than this many bytes are rejected with InvalidArgument
   /// (guards against pathological or corrupt input). 0 means unlimited.
   size_t max_row_bytes = 1 << 20;
+  /// Retry policy for the file read (transient I/O errors only). Default
+  /// RetryPolicy::None(): a failed open/read surfaces immediately, which
+  /// the fault-injection CLI tests rely on. Opt in for flaky filesystems.
+  RetryPolicy retry = RetryPolicy::None();
 };
 
 /// Reads a CSV file into a Table. Fields may be double-quoted; embedded

@@ -1,6 +1,7 @@
 #include "robust/fault_injector.h"
 
 #include <algorithm>
+#include <csignal>
 
 #include "common/random.h"
 #include "common/strings.h"
@@ -36,6 +37,10 @@ const std::vector<std::string>& FaultInjector::KnownSites() {
       "incognito.rollup",
       "incognito.subset.schedule",
       "bottom_up.rollup",
+      "checkpoint.write.open",
+      "checkpoint.write.io",
+      "checkpoint.write.rename",
+      "checkpoint.load.open",
   };
   return *sites;
 }
@@ -44,6 +49,7 @@ void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   hits_.clear();
   scripted_.clear();
+  kill_scripted_.clear();
   random_armed_ = false;
   rng_state_ = 0;
   probability_ = 0;
@@ -62,8 +68,27 @@ void FaultInjector::ScriptFailNthHit(const std::string& site, int64_t nth) {
   scripted_[site] = nth;
 }
 
+void FaultInjector::ScriptKillNthHit(const std::string& site, int64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kill_scripted_[site] = nth;
+}
+
 Status FaultInjector::Configure(const std::string& spec) {
   std::vector<std::string> parts = Split(spec, ':');
+  if (parts.size() == 3 && parts[0] == "kill") {
+    const std::vector<std::string>& known = KnownSites();
+    if (std::find(known.begin(), known.end(), parts[1]) == known.end()) {
+      return Status::InvalidArgument("unknown fault site '" + parts[1] +
+                                     "'");
+    }
+    int64_t nth = 0;
+    if (!ParseInt64(parts[2], &nth) || nth < 1) {
+      return Status::InvalidArgument("bad fault spec '" + spec +
+                                     "' (want kill:SITE:N with N >= 1)");
+    }
+    ScriptKillNthHit(parts[1], nth);
+    return Status::OK();
+  }
   if (parts.size() == 3 && parts[0] == "rand") {
     int64_t seed = 0;
     double prob = 0;
@@ -89,13 +114,20 @@ Status FaultInjector::Configure(const std::string& spec) {
     ScriptFailNthHit(parts[0], nth);
     return Status::OK();
   }
-  return Status::InvalidArgument("bad fault spec '" + spec +
-                                 "' (want SITE:N or rand:SEED:PROB)");
+  return Status::InvalidArgument(
+      "bad fault spec '" + spec +
+      "' (want SITE:N, kill:SITE:N, or rand:SEED:PROB)");
 }
 
 bool FaultInjector::Hit(const std::string& site) {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t count = ++hits_[site];
+  auto kill_it = kill_scripted_.find(site);
+  if (kill_it != kill_scripted_.end() && count == kill_it->second) {
+    // A scripted crash: die with no unwinding, flushing, or cleanup — the
+    // strongest failure the checkpoint/resume contract must survive.
+    raise(SIGKILL);
+  }
   auto it = scripted_.find(site);
   if (it != scripted_.end() && count == it->second) {
     scripted_.erase(it);  // one-shot: a retry of the operation succeeds

@@ -54,8 +54,15 @@ class FaultInjector {
   /// Arms a one-shot script: the `nth` hit (1-based) of `site` fails.
   void ScriptFailNthHit(const std::string& site, int64_t nth);
 
-  /// Parses and arms a spec — either "SITE:N" (fail the Nth hit of SITE)
-  /// or "rand:SEED:PROB". Rejects unknown sites and malformed specs.
+  /// Arms a kill script: the `nth` hit (1-based) of `site` raises SIGKILL
+  /// — the process dies mid-operation with no cleanup, exactly like a
+  /// crash. The crash-recovery suite forks a child, arms this, and then
+  /// proves `--resume` reconstructs a bit-identical run in the parent.
+  void ScriptKillNthHit(const std::string& site, int64_t nth);
+
+  /// Parses and arms a spec — "SITE:N" (fail the Nth hit of SITE),
+  /// "kill:SITE:N" (SIGKILL the process at the Nth hit of SITE), or
+  /// "rand:SEED:PROB". Rejects unknown sites and malformed specs.
   Status Configure(const std::string& spec);
 
   /// Records a hit of `site`; returns true when the configured injection
@@ -72,6 +79,7 @@ class FaultInjector {
   mutable std::mutex mu_;
   std::map<std::string, int64_t> hits_;
   std::map<std::string, int64_t> scripted_;  // site -> nth hit to fail
+  std::map<std::string, int64_t> kill_scripted_;  // site -> nth hit to SIGKILL
   bool random_armed_ = false;
   uint64_t rng_state_ = 0;
   double probability_ = 0;

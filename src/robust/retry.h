@@ -1,0 +1,68 @@
+#ifndef INCOGNITO_ROBUST_RETRY_H_
+#define INCOGNITO_ROBUST_RETRY_H_
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace incognito {
+
+/// Bounded retry-with-backoff for transient I/O. Only `kIOError` is
+/// considered transient — every other code (parse errors, governance
+/// trips, injected compute failures) is final and returned immediately.
+///
+/// The default policy makes up to 3 attempts with a 1 ms first backoff
+/// doubling per attempt; `RetryPolicy::None()` (one attempt, no sleep)
+/// turns the wrapper into a plain call, which is the default everywhere a
+/// caller has not opted in — notably the CSV/hierarchy readers, so
+/// scripted single-shot fault tests still see the failure surface.
+struct RetryPolicy {
+  int max_attempts = 3;
+  int backoff_ms = 1;
+  double multiplier = 2.0;
+
+  static RetryPolicy None() { return RetryPolicy{1, 0, 1.0}; }
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+namespace retry_internal {
+
+inline bool IsTransient(const Status& s) {
+  return s.code() == StatusCode::kIOError;
+}
+
+template <typename T>
+bool IsTransient(const Result<T>& r) {
+  return !r.ok() && r.status().code() == StatusCode::kIOError;
+}
+
+}  // namespace retry_internal
+
+/// Calls `fn` (returning Status or Result<T>) up to `policy.max_attempts`
+/// times, sleeping `backoff_ms * multiplier^i` between attempts, while
+/// the outcome is a transient `kIOError`. Deterministically testable with
+/// the one-shot FaultInjector scripting: a scripted fault consumes itself
+/// on its first hit, so the retry's second attempt succeeds.
+template <typename Fn>
+auto RetryWithBackoff(const RetryPolicy& policy, Fn&& fn) -> decltype(fn()) {
+  auto result = fn();
+  double delay_ms = policy.backoff_ms;
+  for (int attempt = 1;
+       attempt < policy.max_attempts && retry_internal::IsTransient(result);
+       ++attempt) {
+    if (delay_ms >= 1.0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(delay_ms)));
+    }
+    delay_ms *= policy.multiplier;
+    result = fn();
+  }
+  return result;
+}
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_ROBUST_RETRY_H_

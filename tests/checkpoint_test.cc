@@ -1,0 +1,564 @@
+// Tests for the crash-safe checkpoint subsystem (src/robust/checkpoint.*,
+// src/core/checkpoint_resume.*): on-disk format round-trips, strict
+// corruption rejection, per-level folding, the policy-gated manager, the
+// bounded retry helper, and resume equivalence for the serial search.
+// Kill-at-any-point crash injection lives in crash_recovery_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_resume.h"
+#include "core/incognito.h"
+#include "core/run_context.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injector.h"
+#include "robust/retry.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::NodeSet;
+using testing_util::RandomDataset;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+SubsetNode Node(std::vector<int32_t> dims, std::vector<int32_t> levels) {
+  SubsetNode node;
+  node.dims = std::move(dims);
+  node.levels = std::move(levels);
+  return node;
+}
+
+CheckpointSnapshot SampleSnapshot() {
+  CheckpointSnapshot snap;
+  snap.fingerprint.k = 2;
+  snap.fingerprint.max_suppressed = 1;
+  snap.fingerprint.rows = 60;
+  snap.fingerprint.heights = {1, 2, 3};
+  snap.fingerprint.variant = 1;
+  snap.fingerprint.mark_transitively = true;
+  snap.fingerprint.use_rollup = false;
+
+  CheckpointRecord iter;
+  iter.kind = CheckpointRecord::Kind::kIteration;
+  iter.key = 1;
+  iter.survivors = {Node({0}, {0}), Node({0}, {1}), Node({2}, {3})};
+  iter.counters.nodes_checked = 5;
+  iter.counters.candidate_nodes = 8;
+  snap.records.push_back(iter);
+
+  CheckpointRecord mask;
+  mask.kind = CheckpointRecord::Kind::kMask;
+  mask.key = 0b011;
+  mask.survivors = {Node({0, 1}, {0, 2})};
+  mask.counters.table_scans = 2;
+  snap.records.push_back(mask);
+
+  CheckpointRecord empty;  // a level can legitimately have no survivors
+  empty.kind = CheckpointRecord::Kind::kMask;
+  empty.key = 0b101;
+  snap.records.push_back(empty);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Format round-trip and strict parsing
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointFormatTest, SerializeParseRoundTrips) {
+  CheckpointSnapshot snap = SampleSnapshot();
+  std::string content = SerializeCheckpoint(snap);
+  Result<CheckpointSnapshot> parsed = ParseCheckpoint(content);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->fingerprint == snap.fingerprint);
+  ASSERT_EQ(parsed->records.size(), snap.records.size());
+  for (size_t i = 0; i < snap.records.size(); ++i) {
+    EXPECT_EQ(parsed->records[i].kind, snap.records[i].kind);
+    EXPECT_EQ(parsed->records[i].key, snap.records[i].key);
+    EXPECT_EQ(NodeSet(parsed->records[i].survivors),
+              NodeSet(snap.records[i].survivors));
+    EXPECT_EQ(parsed->records[i].counters.nodes_checked,
+              snap.records[i].counters.nodes_checked);
+    EXPECT_EQ(parsed->records[i].counters.table_scans,
+              snap.records[i].counters.table_scans);
+  }
+}
+
+TEST(CheckpointFormatTest, SerializationIsDeterministic) {
+  EXPECT_EQ(SerializeCheckpoint(SampleSnapshot()),
+            SerializeCheckpoint(SampleSnapshot()));
+}
+
+TEST(CheckpointFormatTest, WriteLoadRoundTripsThroughDisk) {
+  std::string path = TempPath("ckpt_roundtrip.txt");
+  CheckpointSnapshot snap = SampleSnapshot();
+  ASSERT_TRUE(WriteCheckpoint(path, snap).ok());
+  Result<CheckpointSnapshot> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->fingerprint == snap.fingerprint);
+  EXPECT_EQ(loaded->records.size(), snap.records.size());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFormatTest, MissingFileIsIOError) {
+  Result<CheckpointSnapshot> loaded =
+      LoadCheckpoint(TempPath("no_such_checkpoint.txt"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(CheckpointFormatTest, EveryCorruptionIsRejectedAsFailedPrecondition) {
+  const std::string valid = SerializeCheckpoint(SampleSnapshot());
+  std::vector<std::string> corrupt;
+  // Truncations at every prefix length (never valid: the end marker and
+  // trailing newline are both mandatory).
+  for (size_t len : {size_t{0}, size_t{5}, valid.size() / 2,
+                     valid.size() - 1}) {
+    corrupt.push_back(valid.substr(0, len));
+  }
+  // A flipped payload byte breaks the CRC.
+  std::string flipped = valid;
+  flipped[flipped.size() - 3] ^= 1;
+  corrupt.push_back(flipped);
+  // Garbage appended after the end marker.
+  corrupt.push_back(valid + "extra\n");
+  for (const std::string& content : corrupt) {
+    Result<CheckpointSnapshot> parsed = ParseCheckpoint(content);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition)
+        << parsed.status().ToString();
+  }
+}
+
+TEST(CheckpointFormatTest, MalformedFixturesAreRejected) {
+  for (const char* name :
+       {"malformed_checkpoint_truncated.txt", "malformed_checkpoint_bitflip.txt",
+        "malformed_checkpoint_version.txt", "malformed_checkpoint_magic.txt",
+        "malformed_checkpoint_noend.txt"}) {
+    std::string path = std::string(INCOGNITO_TEST_DATA_DIR) + "/" + name;
+    ASSERT_TRUE(std::ifstream(path).good()) << "missing fixture " << path;
+    Result<CheckpointSnapshot> loaded = LoadCheckpoint(path);
+    ASSERT_FALSE(loaded.ok()) << name;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition)
+        << name << ": " << loaded.status().ToString();
+  }
+}
+
+TEST(CheckpointFormatTest, ValidFixtureStaysLoadable) {
+  // The committed fixture pins the v1 format: if serialization changes,
+  // this fails until the format version is bumped and handled.
+  std::string path =
+      std::string(INCOGNITO_TEST_DATA_DIR) + "/valid_checkpoint.txt";
+  Result<CheckpointSnapshot> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->fingerprint.k, 2);
+  EXPECT_EQ(loaded->records.size(), 4u);  // iter 1..3 plus the apex mask
+}
+
+TEST(CheckpointFormatTest, SemanticValidationRejectsInconsistentRecords) {
+  // Each mutation is re-serialized so the CRC is valid and only the
+  // semantic check can reject it.
+  auto reject = [](CheckpointSnapshot snap, const char* what) {
+    Result<CheckpointSnapshot> parsed =
+        ParseCheckpoint(SerializeCheckpoint(snap));
+    ASSERT_FALSE(parsed.ok()) << what;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition)
+        << what;
+  };
+  {
+    CheckpointSnapshot snap = SampleSnapshot();
+    snap.records[0].key = 9;  // iteration key > number of attributes
+    reject(snap, "iteration key out of range");
+  }
+  {
+    CheckpointSnapshot snap = SampleSnapshot();
+    snap.records[1].key = 0b1000;  // mask beyond 2^n - 1
+    reject(snap, "mask key out of range");
+  }
+  {
+    CheckpointSnapshot snap = SampleSnapshot();
+    snap.records.push_back(snap.records[0]);  // duplicate (kind, key)
+    reject(snap, "duplicate record");
+  }
+  {
+    CheckpointSnapshot snap = SampleSnapshot();
+    snap.records[0].survivors = {Node({0, 1}, {0, 0})};  // size != key
+    reject(snap, "survivor size mismatch");
+  }
+  {
+    CheckpointSnapshot snap = SampleSnapshot();
+    snap.records[0].survivors = {Node({0}, {7})};  // level > height
+    reject(snap, "level above hierarchy height");
+  }
+  {
+    CheckpointSnapshot snap = SampleSnapshot();
+    snap.records[1].survivors = {Node({0, 2}, {0, 0})};  // dims != mask
+    reject(snap, "mask record with mismatched dims");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-level folding (LevelsFromSnapshot)
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointLevelsTest, IterationRecordsAreAuthoritative) {
+  CheckpointSnapshot snap;
+  snap.fingerprint.heights = {1, 1, 1};
+  CheckpointRecord iter;
+  iter.kind = CheckpointRecord::Kind::kIteration;
+  iter.key = 1;
+  iter.survivors = {Node({0}, {0})};
+  iter.counters.nodes_checked = 3;
+  snap.records.push_back(iter);
+  std::vector<CheckpointLevel> levels = LevelsFromSnapshot(snap, 3);
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_TRUE(levels[1].complete);
+  EXPECT_EQ(levels[1].survivors.size(), 1u);
+  EXPECT_EQ(levels[1].counters.nodes_checked, 3);
+  EXPECT_FALSE(levels[2].complete);
+  EXPECT_FALSE(levels[3].complete);
+}
+
+TEST(CheckpointLevelsTest, MaskRecordsCompleteALevelOnlyWhenAllPresent) {
+  CheckpointSnapshot snap;
+  snap.fingerprint.heights = {1, 1};
+  CheckpointRecord a;
+  a.kind = CheckpointRecord::Kind::kMask;
+  a.key = 0b01;
+  a.survivors = {Node({0}, {1})};
+  a.counters.table_scans = 1;
+  snap.records.push_back(a);
+  // Only 1 of the 2 size-1 masks: level stays incomplete.
+  std::vector<CheckpointLevel> partial = LevelsFromSnapshot(snap, 2);
+  EXPECT_FALSE(partial[1].complete);
+
+  CheckpointRecord b;
+  b.kind = CheckpointRecord::Kind::kMask;
+  b.key = 0b10;
+  b.survivors = {Node({1}, {0})};
+  b.counters.table_scans = 2;
+  snap.records.push_back(b);
+  std::vector<CheckpointLevel> full = LevelsFromSnapshot(snap, 2);
+  ASSERT_TRUE(full[1].complete);
+  // Merged across masks, sorted, counters summed.
+  ASSERT_EQ(full[1].survivors.size(), 2u);
+  EXPECT_TRUE(full[1].survivors[0] < full[1].survivors[1]);
+  EXPECT_EQ(full[1].counters.table_scans, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded retry (robust/retry.h)
+// ---------------------------------------------------------------------------
+
+TEST(RetryTest, NonePolicyNeverRetries) {
+  int calls = 0;
+  Status out = RetryWithBackoff(RetryPolicy::None(), [&] {
+    ++calls;
+    return Status::IOError("transient");
+  });
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, RetriesTransientIOErrorUntilSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_ms = 0;
+  int calls = 0;
+  Status out = RetryWithBackoff(policy, [&]() -> Status {
+    return ++calls < 3 ? Status::IOError("transient") : Status::OK();
+  });
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, NonTransientErrorsAreNotRetried) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.backoff_ms = 0;
+  int calls = 0;
+  Status out = RetryWithBackoff(policy, [&] {
+    ++calls;
+    return Status::FailedPrecondition("permanent");
+  });
+  EXPECT_EQ(out.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, WorksOnResultValues) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.backoff_ms = 0;
+  int calls = 0;
+  Result<int> out = RetryWithBackoff(policy, [&]() -> Result<int> {
+    if (++calls < 2) return Status::IOError("transient");
+    return 42;
+  });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), 42);
+  EXPECT_EQ(calls, 2);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointManager (policy gating, durability counters)
+// ---------------------------------------------------------------------------
+
+CheckpointFingerprint SmallFingerprint() {
+  CheckpointFingerprint fp;
+  fp.k = 2;
+  fp.rows = 10;
+  fp.heights = {1, 1};
+  return fp;
+}
+
+TEST(CheckpointManagerTest, DisabledPolicyNeverWrites) {
+  CheckpointPolicy policy;  // no path
+  CheckpointManager manager(policy, SmallFingerprint());
+  manager.AddIteration(1, {Node({0}, {0})}, {});
+  EXPECT_FALSE(manager.MaybeWrite());
+  EXPECT_FALSE(manager.WriteNow());
+  EXPECT_EQ(manager.writes(), 0);
+}
+
+TEST(CheckpointManagerTest, IntervalZeroWritesAtEveryBoundary) {
+  CheckpointPolicy policy;
+  policy.path = TempPath("ckpt_manager.txt");
+  CheckpointManager manager(policy, SmallFingerprint());
+  manager.AddIteration(1, {Node({0}, {0})}, {});
+  EXPECT_TRUE(manager.MaybeWrite());
+  manager.AddIteration(2, {Node({0, 1}, {0, 0})}, {});
+  EXPECT_TRUE(manager.MaybeWrite());
+  EXPECT_EQ(manager.writes(), 2);
+  EXPECT_GT(manager.bytes_written(), 0);
+  // Nothing new: WriteNow is a no-op, the file is already durable.
+  EXPECT_FALSE(manager.WriteNow());
+  Result<CheckpointSnapshot> loaded = LoadCheckpoint(policy.path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->records.size(), 2u);
+  std::remove(policy.path.c_str());
+}
+
+TEST(CheckpointManagerTest, LargeIntervalGatesPeriodicWritesButNotWriteNow) {
+  CheckpointPolicy policy;
+  policy.path = TempPath("ckpt_gated.txt");
+  policy.interval_ms = 1000 * 3600;
+  CheckpointManager manager(policy, SmallFingerprint());
+  manager.AddIteration(1, {Node({0}, {0})}, {});
+  EXPECT_TRUE(manager.MaybeWrite());  // first boundary always writes
+  manager.AddIteration(2, {Node({0, 1}, {0, 0})}, {});
+  EXPECT_FALSE(manager.MaybeWrite());  // interval not elapsed
+  EXPECT_TRUE(manager.WriteNow());     // spill ignores the interval
+  EXPECT_EQ(manager.writes(), 2);
+  std::remove(policy.path.c_str());
+}
+
+TEST(CheckpointManagerTest, SeedCarriesRestoredHistoryForward) {
+  CheckpointPolicy policy;
+  policy.path = TempPath("ckpt_seeded.txt");
+  CheckpointManager manager(policy, SmallFingerprint());
+  CheckpointSnapshot restored;
+  restored.fingerprint = SmallFingerprint();
+  CheckpointRecord rec;
+  rec.kind = CheckpointRecord::Kind::kIteration;
+  rec.key = 1;
+  rec.survivors = {Node({0}, {0})};
+  restored.records.push_back(rec);
+  manager.Seed(restored);
+  manager.AddIteration(2, {Node({0, 1}, {0, 0})}, {});
+  ASSERT_TRUE(manager.WriteNow());
+  Result<CheckpointSnapshot> loaded = LoadCheckpoint(policy.path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->records.size(), 2u);  // seeded record + new one
+  std::remove(policy.path.c_str());
+}
+
+#ifdef INCOGNITO_FAULTS
+
+TEST(CheckpointManagerTest, WriteFailureIsCountedAndRetriedNextBoundary) {
+  FaultInjector::Global().Reset();
+  CheckpointPolicy policy;
+  policy.path = TempPath("ckpt_faulted.txt");
+  policy.retry = RetryPolicy::None();  // surface the fault, don't absorb it
+  CheckpointManager manager(policy, SmallFingerprint());
+  FaultInjector::Global().ScriptFailNthHit("checkpoint.write.open", 1);
+  manager.AddIteration(1, {Node({0}, {0})}, {});
+  EXPECT_FALSE(manager.MaybeWrite());
+  EXPECT_EQ(manager.write_failures(), 1);
+  EXPECT_EQ(manager.writes(), 0);
+  // The records stayed dirty: the next boundary lands them.
+  EXPECT_TRUE(manager.WriteNow());
+  EXPECT_TRUE(LoadCheckpoint(policy.path).ok());
+  FaultInjector::Global().Reset();
+  std::remove(policy.path.c_str());
+}
+
+TEST(CheckpointManagerTest, RetryPolicyAbsorbsTransientWriteFault) {
+  FaultInjector::Global().Reset();
+  CheckpointPolicy policy;
+  policy.path = TempPath("ckpt_retry.txt");
+  policy.retry.max_attempts = 2;
+  policy.retry.backoff_ms = 0;
+  CheckpointManager manager(policy, SmallFingerprint());
+  FaultInjector::Global().ScriptFailNthHit("checkpoint.write.io", 1);
+  manager.AddIteration(1, {Node({0}, {0})}, {});
+  EXPECT_TRUE(manager.MaybeWrite());  // first attempt faults, retry lands
+  EXPECT_EQ(manager.write_failures(), 0);
+  EXPECT_EQ(manager.writes(), 1);
+  FaultInjector::Global().Reset();
+  std::remove(policy.path.c_str());
+}
+
+#endif  // INCOGNITO_FAULTS
+
+// ---------------------------------------------------------------------------
+// Resume decisions and serial resume equivalence
+// ---------------------------------------------------------------------------
+
+RandomDataset SmallDataset(uint64_t seed = 7) {
+  Rng rng(seed);
+  return MakeRandomDataset(rng);
+}
+
+TEST(CheckpointResumeTest, RequireModeFailsOnMissingOrMismatched) {
+  RandomDataset data = SmallDataset();
+  AnonymizationConfig config;
+  config.k = 2;
+  CheckpointPolicy policy;
+  policy.path = TempPath("ckpt_require.txt");
+  policy.resume = ResumeMode::kRequire;
+  std::remove(policy.path.c_str());
+
+  RunContext ctx;
+  ctx.checkpoint = &policy;
+  PartialResult<IncognitoResult> missing =
+      RunIncognito(data.table, data.qid, config, {}, ctx);
+  ASSERT_TRUE(missing.hard_error());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+
+  // A checkpoint from a different configuration (k=3) is incompatible.
+  {
+    CheckpointPolicy writer;
+    writer.path = policy.path;
+    RunContext write_ctx;
+    write_ctx.checkpoint = &writer;
+    AnonymizationConfig other = config;
+    other.k = 3;
+    ASSERT_TRUE(
+        RunIncognito(data.table, data.qid, other, {}, write_ctx).ok());
+  }
+  PartialResult<IncognitoResult> mismatched =
+      RunIncognito(data.table, data.qid, config, {}, ctx);
+  ASSERT_TRUE(mismatched.hard_error());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(policy.path.c_str());
+}
+
+TEST(CheckpointResumeTest, AutoModeFallsBackToFreshRun) {
+  RandomDataset data = SmallDataset();
+  AnonymizationConfig config;
+  config.k = 2;
+  PartialResult<IncognitoResult> fresh =
+      RunIncognito(data.table, data.qid, config);
+  ASSERT_TRUE(fresh.ok());
+
+  CheckpointPolicy policy;
+  policy.path = TempPath("ckpt_auto.txt");
+  policy.resume = ResumeMode::kAuto;
+  std::remove(policy.path.c_str());
+  RunContext ctx;
+  ctx.checkpoint = &policy;
+  // Missing file: auto starts fresh and succeeds.
+  PartialResult<IncognitoResult> missing =
+      RunIncognito(data.table, data.qid, config, {}, ctx);
+  ASSERT_TRUE(missing.ok()) << missing.status().ToString();
+  EXPECT_EQ(NodeSet(missing->anonymous_nodes),
+            NodeSet(fresh->anonymous_nodes));
+  // Corrupt file: auto starts fresh too.
+  {
+    std::ofstream out(policy.path);
+    out << "garbage\n";
+  }
+  PartialResult<IncognitoResult> corrupt =
+      RunIncognito(data.table, data.qid, config, {}, ctx);
+  ASSERT_TRUE(corrupt.ok()) << corrupt.status().ToString();
+  EXPECT_EQ(NodeSet(corrupt->anonymous_nodes),
+            NodeSet(fresh->anonymous_nodes));
+  std::remove(policy.path.c_str());
+}
+
+// Truncates a full checkpoint to its first `keep` records and verifies a
+// resumed run is bit-identical to the uninterrupted one — the library-level
+// analogue of kill-and-resume, exercised at every possible cut point.
+TEST(CheckpointResumeTest, ResumeFromEveryPrefixIsBitIdentical) {
+  RandomDataset data = SmallDataset(13);
+  AnonymizationConfig config;
+  config.k = 2;
+  std::string path = TempPath("ckpt_prefix.txt");
+
+  CheckpointPolicy writer;
+  writer.path = path;
+  RunContext write_ctx;
+  write_ctx.checkpoint = &writer;
+  PartialResult<IncognitoResult> full =
+      RunIncognito(data.table, data.qid, config, {}, write_ctx);
+  ASSERT_TRUE(full.ok());
+  Result<CheckpointSnapshot> complete = LoadCheckpoint(path);
+  ASSERT_TRUE(complete.ok());
+
+  for (size_t keep = 0; keep <= complete->records.size(); ++keep) {
+    CheckpointSnapshot cut = complete.value();
+    cut.records.resize(keep);
+    ASSERT_TRUE(WriteCheckpoint(path, cut).ok());
+
+    CheckpointPolicy resume;
+    resume.path = path;
+    resume.resume = ResumeMode::kRequire;
+    RunContext resume_ctx;
+    resume_ctx.checkpoint = &resume;
+    PartialResult<IncognitoResult> resumed =
+        RunIncognito(data.table, data.qid, config, {}, resume_ctx);
+    ASSERT_TRUE(resumed.ok()) << "keep=" << keep;
+    EXPECT_EQ(NodeSet(resumed->anonymous_nodes),
+              NodeSet(full->anonymous_nodes))
+        << "keep=" << keep;
+    ASSERT_EQ(resumed->per_iteration_survivors.size(),
+              full->per_iteration_survivors.size())
+        << "keep=" << keep;
+    for (size_t i = 0; i < full->per_iteration_survivors.size(); ++i) {
+      EXPECT_EQ(NodeSet(resumed->per_iteration_survivors[i]),
+                NodeSet(full->per_iteration_survivors[i]))
+          << "keep=" << keep << " iteration=" << i + 1;
+    }
+    EXPECT_EQ(resumed->stats.nodes_checked, full->stats.nodes_checked)
+        << "keep=" << keep;
+    EXPECT_EQ(resumed->stats.nodes_marked, full->stats.nodes_marked)
+        << "keep=" << keep;
+    EXPECT_EQ(resumed->stats.table_scans, full->stats.table_scans)
+        << "keep=" << keep;
+    EXPECT_EQ(resumed->stats.freq_groups_built, full->stats.freq_groups_built)
+        << "keep=" << keep;
+    EXPECT_EQ(resumed->stats.rollups, full->stats.rollups) << "keep=" << keep;
+    EXPECT_EQ(resumed->stats.candidate_nodes, full->stats.candidate_nodes)
+        << "keep=" << keep;
+    EXPECT_EQ(resumed->stats.restored_iterations, static_cast<int64_t>(keep));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace incognito

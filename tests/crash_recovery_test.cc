@@ -1,0 +1,222 @@
+// Kill-and-resume crash injection for the checkpoint subsystem: fork a
+// child, SIGKILL it mid-search at a scripted fault site (via the fault
+// injector's kill mode), then resume from the surviving checkpoint in the
+// parent and assert the result is bit-identical to an uninterrupted run —
+// survivors, per-iteration survivor sets, and the six deterministic
+// counters — at every thread count under both scheduling modes.
+//
+// The kill scripts only fire in -DINCOGNITO_FAULTS=ON builds (the CI
+// crash-recovery job); elsewhere the whole suite skips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "core/incognito.h"
+#include "core/parallel.h"
+#include "core/run_context.h"
+#include "robust/checkpoint.h"
+#include "robust/fault_injector.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::NodeSet;
+using testing_util::RandomDataset;
+
+#if defined(INCOGNITO_FAULTS) && !defined(_WIN32)
+
+RandomDataset CrashDataset() {
+  Rng rng(29);
+  testing_util::RandomDatasetOptions opts;
+  opts.num_attrs = 4;  // enough subsets for the pipelined DAG to matter
+  opts.num_rows = 80;
+  return MakeRandomDataset(rng, opts);
+}
+
+struct CrashConfig {
+  int threads;
+  SchedulingMode mode;
+  std::string site;
+  int64_t nth;
+};
+
+std::string ConfigName(const CrashConfig& c) {
+  return "threads=" + std::to_string(c.threads) + " mode=" +
+         (c.mode == SchedulingMode::kPipelined ? "pipelined" : "barrier") +
+         " kill=" + c.site + ":" + std::to_string(c.nth);
+}
+
+void ExpectBitIdentical(const IncognitoResult& got,
+                        const IncognitoResult& want, const std::string& ctx) {
+  EXPECT_EQ(NodeSet(got.anonymous_nodes), NodeSet(want.anonymous_nodes))
+      << ctx;
+  ASSERT_EQ(got.per_iteration_survivors.size(),
+            want.per_iteration_survivors.size())
+      << ctx;
+  for (size_t i = 0; i < want.per_iteration_survivors.size(); ++i) {
+    EXPECT_EQ(NodeSet(got.per_iteration_survivors[i]),
+              NodeSet(want.per_iteration_survivors[i]))
+        << ctx << " iteration=" << i + 1;
+  }
+  EXPECT_EQ(got.stats.nodes_checked, want.stats.nodes_checked) << ctx;
+  EXPECT_EQ(got.stats.nodes_marked, want.stats.nodes_marked) << ctx;
+  EXPECT_EQ(got.stats.table_scans, want.stats.table_scans) << ctx;
+  EXPECT_EQ(got.stats.rollups, want.stats.rollups) << ctx;
+  EXPECT_EQ(got.stats.freq_groups_built, want.stats.freq_groups_built) << ctx;
+  EXPECT_EQ(got.stats.candidate_nodes, want.stats.candidate_nodes) << ctx;
+}
+
+TEST(CrashRecoveryTest, KillAtEveryFaultSiteThenResumeIsBitIdentical) {
+  RandomDataset data = CrashDataset();
+  AnonymizationConfig config;
+  config.k = 2;
+
+  // Kill points: during the checkpoint write itself (before and after the
+  // data lands), in the pipelined scheduler, and deep in the search.
+  const std::vector<std::string> sites = {
+      "checkpoint.write.open", "checkpoint.write.rename",
+      "incognito.subset.schedule", "incognito.rollup"};
+
+  for (SchedulingMode mode :
+       {SchedulingMode::kPipelined, SchedulingMode::kBarrier}) {
+    for (int threads : {1, 2, 4, 8}) {
+      // Uninterrupted reference for this execution shape.
+      RunContext ref_ctx;
+      ref_ctx.num_threads = threads;
+      ref_ctx.scheduling = mode;
+      PartialResult<IncognitoResult> reference =
+          RunIncognitoParallel(data.table, data.qid, config, {}, ref_ctx);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+      for (const std::string& site : sites) {
+        for (int64_t nth : {int64_t{1}, int64_t{3}}) {
+          CrashConfig crash{threads, mode, site, nth};
+          const std::string name = ConfigName(crash);
+          std::string path =
+              ::testing::TempDir() + "/crash_" +
+              std::to_string(threads) +
+              (mode == SchedulingMode::kPipelined ? "p" : "b") + "_" + site +
+              "_" + std::to_string(nth) + ".ckpt";
+          std::remove(path.c_str());
+
+          pid_t pid = fork();
+          ASSERT_GE(pid, 0) << name;
+          if (pid == 0) {
+            // Child: arm the kill and run with checkpointing at every
+            // boundary. Either the kill lands (SIGKILL, no cleanup — the
+            // whole point) or the site is never reached and the run
+            // completes.
+            FaultInjector::Global().Reset();
+            FaultInjector::Global().ScriptKillNthHit(crash.site, crash.nth);
+            CheckpointPolicy policy;
+            policy.path = path;
+            RunContext ctx;
+            ctx.checkpoint = &policy;
+            ctx.num_threads = crash.threads;
+            ctx.scheduling = crash.mode;
+            PartialResult<IncognitoResult> run = RunIncognitoParallel(
+                data.table, data.qid, config, {}, ctx);
+            _exit(run.ok() ? 0 : 7);
+          }
+          int status = 0;
+          ASSERT_EQ(waitpid(pid, &status, 0), pid) << name;
+          const bool killed =
+              WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+          const bool finished = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+          ASSERT_TRUE(killed || finished)
+              << name << " child exited abnormally (status=" << status << ")";
+
+          // Parent: resume from whatever the child left behind. kAuto
+          // covers the kill-before-first-write case (no file -> fresh).
+          CheckpointPolicy resume;
+          resume.path = path;
+          resume.resume = ResumeMode::kAuto;
+          RunContext resume_ctx;
+          resume_ctx.checkpoint = &resume;
+          resume_ctx.num_threads = threads;
+          resume_ctx.scheduling = mode;
+          PartialResult<IncognitoResult> resumed = RunIncognitoParallel(
+              data.table, data.qid, config, {}, resume_ctx);
+          ASSERT_TRUE(resumed.ok()) << name << ": "
+                                    << resumed.status().ToString();
+          ExpectBitIdentical(*resumed, *reference, name);
+          std::remove(path.c_str());
+        }
+      }
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, CheckpointsArePortableAcrossExecutionShapes) {
+  // Kill a pipelined 4-thread run, then resume it serially and under the
+  // barrier schedule: checkpoints deliberately exclude thread count and
+  // scheduling mode from the fingerprint.
+  RandomDataset data = CrashDataset();
+  AnonymizationConfig config;
+  config.k = 2;
+  PartialResult<IncognitoResult> reference =
+      RunIncognitoParallel(data.table, data.qid, config, {}, RunContext{});
+  ASSERT_TRUE(reference.ok());
+
+  std::string path = ::testing::TempDir() + "/crash_portable.ckpt";
+  std::remove(path.c_str());
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().ScriptKillNthHit("incognito.subset.schedule", 4);
+    CheckpointPolicy policy;
+    policy.path = path;
+    RunContext ctx;
+    ctx.checkpoint = &policy;
+    ctx.num_threads = 4;
+    PartialResult<IncognitoResult> run =
+        RunIncognitoParallel(data.table, data.qid, config, {}, ctx);
+    _exit(run.ok() ? 0 : 7);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+
+  for (int threads : {1, 8}) {
+    for (SchedulingMode mode :
+         {SchedulingMode::kPipelined, SchedulingMode::kBarrier}) {
+      CheckpointPolicy resume;
+      resume.path = path;
+      resume.resume = ResumeMode::kAuto;
+      RunContext ctx;
+      ctx.checkpoint = &resume;
+      ctx.num_threads = threads;
+      ctx.scheduling = mode;
+      PartialResult<IncognitoResult> resumed =
+          RunIncognitoParallel(data.table, data.qid, config, {}, ctx);
+      ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+      ExpectBitIdentical(
+          *resumed, *reference,
+          "portable threads=" + std::to_string(threads));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+#else  // !INCOGNITO_FAULTS || _WIN32
+
+TEST(CrashRecoveryTest, RequiresFaultInjectionBuild) {
+  GTEST_SKIP() << "crash injection needs -DINCOGNITO_FAULTS=ON and POSIX "
+                  "fork/waitpid";
+}
+
+#endif
+
+}  // namespace
+}  // namespace incognito

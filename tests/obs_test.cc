@@ -444,7 +444,7 @@ TEST(ObsMacroTest, CountAndPhaseTimerHitTheGlobalRegistry) {
 
 // If a field is added to AlgorithmStats, this assert fires so the tests
 // below, MergeCounters, ToString, and AddAlgorithmStats get extended.
-static_assert(sizeof(AlgorithmStats) == 16 * 8,
+static_assert(sizeof(AlgorithmStats) == 21 * 8,
               "AlgorithmStats changed: update MergeCounters/ToString/"
               "AddAlgorithmStats and these tests");
 
@@ -466,6 +466,11 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   a.tasks_scheduled = 100;
   a.critical_path_seconds = 0.5;
   a.scheduler_idle_seconds = 0.25;
+  a.checkpoint_writes = 1;
+  a.checkpoint_bytes = 100;
+  a.checkpoint_write_failures = 1;
+  a.restored_iterations = 1;
+  a.restored_subsets = 2;
 
   AlgorithmStats b;
   b.nodes_checked = 10;
@@ -484,6 +489,11 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   b.tasks_scheduled = 1000;
   b.critical_path_seconds = 1.5;
   b.scheduler_idle_seconds = 0.75;
+  b.checkpoint_writes = 10;
+  b.checkpoint_bytes = 1000;
+  b.checkpoint_write_failures = 10;
+  b.restored_iterations = 10;
+  b.restored_subsets = 20;
 
   a.MergeCounters(b);
   EXPECT_EQ(a.nodes_checked, 11);
@@ -504,6 +514,11 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   EXPECT_EQ(a.tasks_scheduled, 1100);
   EXPECT_DOUBLE_EQ(a.critical_path_seconds, 2.0);
   EXPECT_DOUBLE_EQ(a.scheduler_idle_seconds, 1.0);
+  EXPECT_EQ(a.checkpoint_writes, 11);
+  EXPECT_EQ(a.checkpoint_bytes, 1100);
+  EXPECT_EQ(a.checkpoint_write_failures, 11);
+  EXPECT_EQ(a.restored_iterations, 11);
+  EXPECT_EQ(a.restored_subsets, 22);
 }
 
 TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
@@ -524,6 +539,11 @@ TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
   s.tasks_scheduled = 123;
   s.critical_path_seconds = 0.75;
   s.scheduler_idle_seconds = 0.5;
+  s.checkpoint_writes = 13;
+  s.checkpoint_bytes = 14;
+  s.checkpoint_write_failures = 15;
+  s.restored_iterations = 16;
+  s.restored_subsets = 17;
   std::string str = s.ToString();
   EXPECT_NE(str.find("checked=11"), std::string::npos) << str;
   EXPECT_NE(str.find("marked=22"), std::string::npos) << str;
@@ -541,6 +561,11 @@ TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
   EXPECT_NE(str.find("tasks=123"), std::string::npos) << str;
   EXPECT_NE(str.find("critical_path=0.750s"), std::string::npos) << str;
   EXPECT_NE(str.find("idle=0.500s"), std::string::npos) << str;
+  EXPECT_NE(str.find("ckpt_writes=13"), std::string::npos) << str;
+  EXPECT_NE(str.find("ckpt_bytes=14"), std::string::npos) << str;
+  EXPECT_NE(str.find("ckpt_failures=15"), std::string::npos) << str;
+  EXPECT_NE(str.find("restored_iters=16"), std::string::npos) << str;
+  EXPECT_NE(str.find("restored_subsets=17"), std::string::npos) << str;
 }
 
 TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
@@ -605,6 +630,11 @@ RunReport GoldenReport() {
   stats.tasks_scheduled = 40;
   stats.critical_path_seconds = 0.75;
   stats.scheduler_idle_seconds = 0.5;
+  stats.checkpoint_writes = 3;
+  stats.checkpoint_bytes = 512;
+  stats.checkpoint_write_failures = 1;
+  stats.restored_iterations = 2;
+  stats.restored_subsets = 6;
   AddAlgorithmStats(stats, &report);
   report.SetDoubleList("worker_utilization", {0.95, 0.875});
 
@@ -665,7 +695,7 @@ TEST(RunReportTest, EmptySectionsAreOmitted) {
   EXPECT_EQ(json.find("\"counters\""), std::string::npos);
   EXPECT_EQ(json.find("\"spans\""), std::string::npos);
   EXPECT_EQ(json.find("\"histograms\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
 }
 
 }  // namespace

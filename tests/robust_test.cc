@@ -30,6 +30,7 @@
 #include "models/mondrian.h"
 #include "relation/binary_io.h"
 #include "relation/csv.h"
+#include "robust/checkpoint.h"
 #include "robust/fault_injector.h"
 #include "robust/governor.h"
 #include "robust/partial_result.h"
@@ -213,7 +214,7 @@ TEST(FaultInjectorTest, ConfigureValidatesSpecs) {
 
 TEST(FaultInjectorTest, KnownSitesCatalogCoversTheLibrary) {
   const std::vector<std::string>& sites = FaultInjector::KnownSites();
-  EXPECT_GE(sites.size(), 14u);
+  EXPECT_GE(sites.size(), 24u);
   auto has = [&sites](const std::string& s) {
     return std::find(sites.begin(), sites.end(), s) != sites.end();
   };
@@ -223,6 +224,17 @@ TEST(FaultInjectorTest, KnownSitesCatalogCoversTheLibrary) {
   EXPECT_TRUE(has("binary_io.read.io"));
   EXPECT_TRUE(has("binary_io.write.rename"));
   EXPECT_TRUE(has("governor.charge"));
+  EXPECT_TRUE(has("checkpoint.write.open"));
+  EXPECT_TRUE(has("checkpoint.write.io"));
+  EXPECT_TRUE(has("checkpoint.write.rename"));
+  EXPECT_TRUE(has("checkpoint.load.open"));
+}
+
+TEST(FaultInjectorTest, KillModeSpecValidated) {
+  FaultInjector injector;
+  EXPECT_TRUE(injector.Configure("kill:checkpoint.write.io:1").ok());
+  EXPECT_FALSE(injector.Configure("kill:no.such.site:1").ok());
+  EXPECT_FALSE(injector.Configure("kill:checkpoint.write.io:0").ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -670,6 +682,7 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
     std::string csv_path = TempPath("battery.csv");
     std::string hier_path = TempPath("battery_hier.csv");
     std::string bin_path = TempPath("battery.inct");
+    std::string ckpt_path = TempPath("battery_ckpt.txt");
 
     std::vector<Status> outcomes;
     outcomes.push_back(WriteCsv(table, csv_path));
@@ -679,6 +692,24 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
         ReadHierarchyCsv("a", hier_path, table.dictionary(0)).status());
     outcomes.push_back(WriteTableBinary(table, bin_path));
     outcomes.push_back(ReadTableBinary(bin_path).status());
+    {
+      // The checkpoint writer/loader sites (no retry at this layer, so a
+      // one-shot script surfaces as exactly one failed operation).
+      CheckpointSnapshot snap;
+      snap.fingerprint.k = 2;
+      snap.fingerprint.rows = 1;
+      snap.fingerprint.heights = {1};
+      CheckpointRecord rec;
+      rec.kind = CheckpointRecord::Kind::kIteration;
+      rec.key = 1;
+      SubsetNode node;
+      node.dims = {0};
+      node.levels = {0};
+      rec.survivors.push_back(node);
+      snap.records.push_back(rec);
+      outcomes.push_back(WriteCheckpoint(ckpt_path, snap));
+      outcomes.push_back(LoadCheckpoint(ckpt_path).status());
+    }
     ExecutionGovernor governor;
     outcomes.push_back(governor.ChargeMemory(16));
     governor.ReleaseMemory(16);
@@ -696,7 +727,7 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
     EXPECT_GE(failures, 1) << "site " << site
                            << " fired but no operation reported it";
     // Atomic writers never leave temporaries behind, injected or not.
-    for (const std::string& p : {csv_path, hier_path, bin_path}) {
+    for (const std::string& p : {csv_path, hier_path, bin_path, ckpt_path}) {
       // (The target may or may not exist depending on which site fired;
       // only the temp must be gone.)  getpid() names the only possible
       // temp file this process could have created.

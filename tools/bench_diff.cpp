@@ -16,6 +16,11 @@
 //             millisecond timings are scheduler noise, not signal.
 //   speedup   keys containing "speedup" (noisy, higher is better):
 //             REGRESSION when new < old * (1 - speedup-threshold).
+//   overhead  keys containing "overhead_ratio" (a with/without timing
+//             ratio whose contract is absolute, not relative to the
+//             baseline): REGRESSION when new > 1 + overhead-threshold.
+//             This gates e.g. the checkpoint plumbing at <= 2% overhead
+//             regardless of what the baseline machine measured.
 //   exact     keys named "solutions" (a correctness answer): REGRESSION
 //             on any difference, in either direction.
 //   counter   everything else (deterministic work counters, lower is
@@ -30,6 +35,8 @@
 //   --time-threshold=R      allowed relative slowdown (default 0.5)
 //   --speedup-threshold=R   allowed relative speedup loss (default 0.5)
 //   --counter-threshold=R   allowed relative counter growth (default 0)
+//   --overhead-threshold=R  allowed absolute overhead-ratio excess over
+//                           1.0 (default 0.02)
 //   --time-floor=S          ignore time keys whose OLD value is below S
 //                           seconds (default 0.001)
 //   --ignore=SUBSTR[,...]   skip keys whose path contains any SUBSTR; a
@@ -70,18 +77,22 @@ struct Options {
   double time_threshold = 0.5;
   double speedup_threshold = 0.5;
   double counter_threshold = 0.0;
+  double overhead_threshold = 0.02;
   double time_floor = 1e-3;
   std::vector<std::string> ignore;
   bool list = false;
 };
 
-enum class KeyClass { kTime, kSpeedup, kExact, kCounter };
+enum class KeyClass { kTime, kSpeedup, kOverhead, kExact, kCounter };
 
 /// Classifies a flattened key path by its leaf segment (see file header).
 KeyClass ClassifyKey(const std::string& path) {
   size_t dot = path.rfind('.');
   std::string leaf = dot == std::string::npos ? path : path.substr(dot + 1);
   if (leaf.find("speedup") != std::string::npos) return KeyClass::kSpeedup;
+  if (leaf.find("overhead_ratio") != std::string::npos) {
+    return KeyClass::kOverhead;
+  }
   if (leaf == "seconds" ||
       (leaf.size() > 8 &&
        leaf.compare(leaf.size() - 8, 8, "_seconds") == 0) ||
@@ -170,6 +181,15 @@ struct Diff {
           Improve(path, old_value, new_value);
         }
         return;
+      case KeyClass::kOverhead:
+        // Absolute contract: the ratio itself must stay within the
+        // allowance of 1.0; the baseline value only informs --list.
+        if (new_value > 1.0 + opts.overhead_threshold) {
+          Regress(path, old_value, new_value);
+        } else if (opts.list && new_value < old_value) {
+          Improve(path, old_value, new_value);
+        }
+        return;
       case KeyClass::kExact:
         if (new_value != old_value) {
           Regress(path, old_value, new_value);
@@ -247,7 +267,8 @@ std::string RunKey(const JsonValue& run) {
 int Usage() {
   fprintf(stderr,
           "usage: bench_diff OLD.json NEW.json [--time-threshold=R] "
-          "[--speedup-threshold=R] [--counter-threshold=R] [--time-floor=S] "
+          "[--speedup-threshold=R] [--counter-threshold=R] "
+          "[--overhead-threshold=R] [--time-floor=S] "
           "[--ignore=SUBSTR,...] [--list]\n"
           "see the header of tools/bench_diff.cpp for the full contract\n");
   return 2;
@@ -297,6 +318,8 @@ int main(int argc, char** argv) {
       opts.speedup_threshold = atof(value.c_str());
     } else if (name == "counter-threshold") {
       opts.counter_threshold = atof(value.c_str());
+    } else if (name == "overhead-threshold") {
+      opts.overhead_threshold = atof(value.c_str());
     } else if (name == "time-floor") {
       opts.time_floor = atof(value.c_str());
     } else if (name == "ignore") {

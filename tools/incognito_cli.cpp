@@ -53,8 +53,22 @@
 //   --on-budget=fail      (default) a tripped budget exits with code 5
 //   --on-budget=partial   a tripped budget releases whatever was proven
 //                         before the trip (exit 0, warning on stderr)
-//   --fault-script=SPEC   arm the fault injector ("SITE:N" or
-//                         "rand:SEED:PROB"; needs -DINCOGNITO_FAULTS=ON)
+//   --fault-script=SPEC   arm the fault injector ("SITE:N", "kill:SITE:N",
+//                         or "rand:SEED:PROB"; needs -DINCOGNITO_FAULTS=ON)
+//
+// Crash-safe checkpointing (enumerate, anonymize; see docs/ROBUSTNESS.md
+// "Checkpoint format & recovery contract"):
+//   --checkpoint=FILE     write a versioned, CRC-checksummed snapshot of
+//                         search progress after each completed unit (atomic
+//                         temp+rename); also spilled when a budget trips
+//   --checkpoint-interval-ms=N  minimum milliseconds between periodic
+//                         checkpoint writes (default 0: every unit boundary)
+//   --resume[=require]    resume from --checkpoint=FILE; a missing file is
+//                         an I/O error (exit 4), a corrupt or incompatible
+//                         checkpoint exits 3. Resumed runs are bit-identical
+//                         to uninterrupted ones in survivors and counters.
+//   --resume=auto         resume when a valid compatible checkpoint exists,
+//                         otherwise silently start fresh
 //
 // All execution flags flow through one RunContext (core/run_context.h,
 // docs/API.md) handed to every Run* entry point.
@@ -113,6 +127,7 @@
 #include "obs/trace.h"
 #include "relation/binary_io.h"
 #include "relation/csv.h"
+#include "robust/checkpoint.h"
 #include "robust/fault_injector.h"
 #include "robust/governor.h"
 #include "robust/partial_result.h"
@@ -273,15 +288,22 @@ struct ObsSession {
       out += "\"algorithm_stats\": {";
       out += StringPrintf(
           "\"cancel_trips\": %lld, \"candidate_nodes\": %lld, "
+          "\"checkpoint_bytes\": %lld, \"checkpoint_write_failures\": %lld, "
+          "\"checkpoint_writes\": %lld, "
           "\"critical_path_seconds\": %s, \"cube_build_seconds\": %s, "
           "\"deadline_trips\": %lld, \"freq_groups_built\": %lld, "
           "\"governor_checks\": %lld, \"memory_trips\": %lld, "
           "\"nodes_checked\": %lld, \"nodes_marked\": %lld, "
-          "\"parallel_workers\": %lld, \"rollups\": %lld, "
+          "\"parallel_workers\": %lld, "
+          "\"restored_iterations\": %lld, \"restored_subsets\": %lld, "
+          "\"rollups\": %lld, "
           "\"scheduler_idle_seconds\": %s, \"table_scans\": %lld, "
           "\"tasks_scheduled\": %lld, \"total_seconds\": %s",
           static_cast<long long>(stats.cancel_trips),
           static_cast<long long>(stats.candidate_nodes),
+          static_cast<long long>(stats.checkpoint_bytes),
+          static_cast<long long>(stats.checkpoint_write_failures),
+          static_cast<long long>(stats.checkpoint_writes),
           obs::JsonDouble(stats.critical_path_seconds).c_str(),
           obs::JsonDouble(stats.cube_build_seconds).c_str(),
           static_cast<long long>(stats.deadline_trips),
@@ -291,6 +313,8 @@ struct ObsSession {
           static_cast<long long>(stats.nodes_checked),
           static_cast<long long>(stats.nodes_marked),
           static_cast<long long>(stats.parallel_workers),
+          static_cast<long long>(stats.restored_iterations),
+          static_cast<long long>(stats.restored_subsets),
           static_cast<long long>(stats.rollups),
           obs::JsonDouble(stats.scheduler_idle_seconds).c_str(),
           static_cast<long long>(stats.table_scans),
@@ -483,6 +507,43 @@ Result<IncognitoOptions> ParseRunOptions(
     }
   }
   return opts;
+}
+
+/// The --checkpoint/--checkpoint-interval-ms/--resume flags
+/// (docs/ROBUSTNESS.md "Checkpoint format & recovery contract"). The
+/// policy is inert unless --checkpoint=FILE is given.
+Result<CheckpointPolicy> ParseCheckpointPolicy(
+    const std::map<std::string, std::string>& args) {
+  CheckpointPolicy policy;
+  policy.path = Get(args, "checkpoint");
+  std::string interval = Get(args, "checkpoint-interval-ms");
+  if (!interval.empty()) {
+    if (policy.path.empty()) {
+      return Status::InvalidArgument(
+          "--checkpoint-interval-ms requires --checkpoint=FILE");
+    }
+    if (!ParseInt64(interval, &policy.interval_ms) ||
+        policy.interval_ms < 0) {
+      return Status::InvalidArgument(
+          "bad --checkpoint-interval-ms value '" + interval +
+          "' (want a non-negative integer)");
+    }
+  }
+  std::string resume = Get(args, "resume");
+  if (!resume.empty()) {
+    if (policy.path.empty()) {
+      return Status::InvalidArgument("--resume requires --checkpoint=FILE");
+    }
+    if (resume == "true" || resume == "require") {
+      policy.resume = ResumeMode::kRequire;
+    } else if (resume == "auto") {
+      policy.resume = ResumeMode::kAuto;
+    } else {
+      return Status::InvalidArgument("bad --resume value '" + resume +
+                                     "' (want auto or require)");
+    }
+  }
+  return policy;
 }
 
 /// The --schedule flag: which scheduler drives a multi-threaded search.
@@ -717,10 +778,13 @@ int CmdEnumerate(const std::map<std::string, std::string>& args,
   if (!run_opts.ok()) return Fail(run_opts.status());
   Result<SchedulingMode> schedule = ParseSchedule(args);
   if (!schedule.ok()) return Fail(schedule.status());
+  Result<CheckpointPolicy> ckpt = ParseCheckpointPolicy(args);
+  if (!ckpt.ok()) return Fail(ckpt.status());
   AnonymizationConfig config = ConfigFrom(args);
   ExecutionGovernor governor;
   RunContext ctx =
       gov->MakeContext(&governor, run_opts->num_threads, schedule.value());
+  if (ckpt->enabled()) ctx.checkpoint = &ckpt.value();
   PartialResult<IncognitoResult> result =
       RunIncognito(problem->table, problem->qid, config, *run_opts, ctx);
   if (result.hard_error()) return Fail(result.status());
@@ -767,6 +831,8 @@ int CmdAnonymize(const std::map<std::string, std::string>& args,
   if (!run_opts.ok()) return Fail(run_opts.status());
   Result<SchedulingMode> schedule = ParseSchedule(args);
   if (!schedule.ok()) return Fail(schedule.status());
+  Result<CheckpointPolicy> ckpt = ParseCheckpointPolicy(args);
+  if (!ckpt.ok()) return Fail(ckpt.status());
   AnonymizationConfig config = ConfigFrom(args);
   std::string output = Get(args, "output");
   if (output.empty()) {
@@ -782,6 +848,7 @@ int CmdAnonymize(const std::map<std::string, std::string>& args,
     ExecutionGovernor governor;
     RunContext ctx =
         gov->MakeContext(&governor, run_opts->num_threads, schedule.value());
+    if (ckpt->enabled()) ctx.checkpoint = &ckpt.value();
     PartialResult<IncognitoResult> result =
         RunIncognito(problem->table, problem->qid, config, *run_opts, ctx);
     if (result.hard_error()) return Fail(result.status());

@@ -13,7 +13,15 @@
 //                             proportionally slower)
 //        --min_qid=N --max_qid_adults=N --max_qid_landsend=N
 //        --quick             (smaller tables + trimmed sweep, for CI)
+//        --no-batch-scan     (ablation: disable the scan-sharing batched
+//                             level evaluation in the Incognito variants)
 //        --json[=FILE]       (machine-readable BENCH_fig10_qid_sweep.json)
+//
+// With --json, the report's "derived" object also carries the scan
+// economy of each Incognito run as <db>_k<K>_qid<N>_<variant>_table_scans
+// and ..._batched_scan_nodes — the Figure 10 proof target for the
+// scan-sharing evaluator (docs/PARALLELISM.md "Scan-sharing batch
+// evaluation").
 
 #include <cstdio>
 
@@ -26,8 +34,19 @@ using namespace incognito::bench;
 
 namespace {
 
+// Short derived-key slug for the Incognito variants; empty for the
+// algorithms whose scan counts the batch evaluator cannot change.
+const char* IncognitoSlug(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBasicIncognito: return "basic";
+    case Algorithm::kCubeIncognito: return "cube";
+    case Algorithm::kSuperRootsIncognito: return "superroots";
+    default: return "";
+  }
+}
+
 void Sweep(const char* name, const SyntheticDataset& dataset, size_t min_qid,
-           size_t max_qid, int64_t k, BenchReport* report) {
+           size_t max_qid, int64_t k, bool batch_scans, BenchReport* report) {
   printf("\n--- %s database (k=%lld) ---\n", name, static_cast<long long>(k));
   PrintRowHeader();
   AnonymizationConfig config;
@@ -35,13 +54,24 @@ void Sweep(const char* name, const SyntheticDataset& dataset, size_t min_qid,
   for (size_t qid_size = min_qid; qid_size <= max_qid; ++qid_size) {
     QuasiIdentifier qid = dataset.qid.Prefix(qid_size);
     for (Algorithm algorithm : AllAlgorithms()) {
-      RunResult r = RunAlgorithm(algorithm, dataset.table, qid, config);
+      RunResult r =
+          RunAlgorithm(algorithm, dataset.table, qid, config, batch_scans);
       if (!r.ok) {
         fprintf(stderr, "%s failed at qid=%zu\n", AlgorithmName(algorithm),
                 qid_size);
         continue;
       }
       PrintRow(name, k, qid_size, algorithm, r, report);
+      const char* slug = IncognitoSlug(algorithm);
+      if (slug[0] != '\0') {
+        std::string prefix = StringPrintf("%s_k%lld_qid%zu_%s_", name,
+                                          static_cast<long long>(k), qid_size,
+                                          slug);
+        report->SetDerived(prefix + "table_scans",
+                           static_cast<double>(r.stats.table_scans));
+        report->SetDerived(prefix + "batched_scan_nodes",
+                           static_cast<double>(r.stats.batched_scan_nodes));
+      }
     }
   }
 }
@@ -60,6 +90,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("max_qid_adults", quick ? 5 : 9));
   size_t max_qid_landsend =
       static_cast<size_t>(flags.GetInt("max_qid_landsend", quick ? 4 : 6));
+  bool batch_scans = !flags.GetBool("no-batch-scan", false);
   BenchReport report(flags, "fig10_qid_sweep");
   if (!flags.CheckUnknown()) return 2;
 
@@ -75,7 +106,8 @@ int main(int argc, char** argv) {
   // The paper starts the Adults sweep at QID size 3.
   size_t adults_min = min_qid < 3 ? 3 : min_qid;
   for (int64_t k : {2, 10}) {
-    Sweep("adults", adults.value(), adults_min, max_qid_adults, k, &report);
+    Sweep("adults", adults.value(), adults_min, max_qid_adults, k, batch_scans,
+          &report);
   }
 
   LandsEndOptions landsend_opts;
@@ -86,7 +118,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (int64_t k : {2, 10}) {
-    Sweep("landsend", landsend.value(), min_qid, max_qid_landsend, k, &report);
+    Sweep("landsend", landsend.value(), min_qid, max_qid_landsend, k,
+          batch_scans, &report);
   }
   return report.Write();
 }

@@ -11,6 +11,10 @@
 //                           QID and write a machine-readable report)
 //        --threads=N       (cap for the parallel speedup sweep, default 8;
 //                           the sweep runs at 1, 2, 4, ... up to the cap)
+//        --no-batch-scan   (ablation: disable the scan-sharing batched
+//                           level evaluation in every Incognito run — the
+//                           CI bench-smoke job diffs this leg against the
+//                           batched baseline with --ignore=table_scans)
 //        --trace=FILE      (write a Chrome trace_event JSON of the timed
 //                           runs; the scheduler swimlanes live under the
 //                           pid-2 "scheduler" process, one tid per worker —
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
   landsend_opts.num_rows = static_cast<size_t>(
       flags.GetInt("landsend_rows", quick ? 20000 : 200000));
   int64_t max_threads = flags.GetInt("threads", 8);
+  bool batch_scans = !flags.GetBool("no-batch-scan", false);
   std::string trace_path = flags.GetString("trace", "");
   std::string report_path = flags.GetString("report", "");
   if (!flags.CheckUnknown()) return 2;
@@ -146,8 +151,11 @@ int main(int argc, char** argv) {
     QuasiIdentifier qid = adults->qid.Prefix(3);
     AnonymizationConfig config;
     config.k = 2;
+    IncognitoOptions parallel_opts;
+    parallel_opts.batch_scans = batch_scans;
     for (Algorithm algorithm : AllAlgorithms()) {
-      RunResult r = RunAlgorithm(algorithm, adults->table, qid, config);
+      RunResult r =
+          RunAlgorithm(algorithm, adults->table, qid, config, batch_scans);
       if (!r.ok) {
         fprintf(stderr, "%s failed\n", AlgorithmName(algorithm));
         continue;
@@ -164,7 +172,8 @@ int main(int argc, char** argv) {
       obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
       Stopwatch timer;
       PartialResult<IncognitoResult> r =
-          RunIncognitoParallel(adults->table, qid, config, {}, RunContext::WithThreads(threads));
+          RunIncognitoParallel(adults->table, qid, config, parallel_opts,
+                               RunContext::WithThreads(threads));
       double seconds = timer.ElapsedSeconds();
       if (!r.ok()) {
         fprintf(stderr, "parallel search (%d threads) failed: %s\n", threads,
@@ -204,20 +213,21 @@ int main(int argc, char** argv) {
       constexpr int kRepeats = 3;
       obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
       Stopwatch barrier_timer;
-      PartialResult<IncognitoResult> b =
-          RunIncognitoParallel(adults->table, sched_qid, config, {}, barrier);
+      PartialResult<IncognitoResult> b = RunIncognitoParallel(
+          adults->table, sched_qid, config, parallel_opts, barrier);
       double barrier_seconds = barrier_timer.ElapsedSeconds();
       Stopwatch pipelined_timer;
-      PartialResult<IncognitoResult> p =
-          RunIncognitoParallel(adults->table, sched_qid, config, {}, pipelined);
+      PartialResult<IncognitoResult> p = RunIncognitoParallel(
+          adults->table, sched_qid, config, parallel_opts, pipelined);
       double pipelined_seconds = pipelined_timer.ElapsedSeconds();
       for (int rep = 1; rep < kRepeats && b.ok() && p.ok(); ++rep) {
         Stopwatch bt;
-        b = RunIncognitoParallel(adults->table, sched_qid, config, {}, barrier);
+        b = RunIncognitoParallel(adults->table, sched_qid, config,
+                                 parallel_opts, barrier);
         barrier_seconds = std::min(barrier_seconds, bt.ElapsedSeconds());
         Stopwatch pt;
-        p = RunIncognitoParallel(adults->table, sched_qid, config, {},
-                                 pipelined);
+        p = RunIncognitoParallel(adults->table, sched_qid, config,
+                                 parallel_opts, pipelined);
         pipelined_seconds = std::min(pipelined_seconds, pt.ElapsedSeconds());
       }
       if (!b.ok() || !p.ok()) {

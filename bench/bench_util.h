@@ -142,10 +142,13 @@ struct RunResult {
 
 /// Runs one algorithm on (table, qid, config) and reports wall-clock, the
 /// algorithm's counters, and the global observability metrics the run
-/// moved (per-phase seconds, scan/rollup counts, ...).
+/// moved (per-phase seconds, scan/rollup counts, ...). `batch_scans`
+/// only affects the Incognito variants: false disables the scan-sharing
+/// batched level evaluation (the --no-batch-scan ablation).
 inline RunResult RunAlgorithm(Algorithm algorithm, const Table& table,
                               const QuasiIdentifier& qid,
-                              const AnonymizationConfig& config) {
+                              const AnonymizationConfig& config,
+                              bool batch_scans = true) {
   RunResult out;
   obs::MetricsSnapshot before = obs::MetricsSnapshot::Take();
   Stopwatch timer;
@@ -177,6 +180,7 @@ inline RunResult RunAlgorithm(Algorithm algorithm, const Table& table,
                      : algorithm == Algorithm::kSuperRootsIncognito
                          ? IncognitoVariant::kSuperRoots
                          : IncognitoVariant::kBasic;
+      opts.batch_scans = batch_scans;
       PartialResult<IncognitoResult> r = RunIncognito(table, qid, config, opts);
       if (!r.ok()) return out;
       out.stats = r->stats;
@@ -273,9 +277,10 @@ class BenchReport {
           "     \"stats\": {\"nodes_checked\": %lld, \"nodes_marked\": %lld, "
           "\"table_scans\": %lld, \"rollups\": %lld, "
           "\"freq_groups_built\": %lld, \"candidate_nodes\": %lld, "
-          "\"tasks_scheduled\": %lld, \"cube_build_seconds\": %s, "
+          "\"tasks_scheduled\": %lld, \"batched_scan_nodes\": %lld, "
+          "\"cube_build_seconds\": %s, "
           "\"total_seconds\": %s, \"critical_path_seconds\": %s, "
-          "\"scheduler_idle_seconds\": %s}",
+          "\"scheduler_idle_seconds\": %s, \"batch_scan_seconds\": %s}",
           static_cast<long long>(e.stats.nodes_checked),
           static_cast<long long>(e.stats.nodes_marked),
           static_cast<long long>(e.stats.table_scans),
@@ -283,10 +288,12 @@ class BenchReport {
           static_cast<long long>(e.stats.freq_groups_built),
           static_cast<long long>(e.stats.candidate_nodes),
           static_cast<long long>(e.stats.tasks_scheduled),
+          static_cast<long long>(e.stats.batched_scan_nodes),
           obs::JsonDouble(e.stats.cube_build_seconds).c_str(),
           obs::JsonDouble(e.stats.total_seconds).c_str(),
           obs::JsonDouble(e.stats.critical_path_seconds).c_str(),
-          obs::JsonDouble(e.stats.scheduler_idle_seconds).c_str());
+          obs::JsonDouble(e.stats.scheduler_idle_seconds).c_str(),
+          obs::JsonDouble(e.stats.batch_scan_seconds).c_str());
       out += AppendMetrics(e.metrics);
       out += "}";
     }

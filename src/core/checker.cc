@@ -46,6 +46,8 @@ void AlgorithmStats::MergeCounters(const AlgorithmStats& other) {
   checkpoint_write_failures += other.checkpoint_write_failures;
   restored_iterations += other.restored_iterations;
   restored_subsets += other.restored_subsets;
+  batched_scan_nodes += other.batched_scan_nodes;
+  batch_scan_seconds += other.batch_scan_seconds;
 }
 
 std::string AlgorithmStats::ToString() const {
@@ -55,7 +57,7 @@ std::string AlgorithmStats::ToString() const {
       "dl_trips=%lld mem_trips=%lld cancel_trips=%lld workers=%lld "
       "tasks=%lld critical_path=%.3fs idle=%.3fs ckpt_writes=%lld "
       "ckpt_bytes=%lld ckpt_failures=%lld restored_iters=%lld "
-      "restored_subsets=%lld",
+      "restored_subsets=%lld batched=%lld batch_scan=%.3fs",
       static_cast<long long>(nodes_checked),
       static_cast<long long>(nodes_marked),
       static_cast<long long>(table_scans), static_cast<long long>(rollups),
@@ -71,7 +73,8 @@ std::string AlgorithmStats::ToString() const {
       static_cast<long long>(checkpoint_bytes),
       static_cast<long long>(checkpoint_write_failures),
       static_cast<long long>(restored_iterations),
-      static_cast<long long>(restored_subsets));
+      static_cast<long long>(restored_subsets),
+      static_cast<long long>(batched_scan_nodes), batch_scan_seconds);
 }
 
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,

@@ -66,6 +66,15 @@ struct AlgorithmStats {
   int64_t restored_iterations = 0;  ///< subset-size levels skipped on resume
   int64_t restored_subsets = 0;     ///< pipelined subset tasks skipped on resume
 
+  // Scan-sharing batch evaluation (FrequencySet::ComputeBatch;
+  // docs/PARALLELISM.md). batched_scan_nodes counts nodes whose frequency
+  // set came out of a shared scan — with batching on, table_scans counts
+  // one scan per (subset, level) batch, so batched_scan_nodes /
+  // table_scans is the amortization factor. Deterministic at any thread
+  // count and schedule.
+  int64_t batched_scan_nodes = 0;  ///< nodes fed from shared batch scans
+  double batch_scan_seconds = 0;   ///< wall clock inside shared batch scans
+
   /// Merges accumulable costs from another stats object: every counter
   /// plus cube_build_seconds (a summable pre-computation cost). Only
   /// total_seconds is excluded — it is end-to-end wall clock, which does

@@ -102,8 +102,15 @@ class GraphSearch {
       }
     };
 
+    // Frequency sets pre-built by the shared batch scans — the minimal-
+    // front pre-pass below plus each level's top-up (options_.batch_scans)
+    // — keyed by node id; each node takes — and un-charges — its set when
+    // processed. Front entries for higher levels persist across levels.
+    std::unordered_map<int64_t, BatchEntry> batch;
+
     // Returns every byte this walk still holds charged (retained rollup
-    // sources and lazily built super-root sets) to the governor's budget.
+    // sources, lazily built super-root sets, and untaken batch sets) to
+    // the governor's budget.
     auto release_all = [&]() {
       if (governor_ == nullptr) return;
       for (const auto& [sid, fs] : stored) {
@@ -114,9 +121,56 @@ class GraphSearch {
         (void)dims;
         governor_->ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
       }
+      for (const auto& [bid, entry] : batch) {
+        (void)bid;
+        governor_->ReleaseMemory(entry.bytes);
+      }
     };
 
+    if (options_.batch_scans) {
+      // Minimal-front pre-pass: a root has no in-lattice parent, so it can
+      // never gain a rollup source and MarkGeneralizations (which walks
+      // out-edges) can never mark it — its scan-required classification is
+      // immutable from the first level on. Batching the whole front here
+      // shares one scan per attribute subset even when a subset's roots
+      // sit at different heights, which per-level batching cannot merge.
+      std::vector<int64_t> front;
+      front.reserve(queue.size());
+      for (const auto& [height, id] : queue) {
+        (void)height;
+        front.push_back(id);
+      }
+      Status batched = BuildScanBatches(graph, front, marked, processed,
+                                        families, stored, &batch);
+      if (!batched.ok()) {
+        release_all();
+        return batched;
+      }
+    }
+
     while (!queue.empty()) {
+      // Drain one whole height level. Every effect of processing a node —
+      // marks, enqueued generalizations, retained rollup sources — lands
+      // only on strictly greater heights, so a node's frequency-set source
+      // at level start equals its source at processing time and the
+      // level's scan-required set can be batched up front.
+      const int32_t level = queue.begin()->first;
+      std::vector<int64_t> ids;  // ascending — set order within one height
+      while (!queue.empty() && queue.begin()->first == level) {
+        ids.push_back(queue.begin()->second);
+        queue.erase(queue.begin());
+      }
+
+      if (options_.batch_scans) {
+        Status batched = BuildScanBatches(graph, ids, marked, processed,
+                                          families, stored, &batch);
+        if (!batched.ok()) {
+          release_all();
+          return batched;
+        }
+      }
+
+      for (int64_t id : ids) {
       if (governor_ != nullptr) {
         Status checkpoint = governor_->Check();
         if (!checkpoint.ok()) {
@@ -124,9 +178,6 @@ class GraphSearch {
           return checkpoint;
         }
       }
-      auto [height, id] = *queue.begin();
-      queue.erase(queue.begin());
-      (void)height;
       if (processed[static_cast<size_t>(id)]) continue;
       processed[static_cast<size_t>(id)] = true;
       if (marked[static_cast<size_t>(id)]) {
@@ -135,8 +186,21 @@ class GraphSearch {
       }
 
       SubsetNode node = graph.node(id).ToSubsetNode();
-      FrequencySet freq = ComputeFrequencySet(graph, id, node, families,
-                                              &family_freq, stored);
+      FrequencySet freq;
+      auto bit = batch.find(id);
+      if (bit != batch.end()) {
+        // The shared scan already built (and charged) this node's set;
+        // release the batch charge — the normal per-node charge below
+        // takes over the accounting unchanged.
+        freq = std::move(bit->second.freq);
+        if (governor_ != nullptr) {
+          governor_->ReleaseMemory(bit->second.bytes);
+        }
+        batch.erase(bit);
+      } else {
+        freq = ComputeFrequencySet(graph, id, node, families, &family_freq,
+                                   stored);
+      }
       int64_t freq_bytes = static_cast<int64_t>(freq.MemoryBytes());
       if (governor_ != nullptr) {
         // Covers both this transient set and any super-root set
@@ -177,12 +241,98 @@ class GraphSearch {
         governor_->ReleaseMemory(freq_bytes);
       }
       release_parents(id);
+      }
     }
     release_all();
     return failed;
   }
 
  private:
+  /// A frequency set pre-built by a level's shared batch scan, plus the
+  /// bytes currently charged to the governor for retaining it.
+  struct BatchEntry {
+    FrequencySet freq;
+    int64_t bytes = 0;
+  };
+
+  /// True iff ComputeFrequencySet would fall through to its own table scan
+  /// for this node — no stored specialization to roll up from, no cube,
+  /// and no multi-root super-root family covering its attribute subset.
+  bool NeedsScan(
+      const CandidateGraph& graph, int64_t id, const SubsetNode& node,
+      const std::map<std::vector<int32_t>, std::vector<int64_t>>& families,
+      const std::unordered_map<int64_t, FrequencySet>& stored) const {
+    if (options_.use_rollup) {
+      for (int64_t spec : graph.InEdges(id)) {
+        if (stored.count(spec) != 0) return false;
+      }
+    }
+    if (cube_ != nullptr) return false;
+    if (options_.variant == IncognitoVariant::kSuperRoots) {
+      auto fam = families.find(node.dims);
+      if (fam != families.end() && fam->second.size() > 1) return false;
+    }
+    return true;
+  }
+
+  /// Batch pre-pass over a node list — the whole minimal front at walk
+  /// start, then each height level (docs/PARALLELISM.md "Scan-sharing
+  /// batch evaluation"): classifies the nodes by frequency-set source,
+  /// groups the scan-required ones by attribute subset, and feeds each
+  /// group from ONE shared pass over the table. One table scan is counted
+  /// per (subset, front-or-level) group — the same grouping the pipelined
+  /// scheduler's per-subset walks produce, so table_scans stays
+  /// schedule-independent. Every produced set's bytes stay charged until
+  /// its node takes the set (or release_all unwinds).
+  Status BuildScanBatches(
+      const CandidateGraph& graph, const std::vector<int64_t>& ids,
+      const std::vector<bool>& marked, const std::vector<bool>& processed,
+      const std::map<std::vector<int32_t>, std::vector<int64_t>>& families,
+      const std::unordered_map<int64_t, FrequencySet>& stored,
+      std::unordered_map<int64_t, BatchEntry>* batch) {
+    std::map<std::vector<int32_t>, std::vector<int64_t>> groups;
+    for (int64_t id : ids) {
+      if (processed[static_cast<size_t>(id)] ||
+          marked[static_cast<size_t>(id)] || batch->count(id) != 0) {
+        continue;
+      }
+      SubsetNode node = graph.node(id).ToSubsetNode();
+      if (!NeedsScan(graph, id, node, families, stored)) continue;
+      groups[node.dims].push_back(id);
+    }
+    for (const auto& [dims, group] : groups) {
+      (void)dims;
+      std::vector<SubsetNode> nodes;
+      nodes.reserve(group.size());
+      for (int64_t id : group) nodes.push_back(graph.node(id).ToSubsetNode());
+      ++stats_->table_scans;
+      stats_->batched_scan_nodes += static_cast<int64_t>(group.size());
+      Stopwatch timer;
+      std::vector<FrequencySet> sets =
+          FrequencySet::ComputeBatch(table_, qid_, nodes, nullptr, governor_);
+      stats_->batch_scan_seconds += timer.ElapsedSeconds();
+      if (governor_ != nullptr) {
+        Status trip = governor_->SharedTrip();
+        if (!trip.ok()) return trip;
+        for (size_t j = 0; j < group.size(); ++j) {
+          int64_t bytes = static_cast<int64_t>(sets[j].MemoryBytes());
+          Status charged = governor_->ChargeMemory(bytes);
+          if (!charged.ok()) {
+            // Entries already in `batch` are released by the caller's
+            // release_all; the uncharged tail is simply dropped.
+            return charged;
+          }
+          batch->emplace(group[j], BatchEntry{std::move(sets[j]), bytes});
+        }
+      } else {
+        for (size_t j = 0; j < group.size(); ++j) {
+          batch->emplace(group[j], BatchEntry{std::move(sets[j]), 0});
+        }
+      }
+    }
+    return Status::OK();
+  }
+
   FrequencySet ComputeFrequencySet(
       const CandidateGraph& graph, int64_t id, const SubsetNode& node,
       const std::map<std::vector<int32_t>, std::vector<int64_t>>& families,

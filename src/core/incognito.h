@@ -49,6 +49,14 @@ struct IncognitoOptions {
   /// runs the serial path; > 1 dispatches to RunIncognitoParallel
   /// (core/parallel.h), which is bit-identical to serial on complete runs.
   int num_threads = 1;
+
+  /// When true (default), all scan-required nodes of a lattice level that
+  /// share an attribute subset are fed from ONE pass over the table
+  /// (FrequencySet::ComputeBatch; docs/PARALLELISM.md "Scan-sharing batch
+  /// evaluation") instead of one scan each. Survivors and every
+  /// deterministic counter except table_scans are bit-identical either
+  /// way; table_scans counts one scan per (subset, level) batch.
+  bool batch_scans = true;
 };
 
 /// The output of an Incognito run.

@@ -93,6 +93,13 @@ class ParallelGraphSearch {
       }
     };
 
+    // Frequency sets pre-built by the shared batch scans — the minimal-
+    // front pre-pass plus each level's top-up (options_.batch_scans) —
+    // keyed by node id. Retention bytes stay charged to the governor
+    // until a worker takes the set (zeroing `bytes`); front entries for
+    // higher levels persist across levels.
+    std::unordered_map<int64_t, BatchEntry> batch;
+
     auto release_all = [&]() {
       for (const auto& [sid, entry] : stored) {
         (void)sid;
@@ -105,6 +112,11 @@ class ParallelGraphSearch {
         governor_->ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
       }
       family_freq_.clear();
+      for (const auto& [bid, entry] : batch) {
+        (void)bid;
+        governor_->ReleaseMemory(entry.bytes);  // zero once taken
+      }
+      batch.clear();
     };
 
     // Super-roots: the serial search builds each multi-root family's
@@ -168,6 +180,80 @@ class ParallelGraphSearch {
       FrequencySet freq;
     };
 
+    // Scan-sharing batch build (docs/PARALLELISM.md "Scan-sharing batch
+    // evaluation"): group the given nodes' scan-required members by
+    // attribute subset and feed each group from ONE pool-parallel pass
+    // over the table. Classification mirrors the workers' source
+    // preference exactly, and `stored`/`marked`/family_freq_ are frozen
+    // between levels, so a batched node is precisely one that would have
+    // scanned on its own. One table scan is counted per (subset,
+    // front-or-level) group — the same grouping the serial level drain
+    // and the pipelined per-subset walks produce, so table_scans stays
+    // bit-identical across schedules and thread counts.
+    auto build_batches = [&](const std::vector<int64_t>& list) -> Status {
+      std::map<std::vector<int32_t>, std::vector<int64_t>> groups;
+      for (int64_t id : list) {
+        if (marked[static_cast<size_t>(id)] || batch.count(id) != 0) {
+          continue;
+        }
+        SubsetNode node = graph.node(id).ToSubsetNode();
+        bool scan = true;
+        if (options_.use_rollup) {
+          for (int64_t spec : graph.InEdges(id)) {
+            if (stored.count(spec) != 0) {
+              scan = false;
+              break;
+            }
+          }
+        }
+        if (scan && options_.variant == IncognitoVariant::kSuperRoots &&
+            family_freq_.count(node.dims) != 0) {
+          scan = false;
+        }
+        if (scan) groups[node.dims].push_back(id);
+      }
+      for (const auto& [dims, group] : groups) {
+        (void)dims;
+        std::vector<SubsetNode> nodes;
+        nodes.reserve(group.size());
+        for (int64_t id : group) {
+          nodes.push_back(graph.node(id).ToSubsetNode());
+        }
+        ++stats_->table_scans;
+        stats_->batched_scan_nodes += static_cast<int64_t>(group.size());
+        Stopwatch batch_timer;
+        std::vector<FrequencySet> sets = FrequencySet::ComputeBatch(
+            table_, qid_, nodes, pool_, governor_);
+        stats_->batch_scan_seconds += batch_timer.ElapsedSeconds();
+        // Retention charges live on the governor until a worker takes
+        // the set (swapping them for its shard charge) or release_all
+        // unwinds them.
+        Status bstatus = governor_->SharedTrip();
+        if (bstatus.ok()) {
+          for (size_t j = 0; j < group.size(); ++j) {
+            int64_t bytes = static_cast<int64_t>(sets[j].MemoryBytes());
+            bstatus = governor_->ChargeMemory(bytes);
+            if (!bstatus.ok()) break;
+            batch.emplace(group[j], BatchEntry{std::move(sets[j]), bytes});
+          }
+        }
+        if (!bstatus.ok()) return bstatus;  // caller's release_all unwinds
+      }
+      return Status::OK();
+    };
+
+    if (options_.batch_scans && cube_ == nullptr) {
+      // Minimal-front pre-pass: roots have no in-lattice parents, so they
+      // can never gain a rollup source or be marked — one shared scan per
+      // subset covers the whole front even when a subset's roots span
+      // several heights.
+      Status batched = build_batches(roots);
+      if (!batched.ok()) {
+        release_all();
+        return batched;
+      }
+    }
+
     const int workers = pool_->size();
     while (!by_height.empty()) {
       // Main-thread checkpoint between levels: catches trips latched by
@@ -185,6 +271,16 @@ class ParallelGraphSearch {
 
       INCOGNITO_SPAN("incognito.parallel.level");
       INCOGNITO_COUNT("incognito.parallel.levels");
+
+      // Scan-sharing level top-up: batch the level's scan-required nodes
+      // that the minimal-front pre-pass could not have covered.
+      if (options_.batch_scans && cube_ == nullptr) {
+        Status batched = build_batches(ids);
+        if (!batched.ok()) {
+          release_all();
+          return batched;
+        }
+      }
 
       // Phase A: evaluate every node of this level concurrently. Workers
       // only read shared search state (marked, stored, family_freq_, the
@@ -211,8 +307,18 @@ class ParallelGraphSearch {
                 continue;
               }
               SubsetNode node = graph.node(id).ToSubsetNode();
-              FrequencySet freq =
-                  ComputeFrequencySet(graph, id, node, stored, &wstats);
+              FrequencySet freq;
+              auto bit = batch.find(id);
+              if (bit != batch.end()) {
+                // Pre-built by the level's shared scan; swap the batch
+                // retention charge for this worker's shard charge below.
+                // (The scan was already counted by the main thread.)
+                governor_->ReleaseMemory(bit->second.bytes);
+                bit->second.bytes = 0;
+                freq = std::move(bit->second.freq);
+              } else {
+                freq = ComputeFrequencySet(graph, id, node, stored, &wstats);
+              }
               int64_t freq_bytes = static_cast<int64_t>(freq.MemoryBytes());
               Status charged = shard.ChargeMemory(freq_bytes);
               if (!charged.ok()) {
@@ -267,6 +373,9 @@ class ParallelGraphSearch {
       for (size_t i = 0; i < ids.size(); ++i) {
         const int64_t id = ids[i];
         NodeOutcome& out = outcomes[i];
+        // Drop the (taken, zero-byte) batch entry now that the map
+        // persists across levels; Phase A itself must not mutate it.
+        batch.erase(id);
         if (out.kind == kAnonymous) {
           INCOGNITO_PHASE_TIMER("phase.mark_seconds");
           MarkGeneralizations(graph, id, &marked);
@@ -301,6 +410,17 @@ class ParallelGraphSearch {
     FrequencySet freq;
     int64_t bytes = 0;
     int owner = 0;
+  };
+
+  /// A frequency set pre-built by a shared batch scan (minimal front or
+  /// level top-up). `bytes` is the retention charge against the governor;
+  /// the taking worker zeroes it after swapping in its own shard charge,
+  /// so release_all releases only untaken sets. Each entry is touched by
+  /// exactly one worker (ids are partitioned), and the map itself is
+  /// never mutated during Phase A — taken entries are erased in Phase B.
+  struct BatchEntry {
+    FrequencySet freq;
+    int64_t bytes = 0;
   };
 
   /// Worker-side frequency-set computation; same source preference order
@@ -436,6 +556,13 @@ class SubsetGraphWalk {
       }
     };
 
+    // Frequency sets pre-built by the shared batch scans — the minimal-
+    // front pre-pass below plus each level's top-up (options_.batch_scans)
+    // — keyed by node id; retention bytes are charged to this worker's
+    // shard until each node takes its set. Front entries for higher
+    // levels persist across levels.
+    std::unordered_map<int64_t, BatchEntry> batch;
+
     auto release_all = [&]() {
       for (const auto& [sid, fs] : stored) {
         (void)sid;
@@ -445,17 +572,60 @@ class SubsetGraphWalk {
         (void)dims;
         shard_->ReleaseMemory(static_cast<int64_t>(fs.MemoryBytes()));
       }
+      for (const auto& [bid, entry] : batch) {
+        (void)bid;
+        shard_->ReleaseMemory(entry.bytes);
+      }
     };
 
+    if (options_.batch_scans) {
+      // Minimal-front pre-pass: roots have no in-lattice parents, so they
+      // can never gain a rollup source or be marked — one shared scan
+      // covers the whole front even when roots span several heights. Same
+      // grouping as the serial walk's front, so table_scans stays
+      // schedule-independent.
+      std::vector<int64_t> front;
+      front.reserve(queue.size());
+      for (const auto& [height, id] : queue) {
+        (void)height;
+        front.push_back(id);
+      }
+      Status batched = BuildScanBatches(graph, front, marked, processed,
+                                        families, stored, &batch);
+      if (!batched.ok()) {
+        release_all();
+        return batched;
+      }
+    }
+
     while (!queue.empty()) {
+      // Drain one whole height level so its scan-required nodes can share
+      // one table pass — the same per-(subset, front-or-level) batch
+      // grouping as the serial and level-parallel searches, which is what
+      // keeps table_scans schedule-independent (this graph holds exactly
+      // one attribute subset, so a level forms at most one batch group).
+      const int32_t level = queue.begin()->first;
+      std::vector<int64_t> ids;  // ascending — set order within one height
+      while (!queue.empty() && queue.begin()->first == level) {
+        ids.push_back(queue.begin()->second);
+        queue.erase(queue.begin());
+      }
+
+      if (options_.batch_scans) {
+        Status batched = BuildScanBatches(graph, ids, marked, processed,
+                                          families, stored, &batch);
+        if (!batched.ok()) {
+          release_all();
+          return batched;
+        }
+      }
+
+      for (int64_t id : ids) {
       Status checkpoint = shard_->Check();
       if (!checkpoint.ok()) {
         release_all();
         return checkpoint;
       }
-      auto [height, id] = *queue.begin();
-      queue.erase(queue.begin());
-      (void)height;
       if (processed[static_cast<size_t>(id)]) continue;
       processed[static_cast<size_t>(id)] = true;
       if (marked[static_cast<size_t>(id)]) {
@@ -464,8 +634,19 @@ class SubsetGraphWalk {
       }
 
       SubsetNode node = graph.node(id).ToSubsetNode();
-      FrequencySet freq = ComputeFrequencySet(graph, id, node, families,
-                                              &family_freq, stored);
+      FrequencySet freq;
+      auto bit = batch.find(id);
+      if (bit != batch.end()) {
+        // The shared scan already built (and charged) this node's set;
+        // release the batch charge — the normal per-node charge below
+        // takes over the accounting unchanged.
+        freq = std::move(bit->second.freq);
+        shard_->ReleaseMemory(bit->second.bytes);
+        batch.erase(bit);
+      } else {
+        freq = ComputeFrequencySet(graph, id, node, families, &family_freq,
+                                   stored);
+      }
       int64_t freq_bytes = static_cast<int64_t>(freq.MemoryBytes());
       Status charged = shard_->ChargeMemory(freq_bytes);
       if (!charged.ok()) {
@@ -501,12 +682,87 @@ class SubsetGraphWalk {
         shard_->ReleaseMemory(freq_bytes);
       }
       release_parents(id);
+      }
     }
     release_all();
     return failed;
   }
 
  private:
+  /// A frequency set pre-built by a level's shared batch scan, plus the
+  /// bytes currently charged to this worker's shard for retaining it.
+  struct BatchEntry {
+    FrequencySet freq;
+    int64_t bytes = 0;
+  };
+
+  /// True iff ComputeFrequencySet would fall through to its own table scan
+  /// for this node; same predicate as the serial GraphSearch.
+  bool NeedsScan(
+      const CandidateGraph& graph, int64_t id, const SubsetNode& node,
+      const std::map<std::vector<int32_t>, std::vector<int64_t>>& families,
+      const std::unordered_map<int64_t, FrequencySet>& stored) const {
+    if (options_.use_rollup) {
+      for (int64_t spec : graph.InEdges(id)) {
+        if (stored.count(spec) != 0) return false;
+      }
+    }
+    if (cube_ != nullptr) return false;
+    if (options_.variant == IncognitoVariant::kSuperRoots) {
+      auto fam = families.find(node.dims);
+      if (fam != families.end() && fam->second.size() > 1) return false;
+    }
+    return true;
+  }
+
+  /// Batch pre-pass over a node list — the minimal front at walk start,
+  /// then each height level of this subset's graph; the serial
+  /// GraphSearch's BuildScanBatches with the worker's shard doing the
+  /// charging and its private stats doing the counting. The scan itself
+  /// stays serial, deliberately: sibling subset tasks keep the rest of
+  /// the pool busy (the apex graph, which has the pool to itself, goes
+  /// through the level-parallel search's pool-wide batches instead).
+  Status BuildScanBatches(
+      const CandidateGraph& graph, const std::vector<int64_t>& ids,
+      const std::vector<bool>& marked, const std::vector<bool>& processed,
+      const std::map<std::vector<int32_t>, std::vector<int64_t>>& families,
+      const std::unordered_map<int64_t, FrequencySet>& stored,
+      std::unordered_map<int64_t, BatchEntry>* batch) {
+    std::map<std::vector<int32_t>, std::vector<int64_t>> groups;
+    for (int64_t id : ids) {
+      if (processed[static_cast<size_t>(id)] ||
+          marked[static_cast<size_t>(id)] || batch->count(id) != 0) {
+        continue;
+      }
+      SubsetNode node = graph.node(id).ToSubsetNode();
+      if (!NeedsScan(graph, id, node, families, stored)) continue;
+      groups[node.dims].push_back(id);
+    }
+    for (const auto& [dims, group] : groups) {
+      (void)dims;
+      std::vector<SubsetNode> nodes;
+      nodes.reserve(group.size());
+      for (int64_t id : group) nodes.push_back(graph.node(id).ToSubsetNode());
+      ++wstats_->table_scans;
+      wstats_->batched_scan_nodes += static_cast<int64_t>(group.size());
+      Stopwatch timer;
+      std::vector<FrequencySet> sets =
+          FrequencySet::ComputeBatch(table_, qid_, nodes, nullptr, governor_);
+      wstats_->batch_scan_seconds += timer.ElapsedSeconds();
+      Status bstatus = shard_->Check();
+      if (bstatus.ok()) {
+        for (size_t j = 0; j < group.size(); ++j) {
+          int64_t bytes = static_cast<int64_t>(sets[j].MemoryBytes());
+          bstatus = shard_->ChargeMemory(bytes);
+          if (!bstatus.ok()) break;
+          batch->emplace(group[j], BatchEntry{std::move(sets[j]), bytes});
+        }
+      }
+      if (!bstatus.ok()) return bstatus;  // caller's release_all unwinds
+    }
+    return Status::OK();
+  }
+
   FrequencySet ComputeFrequencySet(
       const CandidateGraph& graph, int64_t id, const SubsetNode& node,
       const std::map<std::vector<int32_t>, std::vector<int64_t>>& families,

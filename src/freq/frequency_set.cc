@@ -263,6 +263,239 @@ FrequencySet FrequencySet::ComputeParallel(const Table& table,
   return fs;
 }
 
+std::vector<FrequencySet> FrequencySet::ComputeBatch(
+    const Table& table, const QuasiIdentifier& qid,
+    const std::vector<SubsetNode>& nodes, WorkerPool* pool,
+    ExecutionGovernor* governor) {
+  std::vector<FrequencySet> out;
+  out.reserve(nodes.size());
+  for (const SubsetNode& node : nodes) {
+    assert(node.size() > 0);
+    out.push_back(MakeEmpty(node, qid));
+  }
+  if (nodes.empty()) return out;
+  INCOGNITO_SPAN("freq.batch_scan");
+  INCOGNITO_PHASE_TIMER("phase.freq_scan_seconds");
+  INCOGNITO_HIST_TIMER("freq.build_seconds");
+  INCOGNITO_COUNT("freq.batch_scans");
+  INCOGNITO_COUNT_ADD("freq.batch_scan_nodes",
+                      static_cast<int64_t>(nodes.size()));
+  INCOGNITO_COUNT_ADD("freq.scan_rows",
+                      static_cast<int64_t>(table.num_rows()));
+
+  const size_t b = nodes.size();
+  const size_t rows = table.num_rows();
+  // Per-node encoded columns, base→level maps, and code scratch (reused as
+  // the map-lookup key on the fallback path, like the single-node scans).
+  std::vector<std::vector<const int32_t*>> cols(b);
+  std::vector<std::vector<const int32_t*>> maps(b);
+  for (size_t j = 0; j < b; ++j) {
+    const size_t n = nodes[j].size();
+    cols[j].resize(n);
+    maps[j].resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      size_t d = static_cast<size_t>(nodes[j].dims[i]);
+      cols[j][i] = table.ColumnCodes(qid.column(d)).data();
+      maps[j][i] = qid.hierarchy(d)
+                       .BaseToLevelMap(static_cast<size_t>(nodes[j].levels[i]))
+                       .data();
+    }
+  }
+
+  if (pool == nullptr || pool->size() <= 1) {
+    // Serial shared scan: one row loop feeds every node's map. The fault
+    // site stands in for an allocation failure while setting the maps up.
+    if (governor != nullptr && INCOGNITO_FAULT_FIRED("freq.batch.scan")) {
+      governor->LatchInjectedFailure("freq.batch.scan");
+      return out;
+    }
+    std::vector<std::unordered_map<uint64_t, int64_t>> agg(b);
+    std::vector<std::unordered_map<std::vector<int32_t>, int64_t, VecHash>>
+        vagg(b);
+    std::vector<std::vector<int32_t>> codes(b);
+    for (size_t j = 0; j < b; ++j) {
+      codes[j].resize(nodes[j].size());
+      if (out[j].packed_) {
+        agg[j].reserve(rows / 4 + 8);
+      } else {
+        vagg[j].reserve(rows / 4 + 8);
+      }
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t j = 0; j < b; ++j) {
+        const size_t n = nodes[j].size();
+        for (size_t i = 0; i < n; ++i) codes[j][i] = maps[j][i][cols[j][i][r]];
+        if (out[j].packed_) {
+          ++agg[j][out[j].codec_.Pack(codes[j].data())];
+        } else {
+          ++vagg[j][codes[j]];
+        }
+      }
+    }
+    for (size_t j = 0; j < b; ++j) {
+      // assign from the finished map, exactly like Compute, so the vector
+      // capacity — hence MemoryBytes() — matches the single-node scan.
+      if (out[j].packed_) {
+        out[j].groups_.assign(agg[j].begin(), agg[j].end());
+      } else {
+        out[j].vgroups_.assign(vagg[j].begin(), vagg[j].end());
+      }
+      out[j].SortGroups();
+      out[j].total_count_ = static_cast<int64_t>(rows);
+    }
+    return out;
+  }
+
+  const size_t workers = static_cast<size_t>(pool->size());
+  INCOGNITO_COUNT("freq.parallel_scans");
+  INCOGNITO_COUNT_ADD("freq.scan_chunks", static_cast<int64_t>(workers));
+
+  // Per-worker, per-node thread-local maps; merged after the barrier.
+  std::vector<std::vector<std::unordered_map<uint64_t, int64_t>>> wagg(
+      workers);
+  std::vector<
+      std::vector<std::unordered_map<std::vector<int32_t>, int64_t, VecHash>>>
+      wvagg(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    wagg[w].resize(b);
+    wvagg[w].resize(b);
+  }
+
+  std::vector<std::unique_ptr<GovernorShard>> shards;
+  if (governor != nullptr) {
+    shards.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      shards.push_back(std::make_unique<GovernorShard>(governor));
+    }
+  }
+
+  std::vector<size_t> entry_bytes(b);
+  for (size_t j = 0; j < b; ++j) {
+    entry_bytes[j] =
+        (out[j].packed_
+             ? sizeof(std::pair<const uint64_t, int64_t>)
+             : sizeof(std::pair<const std::vector<int32_t>, int64_t>) +
+                   nodes[j].size() * sizeof(int32_t)) +
+        kHashNodeOverhead;
+  }
+  constexpr size_t kCheckEveryRows = 16384;
+
+  pool->Run(rows, [&](int w, size_t begin, size_t end) {
+    INCOGNITO_SPAN("freq.batch_scan.chunk");
+    const size_t wi = static_cast<size_t>(w);
+    GovernorShard* shard = governor != nullptr ? shards[wi].get() : nullptr;
+    if (shard != nullptr) {
+      if (!shard->Check().ok()) return;
+      // Fault site "freq.batch.scan": an injected allocation failure at
+      // the start of a worker's row chunk latches like a refused charge;
+      // sibling chunks stop at their next checkpoint.
+      if (INCOGNITO_FAULT_FIRED("freq.batch.scan")) {
+        governor->LatchInjectedFailure("freq.batch.scan");
+        return;
+      }
+    }
+    int64_t charged = 0;
+    auto checkpoint = [&]() {
+      if (shard == nullptr) return true;
+      if (!shard->Check().ok()) return false;
+      int64_t now = 0;
+      for (size_t j = 0; j < b; ++j) {
+        const size_t groups =
+            out[j].packed_ ? wagg[wi][j].size() : wvagg[wi][j].size();
+        now += static_cast<int64_t>(groups * entry_bytes[j]);
+      }
+      if (now > charged) {
+        if (!shard->ChargeMemory(now - charged).ok()) return false;
+        charged = now;
+      }
+      return true;
+    };
+    std::vector<std::vector<int32_t>> codes(b);
+    for (size_t j = 0; j < b; ++j) {
+      codes[j].resize(nodes[j].size());
+      if (out[j].packed_) {
+        wagg[wi][j].reserve((end - begin) / 4 + 8);
+      } else {
+        wvagg[wi][j].reserve((end - begin) / 4 + 8);
+      }
+    }
+    for (size_t r = begin; r < end; ++r) {
+      if ((r - begin) % kCheckEveryRows == 0 && !checkpoint()) return;
+      for (size_t j = 0; j < b; ++j) {
+        const size_t n = nodes[j].size();
+        for (size_t i = 0; i < n; ++i) codes[j][i] = maps[j][i][cols[j][i][r]];
+        if (out[j].packed_) {
+          ++wagg[wi][j][out[j].codec_.Pack(codes[j].data())];
+        } else {
+          ++wvagg[wi][j][codes[j]];
+        }
+      }
+    }
+    checkpoint();
+  });
+
+  // Transient charges return to the governor here; a trip (if any) is
+  // already latched shared, so the caller's SharedTrip() check sees it.
+  for (auto& shard : shards) shard->Drain();
+  if (governor != nullptr && !governor->SharedTrip().ok()) {
+    for (size_t j = 0; j < b; ++j) out[j] = MakeEmpty(nodes[j], qid);
+    return out;
+  }
+
+  // Merge each node in worker-id order, coalesce equal keys, and
+  // canonically sort — the exact ComputeParallel merge, so the capacity
+  // (hence MemoryBytes()) matches the serial single-node scan.
+  for (size_t j = 0; j < b; ++j) {
+    if (out[j].packed_) {
+      std::vector<std::pair<uint64_t, int64_t>> all;
+      size_t total = 0;
+      for (size_t w = 0; w < workers; ++w) total += wagg[w][j].size();
+      all.reserve(total);
+      for (size_t w = 0; w < workers; ++w) {
+        all.insert(all.end(), wagg[w][j].begin(), wagg[w][j].end());
+      }
+      std::sort(all.begin(), all.end());
+      size_t unique = 0;
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (i == 0 || all[i].first != all[i - 1].first) ++unique;
+      }
+      out[j].groups_.reserve(unique);
+      for (size_t i = 0; i < all.size();) {
+        const uint64_t key = all[i].first;
+        int64_t count = 0;
+        for (; i < all.size() && all[i].first == key; ++i) {
+          count += all[i].second;
+        }
+        out[j].groups_.emplace_back(key, count);
+      }
+    } else {
+      std::vector<std::pair<std::vector<int32_t>, int64_t>> all;
+      size_t total = 0;
+      for (size_t w = 0; w < workers; ++w) total += wvagg[w][j].size();
+      all.reserve(total);
+      for (size_t w = 0; w < workers; ++w) {
+        all.insert(all.end(), wvagg[w][j].begin(), wvagg[w][j].end());
+      }
+      std::sort(all.begin(), all.end());
+      size_t unique = 0;
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (i == 0 || all[i].first != all[i - 1].first) ++unique;
+      }
+      out[j].vgroups_.reserve(unique);
+      for (size_t i = 0; i < all.size();) {
+        std::vector<int32_t> key = all[i].first;
+        int64_t count = 0;
+        for (; i < all.size() && all[i].first == key; ++i) {
+          count += all[i].second;
+        }
+        out[j].vgroups_.emplace_back(std::move(key), count);
+      }
+    }
+    out[j].total_count_ = static_cast<int64_t>(rows);
+  }
+  return out;
+}
+
 FrequencySet FrequencySet::RollupTo(const SubsetNode& target,
                                     const QuasiIdentifier& qid) const {
   assert(target.dims == node_.dims);

@@ -58,6 +58,30 @@ class FrequencySet {
                                       const SubsetNode& node, WorkerPool& pool,
                                       ExecutionGovernor* governor = nullptr);
 
+  /// Scan-sharing batch build (docs/PARALLELISM.md "Scan-sharing batch
+  /// evaluation"): computes the frequency sets of several nodes from ONE
+  /// pass over the table — per row, each node's projected key is packed and
+  /// its group map updated — so a whole lattice level's scan-required nodes
+  /// cost one scan instead of one each. result[j] is bit-identical to
+  /// Compute(table, qid, nodes[j]), including the canonical group order and
+  /// the exact MemoryBytes() (the merge uses the same two-pass
+  /// count-unique reserve as ComputeParallel).
+  ///
+  /// With a non-null `pool` of size > 1 the rows are chunked across the
+  /// workers exactly like ComputeParallel (thread-local per-node maps,
+  /// worker-id-order merge + canonical sort). When `governor` is non-null
+  /// the scan is governed: the parallel path charges every node's running
+  /// map footprint to transient per-worker shards (drained before
+  /// returning) and polls for trips every few thousand rows; both paths
+  /// consult the "freq.batch.scan" fault site (once per chunk when
+  /// parallel, once up front when serial). A tripped batch latches the
+  /// governor and returns all-empty sets; callers detect it via
+  /// governor->SharedTrip().
+  static std::vector<FrequencySet> ComputeBatch(
+      const Table& table, const QuasiIdentifier& qid,
+      const std::vector<SubsetNode>& nodes, WorkerPool* pool = nullptr,
+      ExecutionGovernor* governor = nullptr);
+
   /// Produces the frequency set of a more general node over the same
   /// attribute set *from this frequency set* without touching the table —
   /// the paper's Rollup Property: each target count is the sum of the

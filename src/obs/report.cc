@@ -199,6 +199,8 @@ void AddAlgorithmStats(const AlgorithmStats& stats, RunReport* report) {
   report->stats_["checkpoint_write_failures"] = stats.checkpoint_write_failures;
   report->stats_["restored_iterations"] = stats.restored_iterations;
   report->stats_["restored_subsets"] = stats.restored_subsets;
+  report->stats_["batched_scan_nodes"] = stats.batched_scan_nodes;
+  report->stat_timings_["batch_scan_seconds"] = stats.batch_scan_seconds;
   report->stat_timings_["cube_build_seconds"] = stats.cube_build_seconds;
   report->stat_timings_["total_seconds"] = stats.total_seconds;
   report->stat_timings_["critical_path_seconds"] =

@@ -20,7 +20,7 @@ namespace obs {
 /// (docs/OBSERVABILITY.md documents it):
 ///
 ///   {
-///     "schema_version": 3,
+///     "schema_version": 5,
 ///     "tool": "...", "command": "...",
 ///     "fields":     { string | int | double | bool | [double...] ... },
 ///     "stats":      { AlgorithmStats fields ... },        // optional
@@ -36,7 +36,7 @@ namespace obs {
 /// identical bytes (the golden test relies on this).
 class RunReport {
  public:
-  static constexpr int kSchemaVersion = 4;
+  static constexpr int kSchemaVersion = 5;
 
   RunReport(std::string tool, std::string command);
 

@@ -34,6 +34,7 @@ const std::vector<std::string>& FaultInjector::KnownSites() {
       "cube.build",
       "cube.project",
       "freq.scan.chunk",
+      "freq.batch.scan",
       "incognito.rollup",
       "incognito.subset.schedule",
       "bottom_up.rollup",

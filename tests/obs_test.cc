@@ -444,7 +444,7 @@ TEST(ObsMacroTest, CountAndPhaseTimerHitTheGlobalRegistry) {
 
 // If a field is added to AlgorithmStats, this assert fires so the tests
 // below, MergeCounters, ToString, and AddAlgorithmStats get extended.
-static_assert(sizeof(AlgorithmStats) == 21 * 8,
+static_assert(sizeof(AlgorithmStats) == 23 * 8,
               "AlgorithmStats changed: update MergeCounters/ToString/"
               "AddAlgorithmStats and these tests");
 
@@ -471,6 +471,8 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   a.checkpoint_write_failures = 1;
   a.restored_iterations = 1;
   a.restored_subsets = 2;
+  a.batched_scan_nodes = 4;
+  a.batch_scan_seconds = 0.125;
 
   AlgorithmStats b;
   b.nodes_checked = 10;
@@ -494,6 +496,8 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   b.checkpoint_write_failures = 10;
   b.restored_iterations = 10;
   b.restored_subsets = 20;
+  b.batched_scan_nodes = 40;
+  b.batch_scan_seconds = 0.375;
 
   a.MergeCounters(b);
   EXPECT_EQ(a.nodes_checked, 11);
@@ -519,6 +523,8 @@ TEST(AlgorithmStatsTest, MergeCountersCoversEveryAccumulableField) {
   EXPECT_EQ(a.checkpoint_write_failures, 11);
   EXPECT_EQ(a.restored_iterations, 11);
   EXPECT_EQ(a.restored_subsets, 22);
+  EXPECT_EQ(a.batched_scan_nodes, 44);
+  EXPECT_DOUBLE_EQ(a.batch_scan_seconds, 0.5);
 }
 
 TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
@@ -544,6 +550,8 @@ TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
   s.checkpoint_write_failures = 15;
   s.restored_iterations = 16;
   s.restored_subsets = 17;
+  s.batched_scan_nodes = 18;
+  s.batch_scan_seconds = 0.25;
   std::string str = s.ToString();
   EXPECT_NE(str.find("checked=11"), std::string::npos) << str;
   EXPECT_NE(str.find("marked=22"), std::string::npos) << str;
@@ -566,6 +574,8 @@ TEST(AlgorithmStatsTest, ToStringPrintsEveryField) {
   EXPECT_NE(str.find("ckpt_failures=15"), std::string::npos) << str;
   EXPECT_NE(str.find("restored_iters=16"), std::string::npos) << str;
   EXPECT_NE(str.find("restored_subsets=17"), std::string::npos) << str;
+  EXPECT_NE(str.find("batched=18"), std::string::npos) << str;
+  EXPECT_NE(str.find("batch_scan=0.250s"), std::string::npos) << str;
 }
 
 TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
@@ -586,6 +596,8 @@ TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
   s.tasks_scheduled = 12;
   s.critical_path_seconds = 0.25;
   s.scheduler_idle_seconds = 0.125;
+  s.batched_scan_nodes = 13;
+  s.batch_scan_seconds = 0.0625;
   RunReport report("test", "stats");
   AddAlgorithmStats(s, &report);
   std::string json = report.ToJson();
@@ -595,7 +607,8 @@ TEST(AlgorithmStatsTest, AddAlgorithmStatsExportsEveryField) {
         "freq_groups_built", "candidate_nodes", "cube_build_seconds",
         "total_seconds", "governor_checks", "deadline_trips", "memory_trips",
         "cancel_trips", "parallel_workers", "tasks_scheduled",
-        "critical_path_seconds", "scheduler_idle_seconds"}) {
+        "critical_path_seconds", "scheduler_idle_seconds",
+        "batched_scan_nodes", "batch_scan_seconds"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }
@@ -635,6 +648,8 @@ RunReport GoldenReport() {
   stats.checkpoint_write_failures = 1;
   stats.restored_iterations = 2;
   stats.restored_subsets = 6;
+  stats.batched_scan_nodes = 7;
+  stats.batch_scan_seconds = 0.0625;
   AddAlgorithmStats(stats, &report);
   report.SetDoubleList("worker_utilization", {0.95, 0.875});
 
@@ -695,7 +710,7 @@ TEST(RunReportTest, EmptySectionsAreOmitted) {
   EXPECT_EQ(json.find("\"counters\""), std::string::npos);
   EXPECT_EQ(json.find("\"spans\""), std::string::npos);
   EXPECT_EQ(json.find("\"histograms\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
 }
 
 }  // namespace

@@ -670,8 +670,9 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
     for (const Status& s : probe) EXPECT_TRUE(s.ok()) << s.message();
   }
   for (const char* compute_site :
-       {"cube.build", "cube.project", "freq.scan.chunk", "incognito.rollup",
-        "incognito.subset.schedule", "bottom_up.rollup"}) {
+       {"cube.build", "cube.project", "freq.scan.chunk", "freq.batch.scan",
+        "incognito.rollup", "incognito.subset.schedule",
+        "bottom_up.rollup"}) {
     EXPECT_GE(FaultInjector::Global().HitCount(compute_site), 1)
         << "battery searches never reach " << compute_site;
   }

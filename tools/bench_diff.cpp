@@ -23,6 +23,13 @@
 //             regardless of what the baseline machine measured.
 //   exact     keys named "solutions" (a correctness answer): REGRESSION
 //             on any difference, in either direction.
+//   table_scans  leaf key "table_scans" or ending in "_table_scans"
+//             (the scan-economy contract of the scan-sharing batch
+//             evaluator — docs/PARALLELISM.md): REGRESSION when
+//             new > old * (1 + table-scans-threshold). Defaults to
+//             exact growth gating, same as counters, but with its own
+//             knob so the --no-batch-scan ablation leg can relax (or
+//             --ignore) table scans without loosening every counter.
 //   counter   everything else (deterministic work counters, lower is
 //             better): REGRESSION when new > old * (1 + counter-threshold)
 //             — defaults to exact, since the synthetic datasets are
@@ -35,6 +42,8 @@
 //   --time-threshold=R      allowed relative slowdown (default 0.5)
 //   --speedup-threshold=R   allowed relative speedup loss (default 0.5)
 //   --counter-threshold=R   allowed relative counter growth (default 0)
+//   --table-scans-threshold=R  allowed relative table-scan growth
+//                           (default 0: any extra scan is a regression)
 //   --overhead-threshold=R  allowed absolute overhead-ratio excess over
 //                           1.0 (default 0.02)
 //   --time-floor=S          ignore time keys whose OLD value is below S
@@ -77,13 +86,21 @@ struct Options {
   double time_threshold = 0.5;
   double speedup_threshold = 0.5;
   double counter_threshold = 0.0;
+  double table_scans_threshold = 0.0;
   double overhead_threshold = 0.02;
   double time_floor = 1e-3;
   std::vector<std::string> ignore;
   bool list = false;
 };
 
-enum class KeyClass { kTime, kSpeedup, kOverhead, kExact, kCounter };
+enum class KeyClass {
+  kTime,
+  kSpeedup,
+  kOverhead,
+  kExact,
+  kTableScans,
+  kCounter
+};
 
 /// Classifies a flattened key path by its leaf segment (see file header).
 KeyClass ClassifyKey(const std::string& path) {
@@ -101,6 +118,13 @@ KeyClass ClassifyKey(const std::string& path) {
     return KeyClass::kTime;
   }
   if (leaf == "solutions") return KeyClass::kExact;
+  // Matches runs.*.stats.table_scans and the fig10 derived keys like
+  // adults_k2_qid8_basic_table_scans.
+  if (leaf == "table_scans" ||
+      (leaf.size() > 12 &&
+       leaf.compare(leaf.size() - 12, 12, "_table_scans") == 0)) {
+    return KeyClass::kTableScans;
+  }
   return KeyClass::kCounter;
 }
 
@@ -195,6 +219,16 @@ struct Diff {
           Regress(path, old_value, new_value);
         }
         return;
+      case KeyClass::kTableScans:
+        // Lower is better: the scan-sharing evaluator may only shrink
+        // scan counts, so growth past the allowance is a regression.
+        if (new_value > old_value * (1.0 + opts.table_scans_threshold) &&
+            new_value > old_value) {
+          Regress(path, old_value, new_value);
+        } else if (opts.list && new_value < old_value) {
+          Improve(path, old_value, new_value);
+        }
+        return;
       case KeyClass::kCounter:
         if (new_value > old_value * (1.0 + opts.counter_threshold) &&
             new_value > old_value) {
@@ -268,8 +302,8 @@ int Usage() {
   fprintf(stderr,
           "usage: bench_diff OLD.json NEW.json [--time-threshold=R] "
           "[--speedup-threshold=R] [--counter-threshold=R] "
-          "[--overhead-threshold=R] [--time-floor=S] "
-          "[--ignore=SUBSTR,...] [--list]\n"
+          "[--table-scans-threshold=R] [--overhead-threshold=R] "
+          "[--time-floor=S] [--ignore=SUBSTR,...] [--list]\n"
           "see the header of tools/bench_diff.cpp for the full contract\n");
   return 2;
 }
@@ -318,6 +352,8 @@ int main(int argc, char** argv) {
       opts.speedup_threshold = atof(value.c_str());
     } else if (name == "counter-threshold") {
       opts.counter_threshold = atof(value.c_str());
+    } else if (name == "table-scans-threshold") {
+      opts.table_scans_threshold = atof(value.c_str());
     } else if (name == "overhead-threshold") {
       opts.overhead_threshold = atof(value.c_str());
     } else if (name == "time-floor") {

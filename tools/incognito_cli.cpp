@@ -46,6 +46,11 @@
 //                    barrier (level-synchronous)
 //   --variant=V      Incognito variant: basic (default), superroots, or
 //                    cube (enumerate, anonymize)
+//   --no-batch-scan  disable scan-sharing batched level evaluation (one
+//                    table scan per scan-required node instead of one per
+//                    (subset, level) batch; see docs/PARALLELISM.md
+//                    "Scan-sharing batch evaluation"). Results are
+//                    identical either way; this is an ablation switch.
 //
 // Resource governance (check, enumerate, anonymize, models):
 //   --deadline-ms=N       stop the search after N milliseconds
@@ -506,6 +511,7 @@ Result<IncognitoOptions> ParseRunOptions(
           "' (want basic, superroots, or cube)");
     }
   }
+  if (!Get(args, "no-batch-scan").empty()) opts.batch_scans = false;
   return opts;
 }
 

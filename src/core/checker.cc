@@ -15,12 +15,13 @@ namespace {
 /// transient pool (bit-identical either way; see docs/PARALLELISM.md).
 FrequencySet CheckScan(const Table& table, const QuasiIdentifier& qid,
                        const SubsetNode& node, int num_threads,
-                       ExecutionGovernor* governor) {
+                       ExecutionGovernor* governor, SubstrateMode substrate) {
   if (num_threads <= 1) {
-    return FrequencySet::Compute(table, qid, node);
+    return FrequencySet::Compute(table, qid, node, substrate);
   }
   WorkerPool pool(num_threads);
-  return FrequencySet::ComputeParallel(table, qid, node, pool, governor);
+  return FrequencySet::ComputeParallel(table, qid, node, pool, governor,
+                                       substrate);
 }
 
 }  // namespace
@@ -79,11 +80,13 @@ std::string AlgorithmStats::ToString() const {
 
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                   const SubsetNode& node, const AnonymizationConfig& config,
-                  AlgorithmStats* stats, int num_threads) {
+                  AlgorithmStats* stats, int num_threads,
+                  SubstrateMode substrate) {
   INCOGNITO_SPAN("checker.is_k_anonymous");
   INCOGNITO_COUNT("checker.direct_checks");
   Stopwatch timer;
-  FrequencySet fs = CheckScan(table, qid, node, num_threads, nullptr);
+  FrequencySet fs = CheckScan(table, qid, node, num_threads, nullptr,
+                              substrate);
   bool anonymous = fs.IsKAnonymous(config.k, config.max_suppressed);
   if (stats != nullptr) {
     ++stats->nodes_checked;
@@ -100,13 +103,15 @@ Result<bool> IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                           const RunContext& ctx, AlgorithmStats* stats) {
   int num_threads = ctx.num_threads > 0 ? ctx.num_threads : 1;
   if (ctx.governor == nullptr) {
-    return IsKAnonymous(table, qid, node, config, stats, num_threads);
+    return IsKAnonymous(table, qid, node, config, stats, num_threads,
+                        ctx.substrate);
   }
   ExecutionGovernor& governor = *ctx.governor;
   INCOGNITO_RETURN_IF_ERROR(governor.Check());
   INCOGNITO_HIST_TIMER("checker.check_seconds");
   Stopwatch timer;
-  FrequencySet fs = CheckScan(table, qid, node, num_threads, &governor);
+  FrequencySet fs = CheckScan(table, qid, node, num_threads, &governor,
+                              ctx.substrate);
   Status charge = governor.ChargeMemory(
       static_cast<int64_t>(fs.MemoryBytes()));
   if (!charge.ok()) {

@@ -91,9 +91,12 @@ struct AlgorithmStats {
 /// When `stats` is non-null, the check's costs are accumulated into it.
 /// `num_threads` > 1 fans the scan out across a worker pool
 /// (FrequencySet::ComputeParallel) with a bit-identical verdict and stats.
+/// `substrate` selects the group-by engine for the scan (freq/substrate.h);
+/// every mode returns the identical verdict and stats.
 bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                   const SubsetNode& node, const AnonymizationConfig& config,
-                  AlgorithmStats* stats = nullptr, int num_threads = 1);
+                  AlgorithmStats* stats = nullptr, int num_threads = 1,
+                  SubstrateMode substrate = SubstrateMode::kAuto);
 
 /// RunContext variant (docs/API.md): ctx.governor (when non-null) is
 /// polled before the scan and charged the frequency set's heap footprint
@@ -101,7 +104,8 @@ bool IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
 /// kCancelled replace the answer when a budget trips. An ungoverned
 /// context never trips. ctx.num_threads > 1 runs the scan across a worker
 /// pool with per-worker shard charges; ctx.scheduling is ignored (a single
-/// check has no lattice to schedule).
+/// check has no lattice to schedule); ctx.substrate picks the group-by
+/// engine.
 Result<bool> IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                           const SubsetNode& node,
                           const AnonymizationConfig& config,

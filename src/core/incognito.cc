@@ -308,8 +308,8 @@ class GraphSearch {
       ++stats_->table_scans;
       stats_->batched_scan_nodes += static_cast<int64_t>(group.size());
       Stopwatch timer;
-      std::vector<FrequencySet> sets =
-          FrequencySet::ComputeBatch(table_, qid_, nodes, nullptr, governor_);
+      std::vector<FrequencySet> sets = FrequencySet::ComputeBatch(
+          table_, qid_, nodes, nullptr, governor_, options_.substrate);
       stats_->batch_scan_seconds += timer.ElapsedSeconds();
       if (governor_ != nullptr) {
         Status trip = governor_->SharedTrip();
@@ -386,7 +386,7 @@ class GraphSearch {
           super.levels = std::move(min_levels);
           ++stats_->table_scans;
           FrequencySet super_freq =
-              FrequencySet::Compute(table_, qid_, super);
+              FrequencySet::Compute(table_, qid_, super, options_.substrate);
           stats_->freq_groups_built +=
               static_cast<int64_t>(super_freq.NumGroups());
           if (governor_ != nullptr &&
@@ -407,7 +407,7 @@ class GraphSearch {
     }
     // Fallback: scan the table (Basic Incognito roots).
     ++stats_->table_scans;
-    return FrequencySet::Compute(table_, qid_, node);
+    return FrequencySet::Compute(table_, qid_, node, options_.substrate);
   }
 
   void MarkGeneralizations(const CandidateGraph& graph, int64_t id,
@@ -516,7 +516,7 @@ PartialResult<IncognitoResult> RunIncognitoImpl(
   if (options.variant == IncognitoVariant::kCube) {
     Stopwatch cube_timer;
     ZeroGenCube::BuildInfo info;
-    cube = ZeroGenCube::Build(table, qid, &info, governor);
+    cube = ZeroGenCube::Build(table, qid, &info, governor, options.substrate);
     cube_ptr = &cube;
     result.stats.cube_build_seconds = cube_timer.ElapsedSeconds();
     result.stats.table_scans += info.table_scans;
@@ -612,12 +612,18 @@ PartialResult<IncognitoResult> RunIncognito(const Table& table,
                                             const RunContext& ctx) {
   const int num_threads =
       ctx.num_threads > 0 ? ctx.num_threads : options.num_threads;
+  // A non-kAuto context substrate overrides the option, mirroring the
+  // thread-count precedence above.
+  IncognitoOptions effective = options;
+  if (ctx.substrate != SubstrateMode::kAuto) {
+    effective.substrate = ctx.substrate;
+  }
   if (num_threads > 1) {
     RunContext parallel_ctx = ctx;
     parallel_ctx.num_threads = num_threads;
-    return RunIncognitoParallel(table, qid, config, options, parallel_ctx);
+    return RunIncognitoParallel(table, qid, config, effective, parallel_ctx);
   }
-  return RunIncognitoImpl(table, qid, config, options, ctx.governor,
+  return RunIncognitoImpl(table, qid, config, effective, ctx.governor,
                           ctx.checkpoint);
 }
 

@@ -57,6 +57,13 @@ struct IncognitoOptions {
   /// deterministic counter except table_scans are bit-identical either
   /// way; table_scans counts one scan per (subset, level) batch.
   bool batch_scans = true;
+
+  /// Group-by substrate for every frequency-set build of the search
+  /// (DESIGN.md "Group-by substrates"): hash-map probes, columnar radix
+  /// sort, or per-build auto-selection (default). All modes produce
+  /// bit-identical survivors, counters, and MemoryBytes; a non-kAuto
+  /// RunContext::substrate overrides this option.
+  SubstrateMode substrate = SubstrateMode::kAuto;
 };
 
 /// The output of an Incognito run.

@@ -150,7 +150,7 @@ class ParallelGraphSearch {
         // Compute (docs/PARALLELISM.md "Intra-node parallelism").
         FrequencySet super_freq =
             FrequencySet::ComputeParallel(table_, qid_, super, *pool_,
-                                          governor_);
+                                          governor_, options_.substrate);
         stats_->freq_groups_built +=
             static_cast<int64_t>(super_freq.NumGroups());
         Status charged = governor_->ChargeMemory(
@@ -223,7 +223,7 @@ class ParallelGraphSearch {
         stats_->batched_scan_nodes += static_cast<int64_t>(group.size());
         Stopwatch batch_timer;
         std::vector<FrequencySet> sets = FrequencySet::ComputeBatch(
-            table_, qid_, nodes, pool_, governor_);
+            table_, qid_, nodes, pool_, governor_, options_.substrate);
         stats_->batch_scan_seconds += batch_timer.ElapsedSeconds();
         // Retention charges live on the governor until a worker takes
         // the set (swapping them for its shard charge) or release_all
@@ -456,7 +456,7 @@ class ParallelGraphSearch {
       }
     }
     ++wstats->table_scans;
-    return FrequencySet::Compute(table_, qid_, node);
+    return FrequencySet::Compute(table_, qid_, node, options_.substrate);
   }
 
   void MarkGeneralizations(const CandidateGraph& graph, int64_t id,
@@ -747,7 +747,8 @@ class SubsetGraphWalk {
       wstats_->batched_scan_nodes += static_cast<int64_t>(group.size());
       Stopwatch timer;
       std::vector<FrequencySet> sets =
-          FrequencySet::ComputeBatch(table_, qid_, nodes, nullptr, governor_);
+          FrequencySet::ComputeBatch(table_, qid_, nodes, nullptr, governor_,
+                                     options_.substrate);
       wstats_->batch_scan_seconds += timer.ElapsedSeconds();
       Status bstatus = shard_->Check();
       if (bstatus.ok()) {
@@ -804,7 +805,7 @@ class SubsetGraphWalk {
           // the rest of the pool busy (the apex graph, which has the pool
           // to itself, uses the level-parallel search instead).
           FrequencySet super_freq =
-              FrequencySet::Compute(table_, qid_, super);
+              FrequencySet::Compute(table_, qid_, super, options_.substrate);
           wstats_->freq_groups_built +=
               static_cast<int64_t>(super_freq.NumGroups());
           if (!shard_
@@ -824,7 +825,7 @@ class SubsetGraphWalk {
       }
     }
     ++wstats_->table_scans;
-    return FrequencySet::Compute(table_, qid_, node);
+    return FrequencySet::Compute(table_, qid_, node, options_.substrate);
   }
 
   void MarkGeneralizations(const CandidateGraph& graph, int64_t id,
@@ -975,7 +976,8 @@ PartialResult<IncognitoResult> RunIncognitoParallelImpl(
   if (options.variant == IncognitoVariant::kCube) {
     Stopwatch cube_timer;
     ZeroGenCube::BuildInfo info;
-    cube = ZeroGenCube::BuildParallel(table, qid, pool, &info, governor);
+    cube = ZeroGenCube::BuildParallel(table, qid, pool, &info, governor,
+                                      options.substrate);
     cube_ptr = &cube;
     result.stats.cube_build_seconds = cube_timer.ElapsedSeconds();
     result.stats.table_scans += info.table_scans;
@@ -1507,7 +1509,9 @@ PartialResult<IncognitoResult> RunIncognitoParallel(
     serial_ctx.num_threads = 1;
     return RunIncognito(table, qid, config, serial, serial_ctx);
   }
-  return RunIncognitoParallelImpl(table, qid, config, options, ctx.governor,
+  IncognitoOptions effective = options;
+  if (ctx.substrate != SubstrateMode::kAuto) effective.substrate = ctx.substrate;
+  return RunIncognitoParallelImpl(table, qid, config, effective, ctx.governor,
                                   num_threads, ctx.scheduling, ctx.checkpoint);
 }
 

@@ -1,6 +1,8 @@
 #ifndef INCOGNITO_CORE_RUN_CONTEXT_H_
 #define INCOGNITO_CORE_RUN_CONTEXT_H_
 
+#include "freq/substrate.h"
+
 namespace incognito {
 
 class ExecutionGovernor;
@@ -46,6 +48,14 @@ struct RunContext {
   /// single-threaded runs; both modes produce bit-identical complete
   /// results.
   SchedulingMode scheduling = SchedulingMode::kPipelined;
+
+  /// Group-by substrate for every frequency-set build of the run
+  /// (DESIGN.md "Group-by substrates"). kAuto (default) defers to the
+  /// algorithm's own option where one exists (IncognitoOptions::substrate)
+  /// and otherwise lets each build choose by key shape; a non-kAuto value
+  /// here overrides the option. Purely a performance knob — all modes are
+  /// bit-identical.
+  SubstrateMode substrate = SubstrateMode::kAuto;
 
   /// Optional crash-safe checkpointing (robust/checkpoint.h): when set
   /// and enabled, the Incognito lattice search periodically spills its

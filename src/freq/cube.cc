@@ -36,7 +36,8 @@ SubsetNode ZeroNodeForMask(uint32_t mask) {
 
 ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
                                BuildInfo* info,
-                               ExecutionGovernor* governor) {
+                               ExecutionGovernor* governor,
+                               SubstrateMode substrate) {
   INCOGNITO_SPAN("cube.build");
   INCOGNITO_PHASE_TIMER("phase.cube_build_seconds");
   INCOGNITO_COUNT("cube.builds");
@@ -63,7 +64,8 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
 
   const uint32_t full = (1u << n) - 1;  // n <= 24, so the shift is safe
   auto root = cube.sets_.emplace(
-      full, FrequencySet::Compute(table, qid, ZeroNodeForMask(full)));
+      full, FrequencySet::Compute(table, qid, ZeroNodeForMask(full),
+                                  substrate));
   local.table_scans = 1;
   bool tripped = !charge(root.first->second);
   if (tripped) cube.sets_.clear();
@@ -91,7 +93,8 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
       }
     }
     assert(best != nullptr);
-    auto inserted = cube.sets_.emplace(m, best->ProjectTo(ZeroNodeForMask(m), qid));
+    auto inserted = cube.sets_.emplace(
+        m, best->ProjectTo(ZeroNodeForMask(m), qid, substrate));
     ++local.projections;
     if (!charge(inserted.first->second)) {
       // The just-built set was refused: drop it (it was never charged) and
@@ -116,7 +119,8 @@ ZeroGenCube ZeroGenCube::Build(const Table& table, const QuasiIdentifier& qid,
 ZeroGenCube ZeroGenCube::BuildParallel(const Table& table,
                                        const QuasiIdentifier& qid,
                                        WorkerPool& pool, BuildInfo* info,
-                                       ExecutionGovernor* governor) {
+                                       ExecutionGovernor* governor,
+                                       SubstrateMode substrate) {
   INCOGNITO_SPAN("cube.build");
   INCOGNITO_PHASE_TIMER("phase.cube_build_seconds");
   INCOGNITO_COUNT("cube.builds");
@@ -131,7 +135,7 @@ ZeroGenCube ZeroGenCube::BuildParallel(const Table& table,
   // inside the scan latches the governor and yields an empty set; the
   // main-thread charge below observes the latch via Check().
   FrequencySet root_fs = FrequencySet::ComputeParallel(
-      table, qid, ZeroNodeForMask(full), pool, governor);
+      table, qid, ZeroNodeForMask(full), pool, governor, substrate);
   local.table_scans = 1;
 
   // Same root charge protocol as the serial Build, fault site included.
@@ -247,7 +251,7 @@ ZeroGenCube ZeroGenCube::BuildParallel(const Table& table,
             }
           }
           INCOGNITO_COUNT("cube.parallel_projections");
-          *slot[m] = best->ProjectTo(ZeroNodeForMask(m), qid);
+          *slot[m] = best->ProjectTo(ZeroNodeForMask(m), qid, substrate);
           if (shard != nullptr &&
               !shard
                    ->ChargeMemory(

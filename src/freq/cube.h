@@ -38,9 +38,14 @@ class ZeroGenCube {
   /// memory budget; a refused charge (or a tripped deadline/cancellation)
   /// stops the build early — the caller detects this via
   /// governor->Tripped() and must not use the incomplete cube.
+  ///
+  /// `substrate` selects the group-by engine for the root scan and every
+  /// projection (freq/substrate.h); all modes build the bit-identical
+  /// cube, BuildInfo byte totals included.
   static ZeroGenCube Build(const Table& table, const QuasiIdentifier& qid,
                            BuildInfo* info = nullptr,
-                           ExecutionGovernor* governor = nullptr);
+                           ExecutionGovernor* governor = nullptr,
+                           SubstrateMode substrate = SubstrateMode::kAuto);
 
   /// Parallel twin of Build (docs/PARALLELISM.md "Intra-node
   /// parallelism"): the root scan runs as a parallel FrequencySet::
@@ -64,7 +69,9 @@ class ZeroGenCube {
   static ZeroGenCube BuildParallel(const Table& table,
                                    const QuasiIdentifier& qid,
                                    WorkerPool& pool, BuildInfo* info = nullptr,
-                                   ExecutionGovernor* governor = nullptr);
+                                   ExecutionGovernor* governor = nullptr,
+                                   SubstrateMode substrate =
+                                       SubstrateMode::kAuto);
 
   /// Releases every byte Build() charged against `governor` (call when the
   /// cube is discarded).

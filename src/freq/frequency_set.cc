@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/worker_pool.h"
+#include "freq/substrate.h"
 #include "obs/obs.h"
 #include "robust/fault_injector.h"
 #include "robust/governor.h"
@@ -42,6 +43,65 @@ std::vector<size_t> Cardinalities(const QuasiIdentifier& qid,
 /// of overhead per entry on the common implementations).
 constexpr size_t kHashNodeOverhead = 2 * sizeof(void*);
 
+/// Resolves which engine a build with this codec and input size uses
+/// (substrate.h; the INCOGNITO_SUBSTRATE environment override applies to
+/// kAuto only).
+SubstrateChoice ChoiceFor(const KeyCodec& codec, size_t rows,
+                          SubstrateMode substrate) {
+  return ResolveSubstrate(substrate, codec.packed(), rows,
+                          EstimateKeySpace(codec.cardinalities()));
+}
+
+/// One group-by build ran on this engine (OBSERVABILITY.md).
+void CountSubstrate(SubstrateChoice choice) {
+  switch (choice) {
+    case SubstrateChoice::kHashMap:
+      INCOGNITO_COUNT("freq.substrate_hash");
+      break;
+    case SubstrateChoice::kRadixSort:
+      INCOGNITO_COUNT("freq.substrate_radix");
+      break;
+    case SubstrateChoice::kFlatMap:
+      INCOGNITO_COUNT("freq.substrate_flat");
+      break;
+  }
+}
+
+/// Coalesces a key-sorted (key, count) run into unique groups with an
+/// exact-capacity reserve — `out` must be empty so its final capacity is
+/// the group count, matching the hash substrate's assign-from-map.
+void CoalescePacked(const std::vector<std::pair<uint64_t, int64_t>>& all,
+                    std::vector<std::pair<uint64_t, int64_t>>* out) {
+  size_t unique = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i == 0 || all[i].first != all[i - 1].first) ++unique;
+  }
+  out->reserve(unique);
+  for (size_t i = 0; i < all.size();) {
+    const uint64_t key = all[i].first;
+    int64_t count = 0;
+    for (; i < all.size() && all[i].first == key; ++i) count += all[i].second;
+    out->emplace_back(key, count);
+  }
+}
+
+/// Vector-key twin of CoalescePacked.
+void CoalesceVec(
+    const std::vector<std::pair<std::vector<int32_t>, int64_t>>& all,
+    std::vector<std::pair<std::vector<int32_t>, int64_t>>* out) {
+  size_t unique = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i == 0 || all[i].first != all[i - 1].first) ++unique;
+  }
+  out->reserve(unique);
+  for (size_t i = 0; i < all.size();) {
+    std::vector<int32_t> key = all[i].first;
+    int64_t count = 0;
+    for (; i < all.size() && all[i].first == key; ++i) count += all[i].second;
+    out->emplace_back(std::move(key), count);
+  }
+}
+
 }  // namespace
 
 FrequencySet FrequencySet::MakeEmpty(const SubsetNode& node,
@@ -55,7 +115,8 @@ FrequencySet FrequencySet::MakeEmpty(const SubsetNode& node,
 
 FrequencySet FrequencySet::Compute(const Table& table,
                                    const QuasiIdentifier& qid,
-                                   const SubsetNode& node) {
+                                   const SubsetNode& node,
+                                   SubstrateMode substrate) {
   assert(node.size() > 0);
   INCOGNITO_SPAN("freq.scan");
   INCOGNITO_PHASE_TIMER("phase.freq_scan_seconds");
@@ -78,26 +139,55 @@ FrequencySet FrequencySet::Compute(const Table& table,
   }
 
   const size_t rows = table.num_rows();
-  if (fs.packed_) {
-    std::unordered_map<uint64_t, int64_t> agg;
-    agg.reserve(rows / 4 + 8);
-    std::vector<int32_t> codes(n);
-    for (size_t r = 0; r < rows; ++r) {
-      for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
-      ++agg[fs.codec_.Pack(codes.data())];
+  const SubstrateChoice choice = ChoiceFor(fs.codec_, rows, substrate);
+  CountSubstrate(choice);
+  switch (choice) {
+    case SubstrateChoice::kRadixSort: {
+      // Columnar gather + LSD radix: order-preserving packing means the
+      // sorted key run IS the canonical group order, so the run-length
+      // extraction below replaces both the hash probes and SortGroups().
+      std::vector<uint64_t> keys;
+      GatherPackedKeys(cols, maps, fs.codec_, 0, rows, &keys);
+      std::vector<uint64_t> scratch;
+      RadixSortKeys(keys, scratch, fs.codec_.total_bits());
+      ExtractGroups(keys, &fs.groups_);
+      break;
     }
-    fs.groups_.assign(agg.begin(), agg.end());
-  } else {
-    std::unordered_map<std::vector<int32_t>, int64_t, VecHash> agg;
-    agg.reserve(rows / 4 + 8);
-    std::vector<int32_t> codes(n);
-    for (size_t r = 0; r < rows; ++r) {
-      for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
-      ++agg[codes];
+    case SubstrateChoice::kFlatMap: {
+      FlatCodeMap agg(n, rows / 4 + 8);
+      std::vector<int32_t> codes(n);
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+        agg.Add(codes.data(), 1);
+      }
+      agg.AppendTo(&fs.vgroups_);
+      fs.SortGroups();
+      break;
     }
-    fs.vgroups_.assign(agg.begin(), agg.end());
+    case SubstrateChoice::kHashMap: {
+      if (fs.packed_) {
+        std::unordered_map<uint64_t, int64_t> agg;
+        agg.reserve(rows / 4 + 8);
+        std::vector<int32_t> codes(n);
+        for (size_t r = 0; r < rows; ++r) {
+          for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+          ++agg[fs.codec_.Pack(codes.data())];
+        }
+        fs.groups_.assign(agg.begin(), agg.end());
+      } else {
+        std::unordered_map<std::vector<int32_t>, int64_t, VecHash> agg;
+        agg.reserve(rows / 4 + 8);
+        std::vector<int32_t> codes(n);
+        for (size_t r = 0; r < rows; ++r) {
+          for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+          ++agg[codes];
+        }
+        fs.vgroups_.assign(agg.begin(), agg.end());
+      }
+      fs.SortGroups();
+      break;
+    }
   }
-  fs.SortGroups();
   fs.total_count_ = static_cast<int64_t>(rows);
   return fs;
 }
@@ -106,7 +196,8 @@ FrequencySet FrequencySet::ComputeParallel(const Table& table,
                                            const QuasiIdentifier& qid,
                                            const SubsetNode& node,
                                            WorkerPool& pool,
-                                           ExecutionGovernor* governor) {
+                                           ExecutionGovernor* governor,
+                                           SubstrateMode substrate) {
   assert(node.size() > 0);
   INCOGNITO_SPAN("freq.scan");
   INCOGNITO_PHASE_TIMER("phase.freq_scan_seconds");
@@ -131,21 +222,40 @@ FrequencySet FrequencySet::ComputeParallel(const Table& table,
   const size_t rows = table.num_rows();
   const size_t workers = static_cast<size_t>(pool.size());
   INCOGNITO_COUNT_ADD("freq.scan_chunks", static_cast<int64_t>(workers));
+  // The whole scan resolves to one engine (the decision depends only on
+  // the codec and the full row count), so every worker runs the same
+  // substrate and the merge sees homogeneous partials.
+  const SubstrateChoice choice = ChoiceFor(fs.codec_, rows, substrate);
+  CountSubstrate(choice);
 
-  // Per-worker thread-local aggregation maps; merged after the barrier.
+  // Per-worker thread-local aggregation state; merged after the barrier.
   std::vector<std::unordered_map<uint64_t, int64_t>> wagg;
   std::vector<std::unordered_map<std::vector<int32_t>, int64_t, VecHash>>
       wvagg;
-  if (fs.packed_) {
-    wagg.resize(workers);
-  } else {
-    wvagg.resize(workers);
+  std::vector<std::vector<std::pair<uint64_t, int64_t>>> wpart;
+  std::vector<std::unique_ptr<FlatCodeMap>> wflat;
+  switch (choice) {
+    case SubstrateChoice::kRadixSort:
+      wpart.resize(workers);
+      break;
+    case SubstrateChoice::kFlatMap:
+      wflat.resize(workers);
+      break;
+    case SubstrateChoice::kHashMap:
+      if (fs.packed_) {
+        wagg.resize(workers);
+      } else {
+        wvagg.resize(workers);
+      }
+      break;
   }
 
-  // Governed scans charge the running footprint of each worker's local map
-  // to a private shard so the global budget observes the transient scan
-  // memory; the shards drain before returning and the caller charges the
-  // final set exactly as on the serial path.
+  // Governed scans charge the running footprint of each worker's local
+  // aggregation state to a private shard so the global budget observes the
+  // transient scan memory; the shards drain before returning and the
+  // caller charges the final set exactly as on the serial path. The radix
+  // engine's transient state is its gather + scratch buffers (charged up
+  // front, released when they die) plus the extracted groups.
   std::vector<std::unique_ptr<GovernorShard>> shards;
   if (governor != nullptr) {
     shards.reserve(workers);
@@ -176,39 +286,78 @@ FrequencySet FrequencySet::ComputeParallel(const Table& table,
       }
     }
     int64_t charged = 0;
-    auto checkpoint = [&](size_t groups) {
+    auto checkpoint = [&](size_t footprint) {
       if (shard == nullptr) return true;
       if (!shard->Check().ok()) return false;
-      int64_t now = static_cast<int64_t>(groups * entry_bytes);
+      int64_t now = static_cast<int64_t>(footprint);
       if (now > charged) {
         if (!shard->ChargeMemory(now - charged).ok()) return false;
         charged = now;
       }
       return true;
     };
+    if (choice == SubstrateChoice::kRadixSort) {
+      const size_t chunk_rows = end - begin;
+      if (chunk_rows == 0) return;
+      // The gather + scratch buffers are the radix engine's map-growth
+      // analogue: charged before they exist, released when they die.
+      const int64_t buffer_bytes =
+          static_cast<int64_t>(2 * chunk_rows * sizeof(uint64_t));
+      if (shard != nullptr && !shard->ChargeMemory(buffer_bytes).ok()) return;
+      {
+        std::function<bool()> tick;
+        if (shard != nullptr) {
+          tick = [shard] { return shard->Check().ok(); };
+        }
+        std::vector<uint64_t> keys;
+        GatherPackedKeys(cols, maps, fs.codec_, begin, end, &keys);
+        std::vector<uint64_t> scratch;
+        if (RadixSortKeys(keys, scratch, fs.codec_.total_bits(), tick)) {
+          const size_t groups = ExtractGroups(keys, &wpart[wi]);
+          checkpoint(groups * sizeof(std::pair<uint64_t, int64_t>));
+        }
+      }
+      if (shard != nullptr) shard->ReleaseMemory(buffer_bytes);
+      return;
+    }
     std::vector<int32_t> codes(n);
-    if (fs.packed_) {
+    if (choice == SubstrateChoice::kFlatMap) {
+      wflat[wi] =
+          std::make_unique<FlatCodeMap>(n, (end - begin) / 4 + 8);
+      FlatCodeMap& agg = *wflat[wi];
+      for (size_t r = begin; r < end; ++r) {
+        if ((r - begin) % kCheckEveryRows == 0 &&
+            !checkpoint(agg.MemoryBytes())) {
+          return;
+        }
+        for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+        agg.Add(codes.data(), 1);
+      }
+      checkpoint(agg.MemoryBytes());
+    } else if (fs.packed_) {
       auto& agg = wagg[wi];
       agg.reserve((end - begin) / 4 + 8);
       for (size_t r = begin; r < end; ++r) {
-        if ((r - begin) % kCheckEveryRows == 0 && !checkpoint(agg.size())) {
+        if ((r - begin) % kCheckEveryRows == 0 &&
+            !checkpoint(agg.size() * entry_bytes)) {
           return;
         }
         for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
         ++agg[fs.codec_.Pack(codes.data())];
       }
-      checkpoint(agg.size());
+      checkpoint(agg.size() * entry_bytes);
     } else {
       auto& agg = wvagg[wi];
       agg.reserve((end - begin) / 4 + 8);
       for (size_t r = begin; r < end; ++r) {
-        if ((r - begin) % kCheckEveryRows == 0 && !checkpoint(agg.size())) {
+        if ((r - begin) % kCheckEveryRows == 0 &&
+            !checkpoint(agg.size() * entry_bytes)) {
           return;
         }
         for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
         ++agg[codes];
       }
-      checkpoint(agg.size());
+      checkpoint(agg.size() * entry_bytes);
     }
   });
 
@@ -221,43 +370,39 @@ FrequencySet FrequencySet::ComputeParallel(const Table& table,
 
   // Merge in worker-id order, coalesce equal keys, and canonically sort.
   // Keys are unique after coalescing, so the sorted result — including its
-  // exact capacity, hence MemoryBytes() — matches the serial scan.
+  // exact capacity, hence MemoryBytes() — matches the serial scan. Each
+  // engine's partials carry the same per-(worker, key) chunk counts, so
+  // all three merges produce the identical byte-for-byte frequency set.
   if (fs.packed_) {
     std::vector<std::pair<uint64_t, int64_t>> all;
     size_t total = 0;
-    for (const auto& m : wagg) total += m.size();
-    all.reserve(total);
-    for (const auto& m : wagg) all.insert(all.end(), m.begin(), m.end());
+    if (choice == SubstrateChoice::kRadixSort) {
+      for (const auto& p : wpart) total += p.size();
+      all.reserve(total);
+      for (const auto& p : wpart) all.insert(all.end(), p.begin(), p.end());
+    } else {
+      for (const auto& m : wagg) total += m.size();
+      all.reserve(total);
+      for (const auto& m : wagg) all.insert(all.end(), m.begin(), m.end());
+    }
     std::sort(all.begin(), all.end());
-    size_t unique = 0;
-    for (size_t i = 0; i < all.size(); ++i) {
-      if (i == 0 || all[i].first != all[i - 1].first) ++unique;
-    }
-    fs.groups_.reserve(unique);
-    for (size_t i = 0; i < all.size();) {
-      const uint64_t key = all[i].first;
-      int64_t count = 0;
-      for (; i < all.size() && all[i].first == key; ++i) count += all[i].second;
-      fs.groups_.emplace_back(key, count);
-    }
+    CoalescePacked(all, &fs.groups_);
   } else {
     std::vector<std::pair<std::vector<int32_t>, int64_t>> all;
     size_t total = 0;
-    for (const auto& m : wvagg) total += m.size();
-    all.reserve(total);
-    for (const auto& m : wvagg) all.insert(all.end(), m.begin(), m.end());
+    if (choice == SubstrateChoice::kFlatMap) {
+      for (const auto& f : wflat) total += f != nullptr ? f->size() : 0;
+      all.reserve(total);
+      for (const auto& f : wflat) {
+        if (f != nullptr) f->AppendTo(&all);
+      }
+    } else {
+      for (const auto& m : wvagg) total += m.size();
+      all.reserve(total);
+      for (const auto& m : wvagg) all.insert(all.end(), m.begin(), m.end());
+    }
     std::sort(all.begin(), all.end());
-    size_t unique = 0;
-    for (size_t i = 0; i < all.size(); ++i) {
-      if (i == 0 || all[i].first != all[i - 1].first) ++unique;
-    }
-    fs.vgroups_.reserve(unique);
-    for (size_t i = 0; i < all.size();) {
-      std::vector<int32_t> key = all[i].first;
-      int64_t count = 0;
-      for (; i < all.size() && all[i].first == key; ++i) count += all[i].second;
-      fs.vgroups_.emplace_back(std::move(key), count);
-    }
+    CoalesceVec(all, &fs.vgroups_);
   }
   fs.total_count_ = static_cast<int64_t>(rows);
   return fs;
@@ -266,7 +411,7 @@ FrequencySet FrequencySet::ComputeParallel(const Table& table,
 std::vector<FrequencySet> FrequencySet::ComputeBatch(
     const Table& table, const QuasiIdentifier& qid,
     const std::vector<SubsetNode>& nodes, WorkerPool* pool,
-    ExecutionGovernor* governor) {
+    ExecutionGovernor* governor, SubstrateMode substrate) {
   std::vector<FrequencySet> out;
   out.reserve(nodes.size());
   for (const SubsetNode& node : nodes) {
@@ -302,45 +447,92 @@ std::vector<FrequencySet> FrequencySet::ComputeBatch(
     }
   }
 
+  // Each node resolves its own engine (same dims, different levels ⇒
+  // different key spaces, so under kAuto a batch can mix engines).
+  // Radix nodes are gathered column-wise outside the shared row loop;
+  // hash and flat nodes ride the row loop together.
+  std::vector<SubstrateChoice> choice(b);
+  bool any_radix = false;
+  bool any_rowloop = false;
+  for (size_t j = 0; j < b; ++j) {
+    choice[j] = ChoiceFor(out[j].codec_, rows, substrate);
+    CountSubstrate(choice[j]);
+    if (choice[j] == SubstrateChoice::kRadixSort) {
+      any_radix = true;
+    } else {
+      any_rowloop = true;
+    }
+  }
+
   if (pool == nullptr || pool->size() <= 1) {
-    // Serial shared scan: one row loop feeds every node's map. The fault
-    // site stands in for an allocation failure while setting the maps up.
+    // Serial shared scan: one row loop feeds every row-loop node; radix
+    // nodes each take a columnar pass over their (shared, cache-resident)
+    // columns. The fault site stands in for an allocation failure while
+    // setting the aggregation state up.
     if (governor != nullptr && INCOGNITO_FAULT_FIRED("freq.batch.scan")) {
       governor->LatchInjectedFailure("freq.batch.scan");
       return out;
     }
-    std::vector<std::unordered_map<uint64_t, int64_t>> agg(b);
-    std::vector<std::unordered_map<std::vector<int32_t>, int64_t, VecHash>>
-        vagg(b);
-    std::vector<std::vector<int32_t>> codes(b);
-    for (size_t j = 0; j < b; ++j) {
-      codes[j].resize(nodes[j].size());
-      if (out[j].packed_) {
-        agg[j].reserve(rows / 4 + 8);
-      } else {
-        vagg[j].reserve(rows / 4 + 8);
+    if (any_radix) {
+      std::vector<uint64_t> keys;
+      std::vector<uint64_t> scratch;
+      for (size_t j = 0; j < b; ++j) {
+        if (choice[j] != SubstrateChoice::kRadixSort) continue;
+        GatherPackedKeys(cols[j], maps[j], out[j].codec_, 0, rows, &keys);
+        RadixSortKeys(keys, scratch, out[j].codec_.total_bits());
+        ExtractGroups(keys, &out[j].groups_);
       }
     }
-    for (size_t r = 0; r < rows; ++r) {
+    if (any_rowloop) {
+      std::vector<std::unordered_map<uint64_t, int64_t>> agg(b);
+      std::vector<std::unordered_map<std::vector<int32_t>, int64_t, VecHash>>
+          vagg(b);
+      std::vector<std::unique_ptr<FlatCodeMap>> flat(b);
+      std::vector<std::vector<int32_t>> codes(b);
       for (size_t j = 0; j < b; ++j) {
-        const size_t n = nodes[j].size();
-        for (size_t i = 0; i < n; ++i) codes[j][i] = maps[j][i][cols[j][i][r]];
-        if (out[j].packed_) {
-          ++agg[j][out[j].codec_.Pack(codes[j].data())];
+        if (choice[j] == SubstrateChoice::kRadixSort) continue;
+        codes[j].resize(nodes[j].size());
+        if (choice[j] == SubstrateChoice::kFlatMap) {
+          flat[j] =
+              std::make_unique<FlatCodeMap>(nodes[j].size(), rows / 4 + 8);
+        } else if (out[j].packed_) {
+          agg[j].reserve(rows / 4 + 8);
         } else {
-          ++vagg[j][codes[j]];
+          vagg[j].reserve(rows / 4 + 8);
         }
       }
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t j = 0; j < b; ++j) {
+          if (choice[j] == SubstrateChoice::kRadixSort) continue;
+          const size_t n = nodes[j].size();
+          for (size_t i = 0; i < n; ++i) {
+            codes[j][i] = maps[j][i][cols[j][i][r]];
+          }
+          if (choice[j] == SubstrateChoice::kFlatMap) {
+            flat[j]->Add(codes[j].data(), 1);
+          } else if (out[j].packed_) {
+            ++agg[j][out[j].codec_.Pack(codes[j].data())];
+          } else {
+            ++vagg[j][codes[j]];
+          }
+        }
+      }
+      for (size_t j = 0; j < b; ++j) {
+        if (choice[j] == SubstrateChoice::kRadixSort) continue;
+        // assign from the finished map, exactly like Compute, so the
+        // vector capacity — hence MemoryBytes() — matches the single-node
+        // scan (FlatCodeMap::AppendTo reserves the same exact size).
+        if (choice[j] == SubstrateChoice::kFlatMap) {
+          flat[j]->AppendTo(&out[j].vgroups_);
+        } else if (out[j].packed_) {
+          out[j].groups_.assign(agg[j].begin(), agg[j].end());
+        } else {
+          out[j].vgroups_.assign(vagg[j].begin(), vagg[j].end());
+        }
+        out[j].SortGroups();
+      }
     }
     for (size_t j = 0; j < b; ++j) {
-      // assign from the finished map, exactly like Compute, so the vector
-      // capacity — hence MemoryBytes() — matches the single-node scan.
-      if (out[j].packed_) {
-        out[j].groups_.assign(agg[j].begin(), agg[j].end());
-      } else {
-        out[j].vgroups_.assign(vagg[j].begin(), vagg[j].end());
-      }
-      out[j].SortGroups();
       out[j].total_count_ = static_cast<int64_t>(rows);
     }
     return out;
@@ -350,15 +542,21 @@ std::vector<FrequencySet> FrequencySet::ComputeBatch(
   INCOGNITO_COUNT("freq.parallel_scans");
   INCOGNITO_COUNT_ADD("freq.scan_chunks", static_cast<int64_t>(workers));
 
-  // Per-worker, per-node thread-local maps; merged after the barrier.
+  // Per-worker, per-node thread-local aggregation state; merged after the
+  // barrier in worker-id order.
   std::vector<std::vector<std::unordered_map<uint64_t, int64_t>>> wagg(
       workers);
   std::vector<
       std::vector<std::unordered_map<std::vector<int32_t>, int64_t, VecHash>>>
       wvagg(workers);
+  std::vector<std::vector<std::vector<std::pair<uint64_t, int64_t>>>> wpart(
+      workers);
+  std::vector<std::vector<std::unique_ptr<FlatCodeMap>>> wflat(workers);
   for (size_t w = 0; w < workers; ++w) {
     wagg[w].resize(b);
     wvagg[w].resize(b);
+    wpart[w].resize(b);
+    wflat[w].resize(b);
   }
 
   std::vector<std::unique_ptr<GovernorShard>> shards;
@@ -394,37 +592,97 @@ std::vector<FrequencySet> FrequencySet::ComputeBatch(
         return;
       }
     }
+    const size_t chunk_rows = end - begin;
+    // Monotonic footprint ledger shared by every node this worker feeds:
+    // radix outputs charge as they finish, map growth at checkpoints.
     int64_t charged = 0;
-    auto checkpoint = [&]() {
+    int64_t radix_bytes = 0;
+    auto charge_to = [&](int64_t now) {
       if (shard == nullptr) return true;
-      if (!shard->Check().ok()) return false;
-      int64_t now = 0;
-      for (size_t j = 0; j < b; ++j) {
-        const size_t groups =
-            out[j].packed_ ? wagg[wi][j].size() : wvagg[wi][j].size();
-        now += static_cast<int64_t>(groups * entry_bytes[j]);
-      }
       if (now > charged) {
         if (!shard->ChargeMemory(now - charged).ok()) return false;
         charged = now;
       }
       return true;
     };
+    if (any_radix && chunk_rows > 0) {
+      const int64_t buffer_bytes =
+          static_cast<int64_t>(2 * chunk_rows * sizeof(uint64_t));
+      if (shard != nullptr && !shard->ChargeMemory(buffer_bytes).ok()) return;
+      bool ok = true;
+      {
+        std::function<bool()> tick;
+        if (shard != nullptr) {
+          tick = [shard] { return shard->Check().ok(); };
+        }
+        std::vector<uint64_t> keys;
+        std::vector<uint64_t> scratch;
+        for (size_t j = 0; j < b && ok; ++j) {
+          if (choice[j] != SubstrateChoice::kRadixSort) continue;
+          GatherPackedKeys(cols[j], maps[j], out[j].codec_, begin, end,
+                           &keys);
+          if (!RadixSortKeys(keys, scratch, out[j].codec_.total_bits(),
+                             tick)) {
+            ok = false;
+            break;
+          }
+          const size_t groups = ExtractGroups(keys, &wpart[wi][j]);
+          radix_bytes += static_cast<int64_t>(
+              groups * sizeof(std::pair<uint64_t, int64_t>));
+          ok = charge_to(radix_bytes);
+        }
+      }
+      if (shard != nullptr) shard->ReleaseMemory(buffer_bytes);
+      if (!ok) return;
+    }
+    if (!any_rowloop) return;
+    auto checkpoint = [&]() {
+      if (shard == nullptr) return true;
+      if (!shard->Check().ok()) return false;
+      int64_t now = radix_bytes;
+      for (size_t j = 0; j < b; ++j) {
+        switch (choice[j]) {
+          case SubstrateChoice::kRadixSort:
+            break;
+          case SubstrateChoice::kFlatMap:
+            if (wflat[wi][j] != nullptr) {
+              now += static_cast<int64_t>(wflat[wi][j]->MemoryBytes());
+            }
+            break;
+          case SubstrateChoice::kHashMap: {
+            const size_t groups =
+                out[j].packed_ ? wagg[wi][j].size() : wvagg[wi][j].size();
+            now += static_cast<int64_t>(groups * entry_bytes[j]);
+            break;
+          }
+        }
+      }
+      return charge_to(now);
+    };
     std::vector<std::vector<int32_t>> codes(b);
     for (size_t j = 0; j < b; ++j) {
+      if (choice[j] == SubstrateChoice::kRadixSort) continue;
       codes[j].resize(nodes[j].size());
-      if (out[j].packed_) {
-        wagg[wi][j].reserve((end - begin) / 4 + 8);
+      if (choice[j] == SubstrateChoice::kFlatMap) {
+        wflat[wi][j] = std::make_unique<FlatCodeMap>(nodes[j].size(),
+                                                     chunk_rows / 4 + 8);
+      } else if (out[j].packed_) {
+        wagg[wi][j].reserve(chunk_rows / 4 + 8);
       } else {
-        wvagg[wi][j].reserve((end - begin) / 4 + 8);
+        wvagg[wi][j].reserve(chunk_rows / 4 + 8);
       }
     }
     for (size_t r = begin; r < end; ++r) {
       if ((r - begin) % kCheckEveryRows == 0 && !checkpoint()) return;
       for (size_t j = 0; j < b; ++j) {
+        if (choice[j] == SubstrateChoice::kRadixSort) continue;
         const size_t n = nodes[j].size();
-        for (size_t i = 0; i < n; ++i) codes[j][i] = maps[j][i][cols[j][i][r]];
-        if (out[j].packed_) {
+        for (size_t i = 0; i < n; ++i) {
+          codes[j][i] = maps[j][i][cols[j][i][r]];
+        }
+        if (choice[j] == SubstrateChoice::kFlatMap) {
+          wflat[wi][j]->Add(codes[j].data(), 1);
+        } else if (out[j].packed_) {
           ++wagg[wi][j][out[j].codec_.Pack(codes[j].data())];
         } else {
           ++wvagg[wi][j][codes[j]];
@@ -449,47 +707,41 @@ std::vector<FrequencySet> FrequencySet::ComputeBatch(
     if (out[j].packed_) {
       std::vector<std::pair<uint64_t, int64_t>> all;
       size_t total = 0;
-      for (size_t w = 0; w < workers; ++w) total += wagg[w][j].size();
-      all.reserve(total);
-      for (size_t w = 0; w < workers; ++w) {
-        all.insert(all.end(), wagg[w][j].begin(), wagg[w][j].end());
+      if (choice[j] == SubstrateChoice::kRadixSort) {
+        for (size_t w = 0; w < workers; ++w) total += wpart[w][j].size();
+        all.reserve(total);
+        for (size_t w = 0; w < workers; ++w) {
+          all.insert(all.end(), wpart[w][j].begin(), wpart[w][j].end());
+        }
+      } else {
+        for (size_t w = 0; w < workers; ++w) total += wagg[w][j].size();
+        all.reserve(total);
+        for (size_t w = 0; w < workers; ++w) {
+          all.insert(all.end(), wagg[w][j].begin(), wagg[w][j].end());
+        }
       }
       std::sort(all.begin(), all.end());
-      size_t unique = 0;
-      for (size_t i = 0; i < all.size(); ++i) {
-        if (i == 0 || all[i].first != all[i - 1].first) ++unique;
-      }
-      out[j].groups_.reserve(unique);
-      for (size_t i = 0; i < all.size();) {
-        const uint64_t key = all[i].first;
-        int64_t count = 0;
-        for (; i < all.size() && all[i].first == key; ++i) {
-          count += all[i].second;
-        }
-        out[j].groups_.emplace_back(key, count);
-      }
+      CoalescePacked(all, &out[j].groups_);
     } else {
       std::vector<std::pair<std::vector<int32_t>, int64_t>> all;
       size_t total = 0;
-      for (size_t w = 0; w < workers; ++w) total += wvagg[w][j].size();
-      all.reserve(total);
-      for (size_t w = 0; w < workers; ++w) {
-        all.insert(all.end(), wvagg[w][j].begin(), wvagg[w][j].end());
+      if (choice[j] == SubstrateChoice::kFlatMap) {
+        for (size_t w = 0; w < workers; ++w) {
+          total += wflat[w][j] != nullptr ? wflat[w][j]->size() : 0;
+        }
+        all.reserve(total);
+        for (size_t w = 0; w < workers; ++w) {
+          if (wflat[w][j] != nullptr) wflat[w][j]->AppendTo(&all);
+        }
+      } else {
+        for (size_t w = 0; w < workers; ++w) total += wvagg[w][j].size();
+        all.reserve(total);
+        for (size_t w = 0; w < workers; ++w) {
+          all.insert(all.end(), wvagg[w][j].begin(), wvagg[w][j].end());
+        }
       }
       std::sort(all.begin(), all.end());
-      size_t unique = 0;
-      for (size_t i = 0; i < all.size(); ++i) {
-        if (i == 0 || all[i].first != all[i - 1].first) ++unique;
-      }
-      out[j].vgroups_.reserve(unique);
-      for (size_t i = 0; i < all.size();) {
-        std::vector<int32_t> key = all[i].first;
-        int64_t count = 0;
-        for (; i < all.size() && all[i].first == key; ++i) {
-          count += all[i].second;
-        }
-        out[j].vgroups_.emplace_back(std::move(key), count);
-      }
+      CoalesceVec(all, &out[j].vgroups_);
     }
     out[j].total_count_ = static_cast<int64_t>(rows);
   }
@@ -551,7 +803,8 @@ FrequencySet FrequencySet::RollupTo(const SubsetNode& target,
 }
 
 FrequencySet FrequencySet::ProjectTo(const SubsetNode& target,
-                                     const QuasiIdentifier& qid) const {
+                                     const QuasiIdentifier& qid,
+                                     SubstrateMode substrate) const {
   INCOGNITO_SPAN("freq.projection");
   INCOGNITO_PHASE_TIMER("phase.projection_seconds");
   INCOGNITO_COUNT("freq.projections");
@@ -568,30 +821,63 @@ FrequencySet FrequencySet::ProjectTo(const SubsetNode& target,
   (void)n;
 
   FrequencySet out = MakeEmpty(target, qid);
-  std::unordered_map<uint64_t, int64_t> agg;
-  std::unordered_map<std::vector<int32_t>, int64_t, VecHash> vagg;
-  // Projection sums groups away, so the source group count is an upper
-  // bound here too.
-  if (out.packed_) {
-    agg.reserve(NumGroups());
-  } else {
-    vagg.reserve(NumGroups());
-  }
+  // A projection's input size is this set's group count, not the table.
+  const SubstrateChoice choice = ChoiceFor(out.codec_, NumGroups(), substrate);
+  CountSubstrate(choice);
   std::vector<int32_t> codes(m);
-  ForEachGroup([&](const int32_t* src, int64_t count) {
-    for (size_t j = 0; j < m; ++j) codes[j] = src[pos[j]];
-    if (out.packed_) {
-      agg[out.codec_.Pack(codes.data())] += count;
-    } else {
-      vagg[codes] += count;
+  switch (choice) {
+    case SubstrateChoice::kRadixSort: {
+      // Weighted radix: pack each source group's kept codes once, stable-
+      // sort the (key, count) pairs, coalesce. Order-preserving packing
+      // again makes the sorted run the canonical order.
+      std::vector<std::pair<uint64_t, int64_t>> items;
+      items.reserve(NumGroups());
+      ForEachGroup([&](const int32_t* src, int64_t count) {
+        for (size_t j = 0; j < m; ++j) codes[j] = src[pos[j]];
+        items.emplace_back(out.codec_.Pack(codes.data()), count);
+      });
+      std::vector<std::pair<uint64_t, int64_t>> scratch;
+      RadixSortCounted(items, scratch, out.codec_.total_bits());
+      CoalescePacked(items, &out.groups_);
+      break;
     }
-  });
-  if (out.packed_) {
-    out.groups_.assign(agg.begin(), agg.end());
-  } else {
-    out.vgroups_.assign(vagg.begin(), vagg.end());
+    case SubstrateChoice::kFlatMap: {
+      FlatCodeMap agg(m, NumGroups());
+      ForEachGroup([&](const int32_t* src, int64_t count) {
+        for (size_t j = 0; j < m; ++j) codes[j] = src[pos[j]];
+        agg.Add(codes.data(), count);
+      });
+      agg.AppendTo(&out.vgroups_);
+      out.SortGroups();
+      break;
+    }
+    case SubstrateChoice::kHashMap: {
+      std::unordered_map<uint64_t, int64_t> agg;
+      std::unordered_map<std::vector<int32_t>, int64_t, VecHash> vagg;
+      // Projection sums groups away, so the source group count is an upper
+      // bound here too.
+      if (out.packed_) {
+        agg.reserve(NumGroups());
+      } else {
+        vagg.reserve(NumGroups());
+      }
+      ForEachGroup([&](const int32_t* src, int64_t count) {
+        for (size_t j = 0; j < m; ++j) codes[j] = src[pos[j]];
+        if (out.packed_) {
+          agg[out.codec_.Pack(codes.data())] += count;
+        } else {
+          vagg[codes] += count;
+        }
+      });
+      if (out.packed_) {
+        out.groups_.assign(agg.begin(), agg.end());
+      } else {
+        out.vgroups_.assign(vagg.begin(), vagg.end());
+      }
+      out.SortGroups();
+      break;
+    }
   }
-  out.SortGroups();
   out.total_count_ = total_count_;
   return out;
 }

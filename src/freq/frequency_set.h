@@ -7,6 +7,7 @@
 
 #include "core/quasi_identifier.h"
 #include "freq/key_codec.h"
+#include "freq/substrate.h"
 #include "lattice/node.h"
 #include "relation/table.h"
 
@@ -36,8 +37,14 @@ class FrequencySet {
   /// Computes the frequency set by scanning the table once — the paper's
   /// COUNT(*) GROUP BY query. `node` selects the participating attributes
   /// (dims, as QID indices) and the generalization level of each.
+  ///
+  /// `substrate` picks the group-by engine (DESIGN.md "Group-by
+  /// substrates"); every mode produces the identical frequency set —
+  /// groups, counts, canonical order, and MemoryBytes() — so the default
+  /// kAuto simply chooses the fastest engine for the key shape.
   static FrequencySet Compute(const Table& table, const QuasiIdentifier& qid,
-                              const SubsetNode& node);
+                              const SubsetNode& node,
+                              SubstrateMode substrate = SubstrateMode::kAuto);
 
   /// Parallel twin of Compute (docs/PARALLELISM.md "Intra-node
   /// parallelism"): statically partitions the rows into one chunk per pool
@@ -53,10 +60,17 @@ class FrequencySet {
   /// the "freq.scan.chunk" fault site once per chunk. A tripped scan
   /// latches the governor and returns an empty frequency set; callers
   /// detect it via governor->Check() / a failed charge.
+  /// Under SubstrateChoice::kRadixSort each worker gathers and radix-sorts
+  /// its chunk instead of probing a map; the sort buffers are charged to
+  /// the worker's shard up front and released when the buffers die, so the
+  /// budget observes the transient sort memory exactly like map growth
+  /// (the mid-sort trip point of tests/substrate_test.cc).
   static FrequencySet ComputeParallel(const Table& table,
                                       const QuasiIdentifier& qid,
                                       const SubsetNode& node, WorkerPool& pool,
-                                      ExecutionGovernor* governor = nullptr);
+                                      ExecutionGovernor* governor = nullptr,
+                                      SubstrateMode substrate =
+                                          SubstrateMode::kAuto);
 
   /// Scan-sharing batch build (docs/PARALLELISM.md "Scan-sharing batch
   /// evaluation"): computes the frequency sets of several nodes from ONE
@@ -80,7 +94,8 @@ class FrequencySet {
   static std::vector<FrequencySet> ComputeBatch(
       const Table& table, const QuasiIdentifier& qid,
       const std::vector<SubsetNode>& nodes, WorkerPool* pool = nullptr,
-      ExecutionGovernor* governor = nullptr);
+      ExecutionGovernor* governor = nullptr,
+      SubstrateMode substrate = SubstrateMode::kAuto);
 
   /// Produces the frequency set of a more general node over the same
   /// attribute set *from this frequency set* without touching the table —
@@ -95,8 +110,8 @@ class FrequencySet {
   /// aggregation; the Subset Property's relational counterpart, used to
   /// build the zero-generalization cube). Requires target.dims ⊆
   /// node().dims and matching levels on the kept dims.
-  FrequencySet ProjectTo(const SubsetNode& target,
-                         const QuasiIdentifier& qid) const;
+  FrequencySet ProjectTo(const SubsetNode& target, const QuasiIdentifier& qid,
+                         SubstrateMode substrate = SubstrateMode::kAuto) const;
 
   /// The generalization this frequency set is with respect to.
   const SubsetNode& node() const { return node_; }

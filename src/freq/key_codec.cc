@@ -21,10 +21,14 @@ uint8_t BitsFor(size_t n) {
 KeyCodec KeyCodec::Create(const std::vector<size_t>& cardinalities) {
   KeyCodec codec;
   codec.bits_.reserve(cardinalities.size());
+  codec.cards_.reserve(cardinalities.size());
   size_t total = 0;
   for (size_t n : cardinalities) {
     uint8_t b = BitsFor(n);
     codec.bits_.push_back(b);
+    // An empty domain still admits code 0 (zero-bit field), so the Pack
+    // bounds assertion treats cardinality 0 as a single-value dimension.
+    codec.cards_.push_back(n == 0 ? 1 : n);
     total += b;
   }
   codec.total_bits_ = total;

@@ -1,6 +1,7 @@
 #ifndef INCOGNITO_FREQ_KEY_CODEC_H_
 #define INCOGNITO_FREQ_KEY_CODEC_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -24,10 +25,23 @@ class KeyCodec {
   size_t num_dims() const { return bits_.size(); }
   size_t total_bits() const { return total_bits_; }
 
-  /// Packs `num_dims()` codes into a key. Requires packed().
+  /// Bit width of dimension d's field (0 for single-value dimensions).
+  uint8_t bits(size_t d) const { return bits_[d]; }
+
+  /// The per-dimension domain sizes this codec was created with.
+  const std::vector<size_t>& cardinalities() const { return cards_; }
+
+  /// Packs `num_dims()` codes into a key. Requires packed(), and every
+  /// code in its dimension's domain — an out-of-range code would corrupt
+  /// the fields packed before it (for a single-value dimension the field
+  /// is zero bits wide, so only code 0 is representable). Debug builds
+  /// assert the bound; release builds trust the caller.
   uint64_t Pack(const int32_t* codes) const {
     uint64_t key = 0;
     for (size_t d = 0; d < bits_.size(); ++d) {
+      assert(codes[d] >= 0 &&
+             static_cast<size_t>(codes[d]) < cards_[d] &&
+             "code outside the dimension's domain");
       key = (key << bits_[d]) | static_cast<uint64_t>(codes[d]);
     }
     return key;
@@ -43,6 +57,7 @@ class KeyCodec {
 
  private:
   std::vector<uint8_t> bits_;
+  std::vector<size_t> cards_;
   size_t total_bits_ = 0;
   bool packed_ = false;
 };

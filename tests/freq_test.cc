@@ -138,6 +138,55 @@ TEST(KeyCodecTest, PackPreservesLexicographicOrder) {
   EXPECT_EQ(vectors, by_vector);
 }
 
+TEST(KeyCodecTest, SingleValueDimensionsContributeZeroBits) {
+  // A dimension whose level has one value (e.g. a hierarchy root) packs a
+  // zero-bit field: only code 0 is representable, and the surrounding
+  // fields must be unaffected by its presence.
+  KeyCodec codec = KeyCodec::Create({4, 1, 5});
+  ASSERT_TRUE(codec.packed());
+  EXPECT_EQ(codec.bits(0), 2);
+  EXPECT_EQ(codec.bits(1), 0);
+  EXPECT_EQ(codec.bits(2), 3);
+  EXPECT_EQ(codec.total_bits(), 5u);
+  EXPECT_EQ(codec.cardinalities(), (std::vector<size_t>{4, 1, 5}));
+  std::vector<int32_t> codes = {3, 0, 4};
+  std::vector<int32_t> out(3);
+  codec.Unpack(codec.Pack(codes.data()), out.data());
+  EXPECT_EQ(out, codes);
+  // The all-roots key (every dimension single-valued) is zero bits total.
+  KeyCodec apex = KeyCodec::Create({1, 1, 1});
+  ASSERT_TRUE(apex.packed());
+  EXPECT_EQ(apex.total_bits(), 0u);
+  std::vector<int32_t> zeros = {0, 0, 0};
+  EXPECT_EQ(apex.Pack(zeros.data()), 0u);
+}
+
+TEST(KeyCodecTest, ZeroCardinalityIsTreatedAsSingleValue) {
+  // An empty domain cannot occur in a well-formed hierarchy, but Create
+  // guards it anyway: cardinality 0 packs like cardinality 1 instead of
+  // producing a degenerate codec.
+  KeyCodec codec = KeyCodec::Create({3, 0, 2});
+  ASSERT_TRUE(codec.packed());
+  EXPECT_EQ(codec.bits(1), 0);
+  EXPECT_EQ(codec.cardinalities()[1], 1u);
+}
+
+#ifndef NDEBUG
+TEST(KeyCodecDeathTest, PackAssertsOnOutOfRangeCodes) {
+  // Debug builds catch codes outside the dimension's domain — an
+  // out-of-range code would silently corrupt the fields packed before it.
+  KeyCodec codec = KeyCodec::Create({4, 2, 5});
+  int32_t too_big[] = {0, 2, 0};  // dimension 1 holds codes 0..1
+  EXPECT_DEATH(codec.Pack(too_big), "domain");
+  int32_t negative[] = {-1, 0, 0};
+  EXPECT_DEATH(codec.Pack(negative), "domain");
+  // A single-value dimension's field is zero bits wide: only code 0 fits.
+  KeyCodec single = KeyCodec::Create({4, 1, 5});
+  int32_t nonzero_single[] = {0, 1, 0};
+  EXPECT_DEATH(single.Pack(nonzero_single), "domain");
+}
+#endif  // !NDEBUG
+
 // ---------------------------------------------------------------------------
 // FrequencySet on the Patients running example (paper §1.1, §3).
 // ---------------------------------------------------------------------------

@@ -1,0 +1,941 @@
+// Differential and property tests for the group-by substrates
+// (src/freq/substrate.h, DESIGN.md "Group-by substrates"): the columnar
+// radix engine and the flat arena map must be BIT-IDENTICAL to the hash
+// engine — groups, counts, canonical order, MemoryBytes(), search
+// survivors, and every deterministic counter — on every fixture, at every
+// thread count, under every schedule. Plus the kAuto decision table, the
+// INCOGNITO_SUBSTRATE environment override, the radix/flat kernel units
+// against naive oracles, and the governed scans' byte accounting
+// (drain-to-zero, mid-sort memory trips).
+
+#include "freq/substrate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/checker.h"
+#include "core/incognito.h"
+#include "core/parallel.h"
+#include "core/run_context.h"
+#include "core/worker_pool.h"
+#include "data/adults.h"
+#include "data/patients.h"
+#include "freq/cube.h"
+#include "freq/frequency_set.h"
+#include "freq/key_codec.h"
+#include "obs/obs.h"
+#include "robust/governor.h"
+#include "robust/partial_result.h"
+#include "test_util.h"
+
+namespace incognito {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::MakeWideFallbackDataset;
+using testing_util::RandomDataset;
+
+constexpr SubstrateMode kModes[] = {SubstrateMode::kHash,
+                                    SubstrateMode::kRadix,
+                                    SubstrateMode::kAuto};
+
+/// Pins INCOGNITO_SUBSTRATE to a value (or clears it) for one test and
+/// restores whatever the test runner had set on destruction, so the tests
+/// that exercise the env override — or that assert what kAuto does
+/// without one — don't leak state into the rest of the suite (the
+/// sanitizer CI legs run the whole binary with the variable exported).
+class ScopedSubstrateEnv {
+ public:
+  explicit ScopedSubstrateEnv(const char* value) {
+    const char* old = getenv("INCOGNITO_SUBSTRATE");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    Set(value);
+  }
+  ~ScopedSubstrateEnv() { Set(had_value_ ? saved_.c_str() : nullptr); }
+
+  void Set(const char* value) {
+    if (value == nullptr) {
+      unsetenv("INCOGNITO_SUBSTRATE");
+    } else {
+      setenv("INCOGNITO_SUBSTRATE", value, 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+using CodeGroups = std::vector<std::pair<std::vector<int32_t>, int64_t>>;
+
+CodeGroups GroupsOf(const FrequencySet& fs) {
+  CodeGroups out;
+  const size_t width = fs.node().size();
+  fs.ForEachGroup([&](const int32_t* codes, int64_t count) {
+    out.emplace_back(std::vector<int32_t>(codes, codes + width), count);
+  });
+  return out;
+}
+
+/// The bit-identity contract, in one assertion: same groups in the same
+/// canonical order, same totals, and the same exact heap footprint.
+void ExpectIdenticalSets(const FrequencySet& expected,
+                         const FrequencySet& actual,
+                         const std::string& context) {
+  EXPECT_EQ(GroupsOf(expected), GroupsOf(actual)) << context;
+  EXPECT_EQ(expected.TotalCount(), actual.TotalCount()) << context;
+  EXPECT_EQ(expected.NumGroups(), actual.NumGroups()) << context;
+  EXPECT_EQ(expected.MemoryBytes(), actual.MemoryBytes()) << context;
+  EXPECT_EQ(expected.MinCount(), actual.MinCount()) << context;
+}
+
+void ExpectCanonicalOrder(const FrequencySet& fs, const std::string& context) {
+  CodeGroups groups = GroupsOf(fs);
+  for (size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_LT(groups[i - 1].first, groups[i].first)
+        << context << " group " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The kAuto decision table (pinned: retuning a constant must fail here)
+// ---------------------------------------------------------------------------
+
+TEST(SubstrateAutoTest, ExplicitModesIgnoreShape) {
+  // kHash is always the hash map; kRadix is the radix sort whenever keys
+  // pack, and the flat arena map when they do not.
+  for (size_t rows : {size_t{0}, size_t{100}, size_t{1} << 20}) {
+    for (size_t space : {size_t{2}, size_t{1} << 30}) {
+      EXPECT_EQ(ChooseSubstrate(SubstrateMode::kHash, true, rows, space),
+                SubstrateChoice::kHashMap);
+      EXPECT_EQ(ChooseSubstrate(SubstrateMode::kHash, false, rows, space),
+                SubstrateChoice::kHashMap);
+      EXPECT_EQ(ChooseSubstrate(SubstrateMode::kRadix, true, rows, space),
+                SubstrateChoice::kRadixSort);
+      EXPECT_EQ(ChooseSubstrate(SubstrateMode::kRadix, false, rows, space),
+                SubstrateChoice::kFlatMap);
+    }
+  }
+}
+
+TEST(SubstrateAutoTest, TinyTablesStayOnTheHashMap) {
+  const size_t big_space = kAutoMaxHashKeySpace + 1;
+  EXPECT_EQ(ChooseSubstrate(SubstrateMode::kAuto, true, 0, big_space),
+            SubstrateChoice::kHashMap);
+  EXPECT_EQ(ChooseSubstrate(SubstrateMode::kAuto, true,
+                            kAutoMinRadixRows - 1, big_space),
+            SubstrateChoice::kHashMap);
+  EXPECT_EQ(ChooseSubstrate(SubstrateMode::kAuto, true, kAutoMinRadixRows,
+                            big_space),
+            SubstrateChoice::kRadixSort);
+}
+
+TEST(SubstrateAutoTest, TinyKeySpacesStayOnTheHashMap) {
+  const size_t rows = kAutoMinRadixRows * 4;
+  EXPECT_EQ(ChooseSubstrate(SubstrateMode::kAuto, true, rows,
+                            kAutoMaxHashKeySpace),
+            SubstrateChoice::kHashMap);
+  EXPECT_EQ(ChooseSubstrate(SubstrateMode::kAuto, true, rows,
+                            kAutoMaxHashKeySpace + 1),
+            SubstrateChoice::kRadixSort);
+}
+
+TEST(SubstrateAutoTest, WideKeysFallBackToTheFlatMap) {
+  EXPECT_EQ(ChooseSubstrate(SubstrateMode::kAuto, false,
+                            kAutoMinRadixRows * 4, size_t{1} << 30),
+            SubstrateChoice::kFlatMap);
+  // The tiny-table rule still wins for unpacked keys.
+  EXPECT_EQ(ChooseSubstrate(SubstrateMode::kAuto, false, 10, size_t{1} << 30),
+            SubstrateChoice::kHashMap);
+}
+
+TEST(SubstrateAutoTest, EstimateKeySpaceIsSaturatingProduct) {
+  EXPECT_EQ(EstimateKeySpace({}), 1u);
+  EXPECT_EQ(EstimateKeySpace({4, 2, 5}), 40u);
+  EXPECT_EQ(EstimateKeySpace({1, 1, 1}), 1u);
+  // Saturates instead of wrapping: ten 2^20 domains overflow size_t math
+  // on 32-bit size_t and get close on 64-bit; the estimate must stay huge.
+  std::vector<size_t> huge(10, size_t{1} << 20);
+  EXPECT_GT(EstimateKeySpace(huge), size_t{1} << 60);
+}
+
+TEST(SubstrateAutoTest, EnvironmentOverrideSteersAutoOnly) {
+  const size_t rows = kAutoMinRadixRows * 4;
+  const size_t space = kAutoMaxHashKeySpace + 1;
+  // Baseline: with no override, the shape decides.
+  ScopedSubstrateEnv env(nullptr);
+  EXPECT_EQ(ResolveSubstrate(SubstrateMode::kAuto, true, rows, space),
+            SubstrateChoice::kRadixSort);
+
+  env.Set("hash");
+  EXPECT_EQ(ResolveSubstrate(SubstrateMode::kAuto, true, rows, space),
+            SubstrateChoice::kHashMap);
+  // Explicit modes always win over the environment.
+  EXPECT_EQ(ResolveSubstrate(SubstrateMode::kRadix, true, rows, space),
+            SubstrateChoice::kRadixSort);
+
+  env.Set("radix");
+  EXPECT_EQ(ResolveSubstrate(SubstrateMode::kAuto, true, 10, 2),
+            SubstrateChoice::kRadixSort);
+  EXPECT_EQ(ResolveSubstrate(SubstrateMode::kHash, true, rows, space),
+            SubstrateChoice::kHashMap);
+
+  // Unknown values are ignored, not an error.
+  env.Set("bogus");
+  EXPECT_EQ(ResolveSubstrate(SubstrateMode::kAuto, true, rows, space),
+            SubstrateChoice::kRadixSort);
+}
+
+TEST(SubstrateAutoTest, NamesAndParsingRoundTrip) {
+  for (SubstrateMode mode : kModes) {
+    SubstrateMode parsed;
+    ASSERT_TRUE(ParseSubstrateMode(SubstrateModeName(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  SubstrateMode out;
+  EXPECT_FALSE(ParseSubstrateMode("", &out));
+  EXPECT_FALSE(ParseSubstrateMode("Radix", &out));
+  EXPECT_FALSE(ParseSubstrateMode("bogus", &out));
+}
+
+// ---------------------------------------------------------------------------
+// Radix kernels against naive oracles
+// ---------------------------------------------------------------------------
+
+TEST(RadixKernelTest, SortsExactlyLikeStdSort) {
+  Rng rng(7);
+  for (size_t total_bits : {0u, 1u, 7u, 8u, 9u, 16u, 24u, 33u, 64u}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{1000}}) {
+      std::vector<uint64_t> keys(n);
+      const uint64_t mask =
+          total_bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << total_bits) - 1;
+      for (auto& k : keys) k = rng.Next() & mask;
+      std::vector<uint64_t> expected = keys;
+      std::sort(expected.begin(), expected.end());
+      std::vector<uint64_t> scratch;
+      ASSERT_TRUE(RadixSortKeys(keys, scratch, total_bits));
+      EXPECT_EQ(keys, expected) << "bits=" << total_bits << " n=" << n;
+    }
+  }
+}
+
+TEST(RadixKernelTest, CountedSortIsStable) {
+  // Equal keys must keep their input order (the second pair member tags
+  // the original position), or parallel merges would reorder chunk counts.
+  Rng rng(11);
+  std::vector<std::pair<uint64_t, int64_t>> items;
+  for (int64_t i = 0; i < 2000; ++i) {
+    items.emplace_back(rng.Next() % 17, i);
+  }
+  std::vector<std::pair<uint64_t, int64_t>> expected = items;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<std::pair<uint64_t, int64_t>> scratch;
+  ASSERT_TRUE(RadixSortCounted(items, scratch, 5));
+  EXPECT_EQ(items, expected);
+}
+
+TEST(RadixKernelTest, TickAbortStopsTheSortAndReportsFalse) {
+  Rng rng(13);
+  std::vector<uint64_t> keys(4096);
+  for (auto& k : keys) k = rng.Next();
+  std::vector<uint64_t> sum_check = keys;
+  std::sort(sum_check.begin(), sum_check.end());
+  std::vector<uint64_t> scratch;
+  int ticks = 0;
+  // Deny the second scatter pass: the sort must abandon cleanly (returning
+  // the permutation in `keys`, not half of it in scratch) and report false.
+  EXPECT_FALSE(RadixSortKeys(keys, scratch, 64, [&] { return ++ticks < 2; }));
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, sum_check);  // still a permutation of the input
+  // A tick that always allows completes normally.
+  EXPECT_TRUE(RadixSortKeys(keys, scratch, 64, [] { return true; }));
+}
+
+TEST(RadixKernelTest, ExtractGroupsMatchesMapOracle) {
+  Rng rng(17);
+  std::vector<uint64_t> keys(3000);
+  std::map<uint64_t, int64_t> oracle;
+  for (auto& k : keys) {
+    k = rng.Next() % 100;
+    ++oracle[k];
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::pair<uint64_t, int64_t>> groups;
+  EXPECT_EQ(ExtractGroups(keys, &groups), oracle.size());
+  ASSERT_EQ(groups.size(), oracle.size());
+  // Exact-capacity reserve: the footprint contract MemoryBytes leans on.
+  EXPECT_EQ(groups.capacity(), groups.size());
+  size_t i = 0;
+  for (const auto& [key, count] : oracle) {
+    EXPECT_EQ(groups[i].first, key);
+    EXPECT_EQ(groups[i].second, count);
+    ++i;
+  }
+}
+
+TEST(RadixKernelTest, GatherMatchesPerRowPack) {
+  Rng rng(23);
+  const std::vector<size_t> domains = {5, 3, 17, 2};
+  KeyCodec codec = KeyCodec::Create(domains);
+  ASSERT_TRUE(codec.packed());
+  const size_t n = domains.size();
+  const size_t rows = 500;
+  // Base columns plus identity maps — GatherPackedKeys folds maps[i][col]
+  // exactly like the per-row scan does.
+  std::vector<std::vector<int32_t>> cols(n);
+  std::vector<std::vector<int32_t>> maps(n);
+  for (size_t i = 0; i < n; ++i) {
+    cols[i].resize(rows);
+    for (auto& c : cols[i]) c = static_cast<int32_t>(rng.Uniform(domains[i]));
+    maps[i].resize(domains[i]);
+    for (size_t v = 0; v < domains[i]; ++v) {
+      maps[i][v] = static_cast<int32_t>(rng.Uniform(domains[i]));
+    }
+  }
+  std::vector<const int32_t*> col_ptrs(n);
+  std::vector<const int32_t*> map_ptrs(n);
+  for (size_t i = 0; i < n; ++i) {
+    col_ptrs[i] = cols[i].data();
+    map_ptrs[i] = maps[i].data();
+  }
+  std::vector<uint64_t> keys;
+  GatherPackedKeys(col_ptrs, map_ptrs, codec, 100, 400, &keys);
+  ASSERT_EQ(keys.size(), 300u);
+  std::vector<int32_t> codes(n);
+  for (size_t r = 100; r < 400; ++r) {
+    for (size_t i = 0; i < n; ++i) codes[i] = maps[i][cols[i][r]];
+    EXPECT_EQ(keys[r - 100], codec.Pack(codes.data())) << "row " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FlatCodeMap against a naive oracle
+// ---------------------------------------------------------------------------
+
+TEST(FlatCodeMapTest, MatchesMapOracleThroughGrowth) {
+  Rng rng(29);
+  const size_t width = 6;
+  FlatCodeMap flat(width);  // default capacity: forces several growths
+  std::map<std::vector<int32_t>, int64_t> oracle;
+  std::vector<std::vector<int32_t>> insertion_order;
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<int32_t> key(width);
+    for (auto& c : key) c = static_cast<int32_t>(rng.Uniform(7));
+    int64_t count = 1 + static_cast<int64_t>(rng.Uniform(3));
+    if (oracle.find(key) == oracle.end()) insertion_order.push_back(key);
+    oracle[key] += count;
+    flat.Add(key.data(), count);
+  }
+  ASSERT_EQ(flat.size(), oracle.size());
+  CodeGroups groups;
+  flat.AppendTo(&groups);
+  ASSERT_EQ(groups.size(), oracle.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    // AppendTo preserves insertion order; counts match the oracle.
+    EXPECT_EQ(groups[i].first, insertion_order[i]) << i;
+    EXPECT_EQ(groups[i].second, oracle.at(groups[i].first)) << i;
+    // Exact-size key copies: capacity == size for the MemoryBytes contract.
+    EXPECT_EQ(groups[i].first.capacity(), groups[i].first.size()) << i;
+  }
+  EXPECT_GT(flat.MemoryBytes(), 0u);
+}
+
+TEST(FlatCodeMapTest, MemoryBytesGrowsMonotonically) {
+  FlatCodeMap flat(3);
+  size_t prev = flat.MemoryBytes();
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    int32_t key[3] = {static_cast<int32_t>(rng.Uniform(50)),
+                      static_cast<int32_t>(rng.Uniform(50)),
+                      static_cast<int32_t>(rng.Uniform(50))};
+    flat.Add(key, 1);
+    size_t now = flat.MemoryBytes();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: Compute / ComputeParallel / ComputeBatch / ProjectTo
+// ---------------------------------------------------------------------------
+
+/// Nodes that exercise the interesting key shapes on a 3-attribute QID:
+/// multi-dim base, partial generalizations, the apex (every hierarchy at
+/// its root — all key fields zero bits wide), and single attributes.
+std::vector<SubsetNode> PatientsNodes() {
+  return {SubsetNode({0, 1, 2}, {0, 0, 0}), SubsetNode({1, 2}, {0, 0}),
+          SubsetNode({1, 2}, {1, 1}),       SubsetNode({0, 1, 2}, {1, 1, 2}),
+          SubsetNode({0}, {0}),             SubsetNode({2}, {2}),
+          SubsetNode({1}, {1})};
+}
+
+TEST(SubstrateDifferentialTest, ComputeMatchesOnPatients) {
+  Result<PatientsDataset> ds = MakePatientsDataset();
+  ASSERT_TRUE(ds.ok());
+  for (const SubsetNode& node : PatientsNodes()) {
+    FrequencySet hash = FrequencySet::Compute(ds->table, ds->qid, node,
+                                              SubstrateMode::kHash);
+    for (SubstrateMode mode : {SubstrateMode::kRadix, SubstrateMode::kAuto}) {
+      FrequencySet other = FrequencySet::Compute(ds->table, ds->qid, node,
+                                                 mode);
+      std::string context = node.ToString() + " " + SubstrateModeName(mode);
+      ExpectIdenticalSets(hash, other, context);
+      ExpectCanonicalOrder(other, context);
+    }
+  }
+}
+
+TEST(SubstrateDifferentialTest, ComputeMatchesOnAdultsAboveRadixThreshold) {
+  // 5000 rows clears kAutoMinRadixRows, so kAuto genuinely runs radix for
+  // nodes whose key space exceeds kAutoMaxHashKeySpace.
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  const std::vector<SubsetNode> nodes = {
+      SubsetNode({0, 1, 2}, {0, 0, 0}),  // Age x Gender x Race: space 740
+      SubsetNode({0, 3, 4}, {1, 0, 0}),  // mixed levels
+      SubsetNode({0}, {0}),              // Age alone: space 74 -> hash
+      SubsetNode({0, 1, 2, 3, 4, 5}, {0, 0, 0, 0, 0, 0}),
+      SubsetNode({0, 1, 2}, {4, 1, 1})};  // apex-ish
+  for (const SubsetNode& node : nodes) {
+    FrequencySet hash = FrequencySet::Compute(data->table, data->qid, node,
+                                              SubstrateMode::kHash);
+    for (SubstrateMode mode : {SubstrateMode::kRadix, SubstrateMode::kAuto}) {
+      FrequencySet other =
+          FrequencySet::Compute(data->table, data->qid, node, mode);
+      ExpectIdenticalSets(hash, other,
+                          node.ToString() + " " + SubstrateModeName(mode));
+    }
+  }
+}
+
+TEST(SubstrateDifferentialTest, ComputeMatchesOnWideFallbackKeys) {
+  // 72-bit keys: kRadix resolves to the flat arena map, kHash to the
+  // vector-keyed unordered_map — still byte-identical.
+  RandomDataset ds = MakeWideFallbackDataset(800);
+  const size_t n = ds.qid.size();
+  std::vector<int32_t> dims(n);
+  for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+  const std::vector<SubsetNode> nodes = {
+      SubsetNode(dims, std::vector<int32_t>(n, 0)),
+      SubsetNode({0, 2, 4}, {0, 0, 0})};
+  for (const SubsetNode& node : nodes) {
+    FrequencySet hash =
+        FrequencySet::Compute(ds.table, ds.qid, node, SubstrateMode::kHash);
+    FrequencySet flat =
+        FrequencySet::Compute(ds.table, ds.qid, node, SubstrateMode::kRadix);
+    ExpectIdenticalSets(hash, flat, node.ToString() + " flat-map");
+    ExpectCanonicalOrder(flat, node.ToString());
+  }
+}
+
+TEST(SubstrateDifferentialTest, ComputeMatchesMapOracleOnRandomTables) {
+  // Property check straight against a naive std::map oracle, with random
+  // cardinality vectors — independent of the hash path entirely.
+  Rng rng(1009);
+  for (int trial = 0; trial < 12; ++trial) {
+    testing_util::RandomDatasetOptions opts;
+    opts.num_attrs = 2 + rng.Uniform(4);
+    opts.num_rows = 50 + rng.Uniform(400);
+    RandomDataset ds = MakeRandomDataset(rng, opts);
+    const size_t n = ds.qid.size();
+    std::vector<int32_t> dims(n);
+    for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+    std::vector<int32_t> levels(n);
+    for (size_t i = 0; i < n; ++i) {
+      levels[i] = static_cast<int32_t>(
+          rng.Uniform(ds.qid.hierarchy(i).height() + 1));
+    }
+    SubsetNode node(dims, levels);
+
+    std::map<std::vector<int32_t>, int64_t> oracle;
+    std::vector<int32_t> codes(n);
+    for (size_t r = 0; r < ds.table.num_rows(); ++r) {
+      for (size_t i = 0; i < n; ++i) {
+        const auto& map = ds.qid.hierarchy(i).BaseToLevelMap(
+            static_cast<size_t>(levels[i]));
+        codes[i] = map[static_cast<size_t>(
+            ds.table.ColumnCodes(ds.qid.column(i))[r])];
+      }
+      ++oracle[codes];
+    }
+
+    for (SubstrateMode mode : kModes) {
+      FrequencySet fs = FrequencySet::Compute(ds.table, ds.qid, node, mode);
+      CodeGroups groups = GroupsOf(fs);
+      ASSERT_EQ(groups.size(), oracle.size())
+          << "trial " << trial << " " << SubstrateModeName(mode);
+      size_t i = 0;
+      for (const auto& [key, count] : oracle) {
+        EXPECT_EQ(groups[i].first, key) << "trial " << trial;
+        EXPECT_EQ(groups[i].second, count) << "trial " << trial;
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(SubstrateDifferentialTest, ComputeParallelMatchesAtEveryThreadCount) {
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  const std::vector<SubsetNode> nodes = {
+      SubsetNode({0, 1, 2}, {0, 0, 0}), SubsetNode({0, 3, 4}, {1, 0, 0}),
+      SubsetNode({0}, {0})};
+  for (const SubsetNode& node : nodes) {
+    FrequencySet serial = FrequencySet::Compute(data->table, data->qid, node,
+                                                SubstrateMode::kHash);
+    for (int threads : {1, 2, 4, 8}) {
+      WorkerPool pool(threads);
+      for (SubstrateMode mode : kModes) {
+        FrequencySet parallel = FrequencySet::ComputeParallel(
+            data->table, data->qid, node, pool, nullptr, mode);
+        ExpectIdenticalSets(serial, parallel,
+                            node.ToString() + " threads=" +
+                                std::to_string(threads) + " " +
+                                SubstrateModeName(mode));
+      }
+    }
+  }
+}
+
+TEST(SubstrateDifferentialTest, ComputeParallelMatchesOnWideKeys) {
+  RandomDataset ds = MakeWideFallbackDataset(600);
+  const size_t n = ds.qid.size();
+  std::vector<int32_t> dims(n);
+  for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+  SubsetNode node(dims, std::vector<int32_t>(n, 0));
+  FrequencySet serial =
+      FrequencySet::Compute(ds.table, ds.qid, node, SubstrateMode::kHash);
+  for (int threads : {2, 4, 8}) {
+    WorkerPool pool(threads);
+    FrequencySet flat = FrequencySet::ComputeParallel(
+        ds.table, ds.qid, node, pool, nullptr, SubstrateMode::kRadix);
+    ExpectIdenticalSets(serial, flat,
+                        "flat threads=" + std::to_string(threads));
+  }
+}
+
+TEST(SubstrateDifferentialTest, ComputeBatchMatchesPerNodeCompute) {
+  // Same dims at different levels have different key spaces, so under
+  // kAuto one batch genuinely mixes engines.
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  const std::vector<SubsetNode> batch = {
+      SubsetNode({0, 1, 2}, {0, 0, 0}), SubsetNode({0, 1, 2}, {1, 0, 0}),
+      SubsetNode({0, 1, 2}, {2, 1, 0}), SubsetNode({0, 1, 2}, {4, 1, 1}),
+      SubsetNode({0, 4, 5}, {0, 0, 0})};
+  for (SubstrateMode mode : kModes) {
+    for (int threads : {0, 2, 4, 8}) {
+      WorkerPool pool(threads > 0 ? threads : 1);
+      std::vector<FrequencySet> sets = FrequencySet::ComputeBatch(
+          data->table, data->qid, batch, threads > 0 ? &pool : nullptr,
+          nullptr, mode);
+      ASSERT_EQ(sets.size(), batch.size());
+      for (size_t j = 0; j < batch.size(); ++j) {
+        FrequencySet direct = FrequencySet::Compute(
+            data->table, data->qid, batch[j], SubstrateMode::kHash);
+        ExpectIdenticalSets(direct, sets[j],
+                            batch[j].ToString() + " batch threads=" +
+                                std::to_string(threads) + " " +
+                                SubstrateModeName(mode));
+      }
+    }
+  }
+}
+
+TEST(SubstrateDifferentialTest, ProjectToMatchesAcrossSubstrates) {
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  SubsetNode full({0, 1, 2, 3}, {0, 0, 0, 0});
+  FrequencySet base = FrequencySet::Compute(data->table, data->qid, full,
+                                            SubstrateMode::kHash);
+  for (const SubsetNode& target :
+       {SubsetNode({0, 1}, {0, 0}), SubsetNode({0, 2, 3}, {0, 0, 0}),
+        SubsetNode({3}, {0})}) {
+    FrequencySet hash = base.ProjectTo(target, data->qid,
+                                       SubstrateMode::kHash);
+    for (SubstrateMode mode : {SubstrateMode::kRadix, SubstrateMode::kAuto}) {
+      FrequencySet other = base.ProjectTo(target, data->qid, mode);
+      ExpectIdenticalSets(hash, other,
+                          target.ToString() + " " + SubstrateModeName(mode));
+    }
+  }
+  // Wide-key projection rides the flat map.
+  RandomDataset wide = MakeWideFallbackDataset(500);
+  const size_t n = wide.qid.size();
+  std::vector<int32_t> dims(n);
+  for (size_t i = 0; i < n; ++i) dims[i] = static_cast<int32_t>(i);
+  FrequencySet wbase =
+      FrequencySet::Compute(wide.table, wide.qid,
+                            SubsetNode(dims, std::vector<int32_t>(n, 0)),
+                            SubstrateMode::kHash);
+  SubsetNode wtarget({0, 1, 2, 3, 4}, {0, 0, 0, 0, 0});
+  FrequencySet whash = wbase.ProjectTo(wtarget, wide.qid,
+                                       SubstrateMode::kHash);
+  FrequencySet wflat = wbase.ProjectTo(wtarget, wide.qid,
+                                       SubstrateMode::kRadix);
+  ExpectIdenticalSets(whash, wflat, "wide projection");
+}
+
+TEST(SubstrateDifferentialTest, CubeBuildsAreIdenticalAcrossSubstrates) {
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  QuasiIdentifier qid = data->qid.Prefix(4);
+  ZeroGenCube::BuildInfo hash_info;
+  ZeroGenCube hash_cube = ZeroGenCube::Build(data->table, qid, &hash_info,
+                                             nullptr, SubstrateMode::kHash);
+  for (SubstrateMode mode : {SubstrateMode::kRadix, SubstrateMode::kAuto}) {
+    ZeroGenCube::BuildInfo info;
+    ZeroGenCube cube =
+        ZeroGenCube::Build(data->table, qid, &info, nullptr, mode);
+    EXPECT_EQ(info.num_subsets, hash_info.num_subsets);
+    EXPECT_EQ(info.total_groups, hash_info.total_groups);
+    EXPECT_EQ(info.total_bytes, hash_info.total_bytes);
+    EXPECT_EQ(info.table_scans, hash_info.table_scans);
+    EXPECT_EQ(info.projections, hash_info.projections);
+    // Spot-check the materialized sets themselves.
+    for (const std::vector<int32_t>& dims :
+         {std::vector<int32_t>{0}, std::vector<int32_t>{0, 2},
+          std::vector<int32_t>{0, 1, 2, 3}}) {
+      ExpectIdenticalSets(hash_cube.Get(dims), cube.Get(dims),
+                          SubstrateModeName(mode));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: the full search, every variant x thread count x schedule
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Strings(const std::vector<SubsetNode>& nodes) {
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (const SubsetNode& n : nodes) out.push_back(n.ToString());
+  return out;
+}
+
+/// Survivors, per-iteration sets, and every deterministic counter must be
+/// independent of the substrate. (Substrate obs counters and shard
+/// high-water marks legitimately differ and are excluded.)
+void ExpectSameSearch(const IncognitoResult& expected,
+                      const IncognitoResult& actual,
+                      const std::string& context) {
+  EXPECT_EQ(Strings(expected.anonymous_nodes), Strings(actual.anonymous_nodes))
+      << context;
+  ASSERT_EQ(expected.per_iteration_survivors.size(),
+            actual.per_iteration_survivors.size())
+      << context;
+  for (size_t i = 0; i < expected.per_iteration_survivors.size(); ++i) {
+    EXPECT_EQ(Strings(expected.per_iteration_survivors[i]),
+              Strings(actual.per_iteration_survivors[i]))
+        << context << " iteration " << i + 1;
+  }
+  EXPECT_EQ(expected.completed_iterations, actual.completed_iterations)
+      << context;
+  EXPECT_EQ(expected.stats.nodes_checked, actual.stats.nodes_checked)
+      << context;
+  EXPECT_EQ(expected.stats.nodes_marked, actual.stats.nodes_marked) << context;
+  EXPECT_EQ(expected.stats.table_scans, actual.stats.table_scans) << context;
+  EXPECT_EQ(expected.stats.rollups, actual.stats.rollups) << context;
+  EXPECT_EQ(expected.stats.freq_groups_built, actual.stats.freq_groups_built)
+      << context;
+  EXPECT_EQ(expected.stats.candidate_nodes, actual.stats.candidate_nodes)
+      << context;
+  EXPECT_EQ(expected.stats.batched_scan_nodes, actual.stats.batched_scan_nodes)
+      << context;
+}
+
+TEST(SubstrateSearchTest, EveryVariantThreadCountAndScheduleIsBitIdentical) {
+  AdultsOptions adults;
+  adults.num_rows = 5000;  // above kAutoMinRadixRows: kAuto engages radix
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  QuasiIdentifier qid = data->qid.Prefix(3);
+  AnonymizationConfig config;
+  config.k = 25;
+  for (IncognitoVariant variant :
+       {IncognitoVariant::kBasic, IncognitoVariant::kSuperRoots,
+        IncognitoVariant::kCube}) {
+    IncognitoOptions hash_options;
+    hash_options.variant = variant;
+    hash_options.substrate = SubstrateMode::kHash;
+    PartialResult<IncognitoResult> baseline =
+        RunIncognito(data->table, qid, config, hash_options);
+    ASSERT_TRUE(baseline.ok());
+    for (SubstrateMode mode : {SubstrateMode::kRadix, SubstrateMode::kAuto}) {
+      IncognitoOptions options;
+      options.variant = variant;
+      options.substrate = mode;
+      // Serial.
+      PartialResult<IncognitoResult> serial =
+          RunIncognito(data->table, qid, config, options);
+      ASSERT_TRUE(serial.ok());
+      std::string context = std::string(IncognitoVariantName(variant)) + "/" +
+                            SubstrateModeName(mode);
+      ExpectSameSearch(*baseline, *serial, context + "/serial");
+      // Parallel, both schedules, every thread count.
+      for (int threads : {1, 2, 4, 8}) {
+        for (SchedulingMode schedule :
+             {SchedulingMode::kPipelined, SchedulingMode::kBarrier}) {
+          RunContext ctx = RunContext::WithThreads(threads);
+          ctx.scheduling = schedule;
+          PartialResult<IncognitoResult> parallel = RunIncognitoParallel(
+              data->table, qid, config, options, ctx);
+          ASSERT_TRUE(parallel.ok()) << context;
+          ExpectSameSearch(
+              *baseline, *parallel,
+              context + "/threads=" + std::to_string(threads) +
+                  (schedule == SchedulingMode::kBarrier ? "/barrier"
+                                                        : "/pipelined"));
+        }
+      }
+    }
+  }
+}
+
+TEST(SubstrateSearchTest, RandomDatasetsMatchAcrossSubstrates) {
+  for (uint64_t seed : {7u, 77u, 777u}) {
+    Rng rng(seed);
+    testing_util::RandomDatasetOptions opts;
+    opts.num_rows = 120;
+    RandomDataset data = MakeRandomDataset(rng, opts);
+    AnonymizationConfig config;
+    config.k = 2 + static_cast<int64_t>(seed % 4);
+    IncognitoOptions hash_options;
+    hash_options.substrate = SubstrateMode::kHash;
+    PartialResult<IncognitoResult> baseline =
+        RunIncognito(data.table, data.qid, config, hash_options);
+    ASSERT_TRUE(baseline.ok());
+    IncognitoOptions radix_options;
+    radix_options.substrate = SubstrateMode::kRadix;
+    PartialResult<IncognitoResult> radix =
+        RunIncognito(data.table, data.qid, config, radix_options);
+    ASSERT_TRUE(radix.ok());
+    ExpectSameSearch(*baseline, *radix, "seed=" + std::to_string(seed));
+    PartialResult<IncognitoResult> parallel = RunIncognitoParallel(
+        data.table, data.qid, config, radix_options,
+        RunContext::WithThreads(4));
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameSearch(*baseline, *parallel,
+                     "seed=" + std::to_string(seed) + " parallel");
+  }
+}
+
+TEST(SubstrateSearchTest, CheckerVerdictIndependentOfSubstrate) {
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  AnonymizationConfig config;
+  config.k = 10;
+  SubsetNode node = SubsetNode::Full({2, 1, 1});
+  QuasiIdentifier qid = data->qid.Prefix(3);
+  AlgorithmStats hash_stats;
+  bool hash_ok = IsKAnonymous(data->table, qid, node, config, &hash_stats, 1,
+                              SubstrateMode::kHash);
+  for (SubstrateMode mode : {SubstrateMode::kRadix, SubstrateMode::kAuto}) {
+    for (int threads : {1, 4}) {
+      AlgorithmStats stats;
+      EXPECT_EQ(IsKAnonymous(data->table, qid, node, config, &stats, threads,
+                             mode),
+                hash_ok)
+          << SubstrateModeName(mode);
+      EXPECT_EQ(stats.freq_groups_built, hash_stats.freq_groups_built);
+    }
+    // The RunContext variant resolves ctx.substrate the same way.
+    RunContext ctx;
+    ctx.substrate = mode;
+    Result<bool> got = IsKAnonymous(data->table, qid, node, config, ctx);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), hash_ok);
+  }
+}
+
+#ifndef INCOGNITO_OBS_DISABLED
+TEST(SubstrateSearchTest, ContextSubstrateOverridesOptions) {
+  // options say hash, ctx says radix: the run must build every frequency
+  // set on the radix/flat engines — visible via the substrate counters.
+  AdultsOptions adults;
+  adults.num_rows = 4500;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  QuasiIdentifier qid = data->qid.Prefix(2);
+  AnonymizationConfig config;
+  config.k = 25;
+  IncognitoOptions options;
+  options.substrate = SubstrateMode::kHash;
+  RunContext ctx;
+  ctx.substrate = SubstrateMode::kRadix;
+  obs::MetricsSnapshot before =
+      obs::MetricsSnapshot::Take(obs::CounterRegistry::Global());
+  PartialResult<IncognitoResult> run =
+      RunIncognito(data->table, qid, config, options, ctx);
+  ASSERT_TRUE(run.ok());
+  obs::MetricsSnapshot delta =
+      obs::MetricsSnapshot::Take(obs::CounterRegistry::Global())
+          .DeltaSince(before);
+  EXPECT_GT(delta.counters["freq.substrate_radix"], 0);
+  EXPECT_EQ(delta.counters["freq.substrate_hash"], 0);
+}
+
+TEST(SubstrateSearchTest, AutoPrefersHashOnTinyTables) {
+  // 60 rows is far below kAutoMinRadixRows: kAuto must never pick radix.
+  // Pin the environment so the test exercises the true kAuto default even
+  // when the runner sweeps INCOGNITO_SUBSTRATE.
+  ScopedSubstrateEnv env(nullptr);
+  Rng rng(404);
+  RandomDataset data = MakeRandomDataset(rng);
+  AnonymizationConfig config;
+  config.k = 2;
+  obs::MetricsSnapshot before =
+      obs::MetricsSnapshot::Take(obs::CounterRegistry::Global());
+  PartialResult<IncognitoResult> run =
+      RunIncognito(data.table, data.qid, config);
+  ASSERT_TRUE(run.ok());
+  obs::MetricsSnapshot delta =
+      obs::MetricsSnapshot::Take(obs::CounterRegistry::Global())
+          .DeltaSince(before);
+  EXPECT_EQ(delta.counters["freq.substrate_radix"], 0);
+  EXPECT_GT(delta.counters["freq.substrate_hash"], 0);
+}
+#endif  // !INCOGNITO_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Governed scans: exact byte accounting on every substrate
+// ---------------------------------------------------------------------------
+
+TEST(SubstrateGovernedTest, ParallelScanDrainsToZeroOnEverySubstrate) {
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  SubsetNode node({0, 1, 2}, {0, 0, 0});
+  FrequencySet expected = FrequencySet::Compute(data->table, data->qid, node,
+                                                SubstrateMode::kHash);
+  for (SubstrateMode mode : kModes) {
+    ExecutionGovernor governor;
+    governor.SetMemoryLimitBytes(int64_t{1} << 30);
+    WorkerPool pool(4);
+    FrequencySet governed = FrequencySet::ComputeParallel(
+        data->table, data->qid, node, pool, &governor, mode);
+    ExpectIdenticalSets(expected, governed, SubstrateModeName(mode));
+    EXPECT_TRUE(governor.Check().ok()) << SubstrateModeName(mode);
+    // Every transient byte — sort buffers included — returned to the
+    // budget; only the drained high-water marks remain.
+    EXPECT_EQ(governor.memory().used(), 0) << SubstrateModeName(mode);
+    EXPECT_GT(governor.memory().peak(), 0) << SubstrateModeName(mode);
+  }
+}
+
+TEST(SubstrateGovernedTest, RadixBufferChargeTripsTinyBudgets) {
+  // The budget is smaller than one worker's gather+scratch buffers, so the
+  // radix scan must trip at the up-front buffer charge — before the sort —
+  // and unwind with nothing leaked.
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  SubsetNode node({0, 1, 2}, {0, 0, 0});
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(1024);  // << 2 * chunk_rows * 8 bytes
+  WorkerPool pool(4);
+  FrequencySet tripped = FrequencySet::ComputeParallel(
+      data->table, data->qid, node, pool, &governor, SubstrateMode::kRadix);
+  EXPECT_EQ(tripped.NumGroups(), 0u);
+  EXPECT_FALSE(governor.SharedTrip().ok());
+  EXPECT_EQ(governor.SharedTrip().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(SubstrateGovernedTest, MidSortCancelAbandonsTheSortCleanly) {
+  // Cancel before the scan starts: the radix workers see the trip at their
+  // sort tick (or the initial Check), abandon, and the scan returns empty
+  // with the budget balanced — the mid-sort trip soundness check.
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  SubsetNode node({0, 1, 2}, {0, 0, 0});
+  CancelToken token;
+  ExecutionGovernor governor;
+  governor.SetCancelToken(&token);
+  token.Cancel();
+  WorkerPool pool(4);
+  FrequencySet tripped = FrequencySet::ComputeParallel(
+      data->table, data->qid, node, pool, &governor, SubstrateMode::kRadix);
+  EXPECT_EQ(tripped.NumGroups(), 0u);
+  EXPECT_EQ(governor.SharedTrip().code(), StatusCode::kCancelled);
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+TEST(SubstrateGovernedTest, GovernedBatchDrainsToZeroOnEverySubstrate) {
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  const std::vector<SubsetNode> batch = {SubsetNode({0, 1, 2}, {0, 0, 0}),
+                                         SubsetNode({0, 1, 2}, {1, 0, 0}),
+                                         SubsetNode({0, 1, 2}, {4, 1, 1})};
+  for (SubstrateMode mode : kModes) {
+    ExecutionGovernor governor;
+    governor.SetMemoryLimitBytes(int64_t{1} << 30);
+    WorkerPool pool(4);
+    std::vector<FrequencySet> sets = FrequencySet::ComputeBatch(
+        data->table, data->qid, batch, &pool, &governor, mode);
+    ASSERT_EQ(sets.size(), batch.size());
+    for (size_t j = 0; j < batch.size(); ++j) {
+      FrequencySet direct = FrequencySet::Compute(
+          data->table, data->qid, batch[j], SubstrateMode::kHash);
+      ExpectIdenticalSets(direct, sets[j], SubstrateModeName(mode));
+    }
+    EXPECT_EQ(governor.memory().used(), 0) << SubstrateModeName(mode);
+  }
+}
+
+TEST(SubstrateGovernedTest, GovernedSearchMatchesUngovernedOnRadix) {
+  AdultsOptions adults;
+  adults.num_rows = 5000;
+  Result<SyntheticDataset> data = MakeAdultsDataset(adults);
+  ASSERT_TRUE(data.ok());
+  QuasiIdentifier qid = data->qid.Prefix(3);
+  AnonymizationConfig config;
+  config.k = 25;
+  IncognitoOptions options;
+  options.substrate = SubstrateMode::kRadix;
+  PartialResult<IncognitoResult> baseline =
+      RunIncognito(data->table, qid, config, options);
+  ASSERT_TRUE(baseline.ok());
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 33);
+  PartialResult<IncognitoResult> governed =
+      RunIncognito(data->table, qid, config, options,
+                   RunContext::Governed(governor, 4));
+  ASSERT_TRUE(governed.ok());
+  ExpectSameSearch(*baseline, *governed, "governed radix");
+  EXPECT_EQ(governor.memory().used(), 0);
+}
+
+}  // namespace
+}  // namespace incognito

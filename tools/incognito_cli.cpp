@@ -51,6 +51,11 @@
 //                    (subset, level) batch; see docs/PARALLELISM.md
 //                    "Scan-sharing batch evaluation"). Results are
 //                    identical either way; this is an ablation switch.
+//   --substrate=S    group-by engine for every frequency-set build: hash
+//                    (per-row map probes), radix (columnar radix sort),
+//                    or auto (default; per-build choice by key shape —
+//                    see DESIGN.md "Group-by substrates"). All modes
+//                    produce bit-identical results.
 //
 // Resource governance (check, enumerate, anonymize, models):
 //   --deadline-ms=N       stop the search after N milliseconds
@@ -512,6 +517,11 @@ Result<IncognitoOptions> ParseRunOptions(
     }
   }
   if (!Get(args, "no-batch-scan").empty()) opts.batch_scans = false;
+  std::string substrate = Get(args, "substrate");
+  if (!substrate.empty() && !ParseSubstrateMode(substrate, &opts.substrate)) {
+    return Status::InvalidArgument("bad --substrate value '" + substrate +
+                                   "' (want hash, radix, or auto)");
+  }
   return opts;
 }
 
@@ -736,9 +746,11 @@ int CmdCheck(const std::map<std::string, std::string>& args,
     // trip always fails here regardless of --on-budget.
     ExecutionGovernor governor;
     gov->Apply(&governor);
-    Result<bool> governed = IsKAnonymous(
-        problem->table, problem->qid, node.value(), config,
-        RunContext::Governed(governor, run_opts->num_threads), &stats);
+    RunContext check_ctx = RunContext::Governed(governor, run_opts->num_threads);
+    check_ctx.substrate = run_opts->substrate;
+    Result<bool> governed = IsKAnonymous(problem->table, problem->qid,
+                                         node.value(), config, check_ctx,
+                                         &stats);
     obs->RecordGovernorPeak(governor);
     if (!governed.ok()) {
       obs->RecordStats(stats);
@@ -747,7 +759,7 @@ int CmdCheck(const std::map<std::string, std::string>& args,
     ok = governed.value();
   } else {
     ok = IsKAnonymous(problem->table, problem->qid, node.value(), config,
-                      &stats, run_opts->num_threads);
+                      &stats, run_opts->num_threads, run_opts->substrate);
   }
   printf("%s at %s: %lld-anonymous = %s\n", Get(args, "input").c_str(),
          node->ToString(&problem->qid).c_str(),

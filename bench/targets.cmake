@@ -11,6 +11,7 @@ set(INCOGNITO_BENCHES
   bench_models_taxonomy
   bench_ext_ldiversity
   bench_ext_koptimize
+  bench_service_load
 )
 
 foreach(bench_name IN LISTS INCOGNITO_BENCHES)

@@ -2,34 +2,61 @@
 
 namespace incognito {
 
-const char* StatusCodeName(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk:
-      return "OK";
-    case StatusCode::kInvalidArgument:
-      return "InvalidArgument";
-    case StatusCode::kNotFound:
-      return "NotFound";
-    case StatusCode::kAlreadyExists:
-      return "AlreadyExists";
-    case StatusCode::kOutOfRange:
-      return "OutOfRange";
-    case StatusCode::kFailedPrecondition:
-      return "FailedPrecondition";
-    case StatusCode::kInternal:
-      return "Internal";
-    case StatusCode::kIOError:
-      return "IOError";
-    case StatusCode::kNotSupported:
-      return "NotSupported";
-    case StatusCode::kDeadlineExceeded:
-      return "DeadlineExceeded";
-    case StatusCode::kResourceExhausted:
-      return "ResourceExhausted";
-    case StatusCode::kCancelled:
-      return "Cancelled";
+namespace {
+
+/// The one table tying each code to its canonical wire name and its
+/// process exit code (see ExitCodeForStatus in the header). Every textual
+/// or numeric rendering of a StatusCode — Status::ToString, the CLI's exit
+/// codes, the service protocol's "status" field — derives from this table;
+/// do not grow parallel copies elsewhere.
+struct CodeEntry {
+  StatusCode code;
+  const char* name;
+  int exit_code;
+};
+
+constexpr CodeEntry kCodeTable[] = {
+    {StatusCode::kOk, "OK", 0},
+    {StatusCode::kInvalidArgument, "InvalidArgument", 3},
+    {StatusCode::kNotFound, "NotFound", 3},
+    {StatusCode::kAlreadyExists, "AlreadyExists", 3},
+    {StatusCode::kOutOfRange, "OutOfRange", 3},
+    {StatusCode::kFailedPrecondition, "FailedPrecondition", 3},
+    {StatusCode::kInternal, "Internal", 1},
+    {StatusCode::kIOError, "IOError", 4},
+    {StatusCode::kNotSupported, "NotSupported", 3},
+    {StatusCode::kDeadlineExceeded, "DeadlineExceeded", 5},
+    {StatusCode::kResourceExhausted, "ResourceExhausted", 5},
+    {StatusCode::kCancelled, "Cancelled", 5},
+};
+
+const CodeEntry* FindEntry(StatusCode code) {
+  for (const CodeEntry& entry : kCodeTable) {
+    if (entry.code == code) return &entry;
   }
-  return "Unknown";
+  return nullptr;
+}
+
+}  // namespace
+
+const char* StatusCodeName(StatusCode code) {
+  const CodeEntry* entry = FindEntry(code);
+  return entry ? entry->name : "Unknown";
+}
+
+bool StatusCodeFromName(const std::string& name, StatusCode* code) {
+  for (const CodeEntry& entry : kCodeTable) {
+    if (name == entry.name) {
+      *code = entry.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+int ExitCodeForStatus(StatusCode code) {
+  const CodeEntry* entry = FindEntry(code);
+  return entry ? entry->exit_code : 1;
 }
 
 std::string Status::ToString() const {

@@ -37,9 +37,27 @@ constexpr bool IsResourceGovernance(StatusCode code) {
          code == StatusCode::kCancelled;
 }
 
-/// The canonical name of a code, e.g. "InvalidArgument" (what ToString
-/// prefixes messages with; the CLI prints it next to its exit code).
+/// The canonical name of a code, e.g. "InvalidArgument". This is the single
+/// source of truth for every textual spelling of a StatusCode: ToString
+/// prefixes messages with it, the CLI prints it next to its exit code, and
+/// the service wire protocol (docs/SERVICE.md) carries it in the "status"
+/// field of every reply.
 const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName: parses a canonical code name back into its
+/// StatusCode. Returns false (leaving *code untouched) for unknown names.
+/// Clients of the NDJSON service protocol use this to recover the typed
+/// code from a reply's "status" string.
+bool StatusCodeFromName(const std::string& name, StatusCode* code);
+
+/// Maps a code to the process exit-code contract shared by incognito_cli
+/// and the service tools (docs/ROBUSTNESS.md, docs/SERVICE.md):
+///   0  success            3  invalid input / bad flag value
+///   1  other failure      4  I/O error
+///   2  usage error        5  deadline/memory/cancel budget tripped
+/// Usage errors (2) are not a Status condition — callers return that code
+/// directly when argument parsing fails before any Status exists.
+int ExitCodeForStatus(StatusCode code);
 
 /// A Status encapsulates the success or failure of an operation, with a
 /// machine-readable code and a human-readable message.

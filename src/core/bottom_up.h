@@ -62,24 +62,6 @@ PartialResult<BottomUpResult> RunBottomUpBfs(const Table& table,
                                              const BottomUpOptions& options = {},
                                              const RunContext& ctx = {});
 
-#if !defined(INCOGNITO_NO_LEGACY_API)
-
-/// Deprecated pre-RunContext governed entry point (docs/API.md). Compiled
-/// out under -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once
-/// external callers have migrated.
-[[deprecated(
-    "use RunBottomUpBfs(table, qid, config, options, "
-    "RunContext::Governed(governor)) — see docs/API.md")]]
-inline PartialResult<BottomUpResult> RunBottomUpBfs(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, const BottomUpOptions& options,
-    ExecutionGovernor& governor) {
-  return RunBottomUpBfs(table, qid, config, options,
-                        RunContext::Governed(governor));
-}
-
-#endif  // !defined(INCOGNITO_NO_LEGACY_API)
-
 }  // namespace incognito
 
 #endif  // INCOGNITO_CORE_BOTTOM_UP_H_

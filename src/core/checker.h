@@ -112,27 +112,6 @@ Result<bool> IsKAnonymous(const Table& table, const QuasiIdentifier& qid,
                           const RunContext& ctx,
                           AlgorithmStats* stats = nullptr);
 
-#if !defined(INCOGNITO_NO_LEGACY_API)
-
-/// Deprecated pre-RunContext governed check; compiled out under
-/// -DINCOGNITO_LEGACY_API=OFF and scheduled for removal once external
-/// callers have migrated.
-[[deprecated(
-    "use IsKAnonymous(table, qid, node, config, "
-    "RunContext::Governed(governor)) — see docs/API.md")]]
-inline Result<bool> IsKAnonymous(const Table& table,
-                                 const QuasiIdentifier& qid,
-                                 const SubsetNode& node,
-                                 const AnonymizationConfig& config,
-                                 ExecutionGovernor& governor,
-                                 AlgorithmStats* stats = nullptr,
-                                 int num_threads = 1) {
-  return IsKAnonymous(table, qid, node, config,
-                      RunContext::Governed(governor, num_threads), stats);
-}
-
-#endif  // !defined(INCOGNITO_NO_LEGACY_API)
-
 }  // namespace incognito
 
 #endif  // INCOGNITO_CORE_CHECKER_H_

@@ -1,0 +1,35 @@
+#include "core/exec_profile.h"
+
+namespace incognito {
+
+RunContext ExecProfile::MakeContext(ExecutionGovernor* governor) const {
+  RunContext ctx;
+  if (governed()) {
+    ctx.WithGovernor(*governor)
+        .WithDeadline(deadline_ms)
+        .WithMemoryBudget(memory_budget_bytes)
+        .WithCancel(cancel);
+  }
+  return ctx.WithWorkers(num_threads)
+      .WithScheduling(scheduling)
+      .WithSubstrate(substrate)
+      .WithCheckpoint(checkpoint.enabled() ? &checkpoint : nullptr);
+}
+
+bool ParseSchedulingMode(const std::string& text, SchedulingMode* mode) {
+  if (text == "pipelined") {
+    *mode = SchedulingMode::kPipelined;
+    return true;
+  }
+  if (text == "barrier") {
+    *mode = SchedulingMode::kBarrier;
+    return true;
+  }
+  return false;
+}
+
+const char* SchedulingModeName(SchedulingMode mode) {
+  return mode == SchedulingMode::kBarrier ? "barrier" : "pipelined";
+}
+
+}  // namespace incognito

@@ -128,28 +128,6 @@ PartialResult<IncognitoResult> RunIncognito(const Table& table,
                                             const IncognitoOptions& options = {},
                                             const RunContext& ctx = {});
 
-#if !defined(INCOGNITO_NO_LEGACY_API)
-
-/// Deprecated pre-RunContext governed entry point (docs/API.md); keeps the
-/// behavior it shipped with, including level-synchronous (kBarrier)
-/// scheduling when options.num_threads > 1. Compiled out under
-/// -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once external
-/// callers have migrated.
-[[deprecated(
-    "use RunIncognito(table, qid, config, options, "
-    "RunContext::Governed(governor)) — see docs/API.md")]]
-inline PartialResult<IncognitoResult> RunIncognito(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, const IncognitoOptions& options,
-    ExecutionGovernor& governor) {
-  RunContext ctx;
-  ctx.governor = &governor;
-  ctx.scheduling = SchedulingMode::kBarrier;
-  return RunIncognito(table, qid, config, options, ctx);
-}
-
-#endif  // !defined(INCOGNITO_NO_LEGACY_API)
-
 }  // namespace incognito
 
 #endif  // INCOGNITO_CORE_INCOGNITO_H_

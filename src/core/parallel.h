@@ -46,45 +46,6 @@ PartialResult<IncognitoResult> RunIncognitoParallel(
     const AnonymizationConfig& config, const IncognitoOptions& options,
     const RunContext& ctx = {});
 
-#if !defined(INCOGNITO_NO_LEGACY_API)
-
-/// Deprecated pre-RunContext entry points (docs/API.md). Both preserve the
-/// documented level-synchronous behavior they shipped with, i.e. they map
-/// to SchedulingMode::kBarrier. Compiled out under
-/// -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once external callers
-/// have migrated.
-[[deprecated(
-    "use RunIncognitoParallel(table, qid, config, options, "
-    "RunContext::Governed(governor, num_threads)) — see docs/API.md")]]
-inline PartialResult<IncognitoResult> RunIncognitoParallel(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, const IncognitoOptions& options,
-    ExecutionGovernor& governor, int num_threads) {
-  RunContext ctx;
-  ctx.governor = &governor;
-  ctx.num_threads = num_threads;
-  ctx.scheduling = SchedulingMode::kBarrier;
-  return RunIncognitoParallel(table, qid, config, options, ctx);
-}
-
-[[deprecated(
-    "use RunIncognitoParallel(table, qid, config, options, "
-    "RunContext::WithThreads(num_threads)) — see docs/API.md")]]
-inline Result<IncognitoResult> RunIncognitoParallel(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, const IncognitoOptions& options,
-    int num_threads) {
-  RunContext ctx;
-  ctx.num_threads = num_threads;
-  ctx.scheduling = SchedulingMode::kBarrier;
-  PartialResult<IncognitoResult> run =
-      RunIncognitoParallel(table, qid, config, options, ctx);
-  if (!run.complete()) return run.status();
-  return std::move(run).value();
-}
-
-#endif  // !defined(INCOGNITO_NO_LEGACY_API)
-
 }  // namespace incognito
 
 #endif  // INCOGNITO_CORE_PARALLEL_H_

@@ -1,11 +1,14 @@
 #ifndef INCOGNITO_CORE_RUN_CONTEXT_H_
 #define INCOGNITO_CORE_RUN_CONTEXT_H_
 
+#include <cassert>
+#include <cstdint>
+
 #include "freq/substrate.h"
+#include "robust/governor.h"
 
 namespace incognito {
 
-class ExecutionGovernor;
 struct CheckpointPolicy;
 
 /// How a multi-threaded lattice search distributes work across the pool.
@@ -80,6 +83,85 @@ struct RunContext {
     RunContext ctx;
     ctx.num_threads = num_threads;
     return ctx;
+  }
+
+  // --- Fluent builders ----------------------------------------------------
+  //
+  // Each mutates this context and returns it, so assembling a context from
+  // an execution profile (a JobSpec, CLI flags, bench flags) is one
+  // expression:
+  //
+  //   RunContext ctx = RunContext::Governed(governor)
+  //                        .WithDeadline(spec.deadline_ms)
+  //                        .WithMemoryBudget(spec.memory_budget_bytes)
+  //                        .WithCheckpoint(&policy)
+  //                        .WithSubstrate(spec.substrate);
+  //
+  // The budget builders pass "unset" sentinels through unchanged (negative
+  // deadline, zero bytes, null pointers are no-ops), so optional fields
+  // chain without conditionals. Copy the result — do not bind a reference
+  // to a chain that started from a temporary.
+
+  /// Attaches (borrows) the governor budgets are armed on.
+  RunContext& WithGovernor(ExecutionGovernor& g) {
+    governor = &g;
+    return *this;
+  }
+
+  /// Arms a deadline `deadline_ms` milliseconds from now on the attached
+  /// governor. Negative values mean "no deadline" and are a no-op; a zero
+  /// deadline is already expired (forces an immediate trip). Requires a
+  /// governor.
+  RunContext& WithDeadline(int64_t deadline_ms) {
+    if (deadline_ms >= 0) {
+      assert(governor != nullptr && "WithDeadline needs a governor");
+      governor->SetDeadline(Deadline::AfterMillis(deadline_ms));
+    }
+    return *this;
+  }
+
+  /// Arms a memory budget of `bytes` on the attached governor. Zero or
+  /// negative means "unlimited" and is a no-op. Requires a governor.
+  RunContext& WithMemoryBudget(int64_t bytes) {
+    if (bytes > 0) {
+      assert(governor != nullptr && "WithMemoryBudget needs a governor");
+      governor->SetMemoryLimitBytes(bytes);
+    }
+    return *this;
+  }
+
+  /// Attaches a caller-owned cancellation token to the attached governor
+  /// (null is a no-op). Requires a governor when non-null.
+  RunContext& WithCancel(const CancelToken* token) {
+    if (token != nullptr) {
+      assert(governor != nullptr && "WithCancel needs a governor");
+      governor->SetCancelToken(token);
+    }
+    return *this;
+  }
+
+  /// Sets the worker-thread count (0 defers to the algorithm's option).
+  RunContext& WithWorkers(int n) {
+    num_threads = n;
+    return *this;
+  }
+
+  RunContext& WithScheduling(SchedulingMode mode) {
+    scheduling = mode;
+    return *this;
+  }
+
+  RunContext& WithSubstrate(SubstrateMode mode) {
+    substrate = mode;
+    return *this;
+  }
+
+  /// Attaches (borrows) a checkpoint policy; null or a disabled policy is
+  /// a no-op, so `.WithCheckpoint(spec.checkpoint_policy())` chains
+  /// unconditionally.
+  RunContext& WithCheckpoint(const CheckpointPolicy* policy) {
+    checkpoint = policy;
+    return *this;
   }
 };
 

@@ -53,5 +53,9 @@
 #include "relation/schema.h"      // IWYU pragma: export
 #include "relation/table.h"       // IWYU pragma: export
 #include "relation/value.h"       // IWYU pragma: export
+#include "service/job_spec.h"     // IWYU pragma: export
+#include "service/problem_loader.h"  // IWYU pragma: export
+#include "service/server.h"       // IWYU pragma: export
+#include "service/service.h"      // IWYU pragma: export
 
 #endif  // INCOGNITO_INCOGNITO_H_

@@ -47,23 +47,6 @@ PartialResult<CellSuppressionResult> RunCellSuppression(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config, const RunContext& ctx = {});
 
-#if !defined(INCOGNITO_NO_LEGACY_API)
-
-/// Deprecated pre-RunContext governed entry point (docs/API.md). Compiled
-/// out under -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once
-/// external callers have migrated.
-[[deprecated(
-    "use RunCellSuppression(table, qid, config, "
-    "RunContext::Governed(governor)) — see docs/API.md")]]
-inline PartialResult<CellSuppressionResult> RunCellSuppression(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, ExecutionGovernor& governor) {
-  return RunCellSuppression(table, qid, config,
-                            RunContext::Governed(governor));
-}
-
-#endif  // !defined(INCOGNITO_NO_LEGACY_API)
-
 }  // namespace incognito
 
 #endif  // INCOGNITO_MODELS_CELL_SUPPRESSION_H_

@@ -43,22 +43,6 @@ PartialResult<DataflyResult> RunDatafly(const Table& table,
                                         const AnonymizationConfig& config,
                                         const RunContext& ctx = {});
 
-#if !defined(INCOGNITO_NO_LEGACY_API)
-
-/// Deprecated pre-RunContext governed entry point (docs/API.md). Compiled
-/// out under -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once
-/// external callers have migrated.
-[[deprecated(
-    "use RunDatafly(table, qid, config, RunContext::Governed(governor)) "
-    "— see docs/API.md")]]
-inline PartialResult<DataflyResult> RunDatafly(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, ExecutionGovernor& governor) {
-  return RunDatafly(table, qid, config, RunContext::Governed(governor));
-}
-
-#endif  // !defined(INCOGNITO_NO_LEGACY_API)
-
 }  // namespace incognito
 
 #endif  // INCOGNITO_MODELS_DATAFLY_H_

@@ -48,23 +48,6 @@ PartialResult<OrderedSetResult> RunOrderedSetPartition(
     const Table& table, const QuasiIdentifier& qid,
     const AnonymizationConfig& config, const RunContext& ctx = {});
 
-#if !defined(INCOGNITO_NO_LEGACY_API)
-
-/// Deprecated pre-RunContext governed entry point (docs/API.md). Compiled
-/// out under -DINCOGNITO_LEGACY_API=OFF; scheduled for removal once
-/// external callers have migrated.
-[[deprecated(
-    "use RunOrderedSetPartition(table, qid, config, "
-    "RunContext::Governed(governor)) — see docs/API.md")]]
-inline PartialResult<OrderedSetResult> RunOrderedSetPartition(
-    const Table& table, const QuasiIdentifier& qid,
-    const AnonymizationConfig& config, ExecutionGovernor& governor) {
-  return RunOrderedSetPartition(table, qid, config,
-                                RunContext::Governed(governor));
-}
-
-#endif  // !defined(INCOGNITO_NO_LEGACY_API)
-
 /// Output of the exact univariate partitioner.
 struct OptimalUnivariateResult {
   Table view;

@@ -42,6 +42,9 @@ const std::vector<std::string>& FaultInjector::KnownSites() {
       "checkpoint.write.io",
       "checkpoint.write.rename",
       "checkpoint.load.open",
+      "service.admit",
+      "service.job.run",
+      "service.reply.write",
   };
   return *sites;
 }

@@ -1,0 +1,46 @@
+#ifndef INCOGNITO_SERVICE_PROBLEM_LOADER_H_
+#define INCOGNITO_SERVICE_PROBLEM_LOADER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/quasi_identifier.h"
+#include "hierarchy/hierarchy.h"
+#include "relation/table.h"
+
+namespace incognito {
+
+/// A table plus its assembled quasi-identifier — everything a Run* entry
+/// point needs besides the per-model configuration. This is the one
+/// dataset-reference resolution shared by the CLI (tools/incognito_cli.cpp),
+/// the daemon's job executor (service/job_spec.h), and the client's
+/// run-direct mode, so "the same JobSpec" is guaranteed to mean the same
+/// table and hierarchies everywhere.
+struct LoadedProblem {
+  Table table;
+  QuasiIdentifier qid;
+};
+
+/// Builds one hierarchy from a spec string (the --hierarchies grammar and
+/// the JobSpec "hierarchies" field):
+///   file:PATH            load an ARX-style hierarchy CSV (';'-separated)
+///   suppress             one-level suppression to '*'
+///   interval:W1:W2:...   nested integer ranges plus a '*' top
+///   digits:NUM:LEVELS    fixed-width digit rounding (e.g. digits:5:3)
+///   date                 YYYY-MM-DD → YYYY-MM → YYYY → '*'
+Result<ValueHierarchy> BuildHierarchyFromSpec(const std::string& column,
+                                              const std::string& spec,
+                                              const Dictionary& dict);
+
+/// Loads `input` (".inct" → the library's binary table format, anything
+/// else → CSV) and assembles the quasi-identifier from `qid_names` and the
+/// per-column hierarchy `specs`. Every QID attribute must have a spec.
+Result<LoadedProblem> LoadProblem(
+    const std::string& input, const std::vector<std::string>& qid_names,
+    const std::map<std::string, std::string>& specs);
+
+}  // namespace incognito
+
+#endif  // INCOGNITO_SERVICE_PROBLEM_LOADER_H_

@@ -35,6 +35,9 @@
 #include "robust/governor.h"
 #include "robust/partial_result.h"
 #include "robust/safe_io.h"
+#include "service/job_spec.h"
+#include "service/server.h"
+#include "service/service.h"
 #include "test_util.h"
 
 namespace incognito {
@@ -228,6 +231,9 @@ TEST(FaultInjectorTest, KnownSitesCatalogCoversTheLibrary) {
   EXPECT_TRUE(has("checkpoint.write.io"));
   EXPECT_TRUE(has("checkpoint.write.rename"));
   EXPECT_TRUE(has("checkpoint.load.open"));
+  EXPECT_TRUE(has("service.admit"));
+  EXPECT_TRUE(has("service.job.run"));
+  EXPECT_TRUE(has("service.reply.write"));
 }
 
 TEST(FaultInjectorTest, KillModeSpecValidated) {
@@ -715,6 +721,31 @@ TEST_F(FaultPointTest, EveryKnownSitePropagatesACleanStatus) {
     outcomes.push_back(governor.ChargeMemory(16));
     governor.ReleaseMemory(16);
     run_searches(&outcomes);
+    {
+      // The service layer's three sites: admission (service.admit fires in
+      // ServiceCore::Submit), execution (service.job.run fires at the top
+      // of ExecuteJob), and the wire path (service.reply.write fires in
+      // WriteReplyLine).  The job reads the CSV the battery wrote above,
+      // so the I/O-site scripts (already consumed by then) don't re-fire.
+      JobSpec job;
+      job.input = csv_path;
+      job.qid = {"a"};
+      job.hierarchies = {{"a", "suppress"}};
+      job.k = 1;
+      {
+        ServiceConfig service_config;
+        service_config.num_workers = 0;  // admit-only; dtor cancels it
+        ServiceCore core(service_config);
+        outcomes.push_back(core.Submit(job).status());
+      }
+      ExecutionGovernor job_governor;
+      outcomes.push_back(ExecuteJob(job, &job_governor).status);
+      int fds[2];
+      ASSERT_EQ(pipe(fds), 0) << site;
+      outcomes.push_back(WriteReplyLine(fds[1], "{\"ok\":true}"));
+      close(fds[0]);
+      close(fds[1]);
+    }
 
     EXPECT_EQ(FaultInjector::Global().FaultsFired(), 1)
         << "site " << site << " was never hit by the battery";

@@ -1,11 +1,9 @@
-// Differential tests for the RunContext API redesign (core/run_context.h,
-// docs/API.md): every unified Run* entry point called with
-// RunContext::Governed(governor) must be indistinguishable from the
-// deprecated pre-RunContext governed overload, and a default-constructed
-// context must reproduce the ungoverned call (complete result, zero trip
-// counters). Also covers the two entry points that GAINED governed
-// execution in the redesign — RunKOptimize and RunLDiversityIncognito —
-// including their documented partial contracts.
+// Tests for the RunContext API (core/run_context.h, docs/API.md): a
+// default-constructed context must reproduce the ungoverned call (complete
+// result, zero trip counters), the fluent builders must arm the borrowed
+// governor, and the entry points that GAINED governed execution in the
+// redesign — RunKOptimize and RunLDiversityIncognito — must honor their
+// documented partial contracts.
 
 #include "core/run_context.h"
 
@@ -17,6 +15,7 @@
 #include "common/random.h"
 #include "core/binary_search.h"
 #include "core/bottom_up.h"
+#include "core/exec_profile.h"
 #include "core/incognito.h"
 #include "core/ldiversity.h"
 #include "core/parallel.h"
@@ -62,156 +61,6 @@ AnonymizationConfig Config() {
   config.k = 2;
   return config;
 }
-
-// The legacy side of each differential calls the deprecated shim on
-// purpose; this file is the one place those warnings are expected. Under
-// -DINCOGNITO_LEGACY_API=OFF the shims don't exist, so the differentials
-// compile out with them (the default-context and new-governed-entry-point
-// tests below still run).
-#if !defined(INCOGNITO_NO_LEGACY_API)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(RunContextDifferentialTest, IncognitoGovernedContextMatchesLegacyShim) {
-  RandomDataset data = Fixture();
-  ExecutionGovernor modern_governor;
-  PartialResult<IncognitoResult> modern =
-      RunIncognito(data.table, data.qid, Config(), {},
-                   RunContext::Governed(modern_governor));
-  ExecutionGovernor legacy_governor;
-  PartialResult<IncognitoResult> legacy =
-      RunIncognito(data.table, data.qid, Config(), {}, legacy_governor);
-  ASSERT_TRUE(modern.complete());
-  ASSERT_TRUE(legacy.complete());
-  EXPECT_EQ(NodeSet(modern->anonymous_nodes), NodeSet(legacy->anonymous_nodes));
-  EXPECT_EQ(modern->completed_iterations, legacy->completed_iterations);
-  EXPECT_EQ(modern->stats.nodes_checked, legacy->stats.nodes_checked);
-}
-
-TEST(RunContextDifferentialTest, ParallelGovernedContextMatchesLegacyShim) {
-  // The legacy shim pins kBarrier; compare against an explicit kBarrier
-  // context (pipelined-vs-barrier identity is parallel_test's job).
-  RandomDataset data = Fixture();
-  ExecutionGovernor modern_governor;
-  RunContext ctx = RunContext::Governed(modern_governor, 4);
-  ctx.scheduling = SchedulingMode::kBarrier;
-  PartialResult<IncognitoResult> modern =
-      RunIncognitoParallel(data.table, data.qid, Config(), {}, ctx);
-  ExecutionGovernor legacy_governor;
-  PartialResult<IncognitoResult> legacy = RunIncognitoParallel(
-      data.table, data.qid, Config(), {}, legacy_governor, 4);
-  ASSERT_TRUE(modern.complete());
-  ASSERT_TRUE(legacy.complete());
-  EXPECT_EQ(NodeSet(modern->anonymous_nodes), NodeSet(legacy->anonymous_nodes));
-  EXPECT_EQ(modern->stats.nodes_checked, legacy->stats.nodes_checked);
-  EXPECT_EQ(modern->stats.parallel_workers, legacy->stats.parallel_workers);
-}
-
-TEST(RunContextDifferentialTest, ParallelUngovernedShimMatchesWithThreads) {
-  RandomDataset data = Fixture();
-  PartialResult<IncognitoResult> modern = RunIncognitoParallel(
-      data.table, data.qid, Config(), {}, RunContext::WithThreads(4));
-  Result<IncognitoResult> legacy =
-      RunIncognitoParallel(data.table, data.qid, Config(), {}, 4);
-  ASSERT_TRUE(modern.complete());
-  ASSERT_TRUE(legacy.ok());
-  EXPECT_EQ(NodeSet(modern->anonymous_nodes), NodeSet(legacy->anonymous_nodes));
-  EXPECT_EQ(modern->stats.nodes_checked, legacy->stats.nodes_checked);
-}
-
-TEST(RunContextDifferentialTest, BottomUpGovernedContextMatchesLegacyShim) {
-  RandomDataset data = Fixture();
-  ExecutionGovernor modern_governor;
-  PartialResult<BottomUpResult> modern =
-      RunBottomUpBfs(data.table, data.qid, Config(), {},
-                     RunContext::Governed(modern_governor));
-  ExecutionGovernor legacy_governor;
-  PartialResult<BottomUpResult> legacy =
-      RunBottomUpBfs(data.table, data.qid, Config(), {}, legacy_governor);
-  ASSERT_TRUE(modern.complete());
-  ASSERT_TRUE(legacy.complete());
-  EXPECT_EQ(NodeSet(modern->anonymous_nodes), NodeSet(legacy->anonymous_nodes));
-  EXPECT_EQ(modern->completed_heights, legacy->completed_heights);
-  EXPECT_EQ(modern->stats.nodes_checked, legacy->stats.nodes_checked);
-}
-
-TEST(RunContextDifferentialTest, BinarySearchGovernedContextMatchesLegacyShim) {
-  RandomDataset data = Fixture();
-  ExecutionGovernor modern_governor;
-  PartialResult<BinarySearchResult> modern = RunSamaratiBinarySearch(
-      data.table, data.qid, Config(), RunContext::Governed(modern_governor));
-  ExecutionGovernor legacy_governor;
-  PartialResult<BinarySearchResult> legacy =
-      RunSamaratiBinarySearch(data.table, data.qid, Config(), legacy_governor);
-  ASSERT_TRUE(modern.complete());
-  ASSERT_TRUE(legacy.complete());
-  EXPECT_EQ(modern->found, legacy->found);
-  EXPECT_EQ(modern->node.ToString(), legacy->node.ToString());
-  EXPECT_EQ(NodeSet(modern->all_at_minimal_height),
-            NodeSet(legacy->all_at_minimal_height));
-}
-
-TEST(RunContextDifferentialTest, DataflyGovernedContextMatchesLegacyShim) {
-  RandomDataset data = Fixture();
-  ExecutionGovernor modern_governor;
-  PartialResult<DataflyResult> modern = RunDatafly(
-      data.table, data.qid, Config(), RunContext::Governed(modern_governor));
-  ExecutionGovernor legacy_governor;
-  PartialResult<DataflyResult> legacy =
-      RunDatafly(data.table, data.qid, Config(), legacy_governor);
-  ASSERT_TRUE(modern.complete());
-  ASSERT_TRUE(legacy.complete());
-  EXPECT_EQ(modern->node.ToString(), legacy->node.ToString());
-  EXPECT_EQ(ViewRows(modern->view), ViewRows(legacy->view));
-  EXPECT_EQ(modern->suppressed_tuples, legacy->suppressed_tuples);
-}
-
-TEST(RunContextDifferentialTest, MondrianGovernedContextMatchesLegacyShim) {
-  RandomDataset data = Fixture();
-  ExecutionGovernor modern_governor;
-  PartialResult<MondrianResult> modern = RunMondrian(
-      data.table, data.qid, Config(), RunContext::Governed(modern_governor));
-  ExecutionGovernor legacy_governor;
-  PartialResult<MondrianResult> legacy =
-      RunMondrian(data.table, data.qid, Config(), legacy_governor);
-  ASSERT_TRUE(modern.complete());
-  ASSERT_TRUE(legacy.complete());
-  EXPECT_EQ(modern->num_partitions, legacy->num_partitions);
-  EXPECT_EQ(ViewRows(modern->view), ViewRows(legacy->view));
-}
-
-TEST(RunContextDifferentialTest, OrderedSetGovernedContextMatchesLegacyShim) {
-  RandomDataset data = Fixture();
-  ExecutionGovernor modern_governor;
-  PartialResult<OrderedSetResult> modern = RunOrderedSetPartition(
-      data.table, data.qid, Config(), RunContext::Governed(modern_governor));
-  ExecutionGovernor legacy_governor;
-  PartialResult<OrderedSetResult> legacy =
-      RunOrderedSetPartition(data.table, data.qid, Config(), legacy_governor);
-  ASSERT_TRUE(modern.complete());
-  ASSERT_TRUE(legacy.complete());
-  EXPECT_EQ(ViewRows(modern->view), ViewRows(legacy->view));
-  EXPECT_EQ(modern->intervals_per_attribute, legacy->intervals_per_attribute);
-}
-
-TEST(RunContextDifferentialTest,
-     CellSuppressionGovernedContextMatchesLegacyShim) {
-  RandomDataset data = Fixture();
-  ExecutionGovernor modern_governor;
-  PartialResult<CellSuppressionResult> modern = RunCellSuppression(
-      data.table, data.qid, Config(), RunContext::Governed(modern_governor));
-  ExecutionGovernor legacy_governor;
-  PartialResult<CellSuppressionResult> legacy =
-      RunCellSuppression(data.table, data.qid, Config(), legacy_governor);
-  ASSERT_TRUE(modern.complete());
-  ASSERT_TRUE(legacy.complete());
-  EXPECT_EQ(ViewRows(modern->view), ViewRows(legacy->view));
-  EXPECT_EQ(modern->cells_suppressed, legacy->cells_suppressed);
-  EXPECT_EQ(modern->tuples_suppressed, legacy->tuples_suppressed);
-}
-
-#pragma GCC diagnostic pop
-#endif  // !defined(INCOGNITO_NO_LEGACY_API)
 
 // ---------------------------------------------------------------------------
 // Default context ≡ legacy ungoverned call
@@ -364,6 +213,113 @@ TEST(RunContextLDiversityTest, TinyMemoryBudgetTripsCleanly) {
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
   EXPECT_TRUE(r->diverse_nodes.empty());
   EXPECT_EQ(governor.memory().used(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fluent builders and the shared ExecProfile translation
+// ---------------------------------------------------------------------------
+
+TEST(RunContextBuilderTest, BuildersArmTheBorrowedGovernor) {
+  ExecutionGovernor governor;
+  CancelToken cancel;
+  RunContext ctx = RunContext()
+                       .WithGovernor(governor)
+                       .WithDeadline(0)
+                       .WithMemoryBudget(64)
+                       .WithCancel(&cancel)
+                       .WithWorkers(3)
+                       .WithScheduling(SchedulingMode::kBarrier)
+                       .WithSubstrate(SubstrateMode::kRadix);
+  EXPECT_EQ(ctx.governor, &governor);
+  EXPECT_EQ(ctx.num_threads, 3);
+  EXPECT_EQ(ctx.scheduling, SchedulingMode::kBarrier);
+  EXPECT_EQ(ctx.substrate, SubstrateMode::kRadix);
+  // The zero deadline and the 64-byte budget were armed on the governor.
+  EXPECT_FALSE(governor.Check().ok());
+  EXPECT_FALSE(governor.ChargeMemory(65).ok());
+
+  // A cancel-only chain arms the token on its governor.
+  ExecutionGovernor cancellable;
+  RunContext cancel_ctx =
+      RunContext().WithGovernor(cancellable).WithCancel(&cancel);
+  EXPECT_EQ(cancel_ctx.governor, &cancellable);
+  EXPECT_TRUE(cancellable.Check().ok());
+  cancel.Cancel();
+  EXPECT_EQ(cancellable.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextBuilderTest, UnsetSentinelsAreNoOps) {
+  // Negative deadline, zero budget, and null pointers chain through
+  // without requiring a governor — the documented "no conditionals"
+  // contract for optional profile fields.
+  RunContext ctx = RunContext()
+                       .WithDeadline(-1)
+                       .WithMemoryBudget(0)
+                       .WithCancel(nullptr)
+                       .WithCheckpoint(nullptr);
+  EXPECT_EQ(ctx.governor, nullptr);
+  EXPECT_EQ(ctx.checkpoint, nullptr);
+}
+
+TEST(ExecProfileTest, UngovernedProfileLeavesGovernorDetached) {
+  ExecProfile profile;
+  EXPECT_FALSE(profile.governed());
+  ExecutionGovernor governor;
+  RunContext ctx = profile.MakeContext(&governor);
+  EXPECT_EQ(ctx.governor, nullptr);
+  EXPECT_EQ(ctx.num_threads, 0);
+}
+
+TEST(ExecProfileTest, GovernedProfileArmsEveryBudget) {
+  ExecProfile profile;
+  profile.deadline_ms = 0;
+  profile.memory_budget_bytes = 64;
+  CancelToken cancel;
+  profile.cancel = &cancel;
+  profile.num_threads = 2;
+  profile.scheduling = SchedulingMode::kBarrier;
+  profile.substrate = SubstrateMode::kHash;
+  ASSERT_TRUE(profile.governed());
+  ExecutionGovernor governor;
+  RunContext ctx = profile.MakeContext(&governor);
+  EXPECT_EQ(ctx.governor, &governor);
+  EXPECT_EQ(ctx.num_threads, 2);
+  EXPECT_EQ(ctx.scheduling, SchedulingMode::kBarrier);
+  EXPECT_EQ(ctx.substrate, SubstrateMode::kHash);
+  EXPECT_FALSE(governor.Check().ok());
+  EXPECT_FALSE(governor.ChargeMemory(65).ok());
+}
+
+TEST(ExecProfileTest, SchedulingModeNamesRoundTrip) {
+  for (SchedulingMode mode :
+       {SchedulingMode::kPipelined, SchedulingMode::kBarrier}) {
+    SchedulingMode parsed;
+    ASSERT_TRUE(ParseSchedulingMode(SchedulingModeName(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  SchedulingMode parsed;
+  EXPECT_FALSE(ParseSchedulingMode("bogus", &parsed));
+}
+
+TEST(ExecProfileTest, ProfileContextMatchesHandAssembledContext) {
+  // The profile translation must produce the same governed answer as the
+  // long-standing RunContext::Governed path.
+  RandomDataset data = Fixture();
+  ExecProfile profile;
+  profile.memory_budget_bytes = int64_t{1} << 33;
+  ExecutionGovernor profile_governor;
+  PartialResult<IncognitoResult> via_profile =
+      RunIncognito(data.table, data.qid, Config(), {},
+                   profile.MakeContext(&profile_governor));
+  ASSERT_TRUE(via_profile.complete()) << via_profile.status().ToString();
+  ExecutionGovernor governor;
+  governor.SetMemoryLimitBytes(int64_t{1} << 33);
+  PartialResult<IncognitoResult> by_hand = RunIncognito(
+      data.table, data.qid, Config(), {}, RunContext::Governed(governor));
+  ASSERT_TRUE(by_hand.complete());
+  EXPECT_EQ(NodeSet(via_profile->anonymous_nodes),
+            NodeSet(by_hand->anonymous_nodes));
+  EXPECT_EQ(via_profile->stats.nodes_checked, by_hand->stats.nodes_checked);
 }
 
 }  // namespace

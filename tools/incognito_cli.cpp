@@ -8,6 +8,9 @@
 //   anonymize   pick a minimal generalization and write the released view
 //   models      run every §5 taxonomy model and compare release quality
 //   hierarchy   generate a hierarchy CSV for a column with a builder rule
+//   serve       run the resident multi-tenant anonymization daemon behind
+//               a newline-delimited-JSON Unix socket (docs/SERVICE.md;
+//               submit jobs with tools/incognito_client.cpp)
 //
 // Inputs ending in ".inct" are read in the library's binary table format
 // (see relation/binary_io.h); everything else is parsed as CSV.
@@ -105,13 +108,17 @@
 //   incognito_cli hierarchy --input=adults.csv --column=Age \
 //     --spec=interval:5:10:20 --output=age_hierarchy.csv
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.h"
+#include "core/exec_profile.h"
 #include "core/incognito.h"
 #include "core/ldiversity.h"
 #include "core/minimality.h"
@@ -141,6 +148,9 @@
 #include "robust/fault_injector.h"
 #include "robust/governor.h"
 #include "robust/partial_result.h"
+#include "service/problem_loader.h"
+#include "service/server.h"
+#include "service/service.h"
 
 using namespace incognito;
 
@@ -382,61 +392,33 @@ struct ObsSession {
 int Usage() {
   fprintf(stderr,
           "usage: incognito_cli "
-          "<check|enumerate|anonymize|models|hierarchy> "
+          "<check|enumerate|anonymize|models|hierarchy|serve> "
           "--input=FILE [options]\n"
           "see the header of tools/incognito_cli.cpp for full options\n");
   return 2;
 }
 
-/// Maps a Status to the CLI's documented exit codes (see file header):
-/// invalid input 3, I/O 4, budget trips 5, anything else 1.
-int ExitCodeFor(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kInvalidArgument:
-    case StatusCode::kNotFound:
-    case StatusCode::kAlreadyExists:
-    case StatusCode::kOutOfRange:
-    case StatusCode::kFailedPrecondition:
-    case StatusCode::kNotSupported:
-      return 3;
-    case StatusCode::kIOError:
-      return 4;
-    case StatusCode::kDeadlineExceeded:
-    case StatusCode::kResourceExhausted:
-    case StatusCode::kCancelled:
-      return 5;
-    default:
-      return 1;
-  }
-}
-
-/// Prints "error[CodeName]: message" on stderr and returns the mapped
-/// exit code, so scripts can branch on the class of failure.
+/// Prints "error[CodeName]: message" on stderr and returns the exit code
+/// from the shared contract (ExitCodeForStatus, src/common/status.h), so
+/// scripts can branch on the class of failure.
 int Fail(const Status& status) {
   fprintf(stderr, "error[%s]: %s\n", StatusCodeName(status.code()),
           status.message().c_str());
-  return ExitCodeFor(status);
+  return ExitCodeForStatus(status.code());
 }
 
 std::string Get(const std::map<std::string, std::string>& args,
                 const std::string& key, const std::string& def = "");
 
-/// The --deadline-ms/--memory-budget-mb/--on-budget flag values.
+/// The --deadline-ms/--memory-budget-mb/--on-budget flag values, parsed
+/// into the shared ExecProfile (core/exec_profile.h) that also backs the
+/// service daemon's JobSpec translation — the arming rules live there.
 struct GovernanceOptions {
-  bool enabled = false;     // any budget flag was given
+  ExecProfile profile;
   bool partial_ok = false;  // --on-budget=partial
-  int64_t deadline_ms = -1;
-  int64_t memory_budget_mb = 0;
 
-  /// Arms `governor` with the configured budgets.
-  void Apply(ExecutionGovernor* governor) const {
-    if (deadline_ms >= 0) {
-      governor->SetDeadline(Deadline::AfterMillis(deadline_ms));
-    }
-    if (memory_budget_mb > 0) {
-      governor->SetMemoryLimitBytes(memory_budget_mb * (1ll << 20));
-    }
-  }
+  /// Any budget flag was given.
+  bool enabled() const { return profile.governed(); }
 
   /// Assembles the RunContext every Run* call in a subcommand shares.
   /// `governor` is the caller's stack slot (the context only borrows it);
@@ -445,14 +427,10 @@ struct GovernanceOptions {
   /// governor per run.
   RunContext MakeContext(ExecutionGovernor* governor, int num_threads,
                          SchedulingMode schedule) const {
-    RunContext ctx;
-    if (enabled) {
-      Apply(governor);
-      ctx.governor = governor;
-    }
-    ctx.num_threads = num_threads;
-    ctx.scheduling = schedule;
-    return ctx;
+    ExecProfile p = profile;
+    p.num_threads = num_threads;
+    p.scheduling = schedule;
+    return p.MakeContext(governor);
   }
 };
 
@@ -461,20 +439,20 @@ Result<GovernanceOptions> ParseGovernance(
   GovernanceOptions opts;
   std::string deadline = Get(args, "deadline-ms");
   if (!deadline.empty()) {
-    if (!ParseInt64(deadline, &opts.deadline_ms) || opts.deadline_ms < 0) {
+    if (!ParseInt64(deadline, &opts.profile.deadline_ms) ||
+        opts.profile.deadline_ms < 0) {
       return Status::InvalidArgument("bad --deadline-ms value '" + deadline +
                                      "' (want a non-negative integer)");
     }
-    opts.enabled = true;
   }
   std::string budget = Get(args, "memory-budget-mb");
   if (!budget.empty()) {
-    if (!ParseInt64(budget, &opts.memory_budget_mb) ||
-        opts.memory_budget_mb <= 0) {
+    int64_t memory_budget_mb = 0;
+    if (!ParseInt64(budget, &memory_budget_mb) || memory_budget_mb <= 0) {
       return Status::InvalidArgument("bad --memory-budget-mb value '" +
                                      budget + "' (want a positive integer)");
     }
-    opts.enabled = true;
+    opts.profile.memory_budget_bytes = memory_budget_mb * (1ll << 20);
   }
   std::string on_budget = Get(args, "on-budget", "fail");
   if (on_budget == "partial") {
@@ -567,10 +545,12 @@ Result<CheckpointPolicy> ParseCheckpointPolicy(
 Result<SchedulingMode> ParseSchedule(
     const std::map<std::string, std::string>& args) {
   std::string schedule = Get(args, "schedule", "pipelined");
-  if (schedule == "pipelined") return SchedulingMode::kPipelined;
-  if (schedule == "barrier") return SchedulingMode::kBarrier;
-  return Status::InvalidArgument("bad --schedule value '" + schedule +
-                                 "' (want pipelined or barrier)");
+  SchedulingMode mode;
+  if (!ParseSchedulingMode(schedule, &mode)) {
+    return Status::InvalidArgument("bad --schedule value '" + schedule +
+                                   "' (want pipelined or barrier)");
+  }
+  return mode;
 }
 
 std::map<std::string, std::string> ParseArgs(int argc, char** argv) {
@@ -594,71 +574,20 @@ std::string Get(const std::map<std::string, std::string>& args,
   return it == args.end() ? def : it->second;
 }
 
-/// Builds one hierarchy from a spec string (see file header).
+/// Builds one hierarchy from a spec string (see file header). Thin shim
+/// over the library's shared implementation (service/problem_loader.h) so
+/// the CLI, the daemon, and the client resolve specs identically.
 Result<ValueHierarchy> BuildFromSpec(const std::string& column,
                                      const std::string& spec,
                                      const Dictionary& dict) {
-  std::vector<std::string> parts = Split(spec, ':');
-  const std::string& kind = parts[0];
-  if (kind == "file") {
-    if (parts.size() != 2) {
-      return Status::InvalidArgument("file spec needs a path: file:PATH");
-    }
-    return ReadHierarchyCsv(column, parts[1], dict);
-  }
-  if (kind == "suppress") {
-    return BuildSuppressionHierarchy(column, dict);
-  }
-  if (kind == "interval") {
-    std::vector<int64_t> widths;
-    for (size_t i = 1; i < parts.size(); ++i) {
-      int64_t w = 0;
-      if (!ParseInt64(parts[i], &w)) {
-        return Status::InvalidArgument("bad interval width '" + parts[i] +
-                                       "'");
-      }
-      widths.push_back(w);
-    }
-    if (widths.empty()) {
-      return Status::InvalidArgument("interval spec needs widths");
-    }
-    return BuildIntervalHierarchy(column, dict, widths);
-  }
-  if (kind == "digits") {
-    if (parts.size() != 3) {
-      return Status::InvalidArgument("digits spec is digits:NUM:LEVELS");
-    }
-    int64_t num = 0, levels = 0;
-    if (!ParseInt64(parts[1], &num) || !ParseInt64(parts[2], &levels)) {
-      return Status::InvalidArgument("bad digits spec '" + spec + "'");
-    }
-    return BuildDigitRoundingHierarchy(column, dict,
-                                       static_cast<size_t>(num),
-                                       static_cast<size_t>(levels));
-  }
-  if (kind == "date") {
-    return BuildDateHierarchy(column, dict);
-  }
-  return Status::InvalidArgument("unknown hierarchy spec kind '" + kind +
-                                 "'");
+  return BuildHierarchyFromSpec(column, spec, dict);
 }
 
 /// Loads the table and assembles the quasi-identifier from --qid and
-/// --hierarchies.
-struct LoadedProblem {
-  Table table;
-  QuasiIdentifier qid;
-};
-
+/// --hierarchies by delegating to the shared problem loader.
 Result<LoadedProblem> Load(const std::map<std::string, std::string>& args) {
   std::string input = Get(args, "input");
   if (input.empty()) return Status::InvalidArgument("--input is required");
-  Result<Table> table = input.size() > 5 &&
-                                input.substr(input.size() - 5) == ".inct"
-                            ? ReadTableBinary(input)
-                            : ReadCsv(input);
-  if (!table.ok()) return table.status();
-
   std::vector<std::string> qid_names = Split(Get(args, "qid"), ',');
   if (qid_names.empty() || qid_names[0].empty()) {
     return Status::InvalidArgument("--qid=Col1,Col2,... is required");
@@ -673,28 +602,7 @@ Result<LoadedProblem> Load(const std::map<std::string, std::string>& args) {
     }
     specs[entry.substr(0, eq)] = entry.substr(eq + 1);
   }
-
-  std::vector<std::pair<std::string, ValueHierarchy>> hierarchies;
-  for (const std::string& name : qid_names) {
-    Result<size_t> col = table->schema().ColumnIndex(name);
-    if (!col.ok()) return col.status();
-    auto it = specs.find(name);
-    if (it == specs.end()) {
-      return Status::InvalidArgument(
-          "no hierarchy spec for quasi-identifier attribute '" + name + "'");
-    }
-    Result<ValueHierarchy> h =
-        BuildFromSpec(name, it->second, table->dictionary(col.value()));
-    if (!h.ok()) return h.status();
-    hierarchies.emplace_back(name, std::move(h).value());
-  }
-  Result<QuasiIdentifier> qid =
-      QuasiIdentifier::Create(table.value(), std::move(hierarchies));
-  if (!qid.ok()) return qid.status();
-  LoadedProblem out;
-  out.table = std::move(table).value();
-  out.qid = std::move(qid).value();
-  return out;
+  return LoadProblem(input, qid_names, specs);
 }
 
 Result<SubsetNode> ParseLevels(const std::map<std::string, std::string>& args,
@@ -741,13 +649,14 @@ int CmdCheck(const std::map<std::string, std::string>& args,
 
   AlgorithmStats stats;
   bool ok;
-  if (gov->enabled) {
+  if (gov->enabled()) {
     // A single-node check has no meaningful partial answer, so a budget
     // trip always fails here regardless of --on-budget.
     ExecutionGovernor governor;
-    gov->Apply(&governor);
-    RunContext check_ctx = RunContext::Governed(governor, run_opts->num_threads);
-    check_ctx.substrate = run_opts->substrate;
+    RunContext check_ctx =
+        gov->MakeContext(&governor, run_opts->num_threads,
+                         SchedulingMode::kPipelined)
+            .WithSubstrate(run_opts->substrate);
     Result<bool> governed = IsKAnonymous(problem->table, problem->qid,
                                          node.value(), config, check_ctx,
                                          &stats);
@@ -806,7 +715,7 @@ int CmdEnumerate(const std::map<std::string, std::string>& args,
   PartialResult<IncognitoResult> result =
       RunIncognito(problem->table, problem->qid, config, *run_opts, ctx);
   if (result.hard_error()) return Fail(result.status());
-  if (gov->enabled) obs->RecordGovernorPeak(governor);
+  if (gov->enabled()) obs->RecordGovernorPeak(governor);
   obs->RecordUtilization(result->worker_utilization);
   if (result.partial()) {
     if (!gov->partial_ok) {
@@ -870,7 +779,7 @@ int CmdAnonymize(const std::map<std::string, std::string>& args,
     PartialResult<IncognitoResult> result =
         RunIncognito(problem->table, problem->qid, config, *run_opts, ctx);
     if (result.hard_error()) return Fail(result.status());
-    if (gov->enabled) obs->RecordGovernorPeak(governor);
+    if (gov->enabled()) obs->RecordGovernorPeak(governor);
     obs->RecordUtilization(result->worker_utilization);
     obs->RecordStats(result->stats);
     if (result.partial()) {
@@ -1093,6 +1002,76 @@ int CmdModels(const std::map<std::string, std::string>& args,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve — the resident multi-tenant anonymization daemon (docs/SERVICE.md)
+// ---------------------------------------------------------------------------
+
+/// SIGTERM/SIGINT flag for the serve loop (async-signal-safe: the handler
+/// only stores; the loop polls).
+volatile std::sig_atomic_t g_serve_signal = 0;
+
+void ServeSignalHandler(int) { g_serve_signal = 1; }
+
+/// `incognito_cli serve --socket=PATH [--workers=N] [--queue-depth=N]
+/// [--tenant-quota=N] [--memory-limit-mb=N] [--default-lease-mb=N]
+/// [--weights=T=W,T=W,...]`: runs the job pipeline daemon until SIGTERM,
+/// SIGINT, or a client {"op":"shutdown"}, then drains gracefully (stops
+/// admission, finishes every admitted job) and exits 0.
+int CmdServe(const std::map<std::string, std::string>& args) {
+  std::string socket_path = Get(args, "socket");
+  if (socket_path.empty()) {
+    return Fail(Status::InvalidArgument("--socket=PATH is required"));
+  }
+  ServiceConfig config;
+  config.num_workers = atoi(Get(args, "workers", "2").c_str());
+  if (config.num_workers < 1) {
+    return Fail(Status::InvalidArgument("--workers must be >= 1"));
+  }
+  config.queue_depth =
+      static_cast<size_t>(atoll(Get(args, "queue-depth", "64").c_str()));
+  config.per_tenant_queue_depth =
+      static_cast<size_t>(atoll(Get(args, "tenant-quota", "16").c_str()));
+  config.memory_limit_bytes =
+      atoll(Get(args, "memory-limit-mb", "0").c_str()) * (1ll << 20);
+  config.default_job_lease_bytes =
+      atoll(Get(args, "default-lease-mb", "16").c_str()) * (1ll << 20);
+  for (const std::string& entry : Split(Get(args, "weights"), ',')) {
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Fail(Status::InvalidArgument("bad --weights entry '" + entry +
+                                          "' (want TENANT=WEIGHT)"));
+    }
+    config.tenant_weights[entry.substr(0, eq)] =
+        atof(entry.c_str() + eq + 1);
+  }
+
+  ServiceCore core(config);
+  ServiceServer server(&core, socket_path);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::signal(SIGTERM, ServeSignalHandler);
+  std::signal(SIGINT, ServeSignalHandler);
+  fprintf(stderr, "serving on %s (%d workers, queue depth %zu)\n",
+          socket_path.c_str(), config.num_workers, config.queue_depth);
+  while (g_serve_signal == 0 && !server.ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  fprintf(stderr, "draining: completing admitted jobs...\n");
+  core.Drain();
+  server.Stop();
+  ServiceStats stats = core.stats();
+  fprintf(stderr,
+          "drained: %lld completed, %lld cancelled, %lld rejected\n",
+          static_cast<long long>(stats.completed),
+          static_cast<long long>(stats.cancelled),
+          static_cast<long long>(stats.rejected_queue_full +
+                                 stats.rejected_tenant_quota +
+                                 stats.rejected_memory +
+                                 stats.rejected_draining));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1109,6 +1088,7 @@ int main(int argc, char** argv) {
     if (!armed.ok()) return Fail(armed);
   }
   if (command == "hierarchy") return CmdHierarchy(args);
+  if (command == "serve") return CmdServe(args);
   ObsSession obs(command, args);
   int code;
   if (command == "check") {
